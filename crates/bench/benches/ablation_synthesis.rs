@@ -1,0 +1,76 @@
+//! Ablation bench for the synthesis design choices called out in
+//! DESIGN.md: the `eliminate` collapse pass and the tree-covering
+//! objective (area vs delay). Criterion reports the runtime cost; the
+//! bench also prints the quality impact (gate count / cell width /
+//! critical path) once per configuration so `cargo bench` output
+//! documents the trade. Workload: an 8-bit ripple comparator — deep
+//! enough that multi-level restructuring matters.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use icdb::cells::Library;
+use icdb::estimate::{estimate_delay, LoadSpec};
+use icdb::logic::{synthesize, MapObjective, SynthOptions};
+
+const COMPARATOR: &str = "
+NAME: CMP;
+PARAMETER: size;
+INORDER: A[size], B[size];
+OUTORDER: OGT;
+PIIFVARIABLE: E[size+1], G[size+1];
+VARIABLE: i;
+{
+  E[0] = 1; G[0] = 0;
+  #for(i=0;i<size;i++)
+  {
+    E[i+1] = E[i] * (A[i] (.) B[i]);
+    G[i+1] = A[i]*!B[i] + (A[i] (.) B[i])*G[i];
+  }
+  OGT = G[size];
+}";
+
+fn flat() -> icdb::iif::FlatModule {
+    let m = icdb::iif::parse(COMPARATOR).unwrap();
+    icdb::iif::expand(&m, &[("size", 8)], &icdb::iif::NoModules).unwrap()
+}
+
+fn bench(c: &mut Criterion) {
+    let lib = Library::standard();
+    let f = flat();
+
+    let configs: [(&str, SynthOptions); 3] = [
+        ("eliminate_on_area", SynthOptions::default()),
+        (
+            "eliminate_off_area",
+            SynthOptions { eliminate: false, ..SynthOptions::default() },
+        ),
+        (
+            "eliminate_on_delay",
+            SynthOptions { objective: MapObjective::Delay, ..SynthOptions::default() },
+        ),
+    ];
+
+    // Quality summary printed once (deterministic).
+    println!("\nablation: synthesis configuration quality (8-bit comparator OGT cone)");
+    println!("{:<22} {:>7} {:>12} {:>12}", "config", "gates", "cell width", "crit path ns");
+    for (name, opts) in &configs {
+        let nl = synthesize(&f, &lib, opts).unwrap();
+        let rep = estimate_delay(&nl, &lib, &LoadSpec::uniform(10.0)).unwrap();
+        println!(
+            "{:<22} {:>7} {:>12.0} {:>12.1}",
+            name,
+            nl.gates.len(),
+            nl.total_width(&lib),
+            rep.critical_path
+        );
+    }
+
+    let mut group = c.benchmark_group("ablation_synthesis");
+    group.sample_size(20);
+    for (name, opts) in configs {
+        group.bench_function(name, |b| b.iter(|| synthesize(&f, &lib, &opts).unwrap()));
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

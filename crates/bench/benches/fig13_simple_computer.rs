@@ -1,0 +1,16 @@
+//! E9 / Fig. 13: component generation for the simple computer plus the
+//! Stockmeyer floorplan of its two slicing arrangements.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig13_simple_computer");
+    group.sample_size(10);
+    group.bench_function("generate_and_floorplan_both", |b| {
+        b.iter(icdb_bench::fig13_data)
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! E1 / Fig. 5: time to generate the five counter variants (the component
+//! requests a synthesis tool issues while exploring the trade-off curve).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use icdb_bench::{generate_counter_variant, FIG5_VARIANTS};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5_counter_tradeoff");
+    group.sample_size(10);
+    for (label, attrs) in FIG5_VARIANTS {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let mut icdb = icdb::Icdb::new();
+                generate_counter_variant(&mut icdb, attrs)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

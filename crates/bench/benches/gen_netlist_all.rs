@@ -1,0 +1,23 @@
+//! E10 / §4.4 claim: gate-level netlist generation time for the whole
+//! builtin library (paper: "under five minutes" per component in 1989).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gen_netlist_all");
+    group.sample_size(10);
+    group.bench_function("all_builtins_default_attrs", |b| {
+        b.iter(|| {
+            let mut icdb = icdb::Icdb::new();
+            let names: Vec<String> = icdb.library.iter().map(|x| x.name.clone()).collect();
+            for imp in names {
+                icdb.request_component(&icdb::ComponentRequest::by_implementation(&imp))
+                    .unwrap();
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,229 @@
+//! Cell descriptors: logical function, timing and geometry characterization.
+
+use crate::pattern::Pattern;
+
+/// Stable handle for a cell inside a [`crate::Library`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CellId(pub(crate) usize);
+
+impl CellId {
+    /// Raw index of this cell inside its library.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Which clock transition a flip-flop reacts to (IIF `~r` / `~f`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ClockEdge {
+    /// Rising edge (`~r`).
+    Rising,
+    /// Falling edge (`~f`).
+    Falling,
+}
+
+/// Which level makes a latch transparent (IIF `~h` / `~l`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LatchLevel {
+    /// Transparent while the clock is high (`~h`).
+    High,
+    /// Transparent while the clock is low (`~l`).
+    Low,
+}
+
+/// The logical function a cell implements.
+///
+/// Technology mapping, simulation and netlist emission all dispatch on this,
+/// so the set mirrors the gates, complex gates, flip-flops with asynchronous
+/// set/reset, and interface elements that IIF can express (paper §3.1).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum CellFunction {
+    /// Logical inverter.
+    Inv,
+    /// Non-inverting buffer (IIF `~b`).
+    Buf,
+    /// n-input NAND (n = 2..=4 in the standard library).
+    Nand(u8),
+    /// n-input NOR.
+    Nor(u8),
+    /// n-input AND.
+    And(u8),
+    /// n-input OR.
+    Or(u8),
+    /// 2-input exclusive-OR (IIF `(+)`).
+    Xor,
+    /// 2-input exclusive-NOR (IIF `(.)`).
+    Xnor,
+    /// AND-OR-invert: `!(a·b + c)`.
+    Aoi21,
+    /// AND-OR-invert: `!(a·b + c·d)`.
+    Aoi22,
+    /// OR-AND-invert: `!((a+b)·c)`.
+    Oai21,
+    /// OR-AND-invert: `!((a+b)·(c+d))`.
+    Oai22,
+    /// 2-to-1 multiplexer: `s ? b : a` with pins `(a, b, s)`.
+    Mux21,
+    /// D flip-flop; `set`/`reset` indicate asynchronous (active-high) pins.
+    Dff {
+        /// Clock transition that captures D.
+        edge: ClockEdge,
+        /// Has an asynchronous set (Q := 1) pin.
+        set: bool,
+        /// Has an asynchronous reset (Q := 0) pin.
+        reset: bool,
+    },
+    /// Transparent level latch.
+    Latch {
+        /// Level at which the latch is transparent.
+        level: LatchLevel,
+    },
+    /// Tri-state buffer (IIF `~t`): pins `(data, enable)`; output floats when
+    /// enable is low.
+    Tribuf,
+    /// Schmitt trigger (IIF `~s`), logically a buffer.
+    Schmitt,
+    /// Fixed delay element (IIF `~d`), logically a buffer.
+    Delay,
+    /// Wired-or resolution point (IIF `~w`); zero-transistor pseudo cell.
+    WiredOr(u8),
+    /// Constant logic 0 tie cell.
+    Tie0,
+    /// Constant logic 1 tie cell.
+    Tie1,
+}
+
+impl CellFunction {
+    /// True for flip-flops and latches.
+    pub fn is_sequential(&self) -> bool {
+        matches!(self, CellFunction::Dff { .. } | CellFunction::Latch { .. })
+    }
+
+    /// True for cells whose output can float (tri-state).
+    pub fn is_tristate(&self) -> bool {
+        matches!(self, CellFunction::Tribuf)
+    }
+}
+
+/// The paper's three-number delay characterization (§4.4.1).
+///
+/// All delays are in nanoseconds; loads are in *unit transistors*.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Timing {
+    /// Delay increase per additional unit of transistor load (ns/unit).
+    pub x: f64,
+    /// Intrinsic input-to-output delay (ns).
+    pub y: f64,
+    /// Delay increase per additional fanout (ns/fanout).
+    pub z: f64,
+}
+
+/// Extra timing data carried only by sequential cells.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SeqTiming {
+    /// Setup time required on D before the active clock transition (ns).
+    pub setup: f64,
+    /// Hold time after the transition (ns).
+    pub hold: f64,
+    /// Minimum usable clock pulse width (ns).
+    pub min_pulse: f64,
+    /// Clock-to-Q delay at drive 1 with no load (ns); load/fanout terms are
+    /// added via [`Timing`].
+    pub clk_to_q: f64,
+}
+
+/// Geometry characterization for the strip-based layout model (§4.4.2).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Geometry {
+    /// Cell width at drive 1 (µm).
+    pub width: f64,
+    /// Number of transistors (used as the load unit of the delay model).
+    pub transistors: u32,
+    /// Load presented by each input pin at drive 1, in unit transistors.
+    pub pin_load: f64,
+}
+
+/// One characterized basic cell.
+#[derive(Debug, Clone)]
+pub struct Cell {
+    /// Library-unique name (`"NAND2"`, `"DFF_SR"`, …).
+    pub name: String,
+    /// Logical function (drives simulation and mapping semantics).
+    pub function: CellFunction,
+    /// Ordered input pin names. For flip-flops the order is
+    /// `D, CLK[, SET][, RST]`; for the tri-state buffer `D, EN`;
+    /// for the mux `A, B, S`.
+    pub inputs: Vec<&'static str>,
+    /// Output pin name (every basic cell has exactly one output).
+    pub output: &'static str,
+    /// Combinational delay characterization.
+    pub timing: Timing,
+    /// Setup/hold/clock data (sequential cells only).
+    pub seq: Option<SeqTiming>,
+    /// Geometry characterization.
+    pub geometry: Geometry,
+    /// NAND2/INV subject-graph patterns used by the technology mapper.
+    /// Empty for cells that are inserted directly (flip-flops, tri-states…).
+    pub patterns: Vec<Pattern>,
+}
+
+impl Cell {
+    /// Output delay for a cell instance at drive `size`, driving
+    /// `load_units` unit transistors through `fanout` sink pins.
+    ///
+    /// Implements the paper's `delay = Trans_no·X + Y + fanout_no·Z`, with
+    /// the load-dependent term divided by the drive factor (a larger cell
+    /// has proportionally lower output resistance).
+    pub fn delay(&self, size: f64, load_units: f64, fanout: usize) -> f64 {
+        debug_assert!(size >= 1.0, "drive sizes start at 1");
+        load_units * self.timing.x / size + self.timing.y + fanout as f64 * self.timing.z
+    }
+
+    /// Width of the cell at drive `size` (µm). Widening is sub-linear: only
+    /// the driver transistors grow, the internal structure does not.
+    pub fn width(&self, size: f64) -> f64 {
+        self.geometry.width * (1.0 + crate::TECH.size_width_factor * (size - 1.0))
+    }
+
+    /// Load presented by one input pin at drive `size`, in unit transistors.
+    /// Input transistors scale with the drive factor.
+    pub fn input_load(&self, size: f64) -> f64 {
+        self.geometry.pin_load * size
+    }
+
+    /// Effective transistor count at drive `size` (for area bookkeeping).
+    pub fn transistors(&self, size: f64) -> f64 {
+        self.geometry.transistors as f64 * (1.0 + crate::TECH.size_width_factor * (size - 1.0))
+    }
+
+    /// Index of an input pin by name.
+    pub fn input_index(&self, pin: &str) -> Option<usize> {
+        self.inputs.iter().position(|p| *p == pin)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn function_predicates() {
+        assert!(CellFunction::Dff { edge: ClockEdge::Rising, set: false, reset: false }
+            .is_sequential());
+        assert!(CellFunction::Latch { level: LatchLevel::High }.is_sequential());
+        assert!(!CellFunction::Nand(2).is_sequential());
+        assert!(CellFunction::Tribuf.is_tristate());
+        assert!(!CellFunction::Inv.is_tristate());
+    }
+
+    #[test]
+    fn pin_lookup() {
+        let lib = crate::Library::standard();
+        let dff = lib.cell(lib.cell_id("DFF_SR").unwrap());
+        assert_eq!(dff.input_index("D"), Some(0));
+        assert_eq!(dff.input_index("CLK"), Some(1));
+        assert_eq!(dff.input_index("SET"), Some(2));
+        assert_eq!(dff.input_index("RST"), Some(3));
+        assert_eq!(dff.input_index("nope"), None);
+    }
+}

@@ -1,0 +1,206 @@
+//! # icdb-cells — characterized basic-cell library
+//!
+//! The component generators of ICDB (Chen & Gajski, DAC 1990) map logic onto
+//! a library of *basic cells* — gates, complex gates and flip-flops — for
+//! which three delay numbers are stored (§4.4.1 of the paper):
+//!
+//! * `X` — delay increase per additional **unit of transistor load**,
+//! * `Y` — intrinsic delay from an input port to the output port,
+//! * `Z` — delay increase per additional **fanout**,
+//!
+//! so that the delay of an output driving `Trans_no` unit transistors with
+//! `fanout_no` fanout pins is `Trans_no * X + Y + fanout_no * Z`.
+//!
+//! Two geometric properties are kept for the strip-based area estimator
+//! (§4.4.2): the cell **width** and the number of **transistors** (the
+//! transistor height is a library-wide constant).  Cells can be *sized*
+//! (transistor sizing, §4.3) which divides their load-dependent delay by the
+//! drive factor while growing their width and input load.
+//!
+//! The original system characterized a fabricated 3 µm CMOS library; this
+//! reproduction ships a synthetic library with the same schema, calibrated so
+//! the paper's §3.3/§5 component numbers land in the right ranges (see
+//! `DESIGN.md` §1 for the substitution argument).
+//!
+//! ```
+//! use icdb_cells::{Library, CellFunction};
+//!
+//! let lib = Library::standard();
+//! let nand2 = lib.cell_by_function(&CellFunction::Nand(2)).expect("nand2");
+//! assert_eq!(nand2.inputs.len(), 2);
+//! // Intrinsic + load-dependent + fanout-dependent delay, per the paper.
+//! let d = nand2.delay(1.0, 6.0, 2);
+//! assert!(d > nand2.timing.y);
+//! ```
+
+mod cell;
+mod pattern;
+mod standard;
+
+pub use cell::{Cell, CellFunction, CellId, ClockEdge, Geometry, LatchLevel, SeqTiming, Timing};
+pub use pattern::Pattern;
+pub use standard::TECH;
+
+use std::collections::HashMap;
+
+/// A characterized library of basic cells.
+///
+/// The library is index-addressed: a [`CellId`] is a stable handle into the
+/// library that netlists use to refer to cells.
+#[derive(Debug, Clone)]
+pub struct Library {
+    cells: Vec<Cell>,
+    by_name: HashMap<String, CellId>,
+}
+
+impl Library {
+    /// Creates an empty library. Most users want [`Library::standard`].
+    pub fn new() -> Self {
+        Library { cells: Vec::new(), by_name: HashMap::new() }
+    }
+
+    /// The standard characterized library used by the embedded component
+    /// generator: inverters, buffers, NAND/NOR/AND/OR (2–4 inputs), XOR/XNOR,
+    /// AOI/OAI complex gates, a 2-to-1 mux gate, D flip-flops with optional
+    /// asynchronous set/reset, level latches, tri-state buffers, schmitt
+    /// triggers, delay elements, wired-or resolution and tie cells.
+    pub fn standard() -> Self {
+        standard::standard_library()
+    }
+
+    /// Adds a cell, returning its id.
+    ///
+    /// # Panics
+    /// Panics if a cell with the same name is already present.
+    pub fn add(&mut self, cell: Cell) -> CellId {
+        let id = CellId(self.cells.len());
+        let prev = self.by_name.insert(cell.name.clone(), id);
+        assert!(prev.is_none(), "duplicate cell name {}", cell.name);
+        self.cells.push(cell);
+        id
+    }
+
+    /// Looks a cell up by name (`"NAND2"`, `"DFF_SR"`, …).
+    pub fn cell_id(&self, name: &str) -> Option<CellId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Returns the cell for `id`.
+    ///
+    /// # Panics
+    /// Panics if `id` did not come from this library.
+    pub fn cell(&self, id: CellId) -> &Cell {
+        &self.cells[id.0]
+    }
+
+    /// Finds the first cell implementing exactly `function`.
+    pub fn cell_by_function(&self, function: &CellFunction) -> Option<&Cell> {
+        self.cells.iter().find(|c| &c.function == function)
+    }
+
+    /// Id of the first cell implementing exactly `function`.
+    pub fn id_by_function(&self, function: &CellFunction) -> Option<CellId> {
+        self.cells
+            .iter()
+            .position(|c| &c.function == function)
+            .map(CellId)
+    }
+
+    /// Iterates over `(id, cell)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (CellId, &Cell)> {
+        self.cells.iter().enumerate().map(|(i, c)| (CellId(i), c))
+    }
+
+    /// Number of cells in the library.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Whether the library is empty.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// All combinational cells that carry technology-mapping patterns.
+    pub fn mappable(&self) -> impl Iterator<Item = (CellId, &Cell)> {
+        self.iter().filter(|(_, c)| !c.patterns.is_empty())
+    }
+}
+
+impl Default for Library {
+    fn default() -> Self {
+        Self::standard()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_library_has_core_cells() {
+        let lib = Library::standard();
+        for name in [
+            "INV", "BUF", "NAND2", "NAND3", "NAND4", "NOR2", "NOR3", "AND2", "OR2", "XOR2",
+            "XNOR2", "AOI21", "AOI22", "OAI21", "OAI22", "MUX21", "DFF", "DFF_S", "DFF_R",
+            "DFF_SR", "DFFN", "LATCH_H", "LATCH_L", "TRIBUF", "SCHMITT", "DELAY", "WOR", "TIE0",
+            "TIE1",
+        ] {
+            assert!(lib.cell_id(name).is_some(), "missing cell {name}");
+        }
+    }
+
+    #[test]
+    fn lookup_roundtrip() {
+        let lib = Library::standard();
+        for (id, cell) in lib.iter() {
+            assert_eq!(lib.cell_id(&cell.name), Some(id));
+            assert_eq!(lib.cell(id).name, cell.name);
+        }
+    }
+
+    #[test]
+    fn delay_formula_matches_paper() {
+        // delay = Trans_no * X + Y + fanout_no * Z  (§4.4.1)
+        let lib = Library::standard();
+        let inv = lib.cell(lib.cell_id("INV").unwrap());
+        let d = inv.delay(1.0, 10.0, 3);
+        let expect = 10.0 * inv.timing.x + inv.timing.y + 3.0 * inv.timing.z;
+        assert!((d - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sizing_divides_load_delay_and_grows_width() {
+        let lib = Library::standard();
+        let inv = lib.cell(lib.cell_id("INV").unwrap());
+        let d1 = inv.delay(1.0, 10.0, 1);
+        let d4 = inv.delay(4.0, 10.0, 1);
+        assert!(d4 < d1, "larger drive must be faster under load");
+        assert!(inv.width(4.0) > inv.width(1.0));
+        assert!(inv.input_load(4.0) > inv.input_load(1.0));
+    }
+
+    #[test]
+    fn mappable_cells_have_consistent_pattern_arity() {
+        let lib = Library::standard();
+        for (_, cell) in lib.mappable() {
+            for p in &cell.patterns {
+                assert_eq!(
+                    p.leaf_count(),
+                    cell.inputs.len(),
+                    "{}: pattern arity mismatch",
+                    cell.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sequential_cells_have_seq_timing() {
+        let lib = Library::standard();
+        for name in ["DFF", "DFF_S", "DFF_R", "DFF_SR", "DFFN", "LATCH_H", "LATCH_L"] {
+            let c = lib.cell(lib.cell_id(name).unwrap());
+            assert!(c.seq.is_some(), "{name} must carry setup/clk-q data");
+        }
+    }
+}

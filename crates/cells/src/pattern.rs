@@ -1,0 +1,182 @@
+//! NAND2/INV subject-graph patterns for DAGON-style tree covering.
+//!
+//! Technology mapping (paper §4.3.1, citing Keutzer's DAGON) decomposes the
+//! optimized logic into a *subject graph* of 2-input NANDs and inverters and
+//! then covers it with library cells.  Each mappable cell therefore carries
+//! one or more [`Pattern`] trees describing its NAND2/INV decompositions.
+
+/// A pattern tree over the NAND2/INV subject-graph basis.
+///
+/// `Leaf(i)` binds subject-graph sub-trees to the cell's `i`-th input pin.
+/// A cell may carry several patterns (e.g. a balanced and a skewed
+/// decomposition of a 4-input gate) so that tree covering can match it
+/// regardless of how the decomposition step happened to associate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Pattern {
+    /// Pattern input bound to cell input pin `i`.
+    Leaf(u8),
+    /// Inverter node.
+    Inv(Box<Pattern>),
+    /// 2-input NAND node.
+    Nand(Box<Pattern>, Box<Pattern>),
+}
+
+impl Pattern {
+    /// Convenience constructor for an inverter pattern node.
+    pub fn inv(p: Pattern) -> Pattern {
+        Pattern::Inv(Box::new(p))
+    }
+
+    /// Convenience constructor for a NAND pattern node.
+    pub fn nand(a: Pattern, b: Pattern) -> Pattern {
+        Pattern::Nand(Box::new(a), Box::new(b))
+    }
+
+    /// Number of *distinct* leaves (cell input pins) referenced.
+    pub fn leaf_count(&self) -> usize {
+        let mut seen = [false; 16];
+        self.visit_leaves(&mut seen);
+        seen.iter().filter(|b| **b).count()
+    }
+
+    fn visit_leaves(&self, seen: &mut [bool; 16]) {
+        match self {
+            Pattern::Leaf(i) => seen[*i as usize] = true,
+            Pattern::Inv(p) => p.visit_leaves(seen),
+            Pattern::Nand(a, b) => {
+                a.visit_leaves(seen);
+                b.visit_leaves(seen);
+            }
+        }
+    }
+
+    /// Number of internal (NAND/INV) nodes; a proxy for match size.
+    pub fn node_count(&self) -> usize {
+        match self {
+            Pattern::Leaf(_) => 0,
+            Pattern::Inv(p) => 1 + p.node_count(),
+            Pattern::Nand(a, b) => 1 + a.node_count() + b.node_count(),
+        }
+    }
+
+    /// Depth of the pattern tree in subject-graph nodes.
+    pub fn depth(&self) -> usize {
+        match self {
+            Pattern::Leaf(_) => 0,
+            Pattern::Inv(p) => 1 + p.depth(),
+            Pattern::Nand(a, b) => 1 + a.depth().max(b.depth()),
+        }
+    }
+}
+
+/// Builds the canonical NAND2/INV patterns for an n-input AND chain rooted
+/// in a final inversion, i.e. NAND-n.  Returns both the left-skewed and the
+/// balanced association (they differ from 3 inputs upward).
+pub(crate) fn nand_patterns(n: u8) -> Vec<Pattern> {
+    let leaves: Vec<Pattern> = (0..n).map(Pattern::Leaf).collect();
+    let mut out = vec![skewed_and(&leaves)];
+    let balanced = balanced_and(&leaves);
+    if !out.contains(&balanced) {
+        out.push(balanced);
+    }
+    // The whole AND tree ends in NAND (one fewer inversion).
+    out.into_iter().map(invert_root) .collect()
+}
+
+/// AND over leaves as nested `INV(NAND(..))`, associated to the left.
+fn skewed_and(leaves: &[Pattern]) -> Pattern {
+    let mut acc = leaves[0].clone();
+    for leaf in &leaves[1..] {
+        acc = Pattern::inv(Pattern::nand(acc, leaf.clone()));
+    }
+    acc
+}
+
+/// AND over leaves with balanced association.
+fn balanced_and(leaves: &[Pattern]) -> Pattern {
+    match leaves.len() {
+        1 => leaves[0].clone(),
+        n => {
+            let (l, r) = leaves.split_at(n / 2);
+            Pattern::inv(Pattern::nand(balanced_and(l), balanced_and(r)))
+        }
+    }
+}
+
+/// Turns `INV(x)` into `x`, or wraps `x` in INV — flipping the root polarity.
+fn invert_root(p: Pattern) -> Pattern {
+    match p {
+        Pattern::Inv(inner) => *inner,
+        other => Pattern::inv(other),
+    }
+}
+
+/// Patterns for an n-input NOR: `!(a+b+..)= !a·!b·..` — an AND of inverted
+/// leaves.
+pub(crate) fn nor_patterns(n: u8) -> Vec<Pattern> {
+    let leaves: Vec<Pattern> = (0..n).map(|i| Pattern::inv(Pattern::Leaf(i))).collect();
+    let mut out = vec![skewed_and(&leaves)];
+    let balanced = balanced_and(&leaves);
+    if !out.contains(&balanced) {
+        out.push(balanced);
+    }
+    out
+}
+
+/// Patterns for an n-input AND (NAND followed by INV).
+pub(crate) fn and_patterns(n: u8) -> Vec<Pattern> {
+    nand_patterns(n).into_iter().map(invert_root).collect()
+}
+
+/// Patterns for an n-input OR: `a+b+.. = !(!a·!b·..)` — inverted NOR.
+pub(crate) fn or_patterns(n: u8) -> Vec<Pattern> {
+    nor_patterns(n).into_iter().map(invert_root).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nand2_is_single_node() {
+        let ps = nand_patterns(2);
+        assert_eq!(ps.len(), 1);
+        assert_eq!(ps[0], Pattern::nand(Pattern::Leaf(0), Pattern::Leaf(1)));
+    }
+
+    #[test]
+    fn nand3_has_two_associations() {
+        let ps = nand_patterns(3);
+        assert_eq!(ps.len(), 2);
+        for p in &ps {
+            assert_eq!(p.leaf_count(), 3);
+        }
+    }
+
+    #[test]
+    fn nor2_pattern_is_and_of_inverters() {
+        let ps = nor_patterns(2);
+        assert_eq!(
+            ps[0],
+            Pattern::inv(Pattern::nand(
+                Pattern::inv(Pattern::Leaf(0)),
+                Pattern::inv(Pattern::Leaf(1))
+            ))
+        );
+    }
+
+    #[test]
+    fn depth_and_node_count() {
+        let p = Pattern::inv(Pattern::nand(Pattern::Leaf(0), Pattern::Leaf(1)));
+        assert_eq!(p.depth(), 2);
+        assert_eq!(p.node_count(), 2);
+        assert_eq!(p.leaf_count(), 2);
+    }
+
+    #[test]
+    fn or4_patterns_cover_four_leaves() {
+        for p in or_patterns(4) {
+            assert_eq!(p.leaf_count(), 4);
+        }
+    }
+}

@@ -1,0 +1,362 @@
+//! The standard synthetic technology: process constants and characterized
+//! cell data.
+//!
+//! Substitute for the paper's fabricated 3 µm-era library (see DESIGN.md §1).
+//! All numbers are chosen so that the §3.3 / §5 component-level results land
+//! in the paper's ranges: gate delays of 1–2 ns, flip-flop clock-to-Q of
+//! ~3 ns, and a 5-bit synchronous up/down counter with enable and parallel
+//! load whose minimum clock width comes out near 29 ns.
+
+use crate::cell::{Cell, CellFunction, ClockEdge, Geometry, LatchLevel, SeqTiming, Timing};
+use crate::pattern::{and_patterns, nand_patterns, nor_patterns, or_patterns, Pattern};
+use crate::Library;
+
+/// Process-wide constants of the strip-based layout technology.
+#[derive(Debug, Clone, Copy)]
+pub struct Tech {
+    /// Average transistor-row height per strip (µm); paper §4.4.2 estimates
+    /// component height from this plus routing tracks.
+    pub transistor_height: f64,
+    /// Vertical pitch of one routing track (µm).
+    pub track_pitch: f64,
+    /// Height of a Vdd/Vss rail pair; neighbouring strips share one rail
+    /// (paper §4.3.2).
+    pub rail_height: f64,
+    /// How much of the drive factor shows up as extra cell width
+    /// (`width(s) = width·(1 + f·(s−1))`).
+    pub size_width_factor: f64,
+    /// Largest drive factor transistor sizing may assign.
+    pub max_drive: f64,
+}
+
+/// The standard process constants, calibrated so component areas land in
+/// the paper's §5 ranges (the 5-bit full-featured counter near
+/// 53×10³ µm²).
+pub const TECH: Tech = Tech {
+    transistor_height: 20.0,
+    track_pitch: 4.5,
+    rail_height: 6.5,
+    size_width_factor: 0.55,
+    max_drive: 16.0,
+};
+
+/// Geometry calibration applied to all raw cell widths (see DESIGN.md §1:
+/// the library is synthetic; this factor anchors absolute areas to the
+/// paper's reported magnitudes).
+const WIDTH_SCALE: f64 = 0.5;
+
+struct Row {
+    name: &'static str,
+    function: CellFunction,
+    inputs: &'static [&'static str],
+    x: f64,
+    y: f64,
+    z: f64,
+    width: f64,
+    transistors: u32,
+    pin_load: f64,
+    seq: Option<SeqTiming>,
+    patterns: Vec<Pattern>,
+}
+
+#[allow(clippy::too_many_arguments)] // row-literal constructor for the cell table
+fn comb(
+    name: &'static str,
+    function: CellFunction,
+    inputs: &'static [&'static str],
+    x: f64,
+    y: f64,
+    z: f64,
+    width: f64,
+    transistors: u32,
+    pin_load: f64,
+    patterns: Vec<Pattern>,
+) -> Row {
+    Row { name, function, inputs, x, y, z, width, transistors, pin_load, seq: None, patterns }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn seq_cell(
+    name: &'static str,
+    function: CellFunction,
+    inputs: &'static [&'static str],
+    x: f64,
+    z: f64,
+    width: f64,
+    transistors: u32,
+    pin_load: f64,
+    seq: SeqTiming,
+) -> Row {
+    Row {
+        name,
+        function,
+        inputs,
+        x,
+        // Y doubles as the clock-to-Q intrinsic so Cell::delay covers both.
+        y: seq.clk_to_q,
+        z,
+        width,
+        transistors,
+        pin_load,
+        seq: Some(seq),
+        patterns: Vec::new(),
+    }
+}
+
+/// Builds the standard library (see crate docs for the cell inventory).
+pub(crate) fn standard_library() -> Library {
+    use CellFunction as F;
+    use Pattern as P;
+
+    let l = P::Leaf;
+    let xor_pattern = P::nand(P::nand(l(0), P::inv(l(1))), P::nand(P::inv(l(0)), l(1)));
+    let xnor_pattern = P::nand(P::nand(l(0), l(1)), P::nand(P::inv(l(0)), P::inv(l(1))));
+    let aoi21 = P::inv(P::nand(P::nand(l(0), l(1)), P::inv(l(2))));
+    let aoi22 = P::inv(P::nand(P::nand(l(0), l(1)), P::nand(l(2), l(3))));
+    let oai21 = P::nand(P::nand(P::inv(l(0)), P::inv(l(1))), l(2));
+    let oai22 = P::nand(P::nand(P::inv(l(0)), P::inv(l(1))), P::nand(P::inv(l(2)), P::inv(l(3))));
+    let mux21 = P::nand(P::nand(l(0), P::inv(l(2))), P::nand(l(1), l(2)));
+
+    let dff_t = SeqTiming { setup: 2.2, hold: 0.4, min_pulse: 6.0, clk_to_q: 3.0 };
+    let dffs_t = SeqTiming { setup: 2.3, hold: 0.4, min_pulse: 6.5, clk_to_q: 3.1 };
+    let dffsr_t = SeqTiming { setup: 2.4, hold: 0.5, min_pulse: 7.0, clk_to_q: 3.2 };
+    let latch_t = SeqTiming { setup: 1.5, hold: 0.3, min_pulse: 4.0, clk_to_q: 2.0 };
+
+    let rows = vec![
+        comb("INV", F::Inv, &["A"], 0.10, 0.7, 0.12, 24.0, 2, 2.0, vec![P::inv(l(0))]),
+        comb("BUF", F::Buf, &["A"], 0.08, 1.1, 0.10, 36.0, 4, 2.0, vec![P::inv(P::inv(l(0)))]),
+        comb("NAND2", F::Nand(2), &["A", "B"], 0.12, 0.9, 0.12, 32.0, 4, 2.0, nand_patterns(2)),
+        comb("NAND3", F::Nand(3), &["A", "B", "C"], 0.14, 1.1, 0.12, 40.0, 6, 2.5, nand_patterns(3)),
+        comb(
+            "NAND4",
+            F::Nand(4),
+            &["A", "B", "C", "D"],
+            0.16,
+            1.4,
+            0.12,
+            48.0,
+            8,
+            3.0,
+            nand_patterns(4),
+        ),
+        comb("NOR2", F::Nor(2), &["A", "B"], 0.14, 1.0, 0.12, 32.0, 4, 2.0, nor_patterns(2)),
+        comb("NOR3", F::Nor(3), &["A", "B", "C"], 0.17, 1.3, 0.12, 40.0, 6, 2.5, nor_patterns(3)),
+        comb(
+            "NOR4",
+            F::Nor(4),
+            &["A", "B", "C", "D"],
+            0.20,
+            1.6,
+            0.12,
+            48.0,
+            8,
+            3.0,
+            nor_patterns(4),
+        ),
+        comb("AND2", F::And(2), &["A", "B"], 0.11, 1.3, 0.12, 40.0, 6, 2.0, and_patterns(2)),
+        comb("AND3", F::And(3), &["A", "B", "C"], 0.13, 1.5, 0.12, 48.0, 8, 2.2, and_patterns(3)),
+        comb(
+            "AND4",
+            F::And(4),
+            &["A", "B", "C", "D"],
+            0.15,
+            1.8,
+            0.12,
+            56.0,
+            10,
+            2.5,
+            and_patterns(4),
+        ),
+        comb("OR2", F::Or(2), &["A", "B"], 0.12, 1.4, 0.12, 40.0, 6, 2.0, or_patterns(2)),
+        comb("OR3", F::Or(3), &["A", "B", "C"], 0.14, 1.6, 0.12, 48.0, 8, 2.2, or_patterns(3)),
+        comb(
+            "OR4",
+            F::Or(4),
+            &["A", "B", "C", "D"],
+            0.16,
+            1.9,
+            0.12,
+            56.0,
+            10,
+            2.5,
+            or_patterns(4),
+        ),
+        comb("XOR2", F::Xor, &["A", "B"], 0.14, 2.0, 0.14, 56.0, 10, 3.0, vec![xor_pattern]),
+        comb("XNOR2", F::Xnor, &["A", "B"], 0.14, 2.1, 0.14, 56.0, 10, 3.0, vec![xnor_pattern]),
+        comb("AOI21", F::Aoi21, &["A", "B", "C"], 0.14, 1.2, 0.12, 44.0, 6, 2.2, vec![aoi21]),
+        comb(
+            "AOI22",
+            F::Aoi22,
+            &["A", "B", "C", "D"],
+            0.15,
+            1.4,
+            0.12,
+            52.0,
+            8,
+            2.2,
+            vec![aoi22],
+        ),
+        comb("OAI21", F::Oai21, &["A", "B", "C"], 0.14, 1.2, 0.12, 44.0, 6, 2.2, vec![oai21]),
+        comb(
+            "OAI22",
+            F::Oai22,
+            &["A", "B", "C", "D"],
+            0.15,
+            1.4,
+            0.12,
+            52.0,
+            8,
+            2.2,
+            vec![oai22],
+        ),
+        comb("MUX21", F::Mux21, &["A", "B", "S"], 0.14, 1.8, 0.13, 60.0, 10, 2.5, vec![mux21]),
+        seq_cell(
+            "DFF",
+            F::Dff { edge: ClockEdge::Rising, set: false, reset: false },
+            &["D", "CLK"],
+            0.10,
+            0.12,
+            110.0,
+            18,
+            2.0,
+            dff_t,
+        ),
+        seq_cell(
+            "DFFN",
+            F::Dff { edge: ClockEdge::Falling, set: false, reset: false },
+            &["D", "CLK"],
+            0.10,
+            0.12,
+            110.0,
+            18,
+            2.0,
+            dff_t,
+        ),
+        seq_cell(
+            "DFF_S",
+            F::Dff { edge: ClockEdge::Rising, set: true, reset: false },
+            &["D", "CLK", "SET"],
+            0.10,
+            0.12,
+            120.0,
+            20,
+            2.0,
+            dffs_t,
+        ),
+        seq_cell(
+            "DFF_R",
+            F::Dff { edge: ClockEdge::Rising, set: false, reset: true },
+            &["D", "CLK", "RST"],
+            0.10,
+            0.12,
+            120.0,
+            20,
+            2.0,
+            dffs_t,
+        ),
+        seq_cell(
+            "DFF_SR",
+            F::Dff { edge: ClockEdge::Rising, set: true, reset: true },
+            &["D", "CLK", "SET", "RST"],
+            0.10,
+            0.12,
+            132.0,
+            24,
+            2.0,
+            dffsr_t,
+        ),
+        seq_cell(
+            "LATCH_H",
+            F::Latch { level: LatchLevel::High },
+            &["D", "CLK"],
+            0.10,
+            0.12,
+            70.0,
+            10,
+            2.0,
+            latch_t,
+        ),
+        seq_cell(
+            "LATCH_L",
+            F::Latch { level: LatchLevel::Low },
+            &["D", "CLK"],
+            0.10,
+            0.12,
+            70.0,
+            10,
+            2.0,
+            latch_t,
+        ),
+        comb("TRIBUF", F::Tribuf, &["D", "EN"], 0.12, 1.5, 0.13, 48.0, 8, 2.0, vec![]),
+        comb("SCHMITT", F::Schmitt, &["A"], 0.12, 1.8, 0.12, 40.0, 6, 2.5, vec![]),
+        comb("DELAY", F::Delay, &["A"], 0.10, 5.0, 0.10, 40.0, 6, 2.0, vec![]),
+        comb(
+            "WOR",
+            F::WiredOr(4),
+            &["A", "B", "C", "D"],
+            0.02,
+            0.2,
+            0.05,
+            0.0,
+            0,
+            0.5,
+            vec![],
+        ),
+        comb("TIE0", F::Tie0, &[], 0.0, 0.0, 0.0, 8.0, 1, 0.0, vec![]),
+        comb("TIE1", F::Tie1, &[], 0.0, 0.0, 0.0, 8.0, 1, 0.0, vec![]),
+    ];
+
+    let mut lib = Library::new();
+    for row in rows {
+        lib.add(Cell {
+            name: row.name.to_string(),
+            function: row.function,
+            inputs: row.inputs.to_vec(),
+            output: "O",
+            timing: Timing { x: row.x, y: row.y, z: row.z },
+            seq: row.seq,
+            geometry: Geometry {
+                width: row.width * WIDTH_SCALE,
+                transistors: row.transistors,
+                pin_load: row.pin_load,
+            },
+            patterns: row.patterns,
+        });
+    }
+    lib
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[allow(clippy::assertions_on_constants)] // documents the TECH invariants
+    fn tech_constants_sane() {
+        assert!(TECH.transistor_height > 0.0);
+        assert!(TECH.track_pitch > 0.0);
+        assert!(TECH.max_drive > 1.0);
+        assert!(TECH.size_width_factor > 0.0 && TECH.size_width_factor <= 1.0);
+    }
+
+    #[test]
+    fn complex_gates_patterns_arity() {
+        let lib = standard_library();
+        for (name, arity) in
+            [("AOI21", 3), ("AOI22", 4), ("OAI21", 3), ("OAI22", 4), ("MUX21", 3)]
+        {
+            let c = lib.cell(lib.cell_id(name).unwrap());
+            assert_eq!(c.inputs.len(), arity);
+            assert_eq!(c.patterns[0].leaf_count(), arity, "{name}");
+        }
+    }
+
+    #[test]
+    fn bigger_gates_are_wider_and_slower() {
+        let lib = standard_library();
+        let n2 = lib.cell(lib.cell_id("NAND2").unwrap());
+        let n4 = lib.cell(lib.cell_id("NAND4").unwrap());
+        assert!(n4.geometry.width > n2.geometry.width);
+        assert!(n4.timing.y > n2.timing.y);
+    }
+}

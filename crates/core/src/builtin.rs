@@ -1,0 +1,458 @@
+//! The builtin parameterized component implementations: the IIF sources
+//! under `crates/core/iif/` registered with their GENUS metadata and
+//! connection tables (paper §3.1 counter, Appendix A adder / addsub /
+//! shifter / AND examples, and the rest of the predefined component list).
+
+use crate::library::{ComponentImpl, ParamSpec};
+use icdb_genus::ConnectionTable;
+
+struct BuiltinDef {
+    source: &'static str,
+    component_type: &'static str,
+    functions: &'static [&'static str],
+    params: &'static [(&'static str, i64)],
+    connection: &'static str,
+    description: &'static str,
+}
+
+fn defs() -> Vec<BuiltinDef> {
+    vec![
+        BuiltinDef {
+            source: include_str!("../iif/counter.iif"),
+            component_type: "Counter",
+            functions: &["INC", "DEC", "COUNTER", "STORAGE", "LOAD", "STORE"],
+            params: &[
+                ("size", 4),
+                ("type", 2),
+                ("load", 0),
+                ("enable", 0),
+                ("up_or_down", 1),
+            ],
+            connection: "\
+## function INC
+O0 is Q
+** DWUP 0
+** ENA 1
+** LOAD 1
+** CLK 1 edge_trigger
+## function DEC
+O0 is Q
+** DWUP 1
+** ENA 1
+** LOAD 1
+** CLK 1 edge_trigger
+## function LOAD
+I0 is D
+O0 is Q
+** LOAD 0
+",
+            description: "n-bit ripple/synchronous counter with optional enable, \
+                          asynchronous parallel load and up/down control (paper §3.1)",
+        },
+        BuiltinDef {
+            source: include_str!("../iif/ripple_counter.iif"),
+            component_type: "Counter",
+            functions: &["INC", "COUNTER"],
+            params: &[("size", 4)],
+            connection: "\
+## function INC
+O0 is Q
+** CLK 1 edge_trigger
+",
+            description: "toggle-chain ripple up counter",
+        },
+        BuiltinDef {
+            source: include_str!("../iif/adder.iif"),
+            component_type: "Adder",
+            functions: &["ADD"],
+            params: &[("size", 4)],
+            connection: "\
+## function ADD
+I0 is I0
+I1 is I1
+Cin is Cin
+O0 is O
+O1 is Cout
+",
+            description: "n-bit ripple-carry adder (paper Appendix A example 2)",
+        },
+        BuiltinDef {
+            source: include_str!("../iif/addsub.iif"),
+            component_type: "Adder_Subtractor",
+            functions: &["ADD", "SUB"],
+            params: &[("size", 4)],
+            connection: "\
+## function ADD
+I0 is A
+I1 is B
+O0 is O
+** ADDSUBCTL 0
+## function SUB
+I0 is A
+I1 is B
+O0 is O
+** ADDSUBCTL 1
+",
+            description: "adder/subtractor built from ADDER by call-by-name \
+                          (paper Appendix A example 3)",
+        },
+        BuiltinDef {
+            source: include_str!("../iif/register.iif"),
+            component_type: "Register",
+            functions: &["STORAGE", "LOAD", "STORE"],
+            params: &[("size", 4)],
+            connection: "\
+## function LOAD
+I0 is D
+O0 is Q
+** LOAD 1
+** CLK 1 edge_trigger
+## function STORE
+O0 is Q
+** LOAD 0
+",
+            description: "register with synchronous parallel load \
+                          (paper Appendix A example 1)",
+        },
+        BuiltinDef {
+            source: include_str!("../iif/incrementer.iif"),
+            component_type: "Adder",
+            functions: &["INC"],
+            params: &[("size", 4)],
+            connection: "\
+## function INC
+I0 is I
+O0 is O
+** EN 1
+",
+            description: "half-adder chain incrementer",
+        },
+        BuiltinDef {
+            source: include_str!("../iif/comparator.iif"),
+            component_type: "Comparator",
+            functions: &["EQ", "NEQ", "GT", "GE", "LT", "LE"],
+            params: &[("size", 4)],
+            connection: "\
+## function EQ
+I0 is A
+I1 is B
+O0 is OEQ
+## function GT
+I0 is A
+I1 is B
+O0 is OGT
+",
+            description: "magnitude comparator with all six relations",
+        },
+        BuiltinDef {
+            source: include_str!("../iif/shifter.iif"),
+            component_type: "Shifter",
+            functions: &["SHL"],
+            params: &[("size", 4), ("shift_distance", 1)],
+            connection: "\
+## function SHL
+I0 is I
+O0 is O
+",
+            description: "constant-distance left shifter, zero fill \
+                          (paper Appendix A example 4)",
+        },
+        BuiltinDef {
+            source: include_str!("../iif/mux.iif"),
+            component_type: "Mux_scl",
+            functions: &["MUX_SCL"],
+            params: &[("size", 4)],
+            connection: "\
+## function MUX_SCL
+I0 is I0
+I1 is I1
+O0 is O
+** S 0
+",
+            description: "n-bit 2-to-1 multiplexer, select by control line",
+        },
+        BuiltinDef {
+            source: include_str!("../iif/decoder.iif"),
+            component_type: "Decode",
+            functions: &["DECODE"],
+            params: &[("n", 3)],
+            connection: "\
+## function DECODE
+I0 is I
+O0 is O
+** EN 1
+",
+            description: "n-to-2^n decoder with enable",
+        },
+        BuiltinDef {
+            source: include_str!("../iif/encoder.iif"),
+            component_type: "Encode",
+            functions: &["ENCODE"],
+            params: &[("n", 3)],
+            connection: "\
+## function ENCODE
+I0 is I
+O0 is O
+",
+            description: "2^n-to-n binary encoder",
+        },
+        BuiltinDef {
+            source: include_str!("../iif/logic_unit.iif"),
+            component_type: "Logic_unit",
+            functions: &["AND", "OR", "XOR", "NOT"],
+            params: &[("size", 4)],
+            connection: "\
+## function AND
+I0 is A
+I1 is B
+O0 is O
+** C1 0
+** C0 0
+## function OR
+I0 is A
+I1 is B
+O0 is O
+** C1 0
+** C0 1
+## function XOR
+I0 is A
+I1 is B
+O0 is O
+** C1 1
+** C0 0
+## function NOT
+I0 is A
+O0 is O
+** C1 1
+** C0 1
+",
+            description: "n-bit logic unit (AND/OR/XOR/NOT by control code)",
+        },
+        BuiltinDef {
+            source: include_str!("../iif/alu.iif"),
+            component_type: "ALU",
+            functions: &["ADD", "SUB", "AND", "OR", "XOR", "NOT"],
+            params: &[("size", 4)],
+            connection: "\
+## function ADD
+I0 is A
+I1 is B
+O0 is O
+** MODE 0
+** ASCTL 0
+## function SUB
+I0 is A
+I1 is B
+O0 is O
+** MODE 0
+** ASCTL 1
+## function AND
+I0 is A
+I1 is B
+O0 is O
+** MODE 1
+** C1 0
+** C0 0
+## function OR
+I0 is A
+I1 is B
+O0 is O
+** MODE 1
+** C1 0
+** C0 1
+## function XOR
+I0 is A
+I1 is B
+O0 is O
+** MODE 1
+** C1 1
+** C0 0
+",
+            description: "n-bit ALU: add/sub plus logic unit behind an output mux",
+        },
+        BuiltinDef {
+            source: include_str!("../iif/shift_register.iif"),
+            component_type: "Register",
+            functions: &["SHL1", "STORAGE", "LOAD"],
+            params: &[("size", 4)],
+            connection: "\
+## function SHL1
+O0 is Q
+** LOAD 0
+** CLK 1 edge_trigger
+## function LOAD
+I0 is D
+O0 is Q
+** LOAD 1
+** CLK 1 edge_trigger
+",
+            description: "shift register with parallel load",
+        },
+        BuiltinDef {
+            source: include_str!("../iif/tristate_driver.iif"),
+            component_type: "Tri_state",
+            functions: &["TRI_STATE"],
+            params: &[("size", 4)],
+            connection: "\
+## function TRI_STATE
+I0 is D
+O0 is O
+** EN 1
+",
+            description: "n-bit tri-state bus driver",
+        },
+        BuiltinDef {
+            source: include_str!("../iif/parity.iif"),
+            component_type: "Logic_unit",
+            functions: &["XOR"],
+            params: &[("size", 4)],
+            connection: "\
+## function XOR
+I0 is I
+O0 is O
+",
+            description: "n-input parity tree (aggregate XOR)",
+        },
+        BuiltinDef {
+            source: include_str!("../iif/and_gate.iif"),
+            component_type: "Logic_unit",
+            functions: &["AND"],
+            params: &[("size", 4)],
+            connection: "\
+## function AND
+I0 is I0
+O0 is O
+",
+            description: "variable-input AND (paper Appendix A example 5)",
+        },
+        BuiltinDef {
+            source: include_str!("../iif/or_gate.iif"),
+            component_type: "Logic_unit",
+            functions: &["OR"],
+            params: &[("size", 4)],
+            connection: "\
+## function OR
+I0 is I0
+O0 is O
+",
+            description: "variable-input OR (aggregate OR)",
+        },
+        BuiltinDef {
+            source: include_str!("../iif/csel_adder.iif"),
+            component_type: "Adder",
+            functions: &["ADD"],
+            params: &[("size", 8), ("block", 4)],
+            connection: "\
+## function ADD
+I0 is I0
+I1 is I1
+Cin is Cin
+O0 is O
+O1 is Cout
+",
+            description: "carry-select adder: twin ripple blocks muxed by the block carry",
+        },
+        BuiltinDef {
+            source: include_str!("../iif/barrel_rotator.iif"),
+            component_type: "Barrel_shifter",
+            functions: &["ROTL"],
+            params: &[("size", 8), ("stages", 3)],
+            connection: "\
+## function ROTL
+I0 is I
+O0 is O
+",
+            description: "logarithmic barrel rotator (rotate-left by S)",
+        },
+        BuiltinDef {
+            source: include_str!("../iif/register_file.iif"),
+            component_type: "Register_file",
+            functions: &["STORAGE", "READ", "WRITE"],
+            params: &[("size", 4), ("abits", 2)],
+            connection: "\
+## function WRITE
+I0 is D
+** WE 1
+** CLK 1 edge_trigger
+## function READ
+O0 is Q
+",
+            description: "2^abits-word register file with one write and one read port",
+        },
+    ]
+}
+
+/// Parses and packages every builtin implementation.
+///
+/// # Panics
+/// Panics if a builtin IIF source or connection table fails to parse;
+/// covered by the crate tests, so failures surface at development time.
+pub fn builtins() -> Vec<ComponentImpl> {
+    defs()
+        .into_iter()
+        .map(|d| {
+            let module = icdb_iif::parse(d.source)
+                .unwrap_or_else(|e| panic!("builtin IIF failed to parse: {e}"));
+            let connection = ConnectionTable::parse(d.connection)
+                .unwrap_or_else(|e| panic!("builtin connection table malformed: {e}"));
+            ComponentImpl {
+                name: module.name.clone(),
+                component_type: d.component_type.to_string(),
+                functions: d.functions.iter().map(|s| s.to_string()).collect(),
+                module,
+                params: d
+                    .params
+                    .iter()
+                    .map(|&(name, default)| ParamSpec { name: name.to_string(), default })
+                    .collect(),
+                connection,
+                description: d.description.to_string(),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icdb_iif::{expand, NoModules};
+
+    #[test]
+    fn all_builtins_parse_and_carry_metadata() {
+        let all = builtins();
+        assert!(all.len() >= 18);
+        for b in &all {
+            assert!(!b.functions.is_empty(), "{} needs function tags", b.name);
+            assert!(!b.description.is_empty());
+            for p in &b.params {
+                assert!(
+                    b.module.parameters.contains(&p.name),
+                    "{}: param {} not in IIF",
+                    b.name,
+                    p.name
+                );
+            }
+            assert_eq!(
+                b.params.len(),
+                b.module.parameters.len(),
+                "{}: every IIF parameter needs a default",
+                b.name
+            );
+        }
+    }
+
+    #[test]
+    fn standalone_builtins_expand_with_defaults() {
+        // Builtins without subfunction dependencies expand in isolation.
+        for b in builtins() {
+            if !b.module.subfunctions.is_empty() {
+                continue;
+            }
+            let params: Vec<(&str, i64)> =
+                b.params.iter().map(|p| (p.name.as_str(), p.default)).collect();
+            let flat = expand(&b.module, &params, &NoModules)
+                .unwrap_or_else(|e| panic!("{} failed to expand: {e}", b.name));
+            assert!(!flat.outputs.is_empty(), "{}", b.name);
+        }
+    }
+}

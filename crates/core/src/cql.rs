@@ -1,0 +1,434 @@
+//! CQL command executors: the `ICDB("command:…", vars)` entry point
+//! (paper §3.2 and Appendix B). Every command of the paper runs through
+//! [`Icdb::execute`]: component / function / instance queries, component
+//! requests (from library specs, inline IIF, or VHDL clusters), connection
+//! queries and component-list management.
+
+use crate::error::IcdbError;
+use crate::spec::{ComponentRequest, Source, TargetLevel};
+use crate::Icdb;
+use icdb_cql::{bind_outputs, parse_command, Command, CqlArg, CqlValue, Response};
+
+impl Icdb {
+    /// Executes one CQL command, substituting `%` inputs from `args` and
+    /// writing `?` outputs back into them — the reproduction of the C
+    /// `ICDB()` call.
+    ///
+    /// # Errors
+    /// CQL syntax errors, unknown commands/entities, and generation
+    /// failures all surface as [`IcdbError`].
+    pub fn execute(&mut self, command: &str, args: &mut [CqlArg]) -> Result<(), IcdbError> {
+        let (cmd, outs) = parse_command(command, args)?;
+        let response = self.dispatch(&cmd)?;
+        bind_outputs(&response, &outs, args)?;
+        Ok(())
+    }
+
+    fn dispatch(&mut self, cmd: &Command) -> Result<Response, IcdbError> {
+        match cmd.name.as_str() {
+            "component_query" => self.exec_component_query(cmd),
+            "function_query" => self.exec_function_query(cmd),
+            "request_component" => self.exec_request_component(cmd),
+            "instance_query" => self.exec_instance_query(cmd),
+            "connect_component" => self.exec_connect(cmd),
+            "start_a_design" => {
+                self.start_design(&design_of(cmd)?)?;
+                Ok(Response::new())
+            }
+            "start_a_transaction" => {
+                self.start_transaction(&design_of(cmd)?)?;
+                Ok(Response::new())
+            }
+            "put_in_component_list" => {
+                let design = design_of(cmd)?;
+                let inst = cmd
+                    .str_term("instance")
+                    .ok_or_else(|| IcdbError::Cql("missing instance:".into()))?
+                    .to_string();
+                self.put_in_component_list(&design, &inst)?;
+                Ok(Response::new())
+            }
+            "end_a_transaction" => {
+                self.end_transaction(&design_of(cmd)?)?;
+                Ok(Response::new())
+            }
+            "end_a_design" => {
+                self.end_design(&design_of(cmd)?)?;
+                Ok(Response::new())
+            }
+            "insert_component" => self.exec_insert_component(cmd),
+            "merge_query" => self.exec_merge_query(cmd),
+            "tool_query" => self.exec_tool_query(cmd),
+            other => Err(IcdbError::Cql(format!("unknown command `{other}`"))),
+        }
+    }
+
+    /// `component_query` (§3.2.1): what implementations exist for a
+    /// component/function set, or what functions an implementation (or a
+    /// generated component) performs.
+    fn exec_component_query(&mut self, cmd: &Command) -> Result<Response, IcdbError> {
+        let mut resp = Response::new();
+        let functions = cmd.list_term("function").unwrap_or_default();
+
+        // Candidate implementations.
+        let candidates: Vec<&crate::library::ComponentImpl> =
+            if let Some(name) = cmd.str_term("implementation") {
+                self.library.implementation(name).into_iter().collect()
+            } else if let Some(name) =
+                cmd.str_term("ICDB_components").or_else(|| cmd.str_term("ICDBcomponents"))
+            {
+                // A previously returned implementation name.
+                self.library.implementation(name).into_iter().collect()
+            } else if let Some(ty) = cmd.str_term("component") {
+                let mut v = self.library.by_component_type(ty);
+                if v.is_empty() {
+                    v = self.library.implementation(ty).into_iter().collect();
+                }
+                v
+            } else {
+                self.library.iter().collect()
+            };
+        let matching: Vec<&crate::library::ComponentImpl> = candidates
+            .into_iter()
+            .filter(|c| {
+                functions
+                    .iter()
+                    .all(|f| c.functions.iter().any(|cf| cf.eq_ignore_ascii_case(f)))
+            })
+            .collect();
+
+        for key in cmd.pending_keys() {
+            match key {
+                "ICDB_components" | "ICDBcomponents" | "implementation" | "implementations" => {
+                    resp.set(
+                        key,
+                        CqlValue::StrList(matching.iter().map(|c| c.name.clone()).collect()),
+                    );
+                }
+                "function" | "functions" => {
+                    let fs: Vec<String> = matching
+                        .iter()
+                        .flat_map(|c| c.functions.iter().cloned())
+                        .collect();
+                    let mut dedup = Vec::new();
+                    for f in fs {
+                        if !dedup.contains(&f) {
+                            dedup.push(f);
+                        }
+                    }
+                    resp.set(key, CqlValue::StrList(dedup));
+                }
+                other => {
+                    return Err(IcdbError::Cql(format!(
+                        "component_query cannot answer `{other}`"
+                    )))
+                }
+            }
+        }
+        Ok(resp)
+    }
+
+    /// `function_query` (Appendix B §5.1): components / implementations
+    /// that can execute a function set.
+    fn exec_function_query(&mut self, cmd: &Command) -> Result<Response, IcdbError> {
+        let functions = cmd
+            .list_term("function")
+            .ok_or_else(|| IcdbError::Cql("function_query needs function:(…)".into()))?;
+        let impls = self.library.by_functions(&functions);
+        let mut resp = Response::new();
+        for key in cmd.pending_keys() {
+            match key {
+                "implementation" | "implementations" | "implemntation" => {
+                    // (the paper itself spells it `implemntation` once)
+                    resp.set(
+                        key,
+                        CqlValue::StrList(impls.iter().map(|c| c.name.clone()).collect()),
+                    );
+                }
+                "component" | "components" => {
+                    let mut types: Vec<String> =
+                        impls.iter().map(|c| c.component_type.clone()).collect();
+                    types.dedup();
+                    resp.set(key, CqlValue::StrList(types));
+                }
+                other => {
+                    return Err(IcdbError::Cql(format!(
+                        "function_query cannot answer `{other}`"
+                    )))
+                }
+            }
+        }
+        Ok(resp)
+    }
+
+    /// `request_component` (§3.2.2, Appendix B §6): generate an instance,
+    /// or regenerate a layout for an existing instance.
+    fn exec_request_component(&mut self, cmd: &Command) -> Result<Response, IcdbError> {
+        let mut resp = Response::new();
+
+        // Layout-regeneration form: `instance:%s; alternative:3;
+        // port_position:%s; CIF_layout:?s`.
+        if let Some(instance) = cmd.str_term("instance").map(str::to_string) {
+            if cmd.pending_keys().contains(&"CIF_layout") {
+                let alternative = cmd.int_term("alternative").map(|v| v as usize);
+                let ports = cmd
+                    .str_term("port_position")
+                    .or_else(|| cmd.str_term("pin_position"))
+                    .map(str::to_string);
+                let cif = self.generate_layout(&instance, alternative, ports.as_deref())?;
+                resp.set("CIF_layout", CqlValue::Str(cif));
+                return Ok(resp);
+            }
+        }
+
+        let source = if let Some(iif) = cmd.str_term("IIF") {
+            Source::Iif(iif.to_string())
+        } else if let Some(v) = cmd.str_term("VHDL_net_list") {
+            // Either inline VHDL text or a design-data file name.
+            let text = if v.contains("entity") {
+                v.to_string()
+            } else {
+                self.files
+                    .read(v)
+                    .map(str::to_string)
+                    .map_err(|_| IcdbError::NotFound(format!("VHDL netlist `{v}`")))?
+            };
+            Source::VhdlNetlist(text)
+        } else {
+            Source::Library {
+                component_name: cmd.str_term("component_name").map(str::to_string),
+                implementation: cmd
+                    .str_term("implementation")
+                    .or_else(|| cmd.str_term("implemntation"))
+                    .map(str::to_string),
+                functions: cmd.list_term("function").unwrap_or_default(),
+            }
+        };
+
+        let mut request = ComponentRequest::by_component("");
+        request.source = source;
+        if let Some(attrs) = cmd.attrs_term("attribute") {
+            request.attributes = attrs.to_vec();
+        }
+        // Bare `size:4` terms also act as attributes (Appendix B §4 example).
+        for key in ["size", "shift_distance", "n", "type", "load", "enable", "up_or_down"] {
+            if let Some(v) = cmd.int_term(key) {
+                request.attributes.push((key.to_string(), v.to_string()));
+            }
+        }
+        if let Some(cw) = cmd.real_term("clock_width").or_else(|| cmd.real_term("clk_width")) {
+            request.constraints.clock_width = Some(cw);
+        }
+        if let Some(su) = cmd.real_term("set_up_time").or_else(|| cmd.real_term("seq_delay")) {
+            request.constraints.set_up_time = Some(su);
+        }
+        match cmd.real_term("comb_delay") {
+            Some(worst) => request.constraints.comb_delay = Some(worst),
+            None => {
+                if let Some(text) = cmd.str_term("comb_delay") {
+                    request.constraints.parse_delay_text(text)?;
+                }
+            }
+        }
+        if let Some(s) = cmd.str_term("strategy") {
+            request.strategy = Some(s.to_string());
+        }
+        if let Some(t) = cmd.str_term("target") {
+            request.target = match t {
+                "layout" => TargetLevel::Layout,
+                _ => TargetLevel::Logic,
+            };
+        }
+        if let Some(p) = cmd
+            .str_term("port_position")
+            .or_else(|| cmd.str_term("pin_position"))
+        {
+            request.port_positions = Some(p.to_string());
+        }
+        if let Some(a) = cmd.int_term("alternative") {
+            request.alternative = Some(a as usize);
+        }
+        if let Some(n) = cmd.str_term("naming") {
+            request.instance_name = Some(n.to_string());
+        }
+
+        let name = self.request_component(&request)?;
+        for key in cmd.pending_keys() {
+            match key {
+                "generated_component" | "instance" | "component_instance" => {
+                    resp.set(key, CqlValue::Str(name.clone()));
+                }
+                "CIF_layout" => {
+                    let cif = self.cif_layout(&name)?;
+                    resp.set(key, CqlValue::Str(cif));
+                }
+                other => {
+                    return Err(IcdbError::Cql(format!(
+                        "request_component cannot answer `{other}`"
+                    )))
+                }
+            }
+        }
+        Ok(resp)
+    }
+
+    /// `instance_query` (§3.3, Appendix B §5.3): delay, area, shape
+    /// function, functions, VHDL views, connection info, CIF.
+    fn exec_instance_query(&mut self, cmd: &Command) -> Result<Response, IcdbError> {
+        let name = cmd
+            .str_term("instance")
+            .or_else(|| cmd.str_term("generated_component"))
+            .ok_or_else(|| IcdbError::Cql("instance_query needs instance:%s".into()))?
+            .to_string();
+        let mut resp = Response::new();
+        for key in cmd.pending_keys() {
+            let key = key.to_string();
+            match key.as_str() {
+                "delay" => resp.set(key, CqlValue::Str(self.delay_string(&name)?)),
+                "shape_function" => resp.set(key, CqlValue::Str(self.shape_string(&name)?)),
+                "area" => resp.set(key, CqlValue::Str(self.area_string(&name)?)),
+                "function" | "functions" => {
+                    resp.set(key, CqlValue::StrList(self.instance(&name)?.functions.clone()));
+                }
+                "VHDL_net_list" => resp.set(key, CqlValue::Str(self.vhdl_netlist(&name)?)),
+                "VHDL_head" => resp.set(key, CqlValue::Str(self.vhdl_head(&name)?)),
+                "connect" => resp.set(key, CqlValue::Str(self.connect_string(&name)?)),
+                "CIF_layout" => {
+                    let cif = self.cif_layout(&name)?;
+                    resp.set(key, CqlValue::Str(cif));
+                }
+                "clock_width" => {
+                    resp.set(key, CqlValue::Real(self.instance(&name)?.report.clock_width));
+                }
+                "power" => resp.set(key, CqlValue::Str(self.power_string(&name)?)),
+                other => {
+                    return Err(IcdbError::Cql(format!(
+                        "instance_query cannot answer `{other}`"
+                    )))
+                }
+            }
+        }
+        Ok(resp)
+    }
+
+    /// `insert_component` (the §2.2 knowledge-acquisition path): insert a
+    /// new parameterized implementation from IIF text with its ICDB data.
+    fn exec_insert_component(&mut self, cmd: &Command) -> Result<Response, IcdbError> {
+        let iif = cmd
+            .str_term("IIF")
+            .ok_or_else(|| IcdbError::Cql("insert_component needs IIF:%s".into()))?
+            .to_string();
+        let component_type = cmd.str_term("component").unwrap_or("Logic_unit").to_string();
+        let functions: Vec<String> = cmd.list_term("function").unwrap_or_default();
+        let function_refs: Vec<&str> = functions.iter().map(String::as_str).collect();
+        let mut defaults = Vec::new();
+        if let Some(attrs) = cmd.attrs_term("parameter").or_else(|| cmd.attrs_term("attribute"))
+        {
+            for (k, v) in attrs {
+                let value = v.parse::<i64>().map_err(|_| {
+                    IcdbError::Cql(format!("parameter default {k}:{v} is not an integer"))
+                })?;
+                defaults.push((k.clone(), value));
+            }
+        }
+        let default_refs: Vec<(&str, i64)> =
+            defaults.iter().map(|(k, v)| (k.as_str(), *v)).collect();
+        let connection = cmd.str_term("connect").map(str::to_string);
+        let description = cmd.str_term("description").unwrap_or("").to_string();
+        let name = self.insert_implementation(
+            &iif,
+            &component_type,
+            &function_refs,
+            &default_refs,
+            connection.as_deref(),
+            &description,
+        )?;
+        let mut resp = Response::new();
+        for key in cmd.pending_keys() {
+            match key {
+                "implementation" | "inserted" => resp.set(key, CqlValue::Str(name.clone())),
+                other => {
+                    return Err(IcdbError::Cql(format!(
+                        "insert_component cannot answer `{other}`"
+                    )))
+                }
+            }
+        }
+        Ok(resp)
+    }
+
+    /// `merge_query` (§2.1): which single components can replace the named
+    /// set (e.g. REGISTER + INCREMENTER → COUNTER)?
+    fn exec_merge_query(&mut self, cmd: &Command) -> Result<Response, IcdbError> {
+        let parts = cmd
+            .list_term("components")
+            .or_else(|| cmd.list_term("component"))
+            .ok_or_else(|| IcdbError::Cql("merge_query needs components:(…)".into()))?;
+        let refs: Vec<&str> = parts.iter().map(String::as_str).collect();
+        let merged = self.merge_candidates(&refs)?;
+        let mut resp = Response::new();
+        for key in cmd.pending_keys() {
+            match key {
+                "merged" | "candidates" => resp.set(key, CqlValue::StrList(merged.clone())),
+                other => {
+                    return Err(IcdbError::Cql(format!(
+                        "merge_query cannot answer `{other}`"
+                    )))
+                }
+            }
+        }
+        Ok(resp)
+    }
+
+    /// `tool_query` (§4.2): the registered component generators, optionally
+    /// filtered by accepted design-data format.
+    fn exec_tool_query(&mut self, cmd: &Command) -> Result<Response, IcdbError> {
+        let generators: Vec<String> = match cmd.str_term("accepts") {
+            Some(fmt) => self.tools.accepting(fmt).iter().map(|g| g.name.clone()).collect(),
+            None => self.tools.names().iter().map(|s| s.to_string()).collect(),
+        };
+        let mut resp = Response::new();
+        for key in cmd.pending_keys() {
+            match key {
+                "generators" | "generator" => {
+                    resp.set(key, CqlValue::StrList(generators.clone()))
+                }
+                "steps" => {
+                    let name = cmd.str_term("name").ok_or_else(|| {
+                        IcdbError::Cql("tool_query steps:?s[] needs name:<generator>".into())
+                    })?;
+                    let g = self.tools.generator(name).ok_or_else(|| {
+                        IcdbError::NotFound(format!("generator `{name}`"))
+                    })?;
+                    resp.set(
+                        key,
+                        CqlValue::StrList(
+                            g.steps.iter().map(|s| s.tool.clone()).collect(),
+                        ),
+                    );
+                }
+                other => {
+                    return Err(IcdbError::Cql(format!("tool_query cannot answer `{other}`")))
+                }
+            }
+        }
+        Ok(resp)
+    }
+
+    /// `connect_component` (Appendix B §5.4).
+    fn exec_connect(&mut self, cmd: &Command) -> Result<Response, IcdbError> {
+        let name = cmd
+            .str_term("instance")
+            .ok_or_else(|| IcdbError::Cql("connect_component needs instance:%s".into()))?
+            .to_string();
+        let mut resp = Response::new();
+        resp.set("connect", CqlValue::Str(self.connect_string(&name)?));
+        Ok(resp)
+    }
+}
+
+fn design_of(cmd: &Command) -> Result<String, IcdbError> {
+    cmd.str_term("design")
+        .map(str::to_string)
+        .ok_or_else(|| IcdbError::Cql("missing design:".into()))
+}

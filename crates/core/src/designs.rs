@@ -1,0 +1,184 @@
+//! Component-list management (paper §3.2 item 4, Appendix B §7): designs,
+//! design transactions, and the component lists that protect instances
+//! from deletion when a transaction ends.
+
+use crate::error::IcdbError;
+use crate::Icdb;
+use std::collections::{BTreeSet, HashMap};
+
+/// One design's bookkeeping.
+#[derive(Debug, Clone, Default)]
+struct Design {
+    /// Instances explicitly kept (`put_in_component_list`).
+    list: BTreeSet<String>,
+    /// Instances created since `start_a_transaction`, when active.
+    transaction: Option<Vec<String>>,
+}
+
+/// Tracks designs and their transactions.
+#[derive(Debug, Clone, Default)]
+pub struct DesignManager {
+    designs: HashMap<String, Design>,
+    /// The design whose transaction currently records new instances.
+    active: Option<String>,
+}
+
+impl DesignManager {
+    /// Registers a new design (`start_a_design`).
+    ///
+    /// # Errors
+    /// Fails if the design already exists.
+    pub fn start_design(&mut self, name: &str) -> Result<(), IcdbError> {
+        if self.designs.contains_key(name) {
+            return Err(IcdbError::Unsupported(format!("design `{name}` already exists")));
+        }
+        self.designs.insert(name.to_string(), Design::default());
+        Ok(())
+    }
+
+    /// Opens a transaction on a design (`start_a_transaction`).
+    ///
+    /// # Errors
+    /// Fails on unknown designs or if another transaction is active.
+    pub fn start_transaction(&mut self, name: &str) -> Result<(), IcdbError> {
+        if self.active.is_some() {
+            return Err(IcdbError::Unsupported(
+                "another design transaction is already active".into(),
+            ));
+        }
+        let d = self
+            .designs
+            .get_mut(name)
+            .ok_or_else(|| IcdbError::NotFound(format!("design `{name}`")))?;
+        d.transaction = Some(Vec::new());
+        self.active = Some(name.to_string());
+        Ok(())
+    }
+
+    /// Records an instance created while a transaction is open.
+    pub fn note_created(&mut self, instance: &str) {
+        if let Some(active) = &self.active {
+            if let Some(d) = self.designs.get_mut(active) {
+                if let Some(t) = &mut d.transaction {
+                    t.push(instance.to_string());
+                }
+            }
+        }
+    }
+
+    /// Keeps an instance (`put_in_component_list`).
+    ///
+    /// # Errors
+    /// Fails on unknown designs.
+    pub fn put_in_list(&mut self, design: &str, instance: &str) -> Result<(), IcdbError> {
+        let d = self
+            .designs
+            .get_mut(design)
+            .ok_or_else(|| IcdbError::NotFound(format!("design `{design}`")))?;
+        d.list.insert(instance.to_string());
+        Ok(())
+    }
+
+    /// Ends the transaction; returns the instances to delete ("the
+    /// component instances are all deleted except those in the component
+    /// list", Appendix B §7).
+    ///
+    /// # Errors
+    /// Fails on unknown designs or when no transaction is open.
+    pub fn end_transaction(&mut self, design: &str) -> Result<Vec<String>, IcdbError> {
+        let d = self
+            .designs
+            .get_mut(design)
+            .ok_or_else(|| IcdbError::NotFound(format!("design `{design}`")))?;
+        let created = d.transaction.take().ok_or_else(|| {
+            IcdbError::Unsupported(format!("design `{design}` has no open transaction"))
+        })?;
+        if self.active.as_deref() == Some(design) {
+            self.active = None;
+        }
+        let list = d.list.clone();
+        Ok(created.into_iter().filter(|i| !list.contains(i)).collect())
+    }
+
+    /// Ends the design; returns its component list for deletion.
+    ///
+    /// # Errors
+    /// Fails on unknown designs.
+    pub fn end_design(&mut self, design: &str) -> Result<Vec<String>, IcdbError> {
+        if self.active.as_deref() == Some(design) {
+            self.active = None;
+        }
+        let d = self
+            .designs
+            .remove(design)
+            .ok_or_else(|| IcdbError::NotFound(format!("design `{design}`")))?;
+        Ok(d.list.into_iter().collect())
+    }
+
+    /// Instances currently kept in a design's component list.
+    pub fn component_list(&self, design: &str) -> Option<Vec<&str>> {
+        self.designs
+            .get(design)
+            .map(|d| d.list.iter().map(String::as_str).collect())
+    }
+}
+
+impl Icdb {
+    /// `start_a_design` (Appendix B §7).
+    ///
+    /// # Errors
+    /// Fails if the design already exists.
+    pub fn start_design(&mut self, name: &str) -> Result<(), IcdbError> {
+        self.designs.start_design(name)
+    }
+
+    /// `start_a_transaction`.
+    ///
+    /// # Errors
+    /// See [`DesignManager::start_transaction`].
+    pub fn start_transaction(&mut self, design: &str) -> Result<(), IcdbError> {
+        self.designs.start_transaction(design)
+    }
+
+    /// `put_in_component_list`.
+    ///
+    /// # Errors
+    /// Fails on unknown designs/instances.
+    pub fn put_in_component_list(
+        &mut self,
+        design: &str,
+        instance: &str,
+    ) -> Result<(), IcdbError> {
+        if !self.instances.contains_key(instance) {
+            return Err(IcdbError::NotFound(format!("instance `{instance}`")));
+        }
+        self.designs.put_in_list(design, instance)
+    }
+
+    /// `end_a_transaction`: deletes instances created during the
+    /// transaction that were not put in the component list.
+    ///
+    /// # Errors
+    /// See [`DesignManager::end_transaction`].
+    pub fn end_transaction(&mut self, design: &str) -> Result<usize, IcdbError> {
+        let doomed = self.designs.end_transaction(design)?;
+        let n = doomed.len();
+        for name in doomed {
+            self.delete_instance(&name);
+        }
+        Ok(n)
+    }
+
+    /// `end_a_design`: deletes the design's component list.
+    ///
+    /// # Errors
+    /// See [`DesignManager::end_design`].
+    pub fn end_design(&mut self, design: &str) -> Result<usize, IcdbError> {
+        let doomed = self.designs.end_design(design)?;
+        let n = doomed.len();
+        for name in doomed {
+            self.delete_instance(&name);
+        }
+        Ok(n)
+    }
+}

@@ -1,0 +1,121 @@
+//! The component server's unified error type.
+
+use std::fmt;
+
+/// Any failure surfaced by the ICDB component server.
+#[derive(Debug, Clone, PartialEq)]
+pub enum IcdbError {
+    /// IIF source failed to parse.
+    Parse(String),
+    /// Macro expansion failed.
+    Expand(String),
+    /// Logic synthesis / technology mapping failed.
+    Synthesis(String),
+    /// Delay/area estimation failed.
+    Estimate(String),
+    /// Layout generation failed.
+    Layout(String),
+    /// CQL command problem.
+    Cql(String),
+    /// Storage-layer problem.
+    Store(String),
+    /// VHDL emission/parsing problem.
+    Vhdl(String),
+    /// A named entity (component, implementation, instance, design) does
+    /// not exist.
+    NotFound(String),
+    /// The request is understood but not satisfiable as stated.
+    Unsupported(String),
+}
+
+impl fmt::Display for IcdbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IcdbError::Parse(m) => write!(f, "icdb: parse: {m}"),
+            IcdbError::Expand(m) => write!(f, "icdb: expand: {m}"),
+            IcdbError::Synthesis(m) => write!(f, "icdb: synthesis: {m}"),
+            IcdbError::Estimate(m) => write!(f, "icdb: estimate: {m}"),
+            IcdbError::Layout(m) => write!(f, "icdb: layout: {m}"),
+            IcdbError::Cql(m) => write!(f, "icdb: cql: {m}"),
+            IcdbError::Store(m) => write!(f, "icdb: store: {m}"),
+            IcdbError::Vhdl(m) => write!(f, "icdb: vhdl: {m}"),
+            IcdbError::NotFound(m) => write!(f, "icdb: not found: {m}"),
+            IcdbError::Unsupported(m) => write!(f, "icdb: unsupported: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for IcdbError {}
+
+impl From<icdb_iif::ParseError> for IcdbError {
+    fn from(e: icdb_iif::ParseError) -> Self {
+        IcdbError::Parse(e.to_string())
+    }
+}
+
+impl From<icdb_iif::ExpandError> for IcdbError {
+    fn from(e: icdb_iif::ExpandError) -> Self {
+        IcdbError::Expand(e.message)
+    }
+}
+
+impl From<icdb_logic::SynthError> for IcdbError {
+    fn from(e: icdb_logic::SynthError) -> Self {
+        IcdbError::Synthesis(e.to_string())
+    }
+}
+
+impl From<icdb_estimate::EstimateError> for IcdbError {
+    fn from(e: icdb_estimate::EstimateError) -> Self {
+        IcdbError::Estimate(e.message)
+    }
+}
+
+impl From<icdb_layout::LayoutError> for IcdbError {
+    fn from(e: icdb_layout::LayoutError) -> Self {
+        IcdbError::Layout(e.message)
+    }
+}
+
+impl From<icdb_layout::PortSpecError> for IcdbError {
+    fn from(e: icdb_layout::PortSpecError) -> Self {
+        IcdbError::Layout(e.message)
+    }
+}
+
+impl From<icdb_layout::FloorplanError> for IcdbError {
+    fn from(e: icdb_layout::FloorplanError) -> Self {
+        IcdbError::Layout(e.message)
+    }
+}
+
+impl From<icdb_cql::CqlError> for IcdbError {
+    fn from(e: icdb_cql::CqlError) -> Self {
+        IcdbError::Cql(e.message)
+    }
+}
+
+impl From<icdb_store::StoreError> for IcdbError {
+    fn from(e: icdb_store::StoreError) -> Self {
+        IcdbError::Store(e.message)
+    }
+}
+
+impl From<icdb_vhdl::VhdlError> for IcdbError {
+    fn from(e: icdb_vhdl::VhdlError) -> Self {
+        IcdbError::Vhdl(e.message)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_with_category() {
+        let e = IcdbError::NotFound("counter9".into());
+        assert_eq!(e.to_string(), "icdb: not found: counter9");
+        let e = IcdbError::Cql("bad slot".into());
+        assert!(e.to_string().contains("cql"));
+    }
+}

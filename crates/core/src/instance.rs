@@ -1,0 +1,53 @@
+//! Generated component instances: "A component is only a specification.
+//! When the users request generation of a component, the design generated
+//! by ICDB is called a component instance" (Appendix B §2).
+
+use icdb_estimate::{DelayReport, LoadSpec, ShapeFunction};
+use icdb_genus::ConnectionTable;
+use icdb_layout::Layout;
+use icdb_logic::GateNetlist;
+
+/// One generated component instance with every piece of information the
+/// instance-query commands can return.
+#[derive(Debug, Clone)]
+pub struct ComponentInstance {
+    /// Instance name (user-assigned or ICDB-generated).
+    pub name: String,
+    /// Implementation it was generated from (`COUNTER`), or `"iif"` /
+    /// `"cluster"` for inline-IIF and VHDL-cluster requests.
+    pub implementation: String,
+    /// Functions the instance can execute.
+    pub functions: Vec<String>,
+    /// Parameter values used for expansion.
+    pub params: Vec<(String, i64)>,
+    /// The sized, technology-mapped netlist.
+    pub netlist: GateNetlist,
+    /// Output loading assumed for the timing report.
+    pub loads: LoadSpec,
+    /// Timing report (CW / WD / SD).
+    pub report: DelayReport,
+    /// Shape function (strip-count sweep).
+    pub shape: ShapeFunction,
+    /// Whether the requested constraints were met.
+    pub met: bool,
+    /// Connection information inherited from the implementation.
+    pub connection: ConnectionTable,
+    /// The most recently generated layout, if any.
+    pub layout: Option<Layout>,
+}
+
+impl ComponentInstance {
+    /// Minimum-area estimate over the shape function (µm²).
+    pub fn area(&self) -> f64 {
+        self.shape
+            .best_area()
+            .map(|a| a.area())
+            .unwrap_or(0.0)
+    }
+
+    /// The paper's area/delay pair for trade-off plots: (delay of the
+    /// worst output in ns, area in µm²).
+    pub fn tradeoff_point(&self) -> (f64, f64) {
+        (self.report.worst_output_delay(), self.area())
+    }
+}

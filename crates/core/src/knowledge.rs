@@ -1,0 +1,230 @@
+//! The knowledge-acquisition support system (paper §2.2): "Users can
+//! insert component definitions, component generators, tools, and
+//! component implementations to ICDB through the knowledge acquisition
+//! support mechanism", plus the §2.1 merge query ("ICDB is queried to
+//! determine if components can be merged … a register and an incrementer
+//! can be merged into a counter").
+
+use crate::error::IcdbError;
+use crate::library::{ComponentImpl, ParamSpec};
+use crate::tools::GeneratorInfo;
+use crate::Icdb;
+use icdb_genus::ConnectionTable;
+use icdb_store::Value;
+
+impl Icdb {
+    /// Inserts a new component implementation from IIF source text with
+    /// its ICDB data (component type, function tags, parameter defaults,
+    /// optional connection table).
+    ///
+    /// # Errors
+    /// Fails on IIF parse errors, duplicate names, parameters without
+    /// defaults, or malformed connection text.
+    pub fn insert_implementation(
+        &mut self,
+        iif_source: &str,
+        component_type: &str,
+        functions: &[&str],
+        param_defaults: &[(&str, i64)],
+        connection_text: Option<&str>,
+        description: &str,
+    ) -> Result<String, IcdbError> {
+        let module = icdb_iif::parse(iif_source)?;
+        // Every IIF parameter needs a default so attribute binding works.
+        let mut params = Vec::new();
+        for p in &module.parameters {
+            let default = param_defaults
+                .iter()
+                .find(|(n, _)| n == p)
+                .map(|(_, v)| *v)
+                .ok_or_else(|| {
+                    IcdbError::Unsupported(format!(
+                        "parameter `{p}` of `{}` needs a default value",
+                        module.name
+                    ))
+                })?;
+            params.push(ParamSpec { name: p.clone(), default });
+        }
+        let connection = match connection_text {
+            Some(text) => ConnectionTable::parse(text)
+                .map_err(|e| IcdbError::Unsupported(e.to_string()))?,
+            None => ConnectionTable::default(),
+        };
+        let name = module.name.clone();
+        let imp = ComponentImpl {
+            name: name.clone(),
+            component_type: component_type.to_string(),
+            functions: functions.iter().map(|s| s.to_string()).collect(),
+            module,
+            params,
+            connection,
+            description: description.to_string(),
+        };
+        self.library.insert(imp)?;
+        self.db.insert(
+            "components",
+            vec![
+                Value::Text(name.clone()),
+                Value::Text(component_type.to_string()),
+                Value::Text(functions.join(" ")),
+                Value::Text(description.to_string()),
+            ],
+        )?;
+        Ok(name)
+    }
+
+    /// Registers a new component generator with the tool manager
+    /// (knowledge-server path of §4.2).
+    ///
+    /// # Errors
+    /// See [`crate::ToolManager::register`].
+    pub fn register_generator(&mut self, info: GeneratorInfo) -> Result<(), IcdbError> {
+        self.tools.register(info)
+    }
+
+    /// The §2.1 merge query: can the named implementations be merged into
+    /// one component? Returns the implementations that perform the *union*
+    /// of their functions (e.g. REGISTER + INCREMENTER → COUNTER),
+    /// excluding the inputs themselves.
+    ///
+    /// # Errors
+    /// Fails when an input implementation is unknown.
+    pub fn merge_candidates(&self, components: &[&str]) -> Result<Vec<String>, IcdbError> {
+        let mut union: Vec<String> = Vec::new();
+        for name in components {
+            let imp = self
+                .library
+                .implementation(name)
+                .ok_or_else(|| IcdbError::NotFound(format!("implementation `{name}`")))?;
+            for f in &imp.functions {
+                if !union.iter().any(|u| u.eq_ignore_ascii_case(f)) {
+                    union.push(f.clone());
+                }
+            }
+        }
+        let inputs_upper: Vec<String> =
+            components.iter().map(|c| c.to_ascii_uppercase()).collect();
+        Ok(self
+            .library
+            .by_functions(&union)
+            .into_iter()
+            .map(|c| c.name.clone())
+            .filter(|n| !inputs_upper.contains(&n.to_ascii_uppercase()))
+            .collect())
+    }
+
+    /// The §1 power estimate for a generated instance, rendered as a
+    /// report string (`POWER … uW @ … MHz`).
+    ///
+    /// # Errors
+    /// `NotFound` if the instance is absent.
+    pub fn power_string(&self, name: &str) -> Result<String, IcdbError> {
+        let inst = self.instance(name)?;
+        let report = icdb_estimate::estimate_power(
+            &inst.netlist,
+            &self.cells,
+            &icdb_estimate::PowerSpec::default(),
+        )?;
+        Ok(report.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ComponentRequest;
+
+    const GRAY_COUNTER: &str = "
+NAME: GRAY_COUNTER;
+PARAMETER: size;
+INORDER: CLK, RST;
+OUTORDER: G[size];
+PIIFVARIABLE: B[size], NB[size], C[size+1];
+VARIABLE: i;
+{
+  /* binary core */
+  C[0] = 1;
+  #for(i=0;i<size;i++)
+  {
+    B[i] = (B[i] (+) C[i]) @(~r CLK) ~a(0/RST);
+    C[i+1] = C[i] * B[i];
+  }
+  /* gray encoding of the binary state */
+  #for(i=0;i<size-1;i++)
+    G[i] = B[i] (+) B[i+1];
+  G[size-1] = B[size-1];
+}";
+
+    #[test]
+    fn insert_and_generate_new_implementation() {
+        let mut icdb = Icdb::new();
+        let name = icdb
+            .insert_implementation(
+                GRAY_COUNTER,
+                "Counter",
+                &["INC", "COUNTER"],
+                &[("size", 4)],
+                Some("## function INC\nO0 is G\n** CLK 1 edge_trigger\n"),
+                "gray-code counter inserted via knowledge acquisition",
+            )
+            .unwrap();
+        assert_eq!(name, "GRAY_COUNTER");
+        // Catalog row landed in the INGRES stand-in.
+        let rows = icdb
+            .db
+            .query("SELECT type FROM components WHERE name = 'GRAY_COUNTER'")
+            .unwrap();
+        assert_eq!(rows[0][0].as_text(), Some("Counter"));
+        // And the new implementation generates like any builtin.
+        let inst = icdb
+            .request_component(
+                &ComponentRequest::by_implementation("GRAY_COUNTER").attribute("size", "5"),
+            )
+            .unwrap();
+        assert!(icdb.instance(&inst).unwrap().netlist.gates.len() > 10);
+        // It is now discoverable by function query too.
+        let found = icdb.library.by_functions(&["COUNTER".to_string()]);
+        assert!(found.iter().any(|c| c.name == "GRAY_COUNTER"));
+    }
+
+    #[test]
+    fn insert_rejects_missing_defaults_and_duplicates() {
+        let mut icdb = Icdb::new();
+        assert!(icdb
+            .insert_implementation(GRAY_COUNTER, "Counter", &["INC"], &[], None, "")
+            .is_err());
+        icdb.insert_implementation(GRAY_COUNTER, "Counter", &["INC"], &[("size", 4)], None, "")
+            .unwrap();
+        assert!(icdb
+            .insert_implementation(GRAY_COUNTER, "Counter", &["INC"], &[("size", 4)], None, "")
+            .is_err());
+    }
+
+    #[test]
+    fn register_and_incrementer_merge_into_counter() {
+        // The paper's §2.1 example verbatim: "a register and an
+        // incrementer can be merged into a counter".
+        let icdb = Icdb::new();
+        let merged = icdb.merge_candidates(&["REGISTER", "INCREMENTER"]).unwrap();
+        assert!(
+            merged.iter().any(|m| m == "COUNTER"),
+            "expected COUNTER among {merged:?}"
+        );
+    }
+
+    #[test]
+    fn merge_with_unknown_component_fails() {
+        let icdb = Icdb::new();
+        assert!(icdb.merge_candidates(&["REGISTER", "GHOST"]).is_err());
+    }
+
+    #[test]
+    fn power_string_for_instance() {
+        let mut icdb = Icdb::new();
+        let inst = icdb
+            .request_component(&ComponentRequest::by_implementation("ADDER"))
+            .unwrap();
+        let p = icdb.power_string(&inst).unwrap();
+        assert!(p.starts_with("POWER "), "{p}");
+    }
+}

@@ -1,0 +1,255 @@
+//! # icdb-core — the Intelligent Component Database server
+//!
+//! The system of Chen & Gajski's "An Intelligent Component Database for
+//! Behavioral Synthesis" (DAC 1990): a **component server** that delivers
+//! components to synthesis tools when given a set of attributes and
+//! constraints, replacing fixed component libraries and paper catalogs.
+//!
+//! An [`Icdb`] owns the two subsystems of the paper's Fig. 2:
+//!
+//! * the **knowledge base** — a [`GenericComponentLibrary`] of
+//!   parameterized IIF implementations (the §3.1 counter, the appendix
+//!   adder/addsub/shifter, registers, ALU, comparator, …) with their GENUS
+//!   function tags and connection tables, backed by the embedded
+//!   relational store and design-data file store of `icdb-store`;
+//! * the **component server** — [`Icdb::request_component`] runs the
+//!   embedded generation path of Fig. 8 (IIF expansion → logic synthesis →
+//!   technology mapping → transistor sizing → delay/shape estimation →
+//!   optional strip layout), stores the resulting [`ComponentInstance`],
+//!   and answers every query of §3.3 (delay strings, shape functions,
+//!   connection info, VHDL views, CIF layouts).
+//!
+//! The C `ICDB("command:…; key:%s; out:?s", …)` interface is reproduced by
+//! [`Icdb::execute`] over `icdb-cql` argument slots; all Appendix-B
+//! commands (component/function/instance queries, component requests from
+//! library specs, inline IIF or VHDL clusters, and component-list
+//! management) are implemented.
+//!
+//! ```
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! use icdb_core::{ComponentRequest, Icdb};
+//!
+//! let mut icdb = Icdb::new();
+//! // The paper's request: a five-bit up counter (§3.2.2).
+//! let request = ComponentRequest::by_component("counter")
+//!     .attribute("size", "5")
+//!     .clock_width(30.0);
+//! let counter_ins = icdb.request_component(&request)?;
+//! let delay = icdb.delay_string(&counter_ins)?;
+//! assert!(delay.contains("CW "));
+//! let shape = icdb.shape_string(&counter_ins)?;
+//! assert!(shape.contains("Alternative=1"));
+//! # Ok(())
+//! # }
+//! ```
+
+mod builtin;
+mod cql;
+mod designs;
+mod error;
+mod instance;
+mod knowledge;
+mod library;
+mod server;
+mod spec;
+mod tools;
+
+pub use designs::DesignManager;
+pub use error::IcdbError;
+pub use instance::ComponentInstance;
+pub use library::{ComponentImpl, GenericComponentLibrary, ParamSpec};
+pub use spec::{ComponentRequest, Constraints, Source, TargetLevel};
+pub use tools::{GeneratorInfo, ToolManager, ToolStep};
+
+use icdb_store::{Database, FileStore};
+use std::collections::HashMap;
+
+/// The Intelligent Component Database: knowledge server + component server.
+#[derive(Debug, Clone)]
+pub struct Icdb {
+    /// The generic component library (knowledge base).
+    pub library: GenericComponentLibrary,
+    /// The characterized basic-cell library used by generation.
+    pub cells: icdb_cells::Library,
+    /// The relational metadata store (INGRES stand-in).
+    pub db: Database,
+    /// The design-data file store (UNIX file system stand-in).
+    pub files: FileStore,
+    /// The tool manager: registered component generators (§4.2).
+    pub tools: ToolManager,
+    pub(crate) instances: HashMap<String, ComponentInstance>,
+    pub(crate) instance_order: Vec<String>,
+    pub(crate) counter: u64,
+    pub(crate) designs: DesignManager,
+    pub(crate) last_flat_iif: Option<String>,
+    pub(crate) last_milo: Option<String>,
+}
+
+impl Icdb {
+    /// A server preloaded with the builtin component implementations and
+    /// the standard cell library.
+    pub fn new() -> Icdb {
+        let mut db = Database::new();
+        db.execute(
+            "CREATE TABLE components (name TEXT, type TEXT, functions TEXT, description TEXT)",
+        )
+        .expect("fresh database");
+        db.execute(
+            "CREATE TABLE instances (name TEXT, implementation TEXT, gates INT, \
+             area REAL, clock_width REAL, met INT)",
+        )
+        .expect("fresh database");
+        let library = GenericComponentLibrary::standard();
+        for imp in library.iter() {
+            db.insert(
+                "components",
+                vec![
+                    icdb_store::Value::Text(imp.name.clone()),
+                    icdb_store::Value::Text(imp.component_type.clone()),
+                    icdb_store::Value::Text(imp.functions.join(" ")),
+                    icdb_store::Value::Text(imp.description.clone()),
+                ],
+            )
+            .expect("fresh table");
+        }
+        Icdb {
+            library,
+            cells: icdb_cells::Library::standard(),
+            db,
+            files: FileStore::new(),
+            tools: ToolManager::standard(),
+            instances: HashMap::new(),
+            instance_order: Vec::new(),
+            counter: 0,
+            designs: DesignManager::default(),
+            last_flat_iif: None,
+            last_milo: None,
+        }
+    }
+}
+
+impl Default for Icdb {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icdb_cql::CqlArg;
+
+    #[test]
+    fn new_server_has_catalog_rows() {
+        let icdb = Icdb::new();
+        let rows = icdb.db.query("SELECT name FROM components").unwrap();
+        assert!(rows.len() >= 18);
+    }
+
+    #[test]
+    fn generate_and_query_counter() {
+        let mut icdb = Icdb::new();
+        let req = ComponentRequest::by_component("counter")
+            .attribute("size", "5")
+            .attribute("up_or_down", "3")
+            .attribute("enable", "1")
+            .attribute("load", "1");
+        let name = icdb.request_component(&req).unwrap();
+        let inst = icdb.instance(&name).unwrap();
+        assert!(inst.netlist.gates.len() > 20, "{} gates", inst.netlist.gates.len());
+        assert!(inst.report.clock_width > 0.0);
+        let delay = icdb.delay_string(&name).unwrap();
+        assert!(delay.contains("CW "), "{delay}");
+        assert!(delay.contains("WD Q[4]"), "{delay}");
+        assert!(delay.contains("SD DWUP"), "{delay}");
+        let shape = icdb.shape_string(&name).unwrap();
+        assert!(shape.contains("Alternative=1 width="), "{shape}");
+        let connect = icdb.connect_string(&name).unwrap();
+        assert!(connect.contains("## function INC"), "{connect}");
+        assert!(connect.contains("** DWUP 0"), "{connect}");
+    }
+
+    #[test]
+    fn request_via_cql_round_trip() {
+        let mut icdb = Icdb::new();
+        // The §3.2.2 query, with the delay-constraint text as a %s input.
+        let mut args = vec![
+            CqlArg::InStr("rdelay Q[4] 10\noload Q[4] 10".into()),
+            CqlArg::OutStr(None),
+        ];
+        icdb.execute(
+            "command:request_component;
+             component_name:counter;
+             attribute:(size:5);
+             function:(INC);
+             clock_width:30;
+             comb_delay:%s;
+             set_up_time:30;
+             generated_component:?s",
+            &mut args,
+        )
+        .unwrap();
+        let CqlArg::OutStr(Some(name)) = &args[1] else { panic!("no instance name") };
+        // Instance query for delay + shape (the §3.3 query).
+        let mut args2 = vec![
+            CqlArg::InStr(name.clone()),
+            CqlArg::OutStr(None),
+            CqlArg::OutStr(None),
+        ];
+        icdb.execute(
+            "command:instance_query; generated_component:%s; delay:?s; shape_function:?s",
+            &mut args2,
+        )
+        .unwrap();
+        let CqlArg::OutStr(Some(delay)) = &args2[1] else { panic!() };
+        assert!(delay.contains("CW "));
+        let CqlArg::OutStr(Some(shape)) = &args2[2] else { panic!() };
+        assert!(shape.contains("Alternative="));
+    }
+
+    #[test]
+    fn component_and_function_queries() {
+        let mut icdb = Icdb::new();
+        let mut args = vec![CqlArg::OutStrList(None)];
+        icdb.execute(
+            "command:component_query; component:counter; function:(INC);
+             attribute:(size:5); ICDB_components:?s[]",
+            &mut args,
+        )
+        .unwrap();
+        let CqlArg::OutStrList(Some(counters)) = &args[0] else { panic!() };
+        assert!(counters.contains(&"COUNTER".to_string()), "{counters:?}");
+
+        let mut args = vec![CqlArg::OutStrList(None)];
+        icdb.execute(
+            "command:function_query; function:(ADD,SUB); implementation:?s[]",
+            &mut args,
+        )
+        .unwrap();
+        let CqlArg::OutStrList(Some(impls)) = &args[0] else { panic!() };
+        assert!(impls.contains(&"ADDSUB".to_string()), "{impls:?}");
+        assert!(impls.contains(&"ALU".to_string()), "{impls:?}");
+        assert!(!impls.contains(&"ADDER".to_string()), "ADD∧SUB excludes plain adder");
+    }
+
+    #[test]
+    fn design_transactions_clean_up() {
+        let mut icdb = Icdb::new();
+        icdb.start_design("cpu").unwrap();
+        icdb.start_transaction("cpu").unwrap();
+        let keep = icdb
+            .request_component(&ComponentRequest::by_implementation("ADDER"))
+            .unwrap();
+        let drop = icdb
+            .request_component(&ComponentRequest::by_implementation("REGISTER"))
+            .unwrap();
+        icdb.put_in_component_list("cpu", &keep).unwrap();
+        let removed = icdb.end_transaction("cpu").unwrap();
+        assert_eq!(removed, 1);
+        assert!(icdb.instance(&keep).is_ok());
+        assert!(icdb.instance(&drop).is_err());
+        let removed = icdb.end_design("cpu").unwrap();
+        assert_eq!(removed, 1);
+        assert!(icdb.instance(&keep).is_err());
+    }
+}

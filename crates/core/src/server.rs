@@ -1,0 +1,472 @@
+//! The component-server engine: the embedded generation path of Fig. 8
+//! (IIF expander → MILO-style synthesis → transistor sizing → estimators →
+//! layout generator) plus instance storage and queries.
+
+use crate::error::IcdbError;
+use crate::instance::ComponentInstance;
+use crate::spec::{ComponentRequest, Source, TargetLevel};
+use crate::Icdb;
+use icdb_estimate::{estimate_shape, LoadSpec};
+use icdb_iif::FlatModule;
+use icdb_layout::{place, to_ascii, to_cif, PortSpec};
+use icdb_logic::{synthesize, Gate, GateNetlist, SynthOptions};
+use icdb_sizing::size_netlist;
+use icdb_store::Value;
+use icdb_vhdl::{emit_entity, emit_netlist, parse_netlist, vhdl_id};
+
+/// How many strip-count alternatives the shape estimator sweeps.
+const MAX_SHAPE_STRIPS: usize = 8;
+
+impl Icdb {
+    /// Generates a component instance and stores it; returns the instance
+    /// name ("ICDB will generate a component according to these
+    /// specifications. The name of this component is put into the variable
+    /// counter_ins", §3.2.2).
+    ///
+    /// # Errors
+    /// Propagates failures from any stage of the generation path and
+    /// reports unknown implementations/components as [`IcdbError::NotFound`].
+    pub fn request_component(
+        &mut self,
+        request: &ComponentRequest,
+    ) -> Result<String, IcdbError> {
+        let (netlist, implementation, functions, params, connection) = match &request.source {
+            Source::Library { component_name, implementation, functions } => {
+                let imp = self
+                    .resolve_implementation(
+                        component_name.as_deref(),
+                        implementation.as_deref(),
+                        functions,
+                    )?
+                    .clone();
+                let params = imp.bind_attributes(&request.attributes)?;
+                let pairs: Vec<(&str, i64)> =
+                    params.iter().map(|(n, v)| (n.as_str(), *v)).collect();
+                let flat = icdb_iif::expand(&imp.module, &pairs, &self.library)?;
+                let netlist = synthesize(&flat, &self.cells, &SynthOptions::default())?;
+                self.stash_flat_views(&flat);
+                (netlist, imp.name, imp.functions, params, imp.connection)
+            }
+            Source::Iif(text) => {
+                let module = icdb_iif::parse(text)?;
+                let mut params = Vec::new();
+                for p in &module.parameters {
+                    let v = request
+                        .attributes
+                        .iter()
+                        .find(|(k, _)| k == p)
+                        .map(|(_, v)| {
+                            v.parse::<i64>().map_err(|_| {
+                                IcdbError::Cql(format!("attribute {p}:{v} is not an integer"))
+                            })
+                        })
+                        .transpose()?
+                        .ok_or_else(|| {
+                            IcdbError::Unsupported(format!(
+                                "IIF design `{}` needs attribute `{p}`",
+                                module.name
+                            ))
+                        })?;
+                    params.push((p.clone(), v));
+                }
+                let pairs: Vec<(&str, i64)> =
+                    params.iter().map(|(n, v)| (n.as_str(), *v)).collect();
+                let flat = icdb_iif::expand(&module, &pairs, &self.library)?;
+                let netlist = synthesize(&flat, &self.cells, &SynthOptions::default())?;
+                self.stash_flat_views(&flat);
+                (
+                    netlist,
+                    "iif".to_string(),
+                    module.functions.clone(),
+                    params,
+                    Default::default(),
+                )
+            }
+            Source::VhdlNetlist(text) => {
+                let netlist = self.flatten_cluster(text)?;
+                (netlist, "cluster".to_string(), Vec::new(), Vec::new(), Default::default())
+            }
+        };
+
+        let mut netlist = netlist;
+        let loads = request.constraints.load_spec();
+        let strategy = request.sizing_strategy();
+        let sizing = size_netlist(&mut netlist, &self.cells, &loads, &strategy);
+        let mut met = sizing.met;
+        if let Some(bound) = request.constraints.set_up_time {
+            let worst_setup = sizing
+                .report
+                .setup_times
+                .iter()
+                .map(|(_, d)| *d)
+                .fold(0.0f64, f64::max);
+            if worst_setup > bound {
+                met = false;
+            }
+        }
+        let shape = estimate_shape(&netlist, &self.cells, MAX_SHAPE_STRIPS)?;
+
+        let name = match &request.instance_name {
+            Some(n) => n.clone(),
+            None => {
+                self.counter += 1;
+                format!("{}${}", implementation.to_ascii_lowercase(), self.counter)
+            }
+        };
+        if self.instances.contains_key(&name) {
+            return Err(IcdbError::Unsupported(format!(
+                "instance `{name}` already exists"
+            )));
+        }
+
+        let instance = ComponentInstance {
+            name: name.clone(),
+            implementation,
+            functions,
+            params,
+            netlist,
+            loads,
+            report: sizing.report,
+            shape,
+            met,
+            connection,
+            layout: None,
+        };
+        self.persist_instance(&instance)?;
+        self.instances.insert(name.clone(), instance);
+        self.instance_order.push(name.clone());
+        self.designs.note_created(&name);
+
+        if request.target == TargetLevel::Layout {
+            self.generate_layout(
+                &name,
+                request.alternative,
+                request.port_positions.as_deref(),
+            )?;
+        }
+        Ok(name)
+    }
+
+    fn resolve_implementation(
+        &self,
+        component_name: Option<&str>,
+        implementation: Option<&str>,
+        functions: &[String],
+    ) -> Result<&crate::library::ComponentImpl, IcdbError> {
+        if let Some(name) = implementation {
+            return self
+                .library
+                .implementation(name)
+                .ok_or_else(|| IcdbError::NotFound(format!("implementation `{name}`")));
+        }
+        let mut candidates: Vec<&crate::library::ComponentImpl> = match component_name {
+            Some(ty) if !ty.is_empty() => self.library.by_component_type(ty),
+            _ => self.library.iter().collect(),
+        };
+        if !functions.is_empty() {
+            candidates.retain(|c| {
+                functions
+                    .iter()
+                    .all(|f| c.functions.iter().any(|cf| cf.eq_ignore_ascii_case(f)))
+            });
+        }
+        candidates.into_iter().next().ok_or_else(|| {
+            IcdbError::NotFound(format!(
+                "no implementation for component {component_name:?} functions {functions:?}"
+            ))
+        })
+    }
+
+    /// Flattens a VHDL netlist of existing instances into one netlist
+    /// (the partitioner's clustering path, Appendix B §6.3).
+    fn flatten_cluster(&self, text: &str) -> Result<GateNetlist, IcdbError> {
+        let parsed = parse_netlist(text)?;
+        let mut out = GateNetlist::new(parsed.name.clone());
+        for p in &parsed.ports {
+            let id = out.intern(&p.name);
+            match p.dir {
+                icdb_vhdl::PortDir::In => out.inputs.push(id),
+                icdb_vhdl::PortDir::Out => out.outputs.push(id),
+            }
+        }
+        for inst in &parsed.instances {
+            let sub = self.instances.get(&inst.component).ok_or_else(|| {
+                IcdbError::NotFound(format!(
+                    "cluster references unknown instance `{}`",
+                    inst.component
+                ))
+            })?;
+            // Map the sub-instance's port nets onto cluster nets via the
+            // port map (formals accept raw or VHDL-sanitized names).
+            let mut mapping: Vec<Option<icdb_logic::GNet>> =
+                vec![None; sub.netlist.net_count()];
+            for (formal, actual) in &inst.port_map {
+                let port = sub
+                    .netlist
+                    .inputs
+                    .iter()
+                    .chain(&sub.netlist.outputs)
+                    .copied()
+                    .find(|&n| {
+                        let pn = sub.netlist.net_name(n);
+                        // VHDL identifiers are case-insensitive; accept both
+                        // the raw netlist name and its VHDL transliteration.
+                        pn.eq_ignore_ascii_case(formal)
+                            || vhdl_id(pn) == formal.to_ascii_lowercase()
+                    })
+                    .ok_or_else(|| {
+                        IcdbError::NotFound(format!(
+                            "instance `{}` has no port `{formal}`",
+                            inst.component
+                        ))
+                    })?;
+                mapping[port.index()] = Some(out.intern(actual));
+            }
+            // Clone gates, renaming unmapped nets into a per-label space.
+            for g in &sub.netlist.gates {
+                let map_net = |nets: &mut Vec<Option<icdb_logic::GNet>>,
+                               out: &mut GateNetlist,
+                               n: icdb_logic::GNet| {
+                    if let Some(m) = nets[n.index()] {
+                        m
+                    } else {
+                        let fresh =
+                            out.intern(&format!("{}${}", inst.label, sub.netlist.net_name(n)));
+                        nets[n.index()] = Some(fresh);
+                        fresh
+                    }
+                };
+                let inputs = g
+                    .inputs
+                    .iter()
+                    .map(|&n| map_net(&mut mapping, &mut out, n))
+                    .collect();
+                let output = map_net(&mut mapping, &mut out, g.output);
+                out.gates.push(Gate { cell: g.cell, inputs, output, size: g.size });
+            }
+        }
+        out.validate(&self.cells)
+            .map_err(|e| IcdbError::Synthesis(e.message))?;
+        Ok(out)
+    }
+
+    /// Generates (or regenerates) the layout of an instance, honoring a
+    /// shape alternative and port positions; returns the CIF text
+    /// (the `request_component; instance:%s; alternative:3;
+    /// port_position:%s; CIF_layout:?s` query of §3.3).
+    ///
+    /// # Errors
+    /// Fails on unknown instances, bad alternatives or malformed port
+    /// specifications.
+    pub fn generate_layout(
+        &mut self,
+        instance: &str,
+        alternative: Option<usize>,
+        port_positions: Option<&str>,
+    ) -> Result<String, IcdbError> {
+        let inst = self
+            .instances
+            .get(instance)
+            .ok_or_else(|| IcdbError::NotFound(format!("instance `{instance}`")))?;
+        let strips = match alternative {
+            Some(a) => {
+                let alt = inst.shape.alternatives.get(a.saturating_sub(1)).ok_or_else(|| {
+                    IcdbError::Layout(format!(
+                        "instance `{instance}` has {} shape alternatives, not {a}",
+                        inst.shape.alternatives.len()
+                    ))
+                })?;
+                alt.strips
+            }
+            None => inst
+                .shape
+                .best_area()
+                .map(|a| a.strips)
+                .unwrap_or(1),
+        };
+        let spec = match port_positions {
+            Some(text) => PortSpec::parse(text)?,
+            None => {
+                let ins: Vec<String> = inst
+                    .netlist
+                    .inputs
+                    .iter()
+                    .map(|&n| inst.netlist.net_name(n).to_string())
+                    .collect();
+                let outs: Vec<String> = inst
+                    .netlist
+                    .outputs
+                    .iter()
+                    .map(|&n| inst.netlist.net_name(n).to_string())
+                    .collect();
+                PortSpec::default_for(&ins, &outs)
+            }
+        };
+        let layout = place(&inst.netlist, &self.cells, strips, &spec)?;
+        let cif = to_cif(&layout);
+        let art = to_ascii(&layout, 100);
+        self.files.write(format!("instances/{instance}.cif"), cif.clone());
+        self.files.write(format!("instances/{instance}.layout.txt"), art);
+        self.instances
+            .get_mut(instance)
+            .expect("checked above")
+            .layout = Some(layout);
+        Ok(cif)
+    }
+
+    /// Re-estimates an instance under different output loads, resizing to
+    /// hold a clock-width target (the Fig. 10 exploration).
+    ///
+    /// # Errors
+    /// Fails on unknown instances.
+    pub fn resize_for_load(
+        &mut self,
+        instance: &str,
+        loads: &LoadSpec,
+        clock_width: f64,
+    ) -> Result<(), IcdbError> {
+        let inst = self
+            .instances
+            .get_mut(instance)
+            .ok_or_else(|| IcdbError::NotFound(format!("instance `{instance}`")))?;
+        let goal = icdb_sizing::SizingGoal::clock(clock_width);
+        let result = size_netlist(
+            &mut inst.netlist,
+            &self.cells,
+            loads,
+            &icdb_sizing::Strategy::Constraints(goal),
+        );
+        inst.loads = loads.clone();
+        inst.report = result.report;
+        inst.met = result.met;
+        inst.shape = estimate_shape(&inst.netlist, &self.cells, MAX_SHAPE_STRIPS)?;
+        Ok(())
+    }
+
+    /// The instance named `name`.
+    ///
+    /// # Errors
+    /// `NotFound` if absent.
+    pub fn instance(&self, name: &str) -> Result<&ComponentInstance, IcdbError> {
+        self.instances
+            .get(name)
+            .ok_or_else(|| IcdbError::NotFound(format!("instance `{name}`")))
+    }
+
+    /// Names of all generated instances, in creation order.
+    pub fn instance_names(&self) -> &[String] {
+        &self.instance_order
+    }
+
+    /// Deletes an instance and its design data.
+    pub(crate) fn delete_instance(&mut self, name: &str) {
+        if self.instances.remove(name).is_some() {
+            self.instance_order.retain(|n| n != name);
+            for suffix in ["iif", "milo", "vhdl", "vhdl_head", "delay", "shape", "cif", "layout.txt"]
+            {
+                self.files.remove(&format!("instances/{name}.{suffix}"));
+            }
+            let _ = self
+                .db
+                .execute(&format!("DELETE FROM instances WHERE name = '{name}'"));
+        }
+    }
+
+    /// §3.3 delay string (`CW …` / `WD port …` / `SD port …`).
+    ///
+    /// # Errors
+    /// `NotFound` if the instance is absent.
+    pub fn delay_string(&self, name: &str) -> Result<String, IcdbError> {
+        Ok(self.instance(name)?.report.to_string())
+    }
+
+    /// §3.3 shape-function string (`Alternative=… width=… height=…`).
+    ///
+    /// # Errors
+    /// `NotFound` if the instance is absent.
+    pub fn shape_string(&self, name: &str) -> Result<String, IcdbError> {
+        Ok(self.instance(name)?.shape.to_alternative_format())
+    }
+
+    /// Appendix-B area string (`strip = … width = … height = … area = …`).
+    ///
+    /// # Errors
+    /// `NotFound` if the instance is absent.
+    pub fn area_string(&self, name: &str) -> Result<String, IcdbError> {
+        Ok(self.instance(name)?.shape.to_strip_format())
+    }
+
+    /// §4.1 connection string (`## function INC … ** DWUP 0`).
+    ///
+    /// # Errors
+    /// `NotFound` if the instance is absent.
+    pub fn connect_string(&self, name: &str) -> Result<String, IcdbError> {
+        Ok(self.instance(name)?.connection.to_paper_format())
+    }
+
+    /// Structural VHDL of the instance.
+    ///
+    /// # Errors
+    /// `NotFound` if the instance is absent.
+    pub fn vhdl_netlist(&self, name: &str) -> Result<String, IcdbError> {
+        Ok(emit_netlist(&self.instance(name)?.netlist, &self.cells))
+    }
+
+    /// VHDL entity head of the instance.
+    ///
+    /// # Errors
+    /// `NotFound` if the instance is absent.
+    pub fn vhdl_head(&self, name: &str) -> Result<String, IcdbError> {
+        Ok(emit_entity(&self.instance(name)?.netlist))
+    }
+
+    /// CIF of the instance (generating a default layout on first use).
+    ///
+    /// # Errors
+    /// `NotFound` if the instance is absent; layout errors propagate.
+    pub fn cif_layout(&mut self, name: &str) -> Result<String, IcdbError> {
+        let path = format!("instances/{name}.cif");
+        if let Ok(text) = self.files.read(&path) {
+            return Ok(text.to_string());
+        }
+        self.generate_layout(name, None, None)
+    }
+
+    fn stash_flat_views(&mut self, flat: &FlatModule) {
+        self.last_flat_iif = Some(flat.to_string());
+        self.last_milo = Some(flat.to_milo_format());
+    }
+
+    fn persist_instance(&mut self, inst: &ComponentInstance) -> Result<(), IcdbError> {
+        self.db.insert(
+            "instances",
+            vec![
+                Value::Text(inst.name.clone()),
+                Value::Text(inst.implementation.clone()),
+                Value::Int(inst.netlist.gates.len() as i64),
+                Value::Real(inst.area()),
+                Value::Real(inst.report.clock_width),
+                Value::Int(i64::from(inst.met)),
+            ],
+        )?;
+        if let Some(flat) = self.last_flat_iif.take() {
+            self.files.write(format!("instances/{}.iif", inst.name), flat);
+        }
+        if let Some(milo) = self.last_milo.take() {
+            self.files.write(format!("instances/{}.milo", inst.name), milo);
+        }
+        self.files.write(
+            format!("instances/{}.vhdl", inst.name),
+            emit_netlist(&inst.netlist, &self.cells),
+        );
+        self.files
+            .write(format!("instances/{}.vhdl_head", inst.name), emit_entity(&inst.netlist));
+        self.files
+            .write(format!("instances/{}.delay", inst.name), inst.report.to_string());
+        self.files.write(
+            format!("instances/{}.shape", inst.name),
+            inst.shape.to_alternative_format(),
+        );
+        Ok(())
+    }
+}

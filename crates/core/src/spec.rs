@@ -1,0 +1,280 @@
+//! Component requests: what a synthesis tool asks ICDB to generate
+//! (paper §3.2.2 and Appendix B §6).
+
+use crate::error::IcdbError;
+use icdb_estimate::LoadSpec;
+use icdb_sizing::{SizingGoal, Strategy};
+
+/// How far to take the generation (`target:` in the request).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TargetLevel {
+    /// Generate the logic-level netlist with estimates (the default;
+    /// layouts take long, estimates drive exploration — paper §1).
+    #[default]
+    Logic,
+    /// Also run the layout generator and store CIF.
+    Layout,
+}
+
+/// Timing/load constraints of a request, mirroring §3.2.2:
+/// `clock_width:30`, `comb_delay`, `set_up_time:30`, and the
+/// `rdelay Q[0] 10` / `oload Q[0] 10` constraint text.
+#[derive(Debug, Clone, Default)]
+pub struct Constraints {
+    /// Minimum clock width bound (ns).
+    pub clock_width: Option<f64>,
+    /// Worst input→output delay bound applying to all outputs (ns).
+    pub comb_delay: Option<f64>,
+    /// Setup-time bound for all inputs (ns); checked, not optimized.
+    pub set_up_time: Option<f64>,
+    /// Per-output delay bounds (`rdelay PORT ns`).
+    pub rdelay: Vec<(String, f64)>,
+    /// Per-output loads in unit transistors (`oload PORT units`).
+    pub oload: Vec<(String, f64)>,
+    /// Default output load when not listed (units).
+    pub default_load: f64,
+}
+
+impl Constraints {
+    /// Parses the paper's constraint text: one `rdelay PORT NS` or
+    /// `oload PORT UNITS` per line.
+    ///
+    /// # Errors
+    /// Fails on malformed lines.
+    pub fn parse_delay_text(&mut self, text: &str) -> Result<(), IcdbError> {
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let cols: Vec<&str> = line.split_whitespace().collect();
+            if cols.len() != 3 {
+                return Err(IcdbError::Cql(format!(
+                    "constraint line `{line}` is not `rdelay|oload PORT VALUE`"
+                )));
+            }
+            let value: f64 = cols[2].parse().map_err(|_| {
+                IcdbError::Cql(format!("bad number `{}` in constraint `{line}`", cols[2]))
+            })?;
+            match cols[0] {
+                "rdelay" => self.rdelay.push((cols[1].to_string(), value)),
+                "oload" => self.oload.push((cols[1].to_string(), value)),
+                other => {
+                    return Err(IcdbError::Cql(format!(
+                        "unknown constraint keyword `{other}`"
+                    )))
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The output-load specification implied by the constraints.
+    pub fn load_spec(&self) -> LoadSpec {
+        let mut spec = LoadSpec::uniform(if self.default_load > 0.0 {
+            self.default_load
+        } else {
+            10.0
+        });
+        for (port, units) in &self.oload {
+            spec.per_output.insert(port.clone(), *units);
+        }
+        spec
+    }
+
+    /// The sizing goal implied by the constraints, if any is present.
+    pub fn sizing_goal(&self) -> Option<SizingGoal> {
+        if self.clock_width.is_none() && self.comb_delay.is_none() && self.rdelay.is_empty() {
+            return None;
+        }
+        let mut goal = SizingGoal {
+            clock_width: self.clock_width,
+            worst_delay: self.comb_delay,
+            ..SizingGoal::default()
+        };
+        for (port, bound) in &self.rdelay {
+            goal.per_output.insert(port.clone(), *bound);
+        }
+        Some(goal)
+    }
+}
+
+/// What to generate a component *from* (Appendix B §6.1 lists the three
+/// specification types).
+#[derive(Debug, Clone)]
+pub enum Source {
+    /// From a component name / implementation name plus attributes
+    /// (searched in the generic component library).
+    Library {
+        /// `component_name:` — a component type (`counter`).
+        component_name: Option<String>,
+        /// `implementation:` — a specific implementation.
+        implementation: Option<String>,
+        /// `function:(INC,DEC)` — required functions.
+        functions: Vec<String>,
+    },
+    /// From inline IIF text (the control-logic path).
+    Iif(String),
+    /// From a VHDL netlist whose components are ICDB instances
+    /// (the partitioner's clustering path).
+    VhdlNetlist(String),
+}
+
+/// A full component request.
+#[derive(Debug, Clone)]
+pub struct ComponentRequest {
+    /// What to build from.
+    pub source: Source,
+    /// Attribute overrides (`(size:5)`).
+    pub attributes: Vec<(String, String)>,
+    /// Timing/load constraints.
+    pub constraints: Constraints,
+    /// `strategy: fastest | cheapest` (overridden by explicit constraints).
+    pub strategy: Option<String>,
+    /// Logic-only or full layout.
+    pub target: TargetLevel,
+    /// Requested instance name (ICDB invents one when absent).
+    pub instance_name: Option<String>,
+    /// Port positions for layout generation (paper §3.3 text format).
+    pub port_positions: Option<String>,
+    /// Shape alternative (1-based strip-count choice) for layout.
+    pub alternative: Option<usize>,
+}
+
+impl ComponentRequest {
+    /// A request for a library component by component-type name.
+    pub fn by_component(name: impl Into<String>) -> ComponentRequest {
+        ComponentRequest {
+            source: Source::Library {
+                component_name: Some(name.into()),
+                implementation: None,
+                functions: Vec::new(),
+            },
+            attributes: Vec::new(),
+            constraints: Constraints::default(),
+            strategy: None,
+            target: TargetLevel::Logic,
+            instance_name: None,
+            port_positions: None,
+            alternative: None,
+        }
+    }
+
+    /// A request naming a specific implementation.
+    pub fn by_implementation(name: impl Into<String>) -> ComponentRequest {
+        let mut r = ComponentRequest::by_component("");
+        r.source = Source::Library {
+            component_name: None,
+            implementation: Some(name.into()),
+            functions: Vec::new(),
+        };
+        r
+    }
+
+    /// A request for any component executing all `functions`.
+    pub fn by_functions(functions: Vec<String>) -> ComponentRequest {
+        let mut r = ComponentRequest::by_component("");
+        r.source = Source::Library { component_name: None, implementation: None, functions };
+        r
+    }
+
+    /// A request from inline IIF source (control-logic generation).
+    pub fn from_iif(source: impl Into<String>) -> ComponentRequest {
+        let mut r = ComponentRequest::by_component("");
+        r.source = Source::Iif(source.into());
+        r
+    }
+
+    /// A request from a VHDL netlist of existing instances (clustering).
+    pub fn from_vhdl(netlist: impl Into<String>) -> ComponentRequest {
+        let mut r = ComponentRequest::by_component("");
+        r.source = Source::VhdlNetlist(netlist.into());
+        r
+    }
+
+    /// Adds an attribute.
+    pub fn attribute(mut self, key: impl Into<String>, value: impl Into<String>) -> Self {
+        self.attributes.push((key.into(), value.into()));
+        self
+    }
+
+    /// Sets the strategy (`fastest` / `cheapest`).
+    pub fn strategy(mut self, s: impl Into<String>) -> Self {
+        self.strategy = Some(s.into());
+        self
+    }
+
+    /// Constrains the minimum clock width.
+    pub fn clock_width(mut self, ns: f64) -> Self {
+        self.constraints.clock_width = Some(ns);
+        self
+    }
+
+    /// Requests layout-level generation.
+    pub fn layout(mut self) -> Self {
+        self.target = TargetLevel::Layout;
+        self
+    }
+
+    /// The sizing strategy combining explicit constraints and `strategy:`.
+    pub fn sizing_strategy(&self) -> Strategy {
+        if let Some(goal) = self.constraints.sizing_goal() {
+            return Strategy::Constraints(goal);
+        }
+        match self.strategy.as_deref() {
+            Some("fastest") => Strategy::Fastest,
+            Some("cheapest") | None => Strategy::Cheapest,
+            Some(_) => Strategy::Cheapest,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_paper_constraint_text() {
+        let mut c = Constraints::default();
+        c.parse_delay_text(
+            "rdelay Q[4] 10\nrdelay Q[3] 10\noload Q[4] 10\noload Q[3] 10",
+        )
+        .unwrap();
+        assert_eq!(c.rdelay.len(), 2);
+        assert_eq!(c.oload.len(), 2);
+        let loads = c.load_spec();
+        assert_eq!(loads.load_of("Q[4]"), 10.0);
+        assert_eq!(loads.load_of("unlisted"), 10.0);
+        let goal = c.sizing_goal().unwrap();
+        assert_eq!(goal.per_output.get("Q[4]"), Some(&10.0));
+    }
+
+    #[test]
+    fn rejects_bad_constraint_lines() {
+        let mut c = Constraints::default();
+        assert!(c.parse_delay_text("rdelay Q[4]").is_err());
+        assert!(c.parse_delay_text("rdelay Q[4] abc").is_err());
+        assert!(c.parse_delay_text("mystery Q[4] 10").is_err());
+    }
+
+    #[test]
+    fn strategy_resolution() {
+        let r = ComponentRequest::by_component("counter").strategy("fastest");
+        assert!(matches!(r.sizing_strategy(), Strategy::Fastest));
+        let r = ComponentRequest::by_component("counter");
+        assert!(matches!(r.sizing_strategy(), Strategy::Cheapest));
+        let r = ComponentRequest::by_component("counter").clock_width(25.0);
+        assert!(matches!(r.sizing_strategy(), Strategy::Constraints(_)));
+    }
+
+    #[test]
+    fn builders_compose() {
+        let r = ComponentRequest::by_component("counter")
+            .attribute("size", "5")
+            .attribute("up_or_down", "3")
+            .clock_width(25.0)
+            .layout();
+        assert_eq!(r.attributes.len(), 2);
+        assert_eq!(r.target, TargetLevel::Layout);
+    }
+}

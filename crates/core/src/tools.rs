@@ -1,0 +1,212 @@
+//! Tool management (paper §4.2): "Tool programs in ICDB are formed into a
+//! set of component generators. […] A component generator is defined by a
+//! list of tuples: (step-no, tool-name). It is executed in a straight
+//! sequence." and "A tool which does not belong to any component generator
+//! will never be used by ICDB."
+//!
+//! The embedded generation path (Fig. 8) is registered as the default
+//! generators; the knowledge server can register more.
+
+use crate::error::IcdbError;
+use std::collections::BTreeMap;
+
+/// One tool step of a generator: `(step number, tool name)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ToolStep {
+    /// Execution order (step 1 first).
+    pub step: u32,
+    /// Name of the tool program.
+    pub tool: String,
+}
+
+/// A registered component generator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GeneratorInfo {
+    /// Generator name.
+    pub name: String,
+    /// Design-data format it accepts (`"iif"`, `"vhdl"`, `"cif"`).
+    pub accepts: String,
+    /// Ordered tool steps. Step 1 produces estimates; the remaining steps
+    /// take the design to layout (paper: "A component generator has two
+    /// steps. The first step takes a design data description and produces
+    /// delay and shape function estimates. The second step … generates the
+    /// layout.").
+    pub steps: Vec<ToolStep>,
+    /// One-line description.
+    pub description: String,
+}
+
+/// Registry of component generators and the tools they chain.
+#[derive(Debug, Clone, Default)]
+pub struct ToolManager {
+    generators: BTreeMap<String, GeneratorInfo>,
+}
+
+impl ToolManager {
+    /// Empty registry.
+    pub fn new() -> ToolManager {
+        ToolManager::default()
+    }
+
+    /// The registry with the embedded Fig. 8 generators pre-registered.
+    pub fn standard() -> ToolManager {
+        let mut m = ToolManager::new();
+        m.register(GeneratorInfo {
+            name: "embedded-milo".into(),
+            accepts: "iif".into(),
+            steps: vec![
+                ToolStep { step: 1, tool: "iif-expander".into() },
+                ToolStep { step: 2, tool: "milo-optimizer".into() },
+                ToolStep { step: 3, tool: "milo-mapper".into() },
+                ToolStep { step: 4, tool: "transistor-sizer".into() },
+                ToolStep { step: 5, tool: "delay-estimator".into() },
+                ToolStep { step: 6, tool: "area-estimator".into() },
+            ],
+            description: "embedded IIF → gate netlist path with estimates".into(),
+        })
+        .expect("fresh registry");
+        m.register(GeneratorInfo {
+            name: "embedded-les".into(),
+            accepts: "netlist".into(),
+            steps: vec![
+                ToolStep { step: 1, tool: "strip-placer".into() },
+                ToolStep { step: 2, tool: "cif-writer".into() },
+            ],
+            description: "embedded strip layout generator (CIF output)".into(),
+        })
+        .expect("fresh registry");
+        m.register(GeneratorInfo {
+            name: "cluster-estimator".into(),
+            accepts: "vhdl".into(),
+            steps: vec![
+                ToolStep { step: 1, tool: "vhdl-flattener".into() },
+                ToolStep { step: 2, tool: "delay-estimator".into() },
+                ToolStep { step: 3, tool: "area-estimator".into() },
+            ],
+            description: "VHDL-cluster flattening and estimation for the partitioner".into(),
+        })
+        .expect("fresh registry");
+        m
+    }
+
+    /// Registers a generator (the knowledge-acquisition path).
+    ///
+    /// # Errors
+    /// Fails on duplicate names, empty step lists or non-sequential steps.
+    pub fn register(&mut self, info: GeneratorInfo) -> Result<(), IcdbError> {
+        if self.generators.contains_key(&info.name) {
+            return Err(IcdbError::Unsupported(format!(
+                "generator `{}` already registered",
+                info.name
+            )));
+        }
+        if info.steps.is_empty() {
+            return Err(IcdbError::Unsupported(format!(
+                "generator `{}` has no tool steps",
+                info.name
+            )));
+        }
+        for (i, s) in info.steps.iter().enumerate() {
+            if s.step as usize != i + 1 {
+                return Err(IcdbError::Unsupported(format!(
+                    "generator `{}`: steps must be sequential from 1 (found {} at position {})",
+                    info.name,
+                    s.step,
+                    i + 1
+                )));
+            }
+        }
+        self.generators.insert(info.name.clone(), info);
+        Ok(())
+    }
+
+    /// A generator by name.
+    pub fn generator(&self, name: &str) -> Option<&GeneratorInfo> {
+        self.generators.get(name)
+    }
+
+    /// Generators accepting a given design-data format.
+    pub fn accepting(&self, format: &str) -> Vec<&GeneratorInfo> {
+        self.generators
+            .values()
+            .filter(|g| g.accepts.eq_ignore_ascii_case(format))
+            .collect()
+    }
+
+    /// All generator names, sorted.
+    pub fn names(&self) -> Vec<&str> {
+        self.generators.keys().map(String::as_str).collect()
+    }
+
+    /// Whether any registered generator uses the named tool — tools outside
+    /// every generator "will never be used" (§4.2).
+    pub fn tool_is_used(&self, tool: &str) -> bool {
+        self.generators
+            .values()
+            .any(|g| g.steps.iter().any(|s| s.tool == tool))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_generators_present() {
+        let m = ToolManager::standard();
+        assert_eq!(m.names(), vec!["cluster-estimator", "embedded-les", "embedded-milo"]);
+        let milo = m.generator("embedded-milo").unwrap();
+        assert_eq!(milo.steps.len(), 6);
+        assert_eq!(milo.steps[0].tool, "iif-expander");
+    }
+
+    #[test]
+    fn accepting_filters_by_format() {
+        let m = ToolManager::standard();
+        let iif = m.accepting("iif");
+        assert_eq!(iif.len(), 1);
+        assert_eq!(iif[0].name, "embedded-milo");
+        assert!(m.accepting("edif").is_empty());
+    }
+
+    #[test]
+    fn tool_usage_rule() {
+        let m = ToolManager::standard();
+        assert!(m.tool_is_used("milo-mapper"));
+        assert!(!m.tool_is_used("orphan-tool"));
+    }
+
+    #[test]
+    fn registration_validates() {
+        let mut m = ToolManager::standard();
+        let dup = m.generator("embedded-les").unwrap().clone();
+        assert!(m.register(dup).is_err());
+        assert!(m
+            .register(GeneratorInfo {
+                name: "empty".into(),
+                accepts: "iif".into(),
+                steps: vec![],
+                description: String::new(),
+            })
+            .is_err());
+        assert!(m
+            .register(GeneratorInfo {
+                name: "gapped".into(),
+                accepts: "iif".into(),
+                steps: vec![ToolStep { step: 2, tool: "x".into() }],
+                description: String::new(),
+            })
+            .is_err());
+        m.register(GeneratorInfo {
+            name: "custom".into(),
+            accepts: "iif".into(),
+            steps: vec![
+                ToolStep { step: 1, tool: "estimate".into() },
+                ToolStep { step: 2, tool: "layout".into() },
+            ],
+            description: "custom flow".into(),
+        })
+        .unwrap();
+        assert!(m.generator("custom").is_some());
+    }
+}

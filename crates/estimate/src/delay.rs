@@ -1,0 +1,402 @@
+//! Delay estimation (paper §4.4.1).
+//!
+//! For each basic cell the library stores three numbers — X (delay per unit
+//! transistor load), Y (intrinsic delay), Z (delay per fanout) — and the
+//! delay of an output is `Trans_no·X + Y + fanout_no·Z`. The delay of a
+//! component is the sum of cell delays along the path. From those path sums
+//! ICDB reports, per §3.3:
+//!
+//! * `CW` — minimum clock width (worst register-to-register path plus
+//!   setup, bounded below by the cells' minimum pulse widths),
+//! * `WD port` — delay from the clock edge to each output port,
+//! * `SD port` — setup time required on each input port.
+
+use icdb_cells::Library;
+use icdb_logic::{GNet, GateNetlist};
+use std::collections::HashMap;
+use std::fmt;
+
+/// External loading of the component's output ports, in unit transistors
+/// (the paper's `oload Q[0] 10` constraint format).
+#[derive(Debug, Clone, Default)]
+pub struct LoadSpec {
+    /// Load applied to outputs not listed in `per_output`.
+    pub default_output_load: f64,
+    /// Per-port overrides, keyed by port name.
+    pub per_output: HashMap<String, f64>,
+}
+
+impl LoadSpec {
+    /// Uniform load on every output.
+    pub fn uniform(load: f64) -> LoadSpec {
+        LoadSpec { default_output_load: load, per_output: HashMap::new() }
+    }
+
+    /// Load seen by a given output port.
+    pub fn load_of(&self, port: &str) -> f64 {
+        self.per_output
+            .get(port)
+            .copied()
+            .unwrap_or(self.default_output_load)
+    }
+}
+
+/// The component-level timing report (the `delay_s` string of §3.3).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DelayReport {
+    /// Minimum clock width in ns (`CW`), 0 for purely combinational
+    /// components.
+    pub clock_width: f64,
+    /// Clock-to-output (or input-to-output for combinational designs)
+    /// delay per output port (`WD`).
+    pub output_delays: Vec<(String, f64)>,
+    /// Setup time per input port that reaches sequential logic (`SD`).
+    pub setup_times: Vec<(String, f64)>,
+    /// Worst purely-combinational input→output delay per output port.
+    pub comb_delays: Vec<(String, f64)>,
+    /// Worst arrival time anywhere in the design.
+    pub critical_path: f64,
+}
+
+impl DelayReport {
+    /// Worst `WD` over all outputs.
+    pub fn worst_output_delay(&self) -> f64 {
+        self.output_delays
+            .iter()
+            .map(|(_, d)| *d)
+            .fold(0.0, f64::max)
+    }
+
+    /// `WD` of one port.
+    pub fn output_delay(&self, port: &str) -> Option<f64> {
+        self.output_delays
+            .iter()
+            .find(|(p, _)| p == port)
+            .map(|(_, d)| *d)
+    }
+
+    /// `SD` of one port.
+    pub fn setup_time(&self, port: &str) -> Option<f64> {
+        self.setup_times
+            .iter()
+            .find(|(p, _)| p == port)
+            .map(|(_, d)| *d)
+    }
+}
+
+impl fmt::Display for DelayReport {
+    /// Formats exactly like the paper's §3.3 delay string:
+    /// `CW 29.0` / `WD Q[4] 8.5` / `SD DWUP 26.7`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.clock_width > 0.0 {
+            writeln!(f, "CW {:.1}", self.clock_width)?;
+        }
+        for (p, d) in &self.output_delays {
+            writeln!(f, "WD {p} {d:.1}")?;
+        }
+        for (p, d) in &self.setup_times {
+            writeln!(f, "SD {p} {d:.1}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Estimation error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EstimateError {
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for EstimateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "estimate error: {}", self.message)
+    }
+}
+
+impl std::error::Error for EstimateError {}
+
+/// Per-gate output delay under the current sizing and loading.
+pub fn gate_delays(nl: &GateNetlist, lib: &Library, loads: &LoadSpec) -> Vec<f64> {
+    let fanouts = nl.fanouts();
+    let output_names: HashMap<GNet, &str> = nl
+        .outputs
+        .iter()
+        .map(|&o| (o, nl.net_name(o)))
+        .collect();
+    nl.gates
+        .iter()
+        .map(|g| {
+            let sinks = fanouts.get(&g.output).map(Vec::as_slice).unwrap_or(&[]);
+            let mut load: f64 = sinks
+                .iter()
+                .map(|&(gi, _)| {
+                    let sink = &nl.gates[gi];
+                    lib.cell(sink.cell).input_load(sink.size)
+                })
+                .sum();
+            let mut fanout = sinks.len();
+            if let Some(port) = output_names.get(&g.output) {
+                load += loads.load_of(port);
+                fanout += 1;
+            }
+            lib.cell(g.cell).delay(g.size, load, fanout)
+        })
+        .collect()
+}
+
+/// Computes the full §3.3 timing report for a mapped netlist.
+///
+/// # Errors
+/// Fails on combinational cycles.
+pub fn estimate_delay(
+    nl: &GateNetlist,
+    lib: &Library,
+    loads: &LoadSpec,
+) -> Result<DelayReport, EstimateError> {
+    let order = nl
+        .comb_topo_order(lib)
+        .map_err(|e| EstimateError { message: e.message })?;
+    let delays = gate_delays(nl, lib, loads);
+
+    let seq_gates: Vec<usize> = (0..nl.gates.len())
+        .filter(|&i| lib.cell(nl.gates[i].cell).function.is_sequential())
+        .collect();
+
+    // Arrival seeded by both PIs (at 0) and sequential outputs (at their
+    // clock-to-Q gate delay): gives WD per output. Ripple structures clock
+    // one flip-flop from another's Q, so the clock-arrival at each
+    // sequential cell must accumulate along the clock chain — iterate to a
+    // fixpoint (bounded by the flip-flop count).
+    let mut seed_all: HashMap<GNet, f64> = HashMap::new();
+    for &i in &nl.inputs {
+        seed_all.insert(i, 0.0);
+    }
+    for &gi in &seq_gates {
+        seed_all.insert(nl.gates[gi].output, delays[gi]);
+    }
+    let mut arr_all = propagate_arrival(nl, &order, &delays, &seed_all);
+    for _ in 0..seq_gates.len().max(1) {
+        let mut changed = false;
+        for &gi in &seq_gates {
+            let clk_net = nl.gates[gi].inputs[1];
+            let clk_arr = arr_all.get(&clk_net).copied().unwrap_or(0.0);
+            let q_arr = clk_arr + delays[gi];
+            let slot = seed_all.get_mut(&nl.gates[gi].output).expect("seeded");
+            if (q_arr - *slot).abs() > 1e-9 {
+                *slot = q_arr;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+        arr_all = propagate_arrival(nl, &order, &delays, &seed_all);
+    }
+
+    // Arrival seeded only by sequential outputs: register-to-register paths.
+    let mut seed_seq: HashMap<GNet, f64> = HashMap::new();
+    for &gi in &seq_gates {
+        seed_seq.insert(nl.gates[gi].output, delays[gi]);
+    }
+    let arr_seq = propagate_arrival(nl, &order, &delays, &seed_seq);
+
+    // Arrival seeded only by PIs: combinational delay and setup component.
+    let mut seed_pi: HashMap<GNet, f64> = HashMap::new();
+    for &i in &nl.inputs {
+        seed_pi.insert(i, 0.0);
+    }
+    let arr_pi = propagate_arrival(nl, &order, &delays, &seed_pi);
+
+    // WD per output (clock or input to output, whichever path exists).
+    let mut output_delays = Vec::new();
+    let mut comb_delays = Vec::new();
+    for &o in &nl.outputs {
+        let name = nl.net_name(o).to_string();
+        if let Some(&d) = arr_all.get(&o) {
+            output_delays.push((name.clone(), d));
+        }
+        if let Some(&d) = arr_pi.get(&o) {
+            comb_delays.push((name, d));
+        }
+    }
+
+    // CW: worst reg→reg arrival at any sequential data/async pin + setup,
+    // bounded by the min pulse widths.
+    let mut clock_width: f64 = 0.0;
+    for &gi in &seq_gates {
+        let g = &nl.gates[gi];
+        let cell = lib.cell(g.cell);
+        let seq = cell.seq.expect("sequential cell has seq timing");
+        clock_width = clock_width.max(seq.min_pulse);
+        // Pin 0 is D; asynchronous pins also constrain the cycle.
+        for (pi, n) in g.inputs.iter().enumerate() {
+            if pi == 1 {
+                continue; // clock pin
+            }
+            if let Some(&a) = arr_seq.get(n) {
+                clock_width = clock_width.max(a + seq.setup);
+            }
+        }
+    }
+
+    // SD per input: worst path from that input alone to any sequential
+    // data/async pin, plus that cell's setup.
+    let mut setup_times = Vec::new();
+    for &i in &nl.inputs {
+        let mut seed = HashMap::new();
+        seed.insert(i, 0.0);
+        let arr = propagate_arrival(nl, &order, &delays, &seed);
+        let mut worst: Option<f64> = None;
+        for &gi in &seq_gates {
+            let g = &nl.gates[gi];
+            let cell = lib.cell(g.cell);
+            let setup = cell.seq.expect("seq timing").setup;
+            for (pi, n) in g.inputs.iter().enumerate() {
+                if pi == 1 {
+                    continue;
+                }
+                if let Some(&a) = arr.get(n) {
+                    worst = Some(worst.map_or(a + setup, |w: f64| w.max(a + setup)));
+                }
+            }
+        }
+        if let Some(w) = worst {
+            setup_times.push((nl.net_name(i).to_string(), w));
+        }
+    }
+
+    let critical_path = arr_all.values().copied().fold(0.0, f64::max);
+    Ok(DelayReport { clock_width, output_delays, setup_times, comb_delays, critical_path })
+}
+
+/// Longest-path arrival propagation over the combinational gates.
+fn propagate_arrival(
+    nl: &GateNetlist,
+    order: &[usize],
+    delays: &[f64],
+    seeds: &HashMap<GNet, f64>,
+) -> HashMap<GNet, f64> {
+    let mut arr: HashMap<GNet, f64> = seeds.clone();
+    for &gi in order {
+        let g = &nl.gates[gi];
+        let worst_in = g
+            .inputs
+            .iter()
+            .filter_map(|n| arr.get(n))
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max);
+        if worst_in.is_finite() {
+            let t = worst_in + delays[gi];
+            let slot = arr.entry(g.output).or_insert(f64::NEG_INFINITY);
+            if t > *slot {
+                *slot = t;
+            }
+        }
+    }
+    arr.retain(|_, v| v.is_finite());
+    arr
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icdb_logic::synthesize;
+
+    fn netlist(src: &str, params: &[(&str, i64)]) -> (GateNetlist, Library) {
+        let lib = Library::standard();
+        let m = icdb_iif::parse(src).unwrap();
+        let flat = icdb_iif::expand(&m, params, &icdb_iif::NoModules).unwrap();
+        let nl = synthesize(&flat, &lib, &Default::default()).unwrap();
+        (nl, lib)
+    }
+
+    #[test]
+    fn combinational_component_has_no_clock_width() {
+        let (nl, lib) = netlist(
+            "NAME: C; INORDER: A, B; OUTORDER: O; { O = A * B; }",
+            &[],
+        );
+        let r = estimate_delay(&nl, &lib, &LoadSpec::uniform(10.0)).unwrap();
+        assert_eq!(r.clock_width, 0.0);
+        assert!(r.output_delay("O").unwrap() > 0.0);
+        assert!(r.setup_times.is_empty());
+    }
+
+    #[test]
+    fn sequential_component_reports_cw_wd_sd() {
+        let (nl, lib) = netlist(
+            "NAME: R; INORDER: D, CLK; OUTORDER: Q; { Q = D @(~r CLK); }",
+            &[],
+        );
+        let r = estimate_delay(&nl, &lib, &LoadSpec::uniform(10.0)).unwrap();
+        assert!(r.clock_width >= 6.0, "bounded by min pulse: {}", r.clock_width);
+        assert!(r.output_delay("Q").unwrap() >= 3.0, "clk-to-q at least intrinsic");
+        let sd = r.setup_time("D").unwrap();
+        assert!(sd >= 2.0, "setup at least the FF's: {sd}");
+    }
+
+    #[test]
+    fn longer_carry_chain_has_longer_clock_width() {
+        let counter = "
+NAME: CNT;
+PARAMETER: size;
+INORDER: CLK;
+OUTORDER: Q[size];
+PIIFVARIABLE: C[size+1];
+VARIABLE: i;
+{
+  C[0] = 1;
+  #for(i=0;i<size;i++)
+  {
+    Q[i] = (Q[i] (+) C[i]) @(~r CLK);
+    C[i+1] = C[i] * Q[i];
+  }
+}";
+        let lib = Library::standard();
+        let mut cws = Vec::new();
+        for size in [2i64, 4, 8] {
+            let m = icdb_iif::parse(counter).unwrap();
+            let flat = icdb_iif::expand(&m, &[("size", size)], &icdb_iif::NoModules).unwrap();
+            let nl = synthesize(&flat, &lib, &Default::default()).unwrap();
+            let r = estimate_delay(&nl, &lib, &LoadSpec::uniform(10.0)).unwrap();
+            cws.push(r.clock_width);
+        }
+        assert!(cws[0] < cws[1] && cws[1] < cws[2], "carry chain grows CW: {cws:?}");
+    }
+
+    #[test]
+    fn heavier_output_load_increases_wd() {
+        let (nl, lib) = netlist(
+            "NAME: L; INORDER: D, CLK; OUTORDER: Q; { Q = D @(~r CLK); }",
+            &[],
+        );
+        let light = estimate_delay(&nl, &lib, &LoadSpec::uniform(5.0)).unwrap();
+        let heavy = estimate_delay(&nl, &lib, &LoadSpec::uniform(50.0)).unwrap();
+        assert!(
+            heavy.output_delay("Q").unwrap() > light.output_delay("Q").unwrap(),
+            "load term must matter"
+        );
+    }
+
+    #[test]
+    fn report_formats_like_the_paper() {
+        let (nl, lib) = netlist(
+            "NAME: R; INORDER: D, CLK; OUTORDER: Q; { Q = D @(~r CLK); }",
+            &[],
+        );
+        let r = estimate_delay(&nl, &lib, &LoadSpec::uniform(10.0)).unwrap();
+        let s = r.to_string();
+        assert!(s.contains("CW "), "{s}");
+        assert!(s.contains("WD Q "), "{s}");
+        assert!(s.contains("SD D "), "{s}");
+    }
+
+    #[test]
+    fn per_port_load_overrides() {
+        let mut loads = LoadSpec::uniform(10.0);
+        loads.per_output.insert("Q".into(), 40.0);
+        assert_eq!(loads.load_of("Q"), 40.0);
+        assert_eq!(loads.load_of("other"), 10.0);
+    }
+}

@@ -1,0 +1,306 @@
+//! Power estimation (paper §1: the database "must have tools that can
+//! quickly estimate a component's delay, area, shape, and **power
+//! consumption**").
+//!
+//! First-order switching-power model: static signal probabilities and
+//! transition densities are propagated through the mapped netlist under an
+//! input-independence assumption; each gate then contributes
+//! `½ · C_out · Vdd² · f · activity(out)` with the output capacitance
+//! taken from the same unit-transistor load model the delay estimator
+//! uses. Flip-flop outputs toggle with density `2·p·(1−p)` per clock.
+
+use crate::delay::EstimateError;
+use icdb_cells::{CellFunction, Library};
+use icdb_logic::{GNet, GateNetlist};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Operating conditions for a power estimate.
+#[derive(Debug, Clone, Copy)]
+pub struct PowerSpec {
+    /// Clock frequency in MHz.
+    pub frequency_mhz: f64,
+    /// Static 1-probability assumed for primary inputs.
+    pub input_probability: f64,
+    /// Transition density of primary inputs (transitions per clock cycle).
+    pub input_activity: f64,
+    /// Supply voltage in volts.
+    pub vdd: f64,
+    /// Capacitance per unit transistor in femtofarads.
+    pub ff_per_unit_load: f64,
+}
+
+impl Default for PowerSpec {
+    fn default() -> Self {
+        PowerSpec {
+            frequency_mhz: 20.0, // a brisk clock for a late-80s process
+            input_probability: 0.5,
+            input_activity: 0.5,
+            vdd: 5.0,
+            ff_per_unit_load: 10.0,
+        }
+    }
+}
+
+/// The power report of a component instance.
+#[derive(Debug, Clone)]
+pub struct PowerReport {
+    /// Total dynamic power in µW.
+    pub total_uw: f64,
+    /// Per-net static 1-probability.
+    pub probability: HashMap<GNet, f64>,
+    /// Per-net transition density (transitions per clock cycle).
+    pub activity: HashMap<GNet, f64>,
+    /// Conditions the estimate was made under.
+    pub spec: PowerSpec,
+}
+
+impl PowerReport {
+    /// Average activity over all nets (a routing-power proxy).
+    pub fn mean_activity(&self) -> f64 {
+        if self.activity.is_empty() {
+            return 0.0;
+        }
+        self.activity.values().sum::<f64>() / self.activity.len() as f64
+    }
+}
+
+impl fmt::Display for PowerReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "POWER {:.1} uW @ {:.0} MHz Vdd={:.1}V",
+            self.total_uw, self.spec.frequency_mhz, self.spec.vdd
+        )
+    }
+}
+
+/// Estimates dynamic switching power for a mapped netlist.
+///
+/// # Errors
+/// Fails on combinational cycles (probability propagation needs an order).
+pub fn estimate_power(
+    nl: &GateNetlist,
+    lib: &Library,
+    spec: &PowerSpec,
+) -> Result<PowerReport, EstimateError> {
+    let order = nl
+        .comb_topo_order(lib)
+        .map_err(|e| EstimateError { message: e.message })?;
+    let fanouts = nl.fanouts();
+
+    let mut probability: HashMap<GNet, f64> = HashMap::new();
+    let mut activity: HashMap<GNet, f64> = HashMap::new();
+    for &i in &nl.inputs {
+        probability.insert(i, spec.input_probability);
+        activity.insert(i, spec.input_activity);
+    }
+
+    // Sequential outputs first: steady-state toggle model. Iterate a few
+    // times so feedback through the combinational logic converges.
+    let seq_gates: Vec<usize> = (0..nl.gates.len())
+        .filter(|&i| lib.cell(nl.gates[i].cell).function.is_sequential())
+        .collect();
+    for &gi in &seq_gates {
+        probability.insert(nl.gates[gi].output, 0.5);
+        activity.insert(nl.gates[gi].output, 0.5);
+    }
+    for _round in 0..4 {
+        // Combinational propagation in topological order.
+        for &gi in &order {
+            let g = &nl.gates[gi];
+            let cell = lib.cell(g.cell);
+            let p_in: Vec<f64> = g
+                .inputs
+                .iter()
+                .map(|n| probability.get(n).copied().unwrap_or(0.5))
+                .collect();
+            let a_in: Vec<f64> = g
+                .inputs
+                .iter()
+                .map(|n| activity.get(n).copied().unwrap_or(0.5))
+                .collect();
+            let p = output_probability(&cell.function, &p_in);
+            // Activity: first-order — weighted by boolean difference proxy
+            // (mean input activity scaled by output sensitivity 2p(1-p)).
+            let mean_a = if a_in.is_empty() {
+                0.0
+            } else {
+                a_in.iter().sum::<f64>() / a_in.len() as f64
+            };
+            let a = (2.0 * p * (1.0 - p)).min(1.0) * mean_a.max(0.0);
+            probability.insert(g.output, p);
+            activity.insert(g.output, a);
+        }
+        // Sequential update: Q probability follows D; activity is the
+        // random-toggle density of its probability.
+        let mut changed = false;
+        for &gi in &seq_gates {
+            let g = &nl.gates[gi];
+            let d = probability.get(&g.inputs[0]).copied().unwrap_or(0.5);
+            let q = g.output;
+            let new_a = 2.0 * d * (1.0 - d);
+            let old_p = probability.insert(q, d).unwrap_or(0.5);
+            activity.insert(q, new_a);
+            if (old_p - d).abs() > 1e-6 {
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Energy per toggle: C·Vdd²; power = ½·C·Vdd²·f·activity summed over
+    // driven nets (output load = sink pin loads, as in the delay model).
+    let f_hz = spec.frequency_mhz * 1e6;
+    let mut total_w = 0.0;
+    for g in &nl.gates {
+        let sinks = fanouts.get(&g.output).map(Vec::as_slice).unwrap_or(&[]);
+        let load_units: f64 = sinks
+            .iter()
+            .map(|&(gi, _)| {
+                let sink = &nl.gates[gi];
+                lib.cell(sink.cell).input_load(sink.size)
+            })
+            .sum::<f64>()
+            + lib.cell(g.cell).input_load(g.size); // self/wire load proxy
+        let c_farad = load_units * spec.ff_per_unit_load * 1e-15;
+        let a = activity.get(&g.output).copied().unwrap_or(0.0);
+        total_w += 0.5 * c_farad * spec.vdd * spec.vdd * f_hz * a;
+    }
+
+    Ok(PowerReport {
+        total_uw: total_w * 1e6,
+        probability,
+        activity,
+        spec: *spec,
+    })
+}
+
+/// Static output 1-probability of a cell under input independence.
+fn output_probability(f: &CellFunction, p: &[f64]) -> f64 {
+    let and = |ps: &[f64]| ps.iter().product::<f64>();
+    let or = |ps: &[f64]| 1.0 - ps.iter().map(|q| 1.0 - q).product::<f64>();
+    match f {
+        CellFunction::Inv => 1.0 - p[0],
+        CellFunction::Buf | CellFunction::Schmitt | CellFunction::Delay => p[0],
+        CellFunction::Nand(_) => 1.0 - and(p),
+        CellFunction::And(_) => and(p),
+        CellFunction::Nor(_) => 1.0 - or(p),
+        CellFunction::Or(_) => or(p),
+        CellFunction::Xor => p[0] * (1.0 - p[1]) + (1.0 - p[0]) * p[1],
+        CellFunction::Xnor => 1.0 - (p[0] * (1.0 - p[1]) + (1.0 - p[0]) * p[1]),
+        CellFunction::Aoi21 => 1.0 - or(&[p[0] * p[1], p[2]]),
+        CellFunction::Aoi22 => 1.0 - or(&[p[0] * p[1], p[2] * p[3]]),
+        CellFunction::Oai21 => 1.0 - (or(&p[0..2]) * p[2]),
+        CellFunction::Oai22 => 1.0 - (or(&p[0..2]) * or(&p[2..4])),
+        CellFunction::Mux21 => (1.0 - p[2]) * p[0] + p[2] * p[1],
+        CellFunction::Tribuf => p[0],
+        CellFunction::WiredOr(_) => or(p),
+        CellFunction::Tie0 => 0.0,
+        CellFunction::Tie1 => 1.0,
+        CellFunction::Dff { .. } | CellFunction::Latch { .. } => 0.5,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icdb_logic::synthesize;
+
+    fn netlist(src: &str, params: &[(&str, i64)]) -> (GateNetlist, Library) {
+        let lib = Library::standard();
+        let m = icdb_iif::parse(src).unwrap();
+        let flat = icdb_iif::expand(&m, params, &icdb_iif::NoModules).unwrap();
+        let nl = synthesize(&flat, &lib, &Default::default()).unwrap();
+        (nl, lib)
+    }
+
+    #[test]
+    fn probabilities_are_sane() {
+        let (nl, lib) = netlist(
+            "NAME: P; INORDER: A, B; OUTORDER: O, N; { O = A * B; N = !A; }",
+            &[],
+        );
+        let r = estimate_power(&nl, &lib, &PowerSpec::default()).unwrap();
+        let o = nl.net_id("O").unwrap();
+        let n = nl.net_id("N").unwrap();
+        assert!((r.probability[&o] - 0.25).abs() < 1e-9, "p(AND)=0.25");
+        assert!((r.probability[&n] - 0.5).abs() < 1e-9, "p(INV)=0.5");
+        for p in r.probability.values() {
+            assert!((0.0..=1.0).contains(p));
+        }
+    }
+
+    #[test]
+    fn power_scales_with_frequency() {
+        let (nl, lib) = netlist(
+            "NAME: F; INORDER: A, B, CLK; OUTORDER: Q; { Q = (A (+) B (+) Q) @(~r CLK); }",
+            &[],
+        );
+        let slow = estimate_power(
+            &nl,
+            &lib,
+            &PowerSpec { frequency_mhz: 10.0, ..PowerSpec::default() },
+        )
+        .unwrap();
+        let fast = estimate_power(
+            &nl,
+            &lib,
+            &PowerSpec { frequency_mhz: 40.0, ..PowerSpec::default() },
+        )
+        .unwrap();
+        assert!(fast.total_uw > slow.total_uw * 3.5, "{} vs {}", fast.total_uw, slow.total_uw);
+    }
+
+    #[test]
+    fn quiet_inputs_mean_less_power() {
+        let (nl, lib) = netlist(
+            "NAME: Q; INORDER: A, B, C, D; OUTORDER: O; { O = (A (+) B) * (C + D); }",
+            &[],
+        );
+        let busy = estimate_power(
+            &nl,
+            &lib,
+            &PowerSpec { input_activity: 0.9, ..PowerSpec::default() },
+        )
+        .unwrap();
+        let quiet = estimate_power(
+            &nl,
+            &lib,
+            &PowerSpec { input_activity: 0.05, ..PowerSpec::default() },
+        )
+        .unwrap();
+        assert!(quiet.total_uw < busy.total_uw * 0.3);
+    }
+
+    #[test]
+    fn bigger_component_burns_more() {
+        let src = "
+NAME: A; PARAMETER: size; INORDER: I0[size], I1[size], Cin;
+OUTORDER: O[size], Cout; PIIFVARIABLE: C[size+1]; VARIABLE: i;
+{ C[0] = Cin;
+  #for(i=0;i<size;i++)
+  { O[i] = I0[i] (+) I1[i] (+) C[i];
+    C[i+1] = I0[i]*I1[i] + I0[i]*C[i] + I1[i]*C[i]; }
+  Cout = C[size]; }";
+        let lib = Library::standard();
+        let mut watts = Vec::new();
+        for size in [4i64, 16] {
+            let m = icdb_iif::parse(src).unwrap();
+            let flat = icdb_iif::expand(&m, &[("size", size)], &icdb_iif::NoModules).unwrap();
+            let nl = synthesize(&flat, &lib, &Default::default()).unwrap();
+            watts.push(estimate_power(&nl, &lib, &PowerSpec::default()).unwrap().total_uw);
+        }
+        assert!(watts[1] > watts[0] * 2.0, "{watts:?}");
+    }
+
+    #[test]
+    fn report_renders() {
+        let (nl, lib) = netlist("NAME: R; INORDER: A; OUTORDER: O; { O = !A; }", &[]);
+        let r = estimate_power(&nl, &lib, &PowerSpec::default()).unwrap();
+        assert!(r.to_string().starts_with("POWER "));
+        assert!(r.mean_activity() > 0.0);
+    }
+}

@@ -1,0 +1,529 @@
+//! # icdb-genus — the generic component taxonomy
+//!
+//! ICDB classifies and retrieves components "by either a component type or
+//! the functions they perform" (paper §4.1), deferring the vocabulary to
+//! the GENUS generic component library [Dutt88]. This crate encodes the
+//! subset the paper itself enumerates (Appendix B §2–§3):
+//!
+//! * [`Function`] — the micro-architecture operations (`ADD`, `INC`,
+//!   `MUX_SCL`, `SHL1`, `STORAGE`, …) that synthesis tools query by;
+//! * [`ComponentType`] — the predefined component list (`Counter`,
+//!   `Adder_Subtractor`, `ALU`, `Register`, …);
+//! * port naming — `I0, I1, …` inputs, `O0, …` outputs, `C0, …` controls,
+//!   plus the standard aliases (`Cin` for the `ADD` carry input, the
+//!   comparator's `OEQ/ONEQ/OGT/OLT/OGEQ/OLEQ`);
+//! * [`Attribute`] — the predefined attribute names (`size`,
+//!   `input_latch`, `output_type`, …) with defaults;
+//! * [`ConnectionTable`] — the "how to invoke function F on this
+//!   component" tables (`## function INC … ** DWUP 0`).
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::str::FromStr;
+
+/// A micro-architecture level function (Appendix B §2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[allow(missing_docs)] // the variants are the vocabulary itself
+pub enum Function {
+    // Logic operations.
+    And, Or, Not, Nand, Nor, Xor, Xnor,
+    // Arithmetic.
+    Add, Sub, Mul, Div, Inc, Dec,
+    // Relations.
+    Eq, Neq, Gt, Ge, Lt, Le,
+    // Selection.
+    MuxScl, MuxScg,
+    // Shifts and rotates.
+    Shl1, Shr1, RotL1, RotR1, AShl1, AShr1, Shl, Shr, RotL, RotR, AShl, AShr,
+    // Coding.
+    Encode, Decode,
+    // Interface.
+    Buf, ClkDr, SchmTgr, TriState,
+    // Wiring.
+    Port, Bus, WireOr,
+    // Switch box.
+    Concat, Extract,
+    // Clocking and delay.
+    ClkGen, Delay,
+    // Memory operations.
+    Load, Store, Memory, Read, Write, Push, Pop,
+    // Component-level classification used by §4.1 (an up-counter performs
+    // INCREMENT and COUNTER; a register performs STORAGE).
+    Counter, Storage,
+}
+
+impl Function {
+    /// Canonical GENUS spelling (`MUX_SCL`, `CLK_DR`, …).
+    pub fn name(self) -> &'static str {
+        use Function::*;
+        match self {
+            And => "AND", Or => "OR", Not => "NOT", Nand => "NAND", Nor => "NOR",
+            Xor => "XOR", Xnor => "XNOR",
+            Add => "ADD", Sub => "SUB", Mul => "MUL", Div => "DIV", Inc => "INC", Dec => "DEC",
+            Eq => "EQ", Neq => "NEQ", Gt => "GT", Ge => "GE", Lt => "LT", Le => "LE",
+            MuxScl => "MUX_SCL", MuxScg => "MUX_SCG",
+            Shl1 => "SHL1", Shr1 => "SHR1", RotL1 => "ROTL1", RotR1 => "ROTR1",
+            AShl1 => "ASHL1", AShr1 => "ASHR1",
+            Shl => "SHL", Shr => "SHR", RotL => "ROTL", RotR => "ROTR",
+            AShl => "ASHL", AShr => "ASHR",
+            Encode => "ENCODE", Decode => "DECODE",
+            Buf => "BUF", ClkDr => "CLK_DR", SchmTgr => "SCHM_TGR", TriState => "TRI_STATE",
+            Port => "PORT", Bus => "BUS", WireOr => "WIRE_OR",
+            Concat => "CONCAT", Extract => "EXTRACT",
+            ClkGen => "CLK_GEN", Delay => "DELAY",
+            Load => "LOAD", Store => "STORE", Memory => "MEMORY",
+            Read => "READ", Write => "WRITE", Push => "PUSH", Pop => "POP",
+            Counter => "COUNTER", Storage => "STORAGE",
+        }
+    }
+
+    /// Every function, in a stable order.
+    pub fn all() -> &'static [Function] {
+        use Function::*;
+        &[
+            And, Or, Not, Nand, Nor, Xor, Xnor, Add, Sub, Mul, Div, Inc, Dec, Eq, Neq, Gt,
+            Ge, Lt, Le, MuxScl, MuxScg, Shl1, Shr1, RotL1, RotR1, AShl1, AShr1, Shl, Shr,
+            RotL, RotR, AShl, AShr, Encode, Decode, Buf, ClkDr, SchmTgr, TriState, Port,
+            Bus, WireOr, Concat, Extract, ClkGen, Delay, Load, Store, Memory, Read, Write,
+            Push, Pop, Counter, Storage,
+        ]
+    }
+}
+
+impl fmt::Display for Function {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+/// Error parsing a function or component name.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseNameError {
+    /// The offending name.
+    pub name: String,
+    /// What was being parsed.
+    pub what: &'static str,
+}
+
+impl fmt::Display for ParseNameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown {} `{}`", self.what, self.name)
+    }
+}
+
+impl std::error::Error for ParseNameError {}
+
+impl FromStr for Function {
+    type Err = ParseNameError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let up = s.to_ascii_uppercase();
+        // Accept the operator spellings of Appendix B too.
+        let canonical = match up.as_str() {
+            "+" => "ADD",
+            "-" => "SUB",
+            "*" => "MUL",
+            "/" => "DIV",
+            "++" => "INC",
+            "--" => "DEC",
+            "INCREMENT" => "INC",
+            "DECREMENT" => "DEC",
+            "UP" => "INC",
+            "DOWN" => "DEC",
+            other => other,
+        };
+        Function::all()
+            .iter()
+            .find(|f| f.name() == canonical)
+            .copied()
+            .ok_or(ParseNameError { name: s.to_string(), what: "function" })
+    }
+}
+
+/// A predefined component type (Appendix B §2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[allow(missing_docs)]
+pub enum ComponentType {
+    LogicUnit, MuxScl, MuxScg, Decode, Encode, Comparator, Shifter, BarrelShifter,
+    AdderSubtractor, Alu, Multiplier, Divider, Register, Counter, RegisterFile, Stack,
+    Memory, Buffer, ClockDriver, SchmittTrigger, TriState, Port, Bus, WireOr, Concat,
+    Extract, ClockGenerator, Delay, Adder,
+}
+
+impl ComponentType {
+    /// Canonical name as listed in the paper (`Adder_Subtractor`, …).
+    pub fn name(self) -> &'static str {
+        use ComponentType::*;
+        match self {
+            LogicUnit => "Logic_unit", MuxScl => "Mux_scl", MuxScg => "Mux_scg",
+            Decode => "Decode", Encode => "Encode", Comparator => "Comparator",
+            Shifter => "Shifter", BarrelShifter => "Barrel_shifter",
+            AdderSubtractor => "Adder_Subtractor", Alu => "ALU", Multiplier => "Multiplier",
+            Divider => "Divider", Register => "Register", Counter => "Counter",
+            RegisterFile => "Register_file", Stack => "Stack", Memory => "Memory",
+            Buffer => "Buffer", ClockDriver => "Clock_driver",
+            SchmittTrigger => "Schmitt_trigger", TriState => "Tri_state", Port => "Port",
+            Bus => "Bus", WireOr => "Wire_or", Concat => "Concat", Extract => "Extract",
+            ClockGenerator => "Clock_generator", Delay => "Delay", Adder => "Adder",
+        }
+    }
+
+    /// Every component type.
+    pub fn all() -> &'static [ComponentType] {
+        use ComponentType::*;
+        &[
+            LogicUnit, MuxScl, MuxScg, Decode, Encode, Comparator, Shifter, BarrelShifter,
+            AdderSubtractor, Alu, Multiplier, Divider, Register, Counter, RegisterFile,
+            Stack, Memory, Buffer, ClockDriver, SchmittTrigger, TriState, Port, Bus, WireOr,
+            Concat, Extract, ClockGenerator, Delay, Adder,
+        ]
+    }
+
+    /// Functions a component of this type characteristically performs
+    /// (§4.1: "an up-counter performs the functions INCREMENT and COUNTER,
+    /// a register performs the function STORAGE…").
+    pub fn typical_functions(self) -> Vec<Function> {
+        use ComponentType::*;
+        use Function as F;
+        match self {
+            Counter => vec![F::Inc, F::Dec, F::Counter, F::Storage, F::Load],
+            Register => vec![F::Storage, F::Load, F::Store],
+            Adder => vec![F::Add],
+            AdderSubtractor => vec![F::Add, F::Sub],
+            Alu => vec![F::Add, F::Sub, F::And, F::Or, F::Xor, F::Not],
+            Comparator => vec![F::Eq, F::Neq, F::Gt, F::Ge, F::Lt, F::Le],
+            Shifter => vec![F::Shl1, F::Shr1],
+            BarrelShifter => vec![F::Shl, F::Shr, F::RotL, F::RotR],
+            MuxScl => vec![F::MuxScl],
+            MuxScg => vec![F::MuxScg],
+            Decode => vec![F::Decode],
+            Encode => vec![F::Encode],
+            LogicUnit => vec![F::And, F::Or, F::Not, F::Nand, F::Nor, F::Xor, F::Xnor],
+            Multiplier => vec![F::Mul],
+            Divider => vec![F::Div],
+            RegisterFile => vec![F::Storage, F::Read, F::Write],
+            Stack => vec![F::Push, F::Pop, F::Storage],
+            Memory => vec![F::Memory, F::Read, F::Write, F::Storage],
+            Buffer => vec![F::Buf],
+            ClockDriver => vec![F::ClkDr],
+            SchmittTrigger => vec![F::SchmTgr],
+            TriState => vec![F::TriState],
+            Port => vec![F::Port],
+            Bus => vec![F::Bus],
+            WireOr => vec![F::WireOr],
+            Concat => vec![F::Concat],
+            Extract => vec![F::Extract],
+            ClockGenerator => vec![F::ClkGen],
+            Delay => vec![F::Delay],
+        }
+    }
+}
+
+impl fmt::Display for ComponentType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+impl FromStr for ComponentType {
+    type Err = ParseNameError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let low = s.to_ascii_lowercase();
+        ComponentType::all()
+            .iter()
+            .find(|c| c.name().to_ascii_lowercase() == low)
+            .copied()
+            .ok_or(ParseNameError { name: s.to_string(), what: "component type" })
+    }
+}
+
+/// Standard data port name: `I0, I1, …` / `O0, O1, …` (Appendix B §3).
+pub fn data_port_name(output: bool, index: usize) -> String {
+    format!("{}{}", if output { "O" } else { "I" }, index)
+}
+
+/// Standard control port name: `C0, C1, …`.
+pub fn control_port_name(index: usize) -> String {
+    format!("C{index}")
+}
+
+/// Standard aliases (Appendix B §3): the `ADD` carry input `Cin` for `I2`,
+/// comparator outputs `OEQ…OLEQ` for `O0…O5`, clock `clk`.
+pub fn alias_of(function_or_component: &str, port: &str) -> Option<&'static str> {
+    match (function_or_component.to_ascii_uppercase().as_str(), port.to_ascii_uppercase().as_str())
+    {
+        ("ADD", "I2") => Some("Cin"),
+        ("ADD", "O1") => Some("Cout"),
+        ("COMPARATOR", "O0") => Some("OEQ"),
+        ("COMPARATOR", "O1") => Some("ONEQ"),
+        ("COMPARATOR", "O2") => Some("OGT"),
+        ("COMPARATOR", "O3") => Some("OLT"),
+        ("COMPARATOR", "O4") => Some("OGEQ"),
+        ("COMPARATOR", "O5") => Some("OLEQ"),
+        _ => None,
+    }
+}
+
+/// A predefined component attribute (Appendix B §3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Attribute {
+    /// Input bit length.
+    Size,
+    /// Whether the component latches its inputs.
+    InputLatch,
+    /// Whether the component latches its outputs.
+    OutputLatch,
+    /// Active-high (`high`) or active-low (`low`) inputs.
+    InputType,
+    /// Active-high or active-low outputs.
+    OutputType,
+    /// Tri-state buffer on the outputs.
+    OutputTriState,
+}
+
+impl Attribute {
+    /// Canonical attribute keyword.
+    pub fn name(self) -> &'static str {
+        match self {
+            Attribute::Size => "size",
+            Attribute::InputLatch => "input_latch",
+            Attribute::OutputLatch => "output_latch",
+            Attribute::InputType => "input_type",
+            Attribute::OutputType => "output_type",
+            Attribute::OutputTriState => "output_tri_state",
+        }
+    }
+
+    /// Default value when a request omits the attribute.
+    pub fn default_value(self) -> &'static str {
+        match self {
+            Attribute::Size => "1",
+            Attribute::InputLatch | Attribute::OutputLatch | Attribute::OutputTriState => "0",
+            Attribute::InputType | Attribute::OutputType => "high",
+        }
+    }
+
+    /// Every predefined attribute.
+    pub fn all() -> &'static [Attribute] {
+        &[
+            Attribute::Size,
+            Attribute::InputLatch,
+            Attribute::OutputLatch,
+            Attribute::InputType,
+            Attribute::OutputType,
+            Attribute::OutputTriState,
+        ]
+    }
+}
+
+/// How to drive one control pin to invoke a function.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PinSetting {
+    /// Port name on the component.
+    pub port: String,
+    /// Required value (`"0"`, `"1"`, or a code like `"10"`).
+    pub value: String,
+    /// Extra qualifier (the paper prints `edge_trigger` for clocks).
+    pub qualifier: Option<String>,
+}
+
+/// Connection information for one function of a component (paper §4.1):
+/// operand mapping plus control settings.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FunctionConnection {
+    /// `(function operand, component port)` pairs (`OO is OO high`).
+    pub operand_map: Vec<(String, String)>,
+    /// Control pin settings (`** DWUP 0`).
+    pub settings: Vec<PinSetting>,
+}
+
+/// The full connection table of a component: function name → how to hook
+/// it up.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ConnectionTable {
+    /// Per-function connection data, ordered by function name.
+    pub functions: BTreeMap<String, FunctionConnection>,
+}
+
+impl ConnectionTable {
+    /// Empty table.
+    pub fn new() -> ConnectionTable {
+        ConnectionTable::default()
+    }
+
+    /// Adds (or replaces) the connection data for `function`.
+    pub fn set(&mut self, function: impl Into<String>, conn: FunctionConnection) {
+        self.functions.insert(function.into(), conn);
+    }
+
+    /// Renders in the paper's §4.1 text format:
+    ///
+    /// ```text
+    /// ## function INC
+    /// OO is OO high
+    /// ** DWUP 0
+    /// ** CLK 1 edge_trigger
+    /// ```
+    pub fn to_paper_format(&self) -> String {
+        let mut out = String::new();
+        for (fname, conn) in &self.functions {
+            out.push_str(&format!("## function {fname}\n"));
+            for (operand, port) in &conn.operand_map {
+                out.push_str(&format!("{operand} is {port}\n"));
+            }
+            for s in &conn.settings {
+                match &s.qualifier {
+                    Some(q) => out.push_str(&format!("** {} {} {}\n", s.port, s.value, q)),
+                    None => out.push_str(&format!("** {} {}\n", s.port, s.value)),
+                }
+            }
+        }
+        out
+    }
+
+    /// Parses the paper's text format back.
+    ///
+    /// # Errors
+    /// Fails on malformed lines.
+    pub fn parse(text: &str) -> Result<ConnectionTable, ParseNameError> {
+        let mut table = ConnectionTable::new();
+        let mut current: Option<(String, FunctionConnection)> = None;
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix("## function") {
+                if let Some((name, conn)) = current.take() {
+                    table.set(name, conn);
+                }
+                current = Some((rest.trim().to_string(), FunctionConnection::default()));
+            } else if let Some(rest) = line.strip_prefix("**") {
+                let cols: Vec<&str> = rest.split_whitespace().collect();
+                let (name_conn, _) = match current.as_mut() {
+                    Some(c) => (c, ()),
+                    None => {
+                        return Err(ParseNameError {
+                            name: line.to_string(),
+                            what: "connection line outside a function block",
+                        })
+                    }
+                };
+                if cols.len() < 2 {
+                    return Err(ParseNameError {
+                        name: line.to_string(),
+                        what: "control setting",
+                    });
+                }
+                name_conn.1.settings.push(PinSetting {
+                    port: cols[0].to_string(),
+                    value: cols[1].to_string(),
+                    qualifier: cols.get(2).map(|s| s.to_string()),
+                });
+            } else if let Some((operand, port)) = line.split_once(" is ") {
+                let (name_conn, _) = match current.as_mut() {
+                    Some(c) => (c, ()),
+                    None => {
+                        return Err(ParseNameError {
+                            name: line.to_string(),
+                            what: "operand line outside a function block",
+                        })
+                    }
+                };
+                name_conn
+                    .1
+                    .operand_map
+                    .push((operand.trim().to_string(), port.trim().to_string()));
+            } else {
+                return Err(ParseNameError { name: line.to_string(), what: "connection line" });
+            }
+        }
+        if let Some((name, conn)) = current.take() {
+            table.set(name, conn);
+        }
+        Ok(table)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn function_names_round_trip() {
+        for f in Function::all() {
+            let parsed: Function = f.name().parse().unwrap();
+            assert_eq!(parsed, *f);
+        }
+        assert_eq!("INC".parse::<Function>().unwrap(), Function::Inc);
+        assert_eq!("increment".parse::<Function>().unwrap(), Function::Inc);
+        assert_eq!("++".parse::<Function>().unwrap(), Function::Inc);
+        assert!("BOGUS".parse::<Function>().is_err());
+    }
+
+    #[test]
+    fn component_names_round_trip() {
+        for c in ComponentType::all() {
+            let parsed: ComponentType = c.name().parse().unwrap();
+            assert_eq!(parsed, *c);
+        }
+        assert_eq!(
+            "adder_subtractor".parse::<ComponentType>().unwrap(),
+            ComponentType::AdderSubtractor
+        );
+    }
+
+    #[test]
+    fn counter_performs_inc_dec_counter_storage() {
+        let fs = ComponentType::Counter.typical_functions();
+        for f in [Function::Inc, Function::Dec, Function::Counter, Function::Storage] {
+            assert!(fs.contains(&f), "counter must perform {f}");
+        }
+    }
+
+    #[test]
+    fn port_names_and_aliases() {
+        assert_eq!(data_port_name(false, 0), "I0");
+        assert_eq!(data_port_name(true, 2), "O2");
+        assert_eq!(control_port_name(1), "C1");
+        assert_eq!(alias_of("ADD", "I2"), Some("Cin"));
+        assert_eq!(alias_of("Comparator", "O3"), Some("OLT"));
+        assert_eq!(alias_of("ADD", "I0"), None);
+    }
+
+    #[test]
+    fn attributes_have_defaults() {
+        for a in Attribute::all() {
+            assert!(!a.default_value().is_empty());
+        }
+        assert_eq!(Attribute::Size.default_value(), "1");
+        assert_eq!(Attribute::InputType.default_value(), "high");
+    }
+
+    #[test]
+    fn connection_table_round_trips_paper_example() {
+        let text = "\
+## function INC
+OO is OO high
+** DWUP 0
+** ENA 0
+** LOAD 1
+** CLK 1 edge_trigger
+";
+        let table = ConnectionTable::parse(text).unwrap();
+        let inc = &table.functions["INC"];
+        assert_eq!(inc.operand_map, vec![("OO".to_string(), "OO high".to_string())]);
+        assert_eq!(inc.settings.len(), 4);
+        assert_eq!(inc.settings[3].qualifier.as_deref(), Some("edge_trigger"));
+        let rendered = table.to_paper_format();
+        let reparsed = ConnectionTable::parse(&rendered).unwrap();
+        assert_eq!(table, reparsed);
+    }
+
+    #[test]
+    fn connection_parse_rejects_garbage() {
+        assert!(ConnectionTable::parse("** DWUP 0").is_err());
+        assert!(ConnectionTable::parse("## function F\njunk line").is_err());
+    }
+}

@@ -1,0 +1,264 @@
+//! Abstract syntax tree for parameterized IIF descriptions (Appendix A of
+//! the paper).
+
+use std::fmt;
+
+/// A complete IIF design: declarations plus a compound statement body.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Module {
+    /// Design name (`NAME:` declaration).
+    pub name: String,
+    /// Function tags (`FUNCTIONS:` declaration, e.g. `SHL0`); informational.
+    pub functions: Vec<String>,
+    /// Expansion-time parameters supplied by the user (`PARAMETER:`).
+    pub parameters: Vec<String>,
+    /// Expansion-time scratch variables (`VARIABLE:`).
+    pub variables: Vec<String>,
+    /// Input signals (`INORDER:`).
+    pub inputs: Vec<SignalDecl>,
+    /// Output signals (`OUTORDER:`).
+    pub outputs: Vec<SignalDecl>,
+    /// Internal signals (`PIIFVARIABLE:`).
+    pub internals: Vec<SignalDecl>,
+    /// Names of IIF subfunctions this design may call (`SUBFUNCTION:`).
+    pub subfunctions: Vec<String>,
+    /// Names of subcomponents (`SUBCOMPONENT:`).
+    pub subcomponents: Vec<String>,
+    /// The design body.
+    pub body: Vec<Stmt>,
+}
+
+/// A declared signal, possibly indexed: `D[size]`, `C[size+1]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SignalDecl {
+    /// Base name.
+    pub name: String,
+    /// Dimension expressions, C-evaluated at expansion time. `D[size]`
+    /// declares `D[0] … D[size-1]`.
+    pub dims: Vec<Expr>,
+}
+
+impl SignalDecl {
+    /// A scalar (un-indexed) signal declaration.
+    pub fn scalar(name: impl Into<String>) -> Self {
+        SignalDecl { name: name.into(), dims: Vec::new() }
+    }
+}
+
+/// Statements of the IIF body.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `{ … }` — a sequence block.
+    Block(Vec<Stmt>),
+    /// A hardware equation `lhs = rhs;` (or an aggregate form `lhs *= rhs;`).
+    Equation {
+        /// Assigned signal.
+        lhs: LValue,
+        /// Plain or aggregate assignment operator.
+        op: AssignOp,
+        /// Hardware expression.
+        rhs: Expr,
+    },
+    /// `#c_line stmt;` — a compile-time C statement (variable assignment,
+    /// increment, …) evaluated during expansion.
+    CLine(Box<Stmt>),
+    /// `#if (cond) stmt [#else stmt]` — compile-time decision.
+    If {
+        /// C condition over parameters/variables.
+        cond: Expr,
+        /// Taken when `cond` evaluates non-zero.
+        then_branch: Box<Stmt>,
+        /// Optional `#else`.
+        else_branch: Option<Box<Stmt>>,
+    },
+    /// `#for (init; cond; step) stmt` — compile-time replication loop.
+    For {
+        /// Initialization C expression (usually an assignment).
+        init: Expr,
+        /// Loop condition.
+        cond: Expr,
+        /// Step expression.
+        step: Expr,
+        /// Replicated body.
+        body: Box<Stmt>,
+    },
+    /// `#SUBFUN(arg, …);` — call-by-name macro instantiation of another IIF
+    /// design.
+    Call {
+        /// Callee design name.
+        name: String,
+        /// Actual arguments, bound positionally to the callee's declaration
+        /// list (parameters, then INORDER, OUTORDER, PIIFVARIABLE).
+        args: Vec<Expr>,
+    },
+    /// `#break;`
+    Break,
+    /// `#continue;`
+    Continue,
+    /// A bare expression statement (only meaningful under `#c_line`).
+    Expr(Expr),
+}
+
+/// Plain and aggregate assignment operators (Appendix A §4.5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AssignOp {
+    /// `=`
+    Assign,
+    /// `+=` — aggregate by OR.
+    OrAggregate,
+    /// `*=` — aggregate by AND.
+    AndAggregate,
+    /// `(+)=` — aggregate by XOR.
+    XorAggregate,
+    /// `(.)=` — aggregate by XNOR.
+    XnorAggregate,
+}
+
+/// An assignable location: a signal or variable, possibly indexed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LValue {
+    /// Base name.
+    pub name: String,
+    /// Index expressions (C-evaluated).
+    pub indices: Vec<Expr>,
+}
+
+/// Unary operators (hardware and C).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnaryOp {
+    /// `!` — boolean NOT (also integer "not equal zero→0/1" in C context).
+    Not,
+    /// `~b` — buffer.
+    Buf,
+    /// `~s` — schmitt trigger.
+    Schmitt,
+    /// `~r` — rising-edge clock qualifier.
+    Rise,
+    /// `~f` — falling-edge clock qualifier.
+    Fall,
+    /// `~h` — active-high latch qualifier.
+    High,
+    /// `~l` / `~1` — active-low latch qualifier.
+    Low,
+    /// Unary minus (C).
+    Neg,
+}
+
+/// Binary operators. `+`/`*`/`/`/`%` are resolved to boolean or arithmetic
+/// meaning at expansion time depending on operand types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+` — OR on signals, addition on variables.
+    Or,
+    /// `*` — AND on signals, multiplication on variables.
+    And,
+    /// `-` — subtraction (variables).
+    Sub,
+    /// `/` — division (variables).
+    Div,
+    /// `%` — modulo (variables).
+    Mod,
+    /// `**` — exponentiation (variables).
+    Pow,
+    /// `(+)` — XOR.
+    Xor,
+    /// `(.)` — XNOR.
+    Xnor,
+    /// `~d` — delay element; rhs is the delay in ns.
+    Delay,
+    /// `~t` — tri-state; lhs is data, rhs is the control signal.
+    Tristate,
+    /// `~w` — wired or.
+    WireOr,
+    /// `==`
+    Eq,
+    /// `!=`
+    Neq,
+    /// `<`
+    Lt,
+    /// `>`
+    Gt,
+    /// `<=`
+    Leq,
+    /// `>=`
+    Geq,
+    /// `&&`
+    LAnd,
+    /// `||`
+    LOr,
+}
+
+/// One `value/condition` entry of an asynchronous set/reset list.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AsyncEntry {
+    /// Output value forced while the condition holds (an expression that
+    /// must C-evaluate to 0 or 1).
+    pub value: Expr,
+    /// Activation condition (hardware expression).
+    pub cond: Expr,
+}
+
+/// IIF expressions: boolean equations with hardware operators plus C
+/// expressions used for parameters, indices and loop control.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Integer literal.
+    Int(i64),
+    /// Float literal (delay operand).
+    Float(f64),
+    /// A name: a signal or an expansion-time variable (resolved during
+    /// expansion via the declarations).
+    Ident(String),
+    /// Indexed name: `Q[i]`, `D[i+1]`.
+    Indexed(String, Vec<Expr>),
+    /// Unary operator application.
+    Unary(UnaryOp, Box<Expr>),
+    /// Binary operator application.
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+    /// `data @ (clock)` — clocked (flip-flop/latch) assignment.
+    At(Box<Expr>, Box<Expr>),
+    /// `expr ~a (v/c, …)` — asynchronous set/reset list attached to a
+    /// clocked expression.
+    Async(Box<Expr>, Vec<AsyncEntry>),
+    /// C assignment expression (`i = 0` in for-init).
+    Assign(LValue, Box<Expr>),
+    /// C increment/decrement (`i++`, `--j`).
+    IncDec {
+        /// Target variable.
+        lv: LValue,
+        /// True for `++`.
+        inc: bool,
+        /// True for prefix form.
+        pre: bool,
+    },
+}
+
+impl Expr {
+    /// Convenience: `Expr::Ident` from a `&str`.
+    pub fn ident(name: impl Into<String>) -> Expr {
+        Expr::Ident(name.into())
+    }
+}
+
+impl fmt::Display for Module {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "IIF design {} ({} statements)", self.name, self.body.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_decl_has_no_dims() {
+        let d = SignalDecl::scalar("CLK");
+        assert_eq!(d.name, "CLK");
+        assert!(d.dims.is_empty());
+    }
+
+    #[test]
+    fn expr_ident_helper() {
+        assert_eq!(Expr::ident("A"), Expr::Ident("A".into()));
+    }
+}

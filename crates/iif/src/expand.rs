@@ -1,0 +1,1213 @@
+//! The IIF macro expander: parameterized IIF → non-parameterized IIF.
+//!
+//! Mirrors the paper's two-phase IIF compiler (`piif1`/`piif2`, Appendix
+//! A.1): given a parsed [`Module`] and parameter values, it evaluates the
+//! C-level constructs (`#for`, `#if`, `#c_line`, C expressions in indices)
+//! and call-by-name subfunction instantiation, emitting a [`FlatModule`] of
+//! plain equations.
+
+use crate::ast::*;
+use crate::flat::{ClockKind, ClockSpec, FlatAsync, FlatEquation, FlatExpr, FlatModule};
+use crate::parser::decode_aggregate;
+use std::collections::{BTreeSet, HashMap};
+use std::fmt;
+
+/// Maximum `#for` iterations before the expander assumes a runaway loop.
+const MAX_ITERATIONS: u64 = 1_000_000;
+/// Maximum subfunction nesting depth.
+const MAX_DEPTH: usize = 64;
+
+/// Error produced during expansion.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExpandError {
+    /// Human-readable description, prefixed with the design name.
+    pub message: String,
+}
+
+impl fmt::Display for ExpandError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "expand error: {}", self.message)
+    }
+}
+
+impl std::error::Error for ExpandError {}
+
+/// Resolves subfunction/subcomponent names to their IIF definitions.
+///
+/// The knowledge server stores IIF component implementations in the generic
+/// component library (paper §4.1); the expander only needs name lookup.
+pub trait ModuleResolver {
+    /// Returns the design named `name`, if known.
+    fn resolve(&self, name: &str) -> Option<&Module>;
+}
+
+impl ModuleResolver for HashMap<String, Module> {
+    fn resolve(&self, name: &str) -> Option<&Module> {
+        self.get(name)
+    }
+}
+
+/// A resolver that knows no designs (for self-contained modules).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoModules;
+
+impl ModuleResolver for NoModules {
+    fn resolve(&self, _name: &str) -> Option<&Module> {
+        None
+    }
+}
+
+/// Expands `module` with named parameter bindings.
+///
+/// # Errors
+/// Fails on missing/extra parameters, undeclared names, type confusion
+/// (e.g. arithmetic on signals), duplicate net drivers, unresolvable
+/// subfunctions, or runaway loops.
+///
+/// ```
+/// let m = icdb_iif::parse("
+/// NAME: AND; PARAMETER: size; INORDER: I0[size]; OUTORDER: O; VARIABLE: i;
+/// { #for(i=0;i<size;i++) O *= I0[i]; }").unwrap();
+/// let flat = icdb_iif::expand(&m, &[("size", 4)], &icdb_iif::NoModules).unwrap();
+/// assert_eq!(flat.inputs.len(), 4);
+/// assert_eq!(flat.equations.len(), 1);
+/// ```
+pub fn expand(
+    module: &Module,
+    params: &[(&str, i64)],
+    resolver: &dyn ModuleResolver,
+) -> Result<FlatModule, ExpandError> {
+    let mut vars = HashMap::new();
+    for (name, value) in params {
+        if !module.parameters.iter().any(|p| p == name) {
+            return Err(err(module, format!("unknown parameter `{name}`")));
+        }
+        vars.insert((*name).to_string(), *value);
+    }
+    for p in &module.parameters {
+        if !vars.contains_key(p) {
+            return Err(err(module, format!("parameter `{p}` was not supplied")));
+        }
+    }
+    expand_with_env(module, vars, resolver)
+}
+
+/// Expands `module` with positional parameter values (the paper's parameter
+/// file binds values in declaration order).
+///
+/// # Errors
+/// Same conditions as [`expand`].
+pub fn expand_positional(
+    module: &Module,
+    values: &[i64],
+    resolver: &dyn ModuleResolver,
+) -> Result<FlatModule, ExpandError> {
+    if values.len() != module.parameters.len() {
+        return Err(err(
+            module,
+            format!(
+                "expected {} parameter values, got {}",
+                module.parameters.len(),
+                values.len()
+            ),
+        ));
+    }
+    let pairs: Vec<(&str, i64)> = module
+        .parameters
+        .iter()
+        .map(String::as_str)
+        .zip(values.iter().copied())
+        .collect();
+    expand(module, &pairs, resolver)
+}
+
+fn err(module: &Module, message: String) -> ExpandError {
+    ExpandError { message: format!("{}: {}", module.name, message) }
+}
+
+fn expand_with_env(
+    module: &Module,
+    vars: HashMap<String, i64>,
+    resolver: &dyn ModuleResolver,
+) -> Result<FlatModule, ExpandError> {
+    let mut sink = Sink { equations: Vec::new(), driven: HashMap::new() };
+    let final_vars = {
+        let mut frame = Frame {
+            module,
+            vars,
+            subst: HashMap::new(),
+            prefix: String::new(),
+            resolver,
+            depth: 0,
+        };
+        for v in &module.variables {
+            frame.vars.entry(v.clone()).or_insert(0);
+        }
+        for stmt in &module.body {
+            frame.exec(stmt, &mut sink)?;
+        }
+        frame.vars
+    };
+
+    // Flatten port declarations. The final variable environment is used so
+    // dimensions may be computed by `#c_line` statements in the body (e.g.
+    // `OUTORDER: O[cnm]` with `cnm` computed from the parameters).
+    let decl_frame = Frame {
+        module,
+        vars: final_vars,
+        subst: HashMap::new(),
+        prefix: String::new(),
+        resolver,
+        depth: 0,
+    };
+    let inputs = decl_frame.flatten_decls(&module.inputs)?;
+    let outputs = decl_frame.flatten_decls(&module.outputs)?;
+    let declared_internals = decl_frame.flatten_decls(&module.internals)?;
+
+    let equations: Vec<FlatEquation> = sink.equations;
+
+    // Internals: declared ones that are actually used, plus generated nets.
+    let mut used = BTreeSet::new();
+    for e in &equations {
+        used.insert(e.lhs.clone());
+        e.rhs.collect_nets(&mut used);
+    }
+    let port_set: BTreeSet<&String> = inputs.iter().chain(outputs.iter()).collect();
+    let mut internals: Vec<String> = Vec::new();
+    for n in &declared_internals {
+        if used.contains(n) && !port_set.contains(n) {
+            internals.push(n.clone());
+        }
+    }
+    for e in &equations {
+        if !port_set.contains(&e.lhs) && !internals.contains(&e.lhs) {
+            internals.push(e.lhs.clone());
+        }
+    }
+
+    let flat = FlatModule { name: module.name.clone(), inputs, outputs, internals, equations };
+    validate(module, &flat)?;
+    Ok(flat)
+}
+
+fn validate(module: &Module, flat: &FlatModule) -> Result<(), ExpandError> {
+    let driven: BTreeSet<&String> = flat.equations.iter().map(|e| &e.lhs).collect();
+    let input_set: BTreeSet<&String> = flat.inputs.iter().collect();
+    for o in &flat.outputs {
+        if !driven.contains(o) && !input_set.contains(o) {
+            return Err(err(module, format!("output `{o}` is never driven")));
+        }
+    }
+    let mut used = BTreeSet::new();
+    for e in &flat.equations {
+        e.rhs.collect_nets(&mut used);
+    }
+    for n in &used {
+        if !driven.contains(n) && !input_set.contains(n) {
+            return Err(err(module, format!("net `{n}` is used but never driven")));
+        }
+    }
+    Ok(())
+}
+
+/// Where signals of a callee map to in the caller's namespace.
+#[derive(Debug, Clone)]
+enum Subst {
+    /// Renamed to another base name.
+    Base(String),
+    /// Bound to a constant 0/1.
+    Const(i64),
+}
+
+struct Sink {
+    equations: Vec<FlatEquation>,
+    /// lhs → index into `equations`, for aggregate combination and duplicate
+    /// driver detection.
+    driven: HashMap<String, usize>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Flow {
+    Normal,
+    Break,
+    Continue,
+}
+
+/// Either an expansion-time integer or a hardware expression.
+#[derive(Debug, Clone)]
+enum Value {
+    Int(i64),
+    Float(f64),
+    Sig(FlatExpr),
+}
+
+impl Value {
+    fn into_sig(self) -> Option<FlatExpr> {
+        match self {
+            Value::Sig(e) => Some(e),
+            Value::Int(0) => Some(FlatExpr::Const(false)),
+            Value::Int(_) => Some(FlatExpr::Const(true)),
+            Value::Float(_) => None,
+        }
+    }
+}
+
+struct Frame<'a> {
+    module: &'a Module,
+    vars: HashMap<String, i64>,
+    subst: HashMap<String, Subst>,
+    prefix: String,
+    resolver: &'a dyn ModuleResolver,
+    depth: usize,
+}
+
+impl<'a> Frame<'a> {
+    fn err<T>(&self, message: impl Into<String>) -> Result<T, ExpandError> {
+        Err(err(self.module, message.into()))
+    }
+
+    fn is_signal(&self, name: &str) -> bool {
+        self.module.inputs.iter().any(|d| d.name == name)
+            || self.module.outputs.iter().any(|d| d.name == name)
+            || self.module.internals.iter().any(|d| d.name == name)
+    }
+
+    fn is_variable(&self, name: &str) -> bool {
+        self.module.parameters.iter().any(|p| p == name)
+            || self.module.variables.iter().any(|v| v == name)
+    }
+
+    fn flatten_decls(&self, decls: &[SignalDecl]) -> Result<Vec<String>, ExpandError> {
+        let mut out = Vec::new();
+        for d in decls {
+            if d.dims.is_empty() {
+                out.push(d.name.clone());
+                continue;
+            }
+            let mut sizes = Vec::new();
+            for dim in &d.dims {
+                let n = self.eval_int(dim)?;
+                if n < 0 {
+                    return self.err(format!("negative dimension for `{}`", d.name));
+                }
+                sizes.push(n);
+            }
+            let mut idx = vec![0i64; sizes.len()];
+            'outer: loop {
+                let mut name = d.name.clone();
+                for i in &idx {
+                    name.push_str(&format!("[{i}]"));
+                }
+                out.push(name);
+                for k in (0..idx.len()).rev() {
+                    idx[k] += 1;
+                    if idx[k] < sizes[k] {
+                        continue 'outer;
+                    }
+                    idx[k] = 0;
+                    if k == 0 {
+                        break 'outer;
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Resolves a signal reference to a flat net expression, applying the
+    /// call-substitution map.
+    fn signal_ref(&self, base: &str, indices: &[i64]) -> Result<FlatExpr, ExpandError> {
+        match self.subst.get(base) {
+            Some(Subst::Const(v)) => {
+                if indices.is_empty() {
+                    Ok(FlatExpr::Const(*v != 0))
+                } else {
+                    self.err(format!("constant-bound signal `{base}` cannot be indexed"))
+                }
+            }
+            Some(Subst::Base(b)) => Ok(FlatExpr::Net(flat_name(b, indices))),
+            None => {
+                let full = if self.prefix.is_empty() {
+                    flat_name(base, indices)
+                } else {
+                    format!("{}{}", self.prefix, flat_name(base, indices))
+                };
+                Ok(FlatExpr::Net(full))
+            }
+        }
+    }
+
+    fn eval_int(&self, e: &Expr) -> Result<i64, ExpandError> {
+        match self.eval_const(e)? {
+            Value::Int(v) => Ok(v),
+            other => self.err(format!("expected an integer expression, got {other:?}")),
+        }
+    }
+
+    /// Evaluates a C (compile-time) expression without side effects.
+    fn eval_const(&self, e: &Expr) -> Result<Value, ExpandError> {
+        match e {
+            Expr::Int(v) => Ok(Value::Int(*v)),
+            Expr::Float(v) => Ok(Value::Float(*v)),
+            Expr::Ident(name) => {
+                if let Some(v) = self.vars.get(name) {
+                    Ok(Value::Int(*v))
+                } else if self.is_signal(name) {
+                    self.err(format!("signal `{name}` used where an integer is required"))
+                } else {
+                    self.err(format!("undeclared name `{name}`"))
+                }
+            }
+            Expr::Unary(UnaryOp::Not, inner) => {
+                let v = self.eval_int(inner)?;
+                Ok(Value::Int(i64::from(v == 0)))
+            }
+            Expr::Unary(UnaryOp::Neg, inner) => Ok(Value::Int(-self.eval_int(inner)?)),
+            Expr::Binary(op, a, b) => {
+                let av = self.eval_int(a)?;
+                let bv = self.eval_int(b)?;
+                let r = match op {
+                    BinOp::Or => av + bv,
+                    BinOp::And => av * bv,
+                    BinOp::Sub => av - bv,
+                    BinOp::Div => {
+                        if bv == 0 {
+                            return self.err("division by zero in C expression");
+                        }
+                        av / bv
+                    }
+                    BinOp::Mod => {
+                        if bv == 0 {
+                            return self.err("modulo by zero in C expression");
+                        }
+                        av % bv
+                    }
+                    BinOp::Pow => {
+                        let exp = u32::try_from(bv).map_err(|_| {
+                            err(self.module, "negative exponent in C expression".into())
+                        })?;
+                        av.checked_pow(exp).ok_or_else(|| {
+                            err(self.module, "exponent overflow in C expression".into())
+                        })?
+                    }
+                    BinOp::Eq => i64::from(av == bv),
+                    BinOp::Neq => i64::from(av != bv),
+                    BinOp::Lt => i64::from(av < bv),
+                    BinOp::Gt => i64::from(av > bv),
+                    BinOp::Leq => i64::from(av <= bv),
+                    BinOp::Geq => i64::from(av >= bv),
+                    BinOp::LAnd => i64::from(av != 0 && bv != 0),
+                    BinOp::LOr => i64::from(av != 0 || bv != 0),
+                    other => {
+                        return self
+                            .err(format!("operator {other:?} is not valid in a C expression"))
+                    }
+                };
+                Ok(Value::Int(r))
+            }
+            other => self.err(format!("expression {other:?} is not a constant C expression")),
+        }
+    }
+
+    /// Evaluates a hardware (or mixed) expression.
+    fn eval(&self, e: &Expr) -> Result<Value, ExpandError> {
+        match e {
+            Expr::Int(v) => Ok(Value::Int(*v)),
+            Expr::Float(v) => Ok(Value::Float(*v)),
+            Expr::Ident(name) => {
+                if self.is_signal(name) {
+                    Ok(Value::Sig(self.signal_ref(name, &[])?))
+                } else if let Some(v) = self.vars.get(name) {
+                    Ok(Value::Int(*v))
+                } else {
+                    self.err(format!("undeclared name `{name}`"))
+                }
+            }
+            Expr::Indexed(name, idx_exprs) => {
+                if !self.is_signal(name) {
+                    return self.err(format!("`{name}` is not a declared signal"));
+                }
+                let mut indices = Vec::new();
+                for ie in idx_exprs {
+                    indices.push(self.eval_int(ie)?);
+                }
+                Ok(Value::Sig(self.signal_ref(name, &indices)?))
+            }
+            Expr::Unary(op, inner) => {
+                let v = self.eval(inner)?;
+                match (op, v) {
+                    (UnaryOp::Not, Value::Int(v)) => Ok(Value::Int(i64::from(v == 0))),
+                    (UnaryOp::Not, Value::Sig(s)) => Ok(Value::Sig(simplify_not(s))),
+                    (UnaryOp::Neg, Value::Int(v)) => Ok(Value::Int(-v)),
+                    (UnaryOp::Buf, Value::Sig(s)) => Ok(Value::Sig(FlatExpr::Buf(Box::new(s)))),
+                    (UnaryOp::Schmitt, Value::Sig(s)) => {
+                        Ok(Value::Sig(FlatExpr::Schmitt(Box::new(s))))
+                    }
+                    (UnaryOp::Rise | UnaryOp::Fall | UnaryOp::High | UnaryOp::Low, _) => {
+                        self.err("clock qualifier (~r/~f/~h/~l) is only valid inside `@(…)`")
+                    }
+                    (op, v) => self.err(format!("cannot apply {op:?} to {v:?}")),
+                }
+            }
+            Expr::Binary(op, a, b) => self.eval_binary(*op, a, b),
+            Expr::At(data, clock) => {
+                let data_sig = self
+                    .eval(data)?
+                    .into_sig()
+                    .ok_or_else(|| err(self.module, "`@` data must be a signal".into()))?;
+                let (kind, clk_expr) = match &**clock {
+                    Expr::Unary(UnaryOp::Rise, inner) => (ClockKind::Rising, inner),
+                    Expr::Unary(UnaryOp::Fall, inner) => (ClockKind::Falling, inner),
+                    Expr::Unary(UnaryOp::High, inner) => (ClockKind::High, inner),
+                    Expr::Unary(UnaryOp::Low, inner) => (ClockKind::Low, inner),
+                    _ => {
+                        return self.err(
+                            "clock of `@` must carry a ~r/~f/~h/~l qualifier, e.g. `@(~r CLK)`",
+                        )
+                    }
+                };
+                let clk_sig = self
+                    .eval(clk_expr)?
+                    .into_sig()
+                    .ok_or_else(|| err(self.module, "clock must be a signal".into()))?;
+                Ok(Value::Sig(FlatExpr::At {
+                    data: Box::new(data_sig),
+                    clock: ClockSpec { kind, expr: Box::new(clk_sig) },
+                }))
+            }
+            Expr::Async(base, entries) => {
+                let base_sig = self
+                    .eval(base)?
+                    .into_sig()
+                    .ok_or_else(|| err(self.module, "`~a` base must be a signal".into()))?;
+                if !matches!(base_sig, FlatExpr::At { .. }) {
+                    return self.err("`~a` must follow a clocked `@` expression");
+                }
+                let mut flat_entries = Vec::new();
+                for entry in entries {
+                    let v = self.eval_int(&entry.value)?;
+                    if v != 0 && v != 1 {
+                        return self.err("async value must be 0 or 1");
+                    }
+                    let cond = self
+                        .eval(&entry.cond)?
+                        .into_sig()
+                        .ok_or_else(|| err(self.module, "async condition must be a signal".into()))?;
+                    flat_entries.push(FlatAsync { value: v != 0, cond });
+                }
+                Ok(Value::Sig(FlatExpr::Async {
+                    base: Box::new(base_sig),
+                    entries: flat_entries,
+                }))
+            }
+            Expr::Assign(..) | Expr::IncDec { .. } => {
+                self.err("assignment/increment is only valid in #c_line or #for headers")
+            }
+        }
+    }
+
+    fn eval_binary(&self, op: BinOp, a: &Expr, b: &Expr) -> Result<Value, ExpandError> {
+        let av = self.eval(a)?;
+        let bv = self.eval(b)?;
+        // Integer-only operators first.
+        if matches!(
+            op,
+            BinOp::Sub
+                | BinOp::Mod
+                | BinOp::Pow
+                | BinOp::Eq
+                | BinOp::Neq
+                | BinOp::Lt
+                | BinOp::Gt
+                | BinOp::Leq
+                | BinOp::Geq
+                | BinOp::LAnd
+                | BinOp::LOr
+        ) {
+            return self.eval_const(&Expr::Binary(op, Box::new(a.clone()), Box::new(b.clone())));
+        }
+        match op {
+            BinOp::Delay => {
+                let sig = av
+                    .into_sig()
+                    .ok_or_else(|| err(self.module, "`~d` input must be a signal".into()))?;
+                let ns = match bv {
+                    Value::Int(v) => v as f64,
+                    Value::Float(v) => v,
+                    Value::Sig(_) => {
+                        return self.err("`~d` delay amount must be a number");
+                    }
+                };
+                Ok(Value::Sig(FlatExpr::Delay(Box::new(sig), ns)))
+            }
+            BinOp::Tristate => {
+                let data = av
+                    .into_sig()
+                    .ok_or_else(|| err(self.module, "`~t` data must be a signal".into()))?;
+                let enable = bv
+                    .into_sig()
+                    .ok_or_else(|| err(self.module, "`~t` control must be a signal".into()))?;
+                Ok(Value::Sig(FlatExpr::Tristate {
+                    data: Box::new(data),
+                    enable: Box::new(enable),
+                }))
+            }
+            BinOp::WireOr => {
+                let l = av
+                    .into_sig()
+                    .ok_or_else(|| err(self.module, "`~w` operands must be signals".into()))?;
+                let r = bv
+                    .into_sig()
+                    .ok_or_else(|| err(self.module, "`~w` operands must be signals".into()))?;
+                let mut es = Vec::new();
+                flatten_into(l, &mut es, |e| matches!(e, FlatExpr::WireOr(_)));
+                flatten_into(r, &mut es, |e| matches!(e, FlatExpr::WireOr(_)));
+                Ok(Value::Sig(FlatExpr::WireOr(es)))
+            }
+            BinOp::Or => match (av, bv) {
+                (Value::Int(x), Value::Int(y)) => Ok(Value::Int(x + y)),
+                (x, y) => {
+                    let l = x
+                        .into_sig()
+                        .ok_or_else(|| err(self.module, "bad `+` operand".into()))?;
+                    let r = y
+                        .into_sig()
+                        .ok_or_else(|| err(self.module, "bad `+` operand".into()))?;
+                    let mut es = Vec::new();
+                    flatten_into(l, &mut es, |e| matches!(e, FlatExpr::Or(_)));
+                    flatten_into(r, &mut es, |e| matches!(e, FlatExpr::Or(_)));
+                    Ok(Value::Sig(FlatExpr::Or(es)))
+                }
+            },
+            BinOp::And => match (av, bv) {
+                (Value::Int(x), Value::Int(y)) => Ok(Value::Int(x * y)),
+                (x, y) => {
+                    let l = x
+                        .into_sig()
+                        .ok_or_else(|| err(self.module, "bad `*` operand".into()))?;
+                    let r = y
+                        .into_sig()
+                        .ok_or_else(|| err(self.module, "bad `*` operand".into()))?;
+                    let mut es = Vec::new();
+                    flatten_into(l, &mut es, |e| matches!(e, FlatExpr::And(_)));
+                    flatten_into(r, &mut es, |e| matches!(e, FlatExpr::And(_)));
+                    Ok(Value::Sig(FlatExpr::And(es)))
+                }
+            },
+            BinOp::Div => match (av, bv) {
+                (Value::Int(x), Value::Int(y)) => {
+                    if y == 0 {
+                        self.err("division by zero")
+                    } else {
+                        Ok(Value::Int(x / y))
+                    }
+                }
+                _ => self.err("`/` requires integer operands (except inside ~a lists)"),
+            },
+            BinOp::Xor | BinOp::Xnor => {
+                let l = av
+                    .into_sig()
+                    .ok_or_else(|| err(self.module, "bad XOR operand".into()))?;
+                let r = bv
+                    .into_sig()
+                    .ok_or_else(|| err(self.module, "bad XOR operand".into()))?;
+                if op == BinOp::Xor {
+                    Ok(Value::Sig(FlatExpr::Xor(Box::new(l), Box::new(r))))
+                } else {
+                    Ok(Value::Sig(FlatExpr::Xnor(Box::new(l), Box::new(r))))
+                }
+            }
+            _ => unreachable!("handled above"),
+        }
+    }
+
+    /// Executes a compile-time (C) statement: assignments and inc/dec.
+    fn exec_c(&mut self, stmt: &Stmt) -> Result<(), ExpandError> {
+        match stmt {
+            Stmt::Equation { lhs, op: AssignOp::Assign, rhs } => {
+                if !lhs.indices.is_empty() {
+                    return self.err("C variables are scalar");
+                }
+                if !self.is_variable(&lhs.name) {
+                    return self
+                        .err(format!("`{}` is not a declared VARIABLE/PARAMETER", lhs.name));
+                }
+                let v = self.eval_int(rhs)?;
+                self.vars.insert(lhs.name.clone(), v);
+                Ok(())
+            }
+            Stmt::Expr(e) => {
+                self.exec_c_expr(e)?;
+                Ok(())
+            }
+            Stmt::Block(stmts) => {
+                for s in stmts {
+                    self.exec_c(s)?;
+                }
+                Ok(())
+            }
+            other => self.err(format!("statement {other:?} is not valid under #c_line")),
+        }
+    }
+
+    /// Evaluates a C expression allowing assignment side effects (as used in
+    /// `#for` headers).
+    fn exec_c_expr(&mut self, e: &Expr) -> Result<i64, ExpandError> {
+        match e {
+            Expr::Assign(lv, rhs) => {
+                if !lv.indices.is_empty() {
+                    return self.err("C variables are scalar");
+                }
+                if !self.is_variable(&lv.name) {
+                    return self.err(format!("`{}` is not a declared VARIABLE", lv.name));
+                }
+                let v = self.exec_c_expr(rhs)?;
+                self.vars.insert(lv.name.clone(), v);
+                Ok(v)
+            }
+            Expr::IncDec { lv, inc, pre } => {
+                if !self.is_variable(&lv.name) {
+                    return self.err(format!("`{}` is not a declared VARIABLE", lv.name));
+                }
+                let old = *self.vars.get(&lv.name).unwrap_or(&0);
+                let new = if *inc { old + 1 } else { old - 1 };
+                self.vars.insert(lv.name.clone(), new);
+                Ok(if *pre { new } else { old })
+            }
+            other => self.eval_int(other),
+        }
+    }
+
+    fn exec(&mut self, stmt: &Stmt, sink: &mut Sink) -> Result<Flow, ExpandError> {
+        match stmt {
+            Stmt::Block(stmts) => {
+                for s in stmts {
+                    match self.exec(s, sink)? {
+                        Flow::Normal => {}
+                        other => return Ok(other),
+                    }
+                }
+                Ok(Flow::Normal)
+            }
+            Stmt::CLine(inner) => {
+                self.exec_c(inner)?;
+                Ok(Flow::Normal)
+            }
+            Stmt::Equation { lhs, op, rhs } => {
+                // Aggregate operators arrive encoded in the lvalue name.
+                let (op, base) = match decode_aggregate(&lhs.name) {
+                    Some((agg, real)) => (agg, real.to_string()),
+                    None => (*op, lhs.name.clone()),
+                };
+                if !self.is_signal(&base) {
+                    return self.err(format!(
+                        "`{base}` is not a declared signal (hardware equations assign signals; \
+                         use #c_line for variables)"
+                    ));
+                }
+                let mut indices = Vec::new();
+                for ie in &lhs.indices {
+                    indices.push(self.eval_int(ie)?);
+                }
+                let target = match self.signal_ref(&base, &indices)? {
+                    FlatExpr::Net(n) => n,
+                    FlatExpr::Const(_) => {
+                        return self.err(format!(
+                            "cannot assign to `{base}`: it is bound to a constant"
+                        ))
+                    }
+                    _ => unreachable!(),
+                };
+                let value = self
+                    .eval(rhs)?
+                    .into_sig()
+                    .ok_or_else(|| err(self.module, "equation right-hand side must be a signal or 0/1".into()))?;
+                sink.emit(self.module, target, op, value)?;
+                Ok(Flow::Normal)
+            }
+            Stmt::If { cond, then_branch, else_branch } => {
+                let c = {
+                    // Allow assignments? No — conditions are pure.
+                    self.eval_int(cond)?
+                };
+                if c != 0 {
+                    self.exec(then_branch, sink)
+                } else if let Some(e) = else_branch {
+                    self.exec(e, sink)
+                } else {
+                    Ok(Flow::Normal)
+                }
+            }
+            Stmt::For { init, cond, step, body } => {
+                self.exec_c_expr(init)?;
+                let mut iterations = 0u64;
+                loop {
+                    if self.eval_int(cond)? == 0 {
+                        break;
+                    }
+                    match self.exec(body, sink)? {
+                        Flow::Break => break,
+                        Flow::Continue | Flow::Normal => {}
+                    }
+                    self.exec_c_expr(step)?;
+                    iterations += 1;
+                    if iterations > MAX_ITERATIONS {
+                        return self.err("#for exceeded the iteration limit (runaway loop?)");
+                    }
+                }
+                Ok(Flow::Normal)
+            }
+            Stmt::Break => Ok(Flow::Break),
+            Stmt::Continue => Ok(Flow::Continue),
+            Stmt::Call { name, args } => {
+                self.exec_call(name, args, sink)?;
+                Ok(Flow::Normal)
+            }
+            Stmt::Expr(e) => {
+                self.err(format!("expression statement {e:?} has no effect (missing #c_line?)"))
+            }
+        }
+    }
+
+    fn exec_call(
+        &mut self,
+        name: &str,
+        args: &[Expr],
+        sink: &mut Sink,
+    ) -> Result<(), ExpandError> {
+        if self.depth >= MAX_DEPTH {
+            return self.err(format!("subfunction nesting too deep at call to `{name}`"));
+        }
+        let known = self.module.subfunctions.iter().any(|s| s == name)
+            || self.module.subcomponents.iter().any(|s| s == name);
+        if !known {
+            return self.err(format!(
+                "`{name}` is not declared in SUBFUNCTION/SUBCOMPONENT"
+            ));
+        }
+        let callee = self
+            .resolver
+            .resolve(name)
+            .ok_or_else(|| err(self.module, format!("subfunction `{name}` not found in library")))?;
+
+        // Bind positionally: parameters, then INORDER, OUTORDER, PIIFVARIABLE.
+        let mut vars = HashMap::new();
+        let mut subst = HashMap::new();
+        let signal_slots: Vec<&SignalDecl> = callee
+            .inputs
+            .iter()
+            .chain(&callee.outputs)
+            .chain(&callee.internals)
+            .collect();
+        let want = callee.parameters.len() + signal_slots.len();
+        if args.len() > want {
+            return self.err(format!(
+                "call to `{name}`: {} arguments given, at most {want} accepted",
+                args.len()
+            ));
+        }
+        for (i, arg) in args.iter().enumerate() {
+            if i < callee.parameters.len() {
+                let v = self.eval_int(arg)?;
+                vars.insert(callee.parameters[i].clone(), v);
+            } else {
+                let decl = signal_slots[i - callee.parameters.len()];
+                let s = match arg {
+                    Expr::Int(v) => Subst::Const(*v),
+                    Expr::Ident(n) => {
+                        if self.is_signal(n) {
+                            // Compose with our own substitution.
+                            match self.subst.get(n) {
+                                Some(Subst::Const(v)) => Subst::Const(*v),
+                                Some(Subst::Base(b)) => Subst::Base(b.clone()),
+                                None => Subst::Base(if self.prefix.is_empty() {
+                                    n.clone()
+                                } else {
+                                    format!("{}{}", self.prefix, n)
+                                }),
+                            }
+                        } else if let Some(v) = self.vars.get(n) {
+                            Subst::Const(*v)
+                        } else {
+                            return self.err(format!(
+                                "call to `{name}`: `{n}` is neither a signal nor a variable"
+                            ));
+                        }
+                    }
+                    Expr::Indexed(n, idx) => {
+                        let mut indices = Vec::new();
+                        for ie in idx {
+                            indices.push(self.eval_int(ie)?);
+                        }
+                        match self.signal_ref(n, &indices)? {
+                            FlatExpr::Net(full) => Subst::Base(full),
+                            _ => return self.err("bad indexed argument"),
+                        }
+                    }
+                    other => {
+                        return self.err(format!(
+                            "call to `{name}`: argument {other:?} must be a name or constant"
+                        ))
+                    }
+                };
+                subst.insert(decl.name.clone(), s);
+            }
+        }
+        for p in &callee.parameters {
+            if !vars.contains_key(p) {
+                return self
+                    .err(format!("call to `{name}`: parameter `{p}` was not supplied"));
+            }
+        }
+        let call_prefix = format!("{}{}${}$", self.prefix, name, sink.equations.len());
+        for v in &callee.variables {
+            vars.entry(v.clone()).or_insert(0);
+        }
+        let mut frame = Frame {
+            module: callee,
+            vars,
+            subst,
+            prefix: call_prefix,
+            resolver: self.resolver,
+            depth: self.depth + 1,
+        };
+        for stmt in &callee.body {
+            frame.exec(stmt, sink)?;
+        }
+        Ok(())
+    }
+}
+
+impl Sink {
+    fn emit(
+        &mut self,
+        module: &Module,
+        lhs: String,
+        op: AssignOp,
+        rhs: FlatExpr,
+    ) -> Result<(), ExpandError> {
+        match op {
+            AssignOp::Assign => {
+                if self.driven.contains_key(&lhs) {
+                    return Err(err(module, format!("net `{lhs}` is driven twice")));
+                }
+                self.driven.insert(lhs.clone(), self.equations.len());
+                self.equations.push(FlatEquation { lhs, rhs });
+                Ok(())
+            }
+            agg => {
+                if let Some(&i) = self.driven.get(&lhs) {
+                    let old = self.equations[i].rhs.clone();
+                    self.equations[i].rhs = match agg {
+                        AssignOp::OrAggregate => {
+                            let mut es = Vec::new();
+                            flatten_into(old, &mut es, |e| matches!(e, FlatExpr::Or(_)));
+                            flatten_into(rhs, &mut es, |e| matches!(e, FlatExpr::Or(_)));
+                            FlatExpr::Or(es)
+                        }
+                        AssignOp::AndAggregate => {
+                            let mut es = Vec::new();
+                            flatten_into(old, &mut es, |e| matches!(e, FlatExpr::And(_)));
+                            flatten_into(rhs, &mut es, |e| matches!(e, FlatExpr::And(_)));
+                            FlatExpr::And(es)
+                        }
+                        AssignOp::XorAggregate => FlatExpr::Xor(Box::new(old), Box::new(rhs)),
+                        AssignOp::XnorAggregate => FlatExpr::Xnor(Box::new(old), Box::new(rhs)),
+                        AssignOp::Assign => unreachable!(),
+                    };
+                    Ok(())
+                } else {
+                    // First aggregate assignment simply seeds the equation
+                    // (paper Appendix A §4.5: `O *= I0[i]` over a loop yields
+                    // the pure product).
+                    self.driven.insert(lhs.clone(), self.equations.len());
+                    self.equations.push(FlatEquation { lhs, rhs });
+                    Ok(())
+                }
+            }
+        }
+    }
+}
+
+fn flat_name(base: &str, indices: &[i64]) -> String {
+    let mut s = base.to_string();
+    for i in indices {
+        s.push_str(&format!("[{i}]"));
+    }
+    s
+}
+
+/// Pushes `e` into `es`, splicing when `e` matches the n-ary node kind.
+fn flatten_into(e: FlatExpr, es: &mut Vec<FlatExpr>, is_same: impl Fn(&FlatExpr) -> bool) {
+    if is_same(&e) {
+        match e {
+            FlatExpr::And(inner) | FlatExpr::Or(inner) | FlatExpr::WireOr(inner) => {
+                es.extend(inner)
+            }
+            _ => unreachable!(),
+        }
+    } else {
+        es.push(e);
+    }
+}
+
+/// `!!x → x`, `!0 → 1`.
+fn simplify_not(e: FlatExpr) -> FlatExpr {
+    match e {
+        FlatExpr::Not(inner) => *inner,
+        FlatExpr::Const(b) => FlatExpr::Const(!b),
+        other => FlatExpr::Not(Box::new(other)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    const ADDER: &str = r#"
+NAME: ADDER;
+PARAMETER: size;
+INORDER: I0[size], I1[size], Cin;
+OUTORDER: O[size], Cout;
+PIIFVARIABLE: C[size+1];
+VARIABLE: i;
+{
+  C[0] = Cin;
+  #for(i=0; i<size; i++)
+  {
+    O[i] = I0[i] (+) I1[i] (+) C[i];
+    C[i+1] = I0[i]*I1[i] + I0[i]*C[i] + I1[i]*C[i];
+  }
+  Cout = C[size];
+}"#;
+
+    #[test]
+    fn expands_paper_adder() {
+        let m = parse(ADDER).unwrap();
+        let flat = expand(&m, &[("size", 4)], &NoModules).unwrap();
+        assert_eq!(flat.inputs.len(), 9); // I0[0..3], I1[0..3], Cin
+        assert_eq!(flat.outputs.len(), 5); // O[0..3], Cout
+        assert_eq!(flat.equations.len(), 1 + 4 * 2 + 1);
+        assert_eq!(flat.equations[0].lhs, "C[0]");
+        assert!(flat.driver("O[3]").is_some());
+        assert!(flat.driver("Cout").is_some());
+        assert!(!flat.is_sequential());
+    }
+
+    #[test]
+    fn positional_binding_matches_named() {
+        let m = parse(ADDER).unwrap();
+        let a = expand(&m, &[("size", 3)], &NoModules).unwrap();
+        let b = expand_positional(&m, &[3], &NoModules).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn aggregate_and_gate() {
+        let m = parse(
+            "NAME: AND; PARAMETER: size; INORDER: I0[size]; OUTORDER: O; VARIABLE: i;
+             { #for(i=0;i<size;i++) O *= I0[i]; }",
+        )
+        .unwrap();
+        let flat = expand(&m, &[("size", 4)], &NoModules).unwrap();
+        assert_eq!(flat.equations.len(), 1);
+        let FlatExpr::And(es) = &flat.equations[0].rhs else { panic!() };
+        assert_eq!(es.len(), 4);
+    }
+
+    #[test]
+    fn subfunction_call_adder_subtractor() {
+        let addsub_src = r#"
+NAME: ADDSUB;
+PARAMETER: size;
+INORDER: A[size], B[size], SUBCTL;
+OUTORDER: O[size], Cout;
+PIIFVARIABLE: C[size+1], B1[size];
+VARIABLE: i;
+SUBFUNCTION: ADDER;
+{
+  #for(i=0; i<size; i++)
+    B1[i] = SUBCTL (+) B[i];
+  #ADDER(size, A, B1, SUBCTL, O, Cout, C);
+}"#;
+        let mut lib = HashMap::new();
+        lib.insert("ADDER".to_string(), parse(ADDER).unwrap());
+        let m = parse(addsub_src).unwrap();
+        let flat = expand(&m, &[("size", 4)], &lib).unwrap();
+        // 4 xor pre-gates + adder internals (1 + 8 + 1)
+        assert_eq!(flat.equations.len(), 4 + 10);
+        // Callee's Cin is bound to SUBCTL.
+        let c0 = flat.driver("C[0]").expect("C[0] driven by callee");
+        assert_eq!(c0.rhs, FlatExpr::Net("SUBCTL".into()));
+        assert!(flat.driver("O[2]").is_some());
+    }
+
+    #[test]
+    fn subfunction_constant_binding() {
+        let top = r#"
+NAME: INCR;
+PARAMETER: size;
+INORDER: A[size];
+OUTORDER: O[size], Cout;
+PIIFVARIABLE: C[size+1], ZERO[size];
+VARIABLE: i;
+SUBFUNCTION: ADDER;
+{
+  #for(i=0;i<size;i++) ZERO[i] = 0;
+  #ADDER(size, A, ZERO, 1, O, Cout, C);
+}"#;
+        let mut lib = HashMap::new();
+        lib.insert("ADDER".to_string(), parse(ADDER).unwrap());
+        let m = parse(top).unwrap();
+        let flat = expand(&m, &[("size", 3)], &lib).unwrap();
+        // Cin bound to constant 1.
+        let c0 = flat.driver("C[0]").unwrap();
+        assert_eq!(c0.rhs, FlatExpr::Const(true));
+    }
+
+    #[test]
+    fn sequential_register_with_async_load() {
+        let src = r#"
+NAME: BIT;
+INORDER: D, CIN, CLK, LOAD;
+OUTORDER: Q;
+{
+  Q = (Q (+) CIN) @(~r CLK) ~a(0/(!LOAD*!D), 1/(!LOAD*D));
+}"#;
+        let m = parse(src).unwrap();
+        let flat = expand(&m, &[], &NoModules).unwrap();
+        assert!(flat.is_sequential());
+        let FlatExpr::Async { base, entries } = &flat.equations[0].rhs else { panic!() };
+        assert_eq!(entries.len(), 2);
+        assert!(!entries[0].value);
+        assert!(entries[1].value);
+        let FlatExpr::At { clock, .. } = &**base else { panic!() };
+        assert_eq!(clock.kind, ClockKind::Rising);
+    }
+
+    #[test]
+    fn if_else_selects_architecture() {
+        let src = r#"
+NAME: SEL;
+PARAMETER: fast;
+INORDER: A, B;
+OUTORDER: O;
+{
+  #if (fast) O = A * B;
+  #else O = A + B;
+}"#;
+        let m = parse(src).unwrap();
+        let fast = expand(&m, &[("fast", 1)], &NoModules).unwrap();
+        assert!(matches!(fast.equations[0].rhs, FlatExpr::And(_)));
+        let slow = expand(&m, &[("fast", 0)], &NoModules).unwrap();
+        assert!(matches!(slow.equations[0].rhs, FlatExpr::Or(_)));
+    }
+
+    #[test]
+    fn cline_computes_values() {
+        // C(n,m) from the paper: cnm = n! / ((n-m)!·m!)
+        let src = r#"
+NAME: CNM;
+PARAMETER: n, m;
+INORDER: A;
+OUTORDER: O[cnm];
+PIIFVARIABLE: X;
+VARIABLE: i, cnm;
+{
+  #c_line cnm = 1;
+  #for(i=1; i<=m; i++)
+    #c_line cnm = cnm * (n - i + 1) / i;
+  O[0] = A;
+  #for(i=1; i<cnm; i++)
+    O[i] = A;
+}"#;
+        let m = parse(src).unwrap();
+        let flat = expand(&m, &[("n", 5), ("m", 2)], &NoModules).unwrap();
+        assert_eq!(flat.equations.len(), 10); // C(5,2) = 10
+    }
+
+    #[test]
+    fn shifter_with_if_constant_fill() {
+        let src = r#"
+NAME: SHL0;
+PARAMETER: size, dist;
+INORDER: I[size];
+OUTORDER: O[size];
+VARIABLE: i;
+{
+  #for(i=0; i<size; i++)
+  {
+    #if (i <= dist - 1)
+      O[i] = 0;
+    #else
+      O[i] = I[i - dist];
+  }
+}"#;
+        let m = parse(src).unwrap();
+        let flat = expand(&m, &[("size", 4), ("dist", 2)], &NoModules).unwrap();
+        assert_eq!(flat.driver("O[0]").unwrap().rhs, FlatExpr::Const(false));
+        assert_eq!(flat.driver("O[1]").unwrap().rhs, FlatExpr::Const(false));
+        assert_eq!(flat.driver("O[2]").unwrap().rhs, FlatExpr::Net("I[0]".into()));
+        assert_eq!(flat.driver("O[3]").unwrap().rhs, FlatExpr::Net("I[1]".into()));
+    }
+
+    #[test]
+    fn error_on_double_drive() {
+        let src = "NAME: T; INORDER: A; OUTORDER: O; { O = A; O = !A; }";
+        let m = parse(src).unwrap();
+        let e = expand(&m, &[], &NoModules).unwrap_err();
+        assert!(e.message.contains("driven twice"), "{e}");
+    }
+
+    #[test]
+    fn error_on_undriven_output() {
+        let src = "NAME: T; INORDER: A; OUTORDER: O, P; { O = A; }";
+        let m = parse(src).unwrap();
+        assert!(expand(&m, &[], &NoModules).is_err());
+    }
+
+    #[test]
+    fn error_on_missing_parameter() {
+        let m = parse(ADDER).unwrap();
+        assert!(expand(&m, &[], &NoModules).is_err());
+    }
+
+    #[test]
+    fn error_on_unknown_subfunction() {
+        let src = "NAME: T; INORDER: A; OUTORDER: O; SUBFUNCTION: NOPE; { #NOPE(A, O); }";
+        let m = parse(src).unwrap();
+        let e = expand(&m, &[], &NoModules).unwrap_err();
+        assert!(e.message.contains("NOPE"));
+    }
+
+    #[test]
+    fn break_stops_loop() {
+        let src = r#"
+NAME: T;
+PARAMETER: size;
+INORDER: A[size];
+OUTORDER: O;
+VARIABLE: i;
+{
+  #for(i=0; i<size; i++)
+  {
+    #if (i == 2) #break;
+    O += A[i];
+  }
+}"#;
+        let m = parse(src).unwrap();
+        let flat = expand(&m, &[("size", 8)], &NoModules).unwrap();
+        let FlatExpr::Or(es) = &flat.equations[0].rhs else { panic!() };
+        assert_eq!(es.len(), 2);
+    }
+
+    #[test]
+    fn milo_format_of_expanded_adder() {
+        let m = parse(ADDER).unwrap();
+        let flat = expand(&m, &[("size", 2)], &NoModules).unwrap();
+        let text = flat.to_milo_format();
+        assert!(text.contains("NAME=ADDER;"));
+        assert!(text.contains("!=")); // EXOR in MILO syntax
+    }
+}

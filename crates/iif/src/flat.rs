@@ -1,0 +1,442 @@
+//! Non-parameterized (expanded) IIF: the output of the macro expander and
+//! the input of the MILO-style logic optimizer (paper Appendix A §4.2).
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Clock qualifier of a sequential assignment (`~r`, `~f`, `~h`, `~l`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ClockKind {
+    /// `~r` — D flip-flop, rising edge.
+    Rising,
+    /// `~f` — D flip-flop, falling edge.
+    Falling,
+    /// `~h` — latch, transparent while high.
+    High,
+    /// `~l` — latch, transparent while low.
+    Low,
+}
+
+impl ClockKind {
+    /// True for edge-triggered kinds (flip-flops).
+    pub fn is_edge(self) -> bool {
+        matches!(self, ClockKind::Rising | ClockKind::Falling)
+    }
+}
+
+/// A clock specification: qualifier plus the clock expression.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClockSpec {
+    /// Edge/level qualifier.
+    pub kind: ClockKind,
+    /// The clock signal expression.
+    pub expr: Box<FlatExpr>,
+}
+
+/// One `value/condition` entry of an asynchronous set/reset list, with the
+/// value already resolved to a constant.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlatAsync {
+    /// Forced output value.
+    pub value: bool,
+    /// Active-high condition expression.
+    pub cond: FlatExpr,
+}
+
+/// Expanded hardware expression over flat net names.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FlatExpr {
+    /// Constant 0 or 1.
+    Const(bool),
+    /// Reference to a flat net (`"Q[3]"`, `"Cout"`).
+    Net(String),
+    /// Logical NOT.
+    Not(Box<FlatExpr>),
+    /// n-ary AND.
+    And(Vec<FlatExpr>),
+    /// n-ary OR.
+    Or(Vec<FlatExpr>),
+    /// Exclusive OR.
+    Xor(Box<FlatExpr>, Box<FlatExpr>),
+    /// Exclusive NOR.
+    Xnor(Box<FlatExpr>, Box<FlatExpr>),
+    /// Buffer (`~b`).
+    Buf(Box<FlatExpr>),
+    /// Schmitt trigger (`~s`).
+    Schmitt(Box<FlatExpr>),
+    /// Delay element (`~d`), delay in ns.
+    Delay(Box<FlatExpr>, f64),
+    /// Tri-state driver (`~t`).
+    Tristate {
+        /// Driven data.
+        data: Box<FlatExpr>,
+        /// Active-high output enable.
+        enable: Box<FlatExpr>,
+    },
+    /// Wired-or of several drivers (`~w`).
+    WireOr(Vec<FlatExpr>),
+    /// Clocked (sequential) assignment (`@`).
+    At {
+        /// Next-state data expression.
+        data: Box<FlatExpr>,
+        /// Clock qualifier and signal.
+        clock: ClockSpec,
+    },
+    /// Asynchronous set/reset wrapper (`~a`), always around an [`FlatExpr::At`].
+    Async {
+        /// The clocked expression.
+        base: Box<FlatExpr>,
+        /// Asynchronous entries, in priority order.
+        entries: Vec<FlatAsync>,
+    },
+}
+
+impl FlatExpr {
+    /// Collects every referenced net name into `out`.
+    pub fn collect_nets(&self, out: &mut BTreeSet<String>) {
+        match self {
+            FlatExpr::Const(_) => {}
+            FlatExpr::Net(n) => {
+                out.insert(n.clone());
+            }
+            FlatExpr::Not(e) | FlatExpr::Buf(e) | FlatExpr::Schmitt(e) | FlatExpr::Delay(e, _) => {
+                e.collect_nets(out)
+            }
+            FlatExpr::And(es) | FlatExpr::Or(es) | FlatExpr::WireOr(es) => {
+                for e in es {
+                    e.collect_nets(out);
+                }
+            }
+            FlatExpr::Xor(a, b) | FlatExpr::Xnor(a, b) => {
+                a.collect_nets(out);
+                b.collect_nets(out);
+            }
+            FlatExpr::Tristate { data, enable } => {
+                data.collect_nets(out);
+                enable.collect_nets(out);
+            }
+            FlatExpr::At { data, clock } => {
+                data.collect_nets(out);
+                clock.expr.collect_nets(out);
+            }
+            FlatExpr::Async { base, entries } => {
+                base.collect_nets(out);
+                for e in entries {
+                    e.cond.collect_nets(out);
+                }
+            }
+        }
+    }
+
+    /// True if this expression contains a clocked (`@`) node.
+    pub fn is_sequential(&self) -> bool {
+        match self {
+            FlatExpr::At { .. } => true,
+            FlatExpr::Async { base, .. } => base.is_sequential(),
+            FlatExpr::Not(e) | FlatExpr::Buf(e) | FlatExpr::Schmitt(e) | FlatExpr::Delay(e, _) => {
+                e.is_sequential()
+            }
+            FlatExpr::And(es) | FlatExpr::Or(es) | FlatExpr::WireOr(es) => {
+                es.iter().any(FlatExpr::is_sequential)
+            }
+            FlatExpr::Xor(a, b) | FlatExpr::Xnor(a, b) => a.is_sequential() || b.is_sequential(),
+            FlatExpr::Tristate { data, enable } => {
+                data.is_sequential() || enable.is_sequential()
+            }
+            FlatExpr::Const(_) | FlatExpr::Net(_) => false,
+        }
+    }
+}
+
+impl fmt::Display for FlatExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn paren(f: &mut fmt::Formatter<'_>, e: &FlatExpr) -> fmt::Result {
+            match e {
+                FlatExpr::Net(_) | FlatExpr::Const(_) | FlatExpr::Not(_) => write!(f, "{e}"),
+                _ => write!(f, "({e})"),
+            }
+        }
+        match self {
+            FlatExpr::Const(b) => write!(f, "{}", u8::from(*b)),
+            FlatExpr::Net(n) => write!(f, "{n}"),
+            FlatExpr::Not(e) => {
+                write!(f, "!")?;
+                paren(f, e)
+            }
+            FlatExpr::And(es) => {
+                for (i, e) in es.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, "*")?;
+                    }
+                    paren(f, e)?;
+                }
+                Ok(())
+            }
+            FlatExpr::Or(es) => {
+                for (i, e) in es.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " + ")?;
+                    }
+                    paren(f, e)?;
+                }
+                Ok(())
+            }
+            FlatExpr::Xor(a, b) => {
+                paren(f, a)?;
+                write!(f, " (+) ")?;
+                paren(f, b)
+            }
+            FlatExpr::Xnor(a, b) => {
+                paren(f, a)?;
+                write!(f, " (.) ")?;
+                paren(f, b)
+            }
+            FlatExpr::Buf(e) => {
+                write!(f, "~b ")?;
+                paren(f, e)
+            }
+            FlatExpr::Schmitt(e) => {
+                write!(f, "~s ")?;
+                paren(f, e)
+            }
+            FlatExpr::Delay(e, ns) => {
+                paren(f, e)?;
+                write!(f, " ~d {ns}")
+            }
+            FlatExpr::Tristate { data, enable } => {
+                paren(f, data)?;
+                write!(f, " ~t ")?;
+                paren(f, enable)
+            }
+            FlatExpr::WireOr(es) => {
+                for (i, e) in es.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " ~w ")?;
+                    }
+                    paren(f, e)?;
+                }
+                Ok(())
+            }
+            FlatExpr::At { data, clock } => {
+                paren(f, data)?;
+                let k = match clock.kind {
+                    ClockKind::Rising => "~r",
+                    ClockKind::Falling => "~f",
+                    ClockKind::High => "~h",
+                    ClockKind::Low => "~l",
+                };
+                write!(f, " @({k} ")?;
+                paren(f, &clock.expr)?;
+                write!(f, ")")
+            }
+            FlatExpr::Async { base, entries } => {
+                paren(f, base)?;
+                write!(f, " ~a(")?;
+                for (i, e) in entries.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{}/", u8::from(e.value))?;
+                    paren(f, &e.cond)?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+/// One expanded equation: `lhs = rhs;`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlatEquation {
+    /// Driven net.
+    pub lhs: String,
+    /// Driving expression.
+    pub rhs: FlatExpr,
+}
+
+/// A fully expanded, non-parameterized IIF design.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlatModule {
+    /// Design name.
+    pub name: String,
+    /// Flattened input ports, in INORDER order (`D[0] … D[n-1], CLK, …`).
+    pub inputs: Vec<String>,
+    /// Flattened output ports, in OUTORDER order.
+    pub outputs: Vec<String>,
+    /// Internal nets (declared and generated).
+    pub internals: Vec<String>,
+    /// Equations, in emission order.
+    pub equations: Vec<FlatEquation>,
+}
+
+impl FlatModule {
+    /// The equation driving `net`, if any.
+    pub fn driver(&self, net: &str) -> Option<&FlatEquation> {
+        self.equations.iter().find(|e| e.lhs == net)
+    }
+
+    /// True if any equation is sequential.
+    pub fn is_sequential(&self) -> bool {
+        self.equations.iter().any(|e| e.rhs.is_sequential())
+    }
+
+    /// Every net referenced anywhere in the design.
+    pub fn all_nets(&self) -> BTreeSet<String> {
+        let mut s = BTreeSet::new();
+        for e in &self.equations {
+            s.insert(e.lhs.clone());
+            e.rhs.collect_nets(&mut s);
+        }
+        for p in self.inputs.iter().chain(&self.outputs) {
+            s.insert(p.clone());
+        }
+        s
+    }
+
+    /// Renders the module in the expanded-IIF text format the paper feeds
+    /// to MILO (`NAME=…; INORDER=…; OUTORDER=…;` followed by equations; the
+    /// EXOR operator prints as `!=` in that format, cf. Appendix A §4.2).
+    pub fn to_milo_format(&self) -> String {
+        let mut s = String::new();
+        s.push_str(&format!("NAME={};\n", self.name));
+        s.push_str(&format!("INORDER= {};\n", self.inputs.join(" ")));
+        s.push_str(&format!("OUTORDER= {};\n", self.outputs.join(" ")));
+        for eq in &self.equations {
+            s.push_str(&format!("{}={};\n", eq.lhs, MiloExpr(&eq.rhs)));
+        }
+        s
+    }
+}
+
+impl fmt::Display for FlatModule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "NAME: {};", self.name)?;
+        writeln!(f, "INORDER: {};", self.inputs.join(", "))?;
+        writeln!(f, "OUTORDER: {};", self.outputs.join(", "))?;
+        if !self.internals.is_empty() {
+            writeln!(f, "PIIFVARIABLE: {};", self.internals.join(", "))?;
+        }
+        writeln!(f, "{{")?;
+        for eq in &self.equations {
+            writeln!(f, "  {} = {};", eq.lhs, eq.rhs)?;
+        }
+        writeln!(f, "}}")
+    }
+}
+
+/// Helper that prints XOR as `!=` (the MILO surface syntax).
+struct MiloExpr<'a>(&'a FlatExpr);
+
+impl fmt::Display for MiloExpr<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.0 {
+            FlatExpr::Xor(a, b) => {
+                write!(f, "{}!={}", MiloExpr(a), MiloExpr(b))
+            }
+            FlatExpr::Xnor(a, b) => {
+                write!(f, "!({}!={})", MiloExpr(a), MiloExpr(b))
+            }
+            FlatExpr::And(es) => {
+                for (i, e) in es.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, "*")?;
+                    }
+                    match e {
+                        FlatExpr::Or(_) | FlatExpr::Xor(..) | FlatExpr::Xnor(..) => {
+                            write!(f, "({})", MiloExpr(e))?
+                        }
+                        _ => write!(f, "{}", MiloExpr(e))?,
+                    }
+                }
+                Ok(())
+            }
+            FlatExpr::Or(es) => {
+                for (i, e) in es.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, "+")?;
+                    }
+                    write!(f, "{}", MiloExpr(e))?;
+                }
+                Ok(())
+            }
+            FlatExpr::Not(e) => match &**e {
+                FlatExpr::Net(n) => write!(f, "!{n}"),
+                other => write!(f, "!({})", MiloExpr(other)),
+            },
+            other => write!(f, "{other}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn net(n: &str) -> FlatExpr {
+        FlatExpr::Net(n.into())
+    }
+
+    #[test]
+    fn display_roundtrip_structure() {
+        let e = FlatExpr::Or(vec![
+            FlatExpr::And(vec![net("A"), FlatExpr::Not(Box::new(net("B")))]),
+            net("C"),
+        ]);
+        assert_eq!(e.to_string(), "(A*!B) + C");
+    }
+
+    #[test]
+    fn milo_format_uses_bang_equals_for_xor() {
+        let m = FlatModule {
+            name: "t".into(),
+            inputs: vec!["A".into(), "B".into()],
+            outputs: vec!["O".into()],
+            internals: vec![],
+            equations: vec![FlatEquation {
+                lhs: "O".into(),
+                rhs: FlatExpr::Xor(Box::new(net("A")), Box::new(net("B"))),
+            }],
+        };
+        let text = m.to_milo_format();
+        assert!(text.contains("O=A!=B;"), "got: {text}");
+        assert!(text.starts_with("NAME=t;"));
+    }
+
+    #[test]
+    fn sequential_detection() {
+        let ff = FlatExpr::At {
+            data: Box::new(net("D")),
+            clock: ClockSpec { kind: ClockKind::Rising, expr: Box::new(net("CLK")) },
+        };
+        assert!(ff.is_sequential());
+        assert!(!net("D").is_sequential());
+        assert!(ClockKind::Rising.is_edge());
+        assert!(!ClockKind::High.is_edge());
+    }
+
+    #[test]
+    fn collect_nets_sees_clock_and_async_conditions() {
+        let ff = FlatExpr::Async {
+            base: Box::new(FlatExpr::At {
+                data: Box::new(net("D")),
+                clock: ClockSpec { kind: ClockKind::Rising, expr: Box::new(net("CLK")) },
+            }),
+            entries: vec![FlatAsync { value: false, cond: net("RST") }],
+        };
+        let mut s = BTreeSet::new();
+        ff.collect_nets(&mut s);
+        assert!(s.contains("D") && s.contains("CLK") && s.contains("RST"));
+    }
+
+    #[test]
+    fn async_display() {
+        let e = FlatExpr::Async {
+            base: Box::new(net("Q")),
+            entries: vec![
+                FlatAsync { value: false, cond: net("R") },
+                FlatAsync { value: true, cond: net("S") },
+            ],
+        };
+        assert_eq!(e.to_string(), "Q ~a(0/R,1/S)");
+    }
+}

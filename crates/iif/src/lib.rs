@@ -1,0 +1,76 @@
+//! # icdb-iif — the Irvine Intermediate Form
+//!
+//! IIF is the component-implementation description language of ICDB
+//! (Chen & Gajski, DAC 1990, §3.1 and Appendix A). It extends the Berkeley
+//! EQN boolean-equation format with:
+//!
+//! * **sequential operators** — `expr @(~r CLK)` describes a D flip-flop,
+//!   `@(~h …)` / `@(~l …)` a transparent latch, and `~a(0/cond, 1/cond)`
+//!   attaches asynchronous set/reset behaviour;
+//! * **interface operators** — `~b` buffer, `~s` schmitt trigger, `~d`
+//!   delay, `~t` tri-state, `~w` wired-or;
+//! * **parameterized structure** — `#for` replication, `#if` architecture
+//!   selection, `#c_line` compile-time computation, call-by-name subfunction
+//!   instantiation (`#ADDER(size, A, B1, SUBCTL, O, Cout, C)`), and
+//!   aggregate assignments (`O *= I0[i]`).
+//!
+//! The crate provides the full front end: [`parse`] (lexer + parser into an
+//! AST [`Module`]), and [`expand`] (the macro expander producing a
+//! [`FlatModule`] of plain equations — the form the MILO-style logic
+//! optimizer consumes, printable via [`FlatModule::to_milo_format`]).
+//!
+//! ```
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // The paper's n-bit ripple-carry adder (Appendix A, example 2).
+//! let src = "
+//! NAME: ADDER;
+//! PARAMETER: size;
+//! INORDER: I0[size], I1[size], Cin;
+//! OUTORDER: O[size], Cout;
+//! PIIFVARIABLE: C[size+1];
+//! VARIABLE: i;
+//! {
+//!   C[0] = Cin;
+//!   #for(i=0; i<size; i++)
+//!   {
+//!     O[i] = I0[i] (+) I1[i] (+) C[i];
+//!     C[i+1] = I0[i]*I1[i] + I0[i]*C[i] + I1[i]*C[i];
+//!   }
+//!   Cout = C[size];
+//! }";
+//! let module = icdb_iif::parse(src)?;
+//! let flat = icdb_iif::expand(&module, &[("size", 16)], &icdb_iif::NoModules)?;
+//! assert_eq!(flat.outputs.len(), 17); // O[0..15] and Cout
+//! # Ok(())
+//! # }
+//! ```
+
+mod ast;
+mod expand;
+mod flat;
+mod milo;
+mod parser;
+mod token;
+
+pub use ast::{
+    AssignOp, AsyncEntry, BinOp, Expr, LValue, Module, SignalDecl, Stmt, UnaryOp,
+};
+pub use expand::{expand, expand_positional, ExpandError, ModuleResolver, NoModules};
+pub use flat::{ClockKind, ClockSpec, FlatAsync, FlatEquation, FlatExpr, FlatModule};
+pub use milo::parse_milo;
+pub use parser::{parse, ParseError};
+pub use token::{lex, LexError, Spanned, Token};
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn public_api_end_to_end() {
+        let m = crate::parse(
+            "NAME: T; INORDER: A, B; OUTORDER: O; { O = A * !B + !A * B; }",
+        )
+        .unwrap();
+        let flat = crate::expand(&m, &[], &crate::NoModules).unwrap();
+        assert_eq!(flat.equations.len(), 1);
+        assert_eq!(flat.name, "T");
+    }
+}

@@ -1,0 +1,271 @@
+//! Parser for the expanded-IIF text format that MILO consumes (Appendix A
+//! §4.2): `NAME=…;` / `INORDER= …;` / `OUTORDER= …;` headers followed by
+//! plain boolean equations in which the EXOR operator is spelled `!=`.
+//!
+//! Together with [`crate::FlatModule::to_milo_format`] this gives a full
+//! round trip through the on-disk representation the paper's tools
+//! exchange.
+
+use crate::flat::{FlatEquation, FlatExpr, FlatModule};
+use crate::parser::ParseError;
+
+/// Parses MILO-format text into a [`FlatModule`].
+///
+/// # Errors
+/// Returns a [`ParseError`] on malformed headers or equations.
+///
+/// ```
+/// let m = icdb_iif::parse(
+///     "NAME: T; INORDER: A, B; OUTORDER: O; { O = A (+) B; }").unwrap();
+/// let flat = icdb_iif::expand(&m, &[], &icdb_iif::NoModules).unwrap();
+/// let text = flat.to_milo_format();
+/// let back = icdb_iif::parse_milo(&text).unwrap();
+/// assert_eq!(back.inputs, flat.inputs);
+/// assert_eq!(back.equations.len(), flat.equations.len());
+/// ```
+pub fn parse_milo(src: &str) -> Result<FlatModule, ParseError> {
+    let mut name = String::new();
+    let mut inputs = Vec::new();
+    let mut outputs = Vec::new();
+    let mut equations = Vec::new();
+
+    for (lineno, raw_stmt) in src.split(';').enumerate() {
+        let stmt = raw_stmt.trim();
+        if stmt.is_empty() {
+            continue;
+        }
+        let err = |message: String| ParseError { message, line: lineno as u32 + 1, col: 1 };
+        if let Some(rest) = strip_keyword(stmt, "NAME") {
+            name = rest.trim().to_string();
+        } else if let Some(rest) = strip_keyword(stmt, "INORDER") {
+            inputs = rest.split_whitespace().map(str::to_string).collect();
+        } else if let Some(rest) = strip_keyword(stmt, "OUTORDER") {
+            outputs = rest.split_whitespace().map(str::to_string).collect();
+        } else {
+            let (lhs, rhs) = stmt
+                .split_once('=')
+                .ok_or_else(|| err(format!("expected `lhs=expr`, got `{stmt}`")))?;
+            let mut p = ExprParser { chars: rhs.chars().collect(), pos: 0 };
+            let expr = p
+                .parse_xor()
+                .map_err(|m| err(format!("in equation `{stmt}`: {m}")))?;
+            p.skip_ws();
+            if p.pos != p.chars.len() {
+                return Err(err(format!("trailing input in equation `{stmt}`")));
+            }
+            equations.push(FlatEquation { lhs: lhs.trim().to_string(), rhs: expr });
+        }
+    }
+    if name.is_empty() {
+        return Err(ParseError { message: "missing NAME= header".into(), line: 1, col: 1 });
+    }
+
+    // Internal nets: driven but not ports.
+    let internals = equations
+        .iter()
+        .map(|e| e.lhs.clone())
+        .filter(|n| !inputs.contains(n) && !outputs.contains(n))
+        .collect();
+    Ok(FlatModule { name, inputs, outputs, internals, equations })
+}
+
+fn strip_keyword<'a>(stmt: &'a str, kw: &str) -> Option<&'a str> {
+    let rest = stmt.strip_prefix(kw)?;
+    let rest = rest.trim_start();
+    rest.strip_prefix('=')
+}
+
+/// Precedence (low→high): `+` OR, `*` AND, `!=` EXOR, `!` NOT, atoms.
+struct ExprParser {
+    chars: Vec<char>,
+    pos: usize,
+}
+
+impl ExprParser {
+    fn skip_ws(&mut self) {
+        while self.pos < self.chars.len() && self.chars[self.pos].is_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<char> {
+        self.skip_ws();
+        self.chars.get(self.pos).copied()
+    }
+
+    fn parse_or(&mut self) -> Result<FlatExpr, String> {
+        let mut terms = vec![self.parse_and()?];
+        while self.peek() == Some('+') {
+            self.pos += 1;
+            terms.push(self.parse_and()?);
+        }
+        Ok(if terms.len() == 1 { terms.pop().expect("one") } else { FlatExpr::Or(terms) })
+    }
+
+    // `!=` binds looser than `+`/`*` in the emitted format (equations like
+    // `S=A!=B!=C` and `O=A*B+C` never mix the two without parentheses), so
+    // the top level splits on `!=` first.
+    fn parse_xor(&mut self) -> Result<FlatExpr, String> {
+        let mut acc = self.parse_or()?;
+        loop {
+            self.skip_ws();
+            if self.chars.get(self.pos) == Some(&'!')
+                && self.chars.get(self.pos + 1) == Some(&'=')
+            {
+                self.pos += 2;
+                let rhs = self.parse_or()?;
+                acc = FlatExpr::Xor(Box::new(acc), Box::new(rhs));
+            } else {
+                break;
+            }
+        }
+        Ok(acc)
+    }
+
+    fn parse_and(&mut self) -> Result<FlatExpr, String> {
+        let mut factors = vec![self.parse_not()?];
+        while self.peek() == Some('*') {
+            self.pos += 1;
+            factors.push(self.parse_not()?);
+        }
+        Ok(if factors.len() == 1 {
+            factors.pop().expect("one")
+        } else {
+            FlatExpr::And(factors)
+        })
+    }
+
+    fn parse_not(&mut self) -> Result<FlatExpr, String> {
+        self.skip_ws();
+        if self.chars.get(self.pos) == Some(&'!')
+            && self.chars.get(self.pos + 1) != Some(&'=')
+        {
+            self.pos += 1;
+            let inner = self.parse_not()?;
+            return Ok(FlatExpr::Not(Box::new(inner)));
+        }
+        self.parse_atom()
+    }
+
+    fn parse_atom(&mut self) -> Result<FlatExpr, String> {
+        self.skip_ws();
+        match self.chars.get(self.pos) {
+            Some('(') => {
+                self.pos += 1;
+                let e = self.parse_xor()?;
+                self.skip_ws();
+                if self.chars.get(self.pos) == Some(&')') {
+                    self.pos += 1;
+                    Ok(e)
+                } else {
+                    Err("missing `)`".into())
+                }
+            }
+            Some('0') => {
+                self.pos += 1;
+                Ok(FlatExpr::Const(false))
+            }
+            Some('1') => {
+                self.pos += 1;
+                Ok(FlatExpr::Const(true))
+            }
+            Some(c) if c.is_ascii_alphabetic() || *c == '_' => {
+                let start = self.pos;
+                while self
+                    .chars
+                    .get(self.pos)
+                    .is_some_and(|c| c.is_ascii_alphanumeric() || matches!(c, '_' | '[' | ']' | '$' | '.'))
+                {
+                    self.pos += 1;
+                }
+                Ok(FlatExpr::Net(self.chars[start..self.pos].iter().collect()))
+            }
+            other => Err(format!("unexpected {other:?} in expression")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{expand, parse, NoModules};
+    use std::collections::HashMap;
+
+    fn eval(e: &FlatExpr, env: &HashMap<String, bool>) -> bool {
+        match e {
+            FlatExpr::Const(b) => *b,
+            FlatExpr::Net(n) => env[n],
+            FlatExpr::Not(x) => !eval(x, env),
+            FlatExpr::And(es) => es.iter().all(|x| eval(x, env)),
+            FlatExpr::Or(es) => es.iter().any(|x| eval(x, env)),
+            FlatExpr::Xor(a, b) => eval(a, env) ^ eval(b, env),
+            other => panic!("MILO format is combinational: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_the_appendix_adder_listing() {
+        // The 4-bit adder text of Appendix A §4.2 (cleaned of OCR noise).
+        let src = "
+NAME=adder4;
+INORDER= CIN A[0] A[1] B[0] B[1];
+OUTORDER= COUT O[0] O[1];
+C[0]=CIN;
+O[0]=A[0]!=B[0]!=C[0];
+C[1]=A[0]*B[0]+C[0]*A[0]+C[0]*B[0];
+O[1]=A[1]!=B[1]!=C[1];
+C[2]=A[1]*B[1]+C[1]*A[1]+C[1]*B[1];
+COUT=C[2];
+";
+        let m = parse_milo(src).unwrap();
+        assert_eq!(m.name, "adder4");
+        assert_eq!(m.inputs.len(), 5);
+        assert_eq!(m.outputs.len(), 3);
+        assert_eq!(m.equations.len(), 6);
+        assert_eq!(m.internals, vec!["C[0]", "C[1]", "C[2]"]);
+    }
+
+    #[test]
+    fn roundtrip_preserves_function() {
+        let module = parse(
+            "NAME: F; INORDER: A, B, C; OUTORDER: O, P;
+             { O = A (+) B (+) C; P = A*B + !C; }",
+        )
+        .unwrap();
+        let flat = expand(&module, &[], &NoModules).unwrap();
+        let text = flat.to_milo_format();
+        let back = parse_milo(&text).unwrap();
+        assert_eq!(back.name, flat.name);
+        // Evaluate both on all assignments.
+        for m in 0..8u32 {
+            let mut env = HashMap::new();
+            for (i, n) in ["A", "B", "C"].iter().enumerate() {
+                env.insert(n.to_string(), (m >> i) & 1 == 1);
+            }
+            for (orig, parsed) in flat.equations.iter().zip(&back.equations) {
+                assert_eq!(orig.lhs, parsed.lhs);
+                // Resolve internal nets on the fly (equations are ordered).
+                let o = eval(&orig.rhs, &env);
+                let p = eval(&parsed.rhs, &env);
+                assert_eq!(o, p, "equation {} at {m:03b}", orig.lhs);
+                env.insert(orig.lhs.clone(), o);
+            }
+        }
+    }
+
+    #[test]
+    fn constants_and_parentheses() {
+        let m = parse_milo("NAME=t; INORDER= A; OUTORDER= O; O=(A+1)*!(A*0);").unwrap();
+        let mut env = HashMap::new();
+        env.insert("A".to_string(), false);
+        assert!(eval(&m.equations[0].rhs, &env));
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(parse_milo("INORDER= A;").is_err(), "missing NAME");
+        assert!(parse_milo("NAME=t; O=A+*B;").is_err(), "bad expression");
+        assert!(parse_milo("NAME=t; O=(A;").is_err(), "unbalanced paren");
+        assert!(parse_milo("NAME=t; just words;").is_err(), "no equals");
+    }
+}

@@ -1,0 +1,621 @@
+//! Lexer for the Irvine Intermediate Form (IIF).
+//!
+//! IIF extends the Berkeley EQN boolean-equation format with sequential and
+//! asynchronous operators (`@`, `~a`, `~r`, `~f`, `~h`, `~l`, `~d`, `~t`,
+//! `~w`, `~b`, `~s`), C-style macro structures (`#if`, `#for`, `#c_line`,
+//! `#SUBFUN(...)`) and aggregate assignments (`+=`, `*=`, `(+)=`, `(.)=`).
+
+use std::fmt;
+
+/// One lexical token of IIF.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Identifier (signal, variable, design or subfunction name).
+    Ident(String),
+    /// Unsigned integer literal.
+    Int(i64),
+    /// Floating point literal (used by the `~d` delay operator).
+    Float(f64),
+
+    // Declaration keywords.
+    Name,
+    Functions,
+    Parameter,
+    Variable,
+    Inorder,
+    Outorder,
+    PiifVariable,
+    Subfunction,
+    Subcomponent,
+
+    // Macro-structure keywords (lexed from `#`-prefixed words).
+    HashIf,
+    HashElse,
+    HashFor,
+    HashBreak,
+    HashContinue,
+    HashCLine,
+    /// `#Identifier` — a subfunction call.
+    HashCall(String),
+
+    // Punctuation.
+    Colon,
+    Semicolon,
+    Comma,
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    LBrace,
+    RBrace,
+
+    // Boolean / arithmetic operators.
+    Plus,     // + : OR on signals, addition on variables
+    Star,     // * : AND on signals, multiplication on variables
+    Minus,    // - : subtraction (variables only)
+    Slash,    // / : division (variables); async value separator inside ~a()
+    Percent,  // % : modulo
+    StarStar, // ** : exponent
+    Bang,     // ! : NOT
+    Xor,      // (+)
+    Xnor,     // (.)
+
+    // Comparison / logical (C expressions).
+    Eq,      // ==
+    Neq,     // !=
+    Lt,      // <
+    Gt,      // >
+    Leq,     // <=
+    Geq,     // >=
+    LAnd,    // &&
+    LOr,     // ||
+    PlusPlus,   // ++
+    MinusMinus, // --
+
+    // Assignment operators.
+    Assign,      // =
+    PlusAssign,  // +=
+    StarAssign,  // *=
+    XorAssign,   // (+)=
+    XnorAssign,  // (.)=
+
+    // Hardware unary/binary operators.
+    At,       // @  (clocked assignment)
+    TildeA,   // ~a (asynchronous set/reset list)
+    TildeB,   // ~b (buffer)
+    TildeS,   // ~s (schmitt trigger)
+    TildeD,   // ~d (delay element)
+    TildeT,   // ~t (tri-state)
+    TildeW,   // ~w (wired or)
+    TildeR,   // ~r (rising-edge clock)
+    TildeF,   // ~f (falling-edge clock)
+    TildeH,   // ~h (latch, active high)
+    TildeL,   // ~l (latch, active low; the paper also writes `~1`)
+
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Ident(s) => write!(f, "{s}"),
+            Token::Int(v) => write!(f, "{v}"),
+            Token::Float(v) => write!(f, "{v}"),
+            other => write!(f, "{other:?}"),
+        }
+    }
+}
+
+/// A token plus its source position (for error messages).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Spanned {
+    /// The token itself.
+    pub token: Token,
+    /// 1-based source line.
+    pub line: u32,
+    /// 1-based source column.
+    pub col: u32,
+}
+
+/// Lexing error with position information.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LexError {
+    /// Human-readable description.
+    pub message: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// 1-based source column.
+    pub col: u32,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at {}:{}: {}", self.line, self.col, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenizes IIF source text.
+///
+/// # Errors
+/// Returns a [`LexError`] on unterminated comments or unknown characters.
+pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
+    let bytes: Vec<char> = src.chars().collect();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let mut col = 1u32;
+
+    macro_rules! push {
+        ($tok:expr, $l:expr, $c:expr) => {
+            out.push(Spanned { token: $tok, line: $l, col: $c })
+        };
+    }
+
+    while i < bytes.len() {
+        let c = bytes[i];
+        let (tl, tc) = (line, col);
+        let advance = |i: &mut usize, line: &mut u32, col: &mut u32, n: usize| {
+            for k in 0..n {
+                if bytes[*i + k] == '\n' {
+                    *line += 1;
+                    *col = 1;
+                } else {
+                    *col += 1;
+                }
+            }
+            *i += n;
+        };
+
+        match c {
+            ' ' | '\t' | '\r' | '\n' => advance(&mut i, &mut line, &mut col, 1),
+            '/' if i + 1 < bytes.len() && bytes[i + 1] == '*' => {
+                let mut j = i + 2;
+                loop {
+                    if j + 1 >= bytes.len() {
+                        return Err(LexError {
+                            message: "unterminated comment".into(),
+                            line: tl,
+                            col: tc,
+                        });
+                    }
+                    if bytes[j] == '*' && bytes[j + 1] == '/' {
+                        break;
+                    }
+                    j += 1;
+                }
+                let n = j + 2 - i;
+                advance(&mut i, &mut line, &mut col, n);
+            }
+            '0'..='9' => {
+                let mut j = i;
+                while j < bytes.len() && bytes[j].is_ascii_digit() {
+                    j += 1;
+                }
+                // Float only when a digit follows the dot; `(.)` stays intact.
+                if j < bytes.len()
+                    && bytes[j] == '.'
+                    && j + 1 < bytes.len()
+                    && bytes[j + 1].is_ascii_digit()
+                {
+                    let mut k = j + 1;
+                    while k < bytes.len() && bytes[k].is_ascii_digit() {
+                        k += 1;
+                    }
+                    let text: String = bytes[i..k].iter().collect();
+                    let v = text.parse::<f64>().map_err(|e| LexError {
+                        message: format!("bad float literal {text}: {e}"),
+                        line: tl,
+                        col: tc,
+                    })?;
+                    push!(Token::Float(v), tl, tc);
+                    let n = k - i;
+                    advance(&mut i, &mut line, &mut col, n);
+                } else {
+                    let text: String = bytes[i..j].iter().collect();
+                    let v = text.parse::<i64>().map_err(|e| LexError {
+                        message: format!("bad integer literal {text}: {e}"),
+                        line: tl,
+                        col: tc,
+                    })?;
+                    push!(Token::Int(v), tl, tc);
+                    let n = j - i;
+                advance(&mut i, &mut line, &mut col, n);
+                }
+            }
+            'a'..='z' | 'A'..='Z' | '_' => {
+                let mut j = i;
+                while j < bytes.len()
+                    && (bytes[j].is_ascii_alphanumeric() || bytes[j] == '_')
+                {
+                    j += 1;
+                }
+                let word: String = bytes[i..j].iter().collect();
+                let tok = match word.to_ascii_uppercase().as_str() {
+                    "NAME" => Token::Name,
+                    "FUNCTIONS" => Token::Functions,
+                    "PARAMETER" => Token::Parameter,
+                    "VARIABLE" => Token::Variable,
+                    "INORDER" => Token::Inorder,
+                    "OUTORDER" => Token::Outorder,
+                    "PIIFVARIABLE" => Token::PiifVariable,
+                    "SUBFUNCTION" => Token::Subfunction,
+                    "SUBCOMPONENT" => Token::Subcomponent,
+                    _ => Token::Ident(word),
+                };
+                push!(tok, tl, tc);
+                let n = j - i;
+                advance(&mut i, &mut line, &mut col, n);
+            }
+            '#' => {
+                let mut j = i + 1;
+                while j < bytes.len()
+                    && (bytes[j].is_ascii_alphanumeric() || bytes[j] == '_')
+                {
+                    j += 1;
+                }
+                let word: String = bytes[i + 1..j].iter().collect();
+                let tok = match word.to_ascii_lowercase().as_str() {
+                    "if" => Token::HashIf,
+                    "else" => Token::HashElse,
+                    "for" => Token::HashFor,
+                    "break" => Token::HashBreak,
+                    "continue" => Token::HashContinue,
+                    "c_line" | "cline" => Token::HashCLine,
+                    "" => {
+                        return Err(LexError {
+                            message: "`#` must be followed by a keyword or subfunction name"
+                                .into(),
+                            line: tl,
+                            col: tc,
+                        })
+                    }
+                    _ => Token::HashCall(word),
+                };
+                push!(tok, tl, tc);
+                let n = j - i;
+                advance(&mut i, &mut line, &mut col, n);
+            }
+            '~' => {
+                let next = bytes.get(i + 1).copied().unwrap_or(' ');
+                let tok = match next.to_ascii_lowercase() {
+                    'a' => Token::TildeA,
+                    'b' => Token::TildeB,
+                    's' => Token::TildeS,
+                    'd' => Token::TildeD,
+                    't' => Token::TildeT,
+                    'w' => Token::TildeW,
+                    'r' => Token::TildeR,
+                    'f' => Token::TildeF,
+                    'h' => Token::TildeH,
+                    // The paper prints `~1` for the active-low latch operator.
+                    'l' | '1' => Token::TildeL,
+                    other => {
+                        return Err(LexError {
+                            message: format!("unknown operator ~{other}"),
+                            line: tl,
+                            col: tc,
+                        })
+                    }
+                };
+                push!(tok, tl, tc);
+                advance(&mut i, &mut line, &mut col, 2);
+            }
+            '(' => {
+                // `(+)`, `(.)`, `(+)=`, `(.)=` are single tokens.
+                if i + 2 < bytes.len() && bytes[i + 2] == ')' && (bytes[i + 1] == '+' || bytes[i + 1] == '.') {
+                    let xor = bytes[i + 1] == '+';
+                    if i + 3 < bytes.len() && bytes[i + 3] == '=' && bytes.get(i + 4) != Some(&'=') {
+                        push!(if xor { Token::XorAssign } else { Token::XnorAssign }, tl, tc);
+                        advance(&mut i, &mut line, &mut col, 4);
+                    } else {
+                        push!(if xor { Token::Xor } else { Token::Xnor }, tl, tc);
+                        advance(&mut i, &mut line, &mut col, 3);
+                    }
+                } else {
+                    push!(Token::LParen, tl, tc);
+                    advance(&mut i, &mut line, &mut col, 1);
+                }
+            }
+            ')' => {
+                push!(Token::RParen, tl, tc);
+                advance(&mut i, &mut line, &mut col, 1);
+            }
+            '[' => {
+                push!(Token::LBracket, tl, tc);
+                advance(&mut i, &mut line, &mut col, 1);
+            }
+            ']' => {
+                push!(Token::RBracket, tl, tc);
+                advance(&mut i, &mut line, &mut col, 1);
+            }
+            '{' => {
+                push!(Token::LBrace, tl, tc);
+                advance(&mut i, &mut line, &mut col, 1);
+            }
+            '}' => {
+                push!(Token::RBrace, tl, tc);
+                advance(&mut i, &mut line, &mut col, 1);
+            }
+            ':' => {
+                push!(Token::Colon, tl, tc);
+                advance(&mut i, &mut line, &mut col, 1);
+            }
+            ';' => {
+                push!(Token::Semicolon, tl, tc);
+                advance(&mut i, &mut line, &mut col, 1);
+            }
+            ',' => {
+                push!(Token::Comma, tl, tc);
+                advance(&mut i, &mut line, &mut col, 1);
+            }
+            '@' => {
+                push!(Token::At, tl, tc);
+                advance(&mut i, &mut line, &mut col, 1);
+            }
+            '+' => {
+                match bytes.get(i + 1) {
+                    Some('+') => {
+                        push!(Token::PlusPlus, tl, tc);
+                        advance(&mut i, &mut line, &mut col, 2);
+                    }
+                    Some('=') => {
+                        push!(Token::PlusAssign, tl, tc);
+                        advance(&mut i, &mut line, &mut col, 2);
+                    }
+                    _ => {
+                        push!(Token::Plus, tl, tc);
+                        advance(&mut i, &mut line, &mut col, 1);
+                    }
+                }
+            }
+            '-' => {
+                match bytes.get(i + 1) {
+                    Some('-') => {
+                        push!(Token::MinusMinus, tl, tc);
+                        advance(&mut i, &mut line, &mut col, 2);
+                    }
+                    _ => {
+                        push!(Token::Minus, tl, tc);
+                        advance(&mut i, &mut line, &mut col, 1);
+                    }
+                }
+            }
+            '*' => {
+                match bytes.get(i + 1) {
+                    Some('*') => {
+                        push!(Token::StarStar, tl, tc);
+                        advance(&mut i, &mut line, &mut col, 2);
+                    }
+                    Some('=') => {
+                        push!(Token::StarAssign, tl, tc);
+                        advance(&mut i, &mut line, &mut col, 2);
+                    }
+                    _ => {
+                        push!(Token::Star, tl, tc);
+                        advance(&mut i, &mut line, &mut col, 1);
+                    }
+                }
+            }
+            '/' => {
+                push!(Token::Slash, tl, tc);
+                advance(&mut i, &mut line, &mut col, 1);
+            }
+            '%' => {
+                push!(Token::Percent, tl, tc);
+                advance(&mut i, &mut line, &mut col, 1);
+            }
+            '!' => {
+                if bytes.get(i + 1) == Some(&'=') {
+                    push!(Token::Neq, tl, tc);
+                    advance(&mut i, &mut line, &mut col, 2);
+                } else {
+                    push!(Token::Bang, tl, tc);
+                    advance(&mut i, &mut line, &mut col, 1);
+                }
+            }
+            '=' => {
+                if bytes.get(i + 1) == Some(&'=') {
+                    push!(Token::Eq, tl, tc);
+                    advance(&mut i, &mut line, &mut col, 2);
+                } else {
+                    push!(Token::Assign, tl, tc);
+                    advance(&mut i, &mut line, &mut col, 1);
+                }
+            }
+            '<' => {
+                if bytes.get(i + 1) == Some(&'=') {
+                    push!(Token::Leq, tl, tc);
+                    advance(&mut i, &mut line, &mut col, 2);
+                } else {
+                    push!(Token::Lt, tl, tc);
+                    advance(&mut i, &mut line, &mut col, 1);
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&'=') {
+                    push!(Token::Geq, tl, tc);
+                    advance(&mut i, &mut line, &mut col, 2);
+                } else {
+                    push!(Token::Gt, tl, tc);
+                    advance(&mut i, &mut line, &mut col, 1);
+                }
+            }
+            '&' => {
+                if bytes.get(i + 1) == Some(&'&') {
+                    push!(Token::LAnd, tl, tc);
+                    advance(&mut i, &mut line, &mut col, 2);
+                } else {
+                    return Err(LexError {
+                        message: "single `&` is not an IIF operator (AND is `*`)".into(),
+                        line: tl,
+                        col: tc,
+                    });
+                }
+            }
+            '|' => {
+                if bytes.get(i + 1) == Some(&'|') {
+                    push!(Token::LOr, tl, tc);
+                    advance(&mut i, &mut line, &mut col, 2);
+                } else {
+                    return Err(LexError {
+                        message: "single `|` is not an IIF operator (OR is `+`)".into(),
+                        line: tl,
+                        col: tc,
+                    });
+                }
+            }
+            other => {
+                return Err(LexError {
+                    message: format!("unexpected character {other:?}"),
+                    line: tl,
+                    col: tc,
+                })
+            }
+        }
+    }
+    out.push(Spanned { token: Token::Eof, line, col });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Token> {
+        lex(src).unwrap().into_iter().map(|s| s.token).collect()
+    }
+
+    #[test]
+    fn lexes_xor_and_xnor_as_single_tokens() {
+        assert_eq!(
+            toks("A (+) B (.) C"),
+            vec![
+                Token::Ident("A".into()),
+                Token::Xor,
+                Token::Ident("B".into()),
+                Token::Xnor,
+                Token::Ident("C".into()),
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_aggregate_assigns() {
+        assert_eq!(
+            toks("O (+)= X; O (.)= Y; O += Z; O *= W;"),
+            vec![
+                Token::Ident("O".into()),
+                Token::XorAssign,
+                Token::Ident("X".into()),
+                Token::Semicolon,
+                Token::Ident("O".into()),
+                Token::XnorAssign,
+                Token::Ident("Y".into()),
+                Token::Semicolon,
+                Token::Ident("O".into()),
+                Token::PlusAssign,
+                Token::Ident("Z".into()),
+                Token::Semicolon,
+                Token::Ident("O".into()),
+                Token::StarAssign,
+                Token::Ident("W".into()),
+                Token::Semicolon,
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_tilde_operators_including_digit_one_latch() {
+        assert_eq!(
+            toks("~a ~b ~s ~d ~t ~w ~r ~f ~h ~l ~1"),
+            vec![
+                Token::TildeA,
+                Token::TildeB,
+                Token::TildeS,
+                Token::TildeD,
+                Token::TildeT,
+                Token::TildeW,
+                Token::TildeR,
+                Token::TildeF,
+                Token::TildeH,
+                Token::TildeL,
+                Token::TildeL,
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_hash_keywords_and_calls() {
+        assert_eq!(
+            toks("#if #else #for #c_line #cline #RIPPLE_COUNTER"),
+            vec![
+                Token::HashIf,
+                Token::HashElse,
+                Token::HashFor,
+                Token::HashCLine,
+                Token::HashCLine,
+                Token::HashCall("RIPPLE_COUNTER".into()),
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped_and_positions_tracked() {
+        let spanned = lex("A /* comment\nspanning lines */ B").unwrap();
+        assert_eq!(spanned[0].token, Token::Ident("A".into()));
+        assert_eq!(spanned[1].token, Token::Ident("B".into()));
+        assert_eq!(spanned[1].line, 2);
+    }
+
+    #[test]
+    fn keywords_are_case_insensitive() {
+        assert_eq!(toks("name inorder OUTORDER")[..3].to_vec(), vec![
+            Token::Name,
+            Token::Inorder,
+            Token::Outorder
+        ]);
+    }
+
+    #[test]
+    fn float_literal_for_delay() {
+        assert_eq!(
+            toks("X ~d 10.5"),
+            vec![Token::Ident("X".into()), Token::TildeD, Token::Float(10.5), Token::Eof]
+        );
+    }
+
+    #[test]
+    fn error_on_unterminated_comment() {
+        assert!(lex("A /* nope").is_err());
+    }
+
+    #[test]
+    fn comparison_operators() {
+        assert_eq!(
+            toks("a == b != c <= d >= e < f > g"),
+            vec![
+                Token::Ident("a".into()),
+                Token::Eq,
+                Token::Ident("b".into()),
+                Token::Neq,
+                Token::Ident("c".into()),
+                Token::Leq,
+                Token::Ident("d".into()),
+                Token::Geq,
+                Token::Ident("e".into()),
+                Token::Lt,
+                Token::Ident("f".into()),
+                Token::Gt,
+                Token::Ident("g".into()),
+                Token::Eof
+            ]
+        );
+    }
+}

@@ -1,0 +1,44 @@
+//! # icdb-layout — layout generator and floorplanner
+//!
+//! The LES substitute of this ICDB reproduction (paper §4.3.2): "a two
+//! dimensional layout in which components can be placed into a number of
+//! layout strips. Each strip has a pair of Vdd/Vss lines setting its
+//! boundaries […] Users can assign the number of strips to be laid out and
+//! the I/O port positions of a component."
+//!
+//! * [`place`] — strip assignment (LPT width balancing) + intra-strip
+//!   barycenter ordering + boundary pin placement from a [`PortSpec`]
+//!   (the paper's `CLK left s1.0` format);
+//! * [`to_cif`] / [`to_ascii`] — CIF 2.0 and terminal renderings of a
+//!   [`Layout`] (Figs. 9 and 12);
+//! * [`SlicingTree`] / [`best_by_area`] / [`best_by_aspect`] — Stockmeyer
+//!   shape-function floorplanning for component assemblies (Fig. 13).
+//!
+//! ```
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! use icdb_layout::{place, to_cif, PortSpec};
+//! let m = icdb_iif::parse(
+//!     "NAME: FA; INORDER: A, B, CIN; OUTORDER: S, COUT;
+//!      { S = A (+) B (+) CIN; COUT = A*B + A*CIN + B*CIN; }")?;
+//! let flat = icdb_iif::expand(&m, &[], &icdb_iif::NoModules)?;
+//! let lib = icdb_cells::Library::standard();
+//! let nl = icdb_logic::synthesize(&flat, &lib, &Default::default())?;
+//! let layout = place(&nl, &lib, 2, &PortSpec::default())?;
+//! let cif = to_cif(&layout);
+//! assert!(cif.contains("DS 1 1 1;"));
+//! # Ok(())
+//! # }
+//! ```
+
+mod cif;
+mod floorplan;
+mod place;
+mod ports;
+
+pub use cif::{cif_is_well_formed, to_ascii, to_cif};
+pub use floorplan::{
+    best_by_area, best_by_aspect, shape_envelope, Cut, Floorplan, FloorplanError, Placement,
+    SlicingTree,
+};
+pub use place::{place, Layout, LayoutError, PlacedCell, PlacedPort};
+pub use ports::{PortAssignment, PortSpec, PortSpecError, Side};

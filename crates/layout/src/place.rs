@@ -1,0 +1,411 @@
+//! Strip-based placement (paper §4.3.2): cells go into a requested number
+//! of strips bounded by shared Vdd/Vss rail pairs; intra-strip order is
+//! optimized to shorten nets.
+
+use crate::ports::{PortSpec, Side};
+use icdb_cells::{Library, TECH};
+use icdb_logic::{GNet, GateNetlist};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A placed cell instance.
+#[derive(Debug, Clone)]
+pub struct PlacedCell {
+    /// Index into `GateNetlist::gates`.
+    pub gate: usize,
+    /// Cell name (for rendering).
+    pub cell_name: String,
+    /// Left x coordinate (µm).
+    pub x: f64,
+    /// Cell width (µm).
+    pub width: f64,
+    /// Strip index (0 = top strip).
+    pub strip: usize,
+}
+
+/// A placed I/O port on the boundary.
+#[derive(Debug, Clone)]
+pub struct PlacedPort {
+    /// Port name.
+    pub name: String,
+    /// Side of the boundary.
+    pub side: Side,
+    /// Coordinates of the pin (µm).
+    pub x: f64,
+    /// Y coordinate (µm, 0 = top).
+    pub y: f64,
+}
+
+/// A generated strip layout.
+#[derive(Debug, Clone)]
+pub struct Layout {
+    /// Design name.
+    pub name: String,
+    /// Placed cells, grouped per strip.
+    pub strips: Vec<Vec<PlacedCell>>,
+    /// Bounding-box width (µm).
+    pub width: f64,
+    /// Bounding-box height (µm).
+    pub height: f64,
+    /// Routing tracks allocated per strip.
+    pub tracks_per_strip: usize,
+    /// Boundary pins.
+    pub ports: Vec<PlacedPort>,
+}
+
+/// Layout generation error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayoutError {
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for LayoutError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "layout error: {}", self.message)
+    }
+}
+
+impl std::error::Error for LayoutError {}
+
+impl Layout {
+    /// Total bounding-box area (µm²).
+    pub fn area(&self) -> f64 {
+        self.width * self.height
+    }
+
+    /// Width/height aspect ratio.
+    pub fn aspect_ratio(&self) -> f64 {
+        self.width / self.height
+    }
+
+    /// Number of placed cells.
+    pub fn cell_count(&self) -> usize {
+        self.strips.iter().map(Vec::len).sum()
+    }
+
+    /// Total half-perimeter wire length of all nets (µm), a routing-cost
+    /// proxy used to validate the intra-strip ordering.
+    pub fn wirelength(&self, nl: &GateNetlist) -> f64 {
+        let centers: HashMap<usize, (f64, f64)> = self
+            .strips
+            .iter()
+            .enumerate()
+            .flat_map(|(si, cells)| {
+                cells.iter().map(move |c| {
+                    (c.gate, (c.x + c.width / 2.0, si as f64))
+                })
+            })
+            .collect();
+        let mut nets: HashMap<GNet, Vec<(f64, f64)>> = HashMap::new();
+        for (gi, g) in nl.gates.iter().enumerate() {
+            if let Some(&(x, y)) = centers.get(&gi) {
+                nets.entry(g.output).or_default().push((x, y));
+                for n in &g.inputs {
+                    nets.entry(*n).or_default().push((x, y));
+                }
+            }
+        }
+        for p in &self.ports {
+            if let Some(net) = nl.net_id(&p.name) {
+                nets.entry(net)
+                    .or_default()
+                    .push((p.x, p.y / (TECH.transistor_height + TECH.rail_height)));
+            }
+        }
+        nets.values()
+            .filter(|pins| pins.len() >= 2)
+            .map(|pins| {
+                let (mut x0, mut x1, mut y0, mut y1) =
+                    (f64::INFINITY, f64::NEG_INFINITY, f64::INFINITY, f64::NEG_INFINITY);
+                for &(x, y) in pins {
+                    x0 = x0.min(x);
+                    x1 = x1.max(x);
+                    y0 = y0.min(y);
+                    y1 = y1.max(y);
+                }
+                (x1 - x0) + (y1 - y0) * (TECH.transistor_height + TECH.rail_height)
+            })
+            .sum()
+    }
+}
+
+/// Generates a `strips`-row layout for `nl`, honoring `ports`.
+///
+/// # Errors
+/// Fails when the netlist has no placeable cells or `strips == 0`.
+pub fn place(
+    nl: &GateNetlist,
+    lib: &Library,
+    strips: usize,
+    ports: &PortSpec,
+) -> Result<Layout, LayoutError> {
+    if strips == 0 {
+        return Err(LayoutError { message: "strip count must be at least 1".into() });
+    }
+    let placeable: Vec<usize> = (0..nl.gates.len())
+        .filter(|&i| lib.cell(nl.gates[i].cell).geometry.width > 0.0)
+        .collect();
+    if placeable.is_empty() {
+        return Err(LayoutError { message: format!("netlist `{}` has no cells", nl.name) });
+    }
+    let strips = strips.min(placeable.len());
+
+    // 1. Assign cells to strips: LPT bin packing on width.
+    let mut by_width: Vec<usize> = placeable.clone();
+    by_width.sort_by(|&a, &b| {
+        let wa = lib.cell(nl.gates[a].cell).width(nl.gates[a].size);
+        let wb = lib.cell(nl.gates[b].cell).width(nl.gates[b].size);
+        wb.total_cmp(&wa)
+    });
+    let mut strip_of: HashMap<usize, usize> = HashMap::new();
+    let mut strip_width = vec![0.0f64; strips];
+    for gi in by_width {
+        let (best, _) = strip_width
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.total_cmp(b.1))
+            .expect("strips >= 1");
+        strip_of.insert(gi, best);
+        strip_width[best] += lib.cell(nl.gates[gi].cell).width(nl.gates[gi].size);
+    }
+
+    // 2. Intra-strip ordering by iterated barycenter over net neighbours.
+    let mut order: Vec<Vec<usize>> = vec![Vec::new(); strips];
+    for &gi in &placeable {
+        order[strip_of[&gi]].push(gi);
+    }
+    let fanouts = nl.fanouts();
+    // Neighbour lists via shared nets.
+    let mut neighbours: HashMap<usize, Vec<usize>> = HashMap::new();
+    for (gi, g) in nl.gates.iter().enumerate() {
+        if !strip_of.contains_key(&gi) {
+            continue;
+        }
+        let mut ns = Vec::new();
+        for n in g.inputs.iter() {
+            if let Some(di) = nl.driver(*n) {
+                if strip_of.contains_key(&di) {
+                    ns.push(di);
+                }
+            }
+        }
+        if let Some(sinks) = fanouts.get(&g.output) {
+            for &(si, _) in sinks {
+                if strip_of.contains_key(&si) {
+                    ns.push(si);
+                }
+            }
+        }
+        neighbours.insert(gi, ns);
+    }
+    for _pass in 0..4 {
+        // Current normalized position of each cell.
+        let mut pos: HashMap<usize, f64> = HashMap::new();
+        for row in &order {
+            for (k, &gi) in row.iter().enumerate() {
+                pos.insert(gi, (k as f64 + 0.5) / row.len() as f64);
+            }
+        }
+        for row in &mut order {
+            row.sort_by(|&a, &b| {
+                let bary = |gi: usize| -> f64 {
+                    let ns = &neighbours[&gi];
+                    if ns.is_empty() {
+                        pos[&gi]
+                    } else {
+                        ns.iter().map(|n| pos[n]).sum::<f64>() / ns.len() as f64
+                    }
+                };
+                bary(a).total_cmp(&bary(b))
+            });
+        }
+    }
+
+    // 3. Coordinates.
+    let mut placed: Vec<Vec<PlacedCell>> = Vec::with_capacity(strips);
+    let mut max_width: f64 = 0.0;
+    for (si, row) in order.iter().enumerate() {
+        let mut x = 0.0;
+        let mut cells = Vec::with_capacity(row.len());
+        for &gi in row {
+            let g = &nl.gates[gi];
+            let w = lib.cell(g.cell).width(g.size);
+            cells.push(PlacedCell {
+                gate: gi,
+                cell_name: lib.cell(g.cell).name.clone(),
+                x,
+                width: w,
+                strip: si,
+            });
+            x += w;
+        }
+        max_width = max_width.max(x);
+        placed.push(cells);
+    }
+
+    // 4. Track estimate from the actual placement.
+    let n = placeable.len() as f64;
+    let cells_per_strip = n / strips as f64;
+    let util = icdb_estimate::track_utilization(cells_per_strip);
+    let mut total_span = 0.0;
+    {
+        let mut spans: HashMap<GNet, (f64, f64)> = HashMap::new();
+        for row in &placed {
+            for c in row {
+                let g = &nl.gates[c.gate];
+                let cx = c.x + c.width / 2.0;
+                for net in g.inputs.iter().chain(std::iter::once(&g.output)) {
+                    let e = spans.entry(*net).or_insert((cx, cx));
+                    e.0 = e.0.min(cx);
+                    e.1 = e.1.max(cx);
+                }
+            }
+        }
+        for (lo, hi) in spans.values() {
+            total_span += hi - lo;
+        }
+    }
+    let total_tracks = (total_span / (max_width.max(1.0) * util)).ceil();
+    let tracks_per_strip = (total_tracks / strips as f64).ceil().max(1.0) as usize;
+
+    let height = strips as f64
+        * (TECH.transistor_height + tracks_per_strip as f64 * TECH.track_pitch)
+        + (strips + 1) as f64 * TECH.rail_height;
+
+    // 5. Boundary pins.
+    let mut placed_ports = Vec::new();
+    for side in [Side::Left, Side::Right, Side::Top, Side::Bottom] {
+        let along = ports.side_ports(side);
+        let count = along.len();
+        for (k, a) in along.into_iter().enumerate() {
+            let frac = (k as f64 + 1.0) / (count as f64 + 1.0);
+            let (x, y) = match side {
+                Side::Left => (0.0, frac * height),
+                Side::Right => (max_width, frac * height),
+                Side::Top => (frac * max_width, 0.0),
+                Side::Bottom => (frac * max_width, height),
+            };
+            placed_ports.push(PlacedPort { name: a.name.clone(), side, x, y });
+        }
+    }
+
+    Ok(Layout {
+        name: nl.name.clone(),
+        strips: placed,
+        width: max_width,
+        height,
+        tracks_per_strip,
+        ports: placed_ports,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icdb_logic::synthesize;
+
+    const ADDER: &str = "
+NAME: ADDER;
+PARAMETER: size;
+INORDER: I0[size], I1[size], Cin;
+OUTORDER: O[size], Cout;
+PIIFVARIABLE: C[size+1];
+VARIABLE: i;
+{
+  C[0] = Cin;
+  #for(i=0; i<size; i++)
+  {
+    O[i] = I0[i] (+) I1[i] (+) C[i];
+    C[i+1] = I0[i]*I1[i] + I0[i]*C[i] + I1[i]*C[i];
+  }
+  Cout = C[size];
+}";
+
+    fn netlist(size: i64) -> (GateNetlist, Library) {
+        let lib = Library::standard();
+        let m = icdb_iif::parse(ADDER).unwrap();
+        let flat = icdb_iif::expand(&m, &[("size", size)], &icdb_iif::NoModules).unwrap();
+        let nl = synthesize(&flat, &lib, &Default::default()).unwrap();
+        (nl, lib)
+    }
+
+    #[test]
+    fn places_all_cells_without_overlap() {
+        let (nl, lib) = netlist(8);
+        let spec = PortSpec::default_for(
+            nl.inputs.iter().map(|&n| nl.net_name(n).to_string()).collect::<Vec<_>>().as_slice(),
+            nl.outputs.iter().map(|&n| nl.net_name(n).to_string()).collect::<Vec<_>>().as_slice(),
+        );
+        let l = place(&nl, &lib, 3, &spec).unwrap();
+        assert_eq!(l.cell_count(), nl.gates.len());
+        for row in &l.strips {
+            for w in row.windows(2) {
+                assert!(w[1].x >= w[0].x + w[0].width - 1e-9, "overlap in strip");
+            }
+        }
+        assert!(l.width > 0.0 && l.height > 0.0);
+    }
+
+    #[test]
+    fn more_strips_narrower_taller() {
+        let (nl, lib) = netlist(8);
+        let spec = PortSpec::default();
+        let l1 = place(&nl, &lib, 1, &spec).unwrap();
+        let l4 = place(&nl, &lib, 4, &spec).unwrap();
+        assert!(l4.width < l1.width);
+        assert!(l4.height > l1.height);
+    }
+
+    #[test]
+    fn barycenter_ordering_beats_reversal_on_wirelength() {
+        let (nl, lib) = netlist(8);
+        let spec = PortSpec::default();
+        let l = place(&nl, &lib, 2, &spec).unwrap();
+        let optimized = l.wirelength(&nl);
+        // Scramble: reverse each strip and measure.
+        let mut scrambled = l.clone();
+        for row in &mut scrambled.strips {
+            let total: f64 = row.iter().map(|c| c.width).sum();
+            row.reverse();
+            let mut x = 0.0;
+            for c in row.iter_mut() {
+                c.x = x;
+                x += c.width;
+            }
+            assert!((x - total).abs() < 1e-6);
+        }
+        let reversed = scrambled.wirelength(&nl);
+        // Reversal of a barycenter-ordered strip should rarely be better;
+        // allow equality for symmetric designs.
+        assert!(
+            optimized <= reversed * 1.05,
+            "optimized {optimized} vs reversed {reversed}"
+        );
+    }
+
+    #[test]
+    fn ports_sit_on_their_sides() {
+        let (nl, lib) = netlist(4);
+        let spec = PortSpec::parse("Cin left s1.0\nCout right s1.0\nI0[0] top 10").unwrap();
+        let l = place(&nl, &lib, 2, &spec).unwrap();
+        let cin = l.ports.iter().find(|p| p.name == "Cin").unwrap();
+        assert_eq!(cin.side, Side::Left);
+        assert_eq!(cin.x, 0.0);
+        let cout = l.ports.iter().find(|p| p.name == "Cout").unwrap();
+        assert!((cout.x - l.width).abs() < 1e-9);
+        let i00 = l.ports.iter().find(|p| p.name == "I0[0]").unwrap();
+        assert_eq!(i00.y, 0.0);
+    }
+
+    #[test]
+    fn aspect_ratio_varies_with_strips() {
+        let (nl, lib) = netlist(8);
+        let spec = PortSpec::default();
+        let mut ratios = Vec::new();
+        for k in 1..=4 {
+            ratios.push(place(&nl, &lib, k, &spec).unwrap().aspect_ratio());
+        }
+        assert!(ratios[0] > ratios[3], "1 strip must be wider than 4: {ratios:?}");
+    }
+}

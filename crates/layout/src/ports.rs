@@ -1,0 +1,228 @@
+//! Port position constraints (paper §3.3).
+//!
+//! A request can pin each I/O port to a side of the component with a
+//! relative position, in the paper's text format:
+//!
+//! ```text
+//! CLK  left   s1.0
+//! D[0] top    10
+//! D[1] top    20
+//! Q[0] bottom 10
+//! ```
+//!
+//! Ports on the same side are placed in increasing order of the position
+//! number ("Ports with larger number are placed righter").
+
+use std::collections::HashMap;
+use std::fmt;
+use std::str::FromStr;
+
+/// A side of the component boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Side {
+    /// Left edge.
+    Left,
+    /// Right edge.
+    Right,
+    /// Top edge.
+    Top,
+    /// Bottom edge.
+    Bottom,
+}
+
+impl fmt::Display for Side {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Side::Left => "left",
+            Side::Right => "right",
+            Side::Top => "top",
+            Side::Bottom => "bottom",
+        };
+        write!(f, "{s}")
+    }
+}
+
+impl FromStr for Side {
+    type Err = PortSpecError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "left" => Ok(Side::Left),
+            "right" => Ok(Side::Right),
+            "top" => Ok(Side::Top),
+            "bottom" => Ok(Side::Bottom),
+            other => Err(PortSpecError { message: format!("unknown side `{other}`") }),
+        }
+    }
+}
+
+/// One port assignment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PortAssignment {
+    /// Port name (`D[0]`, `CLK`, …).
+    pub name: String,
+    /// Boundary side.
+    pub side: Side,
+    /// Relative position along the side (larger = further right/down).
+    pub order: f64,
+}
+
+/// A full port-position specification.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PortSpec {
+    /// Assignments in declaration order.
+    pub assignments: Vec<PortAssignment>,
+}
+
+/// Error parsing a port specification.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PortSpecError {
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for PortSpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "port spec error: {}", self.message)
+    }
+}
+
+impl std::error::Error for PortSpecError {}
+
+impl PortSpec {
+    /// Parses the paper's three-column text format. Position values may be
+    /// plain numbers (`10`) or `s`-prefixed (`s1.0`).
+    ///
+    /// # Errors
+    /// Fails on malformed rows, unknown sides or duplicate ports.
+    pub fn parse(text: &str) -> Result<PortSpec, PortSpecError> {
+        let mut assignments = Vec::new();
+        let mut seen = HashMap::new();
+        for (lineno, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let cols: Vec<&str> = line.split_whitespace().collect();
+            if cols.len() != 3 {
+                return Err(PortSpecError {
+                    message: format!(
+                        "line {}: expected `name side position`, got `{line}`",
+                        lineno + 1
+                    ),
+                });
+            }
+            let name = cols[0].to_string();
+            if seen.insert(name.clone(), ()).is_some() {
+                return Err(PortSpecError {
+                    message: format!("port `{name}` assigned twice"),
+                });
+            }
+            let side: Side = cols[1].parse()?;
+            let pos_text = cols[2].trim_start_matches(['s', 'S']);
+            let order: f64 = pos_text.parse().map_err(|_| PortSpecError {
+                message: format!("line {}: bad position `{}`", lineno + 1, cols[2]),
+            })?;
+            assignments.push(PortAssignment { name, side, order });
+        }
+        Ok(PortSpec { assignments })
+    }
+
+    /// All ports assigned to one side, sorted by their position number.
+    pub fn side_ports(&self, side: Side) -> Vec<&PortAssignment> {
+        let mut v: Vec<&PortAssignment> =
+            self.assignments.iter().filter(|a| a.side == side).collect();
+        v.sort_by(|a, b| a.order.total_cmp(&b.order));
+        v
+    }
+
+    /// Assignment for one port, if present.
+    pub fn get(&self, name: &str) -> Option<&PortAssignment> {
+        self.assignments.iter().find(|a| a.name == name)
+    }
+
+    /// Builds a default specification: inputs on the left/top, outputs on
+    /// the right/bottom, in the given order (used when the requester does
+    /// not pin ports).
+    pub fn default_for(inputs: &[String], outputs: &[String]) -> PortSpec {
+        let mut assignments = Vec::new();
+        for (i, n) in inputs.iter().enumerate() {
+            assignments.push(PortAssignment {
+                name: n.clone(),
+                side: Side::Left,
+                order: (i + 1) as f64 * 10.0,
+            });
+        }
+        for (i, n) in outputs.iter().enumerate() {
+            assignments.push(PortAssignment {
+                name: n.clone(),
+                side: Side::Right,
+                order: (i + 1) as f64 * 10.0,
+            });
+        }
+        PortSpec { assignments }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PAPER_SPEC: &str = "
+CLK left s1.0
+D[0] top 10
+D[1] top 20
+D[2] top 30
+D[3] top 40
+D[4] top 50
+LOAD left s2.0
+DWUP left s3.0
+MINMAX right s2.0
+Q[0] bottom 10
+Q[1] bottom 20
+Q[2] bottom 30
+Q[3] bottom 40
+Q[4] bottom 50
+";
+
+    #[test]
+    fn parses_the_papers_example() {
+        let spec = PortSpec::parse(PAPER_SPEC).unwrap();
+        assert_eq!(spec.assignments.len(), 14);
+        let top = spec.side_ports(Side::Top);
+        assert_eq!(top.len(), 5);
+        assert_eq!(top[0].name, "D[0]");
+        assert_eq!(top[4].name, "D[4]");
+        let left = spec.side_ports(Side::Left);
+        assert_eq!(left[0].name, "CLK");
+        assert_eq!(left[2].name, "DWUP");
+    }
+
+    #[test]
+    fn rejects_duplicates_and_bad_rows() {
+        assert!(PortSpec::parse("A left 1\nA right 2").is_err());
+        assert!(PortSpec::parse("A nowhere 1").is_err());
+        assert!(PortSpec::parse("A left").is_err());
+        assert!(PortSpec::parse("A left xyz").is_err());
+    }
+
+    #[test]
+    fn default_spec_covers_all_ports() {
+        let spec = PortSpec::default_for(
+            &["A".into(), "B".into()],
+            &["O".into()],
+        );
+        assert_eq!(spec.side_ports(Side::Left).len(), 2);
+        assert_eq!(spec.side_ports(Side::Right).len(), 1);
+        assert!(spec.get("A").is_some());
+        assert!(spec.get("missing").is_none());
+    }
+
+    #[test]
+    fn ordering_follows_numbers_not_input_order() {
+        let spec = PortSpec::parse("B top 20\nA top 10").unwrap();
+        let top = spec.side_ports(Side::Top);
+        assert_eq!(top[0].name, "A");
+        assert_eq!(top[1].name, "B");
+    }
+}

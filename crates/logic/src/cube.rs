@@ -1,0 +1,600 @@
+//! Cube and cover (sum-of-products) algebra in the positional-cube notation
+//! used by espresso-family two-level minimizers.
+//!
+//! Each variable occupies two bits of a machine word:
+//! `01` = the cube requires the variable to be **0** (negative literal),
+//! `10` = requires **1** (positive literal), `11` = don't-care (variable
+//! absent from the product), `00` = contradiction (empty cube).
+
+use std::fmt;
+
+const VARS_PER_WORD: usize = 32;
+
+/// A product term over `n` boolean variables.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Cube {
+    words: Vec<u64>,
+    n: usize,
+}
+
+/// Polarity of one variable inside a cube.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Polarity {
+    /// Variable appears complemented (`01`).
+    Neg,
+    /// Variable appears un-complemented (`10`).
+    Pos,
+    /// Variable does not appear (`11`).
+    DontCare,
+    /// Both bits cleared: the cube is empty.
+    Empty,
+}
+
+impl Cube {
+    /// The universal cube (all don't-cares) over `n` variables.
+    pub fn universe(n: usize) -> Cube {
+        let nwords = n.div_ceil(VARS_PER_WORD).max(1);
+        let mut words = vec![!0u64; nwords];
+        // Clear the unused tail so Eq/Hash are canonical.
+        let used = n % VARS_PER_WORD;
+        if used != 0 {
+            words[nwords - 1] = (1u64 << (2 * used)) - 1;
+        }
+        if n == 0 {
+            words[0] = 0;
+        }
+        Cube { words, n }
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.n
+    }
+
+    /// Polarity of variable `v`.
+    ///
+    /// # Panics
+    /// Panics if `v >= num_vars()`.
+    pub fn get(&self, v: usize) -> Polarity {
+        assert!(v < self.n);
+        let bits = (self.words[v / VARS_PER_WORD] >> (2 * (v % VARS_PER_WORD))) & 0b11;
+        match bits {
+            0b01 => Polarity::Neg,
+            0b10 => Polarity::Pos,
+            0b11 => Polarity::DontCare,
+            _ => Polarity::Empty,
+        }
+    }
+
+    /// Sets the polarity of variable `v`.
+    ///
+    /// # Panics
+    /// Panics if `v >= num_vars()`.
+    pub fn set(&mut self, v: usize, p: Polarity) {
+        assert!(v < self.n);
+        let bits = match p {
+            Polarity::Neg => 0b01,
+            Polarity::Pos => 0b10,
+            Polarity::DontCare => 0b11,
+            Polarity::Empty => 0b00,
+        };
+        let w = v / VARS_PER_WORD;
+        let s = 2 * (v % VARS_PER_WORD);
+        self.words[w] = (self.words[w] & !(0b11 << s)) | (bits << s);
+    }
+
+    /// Builds a cube from `(variable, positive)` literal pairs.
+    pub fn from_literals(n: usize, lits: &[(usize, bool)]) -> Cube {
+        let mut c = Cube::universe(n);
+        for &(v, pos) in lits {
+            c.set(v, if pos { Polarity::Pos } else { Polarity::Neg });
+        }
+        c
+    }
+
+    /// True if any variable has the empty (`00`) code.
+    pub fn is_empty(&self) -> bool {
+        // A variable slot is empty iff both bits are zero.
+        for (w, &word) in self.words.iter().enumerate() {
+            let vars_here = if (w + 1) * VARS_PER_WORD <= self.n {
+                VARS_PER_WORD
+            } else {
+                self.n - w * VARS_PER_WORD
+            };
+            for v in 0..vars_here {
+                if (word >> (2 * v)) & 0b11 == 0 {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// True if every variable is a don't-care (the tautology cube).
+    pub fn is_universe(&self) -> bool {
+        *self == Cube::universe(self.n)
+    }
+
+    /// Number of literals (non-don't-care variables).
+    pub fn literal_count(&self) -> usize {
+        (0..self.n)
+            .filter(|&v| matches!(self.get(v), Polarity::Pos | Polarity::Neg))
+            .count()
+    }
+
+    /// Bitwise AND of cubes: their intersection as sets of minterms.
+    /// Returns `None` when the intersection is empty.
+    pub fn intersect(&self, other: &Cube) -> Option<Cube> {
+        debug_assert_eq!(self.n, other.n);
+        let words = self
+            .words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| a & b)
+            .collect();
+        let c = Cube { words, n: self.n };
+        if c.is_empty() {
+            None
+        } else {
+            Some(c)
+        }
+    }
+
+    /// True if `self` contains `other` (every minterm of `other` is in
+    /// `self`): bitwise, `other ⊆ self` iff `other & self == other`.
+    pub fn contains(&self, other: &Cube) -> bool {
+        debug_assert_eq!(self.n, other.n);
+        self.words
+            .iter()
+            .zip(&other.words)
+            .all(|(a, b)| a & b == *b)
+    }
+
+    /// Number of variables where the two cubes have disjoint codes
+    /// (the espresso *distance*; distance 0 means they intersect).
+    pub fn distance(&self, other: &Cube) -> usize {
+        let mut d = 0;
+        for v in 0..self.n {
+            let a = self.get(v);
+            let b = other.get(v);
+            if matches!(
+                (a, b),
+                (Polarity::Pos, Polarity::Neg) | (Polarity::Neg, Polarity::Pos)
+            ) {
+                d += 1;
+            }
+        }
+        d
+    }
+
+    /// Cofactor of this cube with respect to `literal` of variable `v`.
+    /// Returns `None` if the cube requires the opposite literal.
+    pub fn cofactor(&self, v: usize, positive: bool) -> Option<Cube> {
+        match (self.get(v), positive) {
+            (Polarity::Pos, false) | (Polarity::Neg, true) => None,
+            _ => {
+                let mut c = self.clone();
+                c.set(v, Polarity::DontCare);
+                Some(c)
+            }
+        }
+    }
+
+    /// Smallest cube containing both (bitwise OR).
+    pub fn supercube(&self, other: &Cube) -> Cube {
+        debug_assert_eq!(self.n, other.n);
+        let words = self
+            .words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| a | b)
+            .collect();
+        Cube { words, n: self.n }
+    }
+
+    /// Evaluates the cube on an assignment (true = product of literals holds).
+    pub fn eval(&self, assignment: &[bool]) -> bool {
+        debug_assert_eq!(assignment.len(), self.n);
+        (0..self.n).all(|v| match self.get(v) {
+            Polarity::Pos => assignment[v],
+            Polarity::Neg => !assignment[v],
+            Polarity::DontCare => true,
+            Polarity::Empty => false,
+        })
+    }
+
+    /// The variables with a literal in this cube.
+    pub fn support(&self) -> Vec<usize> {
+        (0..self.n)
+            .filter(|&v| matches!(self.get(v), Polarity::Pos | Polarity::Neg))
+            .collect()
+    }
+}
+
+impl fmt::Debug for Cube {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for v in 0..self.n {
+            let ch = match self.get(v) {
+                Polarity::Neg => '0',
+                Polarity::Pos => '1',
+                Polarity::DontCare => '-',
+                Polarity::Empty => '!',
+            };
+            write!(f, "{ch}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A cover: a set of cubes whose union is the represented function.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Cover {
+    /// The product terms.
+    pub cubes: Vec<Cube>,
+    n: usize,
+}
+
+impl Cover {
+    /// The empty (constant-0) cover over `n` variables.
+    pub fn zero(n: usize) -> Cover {
+        Cover { cubes: Vec::new(), n }
+    }
+
+    /// The tautology (constant-1) cover over `n` variables.
+    pub fn one(n: usize) -> Cover {
+        Cover { cubes: vec![Cube::universe(n)], n }
+    }
+
+    /// A cover from explicit cubes.
+    ///
+    /// # Panics
+    /// Panics if a cube has a different variable count.
+    pub fn from_cubes(n: usize, cubes: Vec<Cube>) -> Cover {
+        for c in &cubes {
+            assert_eq!(c.num_vars(), n, "cube arity mismatch");
+        }
+        Cover { cubes, n }
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.n
+    }
+
+    /// True if the cover has no cubes (constant 0).
+    pub fn is_zero(&self) -> bool {
+        self.cubes.is_empty()
+    }
+
+    /// Total literal count (the classic area proxy).
+    pub fn literal_count(&self) -> usize {
+        self.cubes.iter().map(Cube::literal_count).sum()
+    }
+
+    /// Evaluates the cover on an assignment.
+    pub fn eval(&self, assignment: &[bool]) -> bool {
+        self.cubes.iter().any(|c| c.eval(assignment))
+    }
+
+    /// Cofactor of the cover with respect to a literal.
+    pub fn cofactor(&self, v: usize, positive: bool) -> Cover {
+        let cubes = self
+            .cubes
+            .iter()
+            .filter_map(|c| c.cofactor(v, positive))
+            .collect();
+        Cover { cubes, n: self.n }
+    }
+
+    /// Removes cubes contained in another cube of the cover
+    /// (single-cube containment).
+    pub fn remove_contained(&mut self) {
+        let mut keep = vec![true; self.cubes.len()];
+        for i in 0..self.cubes.len() {
+            if !keep[i] {
+                continue;
+            }
+            for j in 0..self.cubes.len() {
+                if i == j || !keep[j] {
+                    continue;
+                }
+                if self.cubes[j].contains(&self.cubes[i])
+                    && (!self.cubes[i].contains(&self.cubes[j]) || i > j)
+                {
+                    keep[i] = false;
+                    break;
+                }
+            }
+        }
+        let mut idx = 0;
+        self.cubes.retain(|_| {
+            let k = keep[idx];
+            idx += 1;
+            k
+        });
+    }
+
+    /// Is the cover a tautology (constant 1)?  Unate-recursive paradigm.
+    pub fn is_tautology(&self) -> bool {
+        // Quick outs.
+        if self.cubes.iter().any(Cube::is_universe) {
+            return true;
+        }
+        if self.cubes.is_empty() {
+            return false;
+        }
+        // Unate reduction: a cover unate in a variable is a tautology iff the
+        // sub-cover of cubes without that literal is.
+        let Some(v) = self.most_binate_var() else {
+            // Unate in every variable: tautology iff some universe cube,
+            // already checked.
+            return false;
+        };
+        self.cofactor(v, true).is_tautology() && self.cofactor(v, false).is_tautology()
+    }
+
+    /// The variable appearing in the most cubes with both polarities;
+    /// `None` if the cover is unate.
+    fn most_binate_var(&self) -> Option<usize> {
+        let mut best: Option<(usize, usize)> = None;
+        for v in 0..self.n {
+            let mut pos = 0usize;
+            let mut neg = 0usize;
+            for c in &self.cubes {
+                match c.get(v) {
+                    Polarity::Pos => pos += 1,
+                    Polarity::Neg => neg += 1,
+                    _ => {}
+                }
+            }
+            if pos > 0 && neg > 0 {
+                let score = pos + neg;
+                if best.is_none_or(|(_, s)| score > s) {
+                    best = Some((v, score));
+                }
+            }
+        }
+        best.map(|(v, _)| v)
+    }
+
+    /// Complement via Shannon recursion with single-cube base case.
+    pub fn complement(&self) -> Cover {
+        if self.cubes.is_empty() {
+            return Cover::one(self.n);
+        }
+        if self.cubes.iter().any(Cube::is_universe) {
+            return Cover::zero(self.n);
+        }
+        if self.cubes.len() == 1 {
+            return complement_cube(&self.cubes[0]);
+        }
+        // Split on the most binate (or first used) variable.
+        let v = self
+            .most_binate_var()
+            .or_else(|| {
+                (0..self.n).find(|&v| {
+                    self.cubes
+                        .iter()
+                        .any(|c| matches!(c.get(v), Polarity::Pos | Polarity::Neg))
+                })
+            })
+            .expect("non-trivial cover must use a variable");
+        let pos = self.cofactor(v, true).complement();
+        let neg = self.cofactor(v, false).complement();
+        let mut cubes = Vec::with_capacity(pos.cubes.len() + neg.cubes.len());
+        for mut c in pos.cubes {
+            c.set(v, Polarity::Pos);
+            cubes.push(c);
+        }
+        for mut c in neg.cubes {
+            c.set(v, Polarity::Neg);
+            cubes.push(c);
+        }
+        let mut out = Cover { cubes, n: self.n };
+        out.remove_contained();
+        out
+    }
+
+    /// True if `cube` is covered by this cover (cover ⊇ cube): the cofactor
+    /// of the cover with respect to the cube is a tautology.
+    pub fn covers_cube(&self, cube: &Cube) -> bool {
+        let mut cof = self.clone();
+        let mut cubes = Vec::new();
+        'next: for c in &cof.cubes {
+            let mut r = c.clone();
+            for v in 0..self.n {
+                match (cube.get(v), c.get(v)) {
+                    (Polarity::Pos, Polarity::Neg) | (Polarity::Neg, Polarity::Pos) => {
+                        continue 'next;
+                    }
+                    (Polarity::Pos | Polarity::Neg, _) => r.set(v, Polarity::DontCare),
+                    _ => {}
+                }
+            }
+            cubes.push(r);
+        }
+        cof.cubes = cubes;
+        cof.is_tautology()
+    }
+
+    /// Union of the variables used by any cube.
+    pub fn support(&self) -> Vec<usize> {
+        let mut used = vec![false; self.n];
+        for c in &self.cubes {
+            for v in c.support() {
+                used[v] = true;
+            }
+        }
+        (0..self.n).filter(|&v| used[v]).collect()
+    }
+}
+
+impl fmt::Debug for Cover {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.cubes.is_empty() {
+            return write!(f, "0");
+        }
+        for (i, c) in self.cubes.iter().enumerate() {
+            if i > 0 {
+                write!(f, " | ")?;
+            }
+            write!(f, "{c:?}")?;
+        }
+        Ok(())
+    }
+}
+
+/// De Morgan complement of a single cube: one cube per literal.
+fn complement_cube(c: &Cube) -> Cover {
+    let n = c.num_vars();
+    let mut cubes = Vec::new();
+    for v in 0..n {
+        match c.get(v) {
+            Polarity::Pos => {
+                cubes.push(Cube::from_literals(n, &[(v, false)]));
+            }
+            Polarity::Neg => {
+                cubes.push(Cube::from_literals(n, &[(v, true)]));
+            }
+            _ => {}
+        }
+    }
+    Cover { cubes, n }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_assignments(n: usize) -> impl Iterator<Item = Vec<bool>> {
+        (0..1u32 << n).map(move |m| (0..n).map(|v| (m >> v) & 1 == 1).collect())
+    }
+
+    #[test]
+    fn universe_and_literals() {
+        let u = Cube::universe(3);
+        assert!(u.is_universe());
+        assert_eq!(u.literal_count(), 0);
+        let c = Cube::from_literals(3, &[(0, true), (2, false)]);
+        assert_eq!(c.literal_count(), 2);
+        assert_eq!(c.get(0), Polarity::Pos);
+        assert_eq!(c.get(1), Polarity::DontCare);
+        assert_eq!(c.get(2), Polarity::Neg);
+    }
+
+    #[test]
+    fn intersect_and_contains() {
+        let a = Cube::from_literals(3, &[(0, true)]);
+        let b = Cube::from_literals(3, &[(1, false)]);
+        let ab = a.intersect(&b).unwrap();
+        assert_eq!(ab.get(0), Polarity::Pos);
+        assert_eq!(ab.get(1), Polarity::Neg);
+        assert!(a.contains(&ab));
+        assert!(!ab.contains(&a));
+        let na = Cube::from_literals(3, &[(0, false)]);
+        assert!(a.intersect(&na).is_none());
+        assert_eq!(a.distance(&na), 1);
+    }
+
+    #[test]
+    fn complement_of_cube_is_correct() {
+        let n = 4;
+        let c = Cube::from_literals(n, &[(0, true), (3, false)]);
+        let comp = complement_cube(&c);
+        for a in all_assignments(n) {
+            assert_eq!(comp.eval(&a), !c.eval(&a), "assignment {a:?}");
+        }
+    }
+
+    #[test]
+    fn tautology_detection() {
+        // x + !x is a tautology.
+        let c = Cover::from_cubes(
+            2,
+            vec![
+                Cube::from_literals(2, &[(0, true)]),
+                Cube::from_literals(2, &[(0, false)]),
+            ],
+        );
+        assert!(c.is_tautology());
+        // x + !x*y misses (x=0, y=0).
+        let c2 = Cover::from_cubes(
+            2,
+            vec![
+                Cube::from_literals(2, &[(0, true)]),
+                Cube::from_literals(2, &[(0, false), (1, true)]),
+            ],
+        );
+        assert!(!c2.is_tautology());
+        assert!(Cover::one(3).is_tautology());
+        assert!(!Cover::zero(3).is_tautology());
+    }
+
+    #[test]
+    fn complement_matches_truth_table() {
+        let n = 4;
+        // f = ab + !c*d + a!d
+        let f = Cover::from_cubes(
+            n,
+            vec![
+                Cube::from_literals(n, &[(0, true), (1, true)]),
+                Cube::from_literals(n, &[(2, false), (3, true)]),
+                Cube::from_literals(n, &[(0, true), (3, false)]),
+            ],
+        );
+        let g = f.complement();
+        for a in all_assignments(n) {
+            assert_eq!(g.eval(&a), !f.eval(&a), "assignment {a:?}");
+        }
+    }
+
+    #[test]
+    fn covers_cube_checks() {
+        let n = 3;
+        // f = a + b covers cube ab but not c.
+        let f = Cover::from_cubes(
+            n,
+            vec![
+                Cube::from_literals(n, &[(0, true)]),
+                Cube::from_literals(n, &[(1, true)]),
+            ],
+        );
+        assert!(f.covers_cube(&Cube::from_literals(n, &[(0, true), (1, true)])));
+        assert!(!f.covers_cube(&Cube::from_literals(n, &[(2, true)])));
+    }
+
+    #[test]
+    fn remove_contained_keeps_maximal() {
+        let n = 3;
+        let mut f = Cover::from_cubes(
+            n,
+            vec![
+                Cube::from_literals(n, &[(0, true)]),
+                Cube::from_literals(n, &[(0, true), (1, true)]),
+                Cube::from_literals(n, &[(2, false)]),
+            ],
+        );
+        f.remove_contained();
+        assert_eq!(f.cubes.len(), 2);
+    }
+
+    #[test]
+    fn supercube_is_smallest_superset() {
+        let a = Cube::from_literals(3, &[(0, true), (1, true)]);
+        let b = Cube::from_literals(3, &[(0, true), (1, false)]);
+        let s = a.supercube(&b);
+        assert_eq!(s.get(0), Polarity::Pos);
+        assert_eq!(s.get(1), Polarity::DontCare);
+    }
+
+    #[test]
+    fn many_variable_cubes_cross_word_boundary() {
+        let n = 70;
+        let c = Cube::from_literals(n, &[(0, true), (35, false), (69, true)]);
+        assert_eq!(c.literal_count(), 3);
+        assert_eq!(c.get(35), Polarity::Neg);
+        assert_eq!(c.get(69), Polarity::Pos);
+        assert!(!c.is_empty());
+        assert!(Cube::universe(n).contains(&c));
+    }
+}

@@ -1,0 +1,299 @@
+//! Decomposition of optimized network nodes into the NAND2/INV *subject
+//! graph* that tree covering operates on (paper §4.3.1, third step:
+//! "performs technology mapping by combining gates into complex gates").
+
+use crate::factor::{cover_to_sop, lit_neg, lit_var, quick_factor, FactorTree};
+use crate::network::{NetId, Network};
+use std::collections::HashMap;
+
+/// One node of the subject graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SubjectKind {
+    /// A boundary: an existing network net (primary input, register output,
+    /// special-element output, or another cone's output).
+    Leaf(NetId),
+    /// Two-input NAND over subject nodes.
+    Nand(u32, u32),
+    /// Inverter over a subject node.
+    Inv(u32),
+}
+
+/// A subject-graph node with its computed fanout count.
+#[derive(Debug, Clone)]
+pub struct SubjectNode {
+    /// Structure of the node.
+    pub kind: SubjectKind,
+    /// Number of references from other subject nodes and roots.
+    pub fanout: u32,
+}
+
+/// The NAND2/INV subject graph for a whole network.
+#[derive(Debug, Clone)]
+pub struct SubjectGraph {
+    /// Arena of nodes; children indices always precede parents.
+    pub nodes: Vec<SubjectNode>,
+    /// `(subject node, output net)` for every combinational network node.
+    pub roots: Vec<(u32, NetId)>,
+}
+
+impl SubjectGraph {
+    /// Builds the subject graph for all combinational nodes of `network`.
+    /// Each node's cover is algebraically factored first, so the graph
+    /// reflects the multi-level structure found by optimization.
+    pub fn from_network(network: &Network) -> SubjectGraph {
+        let mut b = Builder { nodes: Vec::new(), hash: HashMap::new() };
+        let mut roots = Vec::new();
+        for node in &network.nodes {
+            let sop = cover_to_sop(&node.cover);
+            let tree = quick_factor(&sop);
+            let idx = b.tree(&tree, &node.fanins);
+            roots.push((idx, node.output));
+        }
+        let mut g = SubjectGraph { nodes: b.nodes, roots };
+        g.count_fanout();
+        g
+    }
+
+    fn count_fanout(&mut self) {
+        // Structural hashing plus the INV(INV(x)) = x rewrite leaves dead
+        // nodes in the arena; count references only from nodes reachable
+        // from the roots, otherwise dead fanout blocks pattern matching.
+        let mut reachable = vec![false; self.nodes.len()];
+        let mut stack: Vec<u32> = self.roots.iter().map(|&(r, _)| r).collect();
+        while let Some(i) = stack.pop() {
+            if std::mem::replace(&mut reachable[i as usize], true) {
+                continue;
+            }
+            match self.nodes[i as usize].kind {
+                SubjectKind::Nand(a, b) => {
+                    stack.push(a);
+                    stack.push(b);
+                }
+                SubjectKind::Inv(a) => stack.push(a),
+                SubjectKind::Leaf(_) => {}
+            }
+        }
+        let mut bump = vec![0u32; self.nodes.len()];
+        for (i, n) in self.nodes.iter().enumerate() {
+            if !reachable[i] {
+                continue;
+            }
+            match n.kind {
+                SubjectKind::Nand(a, c) => {
+                    bump[a as usize] += 1;
+                    bump[c as usize] += 1;
+                }
+                SubjectKind::Inv(a) => bump[a as usize] += 1,
+                SubjectKind::Leaf(_) => {}
+            }
+        }
+        for &(r, _) in &self.roots {
+            bump[r as usize] += 1;
+        }
+        for (n, b) in self.nodes.iter_mut().zip(bump) {
+            n.fanout = b;
+        }
+    }
+
+    /// Depth (in NAND/INV levels) of a node.
+    pub fn depth(&self, idx: u32) -> usize {
+        match self.nodes[idx as usize].kind {
+            SubjectKind::Leaf(_) => 0,
+            SubjectKind::Inv(a) => 1 + self.depth(a),
+            SubjectKind::Nand(a, b) => 1 + self.depth(a).max(self.depth(b)),
+        }
+    }
+}
+
+struct Builder {
+    nodes: Vec<SubjectNode>,
+    hash: HashMap<SubjectKind, u32>,
+}
+
+impl Builder {
+    fn add(&mut self, kind: SubjectKind) -> u32 {
+        // INV(INV(x)) = x.
+        if let SubjectKind::Inv(a) = kind {
+            if let SubjectKind::Inv(inner) = self.nodes[a as usize].kind {
+                return inner;
+            }
+        }
+        // Inverters are deliberately NOT hash-consed: a shared inverter
+        // becomes a multi-fanout boundary that blocks XOR/XNOR/AOI pattern
+        // matching. Duplicating inverters per use (classic DAGON practice)
+        // keeps trees pattern-matchable at the cost of an occasional extra
+        // INV gate.
+        if !matches!(kind, SubjectKind::Inv(_)) {
+            if let Some(&i) = self.hash.get(&kind) {
+                return i;
+            }
+        }
+        let i = self.nodes.len() as u32;
+        self.nodes.push(SubjectNode { kind, fanout: 0 });
+        self.hash.insert(kind, i);
+        i
+    }
+
+    fn leaf(&mut self, net: NetId) -> u32 {
+        self.add(SubjectKind::Leaf(net))
+    }
+
+    fn inv(&mut self, a: u32) -> u32 {
+        self.add(SubjectKind::Inv(a))
+    }
+
+    fn nand(&mut self, a: u32, b: u32) -> u32 {
+        // Canonical operand order so hashing catches commuted duplicates.
+        let (a, b) = if a <= b { (a, b) } else { (b, a) };
+        self.add(SubjectKind::Nand(a, b))
+    }
+
+    fn and2(&mut self, a: u32, b: u32) -> u32 {
+        let n = self.nand(a, b);
+        self.inv(n)
+    }
+
+    fn or2(&mut self, a: u32, b: u32) -> u32 {
+        let na = self.inv(a);
+        let nb = self.inv(b);
+        self.nand(na, nb)
+    }
+
+    /// Balanced reduction of `items` by `op`.
+    fn reduce(&mut self, items: &[u32], is_and: bool) -> u32 {
+        match items.len() {
+            0 => unreachable!("empty reduction"),
+            1 => items[0],
+            n => {
+                let (l, r) = items.split_at(n / 2);
+                let a = self.reduce(l, is_and);
+                let b = self.reduce(r, is_and);
+                if is_and {
+                    self.and2(a, b)
+                } else {
+                    self.or2(a, b)
+                }
+            }
+        }
+    }
+
+    fn tree(&mut self, t: &FactorTree, fanins: &[NetId]) -> u32 {
+        match t {
+            FactorTree::Const(_) => {
+                unreachable!("constant nodes are folded by sweep before mapping")
+            }
+            FactorTree::Lit(l) => {
+                let leaf = self.leaf(fanins[lit_var(*l)]);
+                if lit_neg(*l) {
+                    self.inv(leaf)
+                } else {
+                    leaf
+                }
+            }
+            FactorTree::And(es) => {
+                let items: Vec<u32> = es.iter().map(|e| self.tree(e, fanins)).collect();
+                self.reduce(&items, true)
+            }
+            FactorTree::Or(es) => {
+                let items: Vec<u32> = es.iter().map(|e| self.tree(e, fanins)).collect();
+                self.reduce(&items, false)
+            }
+        }
+    }
+}
+
+/// Evaluates a subject node given net values (reference semantics for the
+/// mapper's correctness tests).
+pub fn eval_subject(
+    g: &SubjectGraph,
+    idx: u32,
+    values: &HashMap<NetId, bool>,
+) -> bool {
+    match g.nodes[idx as usize].kind {
+        SubjectKind::Leaf(n) => values[&n],
+        SubjectKind::Inv(a) => !eval_subject(g, a, values),
+        SubjectKind::Nand(a, b) => !(eval_subject(g, a, values) && eval_subject(g, b, values)),
+    }
+}
+
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icdb_iif::{expand, parse, NoModules};
+
+    fn network(src: &str) -> Network {
+        let m = parse(src).unwrap();
+        let flat = expand(&m, &[], &NoModules).unwrap();
+        Network::from_flat(&flat).unwrap()
+    }
+
+    #[test]
+    fn and_of_two_is_nand_plus_inv() {
+        let net = network("NAME: T; INORDER: A, B; OUTORDER: O; { O = A * B; }");
+        let g = SubjectGraph::from_network(&net);
+        assert_eq!(g.roots.len(), 1);
+        // leaf A, leaf B, NAND, INV = 4 nodes
+        assert_eq!(g.nodes.len(), 4);
+        let root = g.roots[0].0;
+        assert!(matches!(g.nodes[root as usize].kind, SubjectKind::Inv(_)));
+        assert_eq!(g.depth(root), 2);
+    }
+
+    #[test]
+    fn structural_hashing_shares_nand_subtrees() {
+        let net = network(
+            "NAME: T; INORDER: A, B; OUTORDER: O, P; { O = A * B; P = A * B; }",
+        );
+        let g = SubjectGraph::from_network(&net);
+        // The NAND(A,B) core is shared (hash-consed); the final inverters
+        // are duplicated per use by design.
+        let nands: Vec<usize> = g
+            .nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| matches!(n.kind, SubjectKind::Nand(..)))
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(nands.len(), 1, "NAND must be shared");
+        assert_ne!(g.roots[0].0, g.roots[1].0, "inverters are per-use");
+    }
+
+    #[test]
+    fn xor_structure_evaluates_correctly() {
+        let net = network("NAME: T; INORDER: A, B; OUTORDER: O; { O = A (+) B; }");
+        let g = SubjectGraph::from_network(&net);
+        let a = net.net_id("A").unwrap();
+        let b = net.net_id("B").unwrap();
+        let root = g.roots[0].0;
+        for (av, bv) in [(false, false), (false, true), (true, false), (true, true)] {
+            let mut vals = HashMap::new();
+            vals.insert(a, av);
+            vals.insert(b, bv);
+            assert_eq!(eval_subject(&g, root, &vals), av ^ bv, "{av} {bv}");
+        }
+    }
+
+    #[test]
+    fn factored_form_shares_common_factor() {
+        // O = A·C + A·D = A(C+D): leaf A referenced once in the graph.
+        let net =
+            network("NAME: T; INORDER: A, C, D; OUTORDER: O; { O = A*C + A*D; }");
+        let g = SubjectGraph::from_network(&net);
+        let a = net.net_id("A").unwrap();
+        let leaf_a = g
+            .nodes
+            .iter()
+            .position(|n| n.kind == SubjectKind::Leaf(a))
+            .expect("leaf A present");
+        assert_eq!(g.nodes[leaf_a].fanout, 1, "A must appear once after factoring");
+    }
+
+    #[test]
+    fn fanout_counts_include_roots() {
+        let net = network("NAME: T; INORDER: A; OUTORDER: O; { O = !A; }");
+        let g = SubjectGraph::from_network(&net);
+        let root = g.roots[0].0;
+        assert_eq!(g.nodes[root as usize].fanout, 1);
+    }
+}

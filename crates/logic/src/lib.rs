@@ -1,0 +1,57 @@
+//! # icdb-logic — logic optimizer and technology mapper
+//!
+//! The MILO substitute of this ICDB reproduction (paper §4.3.1): it accepts
+//! expanded (non-parameterized) IIF and produces a netlist of library cells
+//! with flip-flops reinserted, ready for transistor sizing, estimation,
+//! simulation and layout.
+//!
+//! The pipeline ([`synthesize`]) follows the paper's six steps:
+//!
+//! 1. **Sequential removal** — [`Network::from_flat`] splits clocked
+//!    equations into [`Register`]s plus combinational cones.
+//! 2. **Two-level minimization** — [`minimize`] runs an espresso-style
+//!    EXPAND / IRREDUNDANT loop on each node ([`Cover`] algebra in
+//!    positional-cube notation).
+//! 3. **Factoring** — kernel extraction and [`quick_factor`] restructure
+//!    each node; `eliminate`/`sweep` do the multi-level cleanup.
+//! 4. **Technology mapping** — [`map_network`] covers the NAND2/INV
+//!    subject graph ([`SubjectGraph`]) with library-cell patterns by
+//!    dynamic programming (DAGON-style tree covering), combining gates
+//!    into complex gates (AOI/OAI/MUX/XOR).
+//! 5. **Sequential reinsertion** — flip-flops with asynchronous set/reset,
+//!    latches, tri-states, wired-ors and interface cells are instantiated.
+//! 6. **Transistor sizing** — left to the `icdb-sizing` crate.
+//!
+//! ```
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let m = icdb_iif::parse(
+//!     "NAME: FA; INORDER: A, B, CIN; OUTORDER: S, COUT;
+//!      { S = A (+) B (+) CIN; COUT = A*B + A*CIN + B*CIN; }")?;
+//! let flat = icdb_iif::expand(&m, &[], &icdb_iif::NoModules)?;
+//! let lib = icdb_cells::Library::standard();
+//! let netlist = icdb_logic::synthesize(&flat, &lib, &Default::default())?;
+//! netlist.validate(&lib)?;
+//! # Ok(())
+//! # }
+//! ```
+
+mod cube;
+mod decompose;
+mod factor;
+mod map;
+mod minimize;
+mod netlist;
+mod network;
+mod synth;
+
+pub use cube::{Cover, Cube, Polarity};
+pub use decompose::{eval_subject, SubjectGraph, SubjectKind, SubjectNode};
+pub use factor::{
+    common_cube, cover_to_sop, divide, is_cube_free, kernels, lit_neg, lit_var, mk_lit,
+    quick_factor, sop_eval, FactorTree, Lit, Product, Sop,
+};
+pub use map::{map_network, MapObjective};
+pub use minimize::minimize;
+pub use netlist::{Gate, GateNetlist, GNet, NetlistError};
+pub use network::{NetId, Network, NetworkError, Node, Register, Special};
+pub use synth::{optimize, synthesize, SynthError, SynthOptions};

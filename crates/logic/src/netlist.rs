@@ -1,0 +1,359 @@
+//! The mapped gate netlist: the output of technology mapping and the input
+//! of transistor sizing, estimation, simulation, layout and VHDL emission.
+
+use icdb_cells::{CellId, Library};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Stable handle for a net inside a [`GateNetlist`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct GNet(pub(crate) u32);
+
+impl GNet {
+    /// Raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// One cell instance.
+#[derive(Debug, Clone)]
+pub struct Gate {
+    /// Library cell.
+    pub cell: CellId,
+    /// Input nets, in the cell's pin order.
+    pub inputs: Vec<GNet>,
+    /// Output net.
+    pub output: GNet,
+    /// Drive factor assigned by transistor sizing (1.0 = minimum size).
+    pub size: f64,
+}
+
+/// A technology-mapped netlist of library cells.
+#[derive(Debug, Clone)]
+pub struct GateNetlist {
+    /// Design name.
+    pub name: String,
+    names: Vec<String>,
+    by_name: HashMap<String, GNet>,
+    /// Primary inputs in port order.
+    pub inputs: Vec<GNet>,
+    /// Primary outputs in port order.
+    pub outputs: Vec<GNet>,
+    /// Gate instances.
+    pub gates: Vec<Gate>,
+}
+
+/// Netlist validation/consistency error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetlistError {
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "netlist error: {}", self.message)
+    }
+}
+
+impl std::error::Error for NetlistError {}
+
+impl GateNetlist {
+    /// Creates an empty netlist.
+    pub fn new(name: impl Into<String>) -> GateNetlist {
+        GateNetlist {
+            name: name.into(),
+            names: Vec::new(),
+            by_name: HashMap::new(),
+            inputs: Vec::new(),
+            outputs: Vec::new(),
+            gates: Vec::new(),
+        }
+    }
+
+    /// Interns a net by name.
+    pub fn intern(&mut self, name: &str) -> GNet {
+        if let Some(&id) = self.by_name.get(name) {
+            return id;
+        }
+        let id = GNet(self.names.len() as u32);
+        self.names.push(name.to_string());
+        self.by_name.insert(name.to_string(), id);
+        id
+    }
+
+    /// Creates a fresh net with a unique name derived from `hint`.
+    pub fn fresh(&mut self, hint: &str) -> GNet {
+        let mut name = hint.to_string();
+        let mut k = 0;
+        while self.by_name.contains_key(&name) {
+            k += 1;
+            name = format!("{hint}${k}");
+        }
+        self.intern(&name)
+    }
+
+    /// Net id by name.
+    pub fn net_id(&self, name: &str) -> Option<GNet> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Name of a net.
+    pub fn net_name(&self, id: GNet) -> &str {
+        &self.names[id.index()]
+    }
+
+    /// Number of nets.
+    pub fn net_count(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Index of the gate driving `net`, if any.
+    pub fn driver(&self, net: GNet) -> Option<usize> {
+        self.gates.iter().position(|g| g.output == net)
+    }
+
+    /// Map net → (gate index, input pin index) of every sink.
+    pub fn fanouts(&self) -> HashMap<GNet, Vec<(usize, usize)>> {
+        let mut m: HashMap<GNet, Vec<(usize, usize)>> = HashMap::new();
+        for (gi, g) in self.gates.iter().enumerate() {
+            for (pi, n) in g.inputs.iter().enumerate() {
+                m.entry(*n).or_default().push((gi, pi));
+            }
+        }
+        m
+    }
+
+    /// Total cell area (Σ width at assigned drive), in µm of strip width.
+    pub fn total_width(&self, lib: &Library) -> f64 {
+        self.gates
+            .iter()
+            .map(|g| lib.cell(g.cell).width(g.size))
+            .sum()
+    }
+
+    /// Total transistor count at assigned drives.
+    pub fn total_transistors(&self, lib: &Library) -> f64 {
+        self.gates
+            .iter()
+            .map(|g| lib.cell(g.cell).transistors(g.size))
+            .sum()
+    }
+
+    /// Histogram of cell usage by name.
+    pub fn cell_histogram(&self, lib: &Library) -> HashMap<String, usize> {
+        let mut h = HashMap::new();
+        for g in &self.gates {
+            *h.entry(lib.cell(g.cell).name.clone()).or_insert(0) += 1;
+        }
+        h
+    }
+
+    /// Topological order of the *combinational* gates (sequential outputs
+    /// act as sources, sequential inputs as sinks).
+    ///
+    /// # Errors
+    /// Fails on a combinational cycle.
+    pub fn comb_topo_order(&self, lib: &Library) -> Result<Vec<usize>, NetlistError> {
+        let comb: Vec<usize> = (0..self.gates.len())
+            .filter(|&i| !lib.cell(self.gates[i].cell).function.is_sequential())
+            .collect();
+        // Net → driving comb gate.
+        let mut driver: HashMap<GNet, usize> = HashMap::new();
+        for &i in &comb {
+            driver.insert(self.gates[i].output, i);
+        }
+        let mut indegree: HashMap<usize, usize> = comb.iter().map(|&i| (i, 0)).collect();
+        let mut consumers: HashMap<usize, Vec<usize>> = HashMap::new();
+        for &i in &comb {
+            for n in &self.gates[i].inputs {
+                if let Some(&d) = driver.get(n) {
+                    *indegree.get_mut(&i).expect("present") += 1;
+                    consumers.entry(d).or_default().push(i);
+                }
+            }
+        }
+        let mut queue: Vec<usize> = comb
+            .iter()
+            .copied()
+            .filter(|i| indegree[i] == 0)
+            .collect();
+        let mut order = Vec::with_capacity(comb.len());
+        while let Some(i) = queue.pop() {
+            order.push(i);
+            if let Some(cons) = consumers.get(&i) {
+                for &c in cons {
+                    let d = indegree.get_mut(&c).expect("present");
+                    *d -= 1;
+                    if *d == 0 {
+                        queue.push(c);
+                    }
+                }
+            }
+        }
+        if order.len() != comb.len() {
+            return Err(NetlistError {
+                message: format!(
+                    "combinational cycle among gates of `{}` ({} of {} ordered)",
+                    self.name,
+                    order.len(),
+                    comb.len()
+                ),
+            });
+        }
+        Ok(order)
+    }
+
+    /// Structural sanity checks: pin arity, single driver per net, inputs
+    /// undriven, outputs driven.
+    ///
+    /// # Errors
+    /// Returns the first violated invariant.
+    pub fn validate(&self, lib: &Library) -> Result<(), NetlistError> {
+        let mut driver_count: HashMap<GNet, usize> = HashMap::new();
+        for g in &self.gates {
+            let cell = lib.cell(g.cell);
+            if g.inputs.len() != cell.inputs.len() {
+                return Err(NetlistError {
+                    message: format!(
+                        "gate {} has {} pins, cell expects {}",
+                        cell.name,
+                        g.inputs.len(),
+                        cell.inputs.len()
+                    ),
+                });
+            }
+            if g.size < 1.0 {
+                return Err(NetlistError {
+                    message: format!("gate {} has drive {} < 1", cell.name, g.size),
+                });
+            }
+            *driver_count.entry(g.output).or_insert(0) += 1;
+        }
+        for (n, c) in &driver_count {
+            if *c > 1 {
+                return Err(NetlistError {
+                    message: format!("net `{}` has {} drivers", self.net_name(*n), c),
+                });
+            }
+        }
+        for i in &self.inputs {
+            if driver_count.contains_key(i) {
+                return Err(NetlistError {
+                    message: format!("primary input `{}` is driven", self.net_name(*i)),
+                });
+            }
+        }
+        for o in &self.outputs {
+            if !driver_count.contains_key(o) && !self.inputs.contains(o) {
+                return Err(NetlistError {
+                    message: format!("primary output `{}` is undriven", self.net_name(*o)),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for GateNetlist {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "netlist {} ({} gates)", self.name, self.gates.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lib() -> Library {
+        Library::standard()
+    }
+
+    fn tiny() -> (GateNetlist, Library) {
+        let lib = lib();
+        let mut nl = GateNetlist::new("t");
+        let a = nl.intern("A");
+        let b = nl.intern("B");
+        let n1 = nl.intern("n1");
+        let o = nl.intern("O");
+        nl.inputs = vec![a, b];
+        nl.outputs = vec![o];
+        nl.gates.push(Gate {
+            cell: lib.cell_id("NAND2").unwrap(),
+            inputs: vec![a, b],
+            output: n1,
+            size: 1.0,
+        });
+        nl.gates.push(Gate {
+            cell: lib.cell_id("INV").unwrap(),
+            inputs: vec![n1],
+            output: o,
+            size: 1.0,
+        });
+        (nl, lib)
+    }
+
+    #[test]
+    fn validate_ok_and_topo_order() {
+        let (nl, lib) = tiny();
+        nl.validate(&lib).unwrap();
+        let order = nl.comb_topo_order(&lib).unwrap();
+        assert_eq!(order, vec![0, 1]);
+    }
+
+    #[test]
+    fn validate_rejects_double_driver() {
+        let (mut nl, lib) = tiny();
+        let o = nl.net_id("O").unwrap();
+        let a = nl.net_id("A").unwrap();
+        nl.gates.push(Gate {
+            cell: lib.cell_id("INV").unwrap(),
+            inputs: vec![a],
+            output: o,
+            size: 1.0,
+        });
+        assert!(nl.validate(&lib).is_err());
+    }
+
+    #[test]
+    fn detects_combinational_cycle() {
+        let lib = lib();
+        let mut nl = GateNetlist::new("c");
+        let x = nl.intern("x");
+        let y = nl.intern("y");
+        nl.outputs = vec![x];
+        nl.gates.push(Gate {
+            cell: lib.cell_id("INV").unwrap(),
+            inputs: vec![y],
+            output: x,
+            size: 1.0,
+        });
+        nl.gates.push(Gate {
+            cell: lib.cell_id("INV").unwrap(),
+            inputs: vec![x],
+            output: y,
+            size: 1.0,
+        });
+        assert!(nl.comb_topo_order(&lib).is_err());
+    }
+
+    #[test]
+    fn area_and_histogram() {
+        let (nl, lib) = tiny();
+        let w = nl.total_width(&lib);
+        assert!(w > 0.0);
+        let h = nl.cell_histogram(&lib);
+        assert_eq!(h["NAND2"], 1);
+        assert_eq!(h["INV"], 1);
+    }
+
+    #[test]
+    fn fresh_nets_are_unique() {
+        let mut nl = GateNetlist::new("t");
+        let a = nl.fresh("n");
+        let b = nl.fresh("n");
+        assert_ne!(a, b);
+        assert_ne!(nl.net_name(a), nl.net_name(b));
+    }
+}

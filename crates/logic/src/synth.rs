@@ -1,0 +1,182 @@
+//! The six-step MILO pipeline (paper §4.3.1): expanded IIF in, mapped gate
+//! netlist out.
+//!
+//! 1. Remove sequential constructs → boolean equations ([`Network`]).
+//! 2. Minimize each equation (espresso-style, [`crate::minimize`]).
+//! 3. Factor / restructure (sweep, eliminate, kernel factoring inside
+//!    decomposition).
+//! 4. Technology-map by tree covering onto complex gates ([`crate::map_network`]).
+//! 5. Reinsert sequential logic (flip-flops with asynchronous set/reset).
+//! 6. Leave transistor sizing to the `icdb-sizing` crate (all gates start
+//!    at drive 1).
+
+use crate::map::{map_network, MapObjective};
+use crate::minimize::minimize;
+use crate::netlist::{GateNetlist, NetlistError};
+use crate::network::{Network, NetworkError};
+use icdb_cells::Library;
+use icdb_iif::FlatModule;
+use std::fmt;
+
+/// Options controlling the synthesis pipeline.
+#[derive(Debug, Clone)]
+pub struct SynthOptions {
+    /// Run the `eliminate` collapse pass before mapping.
+    pub eliminate: bool,
+    /// Maximum support for a collapsed node.
+    pub eliminate_max_support: usize,
+    /// Maximum cubes for a collapsed cover.
+    pub eliminate_max_cubes: usize,
+    /// Covering objective.
+    pub objective: MapObjective,
+}
+
+impl Default for SynthOptions {
+    fn default() -> Self {
+        SynthOptions {
+            eliminate: true,
+            eliminate_max_support: 10,
+            eliminate_max_cubes: 96,
+            objective: MapObjective::Area,
+        }
+    }
+}
+
+/// Error from any stage of the synthesis pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SynthError {
+    /// Network construction or transformation failed.
+    Network(NetworkError),
+    /// Mapping or netlist validation failed.
+    Netlist(NetlistError),
+}
+
+impl fmt::Display for SynthError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SynthError::Network(e) => write!(f, "synthesis: {e}"),
+            SynthError::Netlist(e) => write!(f, "synthesis: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SynthError {}
+
+impl From<NetworkError> for SynthError {
+    fn from(e: NetworkError) -> Self {
+        SynthError::Network(e)
+    }
+}
+
+impl From<NetlistError> for SynthError {
+    fn from(e: NetlistError) -> Self {
+        SynthError::Netlist(e)
+    }
+}
+
+/// Runs the full logic synthesis + technology mapping pipeline.
+///
+/// # Errors
+/// Propagates network construction and mapping errors; see [`SynthError`].
+///
+/// ```
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// use icdb_logic::{synthesize, SynthOptions};
+/// let m = icdb_iif::parse(
+///     "NAME: FA; INORDER: A, B, CIN; OUTORDER: S, COUT;
+///      { S = A (+) B (+) CIN; COUT = A*B + A*CIN + B*CIN; }")?;
+/// let flat = icdb_iif::expand(&m, &[], &icdb_iif::NoModules)?;
+/// let lib = icdb_cells::Library::standard();
+/// let netlist = synthesize(&flat, &lib, &SynthOptions::default())?;
+/// assert!(netlist.gates.len() >= 2);
+/// # Ok(())
+/// # }
+/// ```
+pub fn synthesize(
+    flat: &FlatModule,
+    lib: &Library,
+    options: &SynthOptions,
+) -> Result<GateNetlist, SynthError> {
+    let network = optimize(flat, options)?;
+    let netlist = map_network(&network, lib, options.objective)?;
+    Ok(netlist)
+}
+
+/// Runs only the technology-independent part (steps 1–3), returning the
+/// optimized network. Exposed so callers can inspect or re-map.
+///
+/// # Errors
+/// Propagates [`NetworkError`] from construction.
+pub fn optimize(flat: &FlatModule, options: &SynthOptions) -> Result<Network, SynthError> {
+    let mut network = Network::from_flat(flat)?;
+    network.sweep();
+    for node in &mut network.nodes {
+        node.cover = minimize(node.cover.clone());
+    }
+    network.sweep();
+    if options.eliminate {
+        network.eliminate(options.eliminate_max_support, options.eliminate_max_cubes);
+        for node in &mut network.nodes {
+            node.cover = minimize(node.cover.clone());
+        }
+        network.sweep();
+    }
+    Ok(network)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use icdb_iif::{expand, parse, NoModules};
+
+    fn flat(src: &str, params: &[(&str, i64)]) -> FlatModule {
+        let m = parse(src).unwrap();
+        expand(&m, params, &NoModules).unwrap()
+    }
+
+    #[test]
+    fn full_pipeline_on_counter_bit() {
+        let f = flat(
+            "NAME: CB; INORDER: CIN, CLK, LOAD, D, DWUP; OUTORDER: Q, COUT;
+             {
+               Q = (Q (+) CIN) @(~r CLK) ~a(0/(!LOAD*!D), 1/(!LOAD*D));
+               COUT = CIN * (Q (+) DWUP);
+             }",
+            &[],
+        );
+        let lib = Library::standard();
+        let nl = synthesize(&f, &lib, &SynthOptions::default()).unwrap();
+        nl.validate(&lib).unwrap();
+        let h = nl.cell_histogram(&lib);
+        assert_eq!(h.get("DFF_SR"), Some(&1));
+        assert!(h.contains_key("XOR2") || h.contains_key("XNOR2"));
+    }
+
+    #[test]
+    fn optimization_reduces_literals() {
+        let f = flat(
+            "NAME: OPT; INORDER: A, B; OUTORDER: O;
+             { O = A*B + A*!B + !A*B; }",
+            &[],
+        );
+        let net = optimize(&f, &SynthOptions::default()).unwrap();
+        // A·B + A·!B + !A·B = A + B: 2 literals.
+        assert_eq!(net.literal_count(), 2);
+    }
+
+    #[test]
+    fn no_eliminate_option_keeps_structure() {
+        let f = flat(
+            "NAME: S; INORDER: A, B, C; OUTORDER: O;
+             PIIFVARIABLE: T;
+             { T = A*B; O = T + C; }",
+            &[],
+        );
+        let opts = SynthOptions { eliminate: false, ..SynthOptions::default() };
+        let net = optimize(&f, &opts).unwrap();
+        assert_eq!(net.nodes.len(), 2);
+        let opts2 = SynthOptions::default();
+        let net2 = optimize(&f, &opts2).unwrap();
+        assert_eq!(net2.nodes.len(), 1);
+    }
+}

@@ -1,0 +1,68 @@
+//! The Appendix-B request walk-through: generate the fastest 4-bit
+//! adder/subtractor through the CQL interface, query its connection
+//! information (`## function ADD … ** ADDSUBCTL 0`), and *verify* it with
+//! the gate-level simulator — the role the paper assigns to its VHDL
+//! simulator ("to verify the correctness of functionality", §4.3).
+//!
+//! Run with: `cargo run --example adder_subtractor`
+
+use icdb::cql::CqlArg;
+use icdb::sim::{Logic, Simulator};
+use icdb::Icdb;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut icdb = Icdb::new();
+
+    // Appendix B §4: "command:request_component; component_name:
+    // Adder_Subtractor; size:4; strategy:fastest; component_instance:?s".
+    let mut args = vec![CqlArg::OutStr(None)];
+    icdb.execute(
+        "command:request_component;
+         component_name:Adder_Subtractor;
+         size:4;
+         strategy:fastest;
+         component_instance:?s",
+        &mut args,
+    )?;
+    let CqlArg::OutStr(Some(addsub)) = args.remove(0) else {
+        return Err("no instance returned".into());
+    };
+    println!("generated: {addsub}");
+
+    // Appendix B §5.4: the connection query.
+    let mut args = vec![CqlArg::InStr(addsub.clone()), CqlArg::OutStr(None)];
+    icdb.execute("command:connect_component; instance:%s; connect:?s", &mut args)?;
+    let CqlArg::OutStr(Some(connect)) = &args[1] else { panic!() };
+    println!("\n--- connection information ---\n{connect}");
+
+    // Verify on silicon-level structure: simulate ADD and SUB.
+    let inst = icdb.instance(&addsub)?;
+    let lib = icdb.cells.clone();
+    let mut sim = Simulator::new(&inst.netlist, &lib)?;
+    println!("--- simulation check (4-bit, ADDSUBCTL: 0=add, 1=sub) ---");
+    let cases = [(7u64, 5u64), (12, 9), (3, 8), (15, 15)];
+    for (a, b) in cases {
+        sim.set_bus("A", 4, a)?;
+        sim.set_bus("B", 4, b)?;
+        sim.set_by_name("ADDSUBCTL", Logic::Zero)?;
+        sim.propagate();
+        let sum = sim.bus("O", 4)?;
+        assert_eq!(sum, (a + b) & 0xF, "{a}+{b}");
+        sim.set_by_name("ADDSUBCTL", Logic::One)?;
+        sim.propagate();
+        let diff = sim.bus("O", 4)?;
+        assert_eq!(diff, a.wrapping_sub(b) & 0xF, "{a}-{b}");
+        println!("  {a:2} + {b:2} = {sum:2}    {a:2} - {b:2} = {diff:2} (mod 16)");
+    }
+
+    // Timing after `strategy:fastest`: every output delay with drive sizes.
+    println!("\n--- delay report ---");
+    print!("{}", icdb.delay_string(&addsub)?);
+    let sized_up = inst.netlist.gates.iter().filter(|g| g.size > 1.0).count();
+    println!(
+        "\n{} of {} gates were upsized by the `fastest` strategy",
+        sized_up,
+        inst.netlist.gates.len()
+    );
+    Ok(())
+}

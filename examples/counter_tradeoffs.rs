@@ -1,0 +1,97 @@
+//! Design-space exploration over the counter family — the experiment
+//! behind Fig. 5 of the paper ("Area/time tradeoff curve of counters").
+//!
+//! A behavioral synthesis tool that needs an up-counter asks ICDB for every
+//! implementation that can execute INC, generates the five variants of the
+//! paper with different attributes, and tabulates (delay to Q[size-1],
+//! area) so allocation can pick the cheapest component that meets timing.
+//!
+//! Run with: `cargo run --example counter_tradeoffs`
+
+use icdb::cql::CqlArg;
+use icdb::{ComponentRequest, Icdb};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut icdb = Icdb::new();
+
+    // First, the §3.2.1 component query: which implementations perform INC?
+    let mut args = vec![CqlArg::OutStrList(None)];
+    icdb.execute(
+        "command:component_query; component:counter; function:(INC); ICDB_components:?s[]",
+        &mut args,
+    )?;
+    let CqlArg::OutStrList(Some(candidates)) = &args[0] else {
+        return Err("query returned nothing".into());
+    };
+    println!("counter implementations performing INC: {candidates:?}\n");
+
+    // The five variants of Fig. 5, all usable as a 5-bit up counter.
+    let variants: [(&str, &[(&str, &str)]); 5] = [
+        ("ripple", &[("type", "ripple")]),
+        ("synchronous up", &[("type", "synchronous"), ("up_or_down", "up")]),
+        (
+            "synchronous up with enable",
+            &[("type", "synchronous"), ("up_or_down", "up"), ("enable", "1")],
+        ),
+        (
+            "synchronous updown",
+            &[("type", "synchronous"), ("up_or_down", "updown")],
+        ),
+        (
+            "synchronous updown with parallel load",
+            &[
+                ("type", "synchronous"),
+                ("up_or_down", "updown"),
+                ("enable", "1"),
+                ("load", "1"),
+            ],
+        ),
+    ];
+
+    println!(
+        "{:<40} {:>9} {:>12} {:>7} {:>7}",
+        "variant", "delay ns", "area µm²", "gates", "CW ns"
+    );
+    let mut rows = Vec::new();
+    for (label, attrs) in variants {
+        let mut req = ComponentRequest::by_component("counter").attribute("size", "5");
+        for (k, v) in attrs {
+            req = req.attribute(*k, *v);
+        }
+        let name = icdb.request_component(&req)?;
+        let inst = icdb.instance(&name)?;
+        let delay = inst
+            .report
+            .output_delay("Q[4]")
+            .unwrap_or_else(|| inst.report.worst_output_delay());
+        let area = inst.area();
+        println!(
+            "{:<40} {:>9.1} {:>12.0} {:>7} {:>7.1}",
+            label,
+            delay,
+            area,
+            inst.netlist.gates.len(),
+            inst.report.clock_width
+        );
+        rows.push((label, delay, area));
+    }
+
+    // The qualitative shape the paper reports: the ripple counter is the
+    // slowest and the smallest; the fully-featured counter is the largest.
+    let ripple = rows[0];
+    let loaded = rows[4];
+    println!();
+    println!(
+        "ripple is slowest: {}",
+        rows[1..].iter().all(|r| r.1 < ripple.1)
+    );
+    println!(
+        "ripple is smallest: {}",
+        rows[1..].iter().all(|r| r.2 > ripple.2)
+    );
+    println!(
+        "updown+load is largest: {}",
+        rows[..4].iter().all(|r| r.2 < loaded.2)
+    );
+    Ok(())
+}

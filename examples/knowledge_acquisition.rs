@@ -1,0 +1,104 @@
+//! The knowledge-server side of ICDB (paper §2.2 and Fig. 2): inserting a
+//! *new* parameterized component implementation at run time, after which it
+//! is indistinguishable from a builtin — discoverable by function query,
+//! generable with attributes and constraints, estimable and layoutable.
+//!
+//! Also shows the §2.1 merge query (REGISTER + INCREMENTER → COUNTER), the
+//! §4.2 tool-manager query and the §1 power estimate.
+//!
+//! Run with: `cargo run --example knowledge_acquisition`
+
+use icdb::cql::CqlArg;
+use icdb::Icdb;
+
+/// A gray-code counter, not part of the builtin library.
+const GRAY_COUNTER: &str = "
+NAME: GRAY_COUNTER;
+PARAMETER: size;
+INORDER: CLK, RST;
+OUTORDER: G[size];
+PIIFVARIABLE: B[size], C[size+1];
+VARIABLE: i;
+{
+  /* binary core */
+  C[0] = 1;
+  #for(i=0;i<size;i++)
+  {
+    B[i] = (B[i] (+) C[i]) @(~r CLK) ~a(0/RST);
+    C[i+1] = C[i] * B[i];
+  }
+  /* gray encoding of the binary state */
+  #for(i=0;i<size-1;i++)
+    G[i] = B[i] (+) B[i+1];
+  G[size-1] = B[size-1];
+}";
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut icdb = Icdb::new();
+
+    // 1. Knowledge acquisition through CQL: insert the implementation.
+    let mut args = vec![CqlArg::InStr(GRAY_COUNTER.into()), CqlArg::OutStr(None)];
+    icdb.execute(
+        "command:insert_component;
+         IIF:%s;
+         component:Counter;
+         function:(INC,COUNTER);
+         parameter:(size:4);
+         description:gray-code counter inserted at run time;
+         implementation:?s",
+        &mut args,
+    )?;
+    let CqlArg::OutStr(Some(inserted)) = &args[1] else { panic!() };
+    println!("inserted implementation: {inserted}");
+
+    // 2. It is discoverable like any builtin.
+    let mut args = vec![CqlArg::OutStrList(None)];
+    icdb.execute(
+        "command:component_query; component:counter; function:(INC); ICDB_components:?s[]",
+        &mut args,
+    )?;
+    let CqlArg::OutStrList(Some(counters)) = &args[0] else { panic!() };
+    println!("counter implementations now: {counters:?}");
+
+    // 3. Generate it with an attribute and query delay / power.
+    let mut args = vec![CqlArg::OutStr(None)];
+    icdb.execute(
+        "command:request_component; implementation:GRAY_COUNTER;
+         attribute:(size:6); generated_component:?s",
+        &mut args,
+    )?;
+    let CqlArg::OutStr(Some(gray)) = args.remove(0) else { panic!() };
+    let mut args = vec![CqlArg::InStr(gray.clone()), CqlArg::OutStr(None), CqlArg::OutStr(None)];
+    icdb.execute(
+        "command:instance_query; instance:%s; delay:?s; power:?s",
+        &mut args,
+    )?;
+    let CqlArg::OutStr(Some(delay)) = &args[1] else { panic!() };
+    let CqlArg::OutStr(Some(power)) = &args[2] else { panic!() };
+    println!("\n--- delay of {gray} ---\n{delay}");
+    println!("--- power ---\n{power}");
+
+    // 4. The §2.1 merge query: can a register and an incrementer be
+    //    replaced by one component?
+    let mut args = vec![CqlArg::OutStrList(None)];
+    icdb.execute(
+        "command:merge_query; components:(REGISTER,INCREMENTER); merged:?s[]",
+        &mut args,
+    )?;
+    let CqlArg::OutStrList(Some(merged)) = &args[0] else { panic!() };
+    println!("REGISTER + INCREMENTER can merge into: {merged:?}");
+
+    // 5. The §4.2 tool manager: registered component generators.
+    let mut args = vec![CqlArg::OutStrList(None)];
+    icdb.execute("command:tool_query; generators:?s[]", &mut args)?;
+    let CqlArg::OutStrList(Some(gens)) = &args[0] else { panic!() };
+    println!("registered component generators: {gens:?}");
+    let mut args = vec![CqlArg::OutStrList(None)];
+    icdb.execute(
+        "command:tool_query; name:embedded-milo; steps:?s[]",
+        &mut args,
+    )?;
+    let CqlArg::OutStrList(Some(steps)) = &args[0] else { panic!() };
+    println!("embedded-milo steps: {steps:?}");
+    Ok(())
+}

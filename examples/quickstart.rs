@@ -1,0 +1,81 @@
+//! Quickstart: the paper's §3 walk-through as a program.
+//!
+//! Requests the five-bit up/down counter with enable and asynchronous
+//! parallel load (the TTL-74191-style component of Fig. 4), then asks ICDB
+//! everything a synthesis tool would ask: the delay report (CW/WD/SD), the
+//! shape function, the connection information for the INC function, the
+//! VHDL views and a CIF layout.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use icdb::{ComponentRequest, Icdb};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut icdb = Icdb::new();
+
+    // §3.2.2: request a five-bit counter under a 30 ns clock-width
+    // constraint. Attributes mirror the paper's parameter list.
+    let request = ComponentRequest::by_component("counter")
+        .attribute("size", "5")
+        .attribute("type", "synchronous")
+        .attribute("up_or_down", "updown")
+        .attribute("enable", "1")
+        .attribute("load", "1")
+        .clock_width(30.0);
+    let counter_ins = icdb.request_component(&request)?;
+    println!("generated component instance: {counter_ins}\n");
+
+    // §3.3: the component instance query for delay and shape function.
+    println!("--- delay report (CW / WD / SD) ---");
+    print!("{}", icdb.delay_string(&counter_ins)?);
+
+    println!("\n--- shape function ---");
+    print!("{}", icdb.shape_string(&counter_ins)?);
+
+    println!("\n--- strip/area table ---");
+    print!("{}", icdb.area_string(&counter_ins)?);
+
+    // §4.1: connection information — how to invoke the INC function.
+    println!("\n--- connection information ---");
+    print!("{}", icdb.connect_string(&counter_ins)?);
+
+    // §3.3: the VHDL head a synthesis tool would embed in its netlist.
+    println!("\n--- VHDL head ---");
+    print!("{}", icdb.vhdl_head(&counter_ins)?);
+
+    // Layout generation with the paper's port-position assignment.
+    let ports = "\
+CLK left 1
+LOAD left 2
+DWUP left 3
+ENA left 4
+D[0] top 10
+D[1] top 20
+D[2] top 30
+D[3] top 40
+D[4] top 50
+MINMAX right 1
+RCLK right 2
+Q[0] bottom 10
+Q[1] bottom 20
+Q[2] bottom 30
+Q[3] bottom 40
+Q[4] bottom 50
+";
+    let cif = icdb.generate_layout(&counter_ins, Some(3), Some(ports))?;
+    println!("\n--- CIF (first lines) ---");
+    for line in cif.lines().take(8) {
+        println!("{line}");
+    }
+    println!("… ({} CIF statements total)", cif.matches(';').count());
+
+    let inst = icdb.instance(&counter_ins)?;
+    println!(
+        "\nsummary: {} gates, area ≈ {:.0} µm², CW = {:.1} ns, constraints met: {}",
+        inst.netlist.gates.len(),
+        inst.area(),
+        inst.report.clock_width,
+        inst.met
+    );
+    Ok(())
+}

@@ -1,0 +1,128 @@
+//! The Fig. 13 experiment: floorplanning a simple computer two ways.
+//!
+//! ICDB generates the datapath components (ALU, register file registers,
+//! operand mux) and the control logic (from an inline IIF description —
+//! "the third specification type is typically used for control logic
+//! generation", §3.2.2). The floorplanner then combines their *shape
+//! functions* in two slicing arrangements:
+//!
+//! * control logic tall-and-thin on the LEFT of the datapath stack, and
+//! * control logic short-and-wide on the BOTTOM,
+//!
+//! reproducing the paper's two layouts with different aspect ratios.
+//!
+//! Run with: `cargo run --example simple_computer`
+
+use icdb::layout::{best_by_aspect, SlicingTree};
+use icdb::{ComponentRequest, Icdb};
+
+/// A small hardwired control unit: a 2-bit phase counter and decoded
+/// control lines for fetch/decode/execute/write-back of a 3-opcode machine.
+const CONTROL_IIF: &str = "
+NAME: CONTROL;
+INORDER: CLK, RST, OP[3], ZFLAG;
+OUTORDER: PC_INC, IR_LOAD, A_LOAD, B_LOAD, ALU_MODE, ALU_SUB, REG_WRITE, MEM_READ, MEM_WRITE, BRANCH;
+PIIFVARIABLE: S0, S1, FETCH, DECODE, EXEC, WB;
+{
+  S0 = (!S0) @(~r CLK) ~a(0/RST);
+  S1 = (S1 (+) S0) @(~r CLK) ~a(0/RST);
+  FETCH  = !S1 * !S0;
+  DECODE = !S1 *  S0;
+  EXEC   =  S1 * !S0;
+  WB     =  S1 *  S0;
+  PC_INC   = FETCH;
+  IR_LOAD  = FETCH;
+  A_LOAD   = DECODE;
+  B_LOAD   = DECODE;
+  ALU_MODE = EXEC * OP[2];
+  ALU_SUB  = EXEC * !OP[2] * OP[0];
+  REG_WRITE = WB * !OP[1];
+  MEM_READ  = FETCH + DECODE * OP[1];
+  MEM_WRITE = WB * OP[1] * !OP[0];
+  BRANCH    = EXEC * OP[1] * OP[0] * ZFLAG;
+}";
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut icdb = Icdb::new();
+
+    // Datapath components, 8-bit.
+    println!("generating datapath components …");
+    let alu = icdb.request_component(
+        &ComponentRequest::by_implementation("ALU").attribute("size", "8"),
+    )?;
+    let reg_a = icdb.request_component(
+        &ComponentRequest::by_implementation("REGISTER").attribute("size", "8"),
+    )?;
+    let reg_b = icdb.request_component(
+        &ComponentRequest::by_implementation("REGISTER").attribute("size", "8"),
+    )?;
+    let mux = icdb.request_component(
+        &ComponentRequest::by_implementation("MUX").attribute("size", "8"),
+    )?;
+    let pc = icdb.request_component(
+        &ComponentRequest::by_component("counter")
+            .attribute("size", "8")
+            .attribute("type", "synchronous"),
+    )?;
+    // Control logic from inline IIF.
+    let control = icdb.request_component(&ComponentRequest::from_iif(CONTROL_IIF))?;
+
+    for name in [&alu, &reg_a, &reg_b, &mux, &pc, &control] {
+        let inst = icdb.instance(name)?;
+        let best = inst.shape.best_area().expect("has shapes");
+        println!(
+            "  {:<12} {:>3} gates, best {:>6.0}×{:<6.0} µm ({} shape alternatives)",
+            inst.implementation,
+            inst.netlist.gates.len(),
+            best.width,
+            best.height,
+            inst.shape.alternatives.len()
+        );
+    }
+
+    // Slicing trees over the components' shape functions.
+    let leaf = |icdb: &Icdb, name: &str, label: &str| -> SlicingTree {
+        SlicingTree::leaf(label, &icdb.instance(name).expect("generated").shape)
+    };
+    let datapath = |icdb: &Icdb| {
+        SlicingTree::stack(
+            SlicingTree::stack(
+                SlicingTree::beside(leaf(icdb, &reg_a, "reg_a"), leaf(icdb, &reg_b, "reg_b")),
+                SlicingTree::beside(leaf(icdb, &mux, "mux"), leaf(icdb, &pc, "pc")),
+            ),
+            leaf(icdb, &alu, "alu"),
+        )
+    };
+
+    // Variant 1 (paper's left layout): control logic beside the datapath,
+    // targeting a 1:1 aspect ratio.
+    let plan_left = best_by_aspect(
+        &SlicingTree::beside(leaf(&icdb, &control, "control"), datapath(&icdb)),
+        1.0,
+    )?;
+    // Variant 2 (paper's right layout): control logic below the datapath,
+    // targeting a 2:1 aspect ratio.
+    let plan_bottom = best_by_aspect(
+        &SlicingTree::stack(datapath(&icdb), leaf(&icdb, &control, "control")),
+        2.0,
+    )?;
+
+    println!("\n=== control on the LEFT (target aspect 1:1) ===");
+    print!("{plan_left}");
+    println!("\n=== control on the BOTTOM (target aspect 2:1) ===");
+    print!("{plan_bottom}");
+
+    println!(
+        "\narea comparison: left {:.0} µm² vs bottom {:.0} µm² — {} wins by {:.1}%",
+        plan_left.area(),
+        plan_bottom.area(),
+        if plan_bottom.area() < plan_left.area() { "bottom" } else { "left" },
+        100.0 * (plan_left.area() - plan_bottom.area()).abs() / plan_left.area().max(plan_bottom.area()),
+    );
+    println!(
+        "aspect ratios: left {:.2}, bottom {:.2} (paper: ≈1:1 vs ≈2:1)",
+        plan_left.aspect_ratio(),
+        plan_bottom.aspect_ratio()
+    );
+    Ok(())
+}

@@ -1,0 +1,109 @@
+//! # icdb — An Intelligent Component Database for Behavioral Synthesis
+//!
+//! A full Rust reproduction of Chen & Gajski's ICDB (UC Irvine TR 89-39 /
+//! DAC 1990): a *component server* that generates micro-architecture
+//! components (counters, adders, ALUs, registers, …) on demand from
+//! parameterized **IIF** descriptions, and answers synthesis tools' queries
+//! about delay, area, shape functions, port connections and layouts through
+//! the **CQL** command interface.
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! | module | crate | role (paper section) |
+//! |---|---|---|
+//! | [`core`] | `icdb-core` | the component server itself (§2, §4, App. B) |
+//! | [`iif`] | `icdb-iif` | the IIF language: parser + macro expander (§3.1, App. A) |
+//! | [`cql`] | `icdb-cql` | Component Query Language commands/slots (§3.2, App. B) |
+//! | [`logic`] | `icdb-logic` | logic optimizer + technology mapper (MILO, §4.3.1) |
+//! | [`cells`] | `icdb-cells` | characterized basic-cell library (§4.4) |
+//! | [`sizing`] | `icdb-sizing` | transistor sizing (TILOS-style, §4.3) |
+//! | [`estimate`] | `icdb-estimate` | delay + area/shape estimators (§4.4) |
+//! | [`layout`] | `icdb-layout` | strip layout, CIF, floorplanner (LES, §4.3.2) |
+//! | [`sim`] | `icdb-sim` | gate-level verification simulator (§4.3) |
+//! | [`vhdl`] | `icdb-vhdl` | structural VHDL emission/parsing (§2.2) |
+//! | [`store`] | `icdb-store` | embedded relational + file stores (INGRES/UNIX, §2.3) |
+//! | [`genus`] | `icdb-genus` | GENUS component/function taxonomy (App. B §2–3) |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! use icdb::{ComponentRequest, Icdb};
+//!
+//! let mut icdb = Icdb::new();
+//! let counter = icdb.request_component(
+//!     &ComponentRequest::by_component("counter")
+//!         .attribute("size", "5")
+//!         .attribute("up_or_down", "3")
+//!         .clock_width(30.0),
+//! )?;
+//! println!("{}", icdb.delay_string(&counter)?);   // CW …, WD Q[4] …, SD DWUP …
+//! println!("{}", icdb.shape_string(&counter)?);   // Alternative=1 width=… height=…
+//! # Ok(())
+//! # }
+//! ```
+
+pub use icdb_core::{
+    ComponentImpl, ComponentInstance, ComponentRequest, Constraints, DesignManager,
+    GenericComponentLibrary, Icdb, IcdbError, ParamSpec, Source, TargetLevel,
+};
+
+/// The component server (re-export of `icdb-core`).
+pub mod core {
+    pub use icdb_core::*;
+}
+
+/// The IIF language (re-export of `icdb-iif`).
+pub mod iif {
+    pub use icdb_iif::*;
+}
+
+/// The Component Query Language (re-export of `icdb-cql`).
+pub mod cql {
+    pub use icdb_cql::*;
+}
+
+/// Logic optimization and technology mapping (re-export of `icdb-logic`).
+pub mod logic {
+    pub use icdb_logic::*;
+}
+
+/// The characterized cell library (re-export of `icdb-cells`).
+pub mod cells {
+    pub use icdb_cells::*;
+}
+
+/// Transistor sizing (re-export of `icdb-sizing`).
+pub mod sizing {
+    pub use icdb_sizing::*;
+}
+
+/// Delay and area/shape estimation (re-export of `icdb-estimate`).
+pub mod estimate {
+    pub use icdb_estimate::*;
+}
+
+/// Strip layout, CIF and floorplanning (re-export of `icdb-layout`).
+pub mod layout {
+    pub use icdb_layout::*;
+}
+
+/// Gate-level simulation (re-export of `icdb-sim`).
+pub mod sim {
+    pub use icdb_sim::*;
+}
+
+/// Structural VHDL (re-export of `icdb-vhdl`).
+pub mod vhdl {
+    pub use icdb_vhdl::*;
+}
+
+/// Storage layer (re-export of `icdb-store`).
+pub mod store {
+    pub use icdb_store::*;
+}
+
+/// GENUS taxonomy (re-export of `icdb-genus`).
+pub mod genus {
+    pub use icdb_genus::*;
+}

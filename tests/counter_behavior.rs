@@ -1,0 +1,202 @@
+//! End-to-end behavioral verification of the paper's flagship component:
+//! the §3.1 counter, generated through the full ICDB pipeline (IIF →
+//! synthesis → mapping) and exercised with the gate-level simulator — the
+//! check the paper delegates to its VHDL simulator (§4.3).
+
+use icdb::sim::{Logic, Simulator};
+use icdb::{ComponentRequest, Icdb};
+
+/// Generates the §3.3 counter: 5-bit synchronous up/down with enable and
+/// asynchronous parallel load.
+fn full_counter(icdb: &mut Icdb) -> String {
+    icdb.request_component(
+        &ComponentRequest::by_component("counter")
+            .attribute("size", "5")
+            .attribute("type", "synchronous")
+            .attribute("up_or_down", "updown")
+            .attribute("enable", "1")
+            .attribute("load", "1"),
+    )
+    .expect("counter generates")
+}
+
+struct Bench<'a> {
+    sim: Simulator<'a>,
+}
+
+impl<'a> Bench<'a> {
+    fn new(netlist: &'a icdb::logic::GateNetlist, cells: &'a icdb::cells::Library) -> Bench<'a> {
+        let mut sim = Simulator::new(netlist, cells).expect("acyclic");
+        for (pin, v) in [
+            ("CLK", Logic::Zero),
+            ("ENA", Logic::One),
+            ("DWUP", Logic::Zero),
+            ("LOAD", Logic::One),
+        ] {
+            sim.set_by_name(pin, v).unwrap();
+        }
+        sim.set_bus("D", 5, 0).unwrap();
+        sim.propagate();
+        Bench { sim }
+    }
+
+    /// Asynchronously loads `value` through the active-low LOAD pin.
+    fn load(&mut self, value: u64) {
+        self.sim.set_bus("D", 5, value).unwrap();
+        self.sim.set_by_name("LOAD", Logic::Zero).unwrap();
+        self.sim.propagate();
+        self.sim.set_by_name("LOAD", Logic::One).unwrap();
+        self.sim.propagate();
+    }
+
+    fn clock(&mut self) {
+        self.sim.pulse("CLK").unwrap();
+    }
+
+    fn q(&self) -> u64 {
+        self.sim.bus("Q", 5).expect("Q defined")
+    }
+}
+
+#[test]
+fn loads_then_counts_up() {
+    let mut icdb = Icdb::new();
+    let name = full_counter(&mut icdb);
+    let inst = icdb.instance(&name).unwrap().clone();
+    let cells = icdb.cells.clone();
+    let mut b = Bench::new(&inst.netlist, &cells);
+
+    b.load(5);
+    assert_eq!(b.q(), 5, "asynchronous load");
+    for expect in [6, 7, 8] {
+        b.clock();
+        assert_eq!(b.q(), expect, "counting up");
+    }
+}
+
+#[test]
+fn counts_down_when_dwup_high() {
+    let mut icdb = Icdb::new();
+    let name = full_counter(&mut icdb);
+    let inst = icdb.instance(&name).unwrap().clone();
+    let cells = icdb.cells.clone();
+    let mut b = Bench::new(&inst.netlist, &cells);
+
+    b.load(6);
+    b.sim.set_by_name("DWUP", Logic::One).unwrap();
+    b.sim.propagate();
+    for expect in [5, 4, 3] {
+        b.clock();
+        assert_eq!(b.q(), expect, "counting down");
+    }
+}
+
+#[test]
+fn enable_gates_the_clock() {
+    let mut icdb = Icdb::new();
+    let name = full_counter(&mut icdb);
+    let inst = icdb.instance(&name).unwrap().clone();
+    let cells = icdb.cells.clone();
+    let mut b = Bench::new(&inst.netlist, &cells);
+
+    b.load(9);
+    b.sim.set_by_name("ENA", Logic::Zero).unwrap();
+    b.sim.propagate();
+    b.clock();
+    b.clock();
+    assert_eq!(b.q(), 9, "disabled counter must hold");
+    b.sim.set_by_name("ENA", Logic::One).unwrap();
+    b.sim.propagate();
+    b.clock();
+    assert_eq!(b.q(), 10, "counting resumes");
+}
+
+#[test]
+fn wraps_and_flags_terminal_count() {
+    let mut icdb = Icdb::new();
+    let name = full_counter(&mut icdb);
+    let inst = icdb.instance(&name).unwrap().clone();
+    let cells = icdb.cells.clone();
+    let mut b = Bench::new(&inst.netlist, &cells);
+
+    b.load(30);
+    // The rising edge advances 30 → 31; MINMAX = CLK · (carry of all bits)
+    // is then visible during the high phase of that same cycle.
+    b.sim.set_by_name("CLK", Logic::One).unwrap();
+    b.sim.propagate();
+    assert_eq!(b.q(), 31, "reached terminal count");
+    assert_eq!(
+        b.sim.get_by_name("MINMAX").unwrap(),
+        Logic::One,
+        "terminal count flagged at 31 while CLK high"
+    );
+    b.sim.set_by_name("CLK", Logic::Zero).unwrap();
+    b.sim.propagate();
+    assert_eq!(b.q(), 31, "holds through the low phase");
+    b.clock();
+    assert_eq!(b.q(), 0, "wraps to zero");
+}
+
+#[test]
+fn load_dominates_clock() {
+    let mut icdb = Icdb::new();
+    let name = full_counter(&mut icdb);
+    let inst = icdb.instance(&name).unwrap().clone();
+    let cells = icdb.cells.clone();
+    let mut b = Bench::new(&inst.netlist, &cells);
+
+    b.load(3);
+    // Hold LOAD active while clocking: the asynchronous load must win.
+    b.sim.set_bus("D", 5, 20).unwrap();
+    b.sim.set_by_name("LOAD", Logic::Zero).unwrap();
+    b.sim.propagate();
+    b.clock();
+    b.clock();
+    assert_eq!(b.q(), 20, "async load dominates while active");
+}
+
+#[test]
+fn ripple_and_sync_variants_differ_structurally() {
+    let mut icdb = Icdb::new();
+    let ripple = icdb
+        .request_component(
+            &ComponentRequest::by_component("counter")
+                .attribute("size", "5")
+                .attribute("type", "ripple"),
+        )
+        .unwrap();
+    let sync = icdb
+        .request_component(
+            &ComponentRequest::by_component("counter")
+                .attribute("size", "5")
+                .attribute("type", "synchronous"),
+        )
+        .unwrap();
+    let r = icdb.instance(&ripple).unwrap();
+    let s = icdb.instance(&sync).unwrap();
+    assert!(
+        r.netlist.gates.len() < s.netlist.gates.len(),
+        "ripple ({}) must be smaller than synchronous ({})",
+        r.netlist.gates.len(),
+        s.netlist.gates.len()
+    );
+    // Paper Fig. 5: the ripple counter is the slowest to Q[4].
+    let rd = r.report.output_delay("Q[4]").unwrap();
+    let sd = s.report.output_delay("Q[4]").unwrap();
+    assert!(rd > sd, "ripple Q[4] delay {rd} must exceed synchronous {sd}");
+}
+
+#[test]
+fn paper_delay_report_shape() {
+    let mut icdb = Icdb::new();
+    let name = full_counter(&mut icdb);
+    let report = icdb.delay_string(&name).unwrap();
+    // The §3.3 report lists CW, WD for all Q bits and MINMAX, SD for DWUP.
+    assert!(report.contains("CW "), "{report}");
+    for q in 0..5 {
+        assert!(report.contains(&format!("WD Q[{q}]")), "{report}");
+    }
+    assert!(report.contains("WD MINMAX"), "{report}");
+    assert!(report.contains("SD DWUP"), "{report}");
+    assert!(report.contains("SD D[0]"), "{report}");
+}

@@ -1,0 +1,164 @@
+//! Integration tests for the paper's secondary mechanisms: knowledge
+//! acquisition (§2.2), component merging (§2.1), tool management (§4.2)
+//! and power estimation (§1) — all through the public API and CQL.
+
+use icdb::cql::CqlArg;
+use icdb::sim::{Logic, Simulator};
+use icdb::Icdb;
+
+const GRAY_COUNTER: &str = "
+NAME: GRAY_COUNTER;
+PARAMETER: size;
+INORDER: CLK, RST;
+OUTORDER: G[size];
+PIIFVARIABLE: B[size], C[size+1];
+VARIABLE: i;
+{
+  C[0] = 1;
+  #for(i=0;i<size;i++)
+  {
+    B[i] = (B[i] (+) C[i]) @(~r CLK) ~a(0/RST);
+    C[i+1] = C[i] * B[i];
+  }
+  #for(i=0;i<size-1;i++)
+    G[i] = B[i] (+) B[i+1];
+  G[size-1] = B[size-1];
+}";
+
+#[test]
+fn inserted_implementation_behaves_correctly() {
+    let mut icdb = Icdb::new();
+    icdb.insert_implementation(
+        GRAY_COUNTER,
+        "Counter",
+        &["INC", "COUNTER"],
+        &[("size", 4)],
+        None,
+        "gray counter",
+    )
+    .unwrap();
+    let name = icdb
+        .request_component(
+            &icdb::ComponentRequest::by_implementation("GRAY_COUNTER").attribute("size", "4"),
+        )
+        .unwrap();
+    let inst = icdb.instance(&name).unwrap().clone();
+    let mut sim = Simulator::new(&inst.netlist, &icdb.cells).unwrap();
+    // Reset, then check the output really follows the gray sequence.
+    sim.set_by_name("CLK", Logic::Zero).unwrap();
+    sim.set_by_name("RST", Logic::One).unwrap();
+    sim.propagate();
+    sim.set_by_name("RST", Logic::Zero).unwrap();
+    sim.propagate();
+    let mut binary = 0u64;
+    for _step in 0..10 {
+        binary = (binary + 1) & 0xF;
+        sim.pulse("CLK").unwrap();
+        let gray = sim.bus("G", 4).unwrap();
+        assert_eq!(gray, binary ^ (binary >> 1), "gray({binary})");
+    }
+}
+
+#[test]
+fn insert_component_via_cql_and_regenerate() {
+    let mut icdb = Icdb::new();
+    let mut args = vec![CqlArg::InStr(GRAY_COUNTER.into()), CqlArg::OutStr(None)];
+    icdb.execute(
+        "command:insert_component; IIF:%s; component:Counter;
+         function:(INC,COUNTER); parameter:(size:4); implementation:?s",
+        &mut args,
+    )
+    .unwrap();
+    assert_eq!(args[1], CqlArg::OutStr(Some("GRAY_COUNTER".into())));
+    // Second insert of the same name fails through CQL too.
+    let mut args = vec![CqlArg::InStr(GRAY_COUNTER.into()), CqlArg::OutStr(None)];
+    assert!(icdb
+        .execute(
+            "command:insert_component; IIF:%s; component:Counter;
+             function:(INC); parameter:(size:4); implementation:?s",
+            &mut args,
+        )
+        .is_err());
+}
+
+#[test]
+fn merge_query_via_cql() {
+    let mut icdb = Icdb::new();
+    let mut args = vec![CqlArg::OutStrList(None)];
+    icdb.execute(
+        "command:merge_query; components:(REGISTER,INCREMENTER); merged:?s[]",
+        &mut args,
+    )
+    .unwrap();
+    let CqlArg::OutStrList(Some(merged)) = &args[0] else { panic!() };
+    assert!(merged.contains(&"COUNTER".to_string()), "{merged:?}");
+    // A set nothing covers yields an empty list, not an error.
+    let mut args = vec![CqlArg::OutStrList(None)];
+    icdb.execute(
+        "command:merge_query; components:(ALU,COMPARATOR); merged:?s[]",
+        &mut args,
+    )
+    .unwrap();
+    let CqlArg::OutStrList(Some(none)) = &args[0] else { panic!() };
+    assert!(none.is_empty(), "{none:?}");
+}
+
+#[test]
+fn tool_query_lists_generators_and_steps() {
+    let mut icdb = Icdb::new();
+    let mut args = vec![CqlArg::OutStrList(None)];
+    icdb.execute("command:tool_query; accepts:iif; generators:?s[]", &mut args).unwrap();
+    assert_eq!(
+        args[0],
+        CqlArg::OutStrList(Some(vec!["embedded-milo".to_string()]))
+    );
+    let mut args = vec![CqlArg::OutStrList(None)];
+    icdb.execute("command:tool_query; name:embedded-les; steps:?s[]", &mut args).unwrap();
+    let CqlArg::OutStrList(Some(steps)) = &args[0] else { panic!() };
+    assert_eq!(steps, &["strip-placer", "cif-writer"]);
+}
+
+#[test]
+fn power_query_and_scaling() {
+    let mut icdb = Icdb::new();
+    let small = icdb
+        .request_component(
+            &icdb::ComponentRequest::by_implementation("ADDER").attribute("size", "4"),
+        )
+        .unwrap();
+    let big = icdb
+        .request_component(
+            &icdb::ComponentRequest::by_implementation("ADDER").attribute("size", "16"),
+        )
+        .unwrap();
+    let parse_uw = |s: &str| -> f64 {
+        s.split_whitespace().nth(1).unwrap().parse().unwrap()
+    };
+    let p_small = parse_uw(&icdb.power_string(&small).unwrap());
+    let p_big = parse_uw(&icdb.power_string(&big).unwrap());
+    assert!(p_big > p_small * 2.0, "{p_small} vs {p_big}");
+
+    // Through CQL as part of an instance query.
+    let mut args = vec![CqlArg::InStr(small), CqlArg::OutStr(None)];
+    icdb.execute("command:instance_query; instance:%s; power:?s", &mut args).unwrap();
+    let CqlArg::OutStr(Some(p)) = &args[1] else { panic!() };
+    assert!(p.starts_with("POWER "));
+}
+
+#[test]
+fn milo_text_round_trips_through_the_file_store() {
+    // The stored `.milo` view of an instance parses back with the same
+    // port lists (the tool-exchange format of Appendix A §4.2).
+    let mut icdb = Icdb::new();
+    let name = icdb
+        .request_component(
+            &icdb::ComponentRequest::by_implementation("ADDER").attribute("size", "4"),
+        )
+        .unwrap();
+    let text = icdb.files.read(&format!("instances/{name}.milo")).unwrap();
+    let parsed = icdb::iif::parse_milo(text).unwrap();
+    assert_eq!(parsed.name, "ADDER");
+    assert_eq!(parsed.inputs.len(), 9);
+    assert_eq!(parsed.outputs.len(), 5);
+    assert!(!parsed.equations.is_empty());
+}
