@@ -41,17 +41,26 @@ fn bench(c: &mut Criterion) {
         ("eliminate_on_area", SynthOptions::default()),
         (
             "eliminate_off_area",
-            SynthOptions { eliminate: false, ..SynthOptions::default() },
+            SynthOptions {
+                eliminate: false,
+                ..SynthOptions::default()
+            },
         ),
         (
             "eliminate_on_delay",
-            SynthOptions { objective: MapObjective::Delay, ..SynthOptions::default() },
+            SynthOptions {
+                objective: MapObjective::Delay,
+                ..SynthOptions::default()
+            },
         ),
     ];
 
     // Quality summary printed once (deterministic).
     println!("\nablation: synthesis configuration quality (8-bit comparator OGT cone)");
-    println!("{:<22} {:>7} {:>12} {:>12}", "config", "gates", "cell width", "crit path ns");
+    println!(
+        "{:<22} {:>7} {:>12} {:>12}",
+        "config", "gates", "cell width", "crit path ns"
+    );
     for (name, opts) in &configs {
         let nl = synthesize(&f, &lib, opts).unwrap();
         let rep = estimate_delay(&nl, &lib, &LoadSpec::uniform(10.0)).unwrap();

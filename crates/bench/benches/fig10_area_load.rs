@@ -2,9 +2,9 @@
 //! output load sweeps 10 → 50 unit transistors.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use icdb_bench::full_counter;
 use icdb::estimate::LoadSpec;
 use icdb::sizing::{size_netlist, SizingGoal, Strategy};
+use icdb_bench::full_counter;
 
 fn bench(c: &mut Criterion) {
     let mut icdb = icdb::Icdb::new();
@@ -13,7 +13,12 @@ fn bench(c: &mut Criterion) {
     let cells = icdb.cells.clone();
     let target = {
         let mut nl = base.clone();
-        let r = size_netlist(&mut nl, &cells, &LoadSpec::uniform(50.0), &Strategy::Fastest);
+        let r = size_netlist(
+            &mut nl,
+            &cells,
+            &LoadSpec::uniform(50.0),
+            &Strategy::Fastest,
+        );
         (r.report.clock_width * 1.12).ceil()
     };
     let mut group = c.benchmark_group("fig10_area_load");

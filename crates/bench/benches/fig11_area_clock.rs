@@ -2,9 +2,9 @@
 //! constraints at fixed output load.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use icdb_bench::full_counter;
 use icdb::estimate::LoadSpec;
 use icdb::sizing::{size_netlist, SizingGoal, Strategy};
+use icdb_bench::full_counter;
 
 fn bench(c: &mut Criterion) {
     let mut icdb = icdb::Icdb::new();
@@ -14,7 +14,9 @@ fn bench(c: &mut Criterion) {
     let loads = LoadSpec::uniform(10.0);
     let min_cw = {
         let mut nl = base.clone();
-        size_netlist(&mut nl, &cells, &loads, &Strategy::Fastest).report.clock_width
+        size_netlist(&mut nl, &cells, &loads, &Strategy::Fastest)
+            .report
+            .clock_width
     };
     let mut group = c.benchmark_group("fig11_area_clock");
     group.sample_size(10);

@@ -102,7 +102,10 @@ fn fig10() {
     println!("{:>6} {:>12} {:>6}", "load", "area µm²", "met");
     let base = rows.first().map(|r| r.1).unwrap_or(1.0);
     for (load, area, met) in &rows {
-        println!("{load:>6.0} {area:>12.0} {met:>6}   (+{:.1}%)", 100.0 * (area / base - 1.0));
+        println!(
+            "{load:>6.0} {area:>12.0} {met:>6}   (+{:.1}%)",
+            100.0 * (area / base - 1.0)
+        );
     }
 }
 
@@ -122,7 +125,10 @@ fn fig11() {
 fn fig12() {
     header("Figure 12 — the same counter at different aspect ratios");
     for (strips, w, h, art) in bench::fig12_data() {
-        println!("--- {strips} strips: {w:.0} × {h:.0} µm (aspect {:.2}) ---", w / h);
+        println!(
+            "--- {strips} strips: {w:.0} × {h:.0} µm (aspect {:.2}) ---",
+            w / h
+        );
         print!("{art}");
     }
 }
@@ -148,5 +154,10 @@ fn tab_gentime() {
         println!("{imp:<18} {:>10.1} ms", secs * 1000.0);
         total += secs;
     }
-    println!("{:<18} {:>10.1} ms  ({} components)", "TOTAL", total * 1000.0, rows.len());
+    println!(
+        "{:<18} {:>10.1} ms  ({} components)",
+        "TOTAL",
+        total * 1000.0,
+        rows.len()
+    );
 }

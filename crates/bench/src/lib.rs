@@ -3,6 +3,8 @@
 //! the experiment index). The `figures` binary prints the paper-style
 //! tables; the Criterion benches time the same code paths.
 
+#![deny(rustdoc::broken_intra_doc_links)]
+
 use icdb::estimate::{LoadSpec, ShapeFunction};
 use icdb::layout::{best_by_aspect, Floorplan, SlicingTree};
 use icdb::sizing::Strategy;
@@ -26,12 +28,22 @@ pub struct Fig5Row {
 /// The five counter variants of Fig. 5, in the paper's order.
 pub const FIG5_VARIANTS: [(&str, &[(&str, &str)]); 5] = [
     ("ripple", &[("type", "ripple")]),
-    ("synchronous up", &[("type", "synchronous"), ("up_or_down", "up")]),
+    (
+        "synchronous up",
+        &[("type", "synchronous"), ("up_or_down", "up")],
+    ),
     (
         "synchronous up with enable",
-        &[("type", "synchronous"), ("up_or_down", "up"), ("enable", "1")],
+        &[
+            ("type", "synchronous"),
+            ("up_or_down", "up"),
+            ("enable", "1"),
+        ],
     ),
-    ("synchronous updown", &[("type", "synchronous"), ("up_or_down", "updown")]),
+    (
+        "synchronous updown",
+        &[("type", "synchronous"), ("up_or_down", "updown")],
+    ),
     (
         "synchronous updown with parallel load",
         &[
@@ -49,7 +61,8 @@ pub fn generate_counter_variant(icdb: &mut Icdb, attrs: &[(&str, &str)]) -> Stri
     for (k, v) in attrs {
         req = req.attribute(*k, *v);
     }
-    icdb.request_component(&req).expect("counter variant generates")
+    icdb.request_component(&req)
+        .expect("counter variant generates")
 }
 
 /// E1 / Fig. 5: the area/time trade-off of the five counter variants.
@@ -184,10 +197,16 @@ pub fn fig11_data() -> Vec<(f64, f64, bool)> {
 pub fn fig12_data() -> Vec<(usize, f64, f64, String)> {
     let mut icdb = Icdb::new();
     let name = full_counter(&mut icdb);
-    let alts = icdb.instance(&name).expect("generated").shape.alternatives.clone();
+    let alts = icdb
+        .instance(&name)
+        .expect("generated")
+        .shape
+        .alternatives
+        .clone();
     let mut out = Vec::new();
     for (i, alt) in alts.iter().enumerate() {
-        icdb.generate_layout(&name, Some(i + 1), None).expect("layout");
+        icdb.generate_layout(&name, Some(i + 1), None)
+            .expect("layout");
         let inst = icdb.instance(&name).expect("generated");
         let l = inst.layout.as_ref().expect("layout stored");
         let art = icdb
@@ -208,14 +227,10 @@ pub fn fig13_data() -> (Floorplan, Floorplan) {
         .request_component(&ComponentRequest::by_implementation("ALU").attribute("size", "8"))
         .expect("alu");
     let reg_a = icdb
-        .request_component(
-            &ComponentRequest::by_implementation("REGISTER").attribute("size", "8"),
-        )
+        .request_component(&ComponentRequest::by_implementation("REGISTER").attribute("size", "8"))
         .expect("reg");
     let reg_b = icdb
-        .request_component(
-            &ComponentRequest::by_implementation("REGISTER").attribute("size", "8"),
-        )
+        .request_component(&ComponentRequest::by_implementation("REGISTER").attribute("size", "8"))
         .expect("reg");
     let mux = icdb
         .request_component(&ComponentRequest::by_implementation("MUX").attribute("size", "8"))
@@ -320,7 +335,10 @@ mod tests {
         let first = rows.first().expect("rows").1;
         let last = rows.last().expect("rows").1;
         assert!(last >= first, "area must not shrink with load");
-        assert!(last <= first * 1.25, "growth stays modest: {first} → {last}");
+        assert!(
+            last <= first * 1.25,
+            "growth stays modest: {first} → {last}"
+        );
     }
 
     #[test]

@@ -208,9 +208,16 @@ mod tests {
 
     #[test]
     fn function_predicates() {
-        assert!(CellFunction::Dff { edge: ClockEdge::Rising, set: false, reset: false }
-            .is_sequential());
-        assert!(CellFunction::Latch { level: LatchLevel::High }.is_sequential());
+        assert!(CellFunction::Dff {
+            edge: ClockEdge::Rising,
+            set: false,
+            reset: false
+        }
+        .is_sequential());
+        assert!(CellFunction::Latch {
+            level: LatchLevel::High
+        }
+        .is_sequential());
         assert!(!CellFunction::Nand(2).is_sequential());
         assert!(CellFunction::Tribuf.is_tristate());
         assert!(!CellFunction::Inv.is_tristate());

@@ -33,6 +33,8 @@
 //! assert!(d > nand2.timing.y);
 //! ```
 
+#![deny(rustdoc::broken_intra_doc_links)]
+
 mod cell;
 mod pattern;
 mod standard;
@@ -56,7 +58,10 @@ pub struct Library {
 impl Library {
     /// Creates an empty library. Most users want [`Library::standard`].
     pub fn new() -> Self {
-        Library { cells: Vec::new(), by_name: HashMap::new() }
+        Library {
+            cells: Vec::new(),
+            by_name: HashMap::new(),
+        }
     }
 
     /// The standard characterized library used by the embedded component
@@ -198,7 +203,9 @@ mod tests {
     #[test]
     fn sequential_cells_have_seq_timing() {
         let lib = Library::standard();
-        for name in ["DFF", "DFF_S", "DFF_R", "DFF_SR", "DFFN", "LATCH_H", "LATCH_L"] {
+        for name in [
+            "DFF", "DFF_S", "DFF_R", "DFF_SR", "DFFN", "LATCH_H", "LATCH_L",
+        ] {
             let c = lib.cell(lib.cell_id(name).unwrap());
             assert!(c.seq.is_some(), "{name} must carry setup/clk-q data");
         }

@@ -80,7 +80,7 @@ pub(crate) fn nand_patterns(n: u8) -> Vec<Pattern> {
         out.push(balanced);
     }
     // The whole AND tree ends in NAND (one fewer inversion).
-    out.into_iter().map(invert_root) .collect()
+    out.into_iter().map(invert_root).collect()
 }
 
 /// AND over leaves as nested `INV(NAND(..))`, associated to the left.

@@ -72,7 +72,19 @@ fn comb(
     pin_load: f64,
     patterns: Vec<Pattern>,
 ) -> Row {
-    Row { name, function, inputs, x, y, z, width, transistors, pin_load, seq: None, patterns }
+    Row {
+        name,
+        function,
+        inputs,
+        x,
+        y,
+        z,
+        width,
+        transistors,
+        pin_load,
+        seq: None,
+        patterns,
+    }
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -114,19 +126,86 @@ pub(crate) fn standard_library() -> Library {
     let aoi21 = P::inv(P::nand(P::nand(l(0), l(1)), P::inv(l(2))));
     let aoi22 = P::inv(P::nand(P::nand(l(0), l(1)), P::nand(l(2), l(3))));
     let oai21 = P::nand(P::nand(P::inv(l(0)), P::inv(l(1))), l(2));
-    let oai22 = P::nand(P::nand(P::inv(l(0)), P::inv(l(1))), P::nand(P::inv(l(2)), P::inv(l(3))));
+    let oai22 = P::nand(
+        P::nand(P::inv(l(0)), P::inv(l(1))),
+        P::nand(P::inv(l(2)), P::inv(l(3))),
+    );
     let mux21 = P::nand(P::nand(l(0), P::inv(l(2))), P::nand(l(1), l(2)));
 
-    let dff_t = SeqTiming { setup: 2.2, hold: 0.4, min_pulse: 6.0, clk_to_q: 3.0 };
-    let dffs_t = SeqTiming { setup: 2.3, hold: 0.4, min_pulse: 6.5, clk_to_q: 3.1 };
-    let dffsr_t = SeqTiming { setup: 2.4, hold: 0.5, min_pulse: 7.0, clk_to_q: 3.2 };
-    let latch_t = SeqTiming { setup: 1.5, hold: 0.3, min_pulse: 4.0, clk_to_q: 2.0 };
+    let dff_t = SeqTiming {
+        setup: 2.2,
+        hold: 0.4,
+        min_pulse: 6.0,
+        clk_to_q: 3.0,
+    };
+    let dffs_t = SeqTiming {
+        setup: 2.3,
+        hold: 0.4,
+        min_pulse: 6.5,
+        clk_to_q: 3.1,
+    };
+    let dffsr_t = SeqTiming {
+        setup: 2.4,
+        hold: 0.5,
+        min_pulse: 7.0,
+        clk_to_q: 3.2,
+    };
+    let latch_t = SeqTiming {
+        setup: 1.5,
+        hold: 0.3,
+        min_pulse: 4.0,
+        clk_to_q: 2.0,
+    };
 
     let rows = vec![
-        comb("INV", F::Inv, &["A"], 0.10, 0.7, 0.12, 24.0, 2, 2.0, vec![P::inv(l(0))]),
-        comb("BUF", F::Buf, &["A"], 0.08, 1.1, 0.10, 36.0, 4, 2.0, vec![P::inv(P::inv(l(0)))]),
-        comb("NAND2", F::Nand(2), &["A", "B"], 0.12, 0.9, 0.12, 32.0, 4, 2.0, nand_patterns(2)),
-        comb("NAND3", F::Nand(3), &["A", "B", "C"], 0.14, 1.1, 0.12, 40.0, 6, 2.5, nand_patterns(3)),
+        comb(
+            "INV",
+            F::Inv,
+            &["A"],
+            0.10,
+            0.7,
+            0.12,
+            24.0,
+            2,
+            2.0,
+            vec![P::inv(l(0))],
+        ),
+        comb(
+            "BUF",
+            F::Buf,
+            &["A"],
+            0.08,
+            1.1,
+            0.10,
+            36.0,
+            4,
+            2.0,
+            vec![P::inv(P::inv(l(0)))],
+        ),
+        comb(
+            "NAND2",
+            F::Nand(2),
+            &["A", "B"],
+            0.12,
+            0.9,
+            0.12,
+            32.0,
+            4,
+            2.0,
+            nand_patterns(2),
+        ),
+        comb(
+            "NAND3",
+            F::Nand(3),
+            &["A", "B", "C"],
+            0.14,
+            1.1,
+            0.12,
+            40.0,
+            6,
+            2.5,
+            nand_patterns(3),
+        ),
         comb(
             "NAND4",
             F::Nand(4),
@@ -139,8 +218,30 @@ pub(crate) fn standard_library() -> Library {
             3.0,
             nand_patterns(4),
         ),
-        comb("NOR2", F::Nor(2), &["A", "B"], 0.14, 1.0, 0.12, 32.0, 4, 2.0, nor_patterns(2)),
-        comb("NOR3", F::Nor(3), &["A", "B", "C"], 0.17, 1.3, 0.12, 40.0, 6, 2.5, nor_patterns(3)),
+        comb(
+            "NOR2",
+            F::Nor(2),
+            &["A", "B"],
+            0.14,
+            1.0,
+            0.12,
+            32.0,
+            4,
+            2.0,
+            nor_patterns(2),
+        ),
+        comb(
+            "NOR3",
+            F::Nor(3),
+            &["A", "B", "C"],
+            0.17,
+            1.3,
+            0.12,
+            40.0,
+            6,
+            2.5,
+            nor_patterns(3),
+        ),
         comb(
             "NOR4",
             F::Nor(4),
@@ -153,8 +254,30 @@ pub(crate) fn standard_library() -> Library {
             3.0,
             nor_patterns(4),
         ),
-        comb("AND2", F::And(2), &["A", "B"], 0.11, 1.3, 0.12, 40.0, 6, 2.0, and_patterns(2)),
-        comb("AND3", F::And(3), &["A", "B", "C"], 0.13, 1.5, 0.12, 48.0, 8, 2.2, and_patterns(3)),
+        comb(
+            "AND2",
+            F::And(2),
+            &["A", "B"],
+            0.11,
+            1.3,
+            0.12,
+            40.0,
+            6,
+            2.0,
+            and_patterns(2),
+        ),
+        comb(
+            "AND3",
+            F::And(3),
+            &["A", "B", "C"],
+            0.13,
+            1.5,
+            0.12,
+            48.0,
+            8,
+            2.2,
+            and_patterns(3),
+        ),
         comb(
             "AND4",
             F::And(4),
@@ -167,8 +290,30 @@ pub(crate) fn standard_library() -> Library {
             2.5,
             and_patterns(4),
         ),
-        comb("OR2", F::Or(2), &["A", "B"], 0.12, 1.4, 0.12, 40.0, 6, 2.0, or_patterns(2)),
-        comb("OR3", F::Or(3), &["A", "B", "C"], 0.14, 1.6, 0.12, 48.0, 8, 2.2, or_patterns(3)),
+        comb(
+            "OR2",
+            F::Or(2),
+            &["A", "B"],
+            0.12,
+            1.4,
+            0.12,
+            40.0,
+            6,
+            2.0,
+            or_patterns(2),
+        ),
+        comb(
+            "OR3",
+            F::Or(3),
+            &["A", "B", "C"],
+            0.14,
+            1.6,
+            0.12,
+            48.0,
+            8,
+            2.2,
+            or_patterns(3),
+        ),
         comb(
             "OR4",
             F::Or(4),
@@ -181,9 +326,42 @@ pub(crate) fn standard_library() -> Library {
             2.5,
             or_patterns(4),
         ),
-        comb("XOR2", F::Xor, &["A", "B"], 0.14, 2.0, 0.14, 56.0, 10, 3.0, vec![xor_pattern]),
-        comb("XNOR2", F::Xnor, &["A", "B"], 0.14, 2.1, 0.14, 56.0, 10, 3.0, vec![xnor_pattern]),
-        comb("AOI21", F::Aoi21, &["A", "B", "C"], 0.14, 1.2, 0.12, 44.0, 6, 2.2, vec![aoi21]),
+        comb(
+            "XOR2",
+            F::Xor,
+            &["A", "B"],
+            0.14,
+            2.0,
+            0.14,
+            56.0,
+            10,
+            3.0,
+            vec![xor_pattern],
+        ),
+        comb(
+            "XNOR2",
+            F::Xnor,
+            &["A", "B"],
+            0.14,
+            2.1,
+            0.14,
+            56.0,
+            10,
+            3.0,
+            vec![xnor_pattern],
+        ),
+        comb(
+            "AOI21",
+            F::Aoi21,
+            &["A", "B", "C"],
+            0.14,
+            1.2,
+            0.12,
+            44.0,
+            6,
+            2.2,
+            vec![aoi21],
+        ),
         comb(
             "AOI22",
             F::Aoi22,
@@ -196,7 +374,18 @@ pub(crate) fn standard_library() -> Library {
             2.2,
             vec![aoi22],
         ),
-        comb("OAI21", F::Oai21, &["A", "B", "C"], 0.14, 1.2, 0.12, 44.0, 6, 2.2, vec![oai21]),
+        comb(
+            "OAI21",
+            F::Oai21,
+            &["A", "B", "C"],
+            0.14,
+            1.2,
+            0.12,
+            44.0,
+            6,
+            2.2,
+            vec![oai21],
+        ),
         comb(
             "OAI22",
             F::Oai22,
@@ -209,10 +398,25 @@ pub(crate) fn standard_library() -> Library {
             2.2,
             vec![oai22],
         ),
-        comb("MUX21", F::Mux21, &["A", "B", "S"], 0.14, 1.8, 0.13, 60.0, 10, 2.5, vec![mux21]),
+        comb(
+            "MUX21",
+            F::Mux21,
+            &["A", "B", "S"],
+            0.14,
+            1.8,
+            0.13,
+            60.0,
+            10,
+            2.5,
+            vec![mux21],
+        ),
         seq_cell(
             "DFF",
-            F::Dff { edge: ClockEdge::Rising, set: false, reset: false },
+            F::Dff {
+                edge: ClockEdge::Rising,
+                set: false,
+                reset: false,
+            },
             &["D", "CLK"],
             0.10,
             0.12,
@@ -223,7 +427,11 @@ pub(crate) fn standard_library() -> Library {
         ),
         seq_cell(
             "DFFN",
-            F::Dff { edge: ClockEdge::Falling, set: false, reset: false },
+            F::Dff {
+                edge: ClockEdge::Falling,
+                set: false,
+                reset: false,
+            },
             &["D", "CLK"],
             0.10,
             0.12,
@@ -234,7 +442,11 @@ pub(crate) fn standard_library() -> Library {
         ),
         seq_cell(
             "DFF_S",
-            F::Dff { edge: ClockEdge::Rising, set: true, reset: false },
+            F::Dff {
+                edge: ClockEdge::Rising,
+                set: true,
+                reset: false,
+            },
             &["D", "CLK", "SET"],
             0.10,
             0.12,
@@ -245,7 +457,11 @@ pub(crate) fn standard_library() -> Library {
         ),
         seq_cell(
             "DFF_R",
-            F::Dff { edge: ClockEdge::Rising, set: false, reset: true },
+            F::Dff {
+                edge: ClockEdge::Rising,
+                set: false,
+                reset: true,
+            },
             &["D", "CLK", "RST"],
             0.10,
             0.12,
@@ -256,7 +472,11 @@ pub(crate) fn standard_library() -> Library {
         ),
         seq_cell(
             "DFF_SR",
-            F::Dff { edge: ClockEdge::Rising, set: true, reset: true },
+            F::Dff {
+                edge: ClockEdge::Rising,
+                set: true,
+                reset: true,
+            },
             &["D", "CLK", "SET", "RST"],
             0.10,
             0.12,
@@ -267,7 +487,9 @@ pub(crate) fn standard_library() -> Library {
         ),
         seq_cell(
             "LATCH_H",
-            F::Latch { level: LatchLevel::High },
+            F::Latch {
+                level: LatchLevel::High,
+            },
             &["D", "CLK"],
             0.10,
             0.12,
@@ -278,7 +500,9 @@ pub(crate) fn standard_library() -> Library {
         ),
         seq_cell(
             "LATCH_L",
-            F::Latch { level: LatchLevel::Low },
+            F::Latch {
+                level: LatchLevel::Low,
+            },
             &["D", "CLK"],
             0.10,
             0.12,
@@ -287,9 +511,42 @@ pub(crate) fn standard_library() -> Library {
             2.0,
             latch_t,
         ),
-        comb("TRIBUF", F::Tribuf, &["D", "EN"], 0.12, 1.5, 0.13, 48.0, 8, 2.0, vec![]),
-        comb("SCHMITT", F::Schmitt, &["A"], 0.12, 1.8, 0.12, 40.0, 6, 2.5, vec![]),
-        comb("DELAY", F::Delay, &["A"], 0.10, 5.0, 0.10, 40.0, 6, 2.0, vec![]),
+        comb(
+            "TRIBUF",
+            F::Tribuf,
+            &["D", "EN"],
+            0.12,
+            1.5,
+            0.13,
+            48.0,
+            8,
+            2.0,
+            vec![],
+        ),
+        comb(
+            "SCHMITT",
+            F::Schmitt,
+            &["A"],
+            0.12,
+            1.8,
+            0.12,
+            40.0,
+            6,
+            2.5,
+            vec![],
+        ),
+        comb(
+            "DELAY",
+            F::Delay,
+            &["A"],
+            0.10,
+            5.0,
+            0.10,
+            40.0,
+            6,
+            2.0,
+            vec![],
+        ),
         comb(
             "WOR",
             F::WiredOr(4),
@@ -313,7 +570,11 @@ pub(crate) fn standard_library() -> Library {
             function: row.function,
             inputs: row.inputs.to_vec(),
             output: "O",
-            timing: Timing { x: row.x, y: row.y, z: row.z },
+            timing: Timing {
+                x: row.x,
+                y: row.y,
+                z: row.z,
+            },
             seq: row.seq,
             geometry: Geometry {
                 width: row.width * WIDTH_SCALE,
@@ -342,9 +603,13 @@ mod tests {
     #[test]
     fn complex_gates_patterns_arity() {
         let lib = standard_library();
-        for (name, arity) in
-            [("AOI21", 3), ("AOI22", 4), ("OAI21", 3), ("OAI22", 4), ("MUX21", 3)]
-        {
+        for (name, arity) in [
+            ("AOI21", 3),
+            ("AOI22", 4),
+            ("OAI21", 3),
+            ("OAI22", 4),
+            ("MUX21", 3),
+        ] {
             let c = lib.cell(lib.cell_id(name).unwrap());
             assert_eq!(c.inputs.len(), arity);
             assert_eq!(c.patterns[0].leaf_count(), arity, "{name}");

@@ -403,7 +403,10 @@ pub fn builtins() -> Vec<ComponentImpl> {
                 params: d
                     .params
                     .iter()
-                    .map(|&(name, default)| ParamSpec { name: name.to_string(), default })
+                    .map(|&(name, default)| ParamSpec {
+                        name: name.to_string(),
+                        default,
+                    })
                     .collect(),
                 connection,
                 description: d.description.to_string(),
@@ -448,8 +451,11 @@ mod tests {
             if !b.module.subfunctions.is_empty() {
                 continue;
             }
-            let params: Vec<(&str, i64)> =
-                b.params.iter().map(|p| (p.name.as_str(), p.default)).collect();
+            let params: Vec<(&str, i64)> = b
+                .params
+                .iter()
+                .map(|p| (p.name.as_str(), p.default))
+                .collect();
             let flat = expand(&b.module, &params, &NoModules)
                 .unwrap_or_else(|e| panic!("{} failed to expand: {e}", b.name));
             assert!(!flat.outputs.is_empty(), "{}", b.name);

@@ -74,8 +74,9 @@ impl Icdb {
         let candidates: Vec<&crate::library::ComponentImpl> =
             if let Some(name) = cmd.str_term("implementation") {
                 self.library.implementation(name).into_iter().collect()
-            } else if let Some(name) =
-                cmd.str_term("ICDB_components").or_else(|| cmd.str_term("ICDBcomponents"))
+            } else if let Some(name) = cmd
+                .str_term("ICDB_components")
+                .or_else(|| cmd.str_term("ICDBcomponents"))
             {
                 // A previously returned implementation name.
                 self.library.implementation(name).into_iter().collect()
@@ -211,15 +212,29 @@ impl Icdb {
             request.attributes = attrs.to_vec();
         }
         // Bare `size:4` terms also act as attributes (Appendix B §4 example).
-        for key in ["size", "shift_distance", "n", "type", "load", "enable", "up_or_down"] {
+        for key in [
+            "size",
+            "shift_distance",
+            "n",
+            "type",
+            "load",
+            "enable",
+            "up_or_down",
+        ] {
             if let Some(v) = cmd.int_term(key) {
                 request.attributes.push((key.to_string(), v.to_string()));
             }
         }
-        if let Some(cw) = cmd.real_term("clock_width").or_else(|| cmd.real_term("clk_width")) {
+        if let Some(cw) = cmd
+            .real_term("clock_width")
+            .or_else(|| cmd.real_term("clk_width"))
+        {
             request.constraints.clock_width = Some(cw);
         }
-        if let Some(su) = cmd.real_term("set_up_time").or_else(|| cmd.real_term("seq_delay")) {
+        if let Some(su) = cmd
+            .real_term("set_up_time")
+            .or_else(|| cmd.real_term("seq_delay"))
+        {
             request.constraints.set_up_time = Some(su);
         }
         match cmd.real_term("comb_delay") {
@@ -288,7 +303,10 @@ impl Icdb {
                 "shape_function" => resp.set(key, CqlValue::Str(self.shape_string(&name)?)),
                 "area" => resp.set(key, CqlValue::Str(self.area_string(&name)?)),
                 "function" | "functions" => {
-                    resp.set(key, CqlValue::StrList(self.instance(&name)?.functions.clone()));
+                    resp.set(
+                        key,
+                        CqlValue::StrList(self.instance(&name)?.functions.clone()),
+                    );
                 }
                 "VHDL_net_list" => resp.set(key, CqlValue::Str(self.vhdl_netlist(&name)?)),
                 "VHDL_head" => resp.set(key, CqlValue::Str(self.vhdl_head(&name)?)),
@@ -298,7 +316,10 @@ impl Icdb {
                     resp.set(key, CqlValue::Str(cif));
                 }
                 "clock_width" => {
-                    resp.set(key, CqlValue::Real(self.instance(&name)?.report.clock_width));
+                    resp.set(
+                        key,
+                        CqlValue::Real(self.instance(&name)?.report.clock_width),
+                    );
                 }
                 "power" => resp.set(key, CqlValue::Str(self.power_string(&name)?)),
                 other => {
@@ -318,11 +339,16 @@ impl Icdb {
             .str_term("IIF")
             .ok_or_else(|| IcdbError::Cql("insert_component needs IIF:%s".into()))?
             .to_string();
-        let component_type = cmd.str_term("component").unwrap_or("Logic_unit").to_string();
+        let component_type = cmd
+            .str_term("component")
+            .unwrap_or("Logic_unit")
+            .to_string();
         let functions: Vec<String> = cmd.list_term("function").unwrap_or_default();
         let function_refs: Vec<&str> = functions.iter().map(String::as_str).collect();
         let mut defaults = Vec::new();
-        if let Some(attrs) = cmd.attrs_term("parameter").or_else(|| cmd.attrs_term("attribute"))
+        if let Some(attrs) = cmd
+            .attrs_term("parameter")
+            .or_else(|| cmd.attrs_term("attribute"))
         {
             for (k, v) in attrs {
                 let value = v.parse::<i64>().map_err(|_| {
@@ -384,31 +410,35 @@ impl Icdb {
     /// filtered by accepted design-data format.
     fn exec_tool_query(&mut self, cmd: &Command) -> Result<Response, IcdbError> {
         let generators: Vec<String> = match cmd.str_term("accepts") {
-            Some(fmt) => self.tools.accepting(fmt).iter().map(|g| g.name.clone()).collect(),
+            Some(fmt) => self
+                .tools
+                .accepting(fmt)
+                .iter()
+                .map(|g| g.name.clone())
+                .collect(),
             None => self.tools.names().iter().map(|s| s.to_string()).collect(),
         };
         let mut resp = Response::new();
         for key in cmd.pending_keys() {
             match key {
-                "generators" | "generator" => {
-                    resp.set(key, CqlValue::StrList(generators.clone()))
-                }
+                "generators" | "generator" => resp.set(key, CqlValue::StrList(generators.clone())),
                 "steps" => {
                     let name = cmd.str_term("name").ok_or_else(|| {
                         IcdbError::Cql("tool_query steps:?s[] needs name:<generator>".into())
                     })?;
-                    let g = self.tools.generator(name).ok_or_else(|| {
-                        IcdbError::NotFound(format!("generator `{name}`"))
-                    })?;
+                    let g = self
+                        .tools
+                        .generator(name)
+                        .ok_or_else(|| IcdbError::NotFound(format!("generator `{name}`")))?;
                     resp.set(
                         key,
-                        CqlValue::StrList(
-                            g.steps.iter().map(|s| s.tool.clone()).collect(),
-                        ),
+                        CqlValue::StrList(g.steps.iter().map(|s| s.tool.clone()).collect()),
                     );
                 }
                 other => {
-                    return Err(IcdbError::Cql(format!("tool_query cannot answer `{other}`")))
+                    return Err(IcdbError::Cql(format!(
+                        "tool_query cannot answer `{other}`"
+                    )))
                 }
             }
         }

@@ -30,7 +30,9 @@ impl DesignManager {
     /// Fails if the design already exists.
     pub fn start_design(&mut self, name: &str) -> Result<(), IcdbError> {
         if self.designs.contains_key(name) {
-            return Err(IcdbError::Unsupported(format!("design `{name}` already exists")));
+            return Err(IcdbError::Unsupported(format!(
+                "design `{name}` already exists"
+            )));
         }
         self.designs.insert(name.to_string(), Design::default());
         Ok(())
@@ -144,11 +146,7 @@ impl Icdb {
     ///
     /// # Errors
     /// Fails on unknown designs/instances.
-    pub fn put_in_component_list(
-        &mut self,
-        design: &str,
-        instance: &str,
-    ) -> Result<(), IcdbError> {
+    pub fn put_in_component_list(&mut self, design: &str, instance: &str) -> Result<(), IcdbError> {
         if !self.instances.contains_key(instance) {
             return Err(IcdbError::NotFound(format!("instance `{instance}`")));
         }

@@ -39,10 +39,7 @@ pub struct ComponentInstance {
 impl ComponentInstance {
     /// Minimum-area estimate over the shape function (µm²).
     pub fn area(&self) -> f64 {
-        self.shape
-            .best_area()
-            .map(|a| a.area())
-            .unwrap_or(0.0)
+        self.shape.best_area().map(|a| a.area()).unwrap_or(0.0)
     }
 
     /// The paper's area/delay pair for trade-off plots: (delay of the

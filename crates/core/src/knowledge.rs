@@ -43,11 +43,15 @@ impl Icdb {
                         module.name
                     ))
                 })?;
-            params.push(ParamSpec { name: p.clone(), default });
+            params.push(ParamSpec {
+                name: p.clone(),
+                default,
+            });
         }
         let connection = match connection_text {
-            Some(text) => ConnectionTable::parse(text)
-                .map_err(|e| IcdbError::Unsupported(e.to_string()))?,
+            Some(text) => {
+                ConnectionTable::parse(text).map_err(|e| IcdbError::Unsupported(e.to_string()))?
+            }
             None => ConnectionTable::default(),
         };
         let name = module.name.clone();
@@ -102,8 +106,7 @@ impl Icdb {
                 }
             }
         }
-        let inputs_upper: Vec<String> =
-            components.iter().map(|c| c.to_ascii_uppercase()).collect();
+        let inputs_upper: Vec<String> = components.iter().map(|c| c.to_ascii_uppercase()).collect();
         Ok(self
             .library
             .by_functions(&union)

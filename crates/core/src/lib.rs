@@ -43,6 +43,8 @@
 //! # }
 //! ```
 
+#![deny(rustdoc::broken_intra_doc_links)]
+
 mod builtin;
 mod cql;
 mod designs;
@@ -156,7 +158,11 @@ mod tests {
             .attribute("load", "1");
         let name = icdb.request_component(&req).unwrap();
         let inst = icdb.instance(&name).unwrap();
-        assert!(inst.netlist.gates.len() > 20, "{} gates", inst.netlist.gates.len());
+        assert!(
+            inst.netlist.gates.len() > 20,
+            "{} gates",
+            inst.netlist.gates.len()
+        );
         assert!(inst.report.clock_width > 0.0);
         let delay = icdb.delay_string(&name).unwrap();
         assert!(delay.contains("CW "), "{delay}");
@@ -189,7 +195,9 @@ mod tests {
             &mut args,
         )
         .unwrap();
-        let CqlArg::OutStr(Some(name)) = &args[1] else { panic!("no instance name") };
+        let CqlArg::OutStr(Some(name)) = &args[1] else {
+            panic!("no instance name")
+        };
         // Instance query for delay + shape (the §3.3 query).
         let mut args2 = vec![
             CqlArg::InStr(name.clone()),
@@ -201,9 +209,13 @@ mod tests {
             &mut args2,
         )
         .unwrap();
-        let CqlArg::OutStr(Some(delay)) = &args2[1] else { panic!() };
+        let CqlArg::OutStr(Some(delay)) = &args2[1] else {
+            panic!()
+        };
         assert!(delay.contains("CW "));
-        let CqlArg::OutStr(Some(shape)) = &args2[2] else { panic!() };
+        let CqlArg::OutStr(Some(shape)) = &args2[2] else {
+            panic!()
+        };
         assert!(shape.contains("Alternative="));
     }
 
@@ -217,7 +229,9 @@ mod tests {
             &mut args,
         )
         .unwrap();
-        let CqlArg::OutStrList(Some(counters)) = &args[0] else { panic!() };
+        let CqlArg::OutStrList(Some(counters)) = &args[0] else {
+            panic!()
+        };
         assert!(counters.contains(&"COUNTER".to_string()), "{counters:?}");
 
         let mut args = vec![CqlArg::OutStrList(None)];
@@ -226,10 +240,15 @@ mod tests {
             &mut args,
         )
         .unwrap();
-        let CqlArg::OutStrList(Some(impls)) = &args[0] else { panic!() };
+        let CqlArg::OutStrList(Some(impls)) = &args[0] else {
+            panic!()
+        };
         assert!(impls.contains(&"ADDSUB".to_string()), "{impls:?}");
         assert!(impls.contains(&"ALU".to_string()), "{impls:?}");
-        assert!(!impls.contains(&"ADDER".to_string()), "ADD∧SUB excludes plain adder");
+        assert!(
+            !impls.contains(&"ADDER".to_string()),
+            "ADD∧SUB excludes plain adder"
+        );
     }
 
     #[test]

@@ -47,8 +47,11 @@ impl ComponentImpl {
         &self,
         attributes: &[(String, String)],
     ) -> Result<Vec<(String, i64)>, IcdbError> {
-        let mut values: Vec<(String, i64)> =
-            self.params.iter().map(|p| (p.name.clone(), p.default)).collect();
+        let mut values: Vec<(String, i64)> = self
+            .params
+            .iter()
+            .map(|p| (p.name.clone(), p.default))
+            .collect();
         for (key, value) in attributes {
             let slot = values.iter_mut().find(|(n, _)| n == key).ok_or_else(|| {
                 IcdbError::Unsupported(format!(
@@ -83,9 +86,8 @@ fn parse_attr_value(key: &str, value: &str) -> Result<i64, IcdbError> {
         (_, "false" | "no" | "off") => Some(0),
         _ => None,
     };
-    symbolic.ok_or_else(|| {
-        IcdbError::Unsupported(format!("cannot interpret attribute {key}:{value}"))
-    })
+    symbolic
+        .ok_or_else(|| IcdbError::Unsupported(format!("cannot interpret attribute {key}:{value}")))
 }
 
 /// The knowledge base of implementations, indexed by name, component type
@@ -111,7 +113,8 @@ impl GenericComponentLibrary {
     pub fn standard() -> Self {
         let mut lib = GenericComponentLibrary::new();
         for b in crate::builtin::builtins() {
-            lib.insert(b).expect("builtin implementations are well-formed");
+            lib.insert(b)
+                .expect("builtin implementations are well-formed");
         }
         lib
     }
@@ -146,7 +149,9 @@ impl GenericComponentLibrary {
             return Some(&self.impls[i]);
         }
         let up = name.to_ascii_uppercase();
-        self.impls.iter().find(|c| c.name.to_ascii_uppercase() == up)
+        self.impls
+            .iter()
+            .find(|c| c.name.to_ascii_uppercase() == up)
     }
 
     /// All implementations of a component type (`counter` → the counters).
@@ -165,11 +170,9 @@ impl GenericComponentLibrary {
         self.impls
             .iter()
             .filter(|c| {
-                functions.iter().all(|f| {
-                    c.functions
-                        .iter()
-                        .any(|cf| cf.eq_ignore_ascii_case(f))
-                })
+                functions
+                    .iter()
+                    .all(|f| c.functions.iter().any(|cf| cf.eq_ignore_ascii_case(f)))
             })
             .collect()
     }
@@ -204,9 +207,24 @@ mod tests {
     fn standard_library_loads_all_builtins() {
         let lib = GenericComponentLibrary::standard();
         for name in [
-            "COUNTER", "RIPPLE_COUNTER", "ADDER", "ADDSUB", "REGISTER", "INCREMENTER",
-            "COMPARATOR", "SHL0", "MUX", "DECODER", "ENCODER", "LOGIC_UNIT", "ALU",
-            "SHIFT_REGISTER", "TRISTATE_DRIVER", "PARITY", "AND_GATE", "OR_GATE",
+            "COUNTER",
+            "RIPPLE_COUNTER",
+            "ADDER",
+            "ADDSUB",
+            "REGISTER",
+            "INCREMENTER",
+            "COMPARATOR",
+            "SHL0",
+            "MUX",
+            "DECODER",
+            "ENCODER",
+            "LOGIC_UNIT",
+            "ALU",
+            "SHIFT_REGISTER",
+            "TRISTATE_DRIVER",
+            "PARITY",
+            "AND_GATE",
+            "OR_GATE",
         ] {
             assert!(lib.implementation(name).is_some(), "missing builtin {name}");
         }
@@ -225,8 +243,7 @@ mod tests {
         let lib = GenericComponentLibrary::standard();
         // The §4.1 example: COUNTER ∧ STORAGE finds the counter but not the
         // plain register.
-        let both =
-            lib.by_functions(&["COUNTER".to_string(), "STORAGE".to_string()]);
+        let both = lib.by_functions(&["COUNTER".to_string(), "STORAGE".to_string()]);
         assert!(both.iter().any(|c| c.name == "COUNTER"));
         assert!(!both.iter().any(|c| c.name == "REGISTER"));
         // STORAGE alone returns both counter and register.

@@ -26,12 +26,13 @@ impl Icdb {
     /// # Errors
     /// Propagates failures from any stage of the generation path and
     /// reports unknown implementations/components as [`IcdbError::NotFound`].
-    pub fn request_component(
-        &mut self,
-        request: &ComponentRequest,
-    ) -> Result<String, IcdbError> {
+    pub fn request_component(&mut self, request: &ComponentRequest) -> Result<String, IcdbError> {
         let (netlist, implementation, functions, params, connection) = match &request.source {
-            Source::Library { component_name, implementation, functions } => {
+            Source::Library {
+                component_name,
+                implementation,
+                functions,
+            } => {
                 let imp = self
                     .resolve_implementation(
                         component_name.as_deref(),
@@ -84,7 +85,13 @@ impl Icdb {
             }
             Source::VhdlNetlist(text) => {
                 let netlist = self.flatten_cluster(text)?;
-                (netlist, "cluster".to_string(), Vec::new(), Vec::new(), Default::default())
+                (
+                    netlist,
+                    "cluster".to_string(),
+                    Vec::new(),
+                    Vec::new(),
+                    Default::default(),
+                )
             }
         };
 
@@ -198,8 +205,7 @@ impl Icdb {
             })?;
             // Map the sub-instance's port nets onto cluster nets via the
             // port map (formals accept raw or VHDL-sanitized names).
-            let mut mapping: Vec<Option<icdb_logic::GNet>> =
-                vec![None; sub.netlist.net_count()];
+            let mut mapping: Vec<Option<icdb_logic::GNet>> = vec![None; sub.netlist.net_count()];
             for (formal, actual) in &inst.port_map {
                 let port = sub
                     .netlist
@@ -242,7 +248,12 @@ impl Icdb {
                     .map(|&n| map_net(&mut mapping, &mut out, n))
                     .collect();
                 let output = map_net(&mut mapping, &mut out, g.output);
-                out.gates.push(Gate { cell: g.cell, inputs, output, size: g.size });
+                out.gates.push(Gate {
+                    cell: g.cell,
+                    inputs,
+                    output,
+                    size: g.size,
+                });
             }
         }
         out.validate(&self.cells)
@@ -270,19 +281,19 @@ impl Icdb {
             .ok_or_else(|| IcdbError::NotFound(format!("instance `{instance}`")))?;
         let strips = match alternative {
             Some(a) => {
-                let alt = inst.shape.alternatives.get(a.saturating_sub(1)).ok_or_else(|| {
-                    IcdbError::Layout(format!(
-                        "instance `{instance}` has {} shape alternatives, not {a}",
-                        inst.shape.alternatives.len()
-                    ))
-                })?;
+                let alt = inst
+                    .shape
+                    .alternatives
+                    .get(a.saturating_sub(1))
+                    .ok_or_else(|| {
+                        IcdbError::Layout(format!(
+                            "instance `{instance}` has {} shape alternatives, not {a}",
+                            inst.shape.alternatives.len()
+                        ))
+                    })?;
                 alt.strips
             }
-            None => inst
-                .shape
-                .best_area()
-                .map(|a| a.strips)
-                .unwrap_or(1),
+            None => inst.shape.best_area().map(|a| a.strips).unwrap_or(1),
         };
         let spec = match port_positions {
             Some(text) => PortSpec::parse(text)?,
@@ -305,8 +316,10 @@ impl Icdb {
         let layout = place(&inst.netlist, &self.cells, strips, &spec)?;
         let cif = to_cif(&layout);
         let art = to_ascii(&layout, 100);
-        self.files.write(format!("instances/{instance}.cif"), cif.clone());
-        self.files.write(format!("instances/{instance}.layout.txt"), art);
+        self.files
+            .write(format!("instances/{instance}.cif"), cif.clone());
+        self.files
+            .write(format!("instances/{instance}.layout.txt"), art);
         self.instances
             .get_mut(instance)
             .expect("checked above")
@@ -362,8 +375,16 @@ impl Icdb {
     pub(crate) fn delete_instance(&mut self, name: &str) {
         if self.instances.remove(name).is_some() {
             self.instance_order.retain(|n| n != name);
-            for suffix in ["iif", "milo", "vhdl", "vhdl_head", "delay", "shape", "cif", "layout.txt"]
-            {
+            for suffix in [
+                "iif",
+                "milo",
+                "vhdl",
+                "vhdl_head",
+                "delay",
+                "shape",
+                "cif",
+                "layout.txt",
+            ] {
                 self.files.remove(&format!("instances/{name}.{suffix}"));
             }
             let _ = self
@@ -450,19 +471,25 @@ impl Icdb {
             ],
         )?;
         if let Some(flat) = self.last_flat_iif.take() {
-            self.files.write(format!("instances/{}.iif", inst.name), flat);
+            self.files
+                .write(format!("instances/{}.iif", inst.name), flat);
         }
         if let Some(milo) = self.last_milo.take() {
-            self.files.write(format!("instances/{}.milo", inst.name), milo);
+            self.files
+                .write(format!("instances/{}.milo", inst.name), milo);
         }
         self.files.write(
             format!("instances/{}.vhdl", inst.name),
             emit_netlist(&inst.netlist, &self.cells),
         );
-        self.files
-            .write(format!("instances/{}.vhdl_head", inst.name), emit_entity(&inst.netlist));
-        self.files
-            .write(format!("instances/{}.delay", inst.name), inst.report.to_string());
+        self.files.write(
+            format!("instances/{}.vhdl_head", inst.name),
+            emit_entity(&inst.netlist),
+        );
+        self.files.write(
+            format!("instances/{}.delay", inst.name),
+            inst.report.to_string(),
+        );
         self.files.write(
             format!("instances/{}.shape", inst.name),
             inst.shape.to_alternative_format(),

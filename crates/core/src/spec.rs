@@ -174,7 +174,11 @@ impl ComponentRequest {
     /// A request for any component executing all `functions`.
     pub fn by_functions(functions: Vec<String>) -> ComponentRequest {
         let mut r = ComponentRequest::by_component("");
-        r.source = Source::Library { component_name: None, implementation: None, functions };
+        r.source = Source::Library {
+            component_name: None,
+            implementation: None,
+            functions,
+        };
         r
     }
 
@@ -236,10 +240,8 @@ mod tests {
     #[test]
     fn parses_paper_constraint_text() {
         let mut c = Constraints::default();
-        c.parse_delay_text(
-            "rdelay Q[4] 10\nrdelay Q[3] 10\noload Q[4] 10\noload Q[3] 10",
-        )
-        .unwrap();
+        c.parse_delay_text("rdelay Q[4] 10\nrdelay Q[3] 10\noload Q[4] 10\noload Q[3] 10")
+            .unwrap();
         assert_eq!(c.rdelay.len(), 2);
         assert_eq!(c.oload.len(), 2);
         let loads = c.load_spec();

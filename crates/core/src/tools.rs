@@ -55,12 +55,30 @@ impl ToolManager {
             name: "embedded-milo".into(),
             accepts: "iif".into(),
             steps: vec![
-                ToolStep { step: 1, tool: "iif-expander".into() },
-                ToolStep { step: 2, tool: "milo-optimizer".into() },
-                ToolStep { step: 3, tool: "milo-mapper".into() },
-                ToolStep { step: 4, tool: "transistor-sizer".into() },
-                ToolStep { step: 5, tool: "delay-estimator".into() },
-                ToolStep { step: 6, tool: "area-estimator".into() },
+                ToolStep {
+                    step: 1,
+                    tool: "iif-expander".into(),
+                },
+                ToolStep {
+                    step: 2,
+                    tool: "milo-optimizer".into(),
+                },
+                ToolStep {
+                    step: 3,
+                    tool: "milo-mapper".into(),
+                },
+                ToolStep {
+                    step: 4,
+                    tool: "transistor-sizer".into(),
+                },
+                ToolStep {
+                    step: 5,
+                    tool: "delay-estimator".into(),
+                },
+                ToolStep {
+                    step: 6,
+                    tool: "area-estimator".into(),
+                },
             ],
             description: "embedded IIF → gate netlist path with estimates".into(),
         })
@@ -69,8 +87,14 @@ impl ToolManager {
             name: "embedded-les".into(),
             accepts: "netlist".into(),
             steps: vec![
-                ToolStep { step: 1, tool: "strip-placer".into() },
-                ToolStep { step: 2, tool: "cif-writer".into() },
+                ToolStep {
+                    step: 1,
+                    tool: "strip-placer".into(),
+                },
+                ToolStep {
+                    step: 2,
+                    tool: "cif-writer".into(),
+                },
             ],
             description: "embedded strip layout generator (CIF output)".into(),
         })
@@ -79,9 +103,18 @@ impl ToolManager {
             name: "cluster-estimator".into(),
             accepts: "vhdl".into(),
             steps: vec![
-                ToolStep { step: 1, tool: "vhdl-flattener".into() },
-                ToolStep { step: 2, tool: "delay-estimator".into() },
-                ToolStep { step: 3, tool: "area-estimator".into() },
+                ToolStep {
+                    step: 1,
+                    tool: "vhdl-flattener".into(),
+                },
+                ToolStep {
+                    step: 2,
+                    tool: "delay-estimator".into(),
+                },
+                ToolStep {
+                    step: 3,
+                    tool: "area-estimator".into(),
+                },
             ],
             description: "VHDL-cluster flattening and estimation for the partitioner".into(),
         })
@@ -154,7 +187,10 @@ mod tests {
     #[test]
     fn standard_generators_present() {
         let m = ToolManager::standard();
-        assert_eq!(m.names(), vec!["cluster-estimator", "embedded-les", "embedded-milo"]);
+        assert_eq!(
+            m.names(),
+            vec!["cluster-estimator", "embedded-les", "embedded-milo"]
+        );
         let milo = m.generator("embedded-milo").unwrap();
         assert_eq!(milo.steps.len(), 6);
         assert_eq!(milo.steps[0].tool, "iif-expander");
@@ -193,7 +229,10 @@ mod tests {
             .register(GeneratorInfo {
                 name: "gapped".into(),
                 accepts: "iif".into(),
-                steps: vec![ToolStep { step: 2, tool: "x".into() }],
+                steps: vec![ToolStep {
+                    step: 2,
+                    tool: "x".into()
+                }],
                 description: String::new(),
             })
             .is_err());
@@ -201,8 +240,14 @@ mod tests {
             name: "custom".into(),
             accepts: "iif".into(),
             steps: vec![
-                ToolStep { step: 1, tool: "estimate".into() },
-                ToolStep { step: 2, tool: "layout".into() },
+                ToolStep {
+                    step: 1,
+                    tool: "estimate".into(),
+                },
+                ToolStep {
+                    step: 2,
+                    tool: "layout".into(),
+                },
             ],
             description: "custom flow".into(),
         })

@@ -42,6 +42,8 @@
 //! assert_eq!(args[1], CqlArg::OutStr(Some("counter$1".into())));
 //! ```
 
+#![deny(rustdoc::broken_intra_doc_links)]
+
 use std::collections::HashMap;
 use std::fmt;
 
@@ -187,53 +189,70 @@ impl fmt::Display for CqlError {
 impl std::error::Error for CqlError {}
 
 fn cerr(message: impl Into<String>) -> CqlError {
-    CqlError { message: message.into() }
+    CqlError {
+        message: message.into(),
+    }
 }
 
 impl Command {
     /// Value of a term as text (scalars and numbers render to text).
     pub fn str_term(&self, key: &str) -> Option<&str> {
-        self.terms.iter().find(|t| t.key == key).and_then(|t| match &t.value {
-            CqlValue::Str(s) => Some(s.as_str()),
-            _ => None,
-        })
+        self.terms
+            .iter()
+            .find(|t| t.key == key)
+            .and_then(|t| match &t.value {
+                CqlValue::Str(s) => Some(s.as_str()),
+                _ => None,
+            })
     }
 
     /// Value of a term as an integer.
     pub fn int_term(&self, key: &str) -> Option<i64> {
-        self.terms.iter().find(|t| t.key == key).and_then(|t| match &t.value {
-            CqlValue::Int(v) => Some(*v),
-            CqlValue::Str(s) => s.parse().ok(),
-            _ => None,
-        })
+        self.terms
+            .iter()
+            .find(|t| t.key == key)
+            .and_then(|t| match &t.value {
+                CqlValue::Int(v) => Some(*v),
+                CqlValue::Str(s) => s.parse().ok(),
+                _ => None,
+            })
     }
 
     /// Value of a term as a real.
     pub fn real_term(&self, key: &str) -> Option<f64> {
-        self.terms.iter().find(|t| t.key == key).and_then(|t| match &t.value {
-            CqlValue::Real(v) => Some(*v),
-            CqlValue::Int(v) => Some(*v as f64),
-            CqlValue::Str(s) => s.parse().ok(),
-            _ => None,
-        })
+        self.terms
+            .iter()
+            .find(|t| t.key == key)
+            .and_then(|t| match &t.value {
+                CqlValue::Real(v) => Some(*v),
+                CqlValue::Int(v) => Some(*v as f64),
+                CqlValue::Str(s) => s.parse().ok(),
+                _ => None,
+            })
     }
 
     /// Name-list term (`function:(INC,DEC)`), accepting single scalars as
     /// one-element lists.
     pub fn list_term(&self, key: &str) -> Option<Vec<String>> {
-        self.terms.iter().find(|t| t.key == key).and_then(|t| match &t.value {
-            CqlValue::List(v) => Some(v.clone()),
-            CqlValue::Str(s) => Some(vec![s.clone()]),
-            _ => None,
-        })
+        self.terms
+            .iter()
+            .find(|t| t.key == key)
+            .and_then(|t| match &t.value {
+                CqlValue::List(v) => Some(v.clone()),
+                CqlValue::Str(s) => Some(vec![s.clone()]),
+                _ => None,
+            })
     }
 
     /// Attribute-list term (`attribute:(size:5)`).
     pub fn attrs_term(&self, key: &str) -> Option<&[(String, String)]> {
-        self.terms.iter().find(|t| t.key == key).and_then(|t| match &t.value {
-            CqlValue::Attrs(v) => Some(v.as_slice()),
-            _ => None,
-        })
+        self.terms
+            .iter()
+            .find(|t| t.key == key)
+            .and_then(|t| match &t.value {
+                CqlValue::Attrs(v) => Some(v.as_slice()),
+                _ => None,
+            })
     }
 
     /// Whether a term is present at all.
@@ -257,10 +276,7 @@ impl Command {
 /// # Errors
 /// Fails on missing `command:` term, malformed terms, slot/argument type
 /// mismatches, or too few arguments.
-pub fn parse_command(
-    text: &str,
-    args: &[CqlArg],
-) -> Result<(Command, Vec<OutBinding>), CqlError> {
+pub fn parse_command(text: &str, args: &[CqlArg]) -> Result<(Command, Vec<OutBinding>), CqlError> {
     let mut name = None;
     let mut terms = Vec::new();
     let mut outs = Vec::new();
@@ -286,7 +302,11 @@ pub fn parse_command(
                 arg_cursor += 1;
                 v
             } else {
-                outs.push(OutBinding { key: key.clone(), arg_index: arg_cursor, spec });
+                outs.push(OutBinding {
+                    key: key.clone(),
+                    arg_index: arg_cursor,
+                    spec,
+                });
                 arg_cursor += 1;
                 CqlValue::Pending(spec)
             }
@@ -391,9 +411,7 @@ fn parse_slot(text: &str) -> Result<Option<SlotSpec>, CqlError> {
 
 fn substitute_input(key: &str, spec: SlotSpec, arg: &CqlArg) -> Result<CqlValue, CqlError> {
     match (spec.ty, spec.array, arg) {
-        (SlotType::Str | SlotType::File, false, CqlArg::InStr(s)) => {
-            Ok(CqlValue::Str(s.clone()))
-        }
+        (SlotType::Str | SlotType::File, false, CqlArg::InStr(s)) => Ok(CqlValue::Str(s.clone())),
         (SlotType::Int, false, CqlArg::InInt(v)) => Ok(CqlValue::Int(*v)),
         (SlotType::Real, false, CqlArg::InReal(v)) => Ok(CqlValue::Real(*v)),
         (SlotType::Real, false, CqlArg::InInt(v)) => Ok(CqlValue::Real(*v as f64)),
@@ -469,7 +487,10 @@ mod tests {
         .unwrap();
         assert_eq!(cmd.name, "request_component");
         assert_eq!(cmd.str_term("component_name"), Some("counter"));
-        assert_eq!(cmd.attrs_term("attribute").unwrap()[0], ("size".into(), "5".into()));
+        assert_eq!(
+            cmd.attrs_term("attribute").unwrap()[0],
+            ("size".into(), "5".into())
+        );
         assert_eq!(cmd.list_term("function").unwrap(), vec!["INC"]);
         assert_eq!(cmd.int_term("clock_width"), Some(30));
         assert_eq!(outs.len(), 1);
@@ -533,9 +554,7 @@ mod tests {
         assert!(parse_command("command:x; y:%q", &[CqlArg::InStr("a".into())]).is_err());
         assert!(parse_command("command:x; y:%s", &[]).is_err());
         // Type mismatch: %d slot with a string arg.
-        assert!(
-            parse_command("command:x; y:%d", &[CqlArg::InStr("not an int".into())]).is_err()
-        );
+        assert!(parse_command("command:x; y:%d", &[CqlArg::InStr("not an int".into())]).is_err());
     }
 
     #[test]
@@ -551,11 +570,7 @@ mod tests {
 
     #[test]
     fn semicolons_inside_parens_do_not_split() {
-        let (cmd, _) = parse_command(
-            "command:x; attribute:(a:1,b:2); z:done",
-            &[],
-        )
-        .unwrap();
+        let (cmd, _) = parse_command("command:x; attribute:(a:1,b:2); z:done", &[]).unwrap();
         assert_eq!(cmd.attrs_term("attribute").unwrap().len(), 2);
         assert_eq!(cmd.str_term("z"), Some("done"));
     }

@@ -116,7 +116,9 @@ pub fn estimate_area(
     strips: usize,
 ) -> Result<ShapeAlternative, EstimateError> {
     if strips == 0 {
-        return Err(EstimateError { message: "strip count must be at least 1".into() });
+        return Err(EstimateError {
+            message: "strip count must be at least 1".into(),
+        });
     }
     let widths: Vec<f64> = nl
         .gates
@@ -125,7 +127,9 @@ pub fn estimate_area(
         .filter(|w| *w > 0.0)
         .collect();
     if widths.is_empty() {
-        return Err(EstimateError { message: format!("netlist `{}` has no cells", nl.name) });
+        return Err(EstimateError {
+            message: format!("netlist `{}` has no cells", nl.name),
+        });
     }
     let n = widths.len();
     let strips = strips.min(n);
@@ -192,7 +196,11 @@ pub fn estimate_area(
     let height = strips as f64 * (TECH.transistor_height + tracks_per_strip * TECH.track_pitch)
         + (strips + 1) as f64 * TECH.rail_height;
 
-    Ok(ShapeAlternative { strips, width, height })
+    Ok(ShapeAlternative {
+        strips,
+        width,
+        height,
+    })
 }
 
 /// Track utilization constant as a function of cells per strip (obtained
@@ -217,7 +225,9 @@ pub fn estimate_shape(
         .filter(|g| lib.cell(g.cell).geometry.width > 0.0)
         .count();
     if n == 0 {
-        return Err(EstimateError { message: format!("netlist `{}` has no cells", nl.name) });
+        return Err(EstimateError {
+            message: format!("netlist `{}` has no cells", nl.name),
+        });
     }
     let upper = max_strips.max(1).min(n);
     let mut alternatives = Vec::new();
@@ -236,7 +246,9 @@ pub fn estimate_shape(
         }
         filtered.push(alt);
     }
-    Ok(ShapeFunction { alternatives: filtered })
+    Ok(ShapeFunction {
+        alternatives: filtered,
+    })
 }
 
 #[cfg(test)]
@@ -294,7 +306,11 @@ VARIABLE: i;
             let m = icdb_iif::parse(ADDER).unwrap();
             let flat = icdb_iif::expand(&m, &[("size", size)], &icdb_iif::NoModules).unwrap();
             let nl = synthesize(&flat, &lib, &Default::default()).unwrap();
-            let best = estimate_shape(&nl, &lib, 6).unwrap().best_area().unwrap().area();
+            let best = estimate_shape(&nl, &lib, 6)
+                .unwrap()
+                .best_area()
+                .unwrap()
+                .area();
             areas.push(best);
         }
         assert!(areas[0] < areas[1] && areas[1] < areas[2], "{areas:?}");

@@ -29,7 +29,10 @@ pub struct LoadSpec {
 impl LoadSpec {
     /// Uniform load on every output.
     pub fn uniform(load: f64) -> LoadSpec {
-        LoadSpec { default_output_load: load, per_output: HashMap::new() }
+        LoadSpec {
+            default_output_load: load,
+            per_output: HashMap::new(),
+        }
     }
 
     /// Load seen by a given output port.
@@ -119,11 +122,8 @@ impl std::error::Error for EstimateError {}
 /// Per-gate output delay under the current sizing and loading.
 pub fn gate_delays(nl: &GateNetlist, lib: &Library, loads: &LoadSpec) -> Vec<f64> {
     let fanouts = nl.fanouts();
-    let output_names: HashMap<GNet, &str> = nl
-        .outputs
-        .iter()
-        .map(|&o| (o, nl.net_name(o)))
-        .collect();
+    let output_names: HashMap<GNet, &str> =
+        nl.outputs.iter().map(|&o| (o, nl.net_name(o))).collect();
     nl.gates
         .iter()
         .map(|g| {
@@ -267,7 +267,13 @@ pub fn estimate_delay(
     }
 
     let critical_path = arr_all.values().copied().fold(0.0, f64::max);
-    Ok(DelayReport { clock_width, output_delays, setup_times, comb_delays, critical_path })
+    Ok(DelayReport {
+        clock_width,
+        output_delays,
+        setup_times,
+        comb_delays,
+        critical_path,
+    })
 }
 
 /// Longest-path arrival propagation over the combinational gates.
@@ -313,10 +319,7 @@ mod tests {
 
     #[test]
     fn combinational_component_has_no_clock_width() {
-        let (nl, lib) = netlist(
-            "NAME: C; INORDER: A, B; OUTORDER: O; { O = A * B; }",
-            &[],
-        );
+        let (nl, lib) = netlist("NAME: C; INORDER: A, B; OUTORDER: O; { O = A * B; }", &[]);
         let r = estimate_delay(&nl, &lib, &LoadSpec::uniform(10.0)).unwrap();
         assert_eq!(r.clock_width, 0.0);
         assert!(r.output_delay("O").unwrap() > 0.0);
@@ -330,8 +333,15 @@ mod tests {
             &[],
         );
         let r = estimate_delay(&nl, &lib, &LoadSpec::uniform(10.0)).unwrap();
-        assert!(r.clock_width >= 6.0, "bounded by min pulse: {}", r.clock_width);
-        assert!(r.output_delay("Q").unwrap() >= 3.0, "clk-to-q at least intrinsic");
+        assert!(
+            r.clock_width >= 6.0,
+            "bounded by min pulse: {}",
+            r.clock_width
+        );
+        assert!(
+            r.output_delay("Q").unwrap() >= 3.0,
+            "clk-to-q at least intrinsic"
+        );
         let sd = r.setup_time("D").unwrap();
         assert!(sd >= 2.0, "setup at least the FF's: {sd}");
     }
@@ -362,7 +372,10 @@ VARIABLE: i;
             let r = estimate_delay(&nl, &lib, &LoadSpec::uniform(10.0)).unwrap();
             cws.push(r.clock_width);
         }
-        assert!(cws[0] < cws[1] && cws[1] < cws[2], "carry chain grows CW: {cws:?}");
+        assert!(
+            cws[0] < cws[1] && cws[1] < cws[2],
+            "carry chain grows CW: {cws:?}"
+        );
     }
 
     #[test]

@@ -30,12 +30,12 @@
 //! # }
 //! ```
 
+#![deny(rustdoc::broken_intra_doc_links)]
+
 mod area;
 mod delay;
 mod power;
 
-pub use area::{
-    estimate_area, estimate_shape, track_utilization, ShapeAlternative, ShapeFunction,
-};
+pub use area::{estimate_area, estimate_shape, track_utilization, ShapeAlternative, ShapeFunction};
 pub use delay::{estimate_delay, gate_delays, DelayReport, EstimateError, LoadSpec};
 pub use power::{estimate_power, PowerReport, PowerSpec};

@@ -242,16 +242,27 @@ mod tests {
         let slow = estimate_power(
             &nl,
             &lib,
-            &PowerSpec { frequency_mhz: 10.0, ..PowerSpec::default() },
+            &PowerSpec {
+                frequency_mhz: 10.0,
+                ..PowerSpec::default()
+            },
         )
         .unwrap();
         let fast = estimate_power(
             &nl,
             &lib,
-            &PowerSpec { frequency_mhz: 40.0, ..PowerSpec::default() },
+            &PowerSpec {
+                frequency_mhz: 40.0,
+                ..PowerSpec::default()
+            },
         )
         .unwrap();
-        assert!(fast.total_uw > slow.total_uw * 3.5, "{} vs {}", fast.total_uw, slow.total_uw);
+        assert!(
+            fast.total_uw > slow.total_uw * 3.5,
+            "{} vs {}",
+            fast.total_uw,
+            slow.total_uw
+        );
     }
 
     #[test]
@@ -263,13 +274,19 @@ mod tests {
         let busy = estimate_power(
             &nl,
             &lib,
-            &PowerSpec { input_activity: 0.9, ..PowerSpec::default() },
+            &PowerSpec {
+                input_activity: 0.9,
+                ..PowerSpec::default()
+            },
         )
         .unwrap();
         let quiet = estimate_power(
             &nl,
             &lib,
-            &PowerSpec { input_activity: 0.05, ..PowerSpec::default() },
+            &PowerSpec {
+                input_activity: 0.05,
+                ..PowerSpec::default()
+            },
         )
         .unwrap();
         assert!(quiet.total_uw < busy.total_uw * 0.3);
@@ -291,7 +308,11 @@ OUTORDER: O[size], Cout; PIIFVARIABLE: C[size+1]; VARIABLE: i;
             let m = icdb_iif::parse(src).unwrap();
             let flat = icdb_iif::expand(&m, &[("size", size)], &icdb_iif::NoModules).unwrap();
             let nl = synthesize(&flat, &lib, &Default::default()).unwrap();
-            watts.push(estimate_power(&nl, &lib, &PowerSpec::default()).unwrap().total_uw);
+            watts.push(
+                estimate_power(&nl, &lib, &PowerSpec::default())
+                    .unwrap()
+                    .total_uw,
+            );
         }
         assert!(watts[1] > watts[0] * 2.0, "{watts:?}");
     }

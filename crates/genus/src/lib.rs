@@ -2,7 +2,7 @@
 //!
 //! ICDB classifies and retrieves components "by either a component type or
 //! the functions they perform" (paper §4.1), deferring the vocabulary to
-//! the GENUS generic component library [Dutt88]. This crate encodes the
+//! the GENUS generic component library \[Dutt88\]. This crate encodes the
 //! subset the paper itself enumerates (Appendix B §2–§3):
 //!
 //! * [`Function`] — the micro-architecture operations (`ADD`, `INC`,
@@ -16,6 +16,19 @@
 //!   `input_latch`, `output_type`, …) with defaults;
 //! * [`ConnectionTable`] — the "how to invoke function F on this
 //!   component" tables (`## function INC … ** DWUP 0`).
+//!
+//! ```
+//! use icdb_genus::{ConnectionTable, Function};
+//!
+//! let table = ConnectionTable::parse(
+//!     "## function INC\nO0 is Q\n** DWUP 0\n** CLK 1 edge_trigger\n",
+//! ).unwrap();
+//! assert!(table.to_paper_format().contains("** DWUP 0"));
+//! assert_eq!(Function::Inc.name(), "INC");
+//! assert_eq!("INC".parse::<Function>().unwrap(), Function::Inc);
+//! ```
+
+#![deny(rustdoc::broken_intra_doc_links)]
 
 use std::collections::BTreeMap;
 use std::fmt;
@@ -26,30 +39,73 @@ use std::str::FromStr;
 #[allow(missing_docs)] // the variants are the vocabulary itself
 pub enum Function {
     // Logic operations.
-    And, Or, Not, Nand, Nor, Xor, Xnor,
+    And,
+    Or,
+    Not,
+    Nand,
+    Nor,
+    Xor,
+    Xnor,
     // Arithmetic.
-    Add, Sub, Mul, Div, Inc, Dec,
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Inc,
+    Dec,
     // Relations.
-    Eq, Neq, Gt, Ge, Lt, Le,
+    Eq,
+    Neq,
+    Gt,
+    Ge,
+    Lt,
+    Le,
     // Selection.
-    MuxScl, MuxScg,
+    MuxScl,
+    MuxScg,
     // Shifts and rotates.
-    Shl1, Shr1, RotL1, RotR1, AShl1, AShr1, Shl, Shr, RotL, RotR, AShl, AShr,
+    Shl1,
+    Shr1,
+    RotL1,
+    RotR1,
+    AShl1,
+    AShr1,
+    Shl,
+    Shr,
+    RotL,
+    RotR,
+    AShl,
+    AShr,
     // Coding.
-    Encode, Decode,
+    Encode,
+    Decode,
     // Interface.
-    Buf, ClkDr, SchmTgr, TriState,
+    Buf,
+    ClkDr,
+    SchmTgr,
+    TriState,
     // Wiring.
-    Port, Bus, WireOr,
+    Port,
+    Bus,
+    WireOr,
     // Switch box.
-    Concat, Extract,
+    Concat,
+    Extract,
     // Clocking and delay.
-    ClkGen, Delay,
+    ClkGen,
+    Delay,
     // Memory operations.
-    Load, Store, Memory, Read, Write, Push, Pop,
+    Load,
+    Store,
+    Memory,
+    Read,
+    Write,
+    Push,
+    Pop,
     // Component-level classification used by §4.1 (an up-counter performs
     // INCREMENT and COUNTER; a register performs STORAGE).
-    Counter, Storage,
+    Counter,
+    Storage,
 }
 
 impl Function {
@@ -57,23 +113,61 @@ impl Function {
     pub fn name(self) -> &'static str {
         use Function::*;
         match self {
-            And => "AND", Or => "OR", Not => "NOT", Nand => "NAND", Nor => "NOR",
-            Xor => "XOR", Xnor => "XNOR",
-            Add => "ADD", Sub => "SUB", Mul => "MUL", Div => "DIV", Inc => "INC", Dec => "DEC",
-            Eq => "EQ", Neq => "NEQ", Gt => "GT", Ge => "GE", Lt => "LT", Le => "LE",
-            MuxScl => "MUX_SCL", MuxScg => "MUX_SCG",
-            Shl1 => "SHL1", Shr1 => "SHR1", RotL1 => "ROTL1", RotR1 => "ROTR1",
-            AShl1 => "ASHL1", AShr1 => "ASHR1",
-            Shl => "SHL", Shr => "SHR", RotL => "ROTL", RotR => "ROTR",
-            AShl => "ASHL", AShr => "ASHR",
-            Encode => "ENCODE", Decode => "DECODE",
-            Buf => "BUF", ClkDr => "CLK_DR", SchmTgr => "SCHM_TGR", TriState => "TRI_STATE",
-            Port => "PORT", Bus => "BUS", WireOr => "WIRE_OR",
-            Concat => "CONCAT", Extract => "EXTRACT",
-            ClkGen => "CLK_GEN", Delay => "DELAY",
-            Load => "LOAD", Store => "STORE", Memory => "MEMORY",
-            Read => "READ", Write => "WRITE", Push => "PUSH", Pop => "POP",
-            Counter => "COUNTER", Storage => "STORAGE",
+            And => "AND",
+            Or => "OR",
+            Not => "NOT",
+            Nand => "NAND",
+            Nor => "NOR",
+            Xor => "XOR",
+            Xnor => "XNOR",
+            Add => "ADD",
+            Sub => "SUB",
+            Mul => "MUL",
+            Div => "DIV",
+            Inc => "INC",
+            Dec => "DEC",
+            Eq => "EQ",
+            Neq => "NEQ",
+            Gt => "GT",
+            Ge => "GE",
+            Lt => "LT",
+            Le => "LE",
+            MuxScl => "MUX_SCL",
+            MuxScg => "MUX_SCG",
+            Shl1 => "SHL1",
+            Shr1 => "SHR1",
+            RotL1 => "ROTL1",
+            RotR1 => "ROTR1",
+            AShl1 => "ASHL1",
+            AShr1 => "ASHR1",
+            Shl => "SHL",
+            Shr => "SHR",
+            RotL => "ROTL",
+            RotR => "ROTR",
+            AShl => "ASHL",
+            AShr => "ASHR",
+            Encode => "ENCODE",
+            Decode => "DECODE",
+            Buf => "BUF",
+            ClkDr => "CLK_DR",
+            SchmTgr => "SCHM_TGR",
+            TriState => "TRI_STATE",
+            Port => "PORT",
+            Bus => "BUS",
+            WireOr => "WIRE_OR",
+            Concat => "CONCAT",
+            Extract => "EXTRACT",
+            ClkGen => "CLK_GEN",
+            Delay => "DELAY",
+            Load => "LOAD",
+            Store => "STORE",
+            Memory => "MEMORY",
+            Read => "READ",
+            Write => "WRITE",
+            Push => "PUSH",
+            Pop => "POP",
+            Counter => "COUNTER",
+            Storage => "STORAGE",
         }
     }
 
@@ -81,11 +175,10 @@ impl Function {
     pub fn all() -> &'static [Function] {
         use Function::*;
         &[
-            And, Or, Not, Nand, Nor, Xor, Xnor, Add, Sub, Mul, Div, Inc, Dec, Eq, Neq, Gt,
-            Ge, Lt, Le, MuxScl, MuxScg, Shl1, Shr1, RotL1, RotR1, AShl1, AShr1, Shl, Shr,
-            RotL, RotR, AShl, AShr, Encode, Decode, Buf, ClkDr, SchmTgr, TriState, Port,
-            Bus, WireOr, Concat, Extract, ClkGen, Delay, Load, Store, Memory, Read, Write,
-            Push, Pop, Counter, Storage,
+            And, Or, Not, Nand, Nor, Xor, Xnor, Add, Sub, Mul, Div, Inc, Dec, Eq, Neq, Gt, Ge, Lt,
+            Le, MuxScl, MuxScg, Shl1, Shr1, RotL1, RotR1, AShl1, AShr1, Shl, Shr, RotL, RotR, AShl,
+            AShr, Encode, Decode, Buf, ClkDr, SchmTgr, TriState, Port, Bus, WireOr, Concat,
+            Extract, ClkGen, Delay, Load, Store, Memory, Read, Write, Push, Pop, Counter, Storage,
         ]
     }
 }
@@ -136,7 +229,10 @@ impl FromStr for Function {
             .iter()
             .find(|f| f.name() == canonical)
             .copied()
-            .ok_or(ParseNameError { name: s.to_string(), what: "function" })
+            .ok_or(ParseNameError {
+                name: s.to_string(),
+                what: "function",
+            })
     }
 }
 
@@ -144,10 +240,35 @@ impl FromStr for Function {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 #[allow(missing_docs)]
 pub enum ComponentType {
-    LogicUnit, MuxScl, MuxScg, Decode, Encode, Comparator, Shifter, BarrelShifter,
-    AdderSubtractor, Alu, Multiplier, Divider, Register, Counter, RegisterFile, Stack,
-    Memory, Buffer, ClockDriver, SchmittTrigger, TriState, Port, Bus, WireOr, Concat,
-    Extract, ClockGenerator, Delay, Adder,
+    LogicUnit,
+    MuxScl,
+    MuxScg,
+    Decode,
+    Encode,
+    Comparator,
+    Shifter,
+    BarrelShifter,
+    AdderSubtractor,
+    Alu,
+    Multiplier,
+    Divider,
+    Register,
+    Counter,
+    RegisterFile,
+    Stack,
+    Memory,
+    Buffer,
+    ClockDriver,
+    SchmittTrigger,
+    TriState,
+    Port,
+    Bus,
+    WireOr,
+    Concat,
+    Extract,
+    ClockGenerator,
+    Delay,
+    Adder,
 }
 
 impl ComponentType {
@@ -155,16 +276,35 @@ impl ComponentType {
     pub fn name(self) -> &'static str {
         use ComponentType::*;
         match self {
-            LogicUnit => "Logic_unit", MuxScl => "Mux_scl", MuxScg => "Mux_scg",
-            Decode => "Decode", Encode => "Encode", Comparator => "Comparator",
-            Shifter => "Shifter", BarrelShifter => "Barrel_shifter",
-            AdderSubtractor => "Adder_Subtractor", Alu => "ALU", Multiplier => "Multiplier",
-            Divider => "Divider", Register => "Register", Counter => "Counter",
-            RegisterFile => "Register_file", Stack => "Stack", Memory => "Memory",
-            Buffer => "Buffer", ClockDriver => "Clock_driver",
-            SchmittTrigger => "Schmitt_trigger", TriState => "Tri_state", Port => "Port",
-            Bus => "Bus", WireOr => "Wire_or", Concat => "Concat", Extract => "Extract",
-            ClockGenerator => "Clock_generator", Delay => "Delay", Adder => "Adder",
+            LogicUnit => "Logic_unit",
+            MuxScl => "Mux_scl",
+            MuxScg => "Mux_scg",
+            Decode => "Decode",
+            Encode => "Encode",
+            Comparator => "Comparator",
+            Shifter => "Shifter",
+            BarrelShifter => "Barrel_shifter",
+            AdderSubtractor => "Adder_Subtractor",
+            Alu => "ALU",
+            Multiplier => "Multiplier",
+            Divider => "Divider",
+            Register => "Register",
+            Counter => "Counter",
+            RegisterFile => "Register_file",
+            Stack => "Stack",
+            Memory => "Memory",
+            Buffer => "Buffer",
+            ClockDriver => "Clock_driver",
+            SchmittTrigger => "Schmitt_trigger",
+            TriState => "Tri_state",
+            Port => "Port",
+            Bus => "Bus",
+            WireOr => "Wire_or",
+            Concat => "Concat",
+            Extract => "Extract",
+            ClockGenerator => "Clock_generator",
+            Delay => "Delay",
+            Adder => "Adder",
         }
     }
 
@@ -172,10 +312,35 @@ impl ComponentType {
     pub fn all() -> &'static [ComponentType] {
         use ComponentType::*;
         &[
-            LogicUnit, MuxScl, MuxScg, Decode, Encode, Comparator, Shifter, BarrelShifter,
-            AdderSubtractor, Alu, Multiplier, Divider, Register, Counter, RegisterFile,
-            Stack, Memory, Buffer, ClockDriver, SchmittTrigger, TriState, Port, Bus, WireOr,
-            Concat, Extract, ClockGenerator, Delay, Adder,
+            LogicUnit,
+            MuxScl,
+            MuxScg,
+            Decode,
+            Encode,
+            Comparator,
+            Shifter,
+            BarrelShifter,
+            AdderSubtractor,
+            Alu,
+            Multiplier,
+            Divider,
+            Register,
+            Counter,
+            RegisterFile,
+            Stack,
+            Memory,
+            Buffer,
+            ClockDriver,
+            SchmittTrigger,
+            TriState,
+            Port,
+            Bus,
+            WireOr,
+            Concat,
+            Extract,
+            ClockGenerator,
+            Delay,
+            Adder,
         ]
     }
 
@@ -234,7 +399,10 @@ impl FromStr for ComponentType {
             .iter()
             .find(|c| c.name().to_ascii_lowercase() == low)
             .copied()
-            .ok_or(ParseNameError { name: s.to_string(), what: "component type" })
+            .ok_or(ParseNameError {
+                name: s.to_string(),
+                what: "component type",
+            })
     }
 }
 
@@ -251,8 +419,10 @@ pub fn control_port_name(index: usize) -> String {
 /// Standard aliases (Appendix B §3): the `ADD` carry input `Cin` for `I2`,
 /// comparator outputs `OEQ…OLEQ` for `O0…O5`, clock `clk`.
 pub fn alias_of(function_or_component: &str, port: &str) -> Option<&'static str> {
-    match (function_or_component.to_ascii_uppercase().as_str(), port.to_ascii_uppercase().as_str())
-    {
+    match (
+        function_or_component.to_ascii_uppercase().as_str(),
+        port.to_ascii_uppercase().as_str(),
+    ) {
         ("ADD", "I2") => Some("Cin"),
         ("ADD", "O1") => Some("Cout"),
         ("COMPARATOR", "O0") => Some("OEQ"),
@@ -436,7 +606,10 @@ impl ConnectionTable {
                     .operand_map
                     .push((operand.trim().to_string(), port.trim().to_string()));
             } else {
-                return Err(ParseNameError { name: line.to_string(), what: "connection line" });
+                return Err(ParseNameError {
+                    name: line.to_string(),
+                    what: "connection line",
+                });
             }
         }
         if let Some((name, conn)) = current.take() {
@@ -477,7 +650,12 @@ mod tests {
     #[test]
     fn counter_performs_inc_dec_counter_storage() {
         let fs = ComponentType::Counter.typical_functions();
-        for f in [Function::Inc, Function::Dec, Function::Counter, Function::Storage] {
+        for f in [
+            Function::Inc,
+            Function::Dec,
+            Function::Counter,
+            Function::Storage,
+        ] {
             assert!(fs.contains(&f), "counter must perform {f}");
         }
     }
@@ -513,7 +691,10 @@ OO is OO high
 ";
         let table = ConnectionTable::parse(text).unwrap();
         let inc = &table.functions["INC"];
-        assert_eq!(inc.operand_map, vec![("OO".to_string(), "OO high".to_string())]);
+        assert_eq!(
+            inc.operand_map,
+            vec![("OO".to_string(), "OO high".to_string())]
+        );
         assert_eq!(inc.settings.len(), 4);
         assert_eq!(inc.settings[3].qualifier.as_deref(), Some("edge_trigger"));
         let rendered = table.to_paper_format();

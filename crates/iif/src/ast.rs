@@ -41,7 +41,10 @@ pub struct SignalDecl {
 impl SignalDecl {
     /// A scalar (un-indexed) signal declaration.
     pub fn scalar(name: impl Into<String>) -> Self {
-        SignalDecl { name: name.into(), dims: Vec::new() }
+        SignalDecl {
+            name: name.into(),
+            dims: Vec::new(),
+        }
     }
 }
 
@@ -242,7 +245,12 @@ impl Expr {
 
 impl fmt::Display for Module {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "IIF design {} ({} statements)", self.name, self.body.len())
+        write!(
+            f,
+            "IIF design {} ({} statements)",
+            self.name,
+            self.body.len()
+        )
     }
 }
 

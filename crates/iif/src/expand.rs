@@ -122,7 +122,9 @@ pub fn expand_positional(
 }
 
 fn err(module: &Module, message: String) -> ExpandError {
-    ExpandError { message: format!("{}: {}", module.name, message) }
+    ExpandError {
+        message: format!("{}: {}", module.name, message),
+    }
 }
 
 fn expand_with_env(
@@ -130,7 +132,10 @@ fn expand_with_env(
     vars: HashMap<String, i64>,
     resolver: &dyn ModuleResolver,
 ) -> Result<FlatModule, ExpandError> {
-    let mut sink = Sink { equations: Vec::new(), driven: HashMap::new() };
+    let mut sink = Sink {
+        equations: Vec::new(),
+        driven: HashMap::new(),
+    };
     let final_vars = {
         let mut frame = Frame {
             module,
@@ -185,7 +190,13 @@ fn expand_with_env(
         }
     }
 
-    let flat = FlatModule { name: module.name.clone(), inputs, outputs, internals, equations };
+    let flat = FlatModule {
+        name: module.name.clone(),
+        inputs,
+        outputs,
+        internals,
+        equations,
+    };
     validate(module, &flat)?;
     Ok(flat)
 }
@@ -405,7 +416,9 @@ impl<'a> Frame<'a> {
                 };
                 Ok(Value::Int(r))
             }
-            other => self.err(format!("expression {other:?} is not a constant C expression")),
+            other => self.err(format!(
+                "expression {other:?} is not a constant C expression"
+            )),
         }
     }
 
@@ -472,7 +485,10 @@ impl<'a> Frame<'a> {
                     .ok_or_else(|| err(self.module, "clock must be a signal".into()))?;
                 Ok(Value::Sig(FlatExpr::At {
                     data: Box::new(data_sig),
-                    clock: ClockSpec { kind, expr: Box::new(clk_sig) },
+                    clock: ClockSpec {
+                        kind,
+                        expr: Box::new(clk_sig),
+                    },
                 }))
             }
             Expr::Async(base, entries) => {
@@ -489,11 +505,13 @@ impl<'a> Frame<'a> {
                     if v != 0 && v != 1 {
                         return self.err("async value must be 0 or 1");
                     }
-                    let cond = self
-                        .eval(&entry.cond)?
-                        .into_sig()
-                        .ok_or_else(|| err(self.module, "async condition must be a signal".into()))?;
-                    flat_entries.push(FlatAsync { value: v != 0, cond });
+                    let cond = self.eval(&entry.cond)?.into_sig().ok_or_else(|| {
+                        err(self.module, "async condition must be a signal".into())
+                    })?;
+                    flat_entries.push(FlatAsync {
+                        value: v != 0,
+                        cond,
+                    });
                 }
                 Ok(Value::Sig(FlatExpr::Async {
                     base: Box::new(base_sig),
@@ -624,13 +642,19 @@ impl<'a> Frame<'a> {
     /// Executes a compile-time (C) statement: assignments and inc/dec.
     fn exec_c(&mut self, stmt: &Stmt) -> Result<(), ExpandError> {
         match stmt {
-            Stmt::Equation { lhs, op: AssignOp::Assign, rhs } => {
+            Stmt::Equation {
+                lhs,
+                op: AssignOp::Assign,
+                rhs,
+            } => {
                 if !lhs.indices.is_empty() {
                     return self.err("C variables are scalar");
                 }
                 if !self.is_variable(&lhs.name) {
-                    return self
-                        .err(format!("`{}` is not a declared VARIABLE/PARAMETER", lhs.name));
+                    return self.err(format!(
+                        "`{}` is not a declared VARIABLE/PARAMETER",
+                        lhs.name
+                    ));
                 }
                 let v = self.eval_int(rhs)?;
                 self.vars.insert(lhs.name.clone(), v);
@@ -718,14 +742,20 @@ impl<'a> Frame<'a> {
                     }
                     _ => unreachable!(),
                 };
-                let value = self
-                    .eval(rhs)?
-                    .into_sig()
-                    .ok_or_else(|| err(self.module, "equation right-hand side must be a signal or 0/1".into()))?;
+                let value = self.eval(rhs)?.into_sig().ok_or_else(|| {
+                    err(
+                        self.module,
+                        "equation right-hand side must be a signal or 0/1".into(),
+                    )
+                })?;
                 sink.emit(self.module, target, op, value)?;
                 Ok(Flow::Normal)
             }
-            Stmt::If { cond, then_branch, else_branch } => {
+            Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
                 let c = {
                     // Allow assignments? No — conditions are pure.
                     self.eval_int(cond)?
@@ -738,7 +768,12 @@ impl<'a> Frame<'a> {
                     Ok(Flow::Normal)
                 }
             }
-            Stmt::For { init, cond, step, body } => {
+            Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+            } => {
                 self.exec_c_expr(init)?;
                 let mut iterations = 0u64;
                 loop {
@@ -763,18 +798,13 @@ impl<'a> Frame<'a> {
                 self.exec_call(name, args, sink)?;
                 Ok(Flow::Normal)
             }
-            Stmt::Expr(e) => {
-                self.err(format!("expression statement {e:?} has no effect (missing #c_line?)"))
-            }
+            Stmt::Expr(e) => self.err(format!(
+                "expression statement {e:?} has no effect (missing #c_line?)"
+            )),
         }
     }
 
-    fn exec_call(
-        &mut self,
-        name: &str,
-        args: &[Expr],
-        sink: &mut Sink,
-    ) -> Result<(), ExpandError> {
+    fn exec_call(&mut self, name: &str, args: &[Expr], sink: &mut Sink) -> Result<(), ExpandError> {
         if self.depth >= MAX_DEPTH {
             return self.err(format!("subfunction nesting too deep at call to `{name}`"));
         }
@@ -785,10 +815,12 @@ impl<'a> Frame<'a> {
                 "`{name}` is not declared in SUBFUNCTION/SUBCOMPONENT"
             ));
         }
-        let callee = self
-            .resolver
-            .resolve(name)
-            .ok_or_else(|| err(self.module, format!("subfunction `{name}` not found in library")))?;
+        let callee = self.resolver.resolve(name).ok_or_else(|| {
+            err(
+                self.module,
+                format!("subfunction `{name}` not found in library"),
+            )
+        })?;
 
         // Bind positionally: parameters, then INORDER, OUTORDER, PIIFVARIABLE.
         let mut vars = HashMap::new();
@@ -855,8 +887,9 @@ impl<'a> Frame<'a> {
         }
         for p in &callee.parameters {
             if !vars.contains_key(p) {
-                return self
-                    .err(format!("call to `{name}`: parameter `{p}` was not supplied"));
+                return self.err(format!(
+                    "call to `{name}`: parameter `{p}` was not supplied"
+                ));
             }
         }
         let call_prefix = format!("{}{}${}$", self.prefix, name, sink.equations.len());
@@ -1012,7 +1045,9 @@ VARIABLE: i;
         .unwrap();
         let flat = expand(&m, &[("size", 4)], &NoModules).unwrap();
         assert_eq!(flat.equations.len(), 1);
-        let FlatExpr::And(es) = &flat.equations[0].rhs else { panic!() };
+        let FlatExpr::And(es) = &flat.equations[0].rhs else {
+            panic!()
+        };
         assert_eq!(es.len(), 4);
     }
 
@@ -1078,11 +1113,15 @@ OUTORDER: Q;
         let m = parse(src).unwrap();
         let flat = expand(&m, &[], &NoModules).unwrap();
         assert!(flat.is_sequential());
-        let FlatExpr::Async { base, entries } = &flat.equations[0].rhs else { panic!() };
+        let FlatExpr::Async { base, entries } = &flat.equations[0].rhs else {
+            panic!()
+        };
         assert_eq!(entries.len(), 2);
         assert!(!entries[0].value);
         assert!(entries[1].value);
-        let FlatExpr::At { clock, .. } = &**base else { panic!() };
+        let FlatExpr::At { clock, .. } = &**base else {
+            panic!()
+        };
         assert_eq!(clock.kind, ClockKind::Rising);
     }
 
@@ -1148,8 +1187,14 @@ VARIABLE: i;
         let flat = expand(&m, &[("size", 4), ("dist", 2)], &NoModules).unwrap();
         assert_eq!(flat.driver("O[0]").unwrap().rhs, FlatExpr::Const(false));
         assert_eq!(flat.driver("O[1]").unwrap().rhs, FlatExpr::Const(false));
-        assert_eq!(flat.driver("O[2]").unwrap().rhs, FlatExpr::Net("I[0]".into()));
-        assert_eq!(flat.driver("O[3]").unwrap().rhs, FlatExpr::Net("I[1]".into()));
+        assert_eq!(
+            flat.driver("O[2]").unwrap().rhs,
+            FlatExpr::Net("I[0]".into())
+        );
+        assert_eq!(
+            flat.driver("O[3]").unwrap().rhs,
+            FlatExpr::Net("I[1]".into())
+        );
     }
 
     #[test]
@@ -1198,7 +1243,9 @@ VARIABLE: i;
 }"#;
         let m = parse(src).unwrap();
         let flat = expand(&m, &[("size", 8)], &NoModules).unwrap();
-        let FlatExpr::Or(es) = &flat.equations[0].rhs else { panic!() };
+        let FlatExpr::Or(es) = &flat.equations[0].rhs else {
+            panic!()
+        };
         assert_eq!(es.len(), 2);
     }
 

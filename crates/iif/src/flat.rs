@@ -140,9 +140,7 @@ impl FlatExpr {
                 es.iter().any(FlatExpr::is_sequential)
             }
             FlatExpr::Xor(a, b) | FlatExpr::Xnor(a, b) => a.is_sequential() || b.is_sequential(),
-            FlatExpr::Tristate { data, enable } => {
-                data.is_sequential() || enable.is_sequential()
-            }
+            FlatExpr::Tristate { data, enable } => data.is_sequential() || enable.is_sequential(),
             FlatExpr::Const(_) | FlatExpr::Net(_) => false,
         }
     }
@@ -406,7 +404,10 @@ mod tests {
     fn sequential_detection() {
         let ff = FlatExpr::At {
             data: Box::new(net("D")),
-            clock: ClockSpec { kind: ClockKind::Rising, expr: Box::new(net("CLK")) },
+            clock: ClockSpec {
+                kind: ClockKind::Rising,
+                expr: Box::new(net("CLK")),
+            },
         };
         assert!(ff.is_sequential());
         assert!(!net("D").is_sequential());
@@ -419,9 +420,15 @@ mod tests {
         let ff = FlatExpr::Async {
             base: Box::new(FlatExpr::At {
                 data: Box::new(net("D")),
-                clock: ClockSpec { kind: ClockKind::Rising, expr: Box::new(net("CLK")) },
+                clock: ClockSpec {
+                    kind: ClockKind::Rising,
+                    expr: Box::new(net("CLK")),
+                },
             }),
-            entries: vec![FlatAsync { value: false, cond: net("RST") }],
+            entries: vec![FlatAsync {
+                value: false,
+                cond: net("RST"),
+            }],
         };
         let mut s = BTreeSet::new();
         ff.collect_nets(&mut s);
@@ -433,8 +440,14 @@ mod tests {
         let e = FlatExpr::Async {
             base: Box::new(net("Q")),
             entries: vec![
-                FlatAsync { value: false, cond: net("R") },
-                FlatAsync { value: true, cond: net("S") },
+                FlatAsync {
+                    value: false,
+                    cond: net("R"),
+                },
+                FlatAsync {
+                    value: true,
+                    cond: net("S"),
+                },
             ],
         };
         assert_eq!(e.to_string(), "Q ~a(0/R,1/S)");

@@ -45,6 +45,8 @@
 //! # }
 //! ```
 
+#![deny(rustdoc::broken_intra_doc_links)]
+
 mod ast;
 mod expand;
 mod flat;
@@ -52,9 +54,7 @@ mod milo;
 mod parser;
 mod token;
 
-pub use ast::{
-    AssignOp, AsyncEntry, BinOp, Expr, LValue, Module, SignalDecl, Stmt, UnaryOp,
-};
+pub use ast::{AssignOp, AsyncEntry, BinOp, Expr, LValue, Module, SignalDecl, Stmt, UnaryOp};
 pub use expand::{expand, expand_positional, ExpandError, ModuleResolver, NoModules};
 pub use flat::{ClockKind, ClockSpec, FlatAsync, FlatEquation, FlatExpr, FlatModule};
 pub use milo::parse_milo;
@@ -65,10 +65,8 @@ pub use token::{lex, LexError, Spanned, Token};
 mod tests {
     #[test]
     fn public_api_end_to_end() {
-        let m = crate::parse(
-            "NAME: T; INORDER: A, B; OUTORDER: O; { O = A * !B + !A * B; }",
-        )
-        .unwrap();
+        let m =
+            crate::parse("NAME: T; INORDER: A, B; OUTORDER: O; { O = A * !B + !A * B; }").unwrap();
         let flat = crate::expand(&m, &[], &crate::NoModules).unwrap();
         assert_eq!(flat.equations.len(), 1);
         assert_eq!(flat.name, "T");

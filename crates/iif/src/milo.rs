@@ -34,7 +34,11 @@ pub fn parse_milo(src: &str) -> Result<FlatModule, ParseError> {
         if stmt.is_empty() {
             continue;
         }
-        let err = |message: String| ParseError { message, line: lineno as u32 + 1, col: 1 };
+        let err = |message: String| ParseError {
+            message,
+            line: lineno as u32 + 1,
+            col: 1,
+        };
         if let Some(rest) = strip_keyword(stmt, "NAME") {
             name = rest.trim().to_string();
         } else if let Some(rest) = strip_keyword(stmt, "INORDER") {
@@ -45,7 +49,10 @@ pub fn parse_milo(src: &str) -> Result<FlatModule, ParseError> {
             let (lhs, rhs) = stmt
                 .split_once('=')
                 .ok_or_else(|| err(format!("expected `lhs=expr`, got `{stmt}`")))?;
-            let mut p = ExprParser { chars: rhs.chars().collect(), pos: 0 };
+            let mut p = ExprParser {
+                chars: rhs.chars().collect(),
+                pos: 0,
+            };
             let expr = p
                 .parse_xor()
                 .map_err(|m| err(format!("in equation `{stmt}`: {m}")))?;
@@ -53,11 +60,18 @@ pub fn parse_milo(src: &str) -> Result<FlatModule, ParseError> {
             if p.pos != p.chars.len() {
                 return Err(err(format!("trailing input in equation `{stmt}`")));
             }
-            equations.push(FlatEquation { lhs: lhs.trim().to_string(), rhs: expr });
+            equations.push(FlatEquation {
+                lhs: lhs.trim().to_string(),
+                rhs: expr,
+            });
         }
     }
     if name.is_empty() {
-        return Err(ParseError { message: "missing NAME= header".into(), line: 1, col: 1 });
+        return Err(ParseError {
+            message: "missing NAME= header".into(),
+            line: 1,
+            col: 1,
+        });
     }
 
     // Internal nets: driven but not ports.
@@ -66,7 +80,13 @@ pub fn parse_milo(src: &str) -> Result<FlatModule, ParseError> {
         .map(|e| e.lhs.clone())
         .filter(|n| !inputs.contains(n) && !outputs.contains(n))
         .collect();
-    Ok(FlatModule { name, inputs, outputs, internals, equations })
+    Ok(FlatModule {
+        name,
+        inputs,
+        outputs,
+        internals,
+        equations,
+    })
 }
 
 fn strip_keyword<'a>(stmt: &'a str, kw: &str) -> Option<&'a str> {
@@ -99,7 +119,11 @@ impl ExprParser {
             self.pos += 1;
             terms.push(self.parse_and()?);
         }
-        Ok(if terms.len() == 1 { terms.pop().expect("one") } else { FlatExpr::Or(terms) })
+        Ok(if terms.len() == 1 {
+            terms.pop().expect("one")
+        } else {
+            FlatExpr::Or(terms)
+        })
     }
 
     // `!=` binds looser than `+`/`*` in the emitted format (equations like
@@ -109,8 +133,7 @@ impl ExprParser {
         let mut acc = self.parse_or()?;
         loop {
             self.skip_ws();
-            if self.chars.get(self.pos) == Some(&'!')
-                && self.chars.get(self.pos + 1) == Some(&'=')
+            if self.chars.get(self.pos) == Some(&'!') && self.chars.get(self.pos + 1) == Some(&'=')
             {
                 self.pos += 2;
                 let rhs = self.parse_or()?;
@@ -137,9 +160,7 @@ impl ExprParser {
 
     fn parse_not(&mut self) -> Result<FlatExpr, String> {
         self.skip_ws();
-        if self.chars.get(self.pos) == Some(&'!')
-            && self.chars.get(self.pos + 1) != Some(&'=')
-        {
+        if self.chars.get(self.pos) == Some(&'!') && self.chars.get(self.pos + 1) != Some(&'=') {
             self.pos += 1;
             let inner = self.parse_not()?;
             return Ok(FlatExpr::Not(Box::new(inner)));
@@ -171,11 +192,9 @@ impl ExprParser {
             }
             Some(c) if c.is_ascii_alphabetic() || *c == '_' => {
                 let start = self.pos;
-                while self
-                    .chars
-                    .get(self.pos)
-                    .is_some_and(|c| c.is_ascii_alphanumeric() || matches!(c, '_' | '[' | ']' | '$' | '.'))
-                {
+                while self.chars.get(self.pos).is_some_and(|c| {
+                    c.is_ascii_alphanumeric() || matches!(c, '_' | '[' | ']' | '$' | '.')
+                }) {
                     self.pos += 1;
                 }
                 Ok(FlatExpr::Net(self.chars[start..self.pos].iter().collect()))

@@ -17,7 +17,11 @@ pub struct ParseError {
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "parse error at {}:{}: {}", self.line, self.col, self.message)
+        write!(
+            f,
+            "parse error at {}:{}: {}",
+            self.line, self.col, self.message
+        )
     }
 }
 
@@ -25,7 +29,11 @@ impl std::error::Error for ParseError {}
 
 impl From<crate::token::LexError> for ParseError {
     fn from(e: crate::token::LexError) -> Self {
-        ParseError { message: e.message, line: e.line, col: e.col }
+        ParseError {
+            message: e.message,
+            line: e.line,
+            col: e.col,
+        }
     }
 }
 
@@ -79,7 +87,11 @@ impl Parser {
 
     fn err<T>(&self, msg: impl Into<String>) -> Result<T, ParseError> {
         let (line, col) = self.here();
-        Err(ParseError { message: msg.into(), line, col })
+        Err(ParseError {
+            message: msg.into(),
+            line,
+            col,
+        })
     }
 
     fn expect(&mut self, want: &Token, what: &str) -> Result<(), ParseError> {
@@ -108,7 +120,9 @@ impl Parser {
                 self.bump();
                 Ok(())
             }
-            other => self.err(format!("expected `:` after declaration keyword, found {other}")),
+            other => self.err(format!(
+                "expected `:` after declaration keyword, found {other}"
+            )),
         }
     }
 
@@ -273,7 +287,11 @@ impl Parser {
                 } else {
                     None
                 };
-                Ok(Stmt::If { cond, then_branch, else_branch })
+                Ok(Stmt::If {
+                    cond,
+                    then_branch,
+                    else_branch,
+                })
             }
             Token::HashFor => {
                 self.bump();
@@ -285,7 +303,12 @@ impl Parser {
                 let step = self.assign_expr()?;
                 self.expect(&Token::RParen, "`)` closing #for header")?;
                 let body = Box::new(self.stmt()?);
-                Ok(Stmt::For { init, cond, step, body })
+                Ok(Stmt::For {
+                    init,
+                    cond,
+                    step,
+                    body,
+                })
             }
             Token::HashBreak => {
                 self.bump();
@@ -328,11 +351,18 @@ impl Parser {
                 Ok(match e {
                     Expr::Assign(lhs, rhs) => match decode_aggregate(&lhs.name) {
                         Some((op, real)) => Stmt::Equation {
-                            lhs: LValue { name: real.to_string(), indices: lhs.indices },
+                            lhs: LValue {
+                                name: real.to_string(),
+                                indices: lhs.indices,
+                            },
                             op,
                             rhs: *rhs,
                         },
-                        None => Stmt::Equation { lhs, op: AssignOp::Assign, rhs: *rhs },
+                        None => Stmt::Equation {
+                            lhs,
+                            op: AssignOp::Assign,
+                            rhs: *rhs,
+                        },
                     },
                     other => Stmt::Expr(other),
                 })
@@ -374,7 +404,9 @@ impl Parser {
                         let rhs = self.assign_expr()?;
                         return Ok(Expr::Assign(lv, Box::new(rhs)));
                     }
-                    Token::PlusAssign | Token::StarAssign | Token::XorAssign
+                    Token::PlusAssign
+                    | Token::StarAssign
+                    | Token::XorAssign
                     | Token::XnorAssign => {
                         // Aggregate assignments are only valid as statements;
                         // encode via a marker and let stmt() reconstruct.
@@ -416,8 +448,13 @@ impl Parser {
                 Token::LAnd => (12, 13, "&&"),
                 Token::Eq | Token::Neq => (14, 15, "=="),
                 Token::Leq | Token::Geq | Token::Lt | Token::Gt => (16, 17, "<"),
-                Token::Plus | Token::Minus | Token::TildeD | Token::TildeT | Token::TildeW
-                | Token::At | Token::TildeA => (18, 19, "+"),
+                Token::Plus
+                | Token::Minus
+                | Token::TildeD
+                | Token::TildeT
+                | Token::TildeW
+                | Token::At
+                | Token::TildeA => (18, 19, "+"),
                 Token::Star | Token::Slash | Token::Percent => (20, 21, "*"),
                 Token::Xor | Token::Xnor => (22, 23, "(+)"),
                 Token::StarStar => (25, 24, "**"),
@@ -490,8 +527,7 @@ impl Parser {
                 Token::Comma => continue,
                 Token::RParen => break,
                 other => {
-                    return self
-                        .err(format!("expected `,` or `)` in async list, found {other}"))
+                    return self.err(format!("expected `,` or `)` in async list, found {other}"))
                 }
             }
         }
@@ -558,11 +594,21 @@ impl Parser {
             if let Expr::Ident(_) | Expr::Indexed(..) = e {
                 let inc = self.bump() == Token::PlusPlus;
                 let lv = match e {
-                    Expr::Ident(n) => LValue { name: n, indices: vec![] },
-                    Expr::Indexed(n, idx) => LValue { name: n, indices: idx },
+                    Expr::Ident(n) => LValue {
+                        name: n,
+                        indices: vec![],
+                    },
+                    Expr::Indexed(n, idx) => LValue {
+                        name: n,
+                        indices: idx,
+                    },
                     _ => unreachable!(),
                 };
-                e = Expr::IncDec { lv, inc, pre: false };
+                e = Expr::IncDec {
+                    lv,
+                    inc,
+                    pre: false,
+                };
             } else {
                 return self.err("`++`/`--` requires a variable");
             }
@@ -676,8 +722,12 @@ OUTORDER: Q;
   Q = (Q (+) D) @(~r CLK) ~a(0/(!LOAD * !D), 1/(!LOAD * D));
 }"#;
         let m = parse(src).unwrap();
-        let Stmt::Equation { rhs, .. } = &m.body[0] else { panic!("expected equation") };
-        let Expr::Async(base, entries) = rhs else { panic!("expected async, got {rhs:?}") };
+        let Stmt::Equation { rhs, .. } = &m.body[0] else {
+            panic!("expected equation")
+        };
+        let Expr::Async(base, entries) = rhs else {
+            panic!("expected async, got {rhs:?}")
+        };
         assert_eq!(entries.len(), 2);
         assert!(matches!(**base, Expr::At(..)));
     }
@@ -695,8 +745,12 @@ VARIABLE: i;
     O *= I0[i];
 }"#;
         let m = parse(src).unwrap();
-        let Stmt::For { body, .. } = &m.body[0] else { panic!() };
-        let Stmt::Equation { op, .. } = &**body else { panic!("expected equation") };
+        let Stmt::For { body, .. } = &m.body[0] else {
+            panic!()
+        };
+        let Stmt::Equation { op, .. } = &**body else {
+            panic!("expected equation")
+        };
         assert_eq!(*op, AssignOp::AndAggregate);
     }
 
@@ -716,7 +770,14 @@ SUBFUNCTION: RIPPLE;
   }
 }"#;
         let m = parse(src).unwrap();
-        let Stmt::If { else_branch, then_branch, .. } = &m.body[0] else { panic!() };
+        let Stmt::If {
+            else_branch,
+            then_branch,
+            ..
+        } = &m.body[0]
+        else {
+            panic!()
+        };
         assert!(matches!(**then_branch, Stmt::Call { .. }));
         assert!(else_branch.is_some());
     }
@@ -725,9 +786,13 @@ SUBFUNCTION: RIPPLE;
     fn precedence_and_over_or() {
         let src = "NAME: T; INORDER: A,B,C; OUTORDER: O; { O = A + B * C; }";
         let m = parse(src).unwrap();
-        let Stmt::Equation { rhs, .. } = &m.body[0] else { panic!() };
+        let Stmt::Equation { rhs, .. } = &m.body[0] else {
+            panic!()
+        };
         // A + (B*C)
-        let Expr::Binary(BinOp::Or, _, r) = rhs else { panic!("expected OR at top: {rhs:?}") };
+        let Expr::Binary(BinOp::Or, _, r) = rhs else {
+            panic!("expected OR at top: {rhs:?}")
+        };
         assert!(matches!(**r, Expr::Binary(BinOp::And, ..)));
     }
 
@@ -735,9 +800,13 @@ SUBFUNCTION: RIPPLE;
     fn precedence_xor_over_and() {
         let src = "NAME: T; INORDER: A,B,C; OUTORDER: O; { O = A * B (+) C; }";
         let m = parse(src).unwrap();
-        let Stmt::Equation { rhs, .. } = &m.body[0] else { panic!() };
+        let Stmt::Equation { rhs, .. } = &m.body[0] else {
+            panic!()
+        };
         // A * (B (+) C)
-        let Expr::Binary(BinOp::And, _, r) = rhs else { panic!("expected AND at top: {rhs:?}") };
+        let Expr::Binary(BinOp::And, _, r) = rhs else {
+            panic!("expected AND at top: {rhs:?}")
+        };
         assert!(matches!(**r, Expr::Binary(BinOp::Xor, ..)));
     }
 
@@ -745,8 +814,12 @@ SUBFUNCTION: RIPPLE;
     fn clock_gating_with_active_low_latch() {
         let src = "NAME: T; INORDER: CLK, ENA; OUTORDER: CLKO; { CLKO = CLK@(~1 !ENA); }";
         let m = parse(src).unwrap();
-        let Stmt::Equation { rhs, .. } = &m.body[0] else { panic!() };
-        let Expr::At(_, clock) = rhs else { panic!("expected @: {rhs:?}") };
+        let Stmt::Equation { rhs, .. } = &m.body[0] else {
+            panic!()
+        };
+        let Expr::At(_, clock) = rhs else {
+            panic!("expected @: {rhs:?}")
+        };
         assert!(matches!(**clock, Expr::Unary(UnaryOp::Low, _)));
     }
 
@@ -756,7 +829,9 @@ SUBFUNCTION: RIPPLE;
                    { O = A ~t EN; P = A ~w B; Q = A ~d 10.0; }";
         let m = parse(src).unwrap();
         assert_eq!(m.body.len(), 3);
-        let Stmt::Equation { rhs, .. } = &m.body[2] else { panic!() };
+        let Stmt::Equation { rhs, .. } = &m.body[2] else {
+            panic!()
+        };
         assert!(matches!(rhs, Expr::Binary(BinOp::Delay, ..)));
     }
 
@@ -775,7 +850,9 @@ SUBFUNCTION: RIPPLE;
     fn exponent_is_right_associative() {
         let src = "NAME: T; PARAMETER: n; OUTORDER: O[2**2**n]; { O[0] = 1; }";
         let m = parse(src).unwrap();
-        let Expr::Binary(BinOp::Pow, _, r) = &m.outputs[0].dims[0] else { panic!() };
+        let Expr::Binary(BinOp::Pow, _, r) = &m.outputs[0].dims[0] else {
+            panic!()
+        };
         assert!(matches!(**r, Expr::Binary(BinOp::Pow, ..)));
     }
 }

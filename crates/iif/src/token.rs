@@ -61,36 +61,36 @@ pub enum Token {
     Xnor,     // (.)
 
     // Comparison / logical (C expressions).
-    Eq,      // ==
-    Neq,     // !=
-    Lt,      // <
-    Gt,      // >
-    Leq,     // <=
-    Geq,     // >=
-    LAnd,    // &&
-    LOr,     // ||
+    Eq,         // ==
+    Neq,        // !=
+    Lt,         // <
+    Gt,         // >
+    Leq,        // <=
+    Geq,        // >=
+    LAnd,       // &&
+    LOr,        // ||
     PlusPlus,   // ++
     MinusMinus, // --
 
     // Assignment operators.
-    Assign,      // =
-    PlusAssign,  // +=
-    StarAssign,  // *=
-    XorAssign,   // (+)=
-    XnorAssign,  // (.)=
+    Assign,     // =
+    PlusAssign, // +=
+    StarAssign, // *=
+    XorAssign,  // (+)=
+    XnorAssign, // (.)=
 
     // Hardware unary/binary operators.
-    At,       // @  (clocked assignment)
-    TildeA,   // ~a (asynchronous set/reset list)
-    TildeB,   // ~b (buffer)
-    TildeS,   // ~s (schmitt trigger)
-    TildeD,   // ~d (delay element)
-    TildeT,   // ~t (tri-state)
-    TildeW,   // ~w (wired or)
-    TildeR,   // ~r (rising-edge clock)
-    TildeF,   // ~f (falling-edge clock)
-    TildeH,   // ~h (latch, active high)
-    TildeL,   // ~l (latch, active low; the paper also writes `~1`)
+    At,     // @  (clocked assignment)
+    TildeA, // ~a (asynchronous set/reset list)
+    TildeB, // ~b (buffer)
+    TildeS, // ~s (schmitt trigger)
+    TildeD, // ~d (delay element)
+    TildeT, // ~t (tri-state)
+    TildeW, // ~w (wired or)
+    TildeR, // ~r (rising-edge clock)
+    TildeF, // ~f (falling-edge clock)
+    TildeH, // ~h (latch, active high)
+    TildeL, // ~l (latch, active low; the paper also writes `~1`)
 
     /// End of input.
     Eof,
@@ -131,7 +131,11 @@ pub struct LexError {
 
 impl fmt::Display for LexError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "lex error at {}:{}: {}", self.line, self.col, self.message)
+        write!(
+            f,
+            "lex error at {}:{}: {}",
+            self.line, self.col, self.message
+        )
     }
 }
 
@@ -150,7 +154,11 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
 
     macro_rules! push {
         ($tok:expr, $l:expr, $c:expr) => {
-            out.push(Spanned { token: $tok, line: $l, col: $c })
+            out.push(Spanned {
+                token: $tok,
+                line: $l,
+                col: $c,
+            })
         };
     }
 
@@ -222,14 +230,12 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
                     })?;
                     push!(Token::Int(v), tl, tc);
                     let n = j - i;
-                advance(&mut i, &mut line, &mut col, n);
+                    advance(&mut i, &mut line, &mut col, n);
                 }
             }
             'a'..='z' | 'A'..='Z' | '_' => {
                 let mut j = i;
-                while j < bytes.len()
-                    && (bytes[j].is_ascii_alphanumeric() || bytes[j] == '_')
-                {
+                while j < bytes.len() && (bytes[j].is_ascii_alphanumeric() || bytes[j] == '_') {
                     j += 1;
                 }
                 let word: String = bytes[i..j].iter().collect();
@@ -251,9 +257,7 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
             }
             '#' => {
                 let mut j = i + 1;
-                while j < bytes.len()
-                    && (bytes[j].is_ascii_alphanumeric() || bytes[j] == '_')
-                {
+                while j < bytes.len() && (bytes[j].is_ascii_alphanumeric() || bytes[j] == '_') {
                     j += 1;
                 }
                 let word: String = bytes[i + 1..j].iter().collect();
@@ -266,8 +270,7 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
                     "c_line" | "cline" => Token::HashCLine,
                     "" => {
                         return Err(LexError {
-                            message: "`#` must be followed by a keyword or subfunction name"
-                                .into(),
+                            message: "`#` must be followed by a keyword or subfunction name".into(),
                             line: tl,
                             col: tc,
                         })
@@ -305,10 +308,22 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
             }
             '(' => {
                 // `(+)`, `(.)`, `(+)=`, `(.)=` are single tokens.
-                if i + 2 < bytes.len() && bytes[i + 2] == ')' && (bytes[i + 1] == '+' || bytes[i + 1] == '.') {
+                if i + 2 < bytes.len()
+                    && bytes[i + 2] == ')'
+                    && (bytes[i + 1] == '+' || bytes[i + 1] == '.')
+                {
                     let xor = bytes[i + 1] == '+';
-                    if i + 3 < bytes.len() && bytes[i + 3] == '=' && bytes.get(i + 4) != Some(&'=') {
-                        push!(if xor { Token::XorAssign } else { Token::XnorAssign }, tl, tc);
+                    if i + 3 < bytes.len() && bytes[i + 3] == '=' && bytes.get(i + 4) != Some(&'=')
+                    {
+                        push!(
+                            if xor {
+                                Token::XorAssign
+                            } else {
+                                Token::XnorAssign
+                            },
+                            tl,
+                            tc
+                        );
                         advance(&mut i, &mut line, &mut col, 4);
                     } else {
                         push!(if xor { Token::Xor } else { Token::Xnor }, tl, tc);
@@ -355,50 +370,44 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
                 push!(Token::At, tl, tc);
                 advance(&mut i, &mut line, &mut col, 1);
             }
-            '+' => {
-                match bytes.get(i + 1) {
-                    Some('+') => {
-                        push!(Token::PlusPlus, tl, tc);
-                        advance(&mut i, &mut line, &mut col, 2);
-                    }
-                    Some('=') => {
-                        push!(Token::PlusAssign, tl, tc);
-                        advance(&mut i, &mut line, &mut col, 2);
-                    }
-                    _ => {
-                        push!(Token::Plus, tl, tc);
-                        advance(&mut i, &mut line, &mut col, 1);
-                    }
+            '+' => match bytes.get(i + 1) {
+                Some('+') => {
+                    push!(Token::PlusPlus, tl, tc);
+                    advance(&mut i, &mut line, &mut col, 2);
                 }
-            }
-            '-' => {
-                match bytes.get(i + 1) {
-                    Some('-') => {
-                        push!(Token::MinusMinus, tl, tc);
-                        advance(&mut i, &mut line, &mut col, 2);
-                    }
-                    _ => {
-                        push!(Token::Minus, tl, tc);
-                        advance(&mut i, &mut line, &mut col, 1);
-                    }
+                Some('=') => {
+                    push!(Token::PlusAssign, tl, tc);
+                    advance(&mut i, &mut line, &mut col, 2);
                 }
-            }
-            '*' => {
-                match bytes.get(i + 1) {
-                    Some('*') => {
-                        push!(Token::StarStar, tl, tc);
-                        advance(&mut i, &mut line, &mut col, 2);
-                    }
-                    Some('=') => {
-                        push!(Token::StarAssign, tl, tc);
-                        advance(&mut i, &mut line, &mut col, 2);
-                    }
-                    _ => {
-                        push!(Token::Star, tl, tc);
-                        advance(&mut i, &mut line, &mut col, 1);
-                    }
+                _ => {
+                    push!(Token::Plus, tl, tc);
+                    advance(&mut i, &mut line, &mut col, 1);
                 }
-            }
+            },
+            '-' => match bytes.get(i + 1) {
+                Some('-') => {
+                    push!(Token::MinusMinus, tl, tc);
+                    advance(&mut i, &mut line, &mut col, 2);
+                }
+                _ => {
+                    push!(Token::Minus, tl, tc);
+                    advance(&mut i, &mut line, &mut col, 1);
+                }
+            },
+            '*' => match bytes.get(i + 1) {
+                Some('*') => {
+                    push!(Token::StarStar, tl, tc);
+                    advance(&mut i, &mut line, &mut col, 2);
+                }
+                Some('=') => {
+                    push!(Token::StarAssign, tl, tc);
+                    advance(&mut i, &mut line, &mut col, 2);
+                }
+                _ => {
+                    push!(Token::Star, tl, tc);
+                    advance(&mut i, &mut line, &mut col, 1);
+                }
+            },
             '/' => {
                 push!(Token::Slash, tl, tc);
                 advance(&mut i, &mut line, &mut col, 1);
@@ -476,7 +485,11 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
             }
         }
     }
-    out.push(Spanned { token: Token::Eof, line, col });
+    out.push(Spanned {
+        token: Token::Eof,
+        line,
+        col,
+    });
     Ok(out)
 }
 
@@ -576,18 +589,22 @@ mod tests {
 
     #[test]
     fn keywords_are_case_insensitive() {
-        assert_eq!(toks("name inorder OUTORDER")[..3].to_vec(), vec![
-            Token::Name,
-            Token::Inorder,
-            Token::Outorder
-        ]);
+        assert_eq!(
+            toks("name inorder OUTORDER")[..3].to_vec(),
+            vec![Token::Name, Token::Inorder, Token::Outorder]
+        );
     }
 
     #[test]
     fn float_literal_for_delay() {
         assert_eq!(
             toks("X ~d 10.5"),
-            vec![Token::Ident("X".into()), Token::TildeD, Token::Float(10.5), Token::Eof]
+            vec![
+                Token::Ident("X".into()),
+                Token::TildeD,
+                Token::Float(10.5),
+                Token::Eof
+            ]
         );
     }
 

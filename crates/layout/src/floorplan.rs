@@ -57,12 +57,19 @@ impl SlicingTree {
 
     /// Leaf from explicit `(width, height)` options.
     pub fn leaf_shapes(name: impl Into<String>, shapes: Vec<(f64, f64)>) -> SlicingTree {
-        SlicingTree::Leaf { name: name.into(), shapes }
+        SlicingTree::Leaf {
+            name: name.into(),
+            shapes,
+        }
     }
 
     /// Vertical cut (side by side).
     pub fn beside(first: SlicingTree, second: SlicingTree) -> SlicingTree {
-        SlicingTree::Node { cut: Cut::Vertical, first: Box::new(first), second: Box::new(second) }
+        SlicingTree::Node {
+            cut: Cut::Vertical,
+            first: Box::new(first),
+            second: Box::new(second),
+        }
     }
 
     /// Horizontal cut (stacked).
@@ -165,8 +172,17 @@ struct Option_ {
 /// Per-node Pareto option lists, mirroring the tree structure.
 #[derive(Debug, Clone)]
 enum Solved {
-    Leaf { name: String, shapes: Vec<(f64, f64)>, options: Vec<Option_> },
-    Node { cut: Cut, first: Box<Solved>, second: Box<Solved>, options: Vec<Option_> },
+    Leaf {
+        name: String,
+        shapes: Vec<(f64, f64)>,
+        options: Vec<Option_>,
+    },
+    Node {
+        cut: Cut,
+        first: Box<Solved>,
+        second: Box<Solved>,
+        options: Vec<Option_>,
+    },
 }
 
 impl Solved {
@@ -188,10 +204,18 @@ fn solve(tree: &SlicingTree) -> Result<Solved, FloorplanError> {
             let mut options: Vec<Option_> = shapes
                 .iter()
                 .enumerate()
-                .map(|(i, &(w, h))| Option_ { w, h, choice: Choice::Leaf(i) })
+                .map(|(i, &(w, h))| Option_ {
+                    w,
+                    h,
+                    choice: Choice::Leaf(i),
+                })
                 .collect();
             prune(&mut options);
-            Ok(Solved::Leaf { name: name.clone(), shapes: shapes.clone(), options })
+            Ok(Solved::Leaf {
+                name: name.clone(),
+                shapes: shapes.clone(),
+                options,
+            })
         }
         SlicingTree::Node { cut, first, second } => {
             let a = solve(first)?;
@@ -203,11 +227,20 @@ fn solve(tree: &SlicingTree) -> Result<Solved, FloorplanError> {
                         Cut::Vertical => (oa.w + ob.w, oa.h.max(ob.h)),
                         Cut::Horizontal => (oa.w.max(ob.w), oa.h + ob.h),
                     };
-                    options.push(Option_ { w, h, choice: Choice::Pair(i, j) });
+                    options.push(Option_ {
+                        w,
+                        h,
+                        choice: Choice::Pair(i, j),
+                    });
                 }
             }
             prune(&mut options);
-            Ok(Solved::Node { cut: *cut, first: Box::new(a), second: Box::new(b), options })
+            Ok(Solved::Node {
+                cut: *cut,
+                first: Box::new(a),
+                second: Box::new(b),
+                options,
+            })
         }
     }
 }
@@ -251,19 +284,35 @@ pub fn best_by_area(tree: &SlicingTree) -> Result<Floorplan, FloorplanError> {
     })
 }
 
-/// Realizes the floorplan whose aspect ratio is closest to `target`.
+/// Aspect ratios within this factor of the target count as acceptable for
+/// [`best_by_aspect`]; among them the smallest area wins.
+const ASPECT_TOLERANCE: f64 = 1.25;
+
+/// Realizes the smallest-area floorplan whose aspect ratio lies within
+/// a 1.25× tolerance band of `target` (falling back to the closest aspect
+/// ratio when the envelope has no option in that band — shape staircases
+/// are discrete, so a gap around the target is possible).
 ///
 /// # Errors
 /// Fails if any leaf has no shapes.
 pub fn best_by_aspect(tree: &SlicingTree, target: f64) -> Result<Floorplan, FloorplanError> {
     pick(tree, |options| {
-        options
+        let in_band = |o: &Option_| {
+            let r = o.w / o.h;
+            r >= target / ASPECT_TOLERANCE && r <= target * ASPECT_TOLERANCE
+        };
+        let banded = options
             .iter()
             .enumerate()
-            .min_by(|a, b| {
-                let ra = (a.1.w / a.1.h - target).abs();
-                let rb = (b.1.w / b.1.h - target).abs();
-                ra.total_cmp(&rb)
+            .filter(|(_, o)| in_band(o))
+            .min_by(|a, b| (a.1.w * a.1.h).total_cmp(&(b.1.w * b.1.h)));
+        banded
+            .or_else(|| {
+                options.iter().enumerate().min_by(|a, b| {
+                    let ra = (a.1.w / a.1.h - target).abs();
+                    let rb = (b.1.w / b.1.h - target).abs();
+                    ra.total_cmp(&rb)
+                })
             })
             .map(|(i, _)| i)
             .expect("non-empty options")
@@ -278,27 +327,40 @@ fn pick(
     let root_idx = select(solved.options());
     let mut placements = Vec::new();
     let (w, h) = realize(&solved, root_idx, 0.0, 0.0, &mut placements);
-    Ok(Floorplan { width: w, height: h, placements })
+    Ok(Floorplan {
+        width: w,
+        height: h,
+        placements,
+    })
 }
 
 /// Walks the choice tree assigning coordinates; returns the realized size.
-fn realize(
-    node: &Solved,
-    idx: usize,
-    x: f64,
-    y: f64,
-    out: &mut Vec<Placement>,
-) -> (f64, f64) {
+fn realize(node: &Solved, idx: usize, x: f64, y: f64, out: &mut Vec<Placement>) -> (f64, f64) {
     match node {
-        Solved::Leaf { name, shapes, options } => {
+        Solved::Leaf {
+            name,
+            shapes,
+            options,
+        } => {
             let Choice::Leaf(si) = options[idx].choice else {
                 unreachable!("leaf stores leaf choices")
             };
             let (w, h) = shapes[si];
-            out.push(Placement { name: name.clone(), x, y, width: w, height: h });
+            out.push(Placement {
+                name: name.clone(),
+                x,
+                y,
+                width: w,
+                height: h,
+            });
             (w, h)
         }
-        Solved::Node { cut, first, second, options } => {
+        Solved::Node {
+            cut,
+            first,
+            second,
+            options,
+        } => {
             let Choice::Pair(i, j) = options[idx].choice else {
                 unreachable!("node stores pair choices")
             };
@@ -328,10 +390,7 @@ mod tests {
 
     #[test]
     fn vertical_cut_adds_widths() {
-        let t = SlicingTree::beside(
-            leaf("a", &[(10.0, 20.0)]),
-            leaf("b", &[(5.0, 12.0)]),
-        );
+        let t = SlicingTree::beside(leaf("a", &[(10.0, 20.0)]), leaf("b", &[(5.0, 12.0)]));
         let fp = best_by_area(&t).unwrap();
         assert_eq!(fp.width, 15.0);
         assert_eq!(fp.height, 20.0);

@@ -30,6 +30,8 @@
 //! # }
 //! ```
 
+#![deny(rustdoc::broken_intra_doc_links)]
+
 mod cif;
 mod floorplan;
 mod place;

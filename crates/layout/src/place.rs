@@ -92,9 +92,9 @@ impl Layout {
             .iter()
             .enumerate()
             .flat_map(|(si, cells)| {
-                cells.iter().map(move |c| {
-                    (c.gate, (c.x + c.width / 2.0, si as f64))
-                })
+                cells
+                    .iter()
+                    .map(move |c| (c.gate, (c.x + c.width / 2.0, si as f64)))
             })
             .collect();
         let mut nets: HashMap<GNet, Vec<(f64, f64)>> = HashMap::new();
@@ -116,8 +116,12 @@ impl Layout {
         nets.values()
             .filter(|pins| pins.len() >= 2)
             .map(|pins| {
-                let (mut x0, mut x1, mut y0, mut y1) =
-                    (f64::INFINITY, f64::NEG_INFINITY, f64::INFINITY, f64::NEG_INFINITY);
+                let (mut x0, mut x1, mut y0, mut y1) = (
+                    f64::INFINITY,
+                    f64::NEG_INFINITY,
+                    f64::INFINITY,
+                    f64::NEG_INFINITY,
+                );
                 for &(x, y) in pins {
                     x0 = x0.min(x);
                     x1 = x1.max(x);
@@ -141,13 +145,17 @@ pub fn place(
     ports: &PortSpec,
 ) -> Result<Layout, LayoutError> {
     if strips == 0 {
-        return Err(LayoutError { message: "strip count must be at least 1".into() });
+        return Err(LayoutError {
+            message: "strip count must be at least 1".into(),
+        });
     }
     let placeable: Vec<usize> = (0..nl.gates.len())
         .filter(|&i| lib.cell(nl.gates[i].cell).geometry.width > 0.0)
         .collect();
     if placeable.is_empty() {
-        return Err(LayoutError { message: format!("netlist `{}` has no cells", nl.name) });
+        return Err(LayoutError {
+            message: format!("netlist `{}` has no cells", nl.name),
+        });
     }
     let strips = strips.min(placeable.len());
 
@@ -286,7 +294,12 @@ pub fn place(
                 Side::Top => (frac * max_width, 0.0),
                 Side::Bottom => (frac * max_width, height),
             };
-            placed_ports.push(PlacedPort { name: a.name.clone(), side, x, y });
+            placed_ports.push(PlacedPort {
+                name: a.name.clone(),
+                side,
+                x,
+                y,
+            });
         }
     }
 
@@ -334,8 +347,16 @@ VARIABLE: i;
     fn places_all_cells_without_overlap() {
         let (nl, lib) = netlist(8);
         let spec = PortSpec::default_for(
-            nl.inputs.iter().map(|&n| nl.net_name(n).to_string()).collect::<Vec<_>>().as_slice(),
-            nl.outputs.iter().map(|&n| nl.net_name(n).to_string()).collect::<Vec<_>>().as_slice(),
+            nl.inputs
+                .iter()
+                .map(|&n| nl.net_name(n).to_string())
+                .collect::<Vec<_>>()
+                .as_slice(),
+            nl.outputs
+                .iter()
+                .map(|&n| nl.net_name(n).to_string())
+                .collect::<Vec<_>>()
+                .as_slice(),
         );
         let l = place(&nl, &lib, 3, &spec).unwrap();
         assert_eq!(l.cell_count(), nl.gates.len());
@@ -406,6 +427,9 @@ VARIABLE: i;
         for k in 1..=4 {
             ratios.push(place(&nl, &lib, k, &spec).unwrap().aspect_ratio());
         }
-        assert!(ratios[0] > ratios[3], "1 strip must be wider than 4: {ratios:?}");
+        assert!(
+            ratios[0] > ratios[3],
+            "1 strip must be wider than 4: {ratios:?}"
+        );
     }
 }

@@ -51,7 +51,9 @@ impl FromStr for Side {
             "right" => Ok(Side::Right),
             "top" => Ok(Side::Top),
             "bottom" => Ok(Side::Bottom),
-            other => Err(PortSpecError { message: format!("unknown side `{other}`") }),
+            other => Err(PortSpecError {
+                message: format!("unknown side `{other}`"),
+            }),
         }
     }
 }
@@ -208,10 +210,7 @@ Q[4] bottom 50
 
     #[test]
     fn default_spec_covers_all_ports() {
-        let spec = PortSpec::default_for(
-            &["A".into(), "B".into()],
-            &["O".into()],
-        );
+        let spec = PortSpec::default_for(&["A".into(), "B".into()], &["O".into()]);
         assert_eq!(spec.side_ports(Side::Left).len(), 2);
         assert_eq!(spec.side_ports(Side::Right).len(), 1);
         assert!(spec.get("A").is_some());

@@ -237,12 +237,18 @@ pub struct Cover {
 impl Cover {
     /// The empty (constant-0) cover over `n` variables.
     pub fn zero(n: usize) -> Cover {
-        Cover { cubes: Vec::new(), n }
+        Cover {
+            cubes: Vec::new(),
+            n,
+        }
     }
 
     /// The tautology (constant-1) cover over `n` variables.
     pub fn one(n: usize) -> Cover {
-        Cover { cubes: vec![Cube::universe(n)], n }
+        Cover {
+            cubes: vec![Cube::universe(n)],
+            n,
+        }
     }
 
     /// A cover from explicit cubes.

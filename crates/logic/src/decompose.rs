@@ -41,7 +41,10 @@ impl SubjectGraph {
     /// Each node's cover is algebraically factored first, so the graph
     /// reflects the multi-level structure found by optimization.
     pub fn from_network(network: &Network) -> SubjectGraph {
-        let mut b = Builder { nodes: Vec::new(), hash: HashMap::new() };
+        let mut b = Builder {
+            nodes: Vec::new(),
+            hash: HashMap::new(),
+        };
         let mut roots = Vec::new();
         for node in &network.nodes {
             let sop = cover_to_sop(&node.cover);
@@ -49,7 +52,10 @@ impl SubjectGraph {
             let idx = b.tree(&tree, &node.fanins);
             roots.push((idx, node.output));
         }
-        let mut g = SubjectGraph { nodes: b.nodes, roots };
+        let mut g = SubjectGraph {
+            nodes: b.nodes,
+            roots,
+        };
         g.count_fanout();
         g
     }
@@ -204,18 +210,13 @@ impl Builder {
 
 /// Evaluates a subject node given net values (reference semantics for the
 /// mapper's correctness tests).
-pub fn eval_subject(
-    g: &SubjectGraph,
-    idx: u32,
-    values: &HashMap<NetId, bool>,
-) -> bool {
+pub fn eval_subject(g: &SubjectGraph, idx: u32, values: &HashMap<NetId, bool>) -> bool {
     match g.nodes[idx as usize].kind {
         SubjectKind::Leaf(n) => values[&n],
         SubjectKind::Inv(a) => !eval_subject(g, a, values),
         SubjectKind::Nand(a, b) => !(eval_subject(g, a, values) && eval_subject(g, b, values)),
     }
 }
-
 
 #[cfg(test)]
 mod tests {
@@ -242,9 +243,7 @@ mod tests {
 
     #[test]
     fn structural_hashing_shares_nand_subtrees() {
-        let net = network(
-            "NAME: T; INORDER: A, B; OUTORDER: O, P; { O = A * B; P = A * B; }",
-        );
+        let net = network("NAME: T; INORDER: A, B; OUTORDER: O, P; { O = A * B; P = A * B; }");
         let g = SubjectGraph::from_network(&net);
         // The NAND(A,B) core is shared (hash-consed); the final inverters
         // are duplicated per use by design.
@@ -277,8 +276,7 @@ mod tests {
     #[test]
     fn factored_form_shares_common_factor() {
         // O = A·C + A·D = A(C+D): leaf A referenced once in the graph.
-        let net =
-            network("NAME: T; INORDER: A, C, D; OUTORDER: O; { O = A*C + A*D; }");
+        let net = network("NAME: T; INORDER: A, C, D; OUTORDER: O; { O = A*C + A*D; }");
         let g = SubjectGraph::from_network(&net);
         let a = net.net_id("A").unwrap();
         let leaf_a = g
@@ -286,7 +284,10 @@ mod tests {
             .iter()
             .position(|n| n.kind == SubjectKind::Leaf(a))
             .expect("leaf A present");
-        assert_eq!(g.nodes[leaf_a].fanout, 1, "A must appear once after factoring");
+        assert_eq!(
+            g.nodes[leaf_a].fanout, 1,
+            "A must appear once after factoring"
+        );
     }
 
     #[test]

@@ -35,6 +35,8 @@
 //! # }
 //! ```
 
+#![deny(rustdoc::broken_intra_doc_links)]
+
 mod cube;
 mod decompose;
 mod factor;
@@ -52,6 +54,6 @@ pub use factor::{
 };
 pub use map::{map_network, MapObjective};
 pub use minimize::minimize;
-pub use netlist::{Gate, GateNetlist, GNet, NetlistError};
+pub use netlist::{GNet, Gate, GateNetlist, NetlistError};
 pub use network::{NetId, Network, NetworkError, Node, Register, Special};
 pub use synth::{optimize, synthesize, SynthError, SynthOptions};

@@ -5,7 +5,7 @@
 //! then reinserted", step 4) and interface elements mapped directly.
 
 use crate::decompose::{SubjectGraph, SubjectKind};
-use crate::netlist::{Gate, GateNetlist, GNet, NetlistError};
+use crate::netlist::{GNet, Gate, GateNetlist, NetlistError};
 use crate::network::{NetId, Network, Special};
 use icdb_cells::{CellFunction, CellId, ClockEdge, LatchLevel, Library, Pattern};
 use icdb_iif::ClockKind;
@@ -83,15 +83,20 @@ impl<'a, 'l> Mapper<'a, 'l> {
                     MapObjective::Area => cell.geometry.width,
                     MapObjective::Delay => cell.timing.y,
                 };
-                patterns.push(CellPattern { cell: id, pattern: p, arity: cell.inputs.len(), cost });
+                patterns.push(CellPattern {
+                    cell: id,
+                    pattern: p,
+                    arity: cell.inputs.len(),
+                    cost,
+                });
             }
         }
-        let inv_cell = lib
-            .cell_id("INV")
-            .ok_or_else(|| NetlistError { message: "library lacks INV".into() })?;
-        let buf_cell = lib
-            .cell_id("BUF")
-            .ok_or_else(|| NetlistError { message: "library lacks BUF".into() })?;
+        let inv_cell = lib.cell_id("INV").ok_or_else(|| NetlistError {
+            message: "library lacks INV".into(),
+        })?;
+        let buf_cell = lib.cell_id("BUF").ok_or_else(|| NetlistError {
+            message: "library lacks BUF".into(),
+        })?;
         Ok(Mapper {
             network,
             lib,
@@ -119,15 +124,24 @@ impl<'a, 'l> Mapper<'a, 'l> {
         // Constants.
         let tie0 = self.lib.id_by_function(&CellFunction::Tie0);
         let tie1 = self.lib.id_by_function(&CellFunction::Tie1);
-        let mut const_nets: Vec<(NetId, bool)> =
-            self.network.constants.iter().map(|(&n, &v)| (n, v)).collect();
+        let mut const_nets: Vec<(NetId, bool)> = self
+            .network
+            .constants
+            .iter()
+            .map(|(&n, &v)| (n, v))
+            .collect();
         const_nets.sort_by_key(|(n, _)| *n);
         for (n, v) in const_nets {
             let cell = if v { tie1 } else { tie0 }.ok_or_else(|| NetlistError {
                 message: "library lacks tie cells".into(),
             })?;
             let out = self.netlist.intern(self.network.net_name(n));
-            self.netlist.gates.push(Gate { cell, inputs: vec![], output: out, size: 1.0 });
+            self.netlist.gates.push(Gate {
+                cell,
+                inputs: vec![],
+                output: out,
+                size: 1.0,
+            });
         }
 
         // Cover roots: declared roots plus multi-fanout internal nodes.
@@ -138,9 +152,7 @@ impl<'a, 'l> Mapper<'a, 'l> {
         let mut cover_roots: Vec<u32> = root_net.keys().copied().collect();
         for (i, n) in self.graph.nodes.iter().enumerate() {
             let i = i as u32;
-            if n.fanout > 1
-                && !matches!(n.kind, SubjectKind::Leaf(_))
-                && !root_net.contains_key(&i)
+            if n.fanout > 1 && !matches!(n.kind, SubjectKind::Leaf(_)) && !root_net.contains_key(&i)
             {
                 cover_roots.push(i);
             }
@@ -282,7 +294,11 @@ impl<'a, 'l> Mapper<'a, 'l> {
                     continue;
                 }
                 if choice.as_ref().is_none_or(|c| cost < c.cost) {
-                    choice = Some(Choice { cell: cp.cell, bindings: bound, cost });
+                    choice = Some(Choice {
+                        cell: cp.cell,
+                        bindings: bound,
+                        cost,
+                    });
                 }
             }
         }
@@ -318,7 +334,12 @@ impl<'a, 'l> Mapper<'a, 'l> {
             }
         }
         let output = self.net_of[&n];
-        self.netlist.gates.push(Gate { cell: choice.cell, inputs, output, size: 1.0 });
+        self.netlist.gates.push(Gate {
+            cell: choice.cell,
+            inputs,
+            output,
+            size: 1.0,
+        });
     }
 
     fn net_for(&mut self, n: NetId) -> GNet {
@@ -338,7 +359,9 @@ impl<'a, 'l> Mapper<'a, 'l> {
                     // Falling-edge flops with async controls are built from a
                     // rising-edge cell behind a clock inverter.
                     let edge = if falling && has_async {
-                        let inv_out = self.netlist.fresh(&format!("{}$ckn", self.network.net_name(r.q)));
+                        let inv_out = self
+                            .netlist
+                            .fresh(&format!("{}$ckn", self.network.net_name(r.q)));
                         self.netlist.gates.push(Gate {
                             cell: self.inv_cell,
                             inputs: vec![clk],
@@ -357,9 +380,12 @@ impl<'a, 'l> Mapper<'a, 'l> {
                         set: r.set.is_some(),
                         reset: r.reset.is_some(),
                     };
-                    let cell = self.lib.id_by_function(&function).ok_or_else(|| {
-                        NetlistError { message: format!("library lacks {function:?}") }
-                    })?;
+                    let cell = self
+                        .lib
+                        .id_by_function(&function)
+                        .ok_or_else(|| NetlistError {
+                            message: format!("library lacks {function:?}"),
+                        })?;
                     let mut inputs = vec![d, clk];
                     if let Some(s) = r.set {
                         inputs.push(self.net_for(s));
@@ -367,13 +393,17 @@ impl<'a, 'l> Mapper<'a, 'l> {
                     if let Some(s) = r.reset {
                         inputs.push(self.net_for(s));
                     }
-                    self.netlist.gates.push(Gate { cell, inputs, output: q, size: 1.0 });
+                    self.netlist.gates.push(Gate {
+                        cell,
+                        inputs,
+                        output: q,
+                        size: 1.0,
+                    });
                 }
                 ClockKind::High | ClockKind::Low => {
                     if r.set.is_some() || r.reset.is_some() {
                         return Err(NetlistError {
-                            message: "latches with asynchronous set/reset are not supported"
-                                .into(),
+                            message: "latches with asynchronous set/reset are not supported".into(),
                         });
                     }
                     let level = if r.kind == ClockKind::High {
@@ -415,17 +445,38 @@ impl<'a, 'l> Mapper<'a, 'l> {
                 Special::Schmitt { input, output } => {
                     let cell = self.require(&CellFunction::Schmitt)?;
                     let (i, o) = (self.net_for(input), self.net_for(output));
-                    self.netlist.gates.push(Gate { cell, inputs: vec![i], output: o, size: 1.0 });
+                    self.netlist.gates.push(Gate {
+                        cell,
+                        inputs: vec![i],
+                        output: o,
+                        size: 1.0,
+                    });
                 }
-                Special::Delay { input, output, ns: _ } => {
+                Special::Delay {
+                    input,
+                    output,
+                    ns: _,
+                } => {
                     let cell = self.require(&CellFunction::Delay)?;
                     let (i, o) = (self.net_for(input), self.net_for(output));
-                    self.netlist.gates.push(Gate { cell, inputs: vec![i], output: o, size: 1.0 });
+                    self.netlist.gates.push(Gate {
+                        cell,
+                        inputs: vec![i],
+                        output: o,
+                        size: 1.0,
+                    });
                 }
-                Special::Tristate { data, enable, output } => {
+                Special::Tristate {
+                    data,
+                    enable,
+                    output,
+                } => {
                     let cell = self.require(&CellFunction::Tribuf)?;
-                    let (d, e, o) =
-                        (self.net_for(data), self.net_for(enable), self.net_for(output));
+                    let (d, e, o) = (
+                        self.net_for(data),
+                        self.net_for(enable),
+                        self.net_for(output),
+                    );
                     self.netlist.gates.push(Gate {
                         cell,
                         inputs: vec![d, e],
@@ -437,8 +488,7 @@ impl<'a, 'l> Mapper<'a, 'l> {
                     let cell = self.require(&CellFunction::WiredOr(4))?;
                     let arity = self.lib.cell(cell).inputs.len();
                     let tie0 = self.require(&CellFunction::Tie0)?;
-                    let mut nets: Vec<GNet> =
-                        inputs.iter().map(|&n| self.net_for(n)).collect();
+                    let mut nets: Vec<GNet> = inputs.iter().map(|&n| self.net_for(n)).collect();
                     let out = self.net_for(output);
                     // Cascade if wider than the cell; pad with constant 0.
                     while nets.len() > arity {
@@ -462,7 +512,12 @@ impl<'a, 'l> Mapper<'a, 'l> {
                         });
                         nets.push(zero);
                     }
-                    self.netlist.gates.push(Gate { cell, inputs: nets, output: out, size: 1.0 });
+                    self.netlist.gates.push(Gate {
+                        cell,
+                        inputs: nets,
+                        output: out,
+                        size: 1.0,
+                    });
                 }
             }
         }
@@ -470,9 +525,9 @@ impl<'a, 'l> Mapper<'a, 'l> {
     }
 
     fn require(&self, f: &CellFunction) -> Result<CellId, NetlistError> {
-        self.lib
-            .id_by_function(f)
-            .ok_or_else(|| NetlistError { message: format!("library lacks {f:?}") })
+        self.lib.id_by_function(f).ok_or_else(|| NetlistError {
+            message: format!("library lacks {f:?}"),
+        })
     }
 }
 
@@ -558,7 +613,9 @@ mod tests {
         for _ in 0..rounds {
             let mut given = HashMap::new();
             for &i in &net.inputs {
-                rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                rng = rng
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 given.insert(i, rng >> 63 == 1);
             }
             let want = net.eval_comb(&given).unwrap();
@@ -656,7 +713,11 @@ mod tests {
         check_equiv(&net, &nl, &lib, 8);
         let h = nl.cell_histogram(&lib);
         assert!(h.contains_key("AOI21") || h.contains_key("OAI21"), "{h:?}");
-        assert!(nl.gates.len() <= 2, "expected one complex gate, got {:?}", h);
+        assert!(
+            nl.gates.len() <= 2,
+            "expected one complex gate, got {:?}",
+            h
+        );
     }
 
     #[test]
@@ -690,7 +751,10 @@ VARIABLE: i;
 }";
         let (net, nl, lib) = synth(src, &[("size", 16)]);
         check_equiv(&net, &nl, &lib, 8);
-        assert!(nl.gates.len() >= 32, "16-bit adder should have plenty of gates");
+        assert!(
+            nl.gates.len() >= 32,
+            "16-bit adder should have plenty of gates"
+        );
     }
 
     #[test]

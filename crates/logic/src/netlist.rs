@@ -174,11 +174,7 @@ impl GateNetlist {
                 }
             }
         }
-        let mut queue: Vec<usize> = comb
-            .iter()
-            .copied()
-            .filter(|i| indegree[i] == 0)
-            .collect();
+        let mut queue: Vec<usize> = comb.iter().copied().filter(|i| indegree[i] == 0).collect();
         let mut order = Vec::with_capacity(comb.len());
         while let Some(i) = queue.pop() {
             order.push(i);

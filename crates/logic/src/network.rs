@@ -33,7 +33,9 @@ impl fmt::Display for NetworkError {
 impl std::error::Error for NetworkError {}
 
 fn nerr(message: impl Into<String>) -> NetworkError {
-    NetworkError { message: message.into() }
+    NetworkError {
+        message: message.into(),
+    }
 }
 
 /// Stable handle for a net inside a [`Network`].
@@ -253,7 +255,11 @@ impl Network {
             FlatExpr::Tristate { data, enable } => {
                 let d = self.materialize(data, &format!("{}$td", eq.lhs))?;
                 let e = self.materialize(enable, &format!("{}$te", eq.lhs))?;
-                self.specials.push(Special::Tristate { data: d, enable: e, output: lhs });
+                self.specials.push(Special::Tristate {
+                    data: d,
+                    enable: e,
+                    output: lhs,
+                });
                 Ok(())
             }
             FlatExpr::WireOr(es) => {
@@ -261,7 +267,10 @@ impl Network {
                 for (i, e) in es.iter().enumerate() {
                     ins.push(self.materialize(e, &format!("{}$w{i}", eq.lhs))?);
                 }
-                self.specials.push(Special::WireOr { inputs: ins, output: lhs });
+                self.specials.push(Special::WireOr {
+                    inputs: ins,
+                    output: lhs,
+                });
                 Ok(())
             }
             FlatExpr::Buf(e) => {
@@ -276,7 +285,11 @@ impl Network {
             }
             FlatExpr::Delay(e, ns) => {
                 let input = self.materialize(e, &format!("{}$din", eq.lhs))?;
-                self.specials.push(Special::Delay { input, output: lhs, ns: *ns });
+                self.specials.push(Special::Delay {
+                    input,
+                    output: lhs,
+                    ns: *ns,
+                });
                 Ok(())
             }
             other => {
@@ -310,7 +323,14 @@ impl Network {
         }
         let set = self.materialize_or(&set_conds, &format!("{q_name}$SET"))?;
         let reset = self.materialize_or(&reset_conds, &format!("{q_name}$RST"))?;
-        self.registers.push(Register { q, d, clock: clk, kind: clock.kind, set, reset });
+        self.registers.push(Register {
+            q,
+            d,
+            clock: clk,
+            kind: clock.kind,
+            set,
+            reset,
+        });
         Ok(())
     }
 
@@ -356,7 +376,11 @@ impl Network {
             self.constants.insert(output, value);
             return;
         }
-        self.nodes.push(Node { output, fanins: cone.fanins, cover: cone.cover });
+        self.nodes.push(Node {
+            output,
+            fanins: cone.fanins,
+            cover: cone.cover,
+        });
     }
 
     /// Recursively flattens a pure-boolean expression into a cover,
@@ -375,7 +399,9 @@ impl Network {
                     Some(c) => Ok(c),
                     None => {
                         let n = self.materialize(e, &format!("{hint}$n"))?;
-                        Ok(Cone::literal(n).complement(MAX_CONE_CUBES).expect("literal"))
+                        Ok(Cone::literal(n)
+                            .complement(MAX_CONE_CUBES)
+                            .expect("literal"))
                     }
                 }
             }
@@ -413,14 +439,22 @@ impl Network {
             FlatExpr::Delay(e, ns) => {
                 let input = self.materialize(e, &format!("{hint}$din"))?;
                 let output = self.fresh_net(&format!("{hint}$delay"));
-                self.specials.push(Special::Delay { input, output, ns: *ns });
+                self.specials.push(Special::Delay {
+                    input,
+                    output,
+                    ns: *ns,
+                });
                 Ok(Cone::literal(output))
             }
             FlatExpr::Tristate { data, enable } => {
                 let d = self.materialize(data, &format!("{hint}$td"))?;
                 let e = self.materialize(enable, &format!("{hint}$te"))?;
                 let output = self.fresh_net(&format!("{hint}$tri"));
-                self.specials.push(Special::Tristate { data: d, enable: e, output });
+                self.specials.push(Special::Tristate {
+                    data: d,
+                    enable: e,
+                    output,
+                });
                 Ok(Cone::literal(output))
             }
             FlatExpr::WireOr(es) => {
@@ -429,7 +463,10 @@ impl Network {
                     ins.push(self.materialize(e, &format!("{hint}$w{i}"))?);
                 }
                 let output = self.fresh_net(&format!("{hint}$wor"));
-                self.specials.push(Special::WireOr { inputs: ins, output });
+                self.specials.push(Special::WireOr {
+                    inputs: ins,
+                    output,
+                });
                 Ok(Cone::literal(output))
             }
             FlatExpr::At { .. } | FlatExpr::Async { .. } => Err(nerr(format!(
@@ -514,7 +551,9 @@ impl Network {
             // Nodes that became constant.
             let mut new_consts = Vec::new();
             self.nodes.retain(|n| {
-                if n.fanins.is_empty() || n.cover.is_zero() || n.cover.cubes.iter().any(Cube::is_universe)
+                if n.fanins.is_empty()
+                    || n.cover.is_zero()
+                    || n.cover.cubes.iter().any(Cube::is_universe)
                 {
                     let value = !n.cover.is_zero();
                     new_consts.push((n.output, value));
@@ -629,7 +668,10 @@ impl Network {
                 }
             }
             for r in &self.registers {
-                for f in [Some(r.d), Some(r.clock), r.set, r.reset].into_iter().flatten() {
+                for f in [Some(r.d), Some(r.clock), r.set, r.reset]
+                    .into_iter()
+                    .flatten()
+                {
                     *fanout.entry(f).or_insert(0) += 1;
                 }
             }
@@ -704,8 +746,7 @@ impl Network {
             remaining.retain(|&i| {
                 let node = &self.nodes[i];
                 if node.fanins.iter().all(|f| values.contains_key(f)) {
-                    let assignment: Vec<bool> =
-                        node.fanins.iter().map(|f| values[f]).collect();
+                    let assignment: Vec<bool> = node.fanins.iter().map(|f| values[f]).collect();
                     values.insert(node.output, node.cover.eval(&assignment));
                     progressed = true;
                     false
@@ -817,8 +858,16 @@ fn collapse(consumer: &Node, producer: &Node, max_cubes: usize) -> Option<Node> 
         .enumerate()
         .map(|(newi, _)| newi)
         .collect();
-    let f_pos = remap(&strip_var(&consumer.cover.cofactor(x, true), x), n, &cons_map);
-    let f_neg = remap(&strip_var(&consumer.cover.cofactor(x, false), x), n, &cons_map);
+    let f_pos = remap(
+        &strip_var(&consumer.cover.cofactor(x, true), x),
+        n,
+        &cons_map,
+    );
+    let f_neg = remap(
+        &strip_var(&consumer.cover.cofactor(x, false), x),
+        n,
+        &cons_map,
+    );
 
     let mut cubes = Vec::new();
     for a in &f_pos.cubes {
@@ -840,7 +889,11 @@ fn collapse(consumer: &Node, producer: &Node, max_cubes: usize) -> Option<Node> 
     }
     let mut cover = Cover::from_cubes(n, cubes);
     cover.remove_contained();
-    Some(Node { output: consumer.output, fanins, cover })
+    Some(Node {
+        output: consumer.output,
+        fanins,
+        cover,
+    })
 }
 
 /// Removes variable `v` (assumed don't-care) by index-shifting.
@@ -939,7 +992,13 @@ impl Cone {
         if c.cubes.len() > limit {
             return None;
         }
-        Some(Cone { fanins: self.fanins.clone(), cover: c }.prune())
+        Some(
+            Cone {
+                fanins: self.fanins.clone(),
+                cover: c,
+            }
+            .prune(),
+        )
     }
 
     fn xor(a: &Cone, b: &Cone, xnor: bool, limit: usize) -> Option<Cone> {
@@ -977,7 +1036,10 @@ impl Cone {
             .collect();
         compacted.cubes = cubes;
         let fanins = support.iter().map(|&i| self.fanins[i]).collect();
-        Cone { fanins, cover: compacted }
+        Cone {
+            fanins,
+            cover: compacted,
+        }
     }
 }
 
@@ -1085,7 +1147,11 @@ mod tests {
         assert_eq!(n, 1);
         assert_eq!(net.nodes.len(), before - 1);
         // Function preserved: O = A·B + C
-        for (a, b, c) in [(true, true, false), (false, true, false), (false, false, true)] {
+        for (a, b, c) in [
+            (true, true, false),
+            (false, true, false),
+            (false, false, true),
+        ] {
             let mut given = HashMap::new();
             given.insert(net.net_id("A").unwrap(), a);
             given.insert(net.net_id("B").unwrap(), b);
@@ -1112,7 +1178,11 @@ mod tests {
                 given.insert(net.net_id(&format!("I[{i}]")).unwrap(), v);
             }
             let vals = net.eval_comb(&given).unwrap();
-            assert_eq!(vals[&net.net_id("O").unwrap()], expect, "pattern {pattern:b}");
+            assert_eq!(
+                vals[&net.net_id("O").unwrap()],
+                expect,
+                "pattern {pattern:b}"
+            );
         }
     }
 

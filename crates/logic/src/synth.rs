@@ -172,7 +172,10 @@ mod tests {
              { T = A*B; O = T + C; }",
             &[],
         );
-        let opts = SynthOptions { eliminate: false, ..SynthOptions::default() };
+        let opts = SynthOptions {
+            eliminate: false,
+            ..SynthOptions::default()
+        };
         let net = optimize(&f, &opts).unwrap();
         assert_eq!(net.nodes.len(), 2);
         let opts2 = SynthOptions::default();

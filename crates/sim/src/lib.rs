@@ -27,6 +27,8 @@
 //! # }
 //! ```
 
+#![deny(rustdoc::broken_intra_doc_links)]
+
 use icdb_cells::{CellFunction, ClockEdge, LatchLevel, Library};
 use icdb_logic::{GNet, GateNetlist};
 use std::collections::HashMap;
@@ -140,10 +142,9 @@ impl<'a> Simulator<'a> {
     /// # Errors
     /// Fails if the net does not exist.
     pub fn get_by_name(&self, name: &str) -> Result<Logic, SimError> {
-        let id = self
-            .netlist
-            .net_id(name)
-            .ok_or_else(|| SimError { message: format!("no net named `{name}`") })?;
+        let id = self.netlist.net_id(name).ok_or_else(|| SimError {
+            message: format!("no net named `{name}`"),
+        })?;
         Ok(self.get(id))
     }
 
@@ -157,10 +158,9 @@ impl<'a> Simulator<'a> {
     /// # Errors
     /// Fails if the net does not exist.
     pub fn set_by_name(&mut self, name: &str, v: Logic) -> Result<(), SimError> {
-        let id = self
-            .netlist
-            .net_id(name)
-            .ok_or_else(|| SimError { message: format!("no net named `{name}`") })?;
+        let id = self.netlist.net_id(name).ok_or_else(|| SimError {
+            message: format!("no net named `{name}`"),
+        })?;
         self.set(id, v);
         Ok(())
     }
@@ -513,10 +513,18 @@ VARIABLE: i;
         sim.set_by_name("D", Logic::Zero).unwrap();
         sim.set_by_name("SET", Logic::One).unwrap();
         sim.pulse("CLK").unwrap();
-        assert_eq!(sim.get_by_name("Q").unwrap(), Logic::One, "set wins over captured 0");
+        assert_eq!(
+            sim.get_by_name("Q").unwrap(),
+            Logic::One,
+            "set wins over captured 0"
+        );
         sim.set_by_name("SET", Logic::Zero).unwrap();
         sim.pulse("CLK").unwrap();
-        assert_eq!(sim.get_by_name("Q").unwrap(), Logic::Zero, "normal capture resumes");
+        assert_eq!(
+            sim.get_by_name("Q").unwrap(),
+            Logic::Zero,
+            "normal capture resumes"
+        );
     }
 
     #[test]
@@ -532,11 +540,19 @@ VARIABLE: i;
         assert_eq!(sim.get_by_name("Q").unwrap(), Logic::One);
         sim.set_by_name("D", Logic::Zero).unwrap();
         sim.propagate();
-        assert_eq!(sim.get_by_name("Q").unwrap(), Logic::Zero, "transparent follows D");
+        assert_eq!(
+            sim.get_by_name("Q").unwrap(),
+            Logic::Zero,
+            "transparent follows D"
+        );
         sim.set_by_name("G", Logic::Zero).unwrap();
         sim.set_by_name("D", Logic::One).unwrap();
         sim.propagate();
-        assert_eq!(sim.get_by_name("Q").unwrap(), Logic::Zero, "opaque holds value");
+        assert_eq!(
+            sim.get_by_name("Q").unwrap(),
+            Logic::Zero,
+            "opaque holds value"
+        );
     }
 
     #[test]
@@ -567,7 +583,11 @@ VARIABLE: i;
         assert_eq!(sim.get_by_name("O").unwrap(), Logic::X, "B unknown");
         sim.set_by_name("A", Logic::Zero).unwrap();
         sim.propagate();
-        assert_eq!(sim.get_by_name("O").unwrap(), Logic::Zero, "0 dominates AND");
+        assert_eq!(
+            sim.get_by_name("O").unwrap(),
+            Logic::Zero,
+            "0 dominates AND"
+        );
     }
 
     #[test]
@@ -594,7 +614,11 @@ VARIABLE: i;
         sim.propagate();
         let q_before = sim.get_by_name("Q").unwrap();
         sim.pulse("CLK").unwrap();
-        assert_eq!(sim.get_by_name("Q").unwrap(), q_before, "gated off: no toggle");
+        assert_eq!(
+            sim.get_by_name("Q").unwrap(),
+            q_before,
+            "gated off: no toggle"
+        );
     }
 
     #[test]
@@ -614,7 +638,9 @@ VARIABLE: i;
         let mut sim = Simulator::new(&nl, &lib).unwrap();
         let mut rng: u64 = 0x9E3779B97F4A7C15;
         for _ in 0..50 {
-            rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            rng = rng
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let a = rng >> 32 & 0xFF;
             let b = rng >> 40 & 0xFF;
             let cin = rng >> 63;

@@ -27,6 +27,8 @@
 //! # }
 //! ```
 
+#![deny(rustdoc::broken_intra_doc_links)]
+
 use icdb_cells::{Library, TECH};
 use icdb_estimate::{estimate_delay, DelayReport, LoadSpec};
 use icdb_logic::GateNetlist;
@@ -51,7 +53,10 @@ pub struct SizingGoal {
 impl SizingGoal {
     /// A goal constraining only the clock width.
     pub fn clock(cw: f64) -> SizingGoal {
-        SizingGoal { clock_width: Some(cw), ..SizingGoal::default() }
+        SizingGoal {
+            clock_width: Some(cw),
+            ..SizingGoal::default()
+        }
     }
 
     /// Worst violation of this goal under `report` (≤ 0 means met).
@@ -129,7 +134,12 @@ pub fn size_netlist(
     let mut report = estimate_delay(nl, lib, loads).expect("sized netlists are acyclic");
     if matches!(strategy, Strategy::Cheapest) {
         let area_width = nl.total_width(lib);
-        return SizingResult { iterations: 0, met: true, report, area_width };
+        return SizingResult {
+            iterations: 0,
+            met: true,
+            report,
+            area_width,
+        };
     }
 
     let mut iterations = 0;
@@ -182,7 +192,12 @@ pub fn size_netlist(
         _ => true,
     };
     let area_width = nl.total_width(lib);
-    SizingResult { iterations, met, report, area_width }
+    SizingResult {
+        iterations,
+        met,
+        report,
+        area_width,
+    }
 }
 
 #[cfg(test)]
@@ -228,7 +243,12 @@ VARIABLE: i;
         let loads = LoadSpec::uniform(10.0);
         let before = estimate_delay(&nl, &lib, &loads).unwrap().clock_width;
         let r = size_netlist(&mut nl, &lib, &loads, &Strategy::Fastest);
-        assert!(r.report.clock_width < before, "{} -> {}", before, r.report.clock_width);
+        assert!(
+            r.report.clock_width < before,
+            "{} -> {}",
+            before,
+            r.report.clock_width
+        );
         assert!(r.iterations > 0);
     }
 
@@ -240,7 +260,11 @@ VARIABLE: i;
         // Ask for a modest improvement.
         let goal = SizingGoal::clock(baseline_cw * 0.93);
         let r = size_netlist(&mut nl, &lib, &loads, &Strategy::Constraints(goal));
-        assert!(r.met, "should reach 7% tighter CW: got {}", r.report.clock_width);
+        assert!(
+            r.met,
+            "should reach 7% tighter CW: got {}",
+            r.report.clock_width
+        );
         assert!(r.report.clock_width <= baseline_cw * 0.93 + 1e-9);
     }
 
@@ -261,7 +285,12 @@ VARIABLE: i;
     fn impossible_constraint_reports_unmet() {
         let (mut nl, lib) = counter(5);
         let goal = SizingGoal::clock(0.1); // physically impossible
-        let r = size_netlist(&mut nl, &lib, &LoadSpec::uniform(10.0), &Strategy::Constraints(goal));
+        let r = size_netlist(
+            &mut nl,
+            &lib,
+            &LoadSpec::uniform(10.0),
+            &Strategy::Constraints(goal),
+        );
         assert!(!r.met);
     }
 

@@ -24,6 +24,8 @@
 //! # }
 //! ```
 
+#![deny(rustdoc::broken_intra_doc_links)]
+
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fmt;
@@ -124,7 +126,9 @@ impl fmt::Display for StoreError {
 impl std::error::Error for StoreError {}
 
 fn serr(message: impl Into<String>) -> StoreError {
-    StoreError { message: message.into() }
+    StoreError {
+        message: message.into(),
+    }
 }
 
 /// The embedded relational store.
@@ -200,7 +204,10 @@ impl Database {
             .ok_or_else(|| serr(format!("no table `{tname}`")))?;
         let predicate = parse_where(&toks, &mut i, table)?;
         if i != toks.len() {
-            return Err(serr(format!("trailing tokens after query: `{}`", toks[i].text)));
+            return Err(serr(format!(
+                "trailing tokens after query: `{}`",
+                toks[i].text
+            )));
         }
         let proj: Vec<usize> = if star {
             (0..table.columns.len()).collect()
@@ -288,7 +295,14 @@ impl Database {
                 other => return Err(serr(format!("expected `,` or `)`, found {other:?}"))),
             }
         }
-        self.tables.insert(name.clone(), Table { name, columns, rows: Vec::new() });
+        self.tables.insert(
+            name.clone(),
+            Table {
+                name,
+                columns,
+                rows: Vec::new(),
+            },
+        );
         Ok(0)
     }
 
@@ -404,7 +418,10 @@ fn sql_tokens(sql: &str) -> Result<Vec<Tok>, StoreError> {
                         None => return Err(serr("unterminated string literal")),
                     }
                 }
-                out.push(Tok { text: s, is_string: true });
+                out.push(Tok {
+                    text: s,
+                    is_string: true,
+                });
             }
             c if c.is_ascii_alphanumeric() || c == '_' || c == '-' || c == '.' => {
                 let mut s = String::new();
@@ -416,12 +433,18 @@ fn sql_tokens(sql: &str) -> Result<Vec<Tok>, StoreError> {
                         break;
                     }
                 }
-                out.push(Tok { text: s, is_string: false });
+                out.push(Tok {
+                    text: s,
+                    is_string: false,
+                });
             }
             '(' | ')' | ',' | '=' | '*' | ';' => {
                 chars.next();
                 if c != ';' {
-                    out.push(Tok { text: c.to_string(), is_string: false });
+                    out.push(Tok {
+                        text: c.to_string(),
+                        is_string: false,
+                    });
                 }
             }
             other => return Err(serr(format!("unexpected character `{other}` in SQL"))),
@@ -431,8 +454,16 @@ fn sql_tokens(sql: &str) -> Result<Vec<Tok>, StoreError> {
 }
 
 fn ident(toks: &[Tok], i: &mut usize) -> Result<String, StoreError> {
-    let t = toks.get(*i).ok_or_else(|| serr("unexpected end of statement"))?;
-    if t.is_string || !t.text.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_') {
+    let t = toks
+        .get(*i)
+        .ok_or_else(|| serr("unexpected end of statement"))?;
+    if t.is_string
+        || !t
+            .text
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+    {
         return Err(serr(format!("expected identifier, found `{}`", t.text)));
     }
     *i += 1;
@@ -440,7 +471,9 @@ fn ident(toks: &[Tok], i: &mut usize) -> Result<String, StoreError> {
 }
 
 fn expect_kw(toks: &[Tok], i: &mut usize, kw: &str) -> Result<(), StoreError> {
-    let t = toks.get(*i).ok_or_else(|| serr(format!("expected `{kw}`")))?;
+    let t = toks
+        .get(*i)
+        .ok_or_else(|| serr(format!("expected `{kw}`")))?;
     if t.upper() == kw {
         *i += 1;
         Ok(())
@@ -450,7 +483,9 @@ fn expect_kw(toks: &[Tok], i: &mut usize, kw: &str) -> Result<(), StoreError> {
 }
 
 fn expect_sym(toks: &[Tok], i: &mut usize, sym: &str) -> Result<(), StoreError> {
-    let t = toks.get(*i).ok_or_else(|| serr(format!("expected `{sym}`")))?;
+    let t = toks
+        .get(*i)
+        .ok_or_else(|| serr(format!("expected `{sym}`")))?;
     if t.text == sym && !t.is_string {
         *i += 1;
         Ok(())
@@ -460,7 +495,10 @@ fn expect_sym(toks: &[Tok], i: &mut usize, sym: &str) -> Result<(), StoreError> 
 }
 
 fn literal(toks: &[Tok], i: &mut usize) -> Result<Value, StoreError> {
-    let t = toks.get(*i).ok_or_else(|| serr("expected a literal"))?.clone();
+    let t = toks
+        .get(*i)
+        .ok_or_else(|| serr("expected a literal"))?
+        .clone();
     *i += 1;
     if t.is_string {
         return Ok(Value::Text(t.text));
@@ -545,22 +583,31 @@ mod tests {
 
     fn db() -> Database {
         let mut db = Database::new();
-        db.execute("CREATE TABLE comp (name TEXT, kind TEXT, area REAL, bits INT)").unwrap();
-        db.execute("INSERT INTO comp VALUES ('cnt5', 'counter', 37.3, 5)").unwrap();
-        db.execute("INSERT INTO comp VALUES ('add8', 'adder', 52.1, 8)").unwrap();
-        db.execute("INSERT INTO comp VALUES ('cnt4', 'counter', 30.0, 4)").unwrap();
+        db.execute("CREATE TABLE comp (name TEXT, kind TEXT, area REAL, bits INT)")
+            .unwrap();
+        db.execute("INSERT INTO comp VALUES ('cnt5', 'counter', 37.3, 5)")
+            .unwrap();
+        db.execute("INSERT INTO comp VALUES ('add8', 'adder', 52.1, 8)")
+            .unwrap();
+        db.execute("INSERT INTO comp VALUES ('cnt4', 'counter', 30.0, 4)")
+            .unwrap();
         db
     }
 
     #[test]
     fn select_with_predicates() {
         let db = db();
-        let rows = db.query("SELECT name FROM comp WHERE kind = 'counter'").unwrap();
+        let rows = db
+            .query("SELECT name FROM comp WHERE kind = 'counter'")
+            .unwrap();
         assert_eq!(rows.len(), 2);
         let rows = db
             .query("SELECT name, area FROM comp WHERE kind = 'counter' AND bits = 5")
             .unwrap();
-        assert_eq!(rows, vec![vec![Value::Text("cnt5".into()), Value::Real(37.3)]]);
+        assert_eq!(
+            rows,
+            vec![vec![Value::Text("cnt5".into()), Value::Real(37.3)]]
+        );
     }
 
     #[test]
@@ -576,7 +623,9 @@ mod tests {
     #[test]
     fn delete_removes_matching_rows() {
         let mut db = db();
-        let n = db.execute("DELETE FROM comp WHERE kind = 'counter'").unwrap();
+        let n = db
+            .execute("DELETE FROM comp WHERE kind = 'counter'")
+            .unwrap();
         assert_eq!(n, 2);
         assert_eq!(db.query("SELECT * FROM comp").unwrap().len(), 1);
     }
@@ -584,10 +633,15 @@ mod tests {
     #[test]
     fn type_checking_on_insert() {
         let mut db = db();
-        assert!(db.execute("INSERT INTO comp VALUES (5, 'adder', 1.0, 1)").is_err());
-        assert!(db.execute("INSERT INTO comp VALUES ('x', 'y', 1.0)").is_err());
+        assert!(db
+            .execute("INSERT INTO comp VALUES (5, 'adder', 1.0, 1)")
+            .is_err());
+        assert!(db
+            .execute("INSERT INTO comp VALUES ('x', 'y', 1.0)")
+            .is_err());
         // INT coerces into REAL column.
-        db.execute("INSERT INTO comp VALUES ('z', 'adder', 10, 1)").unwrap();
+        db.execute("INSERT INTO comp VALUES ('z', 'adder', 10, 1)")
+            .unwrap();
         let rows = db.query("SELECT area FROM comp WHERE name = 'z'").unwrap();
         assert_eq!(rows[0][0], Value::Real(10.0));
     }

@@ -31,8 +31,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Appendix B §5.4: the connection query.
     let mut args = vec![CqlArg::InStr(addsub.clone()), CqlArg::OutStr(None)];
-    icdb.execute("command:connect_component; instance:%s; connect:?s", &mut args)?;
-    let CqlArg::OutStr(Some(connect)) = &args[1] else { panic!() };
+    icdb.execute(
+        "command:connect_component; instance:%s; connect:?s",
+        &mut args,
+    )?;
+    let CqlArg::OutStr(Some(connect)) = &args[1] else {
+        panic!()
+    };
     println!("\n--- connection information ---\n{connect}");
 
     // Verify on silicon-level structure: simulate ADD and SUB.

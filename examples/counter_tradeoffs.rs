@@ -28,10 +28,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The five variants of Fig. 5, all usable as a 5-bit up counter.
     let variants: [(&str, &[(&str, &str)]); 5] = [
         ("ripple", &[("type", "ripple")]),
-        ("synchronous up", &[("type", "synchronous"), ("up_or_down", "up")]),
+        (
+            "synchronous up",
+            &[("type", "synchronous"), ("up_or_down", "up")],
+        ),
         (
             "synchronous up with enable",
-            &[("type", "synchronous"), ("up_or_down", "up"), ("enable", "1")],
+            &[
+                ("type", "synchronous"),
+                ("up_or_down", "up"),
+                ("enable", "1"),
+            ],
         ),
         (
             "synchronous updown",

@@ -48,7 +48,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
          implementation:?s",
         &mut args,
     )?;
-    let CqlArg::OutStr(Some(inserted)) = &args[1] else { panic!() };
+    let CqlArg::OutStr(Some(inserted)) = &args[1] else {
+        panic!()
+    };
     println!("inserted implementation: {inserted}");
 
     // 2. It is discoverable like any builtin.
@@ -57,7 +59,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "command:component_query; component:counter; function:(INC); ICDB_components:?s[]",
         &mut args,
     )?;
-    let CqlArg::OutStrList(Some(counters)) = &args[0] else { panic!() };
+    let CqlArg::OutStrList(Some(counters)) = &args[0] else {
+        panic!()
+    };
     println!("counter implementations now: {counters:?}");
 
     // 3. Generate it with an attribute and query delay / power.
@@ -67,14 +71,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
          attribute:(size:6); generated_component:?s",
         &mut args,
     )?;
-    let CqlArg::OutStr(Some(gray)) = args.remove(0) else { panic!() };
-    let mut args = vec![CqlArg::InStr(gray.clone()), CqlArg::OutStr(None), CqlArg::OutStr(None)];
+    let CqlArg::OutStr(Some(gray)) = args.remove(0) else {
+        panic!()
+    };
+    let mut args = vec![
+        CqlArg::InStr(gray.clone()),
+        CqlArg::OutStr(None),
+        CqlArg::OutStr(None),
+    ];
     icdb.execute(
         "command:instance_query; instance:%s; delay:?s; power:?s",
         &mut args,
     )?;
-    let CqlArg::OutStr(Some(delay)) = &args[1] else { panic!() };
-    let CqlArg::OutStr(Some(power)) = &args[2] else { panic!() };
+    let CqlArg::OutStr(Some(delay)) = &args[1] else {
+        panic!()
+    };
+    let CqlArg::OutStr(Some(power)) = &args[2] else {
+        panic!()
+    };
     println!("\n--- delay of {gray} ---\n{delay}");
     println!("--- power ---\n{power}");
 
@@ -85,20 +99,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "command:merge_query; components:(REGISTER,INCREMENTER); merged:?s[]",
         &mut args,
     )?;
-    let CqlArg::OutStrList(Some(merged)) = &args[0] else { panic!() };
+    let CqlArg::OutStrList(Some(merged)) = &args[0] else {
+        panic!()
+    };
     println!("REGISTER + INCREMENTER can merge into: {merged:?}");
 
     // 5. The §4.2 tool manager: registered component generators.
     let mut args = vec![CqlArg::OutStrList(None)];
     icdb.execute("command:tool_query; generators:?s[]", &mut args)?;
-    let CqlArg::OutStrList(Some(gens)) = &args[0] else { panic!() };
+    let CqlArg::OutStrList(Some(gens)) = &args[0] else {
+        panic!()
+    };
     println!("registered component generators: {gens:?}");
     let mut args = vec![CqlArg::OutStrList(None)];
     icdb.execute(
         "command:tool_query; name:embedded-milo; steps:?s[]",
         &mut args,
     )?;
-    let CqlArg::OutStrList(Some(steps)) = &args[0] else { panic!() };
+    let CqlArg::OutStrList(Some(steps)) = &args[0] else {
+        panic!()
+    };
     println!("embedded-milo steps: {steps:?}");
     Ok(())
 }

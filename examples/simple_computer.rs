@@ -47,18 +47,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Datapath components, 8-bit.
     println!("generating datapath components …");
-    let alu = icdb.request_component(
-        &ComponentRequest::by_implementation("ALU").attribute("size", "8"),
-    )?;
+    let alu =
+        icdb.request_component(&ComponentRequest::by_implementation("ALU").attribute("size", "8"))?;
     let reg_a = icdb.request_component(
         &ComponentRequest::by_implementation("REGISTER").attribute("size", "8"),
     )?;
     let reg_b = icdb.request_component(
         &ComponentRequest::by_implementation("REGISTER").attribute("size", "8"),
     )?;
-    let mux = icdb.request_component(
-        &ComponentRequest::by_implementation("MUX").attribute("size", "8"),
-    )?;
+    let mux =
+        icdb.request_component(&ComponentRequest::by_implementation("MUX").attribute("size", "8"))?;
     let pc = icdb.request_component(
         &ComponentRequest::by_component("counter")
             .attribute("size", "8")
@@ -116,8 +114,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "\narea comparison: left {:.0} µm² vs bottom {:.0} µm² — {} wins by {:.1}%",
         plan_left.area(),
         plan_bottom.area(),
-        if plan_bottom.area() < plan_left.area() { "bottom" } else { "left" },
-        100.0 * (plan_left.area() - plan_bottom.area()).abs() / plan_left.area().max(plan_bottom.area()),
+        if plan_bottom.area() < plan_left.area() {
+            "bottom"
+        } else {
+            "left"
+        },
+        100.0 * (plan_left.area() - plan_bottom.area()).abs()
+            / plan_left.area().max(plan_bottom.area()),
     );
     println!(
         "aspect ratios: left {:.2}, bottom {:.2} (paper: ≈1:1 vs ≈2:1)",

@@ -43,6 +43,8 @@
 //! # }
 //! ```
 
+#![deny(rustdoc::broken_intra_doc_links)]
+
 pub use icdb_core::{
     ComponentImpl, ComponentInstance, ComponentRequest, Constraints, DesignManager,
     GenericComponentLibrary, Icdb, IcdbError, ParamSpec, Source, TargetLevel,

@@ -183,7 +183,10 @@ fn ripple_and_sync_variants_differ_structurally() {
     // Paper Fig. 5: the ripple counter is the slowest to Q[4].
     let rd = r.report.output_delay("Q[4]").unwrap();
     let sd = s.report.output_delay("Q[4]").unwrap();
-    assert!(rd > sd, "ripple Q[4] delay {rd} must exceed synchronous {sd}");
+    assert!(
+        rd > sd,
+        "ripple Q[4] delay {rd} must exceed synchronous {sd}"
+    );
 }
 
 #[test]

@@ -20,7 +20,9 @@ fn component_query_for_counters() {
         &mut counters,
     )
     .unwrap();
-    let CqlArg::OutStrList(Some(names)) = &counters[0] else { panic!() };
+    let CqlArg::OutStrList(Some(names)) = &counters[0] else {
+        panic!()
+    };
     assert!(!names.is_empty());
     assert!(names.iter().any(|n| n == "COUNTER"));
 }
@@ -30,10 +32,7 @@ fn component_query_for_counters() {
 #[test]
 fn component_query_functions_of_component() {
     let mut icdb = Icdb::new();
-    let mut args = vec![
-        CqlArg::InStr("COUNTER".into()),
-        CqlArg::OutStrList(None),
-    ];
+    let mut args = vec![CqlArg::InStr("COUNTER".into()), CqlArg::OutStrList(None)];
     icdb.execute(
         "command: component_query;
          ICDB_components:%s;
@@ -41,9 +40,14 @@ fn component_query_functions_of_component() {
         &mut args,
     )
     .unwrap();
-    let CqlArg::OutStrList(Some(functions)) = &args[1] else { panic!() };
+    let CqlArg::OutStrList(Some(functions)) = &args[1] else {
+        panic!()
+    };
     for f in ["INC", "DEC", "COUNTER", "STORAGE"] {
-        assert!(functions.iter().any(|x| x == f), "missing {f} in {functions:?}");
+        assert!(
+            functions.iter().any(|x| x == f),
+            "missing {f} in {functions:?}"
+        );
     }
 }
 
@@ -69,7 +73,9 @@ fn request_component_with_constraints() {
         &mut args,
     )
     .unwrap();
-    let CqlArg::OutStr(Some(counter_ins)) = &args[1] else { panic!() };
+    let CqlArg::OutStr(Some(counter_ins)) = &args[1] else {
+        panic!()
+    };
     let inst = icdb.instance(counter_ins).unwrap();
     assert!(inst.report.clock_width <= 30.0, "CW constraint respected");
     for q in 0..5 {
@@ -89,7 +95,9 @@ fn instance_query_delay_and_shape() {
         &mut gen,
     )
     .unwrap();
-    let CqlArg::OutStr(Some(counter_ins)) = gen.remove(0) else { panic!() };
+    let CqlArg::OutStr(Some(counter_ins)) = gen.remove(0) else {
+        panic!()
+    };
 
     let mut args = vec![
         CqlArg::InStr(counter_ins),
@@ -104,14 +112,29 @@ fn instance_query_delay_and_shape() {
         &mut args,
     )
     .unwrap();
-    let CqlArg::OutStr(Some(delay_s)) = &args[1] else { panic!() };
-    let CqlArg::OutStr(Some(shape_s)) = &args[2] else { panic!() };
+    let CqlArg::OutStr(Some(delay_s)) = &args[1] else {
+        panic!()
+    };
+    let CqlArg::OutStr(Some(shape_s)) = &args[2] else {
+        panic!()
+    };
     // The paper's formats: `CW 29.0`, `WD Q[4] 8.5`, `SD DWUP 26.7` and
     // `Alternative=1 width=12000 height=48000`.
     assert!(delay_s.lines().any(|l| l.starts_with("CW ")), "{delay_s}");
-    assert!(delay_s.lines().any(|l| l.starts_with("WD Q[4] ")), "{delay_s}");
-    assert!(delay_s.lines().any(|l| l.starts_with("SD DWUP ")), "{delay_s}");
-    assert!(shape_s.lines().any(|l| l.starts_with("Alternative=1 width=")), "{shape_s}");
+    assert!(
+        delay_s.lines().any(|l| l.starts_with("WD Q[4] ")),
+        "{delay_s}"
+    );
+    assert!(
+        delay_s.lines().any(|l| l.starts_with("SD DWUP ")),
+        "{delay_s}"
+    );
+    assert!(
+        shape_s
+            .lines()
+            .any(|l| l.starts_with("Alternative=1 width=")),
+        "{shape_s}"
+    );
 }
 
 /// §3.3: layout generation for an existing instance with a shape
@@ -126,7 +149,9 @@ fn request_layout_with_port_positions() {
         &mut gen,
     )
     .unwrap();
-    let CqlArg::OutStr(Some(counter_ins)) = gen.remove(0) else { panic!() };
+    let CqlArg::OutStr(Some(counter_ins)) = gen.remove(0) else {
+        panic!()
+    };
 
     let pin_locs = "\
 CLK left s1.0
@@ -160,8 +185,13 @@ Q[4] bottom 50
         &mut args,
     )
     .unwrap();
-    let CqlArg::OutStr(Some(cif)) = &args[2] else { panic!() };
-    assert!(icdb::layout::cif_is_well_formed(cif), "CIF must be well-formed");
+    let CqlArg::OutStr(Some(cif)) = &args[2] else {
+        panic!()
+    };
+    assert!(
+        icdb::layout::cif_is_well_formed(cif),
+        "CIF must be well-formed"
+    );
     assert!(cif.contains("94 CLK "), "port label present");
     // Alternative 3 selects the third strip count of the shape function.
     let inst = icdb.instance(&counter_ins).unwrap();
@@ -180,7 +210,9 @@ fn instance_query_vhdl_and_connect() {
         &mut gen,
     )
     .unwrap();
-    let CqlArg::OutStr(Some(counter_ins)) = gen.remove(0) else { panic!() };
+    let CqlArg::OutStr(Some(counter_ins)) = gen.remove(0) else {
+        panic!()
+    };
 
     let mut args = vec![
         CqlArg::InStr(counter_ins),
@@ -197,9 +229,15 @@ fn instance_query_vhdl_and_connect() {
         &mut args,
     )
     .unwrap();
-    let CqlArg::OutStr(Some(netlist)) = &args[1] else { panic!() };
-    let CqlArg::OutStr(Some(head)) = &args[2] else { panic!() };
-    let CqlArg::OutStr(Some(connect)) = &args[3] else { panic!() };
+    let CqlArg::OutStr(Some(netlist)) = &args[1] else {
+        panic!()
+    };
+    let CqlArg::OutStr(Some(head)) = &args[2] else {
+        panic!()
+    };
+    let CqlArg::OutStr(Some(connect)) = &args[3] else {
+        panic!()
+    };
     assert!(netlist.contains("architecture structural"));
     assert!(head.contains("entity counter is"));
     // §3.3 / §4.1: the INC invocation table.
@@ -224,7 +262,9 @@ fn request_fastest_adder_subtractor_both_forms() {
         &mut args,
     )
     .unwrap();
-    let CqlArg::OutStr(Some(first)) = args.remove(0) else { panic!() };
+    let CqlArg::OutStr(Some(first)) = args.remove(0) else {
+        panic!()
+    };
 
     // C-program form (%s and %d slots).
     let mut args = vec![
@@ -241,7 +281,9 @@ fn request_fastest_adder_subtractor_both_forms() {
         &mut args,
     )
     .unwrap();
-    let CqlArg::OutStr(Some(second)) = &args[2] else { panic!() };
+    let CqlArg::OutStr(Some(second)) = &args[2] else {
+        panic!()
+    };
     let a = icdb.instance(&first).unwrap();
     let b = icdb.instance(second).unwrap();
     assert_eq!(a.netlist.gates.len(), b.netlist.gates.len());
@@ -260,8 +302,13 @@ fn function_query_add_sub() {
         &mut args,
     )
     .unwrap();
-    let CqlArg::OutStrList(Some(components)) = &args[0] else { panic!() };
-    assert!(components.iter().any(|c| c == "Adder_Subtractor"), "{components:?}");
+    let CqlArg::OutStrList(Some(components)) = &args[0] else {
+        panic!()
+    };
+    assert!(
+        components.iter().any(|c| c == "Adder_Subtractor"),
+        "{components:?}"
+    );
 }
 
 /// Appendix B §5.4: the connection query for an add_sub instance, checking
@@ -275,11 +322,19 @@ fn connect_component_add_sub() {
         &mut gen,
     )
     .unwrap();
-    let CqlArg::OutStr(Some(add_sub_4)) = gen.remove(0) else { panic!() };
+    let CqlArg::OutStr(Some(add_sub_4)) = gen.remove(0) else {
+        panic!()
+    };
 
     let mut args = vec![CqlArg::InStr(add_sub_4), CqlArg::OutStr(None)];
-    icdb.execute("command:connect_component; instance:%s; connect:?s", &mut args).unwrap();
-    let CqlArg::OutStr(Some(connect)) = &args[1] else { panic!() };
+    icdb.execute(
+        "command:connect_component; instance:%s; connect:?s",
+        &mut args,
+    )
+    .unwrap();
+    let CqlArg::OutStr(Some(connect)) = &args[1] else {
+        panic!()
+    };
     assert!(connect.contains("## function ADD"), "{connect}");
     assert!(connect.contains("## function SUB"), "{connect}");
     assert!(connect.contains("** ADDSUBCTL 0"), "{connect}");
@@ -290,8 +345,10 @@ fn connect_component_add_sub() {
 #[test]
 fn component_list_lifecycle() {
     let mut icdb = Icdb::new();
-    icdb.execute("command:start_a_design; design:mydesign", &mut []).unwrap();
-    icdb.execute("command:start_a_transaction; design:mydesign", &mut []).unwrap();
+    icdb.execute("command:start_a_design; design:mydesign", &mut [])
+        .unwrap();
+    icdb.execute("command:start_a_transaction; design:mydesign", &mut [])
+        .unwrap();
 
     let mut gen = vec![CqlArg::OutStr(None)];
     icdb.execute(
@@ -299,14 +356,18 @@ fn component_list_lifecycle() {
         &mut gen,
     )
     .unwrap();
-    let CqlArg::OutStr(Some(keeper)) = gen.remove(0) else { panic!() };
+    let CqlArg::OutStr(Some(keeper)) = gen.remove(0) else {
+        panic!()
+    };
     let mut gen = vec![CqlArg::OutStr(None)];
     icdb.execute(
         "command:request_component; implementation:REGISTER; size:4; instance:?s",
         &mut gen,
     )
     .unwrap();
-    let CqlArg::OutStr(Some(scratch)) = gen.remove(0) else { panic!() };
+    let CqlArg::OutStr(Some(scratch)) = gen.remove(0) else {
+        panic!()
+    };
 
     let mut args = vec![CqlArg::InStr(keeper.clone())];
     icdb.execute(
@@ -314,12 +375,20 @@ fn component_list_lifecycle() {
         &mut args,
     )
     .unwrap();
-    icdb.execute("command:end_a_transaction; design:mydesign", &mut []).unwrap();
+    icdb.execute("command:end_a_transaction; design:mydesign", &mut [])
+        .unwrap();
     assert!(icdb.instance(&keeper).is_ok(), "listed instance survives");
-    assert!(icdb.instance(&scratch).is_err(), "unlisted instance deleted");
+    assert!(
+        icdb.instance(&scratch).is_err(),
+        "unlisted instance deleted"
+    );
 
-    icdb.execute("command:end_a_design; design:mydesign", &mut []).unwrap();
-    assert!(icdb.instance(&keeper).is_err(), "design teardown deletes the list");
+    icdb.execute("command:end_a_design; design:mydesign", &mut [])
+        .unwrap();
+    assert!(
+        icdb.instance(&keeper).is_err(),
+        "design teardown deletes the list"
+    );
 }
 
 /// Unknown commands and missing slots produce errors, not silence.
@@ -330,6 +399,9 @@ fn cql_error_paths() {
     assert!(icdb.execute("no_command_term:1", &mut []).is_err());
     let mut args = vec![CqlArg::OutStr(None)];
     assert!(icdb
-        .execute("command:instance_query; instance:ghost; delay:?s", &mut args)
+        .execute(
+            "command:instance_query; instance:ghost; delay:?s",
+            &mut args
+        )
         .is_err());
 }

@@ -90,7 +90,9 @@ fn merge_query_via_cql() {
         &mut args,
     )
     .unwrap();
-    let CqlArg::OutStrList(Some(merged)) = &args[0] else { panic!() };
+    let CqlArg::OutStrList(Some(merged)) = &args[0] else {
+        panic!()
+    };
     assert!(merged.contains(&"COUNTER".to_string()), "{merged:?}");
     // A set nothing covers yields an empty list, not an error.
     let mut args = vec![CqlArg::OutStrList(None)];
@@ -99,7 +101,9 @@ fn merge_query_via_cql() {
         &mut args,
     )
     .unwrap();
-    let CqlArg::OutStrList(Some(none)) = &args[0] else { panic!() };
+    let CqlArg::OutStrList(Some(none)) = &args[0] else {
+        panic!()
+    };
     assert!(none.is_empty(), "{none:?}");
 }
 
@@ -107,14 +111,24 @@ fn merge_query_via_cql() {
 fn tool_query_lists_generators_and_steps() {
     let mut icdb = Icdb::new();
     let mut args = vec![CqlArg::OutStrList(None)];
-    icdb.execute("command:tool_query; accepts:iif; generators:?s[]", &mut args).unwrap();
+    icdb.execute(
+        "command:tool_query; accepts:iif; generators:?s[]",
+        &mut args,
+    )
+    .unwrap();
     assert_eq!(
         args[0],
         CqlArg::OutStrList(Some(vec!["embedded-milo".to_string()]))
     );
     let mut args = vec![CqlArg::OutStrList(None)];
-    icdb.execute("command:tool_query; name:embedded-les; steps:?s[]", &mut args).unwrap();
-    let CqlArg::OutStrList(Some(steps)) = &args[0] else { panic!() };
+    icdb.execute(
+        "command:tool_query; name:embedded-les; steps:?s[]",
+        &mut args,
+    )
+    .unwrap();
+    let CqlArg::OutStrList(Some(steps)) = &args[0] else {
+        panic!()
+    };
     assert_eq!(steps, &["strip-placer", "cif-writer"]);
 }
 
@@ -131,17 +145,18 @@ fn power_query_and_scaling() {
             &icdb::ComponentRequest::by_implementation("ADDER").attribute("size", "16"),
         )
         .unwrap();
-    let parse_uw = |s: &str| -> f64 {
-        s.split_whitespace().nth(1).unwrap().parse().unwrap()
-    };
+    let parse_uw = |s: &str| -> f64 { s.split_whitespace().nth(1).unwrap().parse().unwrap() };
     let p_small = parse_uw(&icdb.power_string(&small).unwrap());
     let p_big = parse_uw(&icdb.power_string(&big).unwrap());
     assert!(p_big > p_small * 2.0, "{p_small} vs {p_big}");
 
     // Through CQL as part of an instance query.
     let mut args = vec![CqlArg::InStr(small), CqlArg::OutStr(None)];
-    icdb.execute("command:instance_query; instance:%s; power:?s", &mut args).unwrap();
-    let CqlArg::OutStr(Some(p)) = &args[1] else { panic!() };
+    icdb.execute("command:instance_query; instance:%s; power:?s", &mut args)
+        .unwrap();
+    let CqlArg::OutStr(Some(p)) = &args[1] else {
+        panic!()
+    };
     assert!(p.starts_with("POWER "));
 }
 

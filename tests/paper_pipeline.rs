@@ -54,7 +54,9 @@ fn adder_adds_sixteen_bits() {
     let mut sim = Simulator::new(&inst.netlist, &icdb.cells).unwrap();
     let mut rng: u64 = 0xDEADBEEFCAFE;
     for _ in 0..25 {
-        rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        rng = rng
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         let a = (rng >> 10) & 0xFFFF;
         let b = (rng >> 30) & 0xFFFF;
         let cin = rng >> 63;
@@ -312,7 +314,10 @@ fn vhdl_views_emit_and_reparse() {
     let head = icdb.vhdl_head(&name).unwrap();
     assert!(head.contains("entity adder is"));
     let parsed = icdb::vhdl::parse_netlist(&netlist_text).unwrap();
-    assert_eq!(parsed.instances.len(), icdb.instance(&name).unwrap().netlist.gates.len());
+    assert_eq!(
+        parsed.instances.len(),
+        icdb.instance(&name).unwrap().netlist.gates.len()
+    );
 }
 
 #[test]
@@ -320,7 +325,7 @@ fn cluster_request_from_vhdl_netlist() {
     // The partitioner's flow (Appendix B §6.3): wrap two generated
     // instances in a VHDL netlist, request the cluster, get estimates.
     let mut icdb = Icdb::new();
-    let a = generate(&mut icdb, "REGISTER", &[("size", "2"), ]);
+    let a = generate(&mut icdb, "REGISTER", &[("size", "2")]);
     let b = generate(&mut icdb, "INCREMENTER", &[("size", "2")]);
     let cluster = format!(
         "entity cluster_1 is
@@ -343,8 +348,15 @@ fn cluster_request_from_vhdl_netlist() {
     let inst = icdb.instance(&name).unwrap();
     let expected = icdb.instance(&a).unwrap().netlist.gates.len()
         + icdb.instance(&b).unwrap().netlist.gates.len();
-    assert_eq!(inst.netlist.gates.len(), expected, "cluster merges both netlists");
-    assert!(inst.report.clock_width > 0.0, "cluster has sequential timing");
+    assert_eq!(
+        inst.netlist.gates.len(),
+        expected,
+        "cluster merges both netlists"
+    );
+    assert!(
+        inst.report.clock_width > 0.0,
+        "cluster has sequential timing"
+    );
     assert!(!inst.shape.alternatives.is_empty());
 }
 
@@ -381,7 +393,9 @@ fn carry_select_adder_adds_and_is_faster_than_ripple() {
     let mut sim = Simulator::new(&inst.netlist, &icdb.cells).unwrap();
     let mut rng: u64 = 0x1234_5678_9ABC;
     for _ in 0..20 {
-        rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        rng = rng
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         let a = (rng >> 5) & 0xFFFF;
         let b = (rng >> 25) & 0xFFFF;
         let cin = rng >> 63;
@@ -409,7 +423,11 @@ fn carry_select_adder_adds_and_is_faster_than_ripple() {
 #[test]
 fn barrel_rotator_rotates() {
     let mut icdb = Icdb::new();
-    let name = generate(&mut icdb, "BARREL_ROTATOR", &[("size", "8"), ("stages", "3")]);
+    let name = generate(
+        &mut icdb,
+        "BARREL_ROTATOR",
+        &[("size", "8"), ("stages", "3")],
+    );
     let inst = icdb.instance(&name).unwrap().clone();
     let mut sim = Simulator::new(&inst.netlist, &icdb.cells).unwrap();
     let value = 0b1000_0110u64;

@@ -48,10 +48,8 @@ fn arb_expr(vars: usize, depth: u32) -> impl Strategy<Value = Expr> {
     leaf.prop_recursive(depth, 24, 2, |inner| {
         prop_oneof![
             inner.clone().prop_map(|e| Expr::Not(Box::new(e))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Expr::And(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Expr::Or(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Or(Box::new(a), Box::new(b))),
             (inner.clone(), inner).prop_map(|(a, b)| Expr::Xor(Box::new(a), Box::new(b))),
         ]
     })
@@ -72,28 +70,26 @@ fn synthesize_expr(expr: &Expr, vars: usize) -> (GateNetlist, Library) {
 
 /// A random cover over `n` variables.
 fn arb_cover(n: usize, max_cubes: usize) -> impl Strategy<Value = Cover> {
-    proptest::collection::vec(
-        proptest::collection::vec(0..3u8, n),
-        1..=max_cubes,
+    proptest::collection::vec(proptest::collection::vec(0..3u8, n), 1..=max_cubes).prop_map(
+        move |cubes| {
+            let cubes: Vec<Cube> = cubes
+                .into_iter()
+                .map(|codes| {
+                    let lits: Vec<(usize, bool)> = codes
+                        .iter()
+                        .enumerate()
+                        .filter_map(|(v, c)| match c {
+                            0 => Some((v, false)),
+                            1 => Some((v, true)),
+                            _ => None,
+                        })
+                        .collect();
+                    Cube::from_literals(n, &lits)
+                })
+                .collect();
+            Cover::from_cubes(n, cubes)
+        },
     )
-    .prop_map(move |cubes| {
-        let cubes: Vec<Cube> = cubes
-            .into_iter()
-            .map(|codes| {
-                let lits: Vec<(usize, bool)> = codes
-                    .iter()
-                    .enumerate()
-                    .filter_map(|(v, c)| match c {
-                        0 => Some((v, false)),
-                        1 => Some((v, true)),
-                        _ => None,
-                    })
-                    .collect();
-                Cube::from_literals(n, &lits)
-            })
-            .collect();
-        Cover::from_cubes(n, cubes)
-    })
 }
 
 fn all_assignments(n: usize) -> impl Iterator<Item = Vec<bool>> {
@@ -239,6 +235,9 @@ fn cif_well_formed_for_all_builtins() {
             .request_component(&icdb::ComponentRequest::by_implementation(&imp))
             .unwrap();
         let cif = icdb.cif_layout(&inst).unwrap();
-        assert!(icdb::layout::cif_is_well_formed(&cif), "{imp} CIF malformed");
+        assert!(
+            icdb::layout::cif_is_well_formed(&cif),
+            "{imp} CIF malformed"
+        );
     }
 }

@@ -1,0 +1,208 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! This workspace builds in environments without access to crates.io, so the
+//! real `criterion` cannot be fetched. This shim keeps every `benches/*.rs`
+//! target compiling and *runnable* (`cargo bench` works) with the same
+//! source: [`Criterion`], [`BenchmarkGroup`], [`Bencher::iter`],
+//! [`criterion_group!`], [`criterion_main!`] and [`black_box`].
+//!
+//! Measurement is intentionally simple — per benchmark it runs one warm-up
+//! iteration, then `sample_size` timed iterations, and reports the minimum,
+//! median and maximum wall-clock time. There is no statistical analysis, no
+//! HTML report, and no `target/criterion` history. Swap in the real crate
+//! (delete `vendor/criterion`, point the dev-dependency at crates.io) for
+//! publication-quality numbers; the bench sources compile unchanged.
+
+#![deny(rustdoc::broken_intra_doc_links)]
+
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`], mirroring `criterion::black_box`.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// The benchmark manager handed to every `criterion_group!` target.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    /// Substring filter from the command line; `None` runs everything.
+    filter: Option<String>,
+}
+
+impl Criterion {
+    /// Applies command-line configuration. The shim honors the positional
+    /// benchmark-name filter (`cargo bench fig5` runs only benchmarks whose
+    /// id contains `fig5`, matching real criterion) and ignores dash flags.
+    /// An argument following a `--flag` without `=` is treated as that
+    /// flag's value, not a filter, so criterion invocations like
+    /// `-- --save-baseline main` don't silently filter everything out.
+    pub fn configure_from_args(mut self) -> Criterion {
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            if arg.starts_with('-') {
+                if arg.starts_with("--") && !arg.contains('=') {
+                    args.next(); // consume the flag's value
+                }
+            } else {
+                self.filter = Some(arg);
+                break;
+            }
+        }
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        let filter = self.filter.clone();
+        BenchmarkGroup {
+            _criterion: self,
+            name,
+            sample_size: 10,
+            filter,
+            announced: false,
+        }
+    }
+
+    /// Runs a single benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        if self
+            .filter
+            .as_ref()
+            .map_or(true, |f| id.contains(f.as_str()))
+        {
+            run_benchmark(&id, 10, f);
+        }
+        self
+    }
+}
+
+/// A named set of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    filter: Option<String>,
+    announced: bool,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed iterations each benchmark records.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        assert!(samples > 0, "sample_size must be positive");
+        self.sample_size = samples;
+        self
+    }
+
+    /// Runs one benchmark in the group (skipped when it misses the filter).
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = format!("{}/{}", self.name, id.into());
+        if self
+            .filter
+            .as_ref()
+            .map_or(true, |f| id.contains(f.as_str()))
+        {
+            if !self.announced {
+                println!("\n== {}", self.name);
+                self.announced = true;
+            }
+            run_benchmark(&id, self.sample_size, f);
+        }
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; reporting is immediate).
+    pub fn finish(self) {}
+}
+
+/// Times closures inside a benchmark body.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+    requested: usize,
+}
+
+impl Bencher {
+    /// Times `routine`, once per requested sample, preventing the result
+    /// from being optimized away.
+    pub fn iter<Output, Routine>(&mut self, mut routine: Routine)
+    where
+        Routine: FnMut() -> Output,
+    {
+        black_box(routine()); // warm-up, untimed
+        for _ in 0..self.requested {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+fn run_benchmark<F>(id: &str, sample_size: usize, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut bencher = Bencher {
+        samples: Vec::new(),
+        requested: sample_size,
+    };
+    f(&mut bencher);
+    if bencher.samples.is_empty() {
+        println!("{id:<48} (no samples recorded)");
+        return;
+    }
+    bencher.samples.sort_unstable();
+    let min = bencher.samples[0];
+    let median = bencher.samples[bencher.samples.len() / 2];
+    let max = bencher.samples[bencher.samples.len() - 1];
+    println!(
+        "{id:<48} time: [{} {} {}]  ({} samples)",
+        fmt_duration(min),
+        fmt_duration(median),
+        fmt_duration(max),
+        bencher.samples.len()
+    );
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} µs", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.2} s", nanos as f64 / 1e9)
+    }
+}
+
+/// Bundles benchmark functions into a group runner, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running the listed groups, mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,70 @@
+//! Collection strategies (`proptest::collection::vec`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::ops::{Range, RangeInclusive};
+
+/// A length specification for collection strategies.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    low: usize,
+    high_inclusive: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(exact: usize) -> SizeRange {
+        SizeRange {
+            low: exact,
+            high_inclusive: exact,
+        }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(range: Range<usize>) -> SizeRange {
+        assert!(range.start < range.end, "empty size range {range:?}");
+        SizeRange {
+            low: range.start,
+            high_inclusive: range.end - 1,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(range: RangeInclusive<usize>) -> SizeRange {
+        assert!(range.start() <= range.end(), "empty size range {range:?}");
+        SizeRange {
+            low: *range.start(),
+            high_inclusive: *range.end(),
+        }
+    }
+}
+
+/// Generates `Vec`s whose length falls in `size` and whose elements come
+/// from `element`.
+pub fn vec<Element: Strategy>(
+    element: Element,
+    size: impl Into<SizeRange>,
+) -> VecStrategy<Element> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// See [`vec()`].
+#[derive(Clone)]
+pub struct VecStrategy<Element> {
+    element: Element,
+    size: SizeRange,
+}
+
+impl<Element: Strategy> Strategy for VecStrategy<Element> {
+    type Value = Vec<Element::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<Element::Value> {
+        let span = (self.size.high_inclusive - self.size.low + 1) as u64;
+        let len = self.size.low + rng.below(span) as usize;
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}

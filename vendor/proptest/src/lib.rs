@@ -1,0 +1,131 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! This workspace builds in environments without access to crates.io, so the
+//! real `proptest` cannot be fetched. This shim implements the subset of the
+//! proptest API that `tests/properties.rs` uses — [`Strategy`](strategy::Strategy) with
+//! `prop_map`/`prop_recursive`/`boxed`, range and tuple strategies,
+//! [`collection::vec`], [`prop_oneof!`], the [`proptest!`] test macro with
+//! `#![proptest_config(…)]`, and the `prop_assert*` macros — on top of a
+//! deterministic splitmix/xorshift generator seeded from the test name.
+//!
+//! Differences from real proptest, by design:
+//!
+//! * **no shrinking** — a failing case reports its inputs but is not
+//!   minimized;
+//! * **deterministic seeds** — every run explores the same cases, so CI is
+//!   reproducible;
+//! * **no persistence** (`proptest-regressions/` files are never written).
+//!
+//! When the real `proptest` becomes available, delete `vendor/proptest` and
+//! point the dev-dependency at crates.io; the call sites compile unchanged.
+
+#![deny(rustdoc::broken_intra_doc_links)]
+
+pub mod collection;
+pub mod prelude;
+pub mod strategy;
+pub mod test_runner;
+
+pub use strategy::{any, Arbitrary};
+
+/// Equal-weight choice between strategies producing the same value type.
+///
+/// Mirrors `proptest::prop_oneof!`; weights (`n => strategy`) are not
+/// supported by the shim.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+/// Fails the current test case with a formatted message unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Fails the current test case unless the two expressions compare equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `{:?}` != `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left == right,
+            "{}: `{:?}` != `{:?}`",
+            format!($($fmt)*),
+            left,
+            right
+        );
+    }};
+}
+
+/// Declares property tests: each `fn name(arg in strategy, …) { body }`
+/// becomes a `#[test]` that runs the body over `config.cases` generated
+/// inputs. An optional leading `#![proptest_config(expr)]` sets the config.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { $crate::test_runner::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ($config:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:ident in $strategy:expr),+ $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config = $config;
+            let mut rng = $crate::test_runner::TestRng::from_name(stringify!($name));
+            for case in 0..config.cases {
+                $(let $arg = $crate::strategy::Strategy::generate(&($strategy), &mut rng);)+
+                let inputs = format!(
+                    concat!($(stringify!($arg), " = {:?}; "),+),
+                    $(&$arg),+
+                );
+                let outcome: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| {
+                        $body
+                        ::core::result::Result::Ok(())
+                    })();
+                if let ::core::result::Result::Err(err) = outcome {
+                    panic!(
+                        "property `{}` failed at case {}/{}:\n  {}\n  inputs: {}",
+                        stringify!($name),
+                        case + 1,
+                        config.cases,
+                        err,
+                        inputs
+                    );
+                }
+            }
+        }
+    )*};
+}

@@ -1,0 +1,271 @@
+//! The [`Strategy`] trait and the combinators the workspace tests use.
+
+use crate::test_runner::TestRng;
+use std::ops::{Range, RangeInclusive};
+use std::rc::Rc;
+
+/// A generator of random values (the shim drops proptest's shrinking half).
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `map_fn`.
+    fn prop_map<Output, MapFn>(self, map_fn: MapFn) -> Map<Self, MapFn>
+    where
+        Self: Sized,
+        MapFn: Fn(Self::Value) -> Output,
+    {
+        Map {
+            inner: self,
+            map_fn,
+        }
+    }
+
+    /// Builds a recursive strategy: `self` is the leaf case and `branch_fn`
+    /// produces the recursive case from a strategy for subtrees. At each of
+    /// the `depth` levels the generator picks leaves with 1-in-3 probability,
+    /// so trees mix depths instead of always bottoming out.
+    ///
+    /// The `_desired_size` and `_expected_branch_size` tuning knobs of real
+    /// proptest are accepted and ignored.
+    fn prop_recursive<Recursive, BranchFn>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        branch_fn: BranchFn,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        Recursive: Strategy<Value = Self::Value> + 'static,
+        BranchFn: Fn(BoxedStrategy<Self::Value>) -> Recursive,
+    {
+        let leaf = self.boxed();
+        let mut tree = leaf.clone();
+        for _ in 0..depth {
+            let branch = branch_fn(tree).boxed();
+            tree = LeafOrBranch {
+                leaf: leaf.clone(),
+                branch,
+            }
+            .boxed();
+        }
+        tree
+    }
+
+    /// Type-erases the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Rc::new(self))
+    }
+}
+
+/// A type-erased, cheaply clonable strategy.
+pub struct BoxedStrategy<Value>(Rc<dyn Strategy<Value = Value>>);
+
+impl<Value> Clone for BoxedStrategy<Value> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<Value> Strategy for BoxedStrategy<Value> {
+    type Value = Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Value {
+        self.0.generate(rng)
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Clone)]
+pub struct Map<Inner, MapFn> {
+    inner: Inner,
+    map_fn: MapFn,
+}
+
+impl<Inner, Output, MapFn> Strategy for Map<Inner, MapFn>
+where
+    Inner: Strategy,
+    MapFn: Fn(Inner::Value) -> Output,
+{
+    type Value = Output;
+
+    fn generate(&self, rng: &mut TestRng) -> Output {
+        (self.map_fn)(self.inner.generate(rng))
+    }
+}
+
+/// Recursion step used by [`Strategy::prop_recursive`].
+struct LeafOrBranch<Value> {
+    leaf: BoxedStrategy<Value>,
+    branch: BoxedStrategy<Value>,
+}
+
+impl<Value> Strategy for LeafOrBranch<Value> {
+    type Value = Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Value {
+        if rng.below(3) == 0 {
+            self.leaf.generate(rng)
+        } else {
+            self.branch.generate(rng)
+        }
+    }
+}
+
+/// Equal-weight union of strategies (see [`prop_oneof!`](crate::prop_oneof)).
+pub struct Union<Value> {
+    options: Vec<BoxedStrategy<Value>>,
+}
+
+impl<Value> Union<Value> {
+    /// A union over `options`; the list must be non-empty.
+    pub fn new(options: Vec<BoxedStrategy<Value>>) -> Union<Value> {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        Union { options }
+    }
+}
+
+impl<Value> Strategy for Union<Value> {
+    type Value = Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Value {
+        let pick = rng.below(self.options.len() as u64) as usize;
+        self.options[pick].generate(rng)
+    }
+}
+
+macro_rules! integer_range_strategies {
+    ($($ty:ty),+) => {$(
+        impl Strategy for Range<$ty> {
+            type Value = $ty;
+
+            fn generate(&self, rng: &mut TestRng) -> $ty {
+                assert!(self.start < self.end, "empty range strategy {:?}", self);
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $ty
+            }
+        }
+
+        impl Strategy for RangeInclusive<$ty> {
+            type Value = $ty;
+
+            fn generate(&self, rng: &mut TestRng) -> $ty {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty range strategy {:?}", self);
+                let span = (end as i128 - start as i128 + 1) as u64;
+                (start as i128 + rng.below(span) as i128) as $ty
+            }
+        }
+    )+};
+}
+
+integer_range_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy {:?}", self);
+        rng.f64_in(self.start, self.end)
+    }
+}
+
+impl<A, B> Strategy for (A, B)
+where
+    A: Strategy,
+    B: Strategy,
+{
+    type Value = (A::Value, B::Value);
+
+    fn generate(&self, rng: &mut TestRng) -> (A::Value, B::Value) {
+        (self.0.generate(rng), self.1.generate(rng))
+    }
+}
+
+impl<A, B, C> Strategy for (A, B, C)
+where
+    A: Strategy,
+    B: Strategy,
+    C: Strategy,
+{
+    type Value = (A::Value, B::Value, C::Value);
+
+    fn generate(&self, rng: &mut TestRng) -> (A::Value, B::Value, C::Value) {
+        (
+            self.0.generate(rng),
+            self.1.generate(rng),
+            self.2.generate(rng),
+        )
+    }
+}
+
+/// Types with a canonical strategy, reachable through [`any`].
+pub trait Arbitrary {
+    /// The canonical strategy for the type.
+    type Strategy: Strategy<Value = Self>;
+
+    /// Builds the canonical strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// The canonical strategy for `T` (mirrors `proptest::arbitrary::any`).
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+/// Canonical strategy for `bool`.
+#[derive(Clone, Copy, Debug)]
+pub struct AnyBool;
+
+impl Strategy for AnyBool {
+    type Value = bool;
+
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.bool()
+    }
+}
+
+impl Arbitrary for bool {
+    type Strategy = AnyBool;
+
+    fn arbitrary() -> AnyBool {
+        AnyBool
+    }
+}
+
+macro_rules! arbitrary_full_range_ints {
+    ($($ty:ty => $any:ident),+) => {$(
+        /// Canonical full-range strategy for the integer type.
+        #[derive(Clone, Copy, Debug)]
+        pub struct $any;
+
+        impl Strategy for $any {
+            type Value = $ty;
+
+            fn generate(&self, rng: &mut TestRng) -> $ty {
+                rng.next_u64() as $ty
+            }
+        }
+
+        impl Arbitrary for $ty {
+            type Strategy = $any;
+
+            fn arbitrary() -> $any {
+                $any
+            }
+        }
+    )+};
+}
+
+arbitrary_full_range_ints!(
+    u8 => AnyU8, u16 => AnyU16, u32 => AnyU32, u64 => AnyU64, usize => AnyUsize,
+    i8 => AnyI8, i16 => AnyI16, i32 => AnyI32, i64 => AnyI64, isize => AnyIsize
+);

@@ -1,0 +1,31 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! This workspace builds in environments without access to crates.io, so the
+//! real `serde` cannot be fetched. The storage layer (`icdb-store`) only needs
+//! the *API surface* of serde — `#[derive(Serialize, Deserialize)]` on its
+//! types so downstream consumers can rely on the traits being implemented —
+//! not an actual wire format yet. This shim provides exactly that surface:
+//!
+//! * marker traits [`Serialize`] and [`Deserialize`];
+//! * derive macros of the same names (re-exported from `serde_derive`) that
+//!   emit empty trait impls.
+//!
+//! When the real `serde` becomes available, delete `vendor/serde` and
+//! `vendor/serde_derive`, point the manifests at crates.io, and everything
+//! keeps compiling — the trait/derive names and shapes match.
+
+#![deny(rustdoc::broken_intra_doc_links)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize`.
+///
+/// Implemented via `#[derive(Serialize)]` from this shim; carries no
+/// serialization machinery until the real dependency is swapped in.
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize<'de>`.
+///
+/// Implemented via `#[derive(Deserialize)]` from this shim; carries no
+/// deserialization machinery until the real dependency is swapped in.
+pub trait Deserialize<'de> {}

@@ -1,0 +1,71 @@
+//! Derive macros for the offline `serde` stand-in.
+//!
+//! Each derive parses just enough of the item — skipping attributes and
+//! visibility to find the `struct`/`enum` keyword and the type name — and
+//! emits an empty marker-trait impl. Generic types are rejected with a clear
+//! error; none of the workspace types that derive these are generic.
+
+#![deny(rustdoc::broken_intra_doc_links)]
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Derives the shim's marker `serde::Serialize` for a non-generic type.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    marker_impl(input, "Serialize", "::serde::Serialize")
+}
+
+/// Derives the shim's marker `serde::Deserialize` for a non-generic type.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    marker_impl(input, "Deserialize", "::serde::Deserialize<'de>")
+}
+
+fn marker_impl(input: TokenStream, derive_name: &str, trait_path: &str) -> TokenStream {
+    let name = match type_name(input) {
+        Ok(name) => name,
+        Err(msg) => {
+            return format!("compile_error!(\"derive({derive_name}): {msg}\");")
+                .parse()
+                .expect("static error template parses");
+        }
+    };
+    let imp = if trait_path.contains("'de") {
+        format!("impl<'de> {trait_path} for {name} {{}}")
+    } else {
+        format!("impl {trait_path} for {name} {{}}")
+    };
+    imp.parse().expect("generated impl parses")
+}
+
+/// Extracts the type name from a `struct`/`enum`/`union` item, rejecting
+/// generic items (the shim emits non-generic impls only).
+fn type_name(input: TokenStream) -> Result<String, String> {
+    let mut trees = input.into_iter().peekable();
+    while let Some(tree) = trees.next() {
+        match tree {
+            // `#[attr]` — a '#' punct followed by a bracketed group.
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                trees.next();
+            }
+            TokenTree::Ident(id) => {
+                let word = id.to_string();
+                if word == "struct" || word == "enum" || word == "union" {
+                    let name = match trees.next() {
+                        Some(TokenTree::Ident(name)) => name.to_string(),
+                        other => return Err(format!("expected a type name, found {other:?}")),
+                    };
+                    if matches!(trees.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+                        return Err(format!(
+                            "the offline serde shim cannot derive for generic type `{name}`"
+                        ));
+                    }
+                    return Ok(name);
+                }
+                // `pub`, `pub(crate)` (the group is consumed on its own turn).
+            }
+            _ => {}
+        }
+    }
+    Err("no struct/enum/union found in derive input".into())
+}
