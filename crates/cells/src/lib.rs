@@ -53,6 +53,9 @@ use std::collections::HashMap;
 pub struct Library {
     cells: Vec<Cell>,
     by_name: HashMap<String, CellId>,
+    /// Bumped on every mutation; generation-cache keys embed it so cell
+    /// changes invalidate stale cached netlists and estimates.
+    version: u64,
 }
 
 impl Library {
@@ -61,6 +64,7 @@ impl Library {
         Library {
             cells: Vec::new(),
             by_name: HashMap::new(),
+            version: 0,
         }
     }
 
@@ -82,7 +86,14 @@ impl Library {
         let prev = self.by_name.insert(cell.name.clone(), id);
         assert!(prev.is_none(), "duplicate cell name {}", cell.name);
         self.cells.push(cell);
+        self.version += 1;
         id
+    }
+
+    /// Mutation counter; cache keys embed it so results synthesized or
+    /// estimated against an older cell library can never be served stale.
+    pub fn version(&self) -> u64 {
+        self.version
     }
 
     /// Looks a cell up by name (`"NAND2"`, `"DFF_SR"`, …).

@@ -59,6 +59,7 @@ impl Icdb {
             "insert_component" => self.exec_insert_component(cmd),
             "merge_query" => self.exec_merge_query(cmd),
             "tool_query" => self.exec_tool_query(cmd),
+            "cache_query" => self.exec_cache_query(cmd),
             other => Err(IcdbError::Cql(format!("unknown command `{other}`"))),
         }
     }
@@ -177,7 +178,7 @@ impl Icdb {
                     .or_else(|| cmd.str_term("pin_position"))
                     .map(str::to_string);
                 let cif = self.generate_layout(&instance, alternative, ports.as_deref())?;
-                resp.set("CIF_layout", CqlValue::Str(cif));
+                resp.set("CIF_layout", CqlValue::Str(cif.to_string()));
                 return Ok(resp);
             }
         }
@@ -275,7 +276,7 @@ impl Icdb {
                 }
                 "CIF_layout" => {
                     let cif = self.cif_layout(&name)?;
-                    resp.set(key, CqlValue::Str(cif));
+                    resp.set(key, CqlValue::Str(cif.to_string()));
                 }
                 other => {
                     return Err(IcdbError::Cql(format!(
@@ -313,7 +314,7 @@ impl Icdb {
                 "connect" => resp.set(key, CqlValue::Str(self.connect_string(&name)?)),
                 "CIF_layout" => {
                     let cif = self.cif_layout(&name)?;
-                    resp.set(key, CqlValue::Str(cif));
+                    resp.set(key, CqlValue::Str(cif.to_string()));
                 }
                 "clock_width" => {
                     resp.set(
@@ -438,6 +439,54 @@ impl Icdb {
                 other => {
                     return Err(IcdbError::Cql(format!(
                         "tool_query cannot answer `{other}`"
+                    )))
+                }
+            }
+        }
+        Ok(resp)
+    }
+
+    /// `cache_query`: generation-cache statistics (hits, misses, evictions,
+    /// entries, capacity — summed over the flat/netlist/result layers, or
+    /// per layer via `layer:<name>`). Also refreshes the relational
+    /// `cache_stats` table so the same numbers are SQL-queryable.
+    fn exec_cache_query(&mut self, cmd: &Command) -> Result<Response, IcdbError> {
+        self.publish_cache_stats()?;
+        let stats = self.cache_stats();
+        let layer = match cmd.str_term("layer") {
+            Some("flat") => Some(stats.flat),
+            Some("netlist") => Some(stats.netlist),
+            Some("result") => Some(stats.result),
+            Some(other) => {
+                return Err(IcdbError::Cql(format!(
+                    "cache_query knows layers flat/netlist/result, not `{other}`"
+                )))
+            }
+            None => None,
+        };
+        let (hits, misses, evictions, entries, capacity) = match layer {
+            Some(s) => (s.hits, s.misses, s.evictions, s.entries, s.capacity),
+            // Aggregate view: entries and capacity are both summed over the
+            // three layers, so `entries <= capacity` holds here too.
+            None => (
+                stats.hits(),
+                stats.misses(),
+                stats.evictions(),
+                stats.flat.entries + stats.netlist.entries + stats.result.entries,
+                stats.flat.capacity + stats.netlist.capacity + stats.result.capacity,
+            ),
+        };
+        let mut resp = Response::new();
+        for key in cmd.pending_keys() {
+            match key {
+                "hits" => resp.set(key, CqlValue::Int(hits as i64)),
+                "misses" => resp.set(key, CqlValue::Int(misses as i64)),
+                "evictions" => resp.set(key, CqlValue::Int(evictions as i64)),
+                "entries" => resp.set(key, CqlValue::Int(entries as i64)),
+                "capacity" => resp.set(key, CqlValue::Int(capacity as i64)),
+                other => {
+                    return Err(IcdbError::Cql(format!(
+                        "cache_query cannot answer `{other}`"
                     )))
                 }
             }

@@ -6,13 +6,15 @@ use icdb_estimate::{DelayReport, LoadSpec, ShapeFunction};
 use icdb_genus::ConnectionTable;
 use icdb_layout::Layout;
 use icdb_logic::GateNetlist;
+use std::sync::Arc;
 
 /// One generated component instance with every piece of information the
 /// instance-query commands can return.
 #[derive(Debug, Clone)]
 pub struct ComponentInstance {
-    /// Instance name (user-assigned or ICDB-generated).
-    pub name: String,
+    /// Instance name (user-assigned or ICDB-generated), interned so the
+    /// instance map, creation order and design lists share one allocation.
+    pub name: Arc<str>,
     /// Implementation it was generated from (`COUNTER`), or `"iif"` /
     /// `"cluster"` for inline-IIF and VHDL-cluster requests.
     pub implementation: String,

@@ -25,6 +25,14 @@
 //! library specs, inline IIF or VHDL clusters, and component-list
 //! management) are implemented.
 //!
+//! Generation is memoized by the three-layer, content-addressed
+//! [`cache`] (canonical [`RequestKey`]s → expanded modules → synthesized
+//! netlists → complete payloads), so repeat requests are ~free;
+//! [`Icdb::request_components_batch`] fans cold requests out across scoped
+//! threads sharing that cache, and [`Icdb::cache_stats`] / the
+//! `cache_query` CQL command / the relational `cache_stats` table expose
+//! its hit/miss/eviction counters.
+//!
 //! ```
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! use icdb_core::{ComponentRequest, Icdb};
@@ -46,6 +54,7 @@
 #![deny(rustdoc::broken_intra_doc_links)]
 
 mod builtin;
+pub mod cache;
 mod cql;
 mod designs;
 mod error;
@@ -56,6 +65,7 @@ mod server;
 mod spec;
 mod tools;
 
+pub use cache::{CacheStats, GenCache, GenerationPayload, LayerStats, RequestKey};
 pub use designs::DesignManager;
 pub use error::IcdbError;
 pub use instance::ComponentInstance;
@@ -63,11 +73,12 @@ pub use library::{ComponentImpl, GenericComponentLibrary, ParamSpec};
 pub use spec::{ComponentRequest, Constraints, Source, TargetLevel};
 pub use tools::{GeneratorInfo, ToolManager, ToolStep};
 
-use icdb_store::{Database, FileStore};
+use icdb_store::{Database, FileStore, Value};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// The Intelligent Component Database: knowledge server + component server.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct Icdb {
     /// The generic component library (knowledge base).
     pub library: GenericComponentLibrary,
@@ -79,12 +90,33 @@ pub struct Icdb {
     pub files: FileStore,
     /// The tool manager: registered component generators (§4.2).
     pub tools: ToolManager,
-    pub(crate) instances: HashMap<String, ComponentInstance>,
-    pub(crate) instance_order: Vec<String>,
+    pub(crate) cache: Arc<GenCache>,
+    pub(crate) instances: HashMap<Arc<str>, ComponentInstance>,
+    pub(crate) instance_order: Vec<Arc<str>>,
     pub(crate) counter: u64,
     pub(crate) designs: DesignManager,
-    pub(crate) last_flat_iif: Option<String>,
-    pub(crate) last_milo: Option<String>,
+}
+
+// Manual impl: a clone gets its own *empty* generation cache rather than
+// sharing the original's. Two clones may mutate their libraries
+// independently, and library version counters are only meaningful within
+// one library's history — sharing entries across divergent libraries could
+// serve stale payloads.
+impl Clone for Icdb {
+    fn clone(&self) -> Icdb {
+        Icdb {
+            library: self.library.clone(),
+            cells: self.cells.clone(),
+            db: self.db.clone(),
+            files: self.files.clone(),
+            tools: self.tools.clone(),
+            cache: Arc::new(GenCache::with_capacity(self.cache.stats().result.capacity)),
+            instances: self.instances.clone(),
+            instance_order: self.instance_order.clone(),
+            counter: self.counter,
+            designs: self.designs.clone(),
+        }
+    }
 }
 
 impl Icdb {
@@ -99,6 +131,11 @@ impl Icdb {
         db.execute(
             "CREATE TABLE instances (name TEXT, implementation TEXT, gates INT, \
              area REAL, clock_width REAL, met INT)",
+        )
+        .expect("fresh database");
+        db.execute(
+            "CREATE TABLE cache_stats (layer TEXT, hits INT, misses INT, \
+             evictions INT, entries INT, capacity INT)",
         )
         .expect("fresh database");
         let library = GenericComponentLibrary::standard();
@@ -120,13 +157,60 @@ impl Icdb {
             db,
             files: FileStore::new(),
             tools: ToolManager::standard(),
+            cache: Arc::new(GenCache::default()),
             instances: HashMap::new(),
             instance_order: Vec::new(),
             counter: 0,
             designs: DesignManager::default(),
-            last_flat_iif: None,
-            last_milo: None,
         }
+    }
+
+    /// Snapshot of the generation-cache statistics (per-layer hits, misses,
+    /// evictions, entries and capacity).
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Rebounds every generation-cache layer to `capacity` entries,
+    /// evicting least-recently-used entries when shrinking. A capacity of
+    /// zero disables caching.
+    pub fn set_cache_capacity(&mut self, capacity: usize) {
+        self.cache.set_capacity(capacity);
+    }
+
+    /// Drops every generation-cache entry (statistics are kept), forcing
+    /// the next requests down the cold path.
+    pub fn clear_generation_cache(&mut self) {
+        self.cache.clear();
+    }
+
+    /// Refreshes the relational `cache_stats` table from the live counters,
+    /// so the statistics are queryable through the store layer
+    /// (`SELECT hits FROM cache_stats WHERE layer = 'result'`).
+    ///
+    /// # Errors
+    /// Propagates store errors (the table exists on every fresh server).
+    pub fn publish_cache_stats(&mut self) -> Result<(), IcdbError> {
+        let stats = self.cache.stats();
+        self.db.execute("DELETE FROM cache_stats")?;
+        for (layer, s) in [
+            ("flat", stats.flat),
+            ("netlist", stats.netlist),
+            ("result", stats.result),
+        ] {
+            self.db.insert(
+                "cache_stats",
+                vec![
+                    Value::Text(layer.to_string()),
+                    Value::Int(s.hits as i64),
+                    Value::Int(s.misses as i64),
+                    Value::Int(s.evictions as i64),
+                    Value::Int(s.entries as i64),
+                    Value::Int(s.capacity as i64),
+                ],
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -249,6 +333,50 @@ mod tests {
             !impls.contains(&"ADDER".to_string()),
             "ADD∧SUB excludes plain adder"
         );
+    }
+
+    #[test]
+    fn repeat_requests_hit_the_generation_cache() {
+        let mut icdb = Icdb::new();
+        let req = ComponentRequest::by_component("counter").attribute("size", "4");
+        let first = icdb.request_component(&req).unwrap();
+        let second = icdb.request_component(&req).unwrap();
+        assert_ne!(first, second);
+        let stats = icdb.cache_stats();
+        assert_eq!(stats.result.misses, 1);
+        assert_eq!(stats.result.hits, 1);
+        assert_eq!(
+            icdb.delay_string(&first).unwrap(),
+            icdb.delay_string(&second).unwrap()
+        );
+        // Equivalent phrasings canonicalize onto the same entry.
+        let req2 = ComponentRequest::by_implementation("COUNTER").attribute("size", "4");
+        icdb.request_component(&req2).unwrap();
+        assert_eq!(icdb.cache_stats().result.hits, 2);
+    }
+
+    #[test]
+    fn knowledge_acquisition_invalidates_cache_entries() {
+        let mut icdb = Icdb::new();
+        let req = ComponentRequest::by_implementation("ADDER").attribute("size", "4");
+        icdb.request_component(&req).unwrap();
+        assert_eq!(icdb.cache_stats().result.misses, 1);
+        // Inserting an implementation bumps the library version, so the
+        // old entry's key can no longer be produced: the repeat is a miss,
+        // never a stale hit.
+        icdb.insert_implementation(
+            "NAME: TINY; INORDER: A, B; OUTORDER: O; { O = A * B; }",
+            "Logic_unit",
+            &["AND"],
+            &[],
+            None,
+            "test",
+        )
+        .unwrap();
+        icdb.request_component(&req).unwrap();
+        let stats = icdb.cache_stats();
+        assert_eq!(stats.result.hits, 0);
+        assert_eq!(stats.result.misses, 2);
     }
 
     #[test]

@@ -96,6 +96,9 @@ fn parse_attr_value(key: &str, value: &str) -> Result<i64, IcdbError> {
 pub struct GenericComponentLibrary {
     impls: Vec<ComponentImpl>,
     by_name: HashMap<String, usize>,
+    /// Bumped on every mutation; cache keys embed it so knowledge
+    /// acquisition invalidates stale generation-cache entries.
+    version: u64,
 }
 
 impl GenericComponentLibrary {
@@ -140,7 +143,14 @@ impl GenericComponentLibrary {
         }
         self.by_name.insert(imp.name.clone(), self.impls.len());
         self.impls.push(imp);
+        self.version += 1;
         Ok(())
+    }
+
+    /// Mutation counter; [`crate::RequestKey`]s embed it so generation-cache
+    /// entries made against an older library state can never hit.
+    pub fn version(&self) -> u64 {
+        self.version
     }
 
     /// Looks an implementation up by name (case-insensitive).

@@ -1,18 +1,28 @@
 //! The component-server engine: the embedded generation path of Fig. 8
 //! (IIF expander → MILO-style synthesis → transistor sizing → estimators →
 //! layout generator) plus instance storage and queries.
+//!
+//! Generation is split into a read-only **prepare** phase
+//! ([`Icdb::prepare_payload`] → [`GenerationPayload`]) memoized by the
+//! [`crate::cache::GenCache`], and a mutating **install** phase that names
+//! the instance and persists its views. The split is what makes
+//! [`Icdb::request_components_batch`] possible: cold prepares fan out
+//! across scoped threads sharing the cache, installs stay sequential and
+//! deterministic.
 
+use crate::cache::{FlatKey, GenerationPayload, NetKey, RequestKey, SourceKey};
 use crate::error::IcdbError;
 use crate::instance::ComponentInstance;
 use crate::spec::{ComponentRequest, Source, TargetLevel};
 use crate::Icdb;
 use icdb_estimate::{estimate_shape, LoadSpec};
-use icdb_iif::FlatModule;
 use icdb_layout::{place, to_ascii, to_cif, PortSpec};
 use icdb_logic::{synthesize, Gate, GateNetlist, SynthOptions};
 use icdb_sizing::size_netlist;
 use icdb_store::Value;
 use icdb_vhdl::{emit_entity, emit_netlist, parse_netlist, vhdl_id};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 
 /// How many strip-count alternatives the shape estimator sweeps.
 const MAX_SHAPE_STRIPS: usize = 8;
@@ -23,30 +33,133 @@ impl Icdb {
     /// specifications. The name of this component is put into the variable
     /// counter_ins", §3.2.2).
     ///
+    /// Repeat requests with the same canonical [`RequestKey`] are answered
+    /// from the generation cache: one hash lookup plus a cheap clone of the
+    /// shared payload, instead of re-running expansion, synthesis, sizing
+    /// and estimation.
+    ///
     /// # Errors
     /// Propagates failures from any stage of the generation path and
     /// reports unknown implementations/components as [`IcdbError::NotFound`].
     pub fn request_component(&mut self, request: &ComponentRequest) -> Result<String, IcdbError> {
-        let (netlist, implementation, functions, params, connection) = match &request.source {
+        let payload = self.prepare_payload(request)?;
+        let name = self.install_payload(request, &payload)?;
+        if request.target == TargetLevel::Layout {
+            self.generate_layout(
+                &name,
+                request.alternative,
+                request.port_positions.as_deref(),
+            )?;
+        }
+        Ok(name)
+    }
+
+    /// Generates many components in one call, fanning the *cold* pipeline
+    /// work out across up to `workers` scoped threads that share the
+    /// generation cache; instances are then installed sequentially in
+    /// request order, so auto-generated names are deterministic.
+    ///
+    /// VHDL-cluster requests are prepared against the pre-batch instance
+    /// set (they may not reference instances created earlier in the same
+    /// batch — issue those through [`Icdb::request_component`] instead).
+    ///
+    /// # Errors
+    /// The first failing request aborts the remaining installs; instances
+    /// already installed by this call are kept.
+    pub fn request_components_batch(
+        &mut self,
+        requests: &[ComponentRequest],
+        workers: usize,
+    ) -> Result<Vec<String>, IcdbError> {
+        let workers = workers.max(1).min(requests.len().max(1));
+        let mut prepared: Vec<Option<Result<Arc<GenerationPayload>, IcdbError>>> =
+            Vec::with_capacity(requests.len());
+        if workers <= 1 {
+            for request in requests {
+                prepared.push(Some(self.prepare_payload(request)));
+            }
+        } else {
+            let slots: Vec<Mutex<Option<Result<Arc<GenerationPayload>, IcdbError>>>> =
+                requests.iter().map(|_| Mutex::new(None)).collect();
+            let next = AtomicUsize::new(0);
+            let this: &Icdb = self;
+            std::thread::scope(|scope| {
+                for _ in 0..workers {
+                    scope.spawn(|| loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(request) = requests.get(i) else {
+                            break;
+                        };
+                        let result = this.prepare_payload(request);
+                        *crate::cache::lock(&slots[i]) = Some(result);
+                    });
+                }
+            });
+            for slot in &slots {
+                prepared.push(crate::cache::lock(slot).take());
+            }
+        }
+
+        let mut names = Vec::with_capacity(requests.len());
+        for (request, slot) in requests.iter().zip(prepared) {
+            let payload = slot.expect("every request slot is filled")?;
+            let name = self.install_payload(request, &payload)?;
+            if request.target == TargetLevel::Layout {
+                self.generate_layout(
+                    &name,
+                    request.alternative,
+                    request.port_positions.as_deref(),
+                )?;
+            }
+            names.push(name);
+        }
+        Ok(names)
+    }
+
+    /// The read-only half of generation: resolves the request, consults the
+    /// cache layer by layer, and runs only the stages that miss. Safe to
+    /// call concurrently from scoped threads sharing `&self`.
+    ///
+    /// # Errors
+    /// Propagates resolution, expansion, synthesis and estimation failures.
+    pub(crate) fn prepare_payload(
+        &self,
+        request: &ComponentRequest,
+    ) -> Result<Arc<GenerationPayload>, IcdbError> {
+        match &request.source {
             Source::Library {
                 component_name,
                 implementation,
                 functions,
             } => {
-                let imp = self
-                    .resolve_implementation(
-                        component_name.as_deref(),
-                        implementation.as_deref(),
-                        functions,
-                    )?
-                    .clone();
+                let imp = self.resolve_implementation(
+                    component_name.as_deref(),
+                    implementation.as_deref(),
+                    functions,
+                )?;
                 let params = imp.bind_attributes(&request.attributes)?;
-                let pairs: Vec<(&str, i64)> =
-                    params.iter().map(|(n, v)| (n.as_str(), *v)).collect();
-                let flat = icdb_iif::expand(&imp.module, &pairs, &self.library)?;
-                let netlist = synthesize(&flat, &self.cells, &SynthOptions::default())?;
-                self.stash_flat_views(&flat);
-                (netlist, imp.name, imp.functions, params, imp.connection)
+                let source = SourceKey::Implementation(imp.name.clone());
+                let key = RequestKey::new(
+                    source,
+                    &params,
+                    request,
+                    self.library.version(),
+                    self.cells.version(),
+                );
+                if let Some(hit) = self.cache.get_result(&key) {
+                    return Ok(hit);
+                }
+                let payload = Arc::new(self.generate_from_module(
+                    &imp.module,
+                    key.flat_key(),
+                    imp.name.clone(),
+                    imp.functions.clone(),
+                    params,
+                    imp.connection.clone(),
+                    request,
+                )?);
+                self.cache.put_result(key, payload.clone());
+                Ok(payload)
             }
             Source::Iif(text) => {
                 let module = icdb_iif::parse(text)?;
@@ -70,32 +183,105 @@ impl Icdb {
                         })?;
                     params.push((p.clone(), v));
                 }
-                let pairs: Vec<(&str, i64)> =
-                    params.iter().map(|(n, v)| (n.as_str(), *v)).collect();
-                let flat = icdb_iif::expand(&module, &pairs, &self.library)?;
-                let netlist = synthesize(&flat, &self.cells, &SynthOptions::default())?;
-                self.stash_flat_views(&flat);
-                (
-                    netlist,
+                let source = SourceKey::Iif(text.clone());
+                let key = RequestKey::new(
+                    source,
+                    &params,
+                    request,
+                    self.library.version(),
+                    self.cells.version(),
+                );
+                if let Some(hit) = self.cache.get_result(&key) {
+                    return Ok(hit);
+                }
+                let payload = Arc::new(self.generate_from_module(
+                    &module,
+                    key.flat_key(),
                     "iif".to_string(),
                     module.functions.clone(),
                     params,
                     Default::default(),
-                )
+                    request,
+                )?);
+                self.cache.put_result(key, payload.clone());
+                Ok(payload)
             }
             Source::VhdlNetlist(text) => {
+                // Clusters flatten *live* instances, so their results are
+                // never cached — a stale hit could resurrect deleted state.
                 let netlist = self.flatten_cluster(text)?;
-                (
+                Ok(Arc::new(self.finish_payload(
                     netlist,
                     "cluster".to_string(),
                     Vec::new(),
                     Vec::new(),
                     Default::default(),
-                )
+                    None,
+                    request,
+                )?))
+            }
+        }
+    }
+
+    /// Runs (or recalls) expansion and synthesis for a module, then the
+    /// per-request sizing/estimation tail.
+    #[allow(clippy::too_many_arguments)]
+    fn generate_from_module(
+        &self,
+        module: &icdb_iif::Module,
+        flat_key: FlatKey,
+        implementation: String,
+        functions: Vec<String>,
+        params: Vec<(String, i64)>,
+        connection: icdb_genus::ConnectionTable,
+        request: &ComponentRequest,
+    ) -> Result<GenerationPayload, IcdbError> {
+        let flat = match self.cache.get_flat(&flat_key) {
+            Some(flat) => flat,
+            None => {
+                let pairs: Vec<(&str, i64)> =
+                    params.iter().map(|(n, v)| (n.as_str(), *v)).collect();
+                let flat = Arc::new(icdb_iif::expand(module, &pairs, &self.library)?);
+                self.cache.put_flat(flat_key.clone(), flat.clone());
+                flat
             }
         };
+        let options = SynthOptions::default();
+        let net_key = NetKey::new(flat_key, &options, self.cells.version());
+        let mapped = match self.cache.get_netlist(&net_key) {
+            Some(netlist) => netlist,
+            None => {
+                let netlist = Arc::new(synthesize(&flat, &self.cells, &options)?);
+                self.cache.put_netlist(net_key, netlist.clone());
+                netlist
+            }
+        };
+        let views = (flat.to_string(), flat.to_milo_format());
+        self.finish_payload(
+            (*mapped).clone(),
+            implementation,
+            functions,
+            params,
+            connection,
+            Some(views),
+            request,
+        )
+    }
 
-        let mut netlist = netlist;
+    /// The per-request pipeline tail: transistor sizing against the
+    /// request's loads/strategy, constraint checking, shape estimation, and
+    /// rendering of every design-data view the store will hold.
+    #[allow(clippy::too_many_arguments)]
+    fn finish_payload(
+        &self,
+        mut netlist: GateNetlist,
+        implementation: String,
+        functions: Vec<String>,
+        params: Vec<(String, i64)>,
+        connection: icdb_genus::ConnectionTable,
+        flat_views: Option<(String, String)>,
+        request: &ComponentRequest,
+    ) -> Result<GenerationPayload, IcdbError> {
         let loads = request.constraints.load_spec();
         let strategy = request.sizing_strategy();
         let sizing = size_netlist(&mut netlist, &self.cells, &loads, &strategy);
@@ -112,22 +298,15 @@ impl Icdb {
             }
         }
         let shape = estimate_shape(&netlist, &self.cells, MAX_SHAPE_STRIPS)?;
-
-        let name = match &request.instance_name {
-            Some(n) => n.clone(),
-            None => {
-                self.counter += 1;
-                format!("{}${}", implementation.to_ascii_lowercase(), self.counter)
-            }
+        let (flat_iif, milo) = match flat_views {
+            Some((iif, milo)) => (Some(Arc::from(iif)), Some(Arc::from(milo))),
+            None => (None, None),
         };
-        if self.instances.contains_key(&name) {
-            return Err(IcdbError::Unsupported(format!(
-                "instance `{name}` already exists"
-            )));
-        }
-
-        let instance = ComponentInstance {
-            name: name.clone(),
+        let vhdl: Arc<str> = emit_netlist(&netlist, &self.cells).into();
+        let vhdl_head: Arc<str> = emit_entity(&netlist).into();
+        let delay_text: Arc<str> = sizing.report.to_string().into();
+        let shape_text: Arc<str> = shape.to_alternative_format().into();
+        Ok(GenerationPayload {
             implementation,
             functions,
             params,
@@ -137,21 +316,60 @@ impl Icdb {
             shape,
             met,
             connection,
+            flat_iif,
+            milo,
+            vhdl,
+            vhdl_head,
+            delay_text,
+            shape_text,
+        })
+    }
+
+    /// The mutating half of generation: names the instance (one interned
+    /// allocation shared by the instance, the map key, the creation order
+    /// and the return value), persists the payload's pre-rendered views,
+    /// and registers the instance.
+    fn install_payload(
+        &mut self,
+        request: &ComponentRequest,
+        payload: &Arc<GenerationPayload>,
+    ) -> Result<String, IcdbError> {
+        let name: Arc<str> = match &request.instance_name {
+            Some(n) => Arc::from(n.as_str()),
+            None => {
+                self.counter += 1;
+                format!(
+                    "{}${}",
+                    payload.implementation.to_ascii_lowercase(),
+                    self.counter
+                )
+                .into()
+            }
+        };
+        if self.instances.contains_key(&*name) {
+            return Err(IcdbError::Unsupported(format!(
+                "instance `{name}` already exists"
+            )));
+        }
+
+        let instance = ComponentInstance {
+            name: name.clone(),
+            implementation: payload.implementation.clone(),
+            functions: payload.functions.clone(),
+            params: payload.params.clone(),
+            netlist: payload.netlist.clone(),
+            loads: payload.loads.clone(),
+            report: payload.report.clone(),
+            shape: payload.shape.clone(),
+            met: payload.met,
+            connection: payload.connection.clone(),
             layout: None,
         };
-        self.persist_instance(&instance)?;
+        self.persist_payload(&name, payload)?;
         self.instances.insert(name.clone(), instance);
         self.instance_order.push(name.clone());
         self.designs.note_created(&name);
-
-        if request.target == TargetLevel::Layout {
-            self.generate_layout(
-                &name,
-                request.alternative,
-                request.port_positions.as_deref(),
-            )?;
-        }
-        Ok(name)
+        Ok(name.to_string())
     }
 
     fn resolve_implementation(
@@ -197,7 +415,7 @@ impl Icdb {
             }
         }
         for inst in &parsed.instances {
-            let sub = self.instances.get(&inst.component).ok_or_else(|| {
+            let sub = self.instances.get(inst.component.as_str()).ok_or_else(|| {
                 IcdbError::NotFound(format!(
                     "cluster references unknown instance `{}`",
                     inst.component
@@ -262,8 +480,8 @@ impl Icdb {
     }
 
     /// Generates (or regenerates) the layout of an instance, honoring a
-    /// shape alternative and port positions; returns the CIF text
-    /// (the `request_component; instance:%s; alternative:3;
+    /// shape alternative and port positions; returns the CIF text as a
+    /// shared blob (the `request_component; instance:%s; alternative:3;
     /// port_position:%s; CIF_layout:?s` query of §3.3).
     ///
     /// # Errors
@@ -274,7 +492,7 @@ impl Icdb {
         instance: &str,
         alternative: Option<usize>,
         port_positions: Option<&str>,
-    ) -> Result<String, IcdbError> {
+    ) -> Result<Arc<str>, IcdbError> {
         let inst = self
             .instances
             .get(instance)
@@ -314,7 +532,9 @@ impl Icdb {
             }
         };
         let layout = place(&inst.netlist, &self.cells, strips, &spec)?;
-        let cif = to_cif(&layout);
+        // Shared blob: the store write and the returned handle are
+        // reference-count bumps on one allocation, not text copies.
+        let cif: Arc<str> = to_cif(&layout).into();
         let art = to_ascii(&layout, 100);
         self.files
             .write(format!("instances/{instance}.cif"), cif.clone());
@@ -367,14 +587,14 @@ impl Icdb {
     }
 
     /// Names of all generated instances, in creation order.
-    pub fn instance_names(&self) -> &[String] {
+    pub fn instance_names(&self) -> &[Arc<str>] {
         &self.instance_order
     }
 
     /// Deletes an instance and its design data.
     pub(crate) fn delete_instance(&mut self, name: &str) {
         if self.instances.remove(name).is_some() {
-            self.instance_order.retain(|n| n != name);
+            self.instance_order.retain(|n| &**n != name);
             for suffix in [
                 "iif",
                 "milo",
@@ -445,55 +665,44 @@ impl Icdb {
     ///
     /// # Errors
     /// `NotFound` if the instance is absent; layout errors propagate.
-    pub fn cif_layout(&mut self, name: &str) -> Result<String, IcdbError> {
+    pub fn cif_layout(&mut self, name: &str) -> Result<Arc<str>, IcdbError> {
         let path = format!("instances/{name}.cif");
-        if let Ok(text) = self.files.read(&path) {
-            return Ok(text.to_string());
+        if let Ok(text) = self.files.read_shared(&path) {
+            return Ok(text);
         }
         self.generate_layout(name, None, None)
     }
 
-    fn stash_flat_views(&mut self, flat: &FlatModule) {
-        self.last_flat_iif = Some(flat.to_string());
-        self.last_milo = Some(flat.to_milo_format());
-    }
-
-    fn persist_instance(&mut self, inst: &ComponentInstance) -> Result<(), IcdbError> {
+    fn persist_payload(&mut self, name: &str, p: &GenerationPayload) -> Result<(), IcdbError> {
         self.db.insert(
             "instances",
             vec![
-                Value::Text(inst.name.clone()),
-                Value::Text(inst.implementation.clone()),
-                Value::Int(inst.netlist.gates.len() as i64),
-                Value::Real(inst.area()),
-                Value::Real(inst.report.clock_width),
-                Value::Int(i64::from(inst.met)),
+                Value::Text(name.to_string()),
+                Value::Text(p.implementation.clone()),
+                Value::Int(p.netlist.gates.len() as i64),
+                Value::Real(p.shape.best_area().map(|a| a.area()).unwrap_or(0.0)),
+                Value::Real(p.report.clock_width),
+                Value::Int(i64::from(p.met)),
             ],
         )?;
-        if let Some(flat) = self.last_flat_iif.take() {
+        // Every view below is a pre-rendered shared blob: on the warm path
+        // these writes are reference-count bumps, not string copies.
+        if let Some(flat) = &p.flat_iif {
             self.files
-                .write(format!("instances/{}.iif", inst.name), flat);
+                .write(format!("instances/{name}.iif"), flat.clone());
         }
-        if let Some(milo) = self.last_milo.take() {
+        if let Some(milo) = &p.milo {
             self.files
-                .write(format!("instances/{}.milo", inst.name), milo);
+                .write(format!("instances/{name}.milo"), milo.clone());
         }
-        self.files.write(
-            format!("instances/{}.vhdl", inst.name),
-            emit_netlist(&inst.netlist, &self.cells),
-        );
-        self.files.write(
-            format!("instances/{}.vhdl_head", inst.name),
-            emit_entity(&inst.netlist),
-        );
-        self.files.write(
-            format!("instances/{}.delay", inst.name),
-            inst.report.to_string(),
-        );
-        self.files.write(
-            format!("instances/{}.shape", inst.name),
-            inst.shape.to_alternative_format(),
-        );
+        self.files
+            .write(format!("instances/{name}.vhdl"), p.vhdl.clone());
+        self.files
+            .write(format!("instances/{name}.vhdl_head"), p.vhdl_head.clone());
+        self.files
+            .write(format!("instances/{name}.delay"), p.delay_text.clone());
+        self.files
+            .write(format!("instances/{name}.shape"), p.shape_text.clone());
         Ok(())
     }
 }

@@ -55,5 +55,5 @@ pub use factor::{
 pub use map::{map_network, MapObjective};
 pub use minimize::minimize;
 pub use netlist::{GNet, Gate, GateNetlist, NetlistError};
-pub use network::{NetId, Network, NetworkError, Node, Register, Special};
+pub use network::{NetId, Network, NetworkError, Node, Register, Special, SpecialInputs};
 pub use synth::{optimize, synthesize, SynthError, SynthOptions};

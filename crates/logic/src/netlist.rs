@@ -4,6 +4,7 @@
 use icdb_cells::{CellId, Library};
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::Arc;
 
 /// Stable handle for a net inside a [`GateNetlist`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -30,12 +31,16 @@ pub struct Gate {
 }
 
 /// A technology-mapped netlist of library cells.
+///
+/// Net names are interned as shared [`Arc<str>`] so cloning a netlist (the
+/// generation cache's warm path) bumps reference counts instead of copying
+/// every name string.
 #[derive(Debug, Clone)]
 pub struct GateNetlist {
     /// Design name.
     pub name: String,
-    names: Vec<String>,
-    by_name: HashMap<String, GNet>,
+    names: Vec<Arc<str>>,
+    by_name: HashMap<Arc<str>, GNet>,
     /// Primary inputs in port order.
     pub inputs: Vec<GNet>,
     /// Primary outputs in port order.
@@ -72,14 +77,15 @@ impl GateNetlist {
         }
     }
 
-    /// Interns a net by name.
+    /// Interns a net by name (one shared allocation per distinct name).
     pub fn intern(&mut self, name: &str) -> GNet {
         if let Some(&id) = self.by_name.get(name) {
             return id;
         }
         let id = GNet(self.names.len() as u32);
-        self.names.push(name.to_string());
-        self.by_name.insert(name.to_string(), id);
+        let shared: Arc<str> = Arc::from(name);
+        self.names.push(shared.clone());
+        self.by_name.insert(shared, id);
         id
     }
 
@@ -87,7 +93,7 @@ impl GateNetlist {
     pub fn fresh(&mut self, hint: &str) -> GNet {
         let mut name = hint.to_string();
         let mut k = 0;
-        while self.by_name.contains_key(&name) {
+        while self.by_name.contains_key(name.as_str()) {
             k += 1;
             name = format!("{hint}${k}");
         }

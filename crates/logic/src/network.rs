@@ -12,6 +12,7 @@ use crate::cube::{Cover, Cube, Polarity};
 use icdb_iif::{ClockKind, FlatEquation, FlatExpr, FlatModule};
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::Arc;
 
 /// Maximum cubes allowed while flattening one expression cone; larger
 /// intermediates are cut by materializing sub-expressions as nodes.
@@ -133,25 +134,66 @@ impl Special {
         }
     }
 
-    /// The input nets of the element.
-    pub fn inputs(&self) -> Vec<NetId> {
-        match self {
-            Special::Buf { input, .. }
-            | Special::Schmitt { input, .. }
-            | Special::Delay { input, .. } => vec![*input],
-            Special::Tristate { data, enable, .. } => vec![*data, *enable],
-            Special::WireOr { inputs, .. } => inputs.clone(),
+    /// The input nets of the element, without allocating: this sits on the
+    /// sweep/eliminate/eval hot loops, so it yields ids in place instead of
+    /// building a `Vec` per call.
+    pub fn inputs(&self) -> SpecialInputs<'_> {
+        SpecialInputs {
+            special: self,
+            next: 0,
         }
     }
 }
 
+/// Non-allocating iterator over a [`Special`] element's input nets.
+#[derive(Debug, Clone)]
+pub struct SpecialInputs<'a> {
+    special: &'a Special,
+    next: usize,
+}
+
+impl Iterator for SpecialInputs<'_> {
+    type Item = NetId;
+
+    fn next(&mut self) -> Option<NetId> {
+        let i = self.next;
+        self.next += 1;
+        match self.special {
+            Special::Buf { input, .. }
+            | Special::Schmitt { input, .. }
+            | Special::Delay { input, .. } => (i == 0).then_some(*input),
+            Special::Tristate { data, enable, .. } => match i {
+                0 => Some(*data),
+                1 => Some(*enable),
+                _ => None,
+            },
+            Special::WireOr { inputs, .. } => inputs.get(i).copied(),
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let total = match self.special {
+            Special::Buf { .. } | Special::Schmitt { .. } | Special::Delay { .. } => 1,
+            Special::Tristate { .. } => 2,
+            Special::WireOr { inputs, .. } => inputs.len(),
+        };
+        let left = total.saturating_sub(self.next);
+        (left, Some(left))
+    }
+}
+
+impl ExactSizeIterator for SpecialInputs<'_> {}
+
 /// The multi-level boolean network.
+///
+/// Net names are interned as shared [`Arc<str>`], so clones share name
+/// storage instead of reallocating it.
 #[derive(Debug, Clone)]
 pub struct Network {
     /// Design name.
     pub name: String,
-    names: Vec<String>,
-    by_name: HashMap<String, NetId>,
+    names: Vec<Arc<str>>,
+    by_name: HashMap<Arc<str>, NetId>,
     /// Primary inputs, in port order.
     pub inputs: Vec<NetId>,
     /// Primary outputs, in port order.
@@ -198,14 +240,15 @@ impl Network {
         Ok(net)
     }
 
-    /// Interns a net name.
+    /// Interns a net name (one shared allocation per distinct name).
     pub fn intern(&mut self, name: &str) -> NetId {
         if let Some(&id) = self.by_name.get(name) {
             return id;
         }
         let id = NetId(self.names.len() as u32);
-        self.names.push(name.to_string());
-        self.by_name.insert(name.to_string(), id);
+        let shared: Arc<str> = Arc::from(name);
+        self.names.push(shared.clone());
+        self.by_name.insert(shared, id);
         id
     }
 
@@ -228,7 +271,7 @@ impl Network {
     pub fn fresh_net(&mut self, hint: &str) -> NetId {
         let mut name = hint.to_string();
         let mut k = 0;
-        while self.by_name.contains_key(&name) {
+        while self.by_name.contains_key(name.as_str()) {
             k += 1;
             name = format!("{hint}${k}");
         }
@@ -756,8 +799,7 @@ impl Network {
             });
             specials.retain(|&i| {
                 let s = &self.specials[i];
-                let ins = s.inputs();
-                if ins.iter().all(|f| values.contains_key(f)) {
+                if s.inputs().all(|f| values.contains_key(&f)) {
                     let v = match s {
                         Special::Buf { input, .. }
                         | Special::Schmitt { input, .. }

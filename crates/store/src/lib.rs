@@ -29,6 +29,7 @@
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::Arc;
 
 /// A typed cell value.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -517,9 +518,14 @@ fn literal(toks: &[Tok], i: &mut usize) -> Result<Value, StoreError> {
 
 /// The design-data file store (UNIX file system stand-in): tools get file
 /// names from ICDB "then perform their own I/O" (paper §2.3).
+///
+/// Contents are stored as shared [`Arc<str>`] blobs: writing an
+/// already-shared blob (the generation cache's warm path) and reading one
+/// out via [`FileStore::read_shared`] are both reference-count bumps, not
+/// text copies.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct FileStore {
-    files: HashMap<String, String>,
+    files: HashMap<String, Arc<str>>,
 }
 
 impl FileStore {
@@ -528,8 +534,9 @@ impl FileStore {
         FileStore::default()
     }
 
-    /// Writes (or overwrites) a file.
-    pub fn write(&mut self, path: impl Into<String>, contents: impl Into<String>) {
+    /// Writes (or overwrites) a file. Accepts `String`, `&str` or a shared
+    /// `Arc<str>`; passing an existing `Arc<str>` stores it without copying.
+    pub fn write(&mut self, path: impl Into<String>, contents: impl Into<Arc<str>>) {
         self.files.insert(path.into(), contents.into());
     }
 
@@ -540,7 +547,18 @@ impl FileStore {
     pub fn read(&self, path: &str) -> Result<&str, StoreError> {
         self.files
             .get(path)
-            .map(String::as_str)
+            .map(|s| &**s)
+            .ok_or_else(|| serr(format!("no file `{path}`")))
+    }
+
+    /// Reads a file as a shared blob (cheap owned handle, no text copy).
+    ///
+    /// # Errors
+    /// Fails if the file does not exist.
+    pub fn read_shared(&self, path: &str) -> Result<Arc<str>, StoreError> {
+        self.files
+            .get(path)
+            .cloned()
             .ok_or_else(|| serr(format!("no file `{path}`")))
     }
 

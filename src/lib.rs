@@ -46,8 +46,9 @@
 #![deny(rustdoc::broken_intra_doc_links)]
 
 pub use icdb_core::{
-    ComponentImpl, ComponentInstance, ComponentRequest, Constraints, DesignManager,
-    GenericComponentLibrary, Icdb, IcdbError, ParamSpec, Source, TargetLevel,
+    CacheStats, ComponentImpl, ComponentInstance, ComponentRequest, Constraints, DesignManager,
+    GenCache, GenericComponentLibrary, Icdb, IcdbError, LayerStats, ParamSpec, RequestKey, Source,
+    TargetLevel,
 };
 
 /// The component server (re-export of `icdb-core`).

@@ -80,6 +80,30 @@ macro_rules! prop_assert_eq {
     }};
 }
 
+/// Fails the current test case if the two expressions compare equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left != right,
+            "assertion failed: `{:?}` == `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left != right,
+            "{}: `{:?}` == `{:?}`",
+            format!($($fmt)*),
+            left,
+            right
+        );
+    }};
+}
+
 /// Declares property tests: each `fn name(arg in strategy, …) { body }`
 /// becomes a `#[test]` that runs the body over `config.cases` generated
 /// inputs. An optional leading `#![proptest_config(expr)]` sets the config.

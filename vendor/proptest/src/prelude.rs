@@ -2,4 +2,4 @@
 
 pub use crate::strategy::{any, Arbitrary, BoxedStrategy, Strategy, Union};
 pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRng};
-pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};

@@ -207,6 +207,25 @@ where
     }
 }
 
+impl<A, B, C, D> Strategy for (A, B, C, D)
+where
+    A: Strategy,
+    B: Strategy,
+    C: Strategy,
+    D: Strategy,
+{
+    type Value = (A::Value, B::Value, C::Value, D::Value);
+
+    fn generate(&self, rng: &mut TestRng) -> (A::Value, B::Value, C::Value, D::Value) {
+        (
+            self.0.generate(rng),
+            self.1.generate(rng),
+            self.2.generate(rng),
+            self.3.generate(rng),
+        )
+    }
+}
+
 /// Types with a canonical strategy, reachable through [`any`].
 pub trait Arbitrary {
     /// The canonical strategy for the type.
