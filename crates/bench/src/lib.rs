@@ -5,6 +5,9 @@
 
 #![deny(rustdoc::broken_intra_doc_links)]
 
+pub mod json;
+pub mod perfgate;
+
 use icdb::estimate::{LoadSpec, ShapeFunction};
 use icdb::layout::{best_by_aspect, Floorplan, SlicingTree};
 use icdb::sizing::Strategy;

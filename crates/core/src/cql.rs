@@ -3,11 +3,63 @@
 //! [`Icdb::execute`]: component / function / instance queries, component
 //! requests (from library specs, inline IIF, or VHDL clusters), connection
 //! queries and component-list management.
+//!
+//! Execution is session-aware: [`Icdb::execute_in`] runs a command against
+//! an explicit namespace, and [`Icdb::execute_read_in`] runs the read-only
+//! command subset through `&self` so the concurrent
+//! [`crate::service::IcdbService`] can serve queries under a shared lock
+//! (it reports `Ok(false)` when a command needs exclusive access, e.g. an
+//! `instance_query` asking for a CIF layout that has not been generated
+//! yet).
 
 use crate::error::IcdbError;
+use crate::space::NsId;
 use crate::spec::{ComponentRequest, Source, TargetLevel};
 use crate::Icdb;
 use icdb_cql::{bind_outputs, parse_command, Command, CqlArg, CqlValue, Response};
+
+/// Outcome of a shared-lock dispatch attempt.
+enum ReadDispatch {
+    /// The command was answered read-only.
+    Done(Response),
+    /// The command mutates (or needs cold generation) — retry with
+    /// [`Icdb::execute_in`] under exclusive access. Nothing was written to
+    /// the caller's arguments.
+    NeedsWrite,
+}
+
+/// The read-only CQL command subset the service may attempt under a
+/// shared lock — the single source of truth: `command_is_read_only`
+/// derives from it, and `dispatch_read_in` must route exactly these names
+/// to an executor (enforced by
+/// `tests::read_only_list_matches_read_dispatch`).
+const READ_ONLY_COMMANDS: &[&str] = &[
+    "component_query",
+    "function_query",
+    "instance_query",
+    "connect_component",
+    "merge_query",
+    "tool_query",
+    "cache_query",
+];
+
+/// Whether a raw CQL command string names a read-only command, without a
+/// full parse — used by [`crate::Session::execute`] to decide which lock
+/// to try first.
+pub(crate) fn command_text_is_read_only(command: &str) -> bool {
+    command.split(';').any(|term| {
+        term.split_once(':')
+            .is_some_and(|(k, v)| k.trim() == "command" && command_is_read_only(v.trim()))
+    })
+}
+
+/// Whether a CQL command name belongs to the read-only subset the service
+/// may attempt under a shared lock. (An `instance_query` for an
+/// ungenerated CIF layout still falls back to exclusive access at
+/// dispatch time.)
+fn command_is_read_only(name: &str) -> bool {
+    READ_ONLY_COMMANDS.contains(&name)
+}
 
 impl Icdb {
     /// Executes one CQL command, substituting `%` inputs from `args` and
@@ -18,25 +70,76 @@ impl Icdb {
     /// CQL syntax errors, unknown commands/entities, and generation
     /// failures all surface as [`IcdbError`].
     pub fn execute(&mut self, command: &str, args: &mut [CqlArg]) -> Result<(), IcdbError> {
+        self.execute_in(NsId::ROOT, command, args)
+    }
+
+    /// Executes one CQL command against an explicit session namespace.
+    ///
+    /// # Errors
+    /// As [`Icdb::execute`]; also fails on unknown namespaces.
+    pub fn execute_in(
+        &mut self,
+        ns: NsId,
+        command: &str,
+        args: &mut [CqlArg],
+    ) -> Result<(), IcdbError> {
         let (cmd, outs) = parse_command(command, args)?;
-        let response = self.dispatch(&cmd)?;
+        let response = self.dispatch_in(ns, &cmd)?;
         bind_outputs(&response, &outs, args)?;
         Ok(())
     }
 
-    fn dispatch(&mut self, cmd: &Command) -> Result<Response, IcdbError> {
+    /// Attempts one CQL command through `&self` only (the shared-lock fast
+    /// path of the service). Returns `Ok(true)` when the command was fully
+    /// answered, `Ok(false)` when it requires exclusive access — in that
+    /// case the caller's arguments are untouched and the command should be
+    /// re-issued through [`Icdb::execute_in`].
+    ///
+    /// # Errors
+    /// As [`Icdb::execute`] for the read-only command subset.
+    pub fn execute_read_in(
+        &self,
+        ns: NsId,
+        command: &str,
+        args: &mut [CqlArg],
+    ) -> Result<bool, IcdbError> {
+        let (cmd, outs) = parse_command(command, args)?;
+        match self.dispatch_read_in(ns, &cmd)? {
+            ReadDispatch::Done(response) => {
+                bind_outputs(&response, &outs, args)?;
+                Ok(true)
+            }
+            ReadDispatch::NeedsWrite => Ok(false),
+        }
+    }
+
+    fn dispatch_in(&mut self, ns: NsId, cmd: &Command) -> Result<Response, IcdbError> {
         match cmd.name.as_str() {
             "component_query" => self.exec_component_query(cmd),
             "function_query" => self.exec_function_query(cmd),
-            "request_component" => self.exec_request_component(cmd),
-            "instance_query" => self.exec_instance_query(cmd),
-            "connect_component" => self.exec_connect(cmd),
+            "request_component" => self.exec_request_component(ns, cmd),
+            "instance_query" => {
+                // Generate the layout up front if the query wants CIF, then
+                // answer through the shared read-only executor.
+                if cmd.pending_keys().contains(&"CIF_layout") {
+                    let name = instance_query_target(cmd)?;
+                    self.cif_layout_in(ns, &name)?;
+                }
+                match self.exec_instance_query(ns, cmd)? {
+                    ReadDispatch::Done(resp) => Ok(resp),
+                    ReadDispatch::NeedsWrite => Err(IcdbError::Unsupported(
+                        "instance_query still needs exclusive access after layout generation"
+                            .into(),
+                    )),
+                }
+            }
+            "connect_component" => self.exec_connect(ns, cmd),
             "start_a_design" => {
-                self.start_design(&design_of(cmd)?)?;
+                self.start_design_in(ns, &design_of(cmd)?)?;
                 Ok(Response::new())
             }
             "start_a_transaction" => {
-                self.start_transaction(&design_of(cmd)?)?;
+                self.start_transaction_in(ns, &design_of(cmd)?)?;
                 Ok(Response::new())
             }
             "put_in_component_list" => {
@@ -45,29 +148,47 @@ impl Icdb {
                     .str_term("instance")
                     .ok_or_else(|| IcdbError::Cql("missing instance:".into()))?
                     .to_string();
-                self.put_in_component_list(&design, &inst)?;
+                self.put_in_component_list_in(ns, &design, &inst)?;
                 Ok(Response::new())
             }
             "end_a_transaction" => {
-                self.end_transaction(&design_of(cmd)?)?;
+                self.end_transaction_in(ns, &design_of(cmd)?)?;
                 Ok(Response::new())
             }
             "end_a_design" => {
-                self.end_design(&design_of(cmd)?)?;
+                self.end_design_in(ns, &design_of(cmd)?)?;
                 Ok(Response::new())
             }
             "insert_component" => self.exec_insert_component(cmd),
             "merge_query" => self.exec_merge_query(cmd),
             "tool_query" => self.exec_tool_query(cmd),
-            "cache_query" => self.exec_cache_query(cmd),
+            "cache_query" => {
+                // The exclusive path also refreshes the relational
+                // `cache_stats` table; the shared-lock path only reads.
+                self.publish_cache_stats()?;
+                self.exec_cache_query(cmd)
+            }
             other => Err(IcdbError::Cql(format!("unknown command `{other}`"))),
+        }
+    }
+
+    fn dispatch_read_in(&self, ns: NsId, cmd: &Command) -> Result<ReadDispatch, IcdbError> {
+        match cmd.name.as_str() {
+            "component_query" => self.exec_component_query(cmd).map(ReadDispatch::Done),
+            "function_query" => self.exec_function_query(cmd).map(ReadDispatch::Done),
+            "instance_query" => self.exec_instance_query(ns, cmd),
+            "connect_component" => self.exec_connect(ns, cmd).map(ReadDispatch::Done),
+            "merge_query" => self.exec_merge_query(cmd).map(ReadDispatch::Done),
+            "tool_query" => self.exec_tool_query(cmd).map(ReadDispatch::Done),
+            "cache_query" => self.exec_cache_query(cmd).map(ReadDispatch::Done),
+            _ => Ok(ReadDispatch::NeedsWrite),
         }
     }
 
     /// `component_query` (§3.2.1): what implementations exist for a
     /// component/function set, or what functions an implementation (or a
     /// generated component) performs.
-    fn exec_component_query(&mut self, cmd: &Command) -> Result<Response, IcdbError> {
+    fn exec_component_query(&self, cmd: &Command) -> Result<Response, IcdbError> {
         let mut resp = Response::new();
         let functions = cmd.list_term("function").unwrap_or_default();
 
@@ -132,7 +253,7 @@ impl Icdb {
 
     /// `function_query` (Appendix B §5.1): components / implementations
     /// that can execute a function set.
-    fn exec_function_query(&mut self, cmd: &Command) -> Result<Response, IcdbError> {
+    fn exec_function_query(&self, cmd: &Command) -> Result<Response, IcdbError> {
         let functions = cmd
             .list_term("function")
             .ok_or_else(|| IcdbError::Cql("function_query needs function:(…)".into()))?;
@@ -165,7 +286,7 @@ impl Icdb {
 
     /// `request_component` (§3.2.2, Appendix B §6): generate an instance,
     /// or regenerate a layout for an existing instance.
-    fn exec_request_component(&mut self, cmd: &Command) -> Result<Response, IcdbError> {
+    fn exec_request_component(&mut self, ns: NsId, cmd: &Command) -> Result<Response, IcdbError> {
         let mut resp = Response::new();
 
         // Layout-regeneration form: `instance:%s; alternative:3;
@@ -177,7 +298,7 @@ impl Icdb {
                     .str_term("port_position")
                     .or_else(|| cmd.str_term("pin_position"))
                     .map(str::to_string);
-                let cif = self.generate_layout(&instance, alternative, ports.as_deref())?;
+                let cif = self.generate_layout_in(ns, &instance, alternative, ports.as_deref())?;
                 resp.set("CIF_layout", CqlValue::Str(cif.to_string()));
                 return Ok(resp);
             }
@@ -268,14 +389,14 @@ impl Icdb {
             request.instance_name = Some(n.to_string());
         }
 
-        let name = self.request_component(&request)?;
+        let name = self.request_component_in(ns, &request)?;
         for key in cmd.pending_keys() {
             match key {
                 "generated_component" | "instance" | "component_instance" => {
                     resp.set(key, CqlValue::Str(name.clone()));
                 }
                 "CIF_layout" => {
-                    let cif = self.cif_layout(&name)?;
+                    let cif = self.cif_layout_in(ns, &name)?;
                     resp.set(key, CqlValue::Str(cif.to_string()));
                 }
                 other => {
@@ -289,40 +410,38 @@ impl Icdb {
     }
 
     /// `instance_query` (§3.3, Appendix B §5.3): delay, area, shape
-    /// function, functions, VHDL views, connection info, CIF.
-    fn exec_instance_query(&mut self, cmd: &Command) -> Result<Response, IcdbError> {
-        let name = cmd
-            .str_term("instance")
-            .or_else(|| cmd.str_term("generated_component"))
-            .ok_or_else(|| IcdbError::Cql("instance_query needs instance:%s".into()))?
-            .to_string();
+    /// function, functions, VHDL views, connection info, CIF. Read-only:
+    /// asks for exclusive access when the query wants a CIF layout that
+    /// has not been generated yet.
+    fn exec_instance_query(&self, ns: NsId, cmd: &Command) -> Result<ReadDispatch, IcdbError> {
+        let name = instance_query_target(cmd)?;
         let mut resp = Response::new();
         for key in cmd.pending_keys() {
             let key = key.to_string();
             match key.as_str() {
-                "delay" => resp.set(key, CqlValue::Str(self.delay_string(&name)?)),
-                "shape_function" => resp.set(key, CqlValue::Str(self.shape_string(&name)?)),
-                "area" => resp.set(key, CqlValue::Str(self.area_string(&name)?)),
+                "delay" => resp.set(key, CqlValue::Str(self.delay_string_in(ns, &name)?)),
+                "shape_function" => resp.set(key, CqlValue::Str(self.shape_string_in(ns, &name)?)),
+                "area" => resp.set(key, CqlValue::Str(self.area_string_in(ns, &name)?)),
                 "function" | "functions" => {
                     resp.set(
                         key,
-                        CqlValue::StrList(self.instance(&name)?.functions.clone()),
+                        CqlValue::StrList(self.instance_in(ns, &name)?.functions.clone()),
                     );
                 }
-                "VHDL_net_list" => resp.set(key, CqlValue::Str(self.vhdl_netlist(&name)?)),
-                "VHDL_head" => resp.set(key, CqlValue::Str(self.vhdl_head(&name)?)),
-                "connect" => resp.set(key, CqlValue::Str(self.connect_string(&name)?)),
-                "CIF_layout" => {
-                    let cif = self.cif_layout(&name)?;
-                    resp.set(key, CqlValue::Str(cif.to_string()));
-                }
+                "VHDL_net_list" => resp.set(key, CqlValue::Str(self.vhdl_netlist_in(ns, &name)?)),
+                "VHDL_head" => resp.set(key, CqlValue::Str(self.vhdl_head_in(ns, &name)?)),
+                "connect" => resp.set(key, CqlValue::Str(self.connect_string_in(ns, &name)?)),
+                "CIF_layout" => match self.cif_layout_cached_in(ns, &name)? {
+                    Some(cif) => resp.set(key, CqlValue::Str(cif.to_string())),
+                    None => return Ok(ReadDispatch::NeedsWrite),
+                },
                 "clock_width" => {
                     resp.set(
                         key,
-                        CqlValue::Real(self.instance(&name)?.report.clock_width),
+                        CqlValue::Real(self.instance_in(ns, &name)?.report.clock_width),
                     );
                 }
-                "power" => resp.set(key, CqlValue::Str(self.power_string(&name)?)),
+                "power" => resp.set(key, CqlValue::Str(self.power_string_in(ns, &name)?)),
                 other => {
                     return Err(IcdbError::Cql(format!(
                         "instance_query cannot answer `{other}`"
@@ -330,7 +449,7 @@ impl Icdb {
                 }
             }
         }
-        Ok(resp)
+        Ok(ReadDispatch::Done(resp))
     }
 
     /// `insert_component` (the §2.2 knowledge-acquisition path): insert a
@@ -386,7 +505,7 @@ impl Icdb {
 
     /// `merge_query` (§2.1): which single components can replace the named
     /// set (e.g. REGISTER + INCREMENTER → COUNTER)?
-    fn exec_merge_query(&mut self, cmd: &Command) -> Result<Response, IcdbError> {
+    fn exec_merge_query(&self, cmd: &Command) -> Result<Response, IcdbError> {
         let parts = cmd
             .list_term("components")
             .or_else(|| cmd.list_term("component"))
@@ -409,7 +528,7 @@ impl Icdb {
 
     /// `tool_query` (§4.2): the registered component generators, optionally
     /// filtered by accepted design-data format.
-    fn exec_tool_query(&mut self, cmd: &Command) -> Result<Response, IcdbError> {
+    fn exec_tool_query(&self, cmd: &Command) -> Result<Response, IcdbError> {
         let generators: Vec<String> = match cmd.str_term("accepts") {
             Some(fmt) => self
                 .tools
@@ -448,10 +567,9 @@ impl Icdb {
 
     /// `cache_query`: generation-cache statistics (hits, misses, evictions,
     /// entries, capacity — summed over the flat/netlist/result layers, or
-    /// per layer via `layer:<name>`). Also refreshes the relational
-    /// `cache_stats` table so the same numbers are SQL-queryable.
-    fn exec_cache_query(&mut self, cmd: &Command) -> Result<Response, IcdbError> {
-        self.publish_cache_stats()?;
+    /// per layer via `layer:<name>`). The exclusive-access path also
+    /// refreshes the relational `cache_stats` table before calling this.
+    fn exec_cache_query(&self, cmd: &Command) -> Result<Response, IcdbError> {
         let stats = self.cache_stats();
         let layer = match cmd.str_term("layer") {
             Some("flat") => Some(stats.flat),
@@ -495,13 +613,13 @@ impl Icdb {
     }
 
     /// `connect_component` (Appendix B §5.4).
-    fn exec_connect(&mut self, cmd: &Command) -> Result<Response, IcdbError> {
+    fn exec_connect(&self, ns: NsId, cmd: &Command) -> Result<Response, IcdbError> {
         let name = cmd
             .str_term("instance")
             .ok_or_else(|| IcdbError::Cql("connect_component needs instance:%s".into()))?
             .to_string();
         let mut resp = Response::new();
-        resp.set("connect", CqlValue::Str(self.connect_string(&name)?));
+        resp.set("connect", CqlValue::Str(self.connect_string_in(ns, &name)?));
         Ok(resp)
     }
 }
@@ -510,4 +628,50 @@ fn design_of(cmd: &Command) -> Result<String, IcdbError> {
     cmd.str_term("design")
         .map(str::to_string)
         .ok_or_else(|| IcdbError::Cql("missing design:".into()))
+}
+
+fn instance_query_target(cmd: &Command) -> Result<String, IcdbError> {
+    cmd.str_term("instance")
+        .or_else(|| cmd.str_term("generated_component"))
+        .map(str::to_string)
+        .ok_or_else(|| IcdbError::Cql("instance_query needs instance:%s".into()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Every name in `READ_ONLY_COMMANDS` must reach a real executor in
+    /// `dispatch_read_in` (never the `NeedsWrite` default arm), and every
+    /// other name must fall through to it — otherwise the shared-lock fast
+    /// path silently drifts out of sync with the classification.
+    #[test]
+    fn read_only_list_matches_read_dispatch() {
+        let icdb = Icdb::new();
+        let bare = |name: &str| Command {
+            name: name.to_string(),
+            terms: Vec::new(),
+        };
+        for name in READ_ONLY_COMMANDS {
+            // A bare command may legitimately error (missing terms), but a
+            // routed command never reports NeedsWrite from the default arm.
+            let routed = !matches!(
+                icdb.dispatch_read_in(NsId::ROOT, &bare(name)),
+                Ok(ReadDispatch::NeedsWrite)
+            );
+            assert!(routed, "`{name}` is listed read-only but not dispatched");
+            assert!(command_is_read_only(name));
+            assert!(command_text_is_read_only(&format!("command:{name}; x:?s")));
+        }
+        for name in ["request_component", "insert_component", "start_a_design"] {
+            assert!(
+                matches!(
+                    icdb.dispatch_read_in(NsId::ROOT, &bare(name)),
+                    Ok(ReadDispatch::NeedsWrite)
+                ),
+                "mutating `{name}` must fall through to the exclusive path"
+            );
+            assert!(!command_text_is_read_only(&format!("command:{name}")));
+        }
+    }
 }

@@ -131,7 +131,17 @@ impl Icdb {
     /// # Errors
     /// Fails if the design already exists.
     pub fn start_design(&mut self, name: &str) -> Result<(), IcdbError> {
-        self.designs.start_design(name)
+        self.start_design_in(crate::NsId::ROOT, name)
+    }
+
+    /// Namespace form of [`Icdb::start_design`] — designs and their
+    /// transactions are per-session, so concurrent clients never trip over
+    /// each other's open transactions.
+    ///
+    /// # Errors
+    /// Fails if the design already exists in this namespace.
+    pub fn start_design_in(&mut self, ns: crate::NsId, name: &str) -> Result<(), IcdbError> {
+        self.spaces.get_mut(ns)?.designs.start_design(name)
     }
 
     /// `start_a_transaction`.
@@ -139,7 +149,15 @@ impl Icdb {
     /// # Errors
     /// See [`DesignManager::start_transaction`].
     pub fn start_transaction(&mut self, design: &str) -> Result<(), IcdbError> {
-        self.designs.start_transaction(design)
+        self.start_transaction_in(crate::NsId::ROOT, design)
+    }
+
+    /// Namespace form of [`Icdb::start_transaction`].
+    ///
+    /// # Errors
+    /// See [`DesignManager::start_transaction`].
+    pub fn start_transaction_in(&mut self, ns: crate::NsId, design: &str) -> Result<(), IcdbError> {
+        self.spaces.get_mut(ns)?.designs.start_transaction(design)
     }
 
     /// `put_in_component_list`.
@@ -147,10 +165,24 @@ impl Icdb {
     /// # Errors
     /// Fails on unknown designs/instances.
     pub fn put_in_component_list(&mut self, design: &str, instance: &str) -> Result<(), IcdbError> {
-        if !self.instances.contains_key(instance) {
+        self.put_in_component_list_in(crate::NsId::ROOT, design, instance)
+    }
+
+    /// Namespace form of [`Icdb::put_in_component_list`].
+    ///
+    /// # Errors
+    /// Fails on unknown designs/instances.
+    pub fn put_in_component_list_in(
+        &mut self,
+        ns: crate::NsId,
+        design: &str,
+        instance: &str,
+    ) -> Result<(), IcdbError> {
+        let space = self.spaces.get_mut(ns)?;
+        if !space.instances.contains_key(instance) {
             return Err(IcdbError::NotFound(format!("instance `{instance}`")));
         }
-        self.designs.put_in_list(design, instance)
+        space.designs.put_in_list(design, instance)
     }
 
     /// `end_a_transaction`: deletes instances created during the
@@ -159,10 +191,22 @@ impl Icdb {
     /// # Errors
     /// See [`DesignManager::end_transaction`].
     pub fn end_transaction(&mut self, design: &str) -> Result<usize, IcdbError> {
-        let doomed = self.designs.end_transaction(design)?;
+        self.end_transaction_in(crate::NsId::ROOT, design)
+    }
+
+    /// Namespace form of [`Icdb::end_transaction`].
+    ///
+    /// # Errors
+    /// See [`DesignManager::end_transaction`].
+    pub fn end_transaction_in(
+        &mut self,
+        ns: crate::NsId,
+        design: &str,
+    ) -> Result<usize, IcdbError> {
+        let doomed = self.spaces.get_mut(ns)?.designs.end_transaction(design)?;
         let n = doomed.len();
         for name in doomed {
-            self.delete_instance(&name);
+            self.delete_instance_in(ns, &name);
         }
         Ok(n)
     }
@@ -172,10 +216,18 @@ impl Icdb {
     /// # Errors
     /// See [`DesignManager::end_design`].
     pub fn end_design(&mut self, design: &str) -> Result<usize, IcdbError> {
-        let doomed = self.designs.end_design(design)?;
+        self.end_design_in(crate::NsId::ROOT, design)
+    }
+
+    /// Namespace form of [`Icdb::end_design`].
+    ///
+    /// # Errors
+    /// See [`DesignManager::end_design`].
+    pub fn end_design_in(&mut self, ns: crate::NsId, design: &str) -> Result<usize, IcdbError> {
+        let doomed = self.spaces.get_mut(ns)?.designs.end_design(design)?;
         let n = doomed.len();
         for name in doomed {
-            self.delete_instance(&name);
+            self.delete_instance_in(ns, &name);
         }
         Ok(n)
     }

@@ -122,7 +122,15 @@ impl Icdb {
     /// # Errors
     /// `NotFound` if the instance is absent.
     pub fn power_string(&self, name: &str) -> Result<String, IcdbError> {
-        let inst = self.instance(name)?;
+        self.power_string_in(crate::NsId::ROOT, name)
+    }
+
+    /// Namespace form of [`Icdb::power_string`].
+    ///
+    /// # Errors
+    /// `NotFound` if the namespace or instance is absent.
+    pub fn power_string_in(&self, ns: crate::NsId, name: &str) -> Result<String, IcdbError> {
+        let inst = self.instance_in(ns, name)?;
         let report = icdb_estimate::estimate_power(
             &inst.netlist,
             &self.cells,

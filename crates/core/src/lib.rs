@@ -62,6 +62,8 @@ mod instance;
 mod knowledge;
 mod library;
 mod server;
+pub mod service;
+mod space;
 mod spec;
 mod tools;
 
@@ -70,14 +72,21 @@ pub use designs::DesignManager;
 pub use error::IcdbError;
 pub use instance::ComponentInstance;
 pub use library::{ComponentImpl, GenericComponentLibrary, ParamSpec};
+pub use service::{IcdbService, Session};
+pub use space::NsId;
 pub use spec::{ComponentRequest, Constraints, Source, TargetLevel};
 pub use tools::{GeneratorInfo, ToolManager, ToolStep};
 
 use icdb_store::{Database, FileStore, Value};
-use std::collections::HashMap;
 use std::sync::Arc;
 
 /// The Intelligent Component Database: knowledge server + component server.
+///
+/// Per-caller state (generated instances, naming counters, designs) lives
+/// in [`NsId`]-addressed namespaces; the classic single-caller methods all
+/// operate on [`NsId::ROOT`], while the `*_in` variants and the concurrent
+/// [`IcdbService`] address explicit session namespaces over the same
+/// shared knowledge base.
 #[derive(Debug)]
 pub struct Icdb {
     /// The generic component library (knowledge base).
@@ -91,10 +100,7 @@ pub struct Icdb {
     /// The tool manager: registered component generators (§4.2).
     pub tools: ToolManager,
     pub(crate) cache: Arc<GenCache>,
-    pub(crate) instances: HashMap<Arc<str>, ComponentInstance>,
-    pub(crate) instance_order: Vec<Arc<str>>,
-    pub(crate) counter: u64,
-    pub(crate) designs: DesignManager,
+    pub(crate) spaces: space::Spaces,
 }
 
 // Manual impl: a clone gets its own *empty* generation cache rather than
@@ -111,10 +117,7 @@ impl Clone for Icdb {
             files: self.files.clone(),
             tools: self.tools.clone(),
             cache: Arc::new(GenCache::with_capacity(self.cache.stats().result.capacity)),
-            instances: self.instances.clone(),
-            instance_order: self.instance_order.clone(),
-            counter: self.counter,
-            designs: self.designs.clone(),
+            spaces: self.spaces.clone(),
         }
     }
 }
@@ -158,11 +161,47 @@ impl Icdb {
             files: FileStore::new(),
             tools: ToolManager::standard(),
             cache: Arc::new(GenCache::default()),
-            instances: HashMap::new(),
-            instance_order: Vec::new(),
-            counter: 0,
-            designs: DesignManager::default(),
+            spaces: space::Spaces::new(),
         }
+    }
+
+    /// Opens a fresh session namespace: an isolated instance list, naming
+    /// counter and design manager over this server's shared knowledge base.
+    pub fn create_namespace(&mut self) -> NsId {
+        self.spaces.create()
+    }
+
+    /// Closes a session namespace, deleting every instance it still holds
+    /// (design data and relational rows included); returns how many
+    /// instances were deleted. Dropping [`NsId::ROOT`] is a no-op.
+    pub fn drop_namespace(&mut self, ns: NsId) -> usize {
+        let Some(space) = self.spaces.remove(ns) else {
+            return 0;
+        };
+        let names = space.instance_order.clone();
+        // The namespace is already detached; clean its design data out of
+        // the shared stores directly.
+        for name in &names {
+            for suffix in crate::server::INSTANCE_VIEW_SUFFIXES {
+                self.files
+                    .remove(&space::Namespace::file_path(ns, name, suffix));
+            }
+            let _ = self.db.execute(&format!(
+                "DELETE FROM instances WHERE name = '{}'",
+                space::Namespace::db_name(ns, name)
+            ));
+        }
+        names.len()
+    }
+
+    /// Ids of all live namespaces (root included), in ascending order.
+    pub fn namespace_ids(&self) -> Vec<NsId> {
+        self.spaces.ids()
+    }
+
+    /// Number of live namespaces, root included.
+    pub fn namespace_count(&self) -> usize {
+        self.spaces.len()
     }
 
     /// Snapshot of the generation-cache statistics (per-layer hits, misses,

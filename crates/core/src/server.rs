@@ -5,14 +5,22 @@
 //! Generation is split into a read-only **prepare** phase
 //! ([`Icdb::prepare_payload`] → [`GenerationPayload`]) memoized by the
 //! [`crate::cache::GenCache`], and a mutating **install** phase that names
-//! the instance and persists its views. The split is what makes
-//! [`Icdb::request_components_batch`] possible: cold prepares fan out
-//! across scoped threads sharing the cache, installs stay sequential and
-//! deterministic.
+//! the instance and persists its views. The split is what makes both
+//! [`Icdb::request_components_batch`] (cold prepares fan out across scoped
+//! threads sharing the cache) and the concurrent
+//! [`crate::service::IcdbService`] possible: the service runs prepares
+//! under a *shared* read lock and takes the exclusive lock only for the
+//! short install.
+//!
+//! Every instance-touching method exists in two forms: the classic
+//! single-caller form (`instance`, `delay_string`, …) operating on
+//! [`NsId::ROOT`], and an `_in` form addressing an explicit session
+//! namespace.
 
 use crate::cache::{FlatKey, GenerationPayload, NetKey, RequestKey, SourceKey};
 use crate::error::IcdbError;
 use crate::instance::ComponentInstance;
+use crate::space::{Namespace, NsId};
 use crate::spec::{ComponentRequest, Source, TargetLevel};
 use crate::Icdb;
 use icdb_estimate::{estimate_shape, LoadSpec};
@@ -26,6 +34,21 @@ use std::sync::{Arc, Mutex};
 
 /// How many strip-count alternatives the shape estimator sweeps.
 const MAX_SHAPE_STRIPS: usize = 8;
+
+/// Result of preparing one request (shared payload or the first error).
+type PreparedPayload = Result<Arc<GenerationPayload>, IcdbError>;
+
+/// Design-data views persisted per instance (file suffixes).
+pub(crate) const INSTANCE_VIEW_SUFFIXES: [&str; 8] = [
+    "iif",
+    "milo",
+    "vhdl",
+    "vhdl_head",
+    "delay",
+    "shape",
+    "cif",
+    "layout.txt",
+];
 
 impl Icdb {
     /// Generates a component instance and stores it; returns the instance
@@ -42,10 +65,23 @@ impl Icdb {
     /// Propagates failures from any stage of the generation path and
     /// reports unknown implementations/components as [`IcdbError::NotFound`].
     pub fn request_component(&mut self, request: &ComponentRequest) -> Result<String, IcdbError> {
-        let payload = self.prepare_payload(request)?;
-        let name = self.install_payload(request, &payload)?;
+        self.request_component_in(NsId::ROOT, request)
+    }
+
+    /// [`Icdb::request_component`] against an explicit session namespace.
+    ///
+    /// # Errors
+    /// As [`Icdb::request_component`]; also fails on unknown namespaces.
+    pub fn request_component_in(
+        &mut self,
+        ns: NsId,
+        request: &ComponentRequest,
+    ) -> Result<String, IcdbError> {
+        let payload = self.prepare_payload(ns, request)?;
+        let name = self.install_payload_in(ns, request, &payload)?;
         if request.target == TargetLevel::Layout {
-            self.generate_layout(
+            self.generate_layout_in(
+                ns,
                 &name,
                 request.alternative,
                 request.port_positions.as_deref(),
@@ -71,41 +107,80 @@ impl Icdb {
         requests: &[ComponentRequest],
         workers: usize,
     ) -> Result<Vec<String>, IcdbError> {
-        let workers = workers.max(1).min(requests.len().max(1));
-        let mut prepared: Vec<Option<Result<Arc<GenerationPayload>, IcdbError>>> =
-            Vec::with_capacity(requests.len());
-        if workers <= 1 {
-            for request in requests {
-                prepared.push(Some(self.prepare_payload(request)));
-            }
-        } else {
-            let slots: Vec<Mutex<Option<Result<Arc<GenerationPayload>, IcdbError>>>> =
-                requests.iter().map(|_| Mutex::new(None)).collect();
-            let next = AtomicUsize::new(0);
-            let this: &Icdb = self;
-            std::thread::scope(|scope| {
-                for _ in 0..workers {
-                    scope.spawn(|| loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        let Some(request) = requests.get(i) else {
-                            break;
-                        };
-                        let result = this.prepare_payload(request);
-                        *crate::cache::lock(&slots[i]) = Some(result);
-                    });
-                }
-            });
-            for slot in &slots {
-                prepared.push(crate::cache::lock(slot).take());
-            }
-        }
+        self.request_components_batch_in(NsId::ROOT, requests, workers)
+    }
 
+    /// [`Icdb::request_components_batch`] against an explicit namespace.
+    ///
+    /// # Errors
+    /// As [`Icdb::request_components_batch`].
+    pub fn request_components_batch_in(
+        &mut self,
+        ns: NsId,
+        requests: &[ComponentRequest],
+        workers: usize,
+    ) -> Result<Vec<String>, IcdbError> {
+        let prepared = self.prepare_batch(ns, requests, workers);
+        self.install_batch_in(ns, requests, prepared)
+    }
+
+    /// The read-only half of a batch: prepares every request, fanning cold
+    /// work across up to `workers` scoped threads sharing the cache. Safe
+    /// under a shared lock.
+    pub(crate) fn prepare_batch(
+        &self,
+        ns: NsId,
+        requests: &[ComponentRequest],
+        workers: usize,
+    ) -> Vec<PreparedPayload> {
+        let workers = workers.clamp(1, requests.len().max(1));
+        if workers <= 1 {
+            return requests
+                .iter()
+                .map(|request| self.prepare_payload(ns, request))
+                .collect();
+        }
+        let slots: Vec<Mutex<Option<PreparedPayload>>> =
+            requests.iter().map(|_| Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+        let this: &Icdb = self;
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(request) = requests.get(i) else {
+                        break;
+                    };
+                    let result = this.prepare_payload(ns, request);
+                    *crate::cache::lock(&slots[i]) = Some(result);
+                });
+            }
+        });
+        slots
+            .iter()
+            .map(|slot| {
+                crate::cache::lock(slot)
+                    .take()
+                    .expect("every request slot is filled")
+            })
+            .collect()
+    }
+
+    /// The mutating half of a batch: installs prepared payloads in request
+    /// order (deterministic names), generating layouts where requested.
+    pub(crate) fn install_batch_in(
+        &mut self,
+        ns: NsId,
+        requests: &[ComponentRequest],
+        prepared: Vec<PreparedPayload>,
+    ) -> Result<Vec<String>, IcdbError> {
         let mut names = Vec::with_capacity(requests.len());
         for (request, slot) in requests.iter().zip(prepared) {
-            let payload = slot.expect("every request slot is filled")?;
-            let name = self.install_payload(request, &payload)?;
+            let payload = slot?;
+            let name = self.install_payload_in(ns, request, &payload)?;
             if request.target == TargetLevel::Layout {
-                self.generate_layout(
+                self.generate_layout_in(
+                    ns,
                     &name,
                     request.alternative,
                     request.port_positions.as_deref(),
@@ -118,12 +193,15 @@ impl Icdb {
 
     /// The read-only half of generation: resolves the request, consults the
     /// cache layer by layer, and runs only the stages that miss. Safe to
-    /// call concurrently from scoped threads sharing `&self`.
+    /// call concurrently from scoped threads sharing `&self` (the service
+    /// calls it under a shared read lock, so cold generation never blocks
+    /// other sessions' reads).
     ///
     /// # Errors
     /// Propagates resolution, expansion, synthesis and estimation failures.
     pub(crate) fn prepare_payload(
         &self,
+        ns: NsId,
         request: &ComponentRequest,
     ) -> Result<Arc<GenerationPayload>, IcdbError> {
         match &request.source {
@@ -209,7 +287,7 @@ impl Icdb {
             Source::VhdlNetlist(text) => {
                 // Clusters flatten *live* instances, so their results are
                 // never cached — a stale hit could resurrect deleted state.
-                let netlist = self.flatten_cluster(text)?;
+                let netlist = self.flatten_cluster(ns, text)?;
                 Ok(Arc::new(self.finish_payload(
                     netlist,
                     "cluster".to_string(),
@@ -328,25 +406,27 @@ impl Icdb {
     /// The mutating half of generation: names the instance (one interned
     /// allocation shared by the instance, the map key, the creation order
     /// and the return value), persists the payload's pre-rendered views,
-    /// and registers the instance.
-    fn install_payload(
+    /// and registers the instance in the namespace.
+    pub(crate) fn install_payload_in(
         &mut self,
+        ns: NsId,
         request: &ComponentRequest,
         payload: &Arc<GenerationPayload>,
     ) -> Result<String, IcdbError> {
         let name: Arc<str> = match &request.instance_name {
             Some(n) => Arc::from(n.as_str()),
             None => {
-                self.counter += 1;
+                let space = self.spaces.get_mut(ns)?;
+                space.counter += 1;
                 format!(
                     "{}${}",
                     payload.implementation.to_ascii_lowercase(),
-                    self.counter
+                    space.counter
                 )
                 .into()
             }
         };
-        if self.instances.contains_key(&*name) {
+        if self.spaces.get(ns)?.instances.contains_key(&*name) {
             return Err(IcdbError::Unsupported(format!(
                 "instance `{name}` already exists"
             )));
@@ -365,10 +445,11 @@ impl Icdb {
             connection: payload.connection.clone(),
             layout: None,
         };
-        self.persist_payload(&name, payload)?;
-        self.instances.insert(name.clone(), instance);
-        self.instance_order.push(name.clone());
-        self.designs.note_created(&name);
+        self.persist_payload(ns, &name, payload)?;
+        let space = self.spaces.get_mut(ns)?;
+        space.instances.insert(name.clone(), instance);
+        space.instance_order.push(name.clone());
+        space.designs.note_created(&name);
         Ok(name.to_string())
     }
 
@@ -403,8 +484,10 @@ impl Icdb {
     }
 
     /// Flattens a VHDL netlist of existing instances into one netlist
-    /// (the partitioner's clustering path, Appendix B §6.3).
-    fn flatten_cluster(&self, text: &str) -> Result<GateNetlist, IcdbError> {
+    /// (the partitioner's clustering path, Appendix B §6.3). Instances are
+    /// resolved in the caller's namespace.
+    fn flatten_cluster(&self, ns: NsId, text: &str) -> Result<GateNetlist, IcdbError> {
+        let instances = &self.spaces.get(ns)?.instances;
         let parsed = parse_netlist(text)?;
         let mut out = GateNetlist::new(parsed.name.clone());
         for p in &parsed.ports {
@@ -415,7 +498,7 @@ impl Icdb {
             }
         }
         for inst in &parsed.instances {
-            let sub = self.instances.get(inst.component.as_str()).ok_or_else(|| {
+            let sub = instances.get(inst.component.as_str()).ok_or_else(|| {
                 IcdbError::NotFound(format!(
                     "cluster references unknown instance `{}`",
                     inst.component
@@ -493,7 +576,23 @@ impl Icdb {
         alternative: Option<usize>,
         port_positions: Option<&str>,
     ) -> Result<Arc<str>, IcdbError> {
+        self.generate_layout_in(NsId::ROOT, instance, alternative, port_positions)
+    }
+
+    /// [`Icdb::generate_layout`] against an explicit namespace.
+    ///
+    /// # Errors
+    /// As [`Icdb::generate_layout`].
+    pub fn generate_layout_in(
+        &mut self,
+        ns: NsId,
+        instance: &str,
+        alternative: Option<usize>,
+        port_positions: Option<&str>,
+    ) -> Result<Arc<str>, IcdbError> {
         let inst = self
+            .spaces
+            .get(ns)?
             .instances
             .get(instance)
             .ok_or_else(|| IcdbError::NotFound(format!("instance `{instance}`")))?;
@@ -537,10 +636,12 @@ impl Icdb {
         let cif: Arc<str> = to_cif(&layout).into();
         let art = to_ascii(&layout, 100);
         self.files
-            .write(format!("instances/{instance}.cif"), cif.clone());
+            .write(Namespace::file_path(ns, instance, "cif"), cif.clone());
         self.files
-            .write(format!("instances/{instance}.layout.txt"), art);
-        self.instances
+            .write(Namespace::file_path(ns, instance, "layout.txt"), art);
+        self.spaces
+            .get_mut(ns)?
+            .instances
             .get_mut(instance)
             .expect("checked above")
             .layout = Some(layout);
@@ -558,21 +659,39 @@ impl Icdb {
         loads: &LoadSpec,
         clock_width: f64,
     ) -> Result<(), IcdbError> {
-        let inst = self
+        self.resize_for_load_in(NsId::ROOT, instance, loads, clock_width)
+    }
+
+    /// [`Icdb::resize_for_load`] against an explicit namespace.
+    ///
+    /// # Errors
+    /// Fails on unknown instances or namespaces.
+    pub fn resize_for_load_in(
+        &mut self,
+        ns: NsId,
+        instance: &str,
+        loads: &LoadSpec,
+        clock_width: f64,
+    ) -> Result<(), IcdbError> {
+        // Disjoint-field borrow: the cell library is only read while the
+        // namespace's instance is mutated.
+        let Icdb { cells, spaces, .. } = self;
+        let inst = spaces
+            .get_mut(ns)?
             .instances
             .get_mut(instance)
             .ok_or_else(|| IcdbError::NotFound(format!("instance `{instance}`")))?;
         let goal = icdb_sizing::SizingGoal::clock(clock_width);
         let result = size_netlist(
             &mut inst.netlist,
-            &self.cells,
+            cells,
             loads,
             &icdb_sizing::Strategy::Constraints(goal),
         );
         inst.loads = loads.clone();
         inst.report = result.report;
         inst.met = result.met;
-        inst.shape = estimate_shape(&inst.netlist, &self.cells, MAX_SHAPE_STRIPS)?;
+        inst.shape = estimate_shape(&inst.netlist, cells, MAX_SHAPE_STRIPS)?;
         Ok(())
     }
 
@@ -581,35 +700,48 @@ impl Icdb {
     /// # Errors
     /// `NotFound` if absent.
     pub fn instance(&self, name: &str) -> Result<&ComponentInstance, IcdbError> {
-        self.instances
+        self.instance_in(NsId::ROOT, name)
+    }
+
+    /// The instance named `name` in an explicit namespace.
+    ///
+    /// # Errors
+    /// `NotFound` if the namespace or instance is absent.
+    pub fn instance_in(&self, ns: NsId, name: &str) -> Result<&ComponentInstance, IcdbError> {
+        self.spaces
+            .get(ns)?
+            .instances
             .get(name)
             .ok_or_else(|| IcdbError::NotFound(format!("instance `{name}`")))
     }
 
     /// Names of all generated instances, in creation order.
     pub fn instance_names(&self) -> &[Arc<str>] {
-        &self.instance_order
+        &self.spaces.root().instance_order
+    }
+
+    /// Names of all instances in a namespace, in creation order.
+    ///
+    /// # Errors
+    /// `NotFound` on unknown namespaces.
+    pub fn instance_names_in(&self, ns: NsId) -> Result<&[Arc<str>], IcdbError> {
+        Ok(&self.spaces.get(ns)?.instance_order)
     }
 
     /// Deletes an instance and its design data.
-    pub(crate) fn delete_instance(&mut self, name: &str) {
-        if self.instances.remove(name).is_some() {
-            self.instance_order.retain(|n| &**n != name);
-            for suffix in [
-                "iif",
-                "milo",
-                "vhdl",
-                "vhdl_head",
-                "delay",
-                "shape",
-                "cif",
-                "layout.txt",
-            ] {
-                self.files.remove(&format!("instances/{name}.{suffix}"));
+    pub(crate) fn delete_instance_in(&mut self, ns: NsId, name: &str) {
+        let Ok(space) = self.spaces.get_mut(ns) else {
+            return;
+        };
+        if space.instances.remove(name).is_some() {
+            space.instance_order.retain(|n| &**n != name);
+            for suffix in INSTANCE_VIEW_SUFFIXES {
+                self.files.remove(&Namespace::file_path(ns, name, suffix));
             }
-            let _ = self
-                .db
-                .execute(&format!("DELETE FROM instances WHERE name = '{name}'"));
+            let _ = self.db.execute(&format!(
+                "DELETE FROM instances WHERE name = '{}'",
+                Namespace::db_name(ns, name)
+            ));
         }
     }
 
@@ -618,7 +750,15 @@ impl Icdb {
     /// # Errors
     /// `NotFound` if the instance is absent.
     pub fn delay_string(&self, name: &str) -> Result<String, IcdbError> {
-        Ok(self.instance(name)?.report.to_string())
+        self.delay_string_in(NsId::ROOT, name)
+    }
+
+    /// Namespace form of [`Icdb::delay_string`].
+    ///
+    /// # Errors
+    /// `NotFound` if the namespace or instance is absent.
+    pub fn delay_string_in(&self, ns: NsId, name: &str) -> Result<String, IcdbError> {
+        Ok(self.instance_in(ns, name)?.report.to_string())
     }
 
     /// §3.3 shape-function string (`Alternative=… width=… height=…`).
@@ -626,7 +766,15 @@ impl Icdb {
     /// # Errors
     /// `NotFound` if the instance is absent.
     pub fn shape_string(&self, name: &str) -> Result<String, IcdbError> {
-        Ok(self.instance(name)?.shape.to_alternative_format())
+        self.shape_string_in(NsId::ROOT, name)
+    }
+
+    /// Namespace form of [`Icdb::shape_string`].
+    ///
+    /// # Errors
+    /// `NotFound` if the namespace or instance is absent.
+    pub fn shape_string_in(&self, ns: NsId, name: &str) -> Result<String, IcdbError> {
+        Ok(self.instance_in(ns, name)?.shape.to_alternative_format())
     }
 
     /// Appendix-B area string (`strip = … width = … height = … area = …`).
@@ -634,7 +782,15 @@ impl Icdb {
     /// # Errors
     /// `NotFound` if the instance is absent.
     pub fn area_string(&self, name: &str) -> Result<String, IcdbError> {
-        Ok(self.instance(name)?.shape.to_strip_format())
+        self.area_string_in(NsId::ROOT, name)
+    }
+
+    /// Namespace form of [`Icdb::area_string`].
+    ///
+    /// # Errors
+    /// `NotFound` if the namespace or instance is absent.
+    pub fn area_string_in(&self, ns: NsId, name: &str) -> Result<String, IcdbError> {
+        Ok(self.instance_in(ns, name)?.shape.to_strip_format())
     }
 
     /// §4.1 connection string (`## function INC … ** DWUP 0`).
@@ -642,7 +798,15 @@ impl Icdb {
     /// # Errors
     /// `NotFound` if the instance is absent.
     pub fn connect_string(&self, name: &str) -> Result<String, IcdbError> {
-        Ok(self.instance(name)?.connection.to_paper_format())
+        self.connect_string_in(NsId::ROOT, name)
+    }
+
+    /// Namespace form of [`Icdb::connect_string`].
+    ///
+    /// # Errors
+    /// `NotFound` if the namespace or instance is absent.
+    pub fn connect_string_in(&self, ns: NsId, name: &str) -> Result<String, IcdbError> {
+        Ok(self.instance_in(ns, name)?.connection.to_paper_format())
     }
 
     /// Structural VHDL of the instance.
@@ -650,7 +814,18 @@ impl Icdb {
     /// # Errors
     /// `NotFound` if the instance is absent.
     pub fn vhdl_netlist(&self, name: &str) -> Result<String, IcdbError> {
-        Ok(emit_netlist(&self.instance(name)?.netlist, &self.cells))
+        self.vhdl_netlist_in(NsId::ROOT, name)
+    }
+
+    /// Namespace form of [`Icdb::vhdl_netlist`].
+    ///
+    /// # Errors
+    /// `NotFound` if the namespace or instance is absent.
+    pub fn vhdl_netlist_in(&self, ns: NsId, name: &str) -> Result<String, IcdbError> {
+        Ok(emit_netlist(
+            &self.instance_in(ns, name)?.netlist,
+            &self.cells,
+        ))
     }
 
     /// VHDL entity head of the instance.
@@ -658,26 +833,76 @@ impl Icdb {
     /// # Errors
     /// `NotFound` if the instance is absent.
     pub fn vhdl_head(&self, name: &str) -> Result<String, IcdbError> {
-        Ok(emit_entity(&self.instance(name)?.netlist))
+        self.vhdl_head_in(NsId::ROOT, name)
     }
 
-    /// CIF of the instance (generating a default layout on first use).
+    /// Namespace form of [`Icdb::vhdl_head`].
+    ///
+    /// # Errors
+    /// `NotFound` if the namespace or instance is absent.
+    pub fn vhdl_head_in(&self, ns: NsId, name: &str) -> Result<String, IcdbError> {
+        Ok(emit_entity(&self.instance_in(ns, name)?.netlist))
+    }
+
+    /// The already-generated CIF of an instance, if any — the warm read
+    /// path of [`Icdb::cif_layout`], requiring only `&self` so the service
+    /// can answer layout queries under a shared lock.
+    ///
+    /// # Errors
+    /// `NotFound` if the namespace or instance is absent. `Ok(None)` means
+    /// the instance exists but no layout has been generated yet.
+    pub fn cif_layout_cached_in(
+        &self,
+        ns: NsId,
+        name: &str,
+    ) -> Result<Option<Arc<str>>, IcdbError> {
+        self.instance_in(ns, name)?; // distinguish "no instance" from "no layout"
+        Ok(self
+            .files
+            .read_shared(&Namespace::file_path(ns, name, "cif"))
+            .ok())
+    }
+
+    /// The already-generated CIF of a root-namespace instance, if any.
+    ///
+    /// # Errors
+    /// `NotFound` if the instance is absent.
+    pub fn cif_layout_cached(&self, name: &str) -> Result<Option<Arc<str>>, IcdbError> {
+        self.cif_layout_cached_in(NsId::ROOT, name)
+    }
+
+    /// CIF of the instance (generating a default layout on first use). The
+    /// warm path is a shared-blob read through [`Icdb::cif_layout_cached`];
+    /// only cold generation mutates.
     ///
     /// # Errors
     /// `NotFound` if the instance is absent; layout errors propagate.
     pub fn cif_layout(&mut self, name: &str) -> Result<Arc<str>, IcdbError> {
-        let path = format!("instances/{name}.cif");
-        if let Ok(text) = self.files.read_shared(&path) {
-            return Ok(text);
-        }
-        self.generate_layout(name, None, None)
+        self.cif_layout_in(NsId::ROOT, name)
     }
 
-    fn persist_payload(&mut self, name: &str, p: &GenerationPayload) -> Result<(), IcdbError> {
+    /// Namespace form of [`Icdb::cif_layout`].
+    ///
+    /// # Errors
+    /// `NotFound` if the namespace or instance is absent; layout errors
+    /// propagate.
+    pub fn cif_layout_in(&mut self, ns: NsId, name: &str) -> Result<Arc<str>, IcdbError> {
+        if let Some(text) = self.cif_layout_cached_in(ns, name)? {
+            return Ok(text);
+        }
+        self.generate_layout_in(ns, name, None, None)
+    }
+
+    fn persist_payload(
+        &mut self,
+        ns: NsId,
+        name: &str,
+        p: &GenerationPayload,
+    ) -> Result<(), IcdbError> {
         self.db.insert(
             "instances",
             vec![
-                Value::Text(name.to_string()),
+                Value::Text(Namespace::db_name(ns, name)),
                 Value::Text(p.implementation.clone()),
                 Value::Int(p.netlist.gates.len() as i64),
                 Value::Real(p.shape.best_area().map(|a| a.area()).unwrap_or(0.0)),
@@ -689,20 +914,26 @@ impl Icdb {
         // these writes are reference-count bumps, not string copies.
         if let Some(flat) = &p.flat_iif {
             self.files
-                .write(format!("instances/{name}.iif"), flat.clone());
+                .write(Namespace::file_path(ns, name, "iif"), flat.clone());
         }
         if let Some(milo) = &p.milo {
             self.files
-                .write(format!("instances/{name}.milo"), milo.clone());
+                .write(Namespace::file_path(ns, name, "milo"), milo.clone());
         }
         self.files
-            .write(format!("instances/{name}.vhdl"), p.vhdl.clone());
-        self.files
-            .write(format!("instances/{name}.vhdl_head"), p.vhdl_head.clone());
-        self.files
-            .write(format!("instances/{name}.delay"), p.delay_text.clone());
-        self.files
-            .write(format!("instances/{name}.shape"), p.shape_text.clone());
+            .write(Namespace::file_path(ns, name, "vhdl"), p.vhdl.clone());
+        self.files.write(
+            Namespace::file_path(ns, name, "vhdl_head"),
+            p.vhdl_head.clone(),
+        );
+        self.files.write(
+            Namespace::file_path(ns, name, "delay"),
+            p.delay_text.clone(),
+        );
+        self.files.write(
+            Namespace::file_path(ns, name, "shape"),
+            p.shape_text.clone(),
+        );
         Ok(())
     }
 }

@@ -1,0 +1,504 @@
+//! The concurrent multi-session service layer: one shared [`Icdb`] served
+//! to many clients at once.
+//!
+//! [`IcdbService`] wraps the knowledge base, cell library, generation
+//! cache and relational catalog in a single `RwLock`ed handle. The lock
+//! discipline exploits the prepare/install split of the generation path:
+//!
+//! * **shared (read) lock** — warm *and cold* [`Icdb::prepare_payload`]
+//!   (the cache has interior mutability, so even a cold pipeline run never
+//!   blocks other readers), instance queries (`delay_string`,
+//!   `shape_string`, cached CIF reads) and the read-only CQL command
+//!   subset ([`Icdb::execute_read_in`]);
+//! * **exclusive (write) lock** — the short `install_payload` that names
+//!   and registers an instance, layout generation, knowledge acquisition
+//!   and design/transaction management.
+//!
+//! Each [`Session`] owns a private design namespace ([`NsId`]): isolated
+//! instance lists, an independent `impl$N` naming counter and independent
+//! design transactions over the one shared knowledge base. A session's
+//! request/query results are therefore byte-identical to replaying the
+//! same sequence on a dedicated single-caller [`Icdb`] — concurrency is
+//! invisible to each client — while knowledge acquired by *any* session
+//! (a new implementation, a cell-library change) bumps the shared version
+//! counters and invalidates warm cache hits for *all* sessions at once.
+//!
+//! ```
+//! use icdb_core::{ComponentRequest, IcdbService};
+//! use std::sync::Arc;
+//!
+//! # fn main() -> Result<(), icdb_core::IcdbError> {
+//! let service = Arc::new(IcdbService::new());
+//! let alice = service.open_session();
+//! let bob = service.open_session();
+//! let req = ComponentRequest::by_component("counter").attribute("size", "4");
+//! // Isolated namespaces: both sessions get their own `counter$1`.
+//! assert_eq!(alice.request_component(&req)?, "counter$1");
+//! assert_eq!(bob.request_component(&req)?, "counter$1");
+//! // …but the second request was answered from the shared cache.
+//! assert_eq!(service.cache_stats().result.hits, 1);
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::error::IcdbError;
+use crate::space::NsId;
+use crate::spec::{ComponentRequest, TargetLevel};
+use crate::{CacheStats, Icdb};
+use icdb_cql::CqlArg;
+use icdb_estimate::LoadSpec;
+use std::sync::{Arc, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+/// A thread-safe, multi-session handle over one shared [`Icdb`].
+///
+/// Wrap it in an [`Arc`] and call [`IcdbService::open_session`] once per
+/// client; see the [module docs](self) for the lock discipline.
+#[derive(Debug)]
+pub struct IcdbService {
+    inner: RwLock<Icdb>,
+}
+
+impl Default for IcdbService {
+    fn default() -> IcdbService {
+        IcdbService::new()
+    }
+}
+
+impl IcdbService {
+    /// A service over a fresh [`Icdb::new`] server.
+    pub fn new() -> IcdbService {
+        IcdbService::with_icdb(Icdb::new())
+    }
+
+    /// A service taking ownership of an existing server (whose root
+    /// namespace, pre-generated instances included, stays reachable
+    /// through [`IcdbService::read`] / [`IcdbService::write`]).
+    pub fn with_icdb(icdb: Icdb) -> IcdbService {
+        IcdbService {
+            inner: RwLock::new(icdb),
+        }
+    }
+
+    /// Convenience for `Arc::new(IcdbService::new())`.
+    pub fn shared() -> Arc<IcdbService> {
+        Arc::new(IcdbService::new())
+    }
+
+    /// Shared (read) access to the underlying server. Many readers may
+    /// hold this concurrently; it blocks only while a writer is active.
+    /// Lock poisoning is recovered from, matching the cache layer: every
+    /// exclusive-section mutation is either a single map/store operation
+    /// or is followed by consistent bookkeeping.
+    pub fn read(&self) -> RwLockReadGuard<'_, Icdb> {
+        self.inner.read().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Exclusive (write) access to the underlying server.
+    pub fn write(&self) -> RwLockWriteGuard<'_, Icdb> {
+        self.inner.write().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Opens a new session with a fresh, isolated design namespace.
+    pub fn open_session(self: &Arc<Self>) -> Session {
+        let ns = self.write().create_namespace();
+        Session {
+            service: Arc::clone(self),
+            ns,
+            closed: false,
+        }
+    }
+
+    /// Number of open sessions (excluding the root namespace).
+    pub fn session_count(&self) -> usize {
+        self.read().namespace_count().saturating_sub(1)
+    }
+
+    /// Snapshot of the shared generation-cache statistics.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.read().cache_stats()
+    }
+
+    /// Knowledge acquisition (paper §2.2) through the service: takes the
+    /// exclusive lock, bumps the knowledge-base version and thereby
+    /// invalidates warm cache hits for every session at once.
+    ///
+    /// # Errors
+    /// See [`Icdb::insert_implementation`].
+    pub fn insert_implementation(
+        &self,
+        iif_source: &str,
+        component_type: &str,
+        functions: &[&str],
+        param_defaults: &[(&str, i64)],
+        connection_text: Option<&str>,
+        description: &str,
+    ) -> Result<String, IcdbError> {
+        self.write().insert_implementation(
+            iif_source,
+            component_type,
+            functions,
+            param_defaults,
+            connection_text,
+            description,
+        )
+    }
+}
+
+/// One client's view of the service: a private design namespace over the
+/// shared knowledge base. Dropping (or [`Session::close`]-ing) the session
+/// deletes its instances and design data.
+///
+/// A `Session` is `Send`, so each client thread can own one; all methods
+/// take `&self` and do their own locking. Do **not** call session methods
+/// while holding a guard from [`IcdbService::read`]/[`IcdbService::write`]
+/// on the same service — the inner `RwLock` is not reentrant.
+#[derive(Debug)]
+pub struct Session {
+    service: Arc<IcdbService>,
+    ns: NsId,
+    closed: bool,
+}
+
+impl Drop for Session {
+    fn drop(&mut self) {
+        if !self.closed {
+            self.service.write().drop_namespace(self.ns);
+        }
+    }
+}
+
+impl Session {
+    /// The namespace id backing this session.
+    pub fn ns(&self) -> NsId {
+        self.ns
+    }
+
+    /// The service this session belongs to.
+    pub fn service(&self) -> &Arc<IcdbService> {
+        &self.service
+    }
+
+    /// Closes the session explicitly, deleting its namespace; returns how
+    /// many instances were deleted.
+    pub fn close(mut self) -> usize {
+        self.closed = true;
+        self.service.write().drop_namespace(self.ns)
+    }
+
+    /// Generates a component instance in this session's namespace.
+    ///
+    /// The expensive read-only prepare phase (cache lookup, or the full
+    /// cold pipeline on a miss) runs under the *shared* lock; only the
+    /// short install (naming + registration + view persistence) takes the
+    /// exclusive lock.
+    ///
+    /// # Errors
+    /// See [`Icdb::request_component`].
+    pub fn request_component(&self, request: &ComponentRequest) -> Result<String, IcdbError> {
+        let payload = self.service.read().prepare_payload(self.ns, request)?;
+        let mut guard = self.service.write();
+        let name = guard.install_payload_in(self.ns, request, &payload)?;
+        if request.target == TargetLevel::Layout {
+            guard.generate_layout_in(
+                self.ns,
+                &name,
+                request.alternative,
+                request.port_positions.as_deref(),
+            )?;
+        }
+        Ok(name)
+    }
+
+    /// Batch generation in this session's namespace: prepares (cold work
+    /// fanned over `workers` scoped threads, all under the shared lock),
+    /// then installs sequentially under one exclusive lock.
+    ///
+    /// # Errors
+    /// See [`Icdb::request_components_batch`].
+    pub fn request_components_batch(
+        &self,
+        requests: &[ComponentRequest],
+        workers: usize,
+    ) -> Result<Vec<String>, IcdbError> {
+        let prepared = self
+            .service
+            .read()
+            .prepare_batch(self.ns, requests, workers);
+        self.service
+            .write()
+            .install_batch_in(self.ns, requests, prepared)
+    }
+
+    /// Executes one CQL command in this session's namespace. Read-only
+    /// commands (`component_query`, `instance_query`, …) run under the
+    /// shared lock; mutating commands (and instance queries needing cold
+    /// layout generation) fall back to the exclusive lock.
+    ///
+    /// # Errors
+    /// See [`Icdb::execute`].
+    pub fn execute(&self, command: &str, args: &mut [CqlArg]) -> Result<(), IcdbError> {
+        if crate::cql::command_text_is_read_only(command) {
+            let guard = self.service.read();
+            if guard.execute_read_in(self.ns, command, args)? {
+                return Ok(());
+            }
+        }
+        self.service.write().execute_in(self.ns, command, args)
+    }
+
+    /// §3.3 delay string of one of this session's instances (shared lock).
+    ///
+    /// # Errors
+    /// `NotFound` if the instance is absent.
+    pub fn delay_string(&self, name: &str) -> Result<String, IcdbError> {
+        self.service.read().delay_string_in(self.ns, name)
+    }
+
+    /// §3.3 shape-function string (shared lock).
+    ///
+    /// # Errors
+    /// `NotFound` if the instance is absent.
+    pub fn shape_string(&self, name: &str) -> Result<String, IcdbError> {
+        self.service.read().shape_string_in(self.ns, name)
+    }
+
+    /// Appendix-B area string (shared lock).
+    ///
+    /// # Errors
+    /// `NotFound` if the instance is absent.
+    pub fn area_string(&self, name: &str) -> Result<String, IcdbError> {
+        self.service.read().area_string_in(self.ns, name)
+    }
+
+    /// §4.1 connection string (shared lock).
+    ///
+    /// # Errors
+    /// `NotFound` if the instance is absent.
+    pub fn connect_string(&self, name: &str) -> Result<String, IcdbError> {
+        self.service.read().connect_string_in(self.ns, name)
+    }
+
+    /// Structural VHDL of an instance (shared lock).
+    ///
+    /// # Errors
+    /// `NotFound` if the instance is absent.
+    pub fn vhdl_netlist(&self, name: &str) -> Result<String, IcdbError> {
+        self.service.read().vhdl_netlist_in(self.ns, name)
+    }
+
+    /// VHDL entity head of an instance (shared lock).
+    ///
+    /// # Errors
+    /// `NotFound` if the instance is absent.
+    pub fn vhdl_head(&self, name: &str) -> Result<String, IcdbError> {
+        self.service.read().vhdl_head_in(self.ns, name)
+    }
+
+    /// Power report of an instance (shared lock).
+    ///
+    /// # Errors
+    /// `NotFound` if the instance is absent.
+    pub fn power_string(&self, name: &str) -> Result<String, IcdbError> {
+        self.service.read().power_string_in(self.ns, name)
+    }
+
+    /// CIF of an instance: the warm path (already generated) is a shared
+    /// blob read under the shared lock; only cold generation takes the
+    /// exclusive lock.
+    ///
+    /// # Errors
+    /// `NotFound` if the instance is absent; layout errors propagate.
+    pub fn cif_layout(&self, name: &str) -> Result<Arc<str>, IcdbError> {
+        if let Some(cif) = self.service.read().cif_layout_cached_in(self.ns, name)? {
+            return Ok(cif);
+        }
+        self.service.write().cif_layout_in(self.ns, name)
+    }
+
+    /// Regenerates a layout with explicit alternative/port choices
+    /// (exclusive lock).
+    ///
+    /// # Errors
+    /// See [`Icdb::generate_layout`].
+    pub fn generate_layout(
+        &self,
+        instance: &str,
+        alternative: Option<usize>,
+        port_positions: Option<&str>,
+    ) -> Result<Arc<str>, IcdbError> {
+        self.service
+            .write()
+            .generate_layout_in(self.ns, instance, alternative, port_positions)
+    }
+
+    /// Re-estimates an instance under different loads (exclusive lock).
+    ///
+    /// # Errors
+    /// See [`Icdb::resize_for_load`].
+    pub fn resize_for_load(
+        &self,
+        instance: &str,
+        loads: &LoadSpec,
+        clock_width: f64,
+    ) -> Result<(), IcdbError> {
+        self.service
+            .write()
+            .resize_for_load_in(self.ns, instance, loads, clock_width)
+    }
+
+    /// Names of this session's instances, in creation order.
+    pub fn instance_names(&self) -> Vec<String> {
+        self.service
+            .read()
+            .instance_names_in(self.ns)
+            .map(|names| names.iter().map(|n| n.to_string()).collect())
+            .unwrap_or_default()
+    }
+
+    /// Whether this session has an instance of the given name.
+    pub fn has_instance(&self, name: &str) -> bool {
+        self.service.read().instance_in(self.ns, name).is_ok()
+    }
+
+    /// `start_a_design` in this session (exclusive lock).
+    ///
+    /// # Errors
+    /// See [`Icdb::start_design`].
+    pub fn start_design(&self, name: &str) -> Result<(), IcdbError> {
+        self.service.write().start_design_in(self.ns, name)
+    }
+
+    /// `start_a_transaction` in this session (exclusive lock).
+    ///
+    /// # Errors
+    /// See [`Icdb::start_transaction`].
+    pub fn start_transaction(&self, design: &str) -> Result<(), IcdbError> {
+        self.service.write().start_transaction_in(self.ns, design)
+    }
+
+    /// `put_in_component_list` in this session (exclusive lock).
+    ///
+    /// # Errors
+    /// See [`Icdb::put_in_component_list`].
+    pub fn put_in_component_list(&self, design: &str, instance: &str) -> Result<(), IcdbError> {
+        self.service
+            .write()
+            .put_in_component_list_in(self.ns, design, instance)
+    }
+
+    /// `end_a_transaction` in this session (exclusive lock).
+    ///
+    /// # Errors
+    /// See [`Icdb::end_transaction`].
+    pub fn end_transaction(&self, design: &str) -> Result<usize, IcdbError> {
+        self.service.write().end_transaction_in(self.ns, design)
+    }
+
+    /// `end_a_design` in this session (exclusive lock).
+    ///
+    /// # Errors
+    /// See [`Icdb::end_design`].
+    pub fn end_design(&self, design: &str) -> Result<usize, IcdbError> {
+        self.service.write().end_design_in(self.ns, design)
+    }
+
+    /// Knowledge acquisition through this session (global effect: the
+    /// implementation becomes visible to every session, and warm cache
+    /// entries are invalidated for all).
+    ///
+    /// # Errors
+    /// See [`Icdb::insert_implementation`].
+    pub fn insert_implementation(
+        &self,
+        iif_source: &str,
+        component_type: &str,
+        functions: &[&str],
+        param_defaults: &[(&str, i64)],
+        connection_text: Option<&str>,
+        description: &str,
+    ) -> Result<String, IcdbError> {
+        self.service.insert_implementation(
+            iif_source,
+            component_type,
+            functions,
+            param_defaults,
+            connection_text,
+            description,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sessions_share_the_cache_but_not_names() {
+        let service = IcdbService::shared();
+        let a = service.open_session();
+        let b = service.open_session();
+        let req = ComponentRequest::by_component("counter").attribute("size", "4");
+        let na = a.request_component(&req).unwrap();
+        let nb = b.request_component(&req).unwrap();
+        assert_eq!(na, "counter$1");
+        assert_eq!(nb, "counter$1");
+        let stats = service.cache_stats();
+        assert_eq!(stats.result.misses, 1);
+        assert_eq!(stats.result.hits, 1);
+        assert_eq!(a.delay_string(&na).unwrap(), b.delay_string(&nb).unwrap());
+    }
+
+    #[test]
+    fn dropping_a_session_deletes_its_instances() {
+        let service = IcdbService::shared();
+        let a = service.open_session();
+        let req = ComponentRequest::by_implementation("ADDER").attribute("size", "4");
+        a.request_component(&req).unwrap();
+        assert_eq!(service.session_count(), 1);
+        let deleted = a.close();
+        assert_eq!(deleted, 1);
+        assert_eq!(service.session_count(), 0);
+        // Root namespace untouched.
+        assert!(service.read().instance_names().is_empty());
+    }
+
+    #[test]
+    fn session_cql_runs_in_its_own_namespace() {
+        let service = IcdbService::shared();
+        let a = service.open_session();
+        let b = service.open_session();
+        let mut args = vec![CqlArg::OutStr(None)];
+        a.execute(
+            "command:request_component; component_name:counter; attribute:(size:4); \
+             generated_component:?s",
+            &mut args,
+        )
+        .unwrap();
+        let CqlArg::OutStr(Some(name)) = &args[0] else {
+            panic!("no name");
+        };
+        assert!(a.has_instance(name));
+        assert!(!b.has_instance(name));
+        // Read-only query runs under the shared lock and still answers.
+        let mut args = vec![CqlArg::InStr(name.clone()), CqlArg::OutStr(None)];
+        a.execute(
+            "command:instance_query; generated_component:%s; delay:?s",
+            &mut args,
+        )
+        .unwrap();
+        let CqlArg::OutStr(Some(delay)) = &args[1] else {
+            panic!("no delay");
+        };
+        assert!(delay.contains("CW "));
+    }
+
+    #[test]
+    fn root_namespace_stays_usable_through_the_service() {
+        let service = IcdbService::shared();
+        let req = ComponentRequest::by_implementation("ADDER").attribute("size", "3");
+        let name = service.write().request_component(&req).unwrap();
+        assert!(service.read().instance(&name).is_ok());
+        let session = service.open_session();
+        assert!(!session.has_instance(&name));
+    }
+}

@@ -1,0 +1,178 @@
+//! Per-session design namespaces: the isolation unit of the concurrent
+//! [`crate::service::IcdbService`].
+//!
+//! The paper's ICDB serves one synthesis tool at a time, so a single
+//! instance list suffices. To serve many concurrent clients over *one*
+//! shared knowledge base, the per-caller state (generated instances, the
+//! auto-naming counter, open designs/transactions) is split out into a
+//! [`Namespace`] addressed by a [`NsId`]. The root namespace ([`NsId::ROOT`])
+//! always exists and backs the classic single-caller [`crate::Icdb`] API
+//! unchanged; sessions opened through the service get fresh namespaces and
+//! therefore isolated instance lists, independent `impl$N` naming counters
+//! and independent design transactions — while the knowledge base, cell
+//! library, generation cache and relational catalog stay shared.
+
+use crate::designs::DesignManager;
+use crate::error::IcdbError;
+use crate::instance::ComponentInstance;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// Identifier of a design namespace (session). `NsId::ROOT` is the
+/// namespace the classic single-caller API operates on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NsId(pub(crate) u64);
+
+impl NsId {
+    /// The always-present root namespace.
+    pub const ROOT: NsId = NsId(0);
+
+    /// The raw numeric id (stable for the lifetime of the namespace).
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for NsId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ns{}", self.0)
+    }
+}
+
+/// One namespace's private state: everything a single caller of the paper's
+/// API mutates, and nothing of the shared knowledge base.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct Namespace {
+    pub(crate) instances: HashMap<Arc<str>, ComponentInstance>,
+    pub(crate) instance_order: Vec<Arc<str>>,
+    pub(crate) counter: u64,
+    pub(crate) designs: DesignManager,
+}
+
+impl Namespace {
+    /// Design-data path of one instance view inside this namespace
+    /// (`instances/<name>.<suffix>` for the root namespace,
+    /// `s<ns>/instances/<name>.<suffix>` for sessions, so two sessions'
+    /// identically named instances never collide in the shared file store).
+    pub(crate) fn file_path(ns: NsId, name: &str, suffix: &str) -> String {
+        if ns == NsId::ROOT {
+            format!("instances/{name}.{suffix}")
+        } else {
+            format!("s{}/instances/{name}.{suffix}", ns.0)
+        }
+    }
+
+    /// Name under which an instance appears in the shared relational
+    /// `instances` table (scoped for sessions, bare for the root).
+    pub(crate) fn db_name(ns: NsId, name: &str) -> String {
+        if ns == NsId::ROOT {
+            name.to_string()
+        } else {
+            format!("s{}:{name}", ns.0)
+        }
+    }
+}
+
+/// The namespace table of an [`crate::Icdb`]: root plus any open sessions.
+#[derive(Debug, Clone)]
+pub(crate) struct Spaces {
+    map: HashMap<u64, Namespace>,
+    next: u64,
+}
+
+impl Spaces {
+    pub(crate) fn new() -> Spaces {
+        let mut map = HashMap::new();
+        map.insert(NsId::ROOT.0, Namespace::default());
+        Spaces { map, next: 1 }
+    }
+
+    /// Opens a fresh, empty namespace and returns its id.
+    pub(crate) fn create(&mut self) -> NsId {
+        let id = NsId(self.next);
+        self.next += 1;
+        self.map.insert(id.0, Namespace::default());
+        id
+    }
+
+    /// Removes a namespace, returning its state for cleanup. The root
+    /// namespace cannot be removed.
+    pub(crate) fn remove(&mut self, ns: NsId) -> Option<Namespace> {
+        if ns == NsId::ROOT {
+            return None;
+        }
+        self.map.remove(&ns.0)
+    }
+
+    pub(crate) fn get(&self, ns: NsId) -> Result<&Namespace, IcdbError> {
+        self.map
+            .get(&ns.0)
+            .ok_or_else(|| IcdbError::NotFound(format!("namespace `{ns}`")))
+    }
+
+    pub(crate) fn get_mut(&mut self, ns: NsId) -> Result<&mut Namespace, IcdbError> {
+        self.map
+            .get_mut(&ns.0)
+            .ok_or_else(|| IcdbError::NotFound(format!("namespace `{ns}`")))
+    }
+
+    /// The root namespace (infallible: it always exists).
+    pub(crate) fn root(&self) -> &Namespace {
+        self.map.get(&NsId::ROOT.0).expect("root namespace exists")
+    }
+
+    /// Ids of all live namespaces, root included.
+    pub(crate) fn ids(&self) -> Vec<NsId> {
+        let mut ids: Vec<NsId> = self.map.keys().map(|&k| NsId(k)).collect();
+        ids.sort();
+        ids
+    }
+
+    /// Number of live namespaces (root included).
+    pub(crate) fn len(&self) -> usize {
+        self.map.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn root_always_present_and_unremovable() {
+        let mut spaces = Spaces::new();
+        assert!(spaces.get(NsId::ROOT).is_ok());
+        assert!(spaces.remove(NsId::ROOT).is_none());
+        assert_eq!(spaces.len(), 1);
+    }
+
+    #[test]
+    fn created_namespaces_are_distinct_and_removable() {
+        let mut spaces = Spaces::new();
+        let a = spaces.create();
+        let b = spaces.create();
+        assert_ne!(a, b);
+        assert_eq!(spaces.len(), 3);
+        assert!(spaces.remove(a).is_some());
+        assert!(spaces.get(a).is_err());
+        assert!(spaces.get(b).is_ok());
+        // Ids are never reused, so a stale session id cannot alias a new one.
+        let c = spaces.create();
+        assert_ne!(c, a);
+    }
+
+    #[test]
+    fn session_paths_and_db_names_are_scoped() {
+        assert_eq!(
+            Namespace::file_path(NsId::ROOT, "counter$1", "cif"),
+            "instances/counter$1.cif"
+        );
+        assert_eq!(
+            Namespace::file_path(NsId(7), "counter$1", "cif"),
+            "s7/instances/counter$1.cif"
+        );
+        assert_eq!(Namespace::db_name(NsId::ROOT, "x"), "x");
+        assert_eq!(Namespace::db_name(NsId(7), "x"), "s7:x");
+    }
+}

@@ -364,6 +364,29 @@ pub fn bind_outputs(
     Ok(())
 }
 
+/// Scans a command string for its `%`/`?` slots, in argument order,
+/// without substituting anything — the wire protocol of `icdbd` uses this
+/// to size and type a [`CqlArg`] array before calling [`parse_command`].
+///
+/// # Errors
+/// Fails on malformed slot syntax (`%x`, `?s[`).
+pub fn scan_slots(text: &str) -> Result<Vec<SlotSpec>, CqlError> {
+    let mut slots = Vec::new();
+    for raw_term in split_terms(text) {
+        let raw_term = raw_term.trim();
+        if raw_term.is_empty() {
+            continue;
+        }
+        let Some((_, value_text)) = raw_term.split_once(':') else {
+            continue; // parse_command reports the real error later
+        };
+        if let Some(spec) = parse_slot(value_text.trim())? {
+            slots.push(spec);
+        }
+    }
+    Ok(slots)
+}
+
 /// Splits on `;` outside parentheses.
 fn split_terms(text: &str) -> Vec<&str> {
     let mut out = Vec::new();

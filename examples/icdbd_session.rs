@@ -1,0 +1,60 @@
+//! Two synthesis tools sharing one `icdbd` server.
+//!
+//! Spins the TCP server up in-process on an ephemeral port, connects two
+//! clients, and shows the multi-session contract: isolated per-connection
+//! instance namespaces (both clients get `counter$1`) over one shared
+//! knowledge base and generation cache (the second generation is a warm
+//! hit). Run with `cargo run --example icdbd_session`.
+
+use icdb::cql::CqlArg;
+use icdb::net::{IcdbClient, Server};
+use icdb::IcdbService;
+use std::sync::Arc;
+
+fn generate_counter(client: &mut IcdbClient) -> Result<String, icdb::IcdbError> {
+    let mut args = vec![CqlArg::OutStr(None)];
+    client.execute(
+        "command:request_component; component_name:counter; attribute:(size:5); \
+         function:(INC); clock_width:30; generated_component:?s",
+        &mut args,
+    )?;
+    match args.remove(0) {
+        CqlArg::OutStr(Some(name)) => Ok(name),
+        _ => unreachable!("?s slot is always filled on success"),
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let service = Arc::new(IcdbService::new());
+    let server = Server::bind("127.0.0.1:0", Arc::clone(&service), 8)?;
+    let handle = server.spawn()?;
+    println!("icdbd listening on {}", handle.addr());
+
+    let mut alice = IcdbClient::connect(handle.addr())?;
+    let mut bob = IcdbClient::connect(handle.addr())?;
+
+    let a = generate_counter(&mut alice)?;
+    let b = generate_counter(&mut bob)?;
+    println!("alice generated `{a}`, bob generated `{b}` — isolated namespaces");
+
+    // The delay view travels multiline over the line protocol.
+    let mut args = vec![CqlArg::InStr(a.clone()), CqlArg::OutStr(None)];
+    alice.execute(
+        "command:instance_query; generated_component:%s; delay:?s",
+        &mut args,
+    )?;
+    if let CqlArg::OutStr(Some(delay)) = &args[1] {
+        println!("alice's {a} delay report:\n{delay}");
+    }
+
+    let stats = service.cache_stats();
+    println!(
+        "shared generation cache: {} miss (alice, cold) + {} hit (bob, warm)",
+        stats.result.misses, stats.result.hits
+    );
+
+    alice.quit()?;
+    bob.quit()?;
+    handle.shutdown();
+    Ok(())
+}

@@ -1,0 +1,81 @@
+//! `icdbd` — the ICDB component-database daemon.
+//!
+//! Serves the shared knowledge base, generation cache and per-connection
+//! design namespaces over the line-oriented CQL protocol of
+//! [`icdb::net`]. One thread per connection, bounded by `--max-connections`.
+//!
+//! ```text
+//! icdbd [--addr HOST:PORT] [--max-connections N]
+//! ```
+//!
+//! Try it with netcat:
+//!
+//! ```text
+//! $ icdbd &
+//! $ nc 127.0.0.1 7433
+//! OK icdbd ready (session ns1)
+//! command:request_component; component_name:counter; attribute:(size:5); generated_component:?s
+//! OK 1
+//! s counter$1
+//! quit
+//! ```
+
+use icdb::net::{Server, DEFAULT_MAX_CONNECTIONS, DEFAULT_PORT};
+use icdb::IcdbService;
+use std::process::ExitCode;
+use std::sync::Arc;
+
+fn main() -> ExitCode {
+    let mut addr = format!("127.0.0.1:{DEFAULT_PORT}");
+    let mut max_connections = DEFAULT_MAX_CONNECTIONS;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" | "-a" => match args.next() {
+                Some(v) => addr = v,
+                None => return usage("--addr needs HOST:PORT"),
+            },
+            "--max-connections" | "-c" => match args.next().map(|v| v.parse::<usize>()) {
+                Some(Ok(v)) if v >= 1 => max_connections = v,
+                _ => return usage("--max-connections needs a positive integer"),
+            },
+            "--help" | "-h" => {
+                println!(
+                    "icdbd — ICDB component-database daemon\n\n\
+                     USAGE: icdbd [--addr HOST:PORT] [--max-connections N]\n\n\
+                     OPTIONS:\n\
+                     \x20 -a, --addr HOST:PORT       listen address (default 127.0.0.1:{DEFAULT_PORT})\n\
+                     \x20 -c, --max-connections N    connection cap (default {DEFAULT_MAX_CONNECTIONS})\n\n\
+                     PROTOCOL: one CQL command per line, `quit` to disconnect;\n\
+                     see the `icdb::net` module docs or the README for details."
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    let service = Arc::new(IcdbService::new());
+    let server = match Server::bind(&addr, service, max_connections) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("icdbd: cannot bind {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match server.local_addr() {
+        Ok(bound) => eprintln!("icdbd: listening on {bound} (max {max_connections} connections)"),
+        Err(_) => eprintln!("icdbd: listening on {addr}"),
+    }
+    if let Err(e) = server.serve() {
+        eprintln!("icdbd: accept loop failed: {e}");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+fn usage(message: &str) -> ExitCode {
+    eprintln!("icdbd: {message}\nUSAGE: icdbd [--addr HOST:PORT] [--max-connections N]");
+    ExitCode::FAILURE
+}

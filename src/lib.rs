@@ -23,6 +23,12 @@
 //! | [`vhdl`] | `icdb-vhdl` | structural VHDL emission/parsing (§2.2) |
 //! | [`store`] | `icdb-store` | embedded relational + file stores (INGRES/UNIX, §2.3) |
 //! | [`genus`] | `icdb-genus` | GENUS component/function taxonomy (App. B §2–3) |
+//! | [`net`] | (this crate) | the `icdbd` TCP server + client over CQL |
+//!
+//! For concurrent multi-client use, wrap the server in an
+//! [`IcdbService`] (sessions get isolated instance namespaces over one
+//! shared knowledge base and generation cache), or run the `icdbd`
+//! binary and connect with [`net::IcdbClient`].
 //!
 //! ## Quickstart
 //!
@@ -47,9 +53,11 @@
 
 pub use icdb_core::{
     CacheStats, ComponentImpl, ComponentInstance, ComponentRequest, Constraints, DesignManager,
-    GenCache, GenericComponentLibrary, Icdb, IcdbError, LayerStats, ParamSpec, RequestKey, Source,
-    TargetLevel,
+    GenCache, GenericComponentLibrary, Icdb, IcdbError, IcdbService, LayerStats, NsId, ParamSpec,
+    RequestKey, Session, Source, TargetLevel,
 };
+
+pub mod net;
 
 /// The component server (re-export of `icdb-core`).
 pub mod core {

@@ -1,0 +1,608 @@
+//! `icdbd` — the line-oriented TCP server speaking CQL, and its client.
+//!
+//! The paper's `ICDB("command:…", &vars)` is a C function call; this
+//! module puts the same calls on a socket so many synthesis tools can
+//! share one component database. Each connection gets its own
+//! [`Session`] (isolated instance namespace over the shared knowledge
+//! base); the server runs one thread per connection, bounded by a
+//! connection cap.
+//!
+//! ## Wire protocol
+//!
+//! One request per line, one response per request. All text fields are
+//! escaped (`\\`, `\n`, `\t`, `\r`, and `\u{1f}` → `\u`), so commands and
+//! answers may span "lines" logically while staying line-framed on the
+//! wire.
+//!
+//! **Request** — the escaped CQL command, then one tab-separated typed
+//! field per `%` input slot, in slot order:
+//!
+//! ```text
+//! command:request_component; component_name:counter; attribute:(size:5); generated_component:?s
+//! command:instance_query; generated_component:%s; delay:?s<TAB>s:counter$1
+//! quit
+//! ```
+//!
+//! Input fields are `s:<text>`, `d:<int>`, `r:<real>` or `l:<items>`
+//! (string list, items separated by `\u{1f}`). The bare word `quit` (or
+//! `exit`) closes the connection.
+//!
+//! **Response** — `ERR <message>`, or `OK <n>` followed by `n` lines, one
+//! per `?` output slot in slot order, each `<type> <value>` with the same
+//! typing (`S`/`D`/`R` for `?s[]`/`?d[]`/`?r[]` lists):
+//!
+//! ```text
+//! OK 1
+//! s counter$1
+//! ```
+//!
+//! [`IcdbClient::execute`] mirrors [`crate::Icdb::execute`] exactly — the
+//! same command strings and the same `&mut [CqlArg]` calling convention —
+//! so code written against the embedded API ports to the socket by
+//! swapping the receiver.
+
+use icdb_core::{IcdbError, IcdbService};
+use icdb_cql::{scan_slots, CqlArg, SlotSpec, SlotType};
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Default TCP port of `icdbd`.
+pub const DEFAULT_PORT: u16 = 7433;
+
+/// Default connection cap.
+pub const DEFAULT_MAX_CONNECTIONS: usize = 32;
+
+/// Separator for list items inside one wire field.
+const LIST_SEP: char = '\u{1f}';
+
+// ------------------------------------------------------------- escaping
+
+/// Escapes a text field for the line protocol.
+pub fn escape(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for c in text.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            LIST_SEP => out.push_str("\\u"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Reverses [`escape`].
+///
+/// # Errors
+/// Fails on dangling or unknown escape sequences.
+pub fn unescape(text: &str) -> Result<String, String> {
+    let mut out = String::with_capacity(text.len());
+    let mut chars = text.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('\\') => out.push('\\'),
+            Some('n') => out.push('\n'),
+            Some('t') => out.push('\t'),
+            Some('r') => out.push('\r'),
+            Some('u') => out.push(LIST_SEP),
+            other => return Err(format!("bad escape `\\{}`", other.unwrap_or(' '))),
+        }
+    }
+    Ok(out)
+}
+
+// Every item is followed by a separator (not just joined), so the empty
+// list ("") and a one-element list of the empty string ("\u{1f}") stay
+// distinct on the wire.
+fn encode_list(items: &[String]) -> String {
+    let mut out = String::new();
+    for item in items {
+        out.push_str(&escape(item));
+        out.push(LIST_SEP);
+    }
+    out
+}
+
+fn decode_list(field: &str) -> Result<Vec<String>, String> {
+    if field.is_empty() {
+        return Ok(Vec::new());
+    }
+    let body = field
+        .strip_suffix(LIST_SEP)
+        .ok_or_else(|| "unterminated list field".to_string())?;
+    body.split(LIST_SEP).map(unescape).collect()
+}
+
+// ------------------------------------------------------ arg (de)coding
+
+/// Encodes one input argument as a typed wire field.
+fn encode_input(arg: &CqlArg) -> Option<String> {
+    match arg {
+        CqlArg::InStr(s) => Some(format!("s:{}", escape(s))),
+        CqlArg::InInt(v) => Some(format!("d:{v}")),
+        CqlArg::InReal(v) => Some(format!("r:{v}")),
+        CqlArg::InStrList(v) => Some(format!("l:{}", encode_list(v))),
+        _ => None,
+    }
+}
+
+/// Decodes one typed wire field into an input argument.
+fn decode_input(field: &str) -> Result<CqlArg, String> {
+    let (ty, body) = field
+        .split_once(':')
+        .ok_or_else(|| format!("input field `{field}` lacks a type prefix"))?;
+    match ty {
+        "s" => Ok(CqlArg::InStr(unescape(body)?)),
+        "d" => Ok(CqlArg::InInt(
+            body.parse().map_err(|_| format!("bad integer `{body}`"))?,
+        )),
+        "r" => Ok(CqlArg::InReal(
+            body.parse().map_err(|_| format!("bad real `{body}`"))?,
+        )),
+        "l" => Ok(CqlArg::InStrList(decode_list(body)?)),
+        other => Err(format!("unknown input type `{other}`")),
+    }
+}
+
+/// Fresh (None) output argument for a scanned slot.
+fn blank_output(spec: SlotSpec) -> CqlArg {
+    match (spec.ty, spec.array) {
+        (SlotType::Int, false) => CqlArg::OutInt(None),
+        (SlotType::Real, false) => CqlArg::OutReal(None),
+        (SlotType::Int, true) => CqlArg::OutIntList(None),
+        (SlotType::Real, true) => CqlArg::OutRealList(None),
+        (_, true) => CqlArg::OutStrList(None),
+        _ => CqlArg::OutStr(None),
+    }
+}
+
+/// Encodes one filled output argument as a response line.
+fn encode_output(arg: &CqlArg) -> String {
+    match arg {
+        CqlArg::OutStr(Some(s)) => format!("s {}", escape(s)),
+        CqlArg::OutInt(Some(v)) => format!("d {v}"),
+        CqlArg::OutReal(Some(v)) => format!("r {v}"),
+        CqlArg::OutStrList(Some(v)) => format!("S {}", encode_list(v)),
+        CqlArg::OutIntList(Some(v)) => format!(
+            "D {}",
+            v.iter()
+                .map(|i| i.to_string())
+                .collect::<Vec<_>>()
+                .join(&LIST_SEP.to_string())
+        ),
+        CqlArg::OutRealList(Some(v)) => format!(
+            "R {}",
+            v.iter()
+                .map(|r| r.to_string())
+                .collect::<Vec<_>>()
+                .join(&LIST_SEP.to_string())
+        ),
+        _ => "-".to_string(),
+    }
+}
+
+/// Writes a decoded response line back into the client's output argument.
+fn decode_output(line: &str, arg: &mut CqlArg) -> Result<(), String> {
+    if line == "-" {
+        return Ok(()); // slot left unfilled by the executor
+    }
+    let (ty, body) = line
+        .split_once(' ')
+        .ok_or_else(|| format!("malformed output line `{line}`"))?;
+    match (ty, arg) {
+        ("s", CqlArg::OutStr(slot)) => *slot = Some(unescape(body)?),
+        ("d", CqlArg::OutInt(slot)) => {
+            *slot = Some(body.parse().map_err(|_| format!("bad integer `{body}`"))?)
+        }
+        ("r", CqlArg::OutReal(slot)) => {
+            *slot = Some(body.parse().map_err(|_| format!("bad real `{body}`"))?)
+        }
+        ("S", CqlArg::OutStrList(slot)) => *slot = Some(decode_list(body)?),
+        ("D", CqlArg::OutIntList(slot)) => {
+            let mut out = Vec::new();
+            for item in body.split(LIST_SEP).filter(|s| !s.is_empty()) {
+                out.push(item.parse().map_err(|_| format!("bad integer `{item}`"))?);
+            }
+            *slot = Some(out);
+        }
+        ("R", CqlArg::OutRealList(slot)) => {
+            let mut out = Vec::new();
+            for item in body.split(LIST_SEP).filter(|s| !s.is_empty()) {
+                out.push(item.parse().map_err(|_| format!("bad real `{item}`"))?);
+            }
+            *slot = Some(out);
+        }
+        (ty, arg) => return Err(format!("output type `{ty}` does not fit argument {arg:?}")),
+    }
+    Ok(())
+}
+
+// --------------------------------------------------------------- server
+
+/// The `icdbd` TCP server: an [`IcdbService`] behind a line-oriented CQL
+/// protocol, one thread and one session per connection, bounded by a
+/// connection cap.
+pub struct Server {
+    listener: TcpListener,
+    service: Arc<IcdbService>,
+    max_connections: usize,
+    shutdown: Arc<AtomicBool>,
+}
+
+/// Handle to a server running on a background thread (see
+/// [`Server::spawn`]).
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    join: Option<JoinHandle<io::Result<()>>>,
+}
+
+impl ServerHandle {
+    /// Address the server is accepting on (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Asks the accept loop to stop and waits for it.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(join) = self.join.take() {
+            let _ = join.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        if self.join.is_some() {
+            self.stop();
+        }
+    }
+}
+
+impl Server {
+    /// Binds a server for `service` on `addr` (use port 0 for an
+    /// ephemeral port).
+    ///
+    /// # Errors
+    /// Propagates socket errors.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        service: Arc<IcdbService>,
+        max_connections: usize,
+    ) -> io::Result<Server> {
+        Ok(Server {
+            listener: TcpListener::bind(addr)?,
+            service,
+            max_connections: max_connections.max(1),
+            shutdown: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// Address the server is bound to.
+    ///
+    /// # Errors
+    /// Propagates socket errors.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Runs the accept loop on the current thread until shut down.
+    ///
+    /// # Errors
+    /// Propagates accept errors.
+    pub fn serve(self) -> io::Result<()> {
+        let active = Arc::new(AtomicUsize::new(0));
+        for stream in self.listener.incoming() {
+            if self.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            // A transient accept failure (ECONNABORTED, fd exhaustion under
+            // load) must not take down every live session: log, back off a
+            // beat, keep accepting.
+            let stream = match stream {
+                Ok(stream) => stream,
+                Err(e) => {
+                    eprintln!("icdbd: accept failed (continuing): {e}");
+                    std::thread::sleep(std::time::Duration::from_millis(10));
+                    continue;
+                }
+            };
+            // Connection cap: refuse politely instead of queueing forever.
+            if active.fetch_add(1, Ordering::SeqCst) >= self.max_connections {
+                active.fetch_sub(1, Ordering::SeqCst);
+                let mut w = BufWriter::new(&stream);
+                let _ = writeln!(
+                    w,
+                    "ERR server at connection capacity ({})",
+                    self.max_connections
+                );
+                let _ = w.flush();
+                continue;
+            }
+            let service = Arc::clone(&self.service);
+            let active = Arc::clone(&active);
+            std::thread::spawn(move || {
+                let _ = handle_connection(stream, &service);
+                active.fetch_sub(1, Ordering::SeqCst);
+            });
+        }
+        Ok(())
+    }
+
+    /// Moves the accept loop to a background thread and returns a handle
+    /// carrying the bound address and a shutdown switch.
+    ///
+    /// # Errors
+    /// Propagates socket errors.
+    pub fn spawn(self) -> io::Result<ServerHandle> {
+        let addr = self.local_addr()?;
+        let shutdown = Arc::clone(&self.shutdown);
+        let join = std::thread::spawn(move || self.serve());
+        Ok(ServerHandle {
+            addr,
+            shutdown,
+            join: Some(join),
+        })
+    }
+}
+
+/// Serves one connection: opens a session, answers one command per line
+/// until `quit` or EOF, then drops the session (deleting its namespace).
+fn handle_connection(stream: TcpStream, service: &Arc<IcdbService>) -> io::Result<()> {
+    let session = service.open_session();
+    let reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    writeln!(writer, "OK icdbd ready (session ns{})", session.ns().raw())?;
+    writer.flush()?;
+    for line in reader.lines() {
+        let line = line?;
+        let line = line.trim_end_matches(['\r', '\n']);
+        if line.is_empty() {
+            continue;
+        }
+        if line == "quit" || line == "exit" {
+            break;
+        }
+        match answer(&session, line) {
+            Ok(out_lines) => {
+                writeln!(writer, "OK {}", out_lines.len())?;
+                for l in out_lines {
+                    writeln!(writer, "{l}")?;
+                }
+            }
+            Err(message) => writeln!(writer, "ERR {}", escape(&message))?,
+        }
+        writer.flush()?;
+    }
+    Ok(())
+}
+
+/// Decodes one request line, executes it in the session, and encodes the
+/// output lines.
+fn answer(session: &icdb_core::Session, line: &str) -> Result<Vec<String>, String> {
+    let mut fields = line.split('\t');
+    let command = unescape(fields.next().unwrap_or_default())?;
+    let slots = scan_slots(&command).map_err(|e| e.to_string())?;
+    let mut args = Vec::with_capacity(slots.len());
+    for spec in slots {
+        if spec.input {
+            let field = fields
+                .next()
+                .ok_or_else(|| "too few input fields for the command's % slots".to_string())?;
+            args.push(decode_input(field)?);
+        } else {
+            args.push(blank_output(spec));
+        }
+    }
+    if fields.next().is_some() {
+        return Err("more input fields than % slots".to_string());
+    }
+    session
+        .execute(&command, &mut args)
+        .map_err(|e| e.to_string())?;
+    Ok(args
+        .iter()
+        .filter(|a| {
+            matches!(
+                a,
+                CqlArg::OutStr(_)
+                    | CqlArg::OutInt(_)
+                    | CqlArg::OutReal(_)
+                    | CqlArg::OutStrList(_)
+                    | CqlArg::OutIntList(_)
+                    | CqlArg::OutRealList(_)
+            )
+        })
+        .map(encode_output)
+        .collect())
+}
+
+// --------------------------------------------------------------- client
+
+/// A blocking `icdbd` client whose [`IcdbClient::execute`] mirrors the
+/// embedded [`crate::Icdb::execute`] calling convention.
+#[derive(Debug)]
+pub struct IcdbClient {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl IcdbClient {
+    /// Connects and consumes the server greeting.
+    ///
+    /// # Errors
+    /// Socket errors, or the server refusing the connection (cap reached).
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<IcdbClient, IcdbError> {
+        let stream = TcpStream::connect(addr).map_err(net_err)?;
+        let mut client = IcdbClient {
+            reader: BufReader::new(stream.try_clone().map_err(net_err)?),
+            writer: BufWriter::new(stream),
+        };
+        let greeting = client.read_line()?;
+        if let Some(message) = greeting.strip_prefix("ERR ") {
+            return Err(IcdbError::Cql(format!(
+                "icdbd refused the connection: {}",
+                unescape(message).unwrap_or_else(|_| message.to_string())
+            )));
+        }
+        Ok(client)
+    }
+
+    /// Executes one CQL command remotely: `%` inputs are read from `args`,
+    /// `?` outputs are written back into them — exactly like
+    /// [`crate::Icdb::execute`], but over the socket.
+    ///
+    /// # Errors
+    /// Server-side errors arrive as [`IcdbError::Cql`]; socket errors are
+    /// wrapped the same way.
+    pub fn execute(&mut self, command: &str, args: &mut [CqlArg]) -> Result<(), IcdbError> {
+        let mut line = escape(command);
+        for arg in args.iter() {
+            if let Some(field) = encode_input(arg) {
+                line.push('\t');
+                line.push_str(&field);
+            }
+        }
+        writeln!(self.writer, "{line}").map_err(net_err)?;
+        self.writer.flush().map_err(net_err)?;
+
+        let head = self.read_line()?;
+        if let Some(message) = head.strip_prefix("ERR ") {
+            return Err(IcdbError::Cql(
+                unescape(message).unwrap_or_else(|_| message.to_string()),
+            ));
+        }
+        let count: usize = head
+            .strip_prefix("OK ")
+            .and_then(|n| n.trim().parse().ok())
+            .ok_or_else(|| IcdbError::Cql(format!("malformed icdbd response `{head}`")))?;
+        let mut outputs = Vec::with_capacity(count);
+        for _ in 0..count {
+            outputs.push(self.read_line()?);
+        }
+        let mut out_iter = outputs.iter();
+        for arg in args.iter_mut() {
+            let is_output = matches!(
+                arg,
+                CqlArg::OutStr(_)
+                    | CqlArg::OutInt(_)
+                    | CqlArg::OutReal(_)
+                    | CqlArg::OutStrList(_)
+                    | CqlArg::OutIntList(_)
+                    | CqlArg::OutRealList(_)
+            );
+            if is_output {
+                let line = out_iter.next().ok_or_else(|| {
+                    IcdbError::Cql("icdbd returned fewer outputs than ? slots".into())
+                })?;
+                decode_output(line, arg).map_err(IcdbError::Cql)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Sends `quit` and closes the connection (the server then drops the
+    /// session namespace).
+    ///
+    /// # Errors
+    /// Socket errors.
+    pub fn quit(mut self) -> Result<(), IcdbError> {
+        writeln!(self.writer, "quit").map_err(net_err)?;
+        self.writer.flush().map_err(net_err)
+    }
+
+    fn read_line(&mut self) -> Result<String, IcdbError> {
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line).map_err(net_err)?;
+        if n == 0 {
+            return Err(IcdbError::Cql("icdbd closed the connection".into()));
+        }
+        Ok(line.trim_end_matches(['\r', '\n']).to_string())
+    }
+}
+
+fn net_err(e: io::Error) -> IcdbError {
+    IcdbError::Cql(format!("icdbd i/o error: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escape_round_trips() {
+        let nasty = "a\tb\nc\\d\re\u{1f}f";
+        assert_eq!(unescape(&escape(nasty)).unwrap(), nasty);
+        assert!(!escape(nasty).contains('\n'));
+        assert!(!escape(nasty).contains('\t'));
+        assert!(unescape("dangling\\").is_err());
+        assert!(unescape("bad\\q").is_err());
+    }
+
+    #[test]
+    fn list_encoding_round_trips() {
+        let items = vec!["plain".to_string(), "with\ttab".to_string(), "".to_string()];
+        assert_eq!(decode_list(&encode_list(&items)).unwrap(), items);
+        assert_eq!(decode_list("").unwrap(), Vec::<String>::new());
+        // The empty list and the one-empty-string list are distinct.
+        let one_empty = vec!["".to_string()];
+        assert_eq!(decode_list(&encode_list(&one_empty)).unwrap(), one_empty);
+        assert_ne!(encode_list(&one_empty), encode_list(&[]));
+    }
+
+    #[test]
+    fn input_fields_round_trip() {
+        for arg in [
+            CqlArg::InStr("multi\nline".into()),
+            CqlArg::InInt(-7),
+            CqlArg::InReal(2.5),
+            CqlArg::InStrList(vec!["A".into(), "B".into()]),
+        ] {
+            let field = encode_input(&arg).unwrap();
+            assert_eq!(decode_input(&field).unwrap(), arg);
+        }
+    }
+
+    #[test]
+    fn output_lines_round_trip() {
+        let cases: Vec<(CqlArg, CqlArg)> = vec![
+            (CqlArg::OutStr(None), CqlArg::OutStr(Some("x\ny".into()))),
+            (CqlArg::OutInt(None), CqlArg::OutInt(Some(42))),
+            (CqlArg::OutReal(None), CqlArg::OutReal(Some(1.5))),
+            (
+                CqlArg::OutStrList(None),
+                CqlArg::OutStrList(Some(vec!["A".into(), "B".into()])),
+            ),
+            (
+                CqlArg::OutIntList(None),
+                CqlArg::OutIntList(Some(vec![1, 2, 3])),
+            ),
+            (
+                CqlArg::OutRealList(None),
+                CqlArg::OutRealList(Some(vec![0.5, 2.0])),
+            ),
+        ];
+        for (blank, filled) in cases {
+            let line = encode_output(&filled);
+            let mut target = blank;
+            decode_output(&line, &mut target).unwrap();
+            assert_eq!(target, filled);
+        }
+    }
+}

@@ -3,7 +3,7 @@
 //! area/delay estimates, CIF output), and the cache statistics must add up
 //! (`hits + misses == requests` on the result layer).
 
-use icdb::{ComponentRequest, Icdb};
+use icdb::{ComponentRequest, Icdb, IcdbService};
 use proptest::prelude::*;
 
 /// Random well-formed component requests over the builtin library,
@@ -98,6 +98,43 @@ proptest! {
         let hits = rows[0][0].as_int().unwrap() as u64;
         let misses = rows[0][1].as_int().unwrap() as u64;
         prop_assert_eq!(hits + misses, issued);
+    }
+
+    /// A warm hit served to a *different session* of the shared service is
+    /// identical to solo cold generation: session isolation never changes
+    /// payloads, only namespaces.
+    #[test]
+    fn cross_session_warm_hit_equals_solo_cold(request in arb_request()) {
+        let service = IcdbService::shared();
+        let primer = service.open_session();
+        let reader = service.open_session();
+        let primed = primer.request_component(&request).unwrap();
+        let warmed = reader.request_component(&request).unwrap();
+        prop_assert_eq!(&primed, &warmed, "fresh namespaces name identically");
+        let stats = service.cache_stats();
+        prop_assert_eq!(stats.result.misses, 1, "primer generated cold");
+        prop_assert_eq!(stats.result.hits, 1, "reader was served warm");
+
+        let mut solo = Icdb::new();
+        let solo_name = solo.request_component(&request).unwrap();
+        prop_assert_eq!(&solo_name, &warmed);
+        prop_assert_eq!(
+            solo.delay_string(&solo_name).unwrap(),
+            reader.delay_string(&warmed).unwrap()
+        );
+        prop_assert_eq!(
+            solo.shape_string(&solo_name).unwrap(),
+            reader.shape_string(&warmed).unwrap()
+        );
+        prop_assert_eq!(
+            solo.vhdl_netlist(&solo_name).unwrap(),
+            reader.vhdl_netlist(&warmed).unwrap()
+        );
+        // Warm CIF layouts are byte-identical to solo cold ones too.
+        prop_assert_eq!(
+            &*solo.cif_layout(&solo_name).unwrap(),
+            &*reader.cif_layout(&warmed).unwrap()
+        );
     }
 }
 

@@ -1,0 +1,293 @@
+//! Multi-session stress test (the CI `concurrency-smoke` workload):
+//! 8 client threads hammer one shared [`IcdbService`] with ≥1000 mixed
+//! warm / cold / knowledge-acquisition requests, and every session's
+//! transcript must be **byte-identical** to replaying the same operation
+//! script on a dedicated single-caller [`Icdb`] — concurrency must be
+//! completely invisible to each client.
+
+use icdb::cql::CqlArg;
+use icdb::{ComponentRequest, Icdb, IcdbService, Session};
+use std::sync::Arc;
+
+const SESSIONS: usize = 8;
+// ~3 of every 5 scripted ops are generation/acquisition requests, so 220
+// ops per session keeps the total request count comfortably above 1000
+// (asserted below).
+const OPS_PER_SESSION: usize = 220;
+
+/// One scripted client operation. Scripts are deterministic functions of
+/// the session index, so the same script can replay on a solo server.
+#[derive(Debug, Clone)]
+enum Op {
+    /// Generate a component (cold or warm depending on history).
+    Request(Box<ComponentRequest>),
+    /// Query the delay string of the n-th instance created so far.
+    Delay(usize),
+    /// Query the structural VHDL of the n-th instance created so far.
+    Vhdl(usize),
+    /// Query the delay of the n-th instance through CQL (`instance_query`).
+    CqlDelay(usize),
+    /// Acquire knowledge: insert a uniquely named implementation.
+    Acquire(String),
+}
+
+/// A small parameterized AND array used for knowledge-acquisition traffic.
+fn acquired_iif(name: &str) -> String {
+    format!(
+        "\nNAME: {name};\nPARAMETER: size;\nINORDER: A[size], B[size];\n\
+         OUTORDER: O[size];\nVARIABLE: i;\n{{\n  #for(i=0;i<size;i++)\n    \
+         O[i] = A[i] * B[i];\n}}"
+    )
+}
+
+/// The deterministic operation script of one session. Mixes:
+/// * shared warm traffic (every session issues the same counter request),
+/// * per-session cold traffic (sizes derived from the session index),
+/// * knowledge acquisition (a uniquely named implementation per session)
+///   followed by requests against it,
+/// * read queries (direct and through CQL).
+fn script(session: usize) -> Vec<Op> {
+    let mut ops = Vec::with_capacity(OPS_PER_SESSION);
+    let counter = ComponentRequest::by_component("counter").attribute("size", "3");
+    let adder = |size: usize| {
+        ComponentRequest::by_implementation("ADDER").attribute("size", size.to_string())
+    };
+    let acquired_name = format!("STRESS_T{session}");
+
+    ops.push(Op::Request(Box::new(counter.clone()))); // shared: cold once globally
+    ops.push(Op::Request(Box::new(adder(2 + session % 4)))); // per-session flavor
+    ops.push(Op::Delay(0));
+    ops.push(Op::Acquire(acquired_name.clone()));
+    ops.push(Op::Request(Box::new(
+        ComponentRequest::by_implementation(&acquired_name).attribute("size", "3"),
+    )));
+    ops.push(Op::Vhdl(2));
+    ops.push(Op::CqlDelay(1));
+
+    let mut i = 0usize;
+    while ops.len() < OPS_PER_SESSION {
+        match i % 5 {
+            0 => ops.push(Op::Request(Box::new(counter.clone()))), // warm repeat
+            1 => ops.push(Op::Request(Box::new(adder(2 + (session + i) % 5)))),
+            2 => ops.push(Op::Delay(i % 3)),
+            3 => ops.push(Op::Request(Box::new(
+                ComponentRequest::by_implementation(&acquired_name)
+                    .attribute("size", (2 + i % 3).to_string()),
+            ))),
+            _ => ops.push(Op::CqlDelay(i % 3)),
+        }
+        i += 1;
+    }
+    ops
+}
+
+/// How many `Request`/`Acquire` ops (the "requests" of the acceptance
+/// criterion) a script contains.
+fn request_count(ops: &[Op]) -> usize {
+    ops.iter()
+        .filter(|op| matches!(op, Op::Request(_) | Op::Acquire(_)))
+        .count()
+}
+
+/// Runs a script against a live session, returning the full transcript.
+fn run_on_session(session: &Session, ops: &[Op]) -> Vec<String> {
+    let mut transcript = Vec::with_capacity(ops.len());
+    let mut created: Vec<String> = Vec::new();
+    for op in ops {
+        match op {
+            Op::Request(req) => {
+                let name = session.request_component(req).expect("request");
+                created.push(name.clone());
+                transcript.push(format!("request -> {name}"));
+            }
+            Op::Delay(n) => {
+                let name = &created[*n % created.len()];
+                transcript.push(format!(
+                    "delay {name} -> {}",
+                    session.delay_string(name).expect("delay")
+                ));
+            }
+            Op::Vhdl(n) => {
+                let name = &created[*n % created.len()];
+                transcript.push(format!(
+                    "vhdl {name} -> {}",
+                    session.vhdl_netlist(name).expect("vhdl")
+                ));
+            }
+            Op::CqlDelay(n) => {
+                let name = created[*n % created.len()].clone();
+                let mut args = vec![CqlArg::InStr(name.clone()), CqlArg::OutStr(None)];
+                session
+                    .execute(
+                        "command:instance_query; generated_component:%s; delay:?s",
+                        &mut args,
+                    )
+                    .expect("cql");
+                let CqlArg::OutStr(Some(delay)) = &args[1] else {
+                    panic!("no delay output");
+                };
+                transcript.push(format!("cql_delay {name} -> {delay}"));
+            }
+            Op::Acquire(name) => {
+                let inserted = session
+                    .insert_implementation(
+                        &acquired_iif(name),
+                        "Logic_unit",
+                        &["AND"],
+                        &[("size", 4)],
+                        None,
+                        "stress-acquired",
+                    )
+                    .expect("acquire");
+                transcript.push(format!("acquire -> {inserted}"));
+            }
+        }
+    }
+    transcript
+}
+
+/// Replays the same script on a dedicated single-caller server.
+fn run_on_solo(icdb: &mut Icdb, ops: &[Op]) -> Vec<String> {
+    let mut transcript = Vec::with_capacity(ops.len());
+    let mut created: Vec<String> = Vec::new();
+    for op in ops {
+        match op {
+            Op::Request(req) => {
+                let name = icdb.request_component(req).expect("request");
+                created.push(name.clone());
+                transcript.push(format!("request -> {name}"));
+            }
+            Op::Delay(n) => {
+                let name = &created[*n % created.len()];
+                transcript.push(format!(
+                    "delay {name} -> {}",
+                    icdb.delay_string(name).expect("delay")
+                ));
+            }
+            Op::Vhdl(n) => {
+                let name = &created[*n % created.len()];
+                transcript.push(format!(
+                    "vhdl {name} -> {}",
+                    icdb.vhdl_netlist(name).expect("vhdl")
+                ));
+            }
+            Op::CqlDelay(n) => {
+                let name = created[*n % created.len()].clone();
+                let mut args = vec![CqlArg::InStr(name.clone()), CqlArg::OutStr(None)];
+                icdb.execute(
+                    "command:instance_query; generated_component:%s; delay:?s",
+                    &mut args,
+                )
+                .expect("cql");
+                let CqlArg::OutStr(Some(delay)) = &args[1] else {
+                    panic!("no delay output");
+                };
+                transcript.push(format!("cql_delay {name} -> {delay}"));
+            }
+            Op::Acquire(name) => {
+                let inserted = icdb
+                    .insert_implementation(
+                        &acquired_iif(name),
+                        "Logic_unit",
+                        &["AND"],
+                        &[("size", 4)],
+                        None,
+                        "stress-acquired",
+                    )
+                    .expect("acquire");
+                transcript.push(format!("acquire -> {inserted}"));
+            }
+        }
+    }
+    transcript
+}
+
+#[test]
+fn concurrent_sessions_match_sequential_replay() {
+    let service = Arc::new(IcdbService::new());
+    let scripts: Vec<Vec<Op>> = (0..SESSIONS).map(script).collect();
+    let total_requests: usize = scripts.iter().map(|s| request_count(s)).sum();
+    assert!(
+        total_requests >= 1000,
+        "workload too small: {total_requests} requests"
+    );
+
+    // 8 client threads, each with its own session, all at once.
+    let transcripts: Vec<Vec<String>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = scripts
+            .iter()
+            .map(|ops| {
+                let service = Arc::clone(&service);
+                scope.spawn(move || {
+                    let session = service.open_session();
+                    run_on_session(&session, ops)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("no panics"))
+            .collect()
+    });
+
+    // The shared cache must have answered every generation lookup
+    // (hits + misses == cacheable requests; acquisitions are not lookups).
+    let stats = service.cache_stats();
+    let generation_requests: usize = scripts
+        .iter()
+        .map(|s| s.iter().filter(|op| matches!(op, Op::Request(_))).count())
+        .sum();
+    assert_eq!(
+        stats.result.lookups(),
+        generation_requests as u64,
+        "{stats:?}"
+    );
+    assert!(
+        stats.result.hits > stats.result.misses,
+        "warm traffic dominates: {stats:?}"
+    );
+
+    // Sequential replay: each session's transcript must be byte-identical
+    // to a dedicated single-caller server running the same script.
+    for (i, ops) in scripts.iter().enumerate() {
+        let mut solo = Icdb::new();
+        let expected = run_on_solo(&mut solo, ops);
+        assert_eq!(
+            transcripts[i], expected,
+            "session {i} diverged from sequential replay"
+        );
+    }
+}
+
+#[test]
+fn concurrent_batches_share_the_service() {
+    // Batch generation through sessions: prepares run under the shared
+    // lock on every thread, installs serialize, results stay per-session
+    // deterministic.
+    let service = Arc::new(IcdbService::new());
+    let requests: Vec<ComponentRequest> = (2..6)
+        .map(|size| {
+            ComponentRequest::by_implementation("ADDER").attribute("size", size.to_string())
+        })
+        .collect();
+
+    let names: Vec<Vec<String>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let service = Arc::clone(&service);
+                let requests = requests.clone();
+                scope.spawn(move || {
+                    let session = service.open_session();
+                    session.request_components_batch(&requests, 2).unwrap()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    let mut solo = Icdb::new();
+    let expected = solo.request_components_batch(&requests, 1).unwrap();
+    for batch in names {
+        assert_eq!(batch, expected);
+    }
+}

@@ -70,11 +70,7 @@ impl Criterion {
         F: FnMut(&mut Bencher),
     {
         let id = id.into();
-        if self
-            .filter
-            .as_ref()
-            .map_or(true, |f| id.contains(f.as_str()))
-        {
+        if self.filter.as_ref().is_none_or(|f| id.contains(f.as_str())) {
             run_benchmark(&id, 10, f);
         }
         self
@@ -104,11 +100,7 @@ impl BenchmarkGroup<'_> {
         F: FnMut(&mut Bencher),
     {
         let id = format!("{}/{}", self.name, id.into());
-        if self
-            .filter
-            .as_ref()
-            .map_or(true, |f| id.contains(f.as_str()))
-        {
+        if self.filter.as_ref().is_none_or(|f| id.contains(f.as_str())) {
             if !self.announced {
                 println!("\n== {}", self.name);
                 self.announced = true;
