@@ -1,0 +1,103 @@
+//! Perf claim of the exploration subsystem: a warm design-space sweep
+//! (every grid point already in the generation cache) must be ≥10× faster
+//! than a cold one — exploration amortizes through the same cache that
+//! serves plain component requests.
+//!
+//! Besides the criterion groups, `main` runs an explicit measurement pass
+//! and writes `BENCH_explore_sweep.json` next to this crate's manifest;
+//! `perfgate` enforces the warm/cold speedup floor committed in
+//! `BENCH_baseline.json`.
+
+use criterion::{black_box, Criterion};
+use icdb::{ExploreSpec, Icdb};
+use std::time::{Duration, Instant};
+
+/// The acceptance-criteria sweep: every counter implementation (≥3) ×
+/// three bit-widths × both sizing strategies.
+fn sweep_spec() -> ExploreSpec {
+    let workers = std::thread::available_parallelism().map_or(1, |n| n.get());
+    ExploreSpec::by_component("counter")
+        .widths([3, 4, 5])
+        .strategies(["cheapest", "fastest"])
+        .workers(workers)
+}
+
+fn bench_cold_vs_warm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("explore_sweep");
+    group.sample_size(10);
+    let spec = sweep_spec();
+    let mut icdb = Icdb::new();
+    group.bench_function("cold", |b| {
+        b.iter(|| {
+            icdb.clear_generation_cache();
+            black_box(icdb.explore(&spec).unwrap())
+        })
+    });
+    let icdb = Icdb::new();
+    icdb.explore(&spec).unwrap(); // prime
+    group.bench_function("warm", |b| {
+        b.iter(|| black_box(icdb.explore(&spec).unwrap()))
+    });
+    group.finish();
+}
+
+fn median(mut samples: Vec<Duration>) -> Duration {
+    samples.sort();
+    samples[samples.len() / 2]
+}
+
+/// Explicit measurement pass feeding the JSON artifact and the speedup
+/// verdict printed at the end of the run.
+fn measure_summary() -> String {
+    let spec = sweep_spec();
+    let mut icdb = Icdb::new();
+    let cold = median(
+        (0..5)
+            .map(|_| {
+                icdb.clear_generation_cache();
+                let t = Instant::now();
+                black_box(icdb.explore(&spec).unwrap());
+                t.elapsed()
+            })
+            .collect(),
+    );
+    let report = icdb.explore(&spec).unwrap(); // already primed by the cold runs
+    let warm = median(
+        (0..25)
+            .map(|_| {
+                let t = Instant::now();
+                black_box(icdb.explore(&spec).unwrap());
+                t.elapsed()
+            })
+            .collect(),
+    );
+    let speedup = cold.as_nanos() as f64 / warm.as_nanos().max(1) as f64;
+    println!(
+        "explore_sweep: {} points ({} on front): cold {cold:?} warm {warm:?} \
+         speedup {speedup:.0}x (target >=10x: {})",
+        report.points.len(),
+        report.front.len(),
+        if speedup >= 10.0 { "PASS" } else { "FAIL" }
+    );
+    format!(
+        "{{\n  \"bench\": \"explore_sweep\",\n  \"sweep\": [\n    \
+         {{\"subject\": \"sweep\", \"points\": {}, \"front\": {}, \"cold_ns\": {}, \
+         \"warm_ns\": {}, \"speedup\": {speedup:.1}}}\n  ]\n}}\n",
+        report.points.len(),
+        report.front.len(),
+        cold.as_nanos(),
+        warm.as_nanos()
+    )
+}
+
+fn main() {
+    let mut criterion = Criterion::default().configure_from_args();
+    bench_cold_vs_warm(&mut criterion);
+
+    let json = measure_summary();
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_explore_sweep.json");
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("explore_sweep: wrote {path}"),
+        Err(e) => eprintln!("explore_sweep: could not write {path}: {e}"),
+    }
+}

@@ -10,7 +10,8 @@
 //! REFRESHING THE BASELINE (after an intentional perf change):
 //!
 //! ```text
-//! cargo bench --bench gen_cached_throughput --bench service_concurrency
+//! cargo bench --bench gen_cached_throughput --bench service_concurrency \
+//!     --bench explore_sweep
 //! cargo run -p icdb-bench --bin perfgate -- --write-baseline
 //! git add crates/bench/BENCH_baseline.json   # commit the new floors
 //! ```

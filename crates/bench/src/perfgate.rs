@@ -13,7 +13,8 @@
 //! Refreshing the baseline after an intentional perf change:
 //!
 //! ```text
-//! cargo bench --bench gen_cached_throughput --bench service_concurrency
+//! cargo bench --bench gen_cached_throughput --bench service_concurrency \
+//!     --bench explore_sweep
 //! cargo run -p icdb-bench --bin perfgate -- --write-baseline
 //! ```
 //!
@@ -40,6 +41,7 @@ pub const GATE_SPECS: &[(&str, &str, &str)] = &[
     ("gen_cached_throughput", "csel_adder", "speedup"),
     ("service_concurrency", "sessions=1", "speedup"),
     ("service_concurrency", "sessions=8", "speedup"),
+    ("explore_sweep", "sweep", "speedup"),
 ];
 
 /// One gate loaded from the baseline file.
@@ -229,7 +231,7 @@ pub fn render_baseline(artifacts: &[Json]) -> String {
     format!(
         "{{\n  \"note\": \"Perf-regression floors (speedup ratios, measured value x {BASELINE_HEADROOM} \
          headroom). Refresh: cargo bench --bench gen_cached_throughput --bench service_concurrency \
-         && cargo run -p icdb-bench --bin perfgate -- --write-baseline\",\n  \
+         --bench explore_sweep && cargo run -p icdb-bench --bin perfgate -- --write-baseline\",\n  \
          \"tolerance\": {DEFAULT_TOLERANCE},\n  \"gates\": [\n{gates}\n  ]\n}}\n"
     )
 }

@@ -62,6 +62,20 @@ O0 is Q
             description: "toggle-chain ripple up counter",
         },
         BuiltinDef {
+            source: include_str!("../iif/johnson_counter.iif"),
+            component_type: "Counter",
+            functions: &["COUNTER"],
+            params: &[("size", 4)],
+            connection: "\
+## function COUNTER
+O0 is Q
+** RST 1
+** CLK 1 edge_trigger
+",
+            description: "Johnson (twisted-ring) counter: glitch-free 2n-state \
+                          sequence, one flip-flop per bit and no carry chain",
+        },
+        BuiltinDef {
             source: include_str!("../iif/adder.iif"),
             component_type: "Adder",
             functions: &["ADD"],

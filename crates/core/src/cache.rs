@@ -65,6 +65,9 @@ pub struct GenerationPayload {
     pub report: DelayReport,
     /// Shape function (strip-count sweep).
     pub shape: ShapeFunction,
+    /// Dynamic power estimate under default operating conditions (µW) —
+    /// precomputed so exploration sweeps pay for it on the cold path only.
+    pub power_uw: f64,
     /// Whether the requested constraints were met.
     pub met: bool,
     /// Connection information inherited from the implementation.

@@ -41,6 +41,7 @@ const READ_ONLY_COMMANDS: &[&str] = &[
     "merge_query",
     "tool_query",
     "cache_query",
+    "explore",
 ];
 
 /// Whether a raw CQL command string names a read-only command, without a
@@ -168,6 +169,14 @@ impl Icdb {
                 self.publish_cache_stats()?;
                 self.exec_cache_query(cmd)
             }
+            "explore" => {
+                // The exclusive path also mirrors the report into the
+                // relational `exploration` table; the shared-lock path
+                // only answers the query.
+                let (report, resp) = self.exec_explore(ns, cmd)?;
+                self.publish_exploration(&report)?;
+                Ok(resp)
+            }
             other => Err(IcdbError::Cql(format!("unknown command `{other}`"))),
         }
     }
@@ -181,6 +190,13 @@ impl Icdb {
             "merge_query" => self.exec_merge_query(cmd).map(ReadDispatch::Done),
             "tool_query" => self.exec_tool_query(cmd).map(ReadDispatch::Done),
             "cache_query" => self.exec_cache_query(cmd).map(ReadDispatch::Done),
+            // A truthy `publish:` asks for the relational `exploration`
+            // table to be refreshed, which mutates the store — route to
+            // the exclusive path (`publish:0` stays read-only).
+            "explore" if cmd.int_term("publish").unwrap_or(0) != 0 => Ok(ReadDispatch::NeedsWrite),
+            "explore" => self
+                .exec_explore(ns, cmd)
+                .map(|(_, resp)| ReadDispatch::Done(resp)),
             _ => Ok(ReadDispatch::NeedsWrite),
         }
     }
@@ -610,6 +626,193 @@ impl Icdb {
             }
         }
         Ok(resp)
+    }
+
+    /// `explore`: the design-space exploration sweep. Candidates come from
+    /// `implementation:(…)`, `component:<type>` or `function:(…)`; the
+    /// grid is crossed with `widths:(4,8,16)` and
+    /// `strategies:(cheapest,fastest)`. Constraint terms reuse the typed
+    /// slot machinery (`max_delay:%r`, `max_area:%r`) and pick the
+    /// objective: min-area under a delay bound, min-delay under an area
+    /// bound, or `weights:(area:1,delay:1,power:0)`.
+    ///
+    /// Answerable outputs: `winner:?s` (label, empty when no candidate is
+    /// feasible), `front:?s[]`, `table:?s`, `points:?d`, `front_size:?d`,
+    /// and the winner metrics `area:?r` / `delay:?r` / `power:?r`.
+    ///
+    /// The sweep itself is read-only and served under the shared lock.
+    /// Add `publish:1` to also refresh the relational `exploration` table
+    /// — that mutates the store, so the command is then routed to the
+    /// exclusive path (embedded [`Icdb::execute`] always refreshes it).
+    fn exec_explore(
+        &self,
+        ns: NsId,
+        cmd: &Command,
+    ) -> Result<(icdb_explore::ExplorationReport, Response), IcdbError> {
+        let widths: Vec<i64> = cmd
+            .list_term("widths")
+            .or_else(|| cmd.list_term("sizes"))
+            .unwrap_or_default()
+            .iter()
+            .map(|w| {
+                w.parse::<i64>()
+                    .map_err(|_| IcdbError::Cql(format!("width `{w}` is not an integer")))
+            })
+            .collect::<Result<_, _>>()?;
+        // Exactly one objective family may be supplied; silently letting
+        // `max_delay` shadow a `max_area`/`weights` term would drop a
+        // constraint the caller believes is enforced.
+        let supplied: Vec<&str> = ["max_delay", "max_area", "weights"]
+            .into_iter()
+            .filter(|key| cmd.has(key))
+            .collect();
+        if supplied.len() > 1 {
+            return Err(IcdbError::Cql(format!(
+                "explore takes one objective, got {}",
+                supplied.join(" + ")
+            )));
+        }
+        // A present-but-unparsable bound must error loudly, not fall
+        // through to the default objective with the constraint dropped.
+        let bound = |key: &str| -> Result<Option<f64>, IcdbError> {
+            match (cmd.has(key), cmd.real_term(key)) {
+                (true, Some(v)) => Ok(Some(v)),
+                (true, None) => Err(IcdbError::Cql(format!(
+                    "explore {key}: value is not a number"
+                ))),
+                (false, _) => Ok(None),
+            }
+        };
+        // Same loud-error rule for the `publish:` routing flag: a value
+        // that is not an integer must not silently mean "don't publish".
+        if cmd.has("publish") && cmd.int_term("publish").is_none() {
+            return Err(IcdbError::Cql("explore publish: takes 0 or 1".to_string()));
+        }
+        if cmd.has("weights") && cmd.attrs_term("weights").is_none() {
+            return Err(IcdbError::Cql(
+                "explore weights must be an attribute list like (area:1,delay:2,power:0)"
+                    .to_string(),
+            ));
+        }
+        let objective = if let Some(bound) = bound("max_delay")? {
+            icdb_explore::Objective::MinAreaUnderDelay(bound)
+        } else if let Some(bound) = bound("max_area")? {
+            icdb_explore::Objective::MinDelayUnderArea(bound)
+        } else if let Some(weights) = cmd.attrs_term("weights") {
+            // Reject unknown weight keys loudly: a typo (`aera:2`) would
+            // otherwise default every metric to 0 and crown an arbitrary
+            // winner.
+            for (key, _) in weights {
+                if !["area", "delay", "power"].contains(&key.as_str()) {
+                    return Err(IcdbError::Cql(format!(
+                        "explore knows weights area/delay/power, not `{key}`"
+                    )));
+                }
+            }
+            let weight = |name: &str| -> Result<f64, IcdbError> {
+                weights
+                    .iter()
+                    .find(|(k, _)| k == name)
+                    .map(|(_, v)| {
+                        // Finite and non-negative, not just parsed:
+                        // "nan"/"inf" would poison every score, and a
+                        // negative weight rewards dominated points the
+                        // front-restricted selection can never return.
+                        v.parse::<f64>()
+                            .ok()
+                            .filter(|w| w.is_finite() && *w >= 0.0)
+                            .ok_or_else(|| {
+                                IcdbError::Cql(format!(
+                                    "weight {name}:{v} is not a finite non-negative number"
+                                ))
+                            })
+                    })
+                    .transpose()
+                    .map(|w| w.unwrap_or(0.0))
+            };
+            icdb_explore::Objective::Weighted {
+                area: weight("area")?,
+                delay: weight("delay")?,
+                power: weight("power")?,
+            }
+        } else {
+            icdb_explore::Objective::default()
+        };
+        let default_workers = crate::explore::ExploreSpec::default().workers;
+        let spec = crate::explore::ExploreSpec {
+            component: cmd
+                .str_term("component")
+                .or_else(|| cmd.str_term("component_name"))
+                .map(str::to_string),
+            implementations: cmd
+                .list_term("implementation")
+                .or_else(|| cmd.list_term("implementations"))
+                .unwrap_or_default(),
+            functions: cmd
+                .list_term("function")
+                .or_else(|| cmd.list_term("functions"))
+                .unwrap_or_default(),
+            widths,
+            strategies: cmd
+                .list_term("strategies")
+                .or_else(|| cmd.list_term("strategy"))
+                .unwrap_or_default(),
+            attributes: cmd
+                .attrs_term("attribute")
+                .map(<[(String, String)]>::to_vec)
+                .unwrap_or_default(),
+            objective,
+            workers: cmd
+                .int_term("workers")
+                .map(|w| w.max(0) as usize)
+                .unwrap_or(default_workers),
+        };
+
+        let report = self.explore_in(ns, &spec)?;
+        let winner_metric = |metric: &dyn Fn(&icdb_explore::DesignPoint) -> f64,
+                             key: &str|
+         -> Result<CqlValue, IcdbError> {
+            report
+                .winner_point()
+                .map(|p| CqlValue::Real(metric(p)))
+                .ok_or_else(|| {
+                    IcdbError::Cql(format!(
+                        "explore cannot answer `{key}`: no candidate satisfies the constraint"
+                    ))
+                })
+        };
+        let mut resp = Response::new();
+        for key in cmd.pending_keys() {
+            match key {
+                "winner" | "selected" => {
+                    let label = report
+                        .winner_point()
+                        .map(icdb_explore::DesignPoint::label)
+                        .unwrap_or_default();
+                    resp.set(key, CqlValue::Str(label));
+                }
+                "front" | "pareto_front" => {
+                    resp.set(key, CqlValue::StrList(report.front_lines()));
+                }
+                "table" | "report" => resp.set(key, CqlValue::Str(report.to_table())),
+                "points" => resp.set(key, CqlValue::Int(report.points.len() as i64)),
+                "front_size" => resp.set(key, CqlValue::Int(report.front.len() as i64)),
+                "area" => {
+                    let v = winner_metric(&|p| p.area, key)?;
+                    resp.set(key, v);
+                }
+                "delay" => {
+                    let v = winner_metric(&|p| p.delay, key)?;
+                    resp.set(key, v);
+                }
+                "power" => {
+                    let v = winner_metric(&|p| p.power, key)?;
+                    resp.set(key, v);
+                }
+                other => return Err(IcdbError::Cql(format!("explore cannot answer `{other}`"))),
+            }
+        }
+        Ok((report, resp))
     }
 
     /// `connect_component` (Appendix B §5.4).

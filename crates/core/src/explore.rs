@@ -1,0 +1,420 @@
+//! The exploration sweep driver: turns the knowledge base into a design
+//! space and drives `icdb-explore`'s Pareto selection over it.
+//!
+//! [`Icdb::explore`] resolves candidate implementations (by explicit
+//! names, component type, or required functions), crosses them with the
+//! requested bit-widths and sizing strategies, and fans one
+//! `Icdb::prepare_payload` evaluation per grid point across scoped
+//! worker threads — through the generation cache, so a warm re-exploration
+//! is nearly free. Estimated `(area, delay, power)` metrics feed an
+//! [`icdb_explore::Explorer`], which computes the exact Pareto front and
+//! selects a winner under the sweep's [`Objective`].
+//!
+//! The sweep is read-only (`&self`): no instance is installed, so the
+//! concurrent [`crate::service::IcdbService`] serves explorations under
+//! its *shared* lock. [`Icdb::publish_exploration`] additionally mirrors a
+//! report into the relational `exploration` table (like `cache_stats`).
+
+use crate::error::IcdbError;
+use crate::space::NsId;
+use crate::spec::ComponentRequest;
+use crate::Icdb;
+use icdb_explore::{DesignPoint, ExplorationReport, Explorer, Objective};
+use icdb_store::Value;
+
+/// The grid attribute swept by [`ExploreSpec::widths`].
+const WIDTH_ATTR: &str = "size";
+
+/// What to sweep: candidate implementations, parameter ranges, sizing
+/// strategies, and the selection objective.
+///
+/// Candidates come from `implementations` when non-empty, else from
+/// `component` (a component-type name, e.g. `counter`), else from
+/// `functions` (implementations executing all of them).
+#[derive(Debug, Clone)]
+pub struct ExploreSpec {
+    /// Component-type candidate filter (`counter`).
+    pub component: Option<String>,
+    /// Explicit candidate implementations (overrides `component`).
+    pub implementations: Vec<String>,
+    /// Function-based candidate filter (used when the other two are
+    /// empty).
+    pub functions: Vec<String>,
+    /// `size` attribute values to sweep. Candidates without a `size`
+    /// parameter are evaluated once at their defaults. Empty = defaults
+    /// only.
+    pub widths: Vec<i64>,
+    /// Sizing strategies to sweep (`cheapest`, `fastest`). Empty =
+    /// `cheapest` only.
+    pub strategies: Vec<String>,
+    /// Extra attribute overrides applied to every request in the grid.
+    pub attributes: Vec<(String, String)>,
+    /// Winner-selection objective.
+    pub objective: Objective,
+    /// Scoped worker threads for the cold evaluations; clamped to
+    /// `1..=grid size` (0 means sequential, like
+    /// [`Icdb::request_components_batch`]).
+    pub workers: usize,
+}
+
+impl Default for ExploreSpec {
+    fn default() -> ExploreSpec {
+        ExploreSpec {
+            component: None,
+            implementations: Vec::new(),
+            functions: Vec::new(),
+            widths: Vec::new(),
+            strategies: Vec::new(),
+            attributes: Vec::new(),
+            objective: Objective::default(),
+            workers: 4,
+        }
+    }
+}
+
+impl ExploreSpec {
+    /// A sweep over every implementation of a component type.
+    pub fn by_component(name: impl Into<String>) -> ExploreSpec {
+        ExploreSpec {
+            component: Some(name.into()),
+            ..ExploreSpec::default()
+        }
+    }
+
+    /// A sweep over explicitly named implementations.
+    pub fn by_implementations<S: Into<String>>(names: impl IntoIterator<Item = S>) -> ExploreSpec {
+        ExploreSpec {
+            implementations: names.into_iter().map(Into::into).collect(),
+            ..ExploreSpec::default()
+        }
+    }
+
+    /// Sets the `size` values to sweep.
+    pub fn widths(mut self, widths: impl IntoIterator<Item = i64>) -> Self {
+        self.widths = widths.into_iter().collect();
+        self
+    }
+
+    /// Sets the sizing strategies to sweep.
+    pub fn strategies<S: Into<String>>(mut self, names: impl IntoIterator<Item = S>) -> Self {
+        self.strategies = names.into_iter().map(Into::into).collect();
+        self
+    }
+
+    /// Adds an attribute override applied to every candidate.
+    pub fn attribute(mut self, key: impl Into<String>, value: impl Into<String>) -> Self {
+        self.attributes.push((key.into(), value.into()));
+        self
+    }
+
+    /// Sets the winner-selection objective.
+    pub fn objective(mut self, objective: Objective) -> Self {
+        self.objective = objective;
+        self
+    }
+
+    /// Sets the worker-thread count for cold evaluations.
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+}
+
+impl Icdb {
+    /// Runs a design-space exploration sweep: evaluates every candidate ×
+    /// width × strategy grid point through the generation cache and
+    /// returns the Pareto front plus the winner under the spec's
+    /// objective. Read-only — no instance is installed.
+    ///
+    /// # Errors
+    /// Fails when no candidate matches the spec, and propagates the first
+    /// generation failure of the grid.
+    pub fn explore(&self, spec: &ExploreSpec) -> Result<ExplorationReport, IcdbError> {
+        self.explore_in(NsId::ROOT, spec)
+    }
+
+    /// [`Icdb::explore`] against an explicit session namespace.
+    ///
+    /// # Errors
+    /// As [`Icdb::explore`]; also fails on unknown namespaces.
+    pub fn explore_in(&self, ns: NsId, spec: &ExploreSpec) -> Result<ExplorationReport, IcdbError> {
+        let (labels, requests) = self.explore_grid(spec)?;
+        let prepared = self.prepare_batch(ns, &requests, spec.workers);
+        let mut explorer = Explorer::new(spec.objective.clone());
+        for (strategy, slot) in labels.into_iter().zip(prepared) {
+            let payload = slot?;
+            let mut params = payload.params.clone();
+            params.sort();
+            let delay = if payload.report.clock_width > 0.0 {
+                payload.report.clock_width
+            } else {
+                payload.report.worst_output_delay()
+            };
+            explorer.add_point(DesignPoint {
+                implementation: payload.implementation.clone(),
+                params,
+                strategy,
+                area: payload.shape.best_area().map(|a| a.area()).unwrap_or(0.0),
+                delay,
+                power: payload.power_uw,
+                gates: payload.netlist.gates.len(),
+                met: payload.met,
+            });
+        }
+        Ok(explorer.finish())
+    }
+
+    /// Expands a spec into its request grid, in deterministic candidate ×
+    /// width × strategy order. Returns the strategy label of each request
+    /// alongside it (the rest of the point identity comes back with the
+    /// payload).
+    fn explore_grid(
+        &self,
+        spec: &ExploreSpec,
+    ) -> Result<(Vec<String>, Vec<ComponentRequest>), IcdbError> {
+        let candidates: Vec<&crate::library::ComponentImpl> = if !spec.implementations.is_empty() {
+            spec.implementations
+                .iter()
+                .map(|name| {
+                    self.library
+                        .implementation(name)
+                        .ok_or_else(|| IcdbError::NotFound(format!("implementation `{name}`")))
+                })
+                .collect::<Result<_, _>>()?
+        } else if let Some(ty) = spec.component.as_deref().filter(|t| !t.is_empty()) {
+            self.library.by_component_type(ty)
+        } else if !spec.functions.is_empty() {
+            self.library.by_functions(&spec.functions)
+        } else {
+            return Err(IcdbError::Cql(
+                "explore needs candidates: implementation:(…), component:<type> \
+                     or function:(…)"
+                    .into(),
+            ));
+        };
+        if candidates.is_empty() {
+            return Err(IcdbError::NotFound(format!(
+                "no implementation matches component {:?} functions {:?}",
+                spec.component, spec.functions
+            )));
+        }
+
+        // Validate and dedupe the grid axes up front. Unknown strategy
+        // names would silently alias to cheapest sizing downstream
+        // (`ComponentRequest::sizing_strategy`), and duplicate axis values
+        // would double-count grid points in the report.
+        let strategies: Vec<String> = if spec.strategies.is_empty() {
+            vec!["cheapest".to_string()]
+        } else {
+            let mut seen = Vec::new();
+            for s in &spec.strategies {
+                if !["cheapest", "fastest"].contains(&s.as_str()) {
+                    return Err(IcdbError::Cql(format!(
+                        "explore knows strategies cheapest/fastest, not `{s}`"
+                    )));
+                }
+                if !seen.contains(s) {
+                    seen.push(s.clone());
+                }
+            }
+            seen
+        };
+        let mut widths_dedup = Vec::new();
+        for w in &spec.widths {
+            if !widths_dedup.contains(w) {
+                widths_dedup.push(*w);
+            }
+        }
+
+        let mut labels = Vec::new();
+        let mut requests = Vec::new();
+        for imp in candidates {
+            // Candidates without the swept width attribute are evaluated
+            // once at their parameter defaults.
+            let widths: Vec<Option<i64>> =
+                if widths_dedup.is_empty() || !imp.params.iter().any(|p| p.name == WIDTH_ATTR) {
+                    vec![None]
+                } else {
+                    widths_dedup.iter().copied().map(Some).collect()
+                };
+            for width in widths {
+                for strategy in &strategies {
+                    let mut request = ComponentRequest::by_implementation(&imp.name);
+                    request.attributes = spec.attributes.clone();
+                    if let Some(w) = width {
+                        request.attributes.push((WIDTH_ATTR.into(), w.to_string()));
+                    }
+                    request.strategy = Some(strategy.clone());
+                    labels.push(strategy.clone());
+                    requests.push(request);
+                }
+            }
+        }
+        Ok((labels, requests))
+    }
+
+    /// Mirrors an exploration report into the relational `exploration`
+    /// table (one row per point, with Pareto/winner flags), so results are
+    /// queryable through the store layer like `cache_stats`.
+    ///
+    /// # Errors
+    /// Propagates store errors (the table exists on every fresh server).
+    pub fn publish_exploration(&mut self, report: &ExplorationReport) -> Result<(), IcdbError> {
+        self.db.execute("DELETE FROM exploration")?;
+        for (i, p) in report.points.iter().enumerate() {
+            let width = p
+                .params
+                .iter()
+                .find(|(k, _)| k == WIDTH_ATTR)
+                .map(|(_, v)| *v)
+                .unwrap_or(0);
+            self.db.insert(
+                "exploration",
+                vec![
+                    Value::Text(p.label()),
+                    Value::Text(p.implementation.clone()),
+                    Value::Int(width),
+                    Value::Text(p.strategy.clone()),
+                    Value::Real(p.area),
+                    Value::Real(p.delay),
+                    Value::Real(p.power),
+                    Value::Int(p.gates as i64),
+                    Value::Int(i64::from(p.met)),
+                    Value::Int(i64::from(report.on_front(i))),
+                    Value::Int(i64::from(report.winner == Some(i))),
+                ],
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counter_spec() -> ExploreSpec {
+        ExploreSpec::by_component("counter")
+            .widths([3, 4])
+            .strategies(["cheapest", "fastest"])
+    }
+
+    #[test]
+    fn sweep_covers_the_full_grid() {
+        let icdb = Icdb::new();
+        let counters = icdb.library.by_component_type("counter").len();
+        assert!(counters >= 3, "need >=3 counter implementations");
+        let report = icdb.explore(&counter_spec()).unwrap();
+        // candidates × widths × strategies, every point evaluated.
+        assert_eq!(report.points.len(), counters * 2 * 2);
+        assert!(!report.front.is_empty());
+        assert!(report.winner.is_some());
+        // Every front point is undominated (exactness spot check).
+        for fp in report.front_points() {
+            assert!(!report.points.iter().any(|q| icdb_explore::dominates(q, fp)));
+        }
+    }
+
+    #[test]
+    fn sweep_runs_through_the_generation_cache() {
+        let icdb = Icdb::new();
+        let cold = icdb.explore(&counter_spec()).unwrap();
+        let before = icdb.cache_stats().result;
+        let warm = icdb.explore(&counter_spec()).unwrap();
+        let after = icdb.cache_stats().result;
+        assert_eq!(cold, warm, "warm re-exploration is identical");
+        assert_eq!(
+            after.hits - before.hits,
+            cold.points.len() as u64,
+            "every warm grid point is a result-layer hit"
+        );
+    }
+
+    #[test]
+    fn zero_workers_is_clamped_not_hung() {
+        let icdb = Icdb::new();
+        let seq = icdb.explore(&counter_spec().workers(1)).unwrap();
+        let zero = icdb.explore(&counter_spec().workers(0)).unwrap();
+        assert_eq!(seq, zero);
+    }
+
+    #[test]
+    fn constrained_selection_picks_cheapest_feasible() {
+        let icdb = Icdb::new();
+        // Find an achievable bound from an unconstrained sweep first.
+        let free = icdb.explore(&counter_spec()).unwrap();
+        let median_delay = {
+            let mut delays: Vec<f64> = free.points.iter().map(|p| p.delay).collect();
+            delays.sort_by(f64::total_cmp);
+            delays[delays.len() / 2]
+        };
+        let spec = counter_spec().objective(Objective::MinAreaUnderDelay(median_delay));
+        let report = icdb.explore(&spec).unwrap();
+        let winner = report.winner_point().expect("median bound is feasible");
+        assert!(winner.delay <= median_delay);
+        for p in &report.points {
+            if p.delay <= median_delay {
+                assert!(winner.area <= p.area, "winner is min-area feasible");
+            }
+        }
+        // An impossible bound selects nothing.
+        let spec = counter_spec().objective(Objective::MinAreaUnderDelay(0.001));
+        assert!(icdb.explore(&spec).unwrap().winner.is_none());
+    }
+
+    #[test]
+    fn unknown_strategies_error_and_duplicate_axes_dedupe() {
+        let icdb = Icdb::new();
+        // A typoed strategy must not silently alias to cheapest sizing.
+        let err = icdb
+            .explore(&ExploreSpec::by_component("counter").strategies(["cheapest", "fastes"]))
+            .unwrap_err();
+        assert!(err.to_string().contains("fastes"), "{err}");
+        // Duplicate widths/strategies do not double-count grid points.
+        let deduped = icdb
+            .explore(
+                &ExploreSpec::by_component("counter")
+                    .widths([4, 4])
+                    .strategies(["cheapest", "cheapest"]),
+            )
+            .unwrap();
+        let plain = icdb
+            .explore(
+                &ExploreSpec::by_component("counter")
+                    .widths([4])
+                    .strategies(["cheapest"]),
+            )
+            .unwrap();
+        assert_eq!(deduped, plain);
+    }
+
+    #[test]
+    fn unknown_candidates_error() {
+        let icdb = Icdb::new();
+        assert!(icdb.explore(&ExploreSpec::default()).is_err());
+        assert!(icdb
+            .explore(&ExploreSpec::by_implementations(["GHOST"]))
+            .is_err());
+        assert!(icdb
+            .explore(&ExploreSpec::by_component("no_such_type"))
+            .is_err());
+    }
+
+    #[test]
+    fn publish_exploration_lands_in_the_store() {
+        let mut icdb = Icdb::new();
+        let report = icdb.explore(&counter_spec()).unwrap();
+        icdb.publish_exploration(&report).unwrap();
+        let rows = icdb.db.query("SELECT candidate FROM exploration").unwrap();
+        assert_eq!(rows.len(), report.points.len());
+        let winners = icdb
+            .db
+            .query("SELECT candidate FROM exploration WHERE winner = 1")
+            .unwrap();
+        assert_eq!(winners.len(), 1);
+        assert_eq!(
+            winners[0][0].as_text().unwrap(),
+            report.winner_point().unwrap().label()
+        );
+    }
+}

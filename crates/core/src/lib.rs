@@ -58,6 +58,7 @@ pub mod cache;
 mod cql;
 mod designs;
 mod error;
+pub mod explore;
 mod instance;
 mod knowledge;
 mod library;
@@ -70,6 +71,8 @@ mod tools;
 pub use cache::{CacheStats, GenCache, GenerationPayload, LayerStats, RequestKey};
 pub use designs::DesignManager;
 pub use error::IcdbError;
+pub use explore::ExploreSpec;
+pub use icdb_explore::{DesignPoint, ExplorationReport, Explorer, Objective};
 pub use instance::ComponentInstance;
 pub use library::{ComponentImpl, GenericComponentLibrary, ParamSpec};
 pub use service::{IcdbService, Session};
@@ -139,6 +142,12 @@ impl Icdb {
         db.execute(
             "CREATE TABLE cache_stats (layer TEXT, hits INT, misses INT, \
              evictions INT, entries INT, capacity INT)",
+        )
+        .expect("fresh database");
+        db.execute(
+            "CREATE TABLE exploration (candidate TEXT, implementation TEXT, width INT, \
+             strategy TEXT, area REAL, delay REAL, power REAL, gates INT, met INT, \
+             pareto INT, winner INT)",
         )
         .expect("fresh database");
         let library = GenericComponentLibrary::standard();
@@ -416,6 +425,28 @@ mod tests {
         let stats = icdb.cache_stats();
         assert_eq!(stats.result.hits, 0);
         assert_eq!(stats.result.misses, 2);
+    }
+
+    #[test]
+    fn batch_with_zero_workers_is_clamped_to_sequential() {
+        let requests = vec![
+            ComponentRequest::by_implementation("ADDER").attribute("size", "3"),
+            ComponentRequest::by_component("counter").attribute("size", "3"),
+        ];
+        let mut seq = Icdb::new();
+        let seq_names = seq.request_components_batch(&requests, 1).unwrap();
+        // workers == 0 must not spawn a zero-worker scope (which would
+        // leave every result slot unfilled and panic): it runs
+        // sequentially and produces identical instances.
+        let mut zero = Icdb::new();
+        let zero_names = zero.request_components_batch(&requests, 0).unwrap();
+        assert_eq!(seq_names, zero_names);
+        for name in &seq_names {
+            assert_eq!(
+                seq.delay_string(name).unwrap(),
+                zero.delay_string(name).unwrap()
+            );
+        }
     }
 
     #[test]

@@ -219,6 +219,7 @@ mod tests {
         for name in [
             "COUNTER",
             "RIPPLE_COUNTER",
+            "JOHNSON_COUNTER",
             "ADDER",
             "ADDSUB",
             "REGISTER",
@@ -266,7 +267,10 @@ mod tests {
     fn component_type_retrieval() {
         let lib = GenericComponentLibrary::standard();
         let counters = lib.by_component_type("Counter");
-        assert!(counters.len() >= 2, "COUNTER and RIPPLE_COUNTER");
+        assert!(
+            counters.len() >= 3,
+            "COUNTER, RIPPLE_COUNTER and JOHNSON_COUNTER"
+        );
     }
 
     #[test]

@@ -95,6 +95,10 @@ impl Icdb {
     /// generation cache; instances are then installed sequentially in
     /// request order, so auto-generated names are deterministic.
     ///
+    /// `workers` is clamped to `1..=requests.len()`: a `workers` of 0 runs
+    /// sequentially instead of spawning a zero-worker scope that could
+    /// never fill the result slots.
+    ///
     /// VHDL-cluster requests are prepared against the pre-batch instance
     /// set (they may not reference instances created earlier in the same
     /// batch — issue those through [`Icdb::request_component`] instead).
@@ -126,7 +130,9 @@ impl Icdb {
 
     /// The read-only half of a batch: prepares every request, fanning cold
     /// work across up to `workers` scoped threads sharing the cache. Safe
-    /// under a shared lock.
+    /// under a shared lock. `workers` is clamped to `1..=requests.len()`
+    /// (0 would otherwise spawn a scope with no workers and leave every
+    /// result slot empty — the `expect` below would panic).
     pub(crate) fn prepare_batch(
         &self,
         ns: NsId,
@@ -195,7 +201,9 @@ impl Icdb {
     /// cache layer by layer, and runs only the stages that miss. Safe to
     /// call concurrently from scoped threads sharing `&self` (the service
     /// calls it under a shared read lock, so cold generation never blocks
-    /// other sessions' reads).
+    /// other sessions' reads; the exploration sweep fans one call per grid
+    /// point). The mutating install half ([`Icdb::request_component`] runs
+    /// both) turns a payload into a named instance.
     ///
     /// # Errors
     /// Propagates resolution, expansion, synthesis and estimation failures.
@@ -376,6 +384,12 @@ impl Icdb {
             }
         }
         let shape = estimate_shape(&netlist, &self.cells, MAX_SHAPE_STRIPS)?;
+        let power_uw = icdb_estimate::estimate_power(
+            &netlist,
+            &self.cells,
+            &icdb_estimate::PowerSpec::default(),
+        )?
+        .total_uw;
         let (flat_iif, milo) = match flat_views {
             Some((iif, milo)) => (Some(Arc::from(iif)), Some(Arc::from(milo))),
             None => (None, None),
@@ -392,6 +406,7 @@ impl Icdb {
             loads,
             report: sizing.report,
             shape,
+            power_uw,
             met,
             connection,
             flat_iif,

@@ -5,11 +5,13 @@
 //! cache and relational catalog in a single `RwLock`ed handle. The lock
 //! discipline exploits the prepare/install split of the generation path:
 //!
-//! * **shared (read) lock** — warm *and cold* [`Icdb::prepare_payload`]
+//! * **shared (read) lock** — warm *and cold* `Icdb::prepare_payload`
 //!   (the cache has interior mutability, so even a cold pipeline run never
 //!   blocks other readers), instance queries (`delay_string`,
-//!   `shape_string`, cached CIF reads) and the read-only CQL command
-//!   subset ([`Icdb::execute_read_in`]);
+//!   `shape_string`, cached CIF reads), design-space exploration sweeps
+//!   ([`Icdb::explore_in`], including the CQL `explore` command) and the
+//!   rest of the read-only CQL command subset
+//!   ([`Icdb::execute_read_in`]);
 //! * **exclusive (write) lock** — the short `install_payload` that names
 //!   and registers an instance, layout generation, knowledge acquisition
 //!   and design/transaction management.
@@ -244,6 +246,19 @@ impl Session {
             }
         }
         self.service.write().execute_in(self.ns, command, args)
+    }
+
+    /// Runs a design-space exploration sweep in this session (shared
+    /// lock — the sweep is read-only; warm and cold evaluations alike run
+    /// without blocking other sessions' reads).
+    ///
+    /// # Errors
+    /// See [`Icdb::explore`].
+    pub fn explore(
+        &self,
+        spec: &crate::explore::ExploreSpec,
+    ) -> Result<icdb_explore::ExplorationReport, IcdbError> {
+        self.service.read().explore_in(self.ns, spec)
     }
 
     /// §3.3 delay string of one of this session's instances (shared lock).

@@ -1,0 +1,71 @@
+//! End-to-end design-space exploration: "give me the cheapest counter
+//! under a delay bound".
+//!
+//! The `icdb-explore` subsystem sweeps every counter implementation in
+//! the knowledge base across bit-widths and sizing strategies (all
+//! evaluations fan out through the generation cache), computes the exact
+//! Pareto front over `(area, delay, power)`, and selects the minimum-area
+//! point meeting the clock bound. The winning configuration is then
+//! generated for real — sweep and request share the same cache entries,
+//! so installing the winner is a warm hit.
+//!
+//! Run with: `cargo run --example explore_counter`
+
+use icdb::{ComponentRequest, ExploreSpec, Icdb, Objective};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut icdb = Icdb::new();
+    let bound_ns = 40.0;
+
+    // Sweep: every counter implementation × three widths × both sizing
+    // strategies, selecting min area s.t. clock width <= 40ns.
+    let spec = ExploreSpec::by_component("counter")
+        .widths([4, 6, 8])
+        .strategies(["cheapest", "fastest"])
+        .objective(Objective::MinAreaUnderDelay(bound_ns))
+        .workers(4);
+    let report = icdb.explore(&spec)?;
+
+    // The full area/delay/power table, `*` marking the Pareto front.
+    println!("{}", report.to_table());
+
+    let winner = report
+        .winner_point()
+        .ok_or("no counter meets the delay bound")?;
+    println!(
+        "cheapest counter under {bound_ns}ns: {} ({:.0} um^2 at {:.1}ns, {:.0} uW)\n",
+        winner.label(),
+        winner.area,
+        winner.delay,
+        winner.power
+    );
+
+    // Publish the report as a relational table (like `cache_stats`)…
+    icdb.publish_exploration(&report)?;
+    let rows = icdb
+        .db
+        .query("SELECT candidate, area FROM exploration WHERE pareto = 1")?;
+    println!("exploration table, Pareto rows:");
+    for row in rows {
+        println!(
+            "  {} area={:.1}",
+            row[0].as_text().unwrap_or("?"),
+            row[1].as_real().unwrap_or(0.0)
+        );
+    }
+
+    // …and generate the winning configuration for real. The sweep already
+    // warmed the cache, so this request is a hash lookup, not a re-run of
+    // the pipeline.
+    let mut request = ComponentRequest::by_implementation(&winner.implementation)
+        .strategy(winner.strategy.clone());
+    for (key, value) in &winner.params {
+        request = request.attribute(key.clone(), value.to_string());
+    }
+    let hits_before = icdb.cache_stats().result.hits;
+    let instance = icdb.request_component(&request)?;
+    assert!(icdb.cache_stats().result.hits > hits_before);
+    println!("\ninstalled winner as `{instance}` (served from the generation cache):");
+    println!("{}", icdb.delay_string(&instance)?);
+    Ok(())
+}

@@ -18,6 +18,7 @@
 //! | [`cells`] | `icdb-cells` | characterized basic-cell library (§4.4) |
 //! | [`sizing`] | `icdb-sizing` | transistor sizing (TILOS-style, §4.3) |
 //! | [`estimate`] | `icdb-estimate` | delay + area/shape estimators (§4.4) |
+//! | [`explore`] | `icdb-explore` | design-space exploration: Pareto fronts + constrained selection (§1, §3.2.2 `strategy:`) |
 //! | [`layout`] | `icdb-layout` | strip layout, CIF, floorplanner (LES, §4.3.2) |
 //! | [`sim`] | `icdb-sim` | gate-level verification simulator (§4.3) |
 //! | [`vhdl`] | `icdb-vhdl` | structural VHDL emission/parsing (§2.2) |
@@ -53,8 +54,9 @@
 
 pub use icdb_core::{
     CacheStats, ComponentImpl, ComponentInstance, ComponentRequest, Constraints, DesignManager,
-    GenCache, GenericComponentLibrary, Icdb, IcdbError, IcdbService, LayerStats, NsId, ParamSpec,
-    RequestKey, Session, Source, TargetLevel,
+    DesignPoint, ExplorationReport, ExploreSpec, GenCache, GenericComponentLibrary, Icdb,
+    IcdbError, IcdbService, LayerStats, NsId, Objective, ParamSpec, RequestKey, Session, Source,
+    TargetLevel,
 };
 
 pub mod net;
@@ -92,6 +94,12 @@ pub mod sizing {
 /// Delay and area/shape estimation (re-export of `icdb-estimate`).
 pub mod estimate {
     pub use icdb_estimate::*;
+}
+
+/// Design-space exploration and Pareto selection (re-export of
+/// `icdb-explore`; the sweep driver itself is [`crate::Icdb::explore`]).
+pub mod explore {
+    pub use icdb_explore::*;
 }
 
 /// Strip layout, CIF and floorplanning (re-export of `icdb-layout`).

@@ -3,7 +3,7 @@
 //! The paper's `ICDB("command:…", &vars)` is a C function call; this
 //! module puts the same calls on a socket so many synthesis tools can
 //! share one component database. Each connection gets its own
-//! [`Session`] (isolated instance namespace over the shared knowledge
+//! [`Session`](icdb_core::Session) (isolated instance namespace over the shared knowledge
 //! base); the server runs one thread per connection, bounded by a
 //! connection cap.
 //!
@@ -27,14 +27,22 @@
 //! (string list, items separated by `\u{1f}`). The bare word `quit` (or
 //! `exit`) closes the connection.
 //!
-//! **Response** — `ERR <message>`, or `OK <n>` followed by `n` lines, one
-//! per `?` output slot in slot order, each `<type> <value>` with the same
-//! typing (`S`/`D`/`R` for `?s[]`/`?d[]`/`?r[]` lists):
+//! **Response** — `ERR <code> <message>`, or `OK <n>` followed by `n`
+//! lines, one per `?` output slot in slot order, each `<type> <value>`
+//! with the same typing (`S`/`D`/`R` for `?s[]`/`?d[]`/`?r[]` lists):
 //!
 //! ```text
 //! OK 1
 //! s counter$1
 //! ```
+//!
+//! The `ERR` code is machine-readable ([`ErrCode`]): `capacity` (the
+//! connection cap refused the client), `parse` (the request line itself
+//! is malformed — bad escapes, bad slot syntax, field/slot mismatch) or
+//! `cql` (the command executed and failed). [`IcdbClient`] maps them onto
+//! distinct [`IcdbError`] variants — [`IcdbError::Unsupported`],
+//! [`IcdbError::Parse`] and [`IcdbError::Cql`] respectively — so callers
+//! can tell refusal from query failure.
 //!
 //! [`IcdbClient::execute`] mirrors [`crate::Icdb::execute`] exactly — the
 //! same command strings and the same `&mut [CqlArg]` calling convention —
@@ -57,6 +65,56 @@ pub const DEFAULT_MAX_CONNECTIONS: usize = 32;
 
 /// Separator for list items inside one wire field.
 const LIST_SEP: char = '\u{1f}';
+
+/// Machine-readable reason code carried as the first word of an `ERR`
+/// response line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrCode {
+    /// The connection cap refused the client before a session opened.
+    Capacity,
+    /// The request line is malformed (escaping, slot syntax, or
+    /// field/slot arity) — the command never reached the executor.
+    Parse,
+    /// The command executed and failed (unknown command, missing
+    /// instance, generation error, …).
+    Cql,
+}
+
+impl ErrCode {
+    /// The wire spelling of the code.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrCode::Capacity => "capacity",
+            ErrCode::Parse => "parse",
+            ErrCode::Cql => "cql",
+        }
+    }
+
+    /// Parses the wire spelling back.
+    pub fn from_wire(word: &str) -> Option<ErrCode> {
+        match word {
+            "capacity" => Some(ErrCode::Capacity),
+            "parse" => Some(ErrCode::Parse),
+            "cql" => Some(ErrCode::Cql),
+            _ => None,
+        }
+    }
+}
+
+/// Decodes the remainder of an `ERR ` line into the matching error
+/// variant: `capacity` → [`IcdbError::Unsupported`], `parse` →
+/// [`IcdbError::Parse`], `cql` (and unknown codes, for forward
+/// compatibility) → [`IcdbError::Cql`].
+fn decode_err(rest: &str) -> IcdbError {
+    let (word, body) = rest.split_once(' ').unwrap_or((rest, ""));
+    let message = unescape(body).unwrap_or_else(|_| body.to_string());
+    match ErrCode::from_wire(word) {
+        Some(ErrCode::Capacity) => IcdbError::Unsupported(message),
+        Some(ErrCode::Parse) => IcdbError::Parse(message),
+        Some(ErrCode::Cql) => IcdbError::Cql(message),
+        None => IcdbError::Cql(unescape(rest).unwrap_or_else(|_| rest.to_string())),
+    }
+}
 
 // ------------------------------------------------------------- escaping
 
@@ -329,7 +387,8 @@ impl Server {
                 let mut w = BufWriter::new(&stream);
                 let _ = writeln!(
                     w,
-                    "ERR server at connection capacity ({})",
+                    "ERR {} server at connection capacity ({})",
+                    ErrCode::Capacity.as_str(),
                     self.max_connections
                 );
                 let _ = w.flush();
@@ -386,7 +445,7 @@ fn handle_connection(stream: TcpStream, service: &Arc<IcdbService>) -> io::Resul
                     writeln!(writer, "{l}")?;
                 }
             }
-            Err(message) => writeln!(writer, "ERR {}", escape(&message))?,
+            Err((code, message)) => writeln!(writer, "ERR {} {}", code.as_str(), escape(&message))?,
         }
         writer.flush()?;
     }
@@ -394,28 +453,30 @@ fn handle_connection(stream: TcpStream, service: &Arc<IcdbService>) -> io::Resul
 }
 
 /// Decodes one request line, executes it in the session, and encodes the
-/// output lines.
-fn answer(session: &icdb_core::Session, line: &str) -> Result<Vec<String>, String> {
+/// output lines. Errors carry their wire reason code: decoding problems
+/// are `parse`, execution failures are `cql`.
+fn answer(session: &icdb_core::Session, line: &str) -> Result<Vec<String>, (ErrCode, String)> {
+    let parse = |m: String| (ErrCode::Parse, m);
     let mut fields = line.split('\t');
-    let command = unescape(fields.next().unwrap_or_default())?;
-    let slots = scan_slots(&command).map_err(|e| e.to_string())?;
+    let command = unescape(fields.next().unwrap_or_default()).map_err(parse)?;
+    let slots = scan_slots(&command).map_err(|e| parse(e.to_string()))?;
     let mut args = Vec::with_capacity(slots.len());
     for spec in slots {
         if spec.input {
             let field = fields
                 .next()
-                .ok_or_else(|| "too few input fields for the command's % slots".to_string())?;
-            args.push(decode_input(field)?);
+                .ok_or_else(|| parse("too few input fields for the command's % slots".into()))?;
+            args.push(decode_input(field).map_err(parse)?);
         } else {
             args.push(blank_output(spec));
         }
     }
     if fields.next().is_some() {
-        return Err("more input fields than % slots".to_string());
+        return Err(parse("more input fields than % slots".into()));
     }
     session
         .execute(&command, &mut args)
-        .map_err(|e| e.to_string())?;
+        .map_err(|e| (ErrCode::Cql, e.to_string()))?;
     Ok(args
         .iter()
         .filter(|a| {
@@ -455,11 +516,15 @@ impl IcdbClient {
             writer: BufWriter::new(stream),
         };
         let greeting = client.read_line()?;
-        if let Some(message) = greeting.strip_prefix("ERR ") {
-            return Err(IcdbError::Cql(format!(
-                "icdbd refused the connection: {}",
-                unescape(message).unwrap_or_else(|_| message.to_string())
-            )));
+        if let Some(rest) = greeting.strip_prefix("ERR ") {
+            // A `capacity` refusal surfaces as `IcdbError::Unsupported` so
+            // callers can tell "try again later" from a real failure.
+            return Err(match decode_err(rest) {
+                IcdbError::Unsupported(m) => {
+                    IcdbError::Unsupported(format!("icdbd refused the connection: {m}"))
+                }
+                other => other,
+            });
         }
         Ok(client)
     }
@@ -469,8 +534,10 @@ impl IcdbClient {
     /// [`crate::Icdb::execute`], but over the socket.
     ///
     /// # Errors
-    /// Server-side errors arrive as [`IcdbError::Cql`]; socket errors are
-    /// wrapped the same way.
+    /// Server-side errors arrive typed by their wire reason code
+    /// ([`ErrCode`]): command failures as [`IcdbError::Cql`], malformed
+    /// request lines as [`IcdbError::Parse`]. Socket errors are wrapped as
+    /// [`IcdbError::Cql`].
     pub fn execute(&mut self, command: &str, args: &mut [CqlArg]) -> Result<(), IcdbError> {
         let mut line = escape(command);
         for arg in args.iter() {
@@ -483,10 +550,8 @@ impl IcdbClient {
         self.writer.flush().map_err(net_err)?;
 
         let head = self.read_line()?;
-        if let Some(message) = head.strip_prefix("ERR ") {
-            return Err(IcdbError::Cql(
-                unescape(message).unwrap_or_else(|_| message.to_string()),
-            ));
+        if let Some(rest) = head.strip_prefix("ERR ") {
+            return Err(decode_err(rest));
         }
         let count: usize = head
             .strip_prefix("OK ")
@@ -577,6 +642,31 @@ mod tests {
             let field = encode_input(&arg).unwrap();
             assert_eq!(decode_input(&field).unwrap(), arg);
         }
+    }
+
+    #[test]
+    fn err_codes_round_trip_and_map_to_variants() {
+        for code in [ErrCode::Capacity, ErrCode::Parse, ErrCode::Cql] {
+            assert_eq!(ErrCode::from_wire(code.as_str()), Some(code));
+        }
+        assert_eq!(ErrCode::from_wire("mystery"), None);
+        assert!(matches!(
+            decode_err("capacity server at connection capacity (4)"),
+            IcdbError::Unsupported(m) if m.contains("capacity (4)")
+        ));
+        assert!(matches!(
+            decode_err("parse bad escape `\\q`"),
+            IcdbError::Parse(m) if m.contains("bad escape")
+        ));
+        assert!(matches!(
+            decode_err("cql icdb: not found: instance `x`"),
+            IcdbError::Cql(m) if m.contains("instance `x`")
+        ));
+        // Unknown codes stay readable for forward compatibility.
+        assert!(matches!(
+            decode_err("mystery something odd"),
+            IcdbError::Cql(m) if m.contains("mystery something odd")
+        ));
     }
 
     #[test]

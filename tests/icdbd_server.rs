@@ -4,7 +4,7 @@
 
 use icdb::cql::CqlArg;
 use icdb::net::{IcdbClient, Server};
-use icdb::{Icdb, IcdbService};
+use icdb::{Icdb, IcdbError, IcdbService};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -135,8 +135,75 @@ fn connections_are_isolated_sessions() {
     b.execute("command:cache_query; hits:?d", &mut args)
         .unwrap();
 
+    // ERR reason codes distinguish protocol-parse failures from command
+    // failures: bad slot syntax never reaches the executor (`ERR parse`),
+    // while an unknown command executes and fails (`ERR cql`).
+    let parse_err = b.execute("command:x; y:%q", &mut []).unwrap_err();
+    assert!(
+        matches!(&parse_err, IcdbError::Parse(m) if m.contains("slot")),
+        "expected a parse-coded error, got {parse_err:?}"
+    );
+    let cql_err = b.execute("command:bogus_command", &mut []).unwrap_err();
+    assert!(
+        matches!(&cql_err, IcdbError::Cql(m) if m.contains("bogus_command")),
+        "expected a cql-coded error, got {cql_err:?}"
+    );
+
     a.quit().unwrap();
     b.quit().unwrap();
+    handle.shutdown();
+}
+
+#[test]
+fn explore_runs_over_the_wire() {
+    let (handle, _service) = spawn_server(4);
+    let mut client = IcdbClient::connect(handle.addr()).unwrap();
+
+    // Sweep the counter implementations over three widths with the delay
+    // bound arriving through a typed %r constraint slot.
+    let command = "command:explore; component:counter; widths:(3,4,5); \
+                   strategies:(cheapest,fastest); max_delay:%r; workers:2; \
+                   winner:?s; front:?s[]; points:?d; front_size:?d";
+    let mut args = vec![
+        CqlArg::InReal(1e9), // any point qualifies: winner = min area
+        CqlArg::OutStr(None),
+        CqlArg::OutStrList(None),
+        CqlArg::OutInt(None),
+        CqlArg::OutInt(None),
+    ];
+    client.execute(command, &mut args).unwrap();
+    let CqlArg::OutStr(Some(wire_winner)) = &args[1] else {
+        panic!("no winner");
+    };
+    let CqlArg::OutStrList(Some(wire_front)) = &args[2] else {
+        panic!("no front");
+    };
+    let (CqlArg::OutInt(Some(points)), CqlArg::OutInt(Some(front_size))) = (&args[3], &args[4])
+    else {
+        panic!("no counts");
+    };
+    assert!(
+        *points >= 18,
+        "3+ impls x 3 widths x 2 strategies: {points}"
+    );
+    assert_eq!(*front_size as usize, wire_front.len());
+    assert!(!wire_winner.is_empty());
+
+    // Byte-identical to the embedded sweep.
+    let icdb = Icdb::new();
+    let report = icdb
+        .explore(
+            &icdb::ExploreSpec::by_component("counter")
+                .widths([3, 4, 5])
+                .strategies(["cheapest", "fastest"])
+                .objective(icdb::Objective::MinAreaUnderDelay(1e9))
+                .workers(2),
+        )
+        .unwrap();
+    assert_eq!(wire_front, &report.front_lines());
+    assert_eq!(wire_winner, &report.winner_point().unwrap().label());
+
+    client.quit().unwrap();
     handle.shutdown();
 }
 
@@ -146,11 +213,13 @@ fn connection_cap_refuses_politely_and_recovers() {
     let a = IcdbClient::connect(handle.addr()).unwrap();
     let b = IcdbClient::connect(handle.addr()).unwrap();
 
-    // Third connection is refused with an ERR greeting.
+    // Third connection is refused with an `ERR capacity` greeting, which
+    // the client maps onto `Unsupported` — distinguishable from the
+    // `Cql`/`Parse` errors a live session produces.
     let err = IcdbClient::connect(handle.addr()).unwrap_err();
     assert!(
-        err.to_string().contains("connection capacity"),
-        "unexpected error: {err}"
+        matches!(&err, IcdbError::Unsupported(m) if m.contains("connection capacity")),
+        "unexpected error: {err:?}"
     );
 
     // Capacity frees up once a client leaves (the server tears the session
