@@ -11,7 +11,7 @@
 //!
 //! ```text
 //! cargo bench --bench gen_cached_throughput --bench service_concurrency \
-//!     --bench explore_sweep
+//!     --bench explore_sweep --bench wal_replay
 //! cargo run -p icdb-bench --bin perfgate -- --write-baseline
 //! git add crates/bench/BENCH_baseline.json   # commit the new floors
 //! ```

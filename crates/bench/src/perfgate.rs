@@ -42,6 +42,8 @@ pub const GATE_SPECS: &[(&str, &str, &str)] = &[
     ("service_concurrency", "sessions=1", "speedup"),
     ("service_concurrency", "sessions=8", "speedup"),
     ("explore_sweep", "sweep", "speedup"),
+    ("wal_replay", "replay", "events_per_sec"),
+    ("wal_replay", "snapshot", "speedup"),
 ];
 
 /// One gate loaded from the baseline file.
@@ -231,7 +233,7 @@ pub fn render_baseline(artifacts: &[Json]) -> String {
     format!(
         "{{\n  \"note\": \"Perf-regression floors (speedup ratios, measured value x {BASELINE_HEADROOM} \
          headroom). Refresh: cargo bench --bench gen_cached_throughput --bench service_concurrency \
-         --bench explore_sweep && cargo run -p icdb-bench --bin perfgate -- --write-baseline\",\n  \
+         --bench explore_sweep --bench wal_replay && cargo run -p icdb-bench --bin perfgate -- --write-baseline\",\n  \
          \"tolerance\": {DEFAULT_TOLERANCE},\n  \"gates\": [\n{gates}\n  ]\n}}\n"
     )
 }

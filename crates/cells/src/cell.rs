@@ -1,9 +1,14 @@
 //! Cell descriptors: logical function, timing and geometry characterization.
 
 use crate::pattern::Pattern;
+use serde::{Deserialize, Serialize};
 
 /// Stable handle for a cell inside a [`crate::Library`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+///
+/// Serializable (as its raw index) so persisted netlists survive a restart:
+/// the standard library is rebuilt deterministically, so indices are stable
+/// across processes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct CellId(pub(crate) usize);
 
 impl CellId {

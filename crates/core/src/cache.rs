@@ -84,6 +84,21 @@ pub struct GenerationPayload {
     pub delay_text: Arc<str>,
     /// §3.3 shape-function string.
     pub shape_text: Arc<str>,
+    /// Knowledge-base version the payload was generated under.
+    pub lib_version: u64,
+    /// Cell-library version the payload was generated under.
+    pub cells_version: u64,
+}
+
+impl GenerationPayload {
+    /// Whether the payload was generated under the given library versions —
+    /// i.e. installing it now is equivalent to regenerating it now. The
+    /// event-sourced install path only accepts a pre-prepared payload that
+    /// passes this check, so journal replay (which always regenerates)
+    /// reproduces the live result byte-for-byte.
+    pub fn fresh_for(&self, lib_version: u64, cells_version: u64) -> bool {
+        self.lib_version == lib_version && self.cells_version == cells_version
+    }
 }
 
 // ------------------------------------------------------------------- keys

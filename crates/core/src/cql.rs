@@ -42,6 +42,7 @@ const READ_ONLY_COMMANDS: &[&str] = &[
     "tool_query",
     "cache_query",
     "explore",
+    "persist",
 ];
 
 /// Whether a raw CQL command string names a read-only command, without a
@@ -177,6 +178,15 @@ impl Icdb {
                 self.publish_exploration(&report)?;
                 Ok(resp)
             }
+            "persist" => {
+                // `checkpoint:1` snapshots + rotates the WAL before
+                // reporting (that mutates the data directory, so the
+                // shared-lock path routes it here).
+                if persist_wants_checkpoint(cmd)? {
+                    self.checkpoint()?;
+                }
+                self.exec_persist(cmd)
+            }
             other => Err(IcdbError::Cql(format!("unknown command `{other}`"))),
         }
     }
@@ -197,6 +207,8 @@ impl Icdb {
             "explore" => self
                 .exec_explore(ns, cmd)
                 .map(|(_, resp)| ReadDispatch::Done(resp)),
+            "persist" if persist_wants_checkpoint(cmd)? => Ok(ReadDispatch::NeedsWrite),
+            "persist" => self.exec_persist(cmd).map(ReadDispatch::Done),
             _ => Ok(ReadDispatch::NeedsWrite),
         }
     }
@@ -815,6 +827,54 @@ impl Icdb {
         Ok((report, resp))
     }
 
+    /// `persist`: the durability layer's vitals. Answerable outputs:
+    /// `enabled:?d` (1 when the server has a data directory),
+    /// `generation:?d`, `wal_events:?d`, `wal_bytes:?d`,
+    /// `snapshot_bytes:?d`, `recovered_events:?d` and `data_dir:?s` (empty
+    /// when not persistent). Add `checkpoint:1` to snapshot + rotate the
+    /// WAL first (exclusive lock; plain reporting runs under the shared
+    /// lock).
+    fn exec_persist(&self, cmd: &Command) -> Result<Response, IcdbError> {
+        let stats = self.persist_stats();
+        let mut resp = Response::new();
+        for key in cmd.pending_keys() {
+            match key {
+                "enabled" => resp.set(key, CqlValue::Int(i64::from(stats.is_some()))),
+                "generation" => resp.set(
+                    key,
+                    CqlValue::Int(stats.as_ref().map_or(0, |s| s.generation as i64)),
+                ),
+                "wal_events" | "events" => resp.set(
+                    key,
+                    CqlValue::Int(stats.as_ref().map_or(0, |s| s.wal_events as i64)),
+                ),
+                "wal_bytes" => resp.set(
+                    key,
+                    CqlValue::Int(stats.as_ref().map_or(0, |s| s.wal_bytes as i64)),
+                ),
+                "snapshot_bytes" => resp.set(
+                    key,
+                    CqlValue::Int(stats.as_ref().map_or(0, |s| s.snapshot_bytes as i64)),
+                ),
+                "recovered_events" => resp.set(
+                    key,
+                    CqlValue::Int(stats.as_ref().map_or(0, |s| s.recovered_events as i64)),
+                ),
+                "data_dir" => resp.set(
+                    key,
+                    CqlValue::Str(
+                        stats
+                            .as_ref()
+                            .map(|s| s.data_dir.clone())
+                            .unwrap_or_default(),
+                    ),
+                ),
+                other => return Err(IcdbError::Cql(format!("persist cannot answer `{other}`"))),
+            }
+        }
+        Ok(resp)
+    }
+
     /// `connect_component` (Appendix B §5.4).
     fn exec_connect(&self, ns: NsId, cmd: &Command) -> Result<Response, IcdbError> {
         let name = cmd
@@ -825,6 +885,15 @@ impl Icdb {
         resp.set("connect", CqlValue::Str(self.connect_string_in(ns, &name)?));
         Ok(resp)
     }
+}
+
+/// Whether a `persist` command asks for a checkpoint first — loud error on
+/// a present-but-unparsable flag, like `explore publish:`.
+fn persist_wants_checkpoint(cmd: &Command) -> Result<bool, IcdbError> {
+    if cmd.has("checkpoint") && cmd.int_term("checkpoint").is_none() {
+        return Err(IcdbError::Cql("persist checkpoint: takes 0 or 1".into()));
+    }
+    Ok(cmd.int_term("checkpoint").unwrap_or(0) != 0)
 }
 
 fn design_of(cmd: &Command) -> Result<String, IcdbError> {

@@ -3,11 +3,13 @@
 //! from deletion when a transaction ends.
 
 use crate::error::IcdbError;
+use crate::events::MutationEvent;
 use crate::Icdb;
+use serde::{Deserialize, Serialize};
 use std::collections::{BTreeSet, HashMap};
 
 /// One design's bookkeeping.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 struct Design {
     /// Instances explicitly kept (`put_in_component_list`).
     list: BTreeSet<String>,
@@ -16,7 +18,7 @@ struct Design {
 }
 
 /// Tracks designs and their transactions.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct DesignManager {
     designs: HashMap<String, Design>,
     /// The design whose transaction currently records new instances.
@@ -136,12 +138,17 @@ impl Icdb {
 
     /// Namespace form of [`Icdb::start_design`] — designs and their
     /// transactions are per-session, so concurrent clients never trip over
-    /// each other's open transactions.
+    /// each other's open transactions. Journaled
+    /// ([`MutationEvent::StartDesign`]), like every design op.
     ///
     /// # Errors
     /// Fails if the design already exists in this namespace.
     pub fn start_design_in(&mut self, ns: crate::NsId, name: &str) -> Result<(), IcdbError> {
-        self.spaces.get_mut(ns)?.designs.start_design(name)
+        self.commit(&MutationEvent::StartDesign {
+            ns,
+            design: name.to_string(),
+        })
+        .map(|_| ())
     }
 
     /// `start_a_transaction`.
@@ -157,7 +164,11 @@ impl Icdb {
     /// # Errors
     /// See [`DesignManager::start_transaction`].
     pub fn start_transaction_in(&mut self, ns: crate::NsId, design: &str) -> Result<(), IcdbError> {
-        self.spaces.get_mut(ns)?.designs.start_transaction(design)
+        self.commit(&MutationEvent::StartTransaction {
+            ns,
+            design: design.to_string(),
+        })
+        .map(|_| ())
     }
 
     /// `put_in_component_list`.
@@ -178,11 +189,12 @@ impl Icdb {
         design: &str,
         instance: &str,
     ) -> Result<(), IcdbError> {
-        let space = self.spaces.get_mut(ns)?;
-        if !space.instances.contains_key(instance) {
-            return Err(IcdbError::NotFound(format!("instance `{instance}`")));
-        }
-        space.designs.put_in_list(design, instance)
+        self.commit(&MutationEvent::PutInComponentList {
+            ns,
+            design: design.to_string(),
+            instance: instance.to_string(),
+        })
+        .map(|_| ())
     }
 
     /// `end_a_transaction`: deletes instances created during the
@@ -203,12 +215,12 @@ impl Icdb {
         ns: crate::NsId,
         design: &str,
     ) -> Result<usize, IcdbError> {
-        let doomed = self.spaces.get_mut(ns)?.designs.end_transaction(design)?;
-        let n = doomed.len();
-        for name in doomed {
-            self.delete_instance_in(ns, &name);
-        }
-        Ok(n)
+        self.commit(&MutationEvent::EndTransaction {
+            ns,
+            design: design.to_string(),
+        })?
+        .into_deleted()
+        .ok_or_else(|| IcdbError::Unsupported("EndTransaction applied without a count".into()))
     }
 
     /// `end_a_design`: deletes the design's component list.
@@ -224,11 +236,11 @@ impl Icdb {
     /// # Errors
     /// See [`DesignManager::end_design`].
     pub fn end_design_in(&mut self, ns: crate::NsId, design: &str) -> Result<usize, IcdbError> {
-        let doomed = self.spaces.get_mut(ns)?.designs.end_design(design)?;
-        let n = doomed.len();
-        for name in doomed {
-            self.delete_instance_in(ns, &name);
-        }
-        Ok(n)
+        self.commit(&MutationEvent::EndDesign {
+            ns,
+            design: design.to_string(),
+        })?
+        .into_deleted()
+        .ok_or_else(|| IcdbError::Unsupported("EndDesign applied without a count".into()))
     }
 }

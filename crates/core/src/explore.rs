@@ -255,21 +255,25 @@ impl Icdb {
 
     /// Mirrors an exploration report into the relational `exploration`
     /// table (one row per point, with Pareto/winner flags), so results are
-    /// queryable through the store layer like `cache_stats`.
+    /// queryable through the store layer like `cache_stats`. Journaled as
+    /// a [`crate::MutationEvent::PublishTable`] carrying the computed rows
+    /// (the report itself is not durable state), so a recovered server
+    /// serves the same table.
     ///
     /// # Errors
     /// Propagates store errors (the table exists on every fresh server).
     pub fn publish_exploration(&mut self, report: &ExplorationReport) -> Result<(), IcdbError> {
-        self.db.execute("DELETE FROM exploration")?;
-        for (i, p) in report.points.iter().enumerate() {
-            let width = p
-                .params
-                .iter()
-                .find(|(k, _)| k == WIDTH_ATTR)
-                .map(|(_, v)| *v)
-                .unwrap_or(0);
-            self.db.insert(
-                "exploration",
+        let rows = report
+            .points
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                let width = p
+                    .params
+                    .iter()
+                    .find(|(k, _)| k == WIDTH_ATTR)
+                    .map(|(_, v)| *v)
+                    .unwrap_or(0);
                 vec![
                     Value::Text(p.label()),
                     Value::Text(p.implementation.clone()),
@@ -282,9 +286,13 @@ impl Icdb {
                     Value::Int(i64::from(p.met)),
                     Value::Int(i64::from(report.on_front(i))),
                     Value::Int(i64::from(report.winner == Some(i))),
-                ],
-            )?;
-        }
+                ]
+            })
+            .collect();
+        self.commit(&crate::MutationEvent::PublishTable {
+            table: "exploration".to_string(),
+            rows,
+        })?;
         Ok(())
     }
 }

@@ -6,11 +6,12 @@ use icdb_estimate::{DelayReport, LoadSpec, ShapeFunction};
 use icdb_genus::ConnectionTable;
 use icdb_layout::Layout;
 use icdb_logic::GateNetlist;
+use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
 /// One generated component instance with every piece of information the
 /// instance-query commands can return.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ComponentInstance {
     /// Instance name (user-assigned or ICDB-generated), interned so the
     /// instance map, creation order and design lists share one allocation.

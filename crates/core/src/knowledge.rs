@@ -6,7 +6,9 @@
 //! can be merged into a counter").
 
 use crate::error::IcdbError;
+use crate::events::MutationEvent;
 use crate::library::{ComponentImpl, ParamSpec};
+use crate::persist::AcquiredKnowledge;
 use crate::tools::GeneratorInfo;
 use crate::Icdb;
 use icdb_genus::ConnectionTable;
@@ -15,7 +17,9 @@ use icdb_store::Value;
 impl Icdb {
     /// Inserts a new component implementation from IIF source text with
     /// its ICDB data (component type, function tags, parameter defaults,
-    /// optional connection table).
+    /// optional connection table). Journaled as a
+    /// [`MutationEvent::AcquireKnowledge`] carrying the source text, so
+    /// recovery (and snapshots) rebuild the library by re-parsing it.
     ///
     /// # Errors
     /// Fails on IIF parse errors, duplicate names, parameters without
@@ -26,6 +30,32 @@ impl Icdb {
         component_type: &str,
         functions: &[&str],
         param_defaults: &[(&str, i64)],
+        connection_text: Option<&str>,
+        description: &str,
+    ) -> Result<String, IcdbError> {
+        self.commit(&MutationEvent::AcquireKnowledge {
+            iif_source: iif_source.to_string(),
+            component_type: component_type.to_string(),
+            functions: functions.iter().map(|s| s.to_string()).collect(),
+            param_defaults: param_defaults
+                .iter()
+                .map(|(k, v)| (k.to_string(), *v))
+                .collect(),
+            connection_text: connection_text.map(str::to_string),
+            description: description.to_string(),
+        })?
+        .into_name()
+        .ok_or_else(|| IcdbError::Unsupported("AcquireKnowledge applied without a name".into()))
+    }
+
+    /// The apply-side of [`Icdb::insert_implementation`] (shared by live
+    /// commits, snapshot restore and recovery replay).
+    pub(crate) fn apply_acquire(
+        &mut self,
+        iif_source: &str,
+        component_type: &str,
+        functions: &[String],
+        param_defaults: &[(String, i64)],
         connection_text: Option<&str>,
         description: &str,
     ) -> Result<String, IcdbError> {
@@ -74,16 +104,28 @@ impl Icdb {
                 Value::Text(description.to_string()),
             ],
         )?;
+        // Track the acquisition as replayable source text so snapshots can
+        // rebuild the library without an AST wire format.
+        self.acquired.push(AcquiredKnowledge {
+            iif_source: iif_source.to_string(),
+            component_type: component_type.to_string(),
+            functions: functions.to_vec(),
+            param_defaults: param_defaults.to_vec(),
+            connection_text: connection_text.map(str::to_string),
+            description: description.to_string(),
+        });
         Ok(name)
     }
 
     /// Registers a new component generator with the tool manager
-    /// (knowledge-server path of §4.2).
+    /// (knowledge-server path of §4.2). Journaled as a
+    /// [`MutationEvent::RegisterGenerator`].
     ///
     /// # Errors
     /// See [`crate::ToolManager::register`].
     pub fn register_generator(&mut self, info: GeneratorInfo) -> Result<(), IcdbError> {
-        self.tools.register(info)
+        self.commit(&MutationEvent::RegisterGenerator { info })
+            .map(|_| ())
     }
 
     /// The §2.1 merge query: can the named implementations be merged into

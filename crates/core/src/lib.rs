@@ -58,10 +58,12 @@ pub mod cache;
 mod cql;
 mod designs;
 mod error;
+mod events;
 pub mod explore;
 mod instance;
 mod knowledge;
 mod library;
+mod persist;
 mod server;
 pub mod service;
 mod space;
@@ -71,10 +73,12 @@ mod tools;
 pub use cache::{CacheStats, GenCache, GenerationPayload, LayerStats, RequestKey};
 pub use designs::DesignManager;
 pub use error::IcdbError;
+pub use events::{Applied, MutationEvent};
 pub use explore::ExploreSpec;
 pub use icdb_explore::{DesignPoint, ExplorationReport, Explorer, Objective};
 pub use instance::ComponentInstance;
 pub use library::{ComponentImpl, GenericComponentLibrary, ParamSpec};
+pub use persist::PersistStats;
 pub use service::{IcdbService, Session};
 pub use space::NsId;
 pub use spec::{ComponentRequest, Constraints, Source, TargetLevel};
@@ -104,13 +108,21 @@ pub struct Icdb {
     pub tools: ToolManager,
     pub(crate) cache: Arc<GenCache>,
     pub(crate) spaces: space::Spaces,
+    /// Attached mutation journal, when the server was opened with a data
+    /// directory ([`Icdb::open`]).
+    pub(crate) journal: Option<persist::Journal>,
+    /// Acquired (non-builtin) knowledge, kept as replayable source text so
+    /// snapshots can rebuild the library.
+    pub(crate) acquired: Vec<persist::AcquiredKnowledge>,
 }
 
 // Manual impl: a clone gets its own *empty* generation cache rather than
 // sharing the original's. Two clones may mutate their libraries
 // independently, and library version counters are only meaningful within
 // one library's history — sharing entries across divergent libraries could
-// serve stale payloads.
+// serve stale payloads. The journal (an exclusive file handle) stays with
+// the original: a clone is an in-memory fork, not a second writer racing
+// on the same WAL.
 impl Clone for Icdb {
     fn clone(&self) -> Icdb {
         Icdb {
@@ -121,6 +133,8 @@ impl Clone for Icdb {
             tools: self.tools.clone(),
             cache: Arc::new(GenCache::with_capacity(self.cache.stats().result.capacity)),
             spaces: self.spaces.clone(),
+            journal: None,
+            acquired: self.acquired.clone(),
         }
     }
 }
@@ -171,19 +185,39 @@ impl Icdb {
             tools: ToolManager::standard(),
             cache: Arc::new(GenCache::default()),
             spaces: space::Spaces::new(),
+            journal: None,
+            acquired: Vec::new(),
         }
     }
 
     /// Opens a fresh session namespace: an isolated instance list, naming
     /// counter and design manager over this server's shared knowledge base.
+    /// Journaled ([`MutationEvent::CreateNamespace`]): ids are assigned in
+    /// journal order, so recovery reproduces them and a reconnecting
+    /// client can re-attach to its pre-crash namespace.
     pub fn create_namespace(&mut self) -> NsId {
-        self.spaces.create()
+        // In memory this cannot fail; a journal I/O failure is fail-stop
+        // (continuing would desynchronize replayed namespace ids).
+        self.commit(&MutationEvent::CreateNamespace)
+            .expect("namespace creation only fails on journal I/O")
+            .into_namespace()
+            .expect("CreateNamespace applies to a namespace")
     }
 
     /// Closes a session namespace, deleting every instance it still holds
     /// (design data and relational rows included); returns how many
     /// instances were deleted. Dropping [`NsId::ROOT`] is a no-op.
     pub fn drop_namespace(&mut self, ns: NsId) -> usize {
+        // As `create_namespace`: journal I/O failure is fail-stop.
+        self.commit(&MutationEvent::DropNamespace { ns })
+            .expect("namespace drop only fails on journal I/O")
+            .into_deleted()
+            .expect("DropNamespace applies to a deletion count")
+    }
+
+    /// The apply-side of [`Icdb::drop_namespace`] (shared with recovery
+    /// replay).
+    pub(crate) fn apply_drop_namespace(&mut self, ns: NsId) -> usize {
         let Some(space) = self.spaces.remove(ns) else {
             return 0;
         };
@@ -240,24 +274,30 @@ impl Icdb {
     /// Propagates store errors (the table exists on every fresh server).
     pub fn publish_cache_stats(&mut self) -> Result<(), IcdbError> {
         let stats = self.cache.stats();
-        self.db.execute("DELETE FROM cache_stats")?;
-        for (layer, s) in [
+        // The live counters are volatile (a recovered server restarts them
+        // cold), so the journal records the computed *rows*: replay
+        // restores the table exactly as the last publish left it.
+        let rows = [
             ("flat", stats.flat),
             ("netlist", stats.netlist),
             ("result", stats.result),
-        ] {
-            self.db.insert(
-                "cache_stats",
-                vec![
-                    Value::Text(layer.to_string()),
-                    Value::Int(s.hits as i64),
-                    Value::Int(s.misses as i64),
-                    Value::Int(s.evictions as i64),
-                    Value::Int(s.entries as i64),
-                    Value::Int(s.capacity as i64),
-                ],
-            )?;
-        }
+        ]
+        .into_iter()
+        .map(|(layer, s)| {
+            vec![
+                Value::Text(layer.to_string()),
+                Value::Int(s.hits as i64),
+                Value::Int(s.misses as i64),
+                Value::Int(s.evictions as i64),
+                Value::Int(s.entries as i64),
+                Value::Int(s.capacity as i64),
+            ]
+        })
+        .collect();
+        self.commit(&MutationEvent::PublishTable {
+            table: "cache_stats".to_string(),
+            rows,
+        })?;
         Ok(())
     }
 }

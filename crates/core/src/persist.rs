@@ -1,0 +1,537 @@
+//! The persistence layer: write-ahead journal + periodic full snapshots,
+//! organized into generations inside a data directory (file formats in
+//! [`icdb_store::wal`]).
+//!
+//! * [`Icdb::open`] recovers a server from a data directory: load the
+//!   newest checksum-valid snapshot, replay the matching WAL tail through
+//!   the ordinary [`Icdb::apply`] choke point, truncate any torn final
+//!   record, and attach the journal so subsequent mutations are durable.
+//! * [`Icdb::checkpoint`] captures a full snapshot (written atomically via
+//!   temp-file + rename), starts a fresh empty WAL generation, and prunes
+//!   the previous one — bounding recovery time and disk usage.
+//! * [`Icdb::persist_stats`] reports the journal's vitals (generation,
+//!   WAL records/bytes, snapshot size, events replayed at boot), also
+//!   served by the `persist` CQL command.
+//!
+//! ## What a snapshot holds
+//!
+//! Durable state only: the relational catalog, the design-data file
+//! store, the tool manager, per-namespace instances/designs/counters, and
+//! the *acquired* knowledge as replayable source text (builtins are
+//! rebuilt by [`Icdb::new`]; re-parsing the acquired IIF reproduces the
+//! library exactly, so the parsed AST never needs an on-disk format).
+//! Volatile state — the generation cache, version counters — restarts
+//! cold; correctness never depends on it, only warm-path speed.
+
+use crate::error::IcdbError;
+use crate::events::MutationEvent;
+use crate::instance::ComponentInstance;
+use crate::space::{Namespace, Spaces};
+use crate::tools::ToolManager;
+use crate::Icdb;
+use icdb_store::wal::{DataDir, WalWriter};
+use icdb_store::{Database, FileStore};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::io;
+use std::path::Path;
+
+/// One knowledge acquisition, kept as replayable source text so snapshots
+/// can rebuild the component library by re-running the §2.2 insert.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub(crate) struct AcquiredKnowledge {
+    pub(crate) iif_source: String,
+    pub(crate) component_type: String,
+    pub(crate) functions: Vec<String>,
+    pub(crate) param_defaults: Vec<(String, i64)>,
+    pub(crate) connection_text: Option<String>,
+    pub(crate) description: String,
+}
+
+/// One namespace's durable state.
+#[derive(Debug, Serialize, Deserialize)]
+struct SpaceSnapshot {
+    /// Raw namespace id.
+    id: u64,
+    /// Auto-naming counter.
+    counter: u64,
+    /// Designs, component lists and any open transaction.
+    designs: crate::designs::DesignManager,
+    /// Instances in creation order.
+    instances: Vec<ComponentInstance>,
+}
+
+/// A full-state snapshot (the payload of a `snapshot-<N>.img` file).
+#[derive(Debug, Serialize, Deserialize)]
+struct Snapshot {
+    /// Acquired (non-builtin) knowledge, in insertion order.
+    acquired: Vec<AcquiredKnowledge>,
+    /// The tool-manager registry (standard + registered generators).
+    tools: ToolManager,
+    /// The relational catalog, rows and all.
+    db: Database,
+    /// The design-data file store.
+    files: FileStore,
+    /// Next namespace id (ids are never reused across restarts).
+    next_ns: u64,
+    /// Every live namespace.
+    spaces: Vec<SpaceSnapshot>,
+}
+
+impl Snapshot {
+    /// Captures the durable state of a server.
+    fn capture(icdb: &Icdb) -> Snapshot {
+        Snapshot {
+            acquired: icdb.acquired.clone(),
+            tools: icdb.tools.clone(),
+            db: icdb.db.clone(),
+            files: icdb.files.clone(),
+            next_ns: icdb.spaces.next_id(),
+            spaces: icdb
+                .spaces
+                .iter_ordered()
+                .into_iter()
+                .map(|(ns, space)| SpaceSnapshot {
+                    id: ns.raw(),
+                    counter: space.counter,
+                    designs: space.designs.clone(),
+                    instances: space
+                        .instance_order
+                        .iter()
+                        .map(|name| {
+                            space
+                                .instances
+                                .get(name)
+                                .expect("order entries always have instances")
+                                .clone()
+                        })
+                        .collect(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Rebuilds a server from the snapshot: fresh builtins, replayed
+    /// acquisitions (re-parsing their IIF), then wholesale restoration of
+    /// the catalog, file store, tools and namespaces.
+    fn restore(self) -> Result<Icdb, IcdbError> {
+        let mut icdb = Icdb::new();
+        for a in &self.acquired {
+            icdb.apply_acquire(
+                &a.iif_source,
+                &a.component_type,
+                &a.functions,
+                &a.param_defaults,
+                a.connection_text.as_deref(),
+                &a.description,
+            )?;
+        }
+        icdb.tools = self.tools;
+        // Wholesale: the snapshot's tables already contain the acquired
+        // catalog rows, so the rows `apply_acquire` just inserted are
+        // replaced rather than duplicated.
+        icdb.db = self.db;
+        icdb.files = self.files;
+        let mut map = HashMap::with_capacity(self.spaces.len());
+        for s in self.spaces {
+            let mut instances = HashMap::with_capacity(s.instances.len());
+            let mut instance_order = Vec::with_capacity(s.instances.len());
+            for inst in s.instances {
+                instance_order.push(inst.name.clone());
+                instances.insert(inst.name.clone(), inst);
+            }
+            map.insert(
+                s.id,
+                Namespace {
+                    instances,
+                    instance_order,
+                    counter: s.counter,
+                    designs: s.designs,
+                },
+            );
+        }
+        icdb.spaces = Spaces::from_parts(map, self.next_ns);
+        Ok(icdb)
+    }
+}
+
+/// Vitals of an attached journal (see [`Icdb::persist_stats`] and the
+/// `persist` CQL command).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PersistStats {
+    /// The data directory.
+    pub data_dir: String,
+    /// Current snapshot/WAL generation.
+    pub generation: u64,
+    /// Events in the current WAL (i.e. since the last checkpoint).
+    pub wal_events: u64,
+    /// Bytes in the current WAL.
+    pub wal_bytes: u64,
+    /// On-disk size of the current generation's snapshot (0 when the
+    /// generation opened without one — a fresh directory).
+    pub snapshot_bytes: u64,
+    /// Events replayed from the WAL at the last recovery.
+    pub recovered_events: u64,
+}
+
+/// The attached journal: the open WAL writer plus generation bookkeeping.
+#[derive(Debug)]
+pub(crate) struct Journal {
+    dir: DataDir,
+    generation: u64,
+    wal: WalWriter,
+    snapshot_bytes: u64,
+    recovered_events: u64,
+    sync: bool,
+}
+
+impl Journal {
+    /// Serializes and appends one event (fsynced in sync mode).
+    pub(crate) fn append(&mut self, event: &MutationEvent) -> io::Result<()> {
+        self.wal.append(&serde::to_bytes(event))
+    }
+
+    fn stats(&self) -> PersistStats {
+        PersistStats {
+            data_dir: self.dir.root().display().to_string(),
+            generation: self.generation,
+            wal_events: self.wal.records(),
+            wal_bytes: self.wal.bytes(),
+            snapshot_bytes: self.snapshot_bytes,
+            recovered_events: self.recovered_events,
+        }
+    }
+}
+
+fn store_err(context: &str, e: impl std::fmt::Display) -> IcdbError {
+    IcdbError::Store(format!("{context}: {e}"))
+}
+
+impl Icdb {
+    /// Opens (or creates) a durable server over a data directory:
+    /// recovers state from the newest valid snapshot plus the WAL tail
+    /// (truncating any torn final record a crash left behind), then
+    /// attaches the journal so every subsequent mutation is fsynced to
+    /// the log before it is applied.
+    ///
+    /// # Errors
+    /// I/O failures and undecodable snapshots surface as
+    /// [`IcdbError::Store`].
+    pub fn open(data_dir: impl AsRef<Path>) -> Result<Icdb, IcdbError> {
+        Icdb::open_with_sync(data_dir, true)
+    }
+
+    /// [`Icdb::open`] with an explicit fsync policy: `sync = false` skips
+    /// the per-commit fsync (the OS still writes the log back eventually)
+    /// — records survive a process crash but not necessarily a power
+    /// failure. Used by tests and benches where per-event fsync dominates.
+    ///
+    /// # Errors
+    /// As [`Icdb::open`].
+    pub fn open_with_sync(data_dir: impl AsRef<Path>, sync: bool) -> Result<Icdb, IcdbError> {
+        let dir = DataDir::open(data_dir.as_ref()).map_err(|e| store_err("open data dir", e))?;
+        let (generation, mut icdb, snapshot_bytes) = match dir.newest_valid_snapshot() {
+            Some((generation, payload)) => {
+                let snapshot: Snapshot =
+                    serde::from_bytes(&payload).map_err(|e| store_err("decode snapshot", e))?;
+                let size = std::fs::metadata(dir.snapshot_path(generation))
+                    .map(|m| m.len())
+                    .unwrap_or(0);
+                (generation, snapshot.restore()?, size)
+            }
+            None => (0, Icdb::new(), 0),
+        };
+        // Drop every other generation's files: older ones are superseded
+        // by the snapshot; stale *newer* ones (left behind when a corrupt
+        // newest snapshot forced a fall-back) must not linger, or a later
+        // checkpoint reaching that generation number would append into
+        // the old WAL and the next boot would replay its stale records.
+        dir.prune_generations_except(generation);
+        let wal_path = dir.wal_path(generation);
+        let scan = icdb_store::wal::scan_wal(&wal_path).map_err(|e| store_err("scan wal", e))?;
+        // Replay the *decodable* prefix. A record that passes its CRC but
+        // no longer decodes (format skew) ends the usable log exactly like
+        // a torn tail: it is truncated away below, so new commits append
+        // where it sat instead of being stranded beyond a record every
+        // future replay would stop at.
+        let mut recovered_events = 0u64;
+        let mut replayed_len = 0u64;
+        for payload in &scan.records {
+            match serde::from_bytes::<MutationEvent>(payload) {
+                Ok(event) => {
+                    // Apply errors are deterministic re-runs of live
+                    // failures; ignore them exactly as the live caller
+                    // saw them.
+                    let _ = icdb.apply(&event);
+                    recovered_events += 1;
+                    replayed_len += 8 + payload.len() as u64;
+                }
+                Err(_) => break,
+            }
+        }
+        let wal =
+            icdb_store::wal::WalWriter::open_at(&wal_path, replayed_len, recovered_events, sync)
+                .map_err(|e| store_err("open wal", e))?;
+        icdb.journal = Some(Journal {
+            dir,
+            generation,
+            wal,
+            snapshot_bytes,
+            recovered_events,
+            sync,
+        });
+        Ok(icdb)
+    }
+
+    /// Whether this server journals its mutations to a data directory.
+    pub fn is_persistent(&self) -> bool {
+        self.journal.is_some()
+    }
+
+    /// The journal's vitals, when one is attached.
+    pub fn persist_stats(&self) -> Option<PersistStats> {
+        self.journal.as_ref().map(Journal::stats)
+    }
+
+    /// Writes a full snapshot of the current state as a new generation
+    /// (atomic temp-file + rename), starts a fresh empty WAL, and prunes
+    /// the previous generation. Recovery afterwards loads the snapshot
+    /// and replays only events committed after this call.
+    ///
+    /// # Errors
+    /// [`IcdbError::Unsupported`] when the server has no data directory;
+    /// I/O failures surface as [`IcdbError::Store`] (the previous
+    /// generation is kept intact, so a failed checkpoint loses nothing).
+    pub fn checkpoint(&mut self) -> Result<PersistStats, IcdbError> {
+        if self.journal.is_none() {
+            return Err(IcdbError::Unsupported(
+                "server has no data directory (open it with Icdb::open)".into(),
+            ));
+        }
+        let payload = serde::to_bytes(&Snapshot::capture(self));
+        let journal = self.journal.as_mut().expect("checked above");
+        // In no-sync mode the tail may still sit in OS buffers; flush it
+        // so the about-to-be-pruned WAL never outlives its own events.
+        journal
+            .wal
+            .sync()
+            .map_err(|e| store_err("sync wal before checkpoint", e))?;
+        let next = journal.generation + 1;
+        let snapshot_bytes = journal
+            .dir
+            .write_snapshot(next, &payload)
+            .map_err(|e| store_err("write snapshot", e))?;
+        let (wal, _) = journal
+            .dir
+            .open_wal(next, journal.sync)
+            .map_err(|e| store_err("open new wal", e))?;
+        journal.generation = next;
+        journal.wal = wal;
+        journal.snapshot_bytes = snapshot_bytes;
+        journal.dir.prune_generations_before(next);
+        Ok(journal.stats())
+    }
+
+    /// Flushes the journal to stable storage without checkpointing (only
+    /// meaningful when opened with `sync = false`).
+    ///
+    /// # Errors
+    /// [`IcdbError::Store`] on I/O failure; no-op without a journal.
+    pub fn sync_journal(&mut self) -> Result<(), IcdbError> {
+        if let Some(journal) = self.journal.as_mut() {
+            journal
+                .wal
+                .sync()
+                .map_err(|e| store_err("sync journal", e))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::ComponentRequest;
+
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "icdb-persist-test-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn fresh_open_journals_and_recovers() {
+        let dir = temp_dir("fresh");
+        let name;
+        {
+            let mut icdb = Icdb::open_with_sync(&dir, false).unwrap();
+            assert!(icdb.is_persistent());
+            assert_eq!(icdb.persist_stats().unwrap().generation, 0);
+            name = icdb
+                .request_component(
+                    &ComponentRequest::by_component("counter").attribute("size", "3"),
+                )
+                .unwrap();
+            let stats = icdb.persist_stats().unwrap();
+            assert_eq!(stats.wal_events, 1);
+            assert!(stats.wal_bytes > 0);
+            icdb.sync_journal().unwrap();
+        } // dropped without checkpoint: recovery must come from the WAL
+        let recovered = Icdb::open_with_sync(&dir, false).unwrap();
+        assert_eq!(recovered.persist_stats().unwrap().recovered_events, 1);
+        assert!(recovered.instance(&name).is_ok());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn checkpoint_rolls_the_generation_and_empties_the_wal() {
+        let dir = temp_dir("checkpoint");
+        let mut icdb = Icdb::open_with_sync(&dir, false).unwrap();
+        icdb.request_component(&ComponentRequest::by_implementation("ADDER"))
+            .unwrap();
+        let stats = icdb.checkpoint().unwrap();
+        assert_eq!(stats.generation, 1);
+        assert_eq!(stats.wal_events, 0);
+        assert!(stats.snapshot_bytes > 0);
+        // More work after the checkpoint lands in the new WAL.
+        icdb.request_component(&ComponentRequest::by_implementation("REGISTER"))
+            .unwrap();
+        assert_eq!(icdb.persist_stats().unwrap().wal_events, 1);
+        drop(icdb);
+        let recovered = Icdb::open_with_sync(&dir, false).unwrap();
+        let stats = recovered.persist_stats().unwrap();
+        assert_eq!(stats.generation, 1);
+        assert_eq!(stats.recovered_events, 1);
+        assert_eq!(recovered.instance_names().len(), 2);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// A checksum-valid but undecodable record ends the usable log like a
+    /// torn tail: it is truncated, and commits made after recovery are
+    /// appended in its place — never stranded beyond it.
+    #[test]
+    fn undecodable_record_is_truncated_not_skipped() {
+        let dir = temp_dir("skew");
+        {
+            let mut icdb = Icdb::open_with_sync(&dir, false).unwrap();
+            icdb.request_component(&ComponentRequest::by_implementation("ADDER"))
+                .unwrap();
+            icdb.sync_journal().unwrap();
+        }
+        // Append a garbage record by hand: framing + CRC valid, payload
+        // not a MutationEvent.
+        let wal_path = dir.join("wal-0.log");
+        {
+            let (mut w, _) = icdb_store::wal::WalWriter::open(&wal_path, false).unwrap();
+            w.append(&[0xFF, 0xEE, 0xDD]).unwrap();
+        }
+        let mut recovered = Icdb::open_with_sync(&dir, false).unwrap();
+        assert_eq!(recovered.persist_stats().unwrap().recovered_events, 1);
+        // The garbage record is gone from the log…
+        let scan = icdb_store::wal::scan_wal(&wal_path).unwrap();
+        assert_eq!(scan.records.len(), 1);
+        // …so a post-recovery commit lands where it sat and is recovered
+        // by the next boot (an fsync-acknowledged commit must never be
+        // invisible to replay).
+        let name = recovered
+            .request_component(&ComponentRequest::by_implementation("REGISTER"))
+            .unwrap();
+        recovered.sync_journal().unwrap();
+        drop(recovered);
+        let reopened = Icdb::open_with_sync(&dir, false).unwrap();
+        assert_eq!(reopened.persist_stats().unwrap().recovered_events, 2);
+        assert!(reopened.instance(&name).is_ok());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// When the newest snapshot is corrupt and recovery falls back, the
+    /// stale newer generation's files are pruned — a later checkpoint
+    /// reaching that generation number must start from an empty WAL, not
+    /// append after pre-corruption records.
+    #[test]
+    fn fallback_recovery_prunes_stale_newer_generations() {
+        let dir = temp_dir("fallback");
+        let name;
+        {
+            let mut icdb = Icdb::open_with_sync(&dir, false).unwrap();
+            name = icdb
+                .request_component(&ComponentRequest::by_implementation("ADDER"))
+                .unwrap();
+            icdb.checkpoint().unwrap(); // generation 1
+            icdb.request_component(&ComponentRequest::by_implementation("REGISTER"))
+                .unwrap();
+            icdb.sync_journal().unwrap(); // wal-1 holds one event
+        }
+        // Corrupt snapshot-1: recovery must fall back to generation 0
+        // (fresh state) and remove the stale wal-1.
+        let snap = dir.join("snapshot-1.img");
+        let mut bytes = std::fs::read(&snap).unwrap();
+        let n = bytes.len();
+        bytes[n - 1] ^= 0xFF;
+        std::fs::write(&snap, &bytes).unwrap();
+        let mut recovered = Icdb::open_with_sync(&dir, false).unwrap();
+        let stats = recovered.persist_stats().unwrap();
+        assert_eq!(stats.generation, 0);
+        assert!(
+            !dir.join("wal-1.log").exists(),
+            "stale wal-1 must be pruned"
+        );
+        assert!(
+            recovered.instance(&name).is_err(),
+            "fresh state after fallback"
+        );
+        // Checkpointing back up to generation 1 starts clean; the next
+        // boot replays nothing stale.
+        recovered
+            .request_component(&ComponentRequest::by_implementation("MUX").attribute("size", "2"))
+            .unwrap();
+        let stats = recovered.checkpoint().unwrap();
+        assert_eq!((stats.generation, stats.wal_events), (1, 0));
+        drop(recovered);
+        let reopened = Icdb::open_with_sync(&dir, false).unwrap();
+        assert_eq!(reopened.persist_stats().unwrap().recovered_events, 0);
+        assert_eq!(reopened.instance_names().len(), 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn snapshot_restores_acquired_knowledge_and_designs() {
+        let dir = temp_dir("acquired");
+        let mut icdb = Icdb::open_with_sync(&dir, false).unwrap();
+        icdb.insert_implementation(
+            "NAME: PASS; INORDER: A; OUTORDER: O; { O = A; }",
+            "Logic_unit",
+            &["PASS"],
+            &[],
+            None,
+            "snapshot survivor",
+        )
+        .unwrap();
+        icdb.start_design("cpu").unwrap();
+        icdb.start_transaction("cpu").unwrap();
+        let keep = icdb
+            .request_component(&ComponentRequest::by_implementation("PASS"))
+            .unwrap();
+        icdb.put_in_component_list("cpu", &keep).unwrap();
+        icdb.checkpoint().unwrap();
+        drop(icdb);
+        let mut recovered = Icdb::open_with_sync(&dir, false).unwrap();
+        // The acquired implementation is generatable again…
+        assert!(recovered.library.implementation("PASS").is_some());
+        // …its catalog row survived…
+        let rows = recovered
+            .db
+            .query("SELECT description FROM components WHERE name = 'PASS'")
+            .unwrap();
+        assert_eq!(rows[0][0].as_text(), Some("snapshot survivor"));
+        // …and the open transaction still protects the kept instance.
+        let removed = recovered.end_transaction("cpu").unwrap();
+        assert_eq!(removed, 0);
+        assert!(recovered.instance(&keep).is_ok());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -19,9 +19,10 @@
 
 use crate::cache::{FlatKey, GenerationPayload, NetKey, RequestKey, SourceKey};
 use crate::error::IcdbError;
+use crate::events::MutationEvent;
 use crate::instance::ComponentInstance;
 use crate::space::{Namespace, NsId};
-use crate::spec::{ComponentRequest, Source, TargetLevel};
+use crate::spec::{ComponentRequest, Source};
 use crate::Icdb;
 use icdb_estimate::{estimate_shape, LoadSpec};
 use icdb_layout::{place, to_ascii, to_cif, PortSpec};
@@ -70,6 +71,11 @@ impl Icdb {
 
     /// [`Icdb::request_component`] against an explicit session namespace.
     ///
+    /// The whole generate-and-install is one journaled
+    /// [`MutationEvent::InstallComponent`]; recovery replays the same
+    /// deterministic pipeline, so a restarted server reproduces the
+    /// instance byte-for-byte.
+    ///
     /// # Errors
     /// As [`Icdb::request_component`]; also fails on unknown namespaces.
     pub fn request_component_in(
@@ -77,17 +83,7 @@ impl Icdb {
         ns: NsId,
         request: &ComponentRequest,
     ) -> Result<String, IcdbError> {
-        let payload = self.prepare_payload(ns, request)?;
-        let name = self.install_payload_in(ns, request, &payload)?;
-        if request.target == TargetLevel::Layout {
-            self.generate_layout_in(
-                ns,
-                &name,
-                request.alternative,
-                request.port_positions.as_deref(),
-            )?;
-        }
-        Ok(name)
+        self.commit_install(ns, request, None)
     }
 
     /// Generates many components in one call, fanning the *cold* pipeline
@@ -99,9 +95,10 @@ impl Icdb {
     /// sequentially instead of spawning a zero-worker scope that could
     /// never fill the result slots.
     ///
-    /// VHDL-cluster requests are prepared against the pre-batch instance
-    /// set (they may not reference instances created earlier in the same
-    /// batch — issue those through [`Icdb::request_component`] instead).
+    /// VHDL-cluster requests skip the parallel prepare (they flatten live
+    /// instances, so they are prepared at install time in request order —
+    /// a cluster may therefore reference instances created earlier in the
+    /// same batch, exactly as if the requests were issued sequentially).
     ///
     /// # Errors
     /// The first failing request aborts the remaining installs; instances
@@ -139,17 +136,25 @@ impl Icdb {
         requests: &[ComponentRequest],
         workers: usize,
     ) -> Vec<PreparedPayload> {
+        // Cluster requests are never prepared here: they flatten *live*
+        // instances, so the install path re-prepares them at their
+        // position in the journal order (see `Icdb::apply_install`).
+        let prepare_one = |request: &ComponentRequest| -> PreparedPayload {
+            if matches!(request.source, Source::VhdlNetlist(_)) {
+                Err(IcdbError::Unsupported(
+                    "VHDL clusters are prepared at install time".into(),
+                ))
+            } else {
+                self.prepare_payload(ns, request)
+            }
+        };
         let workers = workers.clamp(1, requests.len().max(1));
         if workers <= 1 {
-            return requests
-                .iter()
-                .map(|request| self.prepare_payload(ns, request))
-                .collect();
+            return requests.iter().map(prepare_one).collect();
         }
         let slots: Vec<Mutex<Option<PreparedPayload>>> =
             requests.iter().map(|_| Mutex::new(None)).collect();
         let next = AtomicUsize::new(0);
-        let this: &Icdb = self;
         std::thread::scope(|scope| {
             for _ in 0..workers {
                 scope.spawn(|| loop {
@@ -157,7 +162,7 @@ impl Icdb {
                     let Some(request) = requests.get(i) else {
                         break;
                     };
-                    let result = this.prepare_payload(ns, request);
+                    let result = prepare_one(request);
                     *crate::cache::lock(&slots[i]) = Some(result);
                 });
             }
@@ -172,8 +177,13 @@ impl Icdb {
             .collect()
     }
 
-    /// The mutating half of a batch: installs prepared payloads in request
-    /// order (deterministic names), generating layouts where requested.
+    /// The mutating half of a batch: journals and installs one
+    /// [`MutationEvent::InstallComponent`] per request in request order
+    /// (deterministic names), generating layouts where requested. The
+    /// prepared payloads serve as cache-warm hints; clusters re-prepare at
+    /// their journal position (so, unlike earlier revisions, a cluster in
+    /// a batch *may* reference instances created earlier in the same
+    /// batch — identical to issuing the requests sequentially).
     pub(crate) fn install_batch_in(
         &mut self,
         ns: NsId,
@@ -182,16 +192,12 @@ impl Icdb {
     ) -> Result<Vec<String>, IcdbError> {
         let mut names = Vec::with_capacity(requests.len());
         for (request, slot) in requests.iter().zip(prepared) {
-            let payload = slot?;
-            let name = self.install_payload_in(ns, request, &payload)?;
-            if request.target == TargetLevel::Layout {
-                self.generate_layout_in(
-                    ns,
-                    &name,
-                    request.alternative,
-                    request.port_positions.as_deref(),
-                )?;
-            }
+            let name = if matches!(request.source, Source::VhdlNetlist(_)) {
+                self.commit_install(ns, request, None)?
+            } else {
+                let payload = slot?;
+                self.commit_install(ns, request, Some(&payload))?
+            };
             names.push(name);
         }
         Ok(names)
@@ -415,6 +421,8 @@ impl Icdb {
             vhdl_head,
             delay_text,
             shape_text,
+            lib_version: self.library.version(),
+            cells_version: self.cells.version(),
         })
     }
 
@@ -594,11 +602,31 @@ impl Icdb {
         self.generate_layout_in(NsId::ROOT, instance, alternative, port_positions)
     }
 
-    /// [`Icdb::generate_layout`] against an explicit namespace.
+    /// [`Icdb::generate_layout`] against an explicit namespace. Journaled
+    /// as a [`MutationEvent::GenerateLayout`].
     ///
     /// # Errors
     /// As [`Icdb::generate_layout`].
     pub fn generate_layout_in(
+        &mut self,
+        ns: NsId,
+        instance: &str,
+        alternative: Option<usize>,
+        port_positions: Option<&str>,
+    ) -> Result<Arc<str>, IcdbError> {
+        self.commit(&MutationEvent::GenerateLayout {
+            ns,
+            instance: instance.to_string(),
+            alternative,
+            port_positions: port_positions.map(str::to_string),
+        })?
+        .into_cif()
+        .ok_or_else(|| IcdbError::Layout("GenerateLayout applied without a CIF".into()))
+    }
+
+    /// The apply-side of [`Icdb::generate_layout_in`] (shared by live
+    /// commits, layout-targeted installs and recovery replay).
+    pub(crate) fn apply_generate_layout(
         &mut self,
         ns: NsId,
         instance: &str,
@@ -677,11 +705,29 @@ impl Icdb {
         self.resize_for_load_in(NsId::ROOT, instance, loads, clock_width)
     }
 
-    /// [`Icdb::resize_for_load`] against an explicit namespace.
+    /// [`Icdb::resize_for_load`] against an explicit namespace. Journaled
+    /// as a [`MutationEvent::ResizeForLoad`].
     ///
     /// # Errors
     /// Fails on unknown instances or namespaces.
     pub fn resize_for_load_in(
+        &mut self,
+        ns: NsId,
+        instance: &str,
+        loads: &LoadSpec,
+        clock_width: f64,
+    ) -> Result<(), IcdbError> {
+        self.commit(&MutationEvent::ResizeForLoad {
+            ns,
+            instance: instance.to_string(),
+            loads: loads.clone(),
+            clock_width,
+        })
+        .map(|_| ())
+    }
+
+    /// The apply-side of [`Icdb::resize_for_load_in`].
+    pub(crate) fn apply_resize_for_load(
         &mut self,
         ns: NsId,
         instance: &str,

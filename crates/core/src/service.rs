@@ -44,12 +44,16 @@
 //! ```
 
 use crate::error::IcdbError;
+use crate::persist::PersistStats;
 use crate::space::NsId;
-use crate::spec::{ComponentRequest, TargetLevel};
+use crate::spec::{ComponentRequest, Source};
 use crate::{CacheStats, Icdb};
 use icdb_cql::CqlArg;
 use icdb_estimate::LoadSpec;
-use std::sync::{Arc, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::collections::HashMap;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 /// A thread-safe, multi-session handle over one shared [`Icdb`].
 ///
@@ -58,6 +62,14 @@ use std::sync::{Arc, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
 #[derive(Debug)]
 pub struct IcdbService {
     inner: RwLock<Icdb>,
+    /// Which session token currently *owns* each session namespace —
+    /// i.e. whose close/drop is allowed to delete it. `Session::attach`
+    /// transfers ownership here, so a stale session (a half-open
+    /// connection whose client already re-attached elsewhere) cannot
+    /// destroy the namespace out from under the new owner when it
+    /// finally drops. Locked only while holding the inner write guard.
+    owners: Mutex<HashMap<u64, u64>>,
+    next_token: AtomicU64,
 }
 
 impl Default for IcdbService {
@@ -78,12 +90,52 @@ impl IcdbService {
     pub fn with_icdb(icdb: Icdb) -> IcdbService {
         IcdbService {
             inner: RwLock::new(icdb),
+            owners: Mutex::new(HashMap::new()),
+            next_token: AtomicU64::new(1),
         }
     }
 
     /// Convenience for `Arc::new(IcdbService::new())`.
     pub fn shared() -> Arc<IcdbService> {
         Arc::new(IcdbService::new())
+    }
+
+    /// A durable service over [`Icdb::open`]: recovers state from the data
+    /// directory, then journals every mutation (fsynced inside the
+    /// exclusive lock, before the guard drops).
+    ///
+    /// # Errors
+    /// See [`Icdb::open`].
+    pub fn open(data_dir: impl AsRef<Path>) -> Result<IcdbService, IcdbError> {
+        Ok(IcdbService::with_icdb(Icdb::open(data_dir)?))
+    }
+
+    /// [`IcdbService::open`] with an explicit fsync policy (see
+    /// [`Icdb::open_with_sync`]).
+    ///
+    /// # Errors
+    /// See [`Icdb::open`].
+    pub fn open_with_sync(
+        data_dir: impl AsRef<Path>,
+        sync: bool,
+    ) -> Result<IcdbService, IcdbError> {
+        Ok(IcdbService::with_icdb(Icdb::open_with_sync(
+            data_dir, sync,
+        )?))
+    }
+
+    /// Snapshot + WAL rotation under the exclusive lock (see
+    /// [`Icdb::checkpoint`]).
+    ///
+    /// # Errors
+    /// See [`Icdb::checkpoint`].
+    pub fn checkpoint(&self) -> Result<PersistStats, IcdbError> {
+        self.write().checkpoint()
+    }
+
+    /// The journal's vitals, when the service is durable.
+    pub fn persist_stats(&self) -> Option<PersistStats> {
+        self.read().persist_stats()
     }
 
     /// Shared (read) access to the underlying server. Many readers may
@@ -102,12 +154,22 @@ impl IcdbService {
 
     /// Opens a new session with a fresh, isolated design namespace.
     pub fn open_session(self: &Arc<Self>) -> Session {
-        let ns = self.write().create_namespace();
+        let token = self.next_token.fetch_add(1, Ordering::Relaxed);
+        let mut guard = self.write();
+        let ns = guard.create_namespace();
+        self.lock_owners().insert(ns.raw(), token);
+        drop(guard);
         Session {
             service: Arc::clone(self),
             ns,
+            token,
             closed: false,
         }
+    }
+
+    /// The ownership table (poisoning recovered like the inner lock).
+    fn lock_owners(&self) -> std::sync::MutexGuard<'_, HashMap<u64, u64>> {
+        self.owners.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
     /// Number of open sessions (excluding the root namespace).
@@ -158,13 +220,15 @@ impl IcdbService {
 pub struct Session {
     service: Arc<IcdbService>,
     ns: NsId,
+    /// This session's ownership token (see `IcdbService::owners`).
+    token: u64,
     closed: bool,
 }
 
 impl Drop for Session {
     fn drop(&mut self) {
         if !self.closed {
-            self.service.write().drop_namespace(self.ns);
+            self.release();
         }
     }
 }
@@ -180,35 +244,91 @@ impl Session {
         &self.service
     }
 
-    /// Closes the session explicitly, deleting its namespace; returns how
-    /// many instances were deleted.
+    /// Closes the session explicitly, deleting its namespace (if this
+    /// session still owns it); returns how many instances were deleted.
     pub fn close(mut self) -> usize {
         self.closed = true;
-        self.service.write().drop_namespace(self.ns)
+        self.release()
+    }
+
+    /// Drops the bound namespace — but only when this session still owns
+    /// it. If another session `attach`ed the namespace in the meantime
+    /// (ownership transferred), this is a no-op: a stale half-open
+    /// connection must not destroy state its client is actively using
+    /// through a newer connection.
+    fn release(&mut self) -> usize {
+        let mut guard = self.service.write();
+        let mut owners = self.service.lock_owners();
+        if owners.get(&self.ns.raw()) != Some(&self.token) {
+            return 0;
+        }
+        owners.remove(&self.ns.raw());
+        drop(owners);
+        guard.drop_namespace(self.ns)
+    }
+
+    /// Re-binds this session to an existing namespace, dropping the one it
+    /// currently owns. This is the crash-recovery reattach path: a client
+    /// whose connection died mid-session reconnects (getting a fresh
+    /// namespace), then attaches to its recovered pre-crash namespace —
+    /// ids survive restarts because namespace creation is journaled.
+    ///
+    /// Ownership transfers: the attached namespace is dropped when *this*
+    /// session closes, and any session previously bound to it loses its
+    /// claim (its close/drop becomes a no-op). Attaching to
+    /// [`NsId::ROOT`] is allowed and gives the session a view of the root
+    /// namespace (which close then leaves intact — the root is
+    /// undroppable).
+    ///
+    /// # Errors
+    /// `NotFound` when the namespace does not exist (the session keeps its
+    /// current namespace).
+    pub fn attach(&mut self, ns: NsId) -> Result<(), IcdbError> {
+        if ns == self.ns {
+            return Ok(());
+        }
+        let mut guard = self.service.write();
+        guard.spaces.get(ns)?;
+        let old = self.ns;
+        self.ns = ns;
+        // Steal ownership of the target; release the old namespace only
+        // if it was still ours.
+        let mut owners = self.service.lock_owners();
+        owners.insert(ns.raw(), self.token);
+        let owned_old = owners.get(&old.raw()) == Some(&self.token);
+        if owned_old {
+            owners.remove(&old.raw());
+        }
+        drop(owners);
+        if owned_old {
+            guard.drop_namespace(old);
+        }
+        Ok(())
     }
 
     /// Generates a component instance in this session's namespace.
     ///
     /// The expensive read-only prepare phase (cache lookup, or the full
-    /// cold pipeline on a miss) runs under the *shared* lock; only the
-    /// short install (naming + registration + view persistence) takes the
-    /// exclusive lock.
+    /// cold pipeline on a miss) runs under the *shared* lock; the
+    /// journaled install event then takes the exclusive lock with the
+    /// prepared payload as a hint, which the event path accepts only when
+    /// it is provably equivalent to regenerating (same knowledge-base and
+    /// cell-library versions — see
+    /// [`GenerationPayload::fresh_for`](crate::GenerationPayload::fresh_for)).
+    /// VHDL clusters
+    /// skip the pre-warm: they flatten live instances, so they prepare
+    /// under the exclusive lock at their journal position.
     ///
     /// # Errors
     /// See [`Icdb::request_component`].
     pub fn request_component(&self, request: &ComponentRequest) -> Result<String, IcdbError> {
-        let payload = self.service.read().prepare_payload(self.ns, request)?;
-        let mut guard = self.service.write();
-        let name = guard.install_payload_in(self.ns, request, &payload)?;
-        if request.target == TargetLevel::Layout {
-            guard.generate_layout_in(
-                self.ns,
-                &name,
-                request.alternative,
-                request.port_positions.as_deref(),
-            )?;
-        }
-        Ok(name)
+        let hint = match request.source {
+            Source::VhdlNetlist(_) => None,
+            _ => Some(self.service.read().prepare_payload(self.ns, request)?),
+        };
+        self.service
+            .write()
+            .commit_install(self.ns, request, hint.as_ref())
     }
 
     /// Batch generation in this session's namespace: prepares (cold work
@@ -505,6 +625,28 @@ mod tests {
             panic!("no delay");
         };
         assert!(delay.contains("CW "));
+    }
+
+    #[test]
+    fn attach_transfers_ownership_away_from_the_stale_session() {
+        let service = IcdbService::shared();
+        let stale = service.open_session();
+        let req = ComponentRequest::by_implementation("ADDER").attribute("size", "4");
+        let name = stale.request_component(&req).unwrap();
+        let target = stale.ns();
+        // The reconnect flow: a fresh session attaches to the old one's
+        // namespace (the old connection is half-open, not yet dropped).
+        let mut fresh = service.open_session();
+        fresh.attach(target).unwrap();
+        assert!(fresh.has_instance(&name));
+        // The stale session finally drops — it must NOT destroy the
+        // namespace the new owner is using.
+        drop(stale);
+        assert!(fresh.has_instance(&name));
+        assert!(service.read().instance_names_in(target).is_ok());
+        // The new owner's close does delete it.
+        assert_eq!(fresh.close(), 1);
+        assert!(service.read().instance_names_in(target).is_err());
     }
 
     #[test]

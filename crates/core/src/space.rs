@@ -15,13 +15,14 @@
 use crate::designs::DesignManager;
 use crate::error::IcdbError;
 use crate::instance::ComponentInstance;
+use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
 
 /// Identifier of a design namespace (session). `NsId::ROOT` is the
 /// namespace the classic single-caller API operates on.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct NsId(pub(crate) u64);
 
 impl NsId {
@@ -31,6 +32,13 @@ impl NsId {
     /// The raw numeric id (stable for the lifetime of the namespace).
     pub fn raw(self) -> u64 {
         self.0
+    }
+
+    /// Builds an id from its raw value (e.g. parsed off the wire for a
+    /// session re-attach after a reconnect). Only useful when such a
+    /// namespace is live — lookups with a dead id report `NotFound`.
+    pub fn from_raw(raw: u64) -> NsId {
+        NsId(raw)
     }
 }
 
@@ -132,6 +140,33 @@ impl Spaces {
     /// Number of live namespaces (root included).
     pub(crate) fn len(&self) -> usize {
         self.map.len()
+    }
+
+    /// All namespaces in ascending-id order (snapshot capture).
+    pub(crate) fn iter_ordered(&self) -> Vec<(NsId, &Namespace)> {
+        let mut v: Vec<(NsId, &Namespace)> =
+            self.map.iter().map(|(&k, ns)| (NsId(k), ns)).collect();
+        v.sort_by_key(|(id, _)| *id);
+        v
+    }
+
+    /// The next namespace id this table would hand out (snapshot capture:
+    /// ids must never be reused across a restart, or a recovered session
+    /// could alias a new one).
+    pub(crate) fn next_id(&self) -> u64 {
+        self.next
+    }
+
+    /// Rebuilds the table from snapshot parts, guaranteeing the root
+    /// namespace exists and `next` stays ahead of every live id.
+    pub(crate) fn from_parts(map: HashMap<u64, Namespace>, next: u64) -> Spaces {
+        let mut map = map;
+        map.entry(NsId::ROOT.0).or_default();
+        let floor = map.keys().max().map(|m| m + 1).unwrap_or(1);
+        Spaces {
+            map,
+            next: next.max(floor),
+        }
     }
 }
 

@@ -4,9 +4,10 @@
 use crate::error::IcdbError;
 use icdb_estimate::LoadSpec;
 use icdb_sizing::{SizingGoal, Strategy};
+use serde::{Deserialize, Serialize};
 
 /// How far to take the generation (`target:` in the request).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub enum TargetLevel {
     /// Generate the logic-level netlist with estimates (the default;
     /// layouts take long, estimates drive exploration — paper §1).
@@ -19,7 +20,7 @@ pub enum TargetLevel {
 /// Timing/load constraints of a request, mirroring §3.2.2:
 /// `clock_width:30`, `comb_delay`, `set_up_time:30`, and the
 /// `rdelay Q[0] 10` / `oload Q[0] 10` constraint text.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct Constraints {
     /// Minimum clock width bound (ns).
     pub clock_width: Option<f64>,
@@ -101,7 +102,7 @@ impl Constraints {
 
 /// What to generate a component *from* (Appendix B §6.1 lists the three
 /// specification types).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum Source {
     /// From a component name / implementation name plus attributes
     /// (searched in the generic component library).
@@ -121,7 +122,11 @@ pub enum Source {
 }
 
 /// A full component request.
-#[derive(Debug, Clone)]
+///
+/// Serializable: a request is the payload of the
+/// [`crate::MutationEvent::InstallComponent`] journal record, so recovery
+/// can re-run the same deterministic generation pipeline.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ComponentRequest {
     /// What to build from.
     pub source: Source,

@@ -8,10 +8,11 @@
 //! generators; the knowledge server can register more.
 
 use crate::error::IcdbError;
+use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// One tool step of a generator: `(step number, tool name)`.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ToolStep {
     /// Execution order (step 1 first).
     pub step: u32,
@@ -20,7 +21,7 @@ pub struct ToolStep {
 }
 
 /// A registered component generator.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct GeneratorInfo {
     /// Generator name.
     pub name: String,
@@ -37,7 +38,7 @@ pub struct GeneratorInfo {
 }
 
 /// Registry of component generators and the tools they chain.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct ToolManager {
     generators: BTreeMap<String, GeneratorInfo>,
 }

@@ -11,10 +11,11 @@
 use crate::delay::EstimateError;
 use icdb_cells::{Library, TECH};
 use icdb_logic::GateNetlist;
+use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// One aspect-ratio alternative of a component's shape function.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct ShapeAlternative {
     /// Number of layout strips.
     pub strips: usize,
@@ -38,7 +39,7 @@ impl ShapeAlternative {
 
 /// A component's shape function: the set of realizable aspect ratios
 /// (paper Figs. 6 and 12).
-#[derive(Debug, Clone, PartialEq, Default)]
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
 pub struct ShapeFunction {
     /// Alternatives ordered by strip count (increasing height).
     pub alternatives: Vec<ShapeAlternative>,

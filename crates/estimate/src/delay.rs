@@ -13,12 +13,13 @@
 
 use icdb_cells::Library;
 use icdb_logic::{GNet, GateNetlist};
+use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fmt;
 
 /// External loading of the component's output ports, in unit transistors
 /// (the paper's `oload Q[0] 10` constraint format).
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct LoadSpec {
     /// Load applied to outputs not listed in `per_output`.
     pub default_output_load: f64,
@@ -45,7 +46,7 @@ impl LoadSpec {
 }
 
 /// The component-level timing report (the `delay_s` string of §3.3).
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct DelayReport {
     /// Minimum clock width in ns (`CW`), 0 for purely combinational
     /// components.

@@ -30,6 +30,7 @@
 
 #![deny(rustdoc::broken_intra_doc_links)]
 
+use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
 use std::str::FromStr;
@@ -488,7 +489,7 @@ impl Attribute {
 }
 
 /// How to drive one control pin to invoke a function.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct PinSetting {
     /// Port name on the component.
     pub port: String,
@@ -500,7 +501,7 @@ pub struct PinSetting {
 
 /// Connection information for one function of a component (paper §4.1):
 /// operand mapping plus control settings.
-#[derive(Debug, Clone, PartialEq, Default)]
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
 pub struct FunctionConnection {
     /// `(function operand, component port)` pairs (`OO is OO high`).
     pub operand_map: Vec<(String, String)>,
@@ -510,7 +511,7 @@ pub struct FunctionConnection {
 
 /// The full connection table of a component: function name → how to hook
 /// it up.
-#[derive(Debug, Clone, PartialEq, Default)]
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
 pub struct ConnectionTable {
     /// Per-function connection data, ordered by function name.
     pub functions: BTreeMap<String, FunctionConnection>,

@@ -5,11 +5,12 @@
 use crate::ports::{PortSpec, Side};
 use icdb_cells::{Library, TECH};
 use icdb_logic::{GNet, GateNetlist};
+use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fmt;
 
 /// A placed cell instance.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct PlacedCell {
     /// Index into `GateNetlist::gates`.
     pub gate: usize,
@@ -24,7 +25,7 @@ pub struct PlacedCell {
 }
 
 /// A placed I/O port on the boundary.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct PlacedPort {
     /// Port name.
     pub name: String,
@@ -37,7 +38,7 @@ pub struct PlacedPort {
 }
 
 /// A generated strip layout.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Layout {
     /// Design name.
     pub name: String,

@@ -13,12 +13,13 @@
 //! Ports on the same side are placed in increasing order of the position
 //! number ("Ports with larger number are placed righter").
 
+use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fmt;
 use std::str::FromStr;
 
 /// A side of the component boundary.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum Side {
     /// Left edge.
     Left,

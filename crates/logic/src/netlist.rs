@@ -2,12 +2,13 @@
 //! of transistor sizing, estimation, simulation, layout and VHDL emission.
 
 use icdb_cells::{CellId, Library};
+use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
 
 /// Stable handle for a net inside a [`GateNetlist`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct GNet(pub(crate) u32);
 
 impl GNet {
@@ -18,7 +19,7 @@ impl GNet {
 }
 
 /// One cell instance.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Gate {
     /// Library cell.
     pub cell: CellId,
@@ -47,6 +48,39 @@ pub struct GateNetlist {
     pub outputs: Vec<GNet>,
     /// Gate instances.
     pub gates: Vec<Gate>,
+}
+
+// Hand-written serde impls: the `by_name` index is derived state (and its
+// keys share allocations with `names`), so only the name table travels on
+// the wire and the index is re-interned on decode — preserving the
+// one-allocation-per-name invariant across a persistence round trip.
+impl Serialize for GateNetlist {
+    fn serialize(&self, out: &mut Vec<u8>) {
+        self.name.serialize(out);
+        self.names.serialize(out);
+        self.inputs.serialize(out);
+        self.outputs.serialize(out);
+        self.gates.serialize(out);
+    }
+}
+
+impl<'de> Deserialize<'de> for GateNetlist {
+    fn deserialize(input: &mut &'de [u8]) -> Result<Self, serde::DecodeError> {
+        let name = String::deserialize(input)?;
+        let names = Vec::<Arc<str>>::deserialize(input)?;
+        let mut by_name = HashMap::with_capacity(names.len());
+        for (i, n) in names.iter().enumerate() {
+            by_name.insert(n.clone(), GNet(i as u32));
+        }
+        Ok(GateNetlist {
+            name,
+            names,
+            by_name,
+            inputs: Vec::deserialize(input)?,
+            outputs: Vec::deserialize(input)?,
+            gates: Vec::deserialize(input)?,
+        })
+    }
 }
 
 /// Netlist validation/consistency error.

@@ -5,29 +5,83 @@
 //! [`icdb::net`]. One thread per connection, bounded by `--max-connections`.
 //!
 //! ```text
-//! icdbd [--addr HOST:PORT] [--max-connections N]
+//! icdbd [--addr HOST:PORT] [--max-connections N] [--data-dir DIR] [--no-fsync]
 //! ```
+//!
+//! With `--data-dir`, the daemon is **crash-recovering**: on boot it loads
+//! the newest valid snapshot and replays the write-ahead log (truncating
+//! any torn final record), and every mutation is journaled — fsynced by
+//! default — before it is applied. `SIGINT`/`SIGTERM` trigger a graceful
+//! shutdown: the accept loop stops, the WAL is flushed and a checkpoint
+//! (full snapshot + fresh WAL generation) is written, so the next boot
+//! starts without replay. A `SIGKILL` (or power loss) instead recovers
+//! from the journal — byte-identically, which `tests/durability_e2e.rs`
+//! pins down.
 //!
 //! Try it with netcat:
 //!
 //! ```text
-//! $ icdbd &
+//! $ icdbd --data-dir /var/lib/icdb &
 //! $ nc 127.0.0.1 7433
 //! OK icdbd ready (session ns1)
 //! command:request_component; component_name:counter; attribute:(size:5); generated_component:?s
 //! OK 1
 //! s counter$1
+//! command:persist; wal_events:?d; wal_bytes:?d
+//! OK 2
+//! d 2
+//! d 310
 //! quit
 //! ```
+//!
+//! After a restart, reconnect and `attach ns1` to resume the recovered
+//! session namespace.
 
 use icdb::net::{Server, DEFAULT_MAX_CONNECTIONS, DEFAULT_PORT};
 use icdb::IcdbService;
 use std::process::ExitCode;
 use std::sync::Arc;
 
+/// Async-signal-safe shutdown flag + handler registration, via the libc
+/// `signal` symbol the Rust runtime already links (no extra dependency).
+#[cfg(unix)]
+mod signals {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    /// Set by the handler; polled by the main loop.
+    pub static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+
+    extern "C" fn on_signal(_signum: i32) {
+        // Only async-signal-safe work here: flip the flag.
+        SHUTDOWN.store(true, Ordering::SeqCst);
+    }
+
+    /// Installs the SIGINT/SIGTERM handlers.
+    pub fn install() {
+        unsafe {
+            signal(SIGINT, on_signal);
+            signal(SIGTERM, on_signal);
+        }
+    }
+
+    /// Whether a shutdown signal has arrived.
+    pub fn requested() -> bool {
+        SHUTDOWN.load(Ordering::SeqCst)
+    }
+}
+
 fn main() -> ExitCode {
     let mut addr = format!("127.0.0.1:{DEFAULT_PORT}");
     let mut max_connections = DEFAULT_MAX_CONNECTIONS;
+    let mut data_dir: Option<String> = None;
+    let mut fsync = true;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -40,15 +94,25 @@ fn main() -> ExitCode {
                 Some(Ok(v)) if v >= 1 => max_connections = v,
                 _ => return usage("--max-connections needs a positive integer"),
             },
+            "--data-dir" | "-d" => match args.next() {
+                Some(v) => data_dir = Some(v),
+                None => return usage("--data-dir needs a directory path"),
+            },
+            "--no-fsync" => fsync = false,
             "--help" | "-h" => {
                 println!(
                     "icdbd — ICDB component-database daemon\n\n\
-                     USAGE: icdbd [--addr HOST:PORT] [--max-connections N]\n\n\
+                     USAGE: icdbd [--addr HOST:PORT] [--max-connections N] [--data-dir DIR] [--no-fsync]\n\n\
                      OPTIONS:\n\
                      \x20 -a, --addr HOST:PORT       listen address (default 127.0.0.1:{DEFAULT_PORT})\n\
-                     \x20 -c, --max-connections N    connection cap (default {DEFAULT_MAX_CONNECTIONS})\n\n\
-                     PROTOCOL: one CQL command per line, `quit` to disconnect;\n\
-                     see the `icdb::net` module docs or the README for details."
+                     \x20 -c, --max-connections N    connection cap (default {DEFAULT_MAX_CONNECTIONS})\n\
+                     \x20 -d, --data-dir DIR         durable mode: journal + snapshots in DIR,\n\
+                     \x20                            recover on boot, checkpoint on SIGINT/SIGTERM\n\
+                     \x20     --no-fsync             skip the per-commit fsync (survives process\n\
+                     \x20                            crashes, not power loss)\n\n\
+                     PROTOCOL: one CQL command per line; `attach ns<N>` re-binds the session\n\
+                     to a (recovered) namespace; `quit` disconnects. See the `icdb::net`\n\
+                     module docs or the README for details."
                 );
                 return ExitCode::SUCCESS;
             }
@@ -56,8 +120,31 @@ fn main() -> ExitCode {
         }
     }
 
-    let service = Arc::new(IcdbService::new());
-    let server = match Server::bind(&addr, service, max_connections) {
+    let service = match &data_dir {
+        Some(dir) => match IcdbService::open_with_sync(dir, fsync) {
+            Ok(service) => {
+                let stats = service.persist_stats().expect("durable service");
+                eprintln!(
+                    "icdbd: recovered generation {} from {} ({} events replayed{})",
+                    stats.generation,
+                    stats.data_dir,
+                    stats.recovered_events,
+                    if fsync { "" } else { ", fsync off" },
+                );
+                Arc::new(service)
+            }
+            Err(e) => {
+                eprintln!("icdbd: cannot open data dir {dir}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => Arc::new(IcdbService::new()),
+    };
+
+    #[cfg(unix)]
+    signals::install();
+
+    let server = match Server::bind(&addr, Arc::clone(&service), max_connections) {
         Ok(server) => server,
         Err(e) => {
             eprintln!("icdbd: cannot bind {addr}: {e}");
@@ -68,14 +155,53 @@ fn main() -> ExitCode {
         Ok(bound) => eprintln!("icdbd: listening on {bound} (max {max_connections} connections)"),
         Err(_) => eprintln!("icdbd: listening on {addr}"),
     }
-    if let Err(e) = server.serve() {
-        eprintln!("icdbd: accept loop failed: {e}");
-        return ExitCode::FAILURE;
+    let handle = match server.spawn() {
+        Ok(handle) => handle,
+        Err(e) => {
+            eprintln!("icdbd: cannot start accept loop: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    // Wait for a shutdown signal (Unix). On other platforms the daemon
+    // serves until killed.
+    #[cfg(unix)]
+    while !signals::requested() {
+        std::thread::sleep(std::time::Duration::from_millis(50));
     }
-    ExitCode::SUCCESS
+    #[cfg(not(unix))]
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(3600));
+    }
+
+    #[cfg(unix)]
+    {
+        eprintln!("icdbd: shutdown signal received, stopping accept loop");
+        handle.shutdown();
+        if data_dir.is_some() {
+            // Flush + checkpoint so the next boot starts from a snapshot
+            // instead of a long WAL replay. Mutations from still-draining
+            // connections stay safe either way: each was journaled before
+            // it was applied.
+            match service.checkpoint() {
+                Ok(stats) => eprintln!(
+                    "icdbd: checkpointed generation {} ({} snapshot bytes)",
+                    stats.generation, stats.snapshot_bytes
+                ),
+                Err(e) => {
+                    eprintln!("icdbd: checkpoint on shutdown failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        ExitCode::SUCCESS
+    }
 }
 
 fn usage(message: &str) -> ExitCode {
-    eprintln!("icdbd: {message}\nUSAGE: icdbd [--addr HOST:PORT] [--max-connections N]");
+    eprintln!(
+        "icdbd: {message}\nUSAGE: icdbd [--addr HOST:PORT] [--max-connections N] \
+         [--data-dir DIR] [--no-fsync]"
+    );
     ExitCode::FAILURE
 }

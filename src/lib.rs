@@ -53,10 +53,10 @@
 #![deny(rustdoc::broken_intra_doc_links)]
 
 pub use icdb_core::{
-    CacheStats, ComponentImpl, ComponentInstance, ComponentRequest, Constraints, DesignManager,
-    DesignPoint, ExplorationReport, ExploreSpec, GenCache, GenericComponentLibrary, Icdb,
-    IcdbError, IcdbService, LayerStats, NsId, Objective, ParamSpec, RequestKey, Session, Source,
-    TargetLevel,
+    Applied, CacheStats, ComponentImpl, ComponentInstance, ComponentRequest, Constraints,
+    DesignManager, DesignPoint, ExplorationReport, ExploreSpec, GenCache, GenericComponentLibrary,
+    Icdb, IcdbError, IcdbService, LayerStats, MutationEvent, NsId, Objective, ParamSpec,
+    PersistStats, RequestKey, Session, Source, TargetLevel,
 };
 
 pub mod net;

@@ -423,8 +423,14 @@ impl Server {
 
 /// Serves one connection: opens a session, answers one command per line
 /// until `quit` or EOF, then drops the session (deleting its namespace).
+///
+/// Besides CQL command lines, the protocol accepts `attach ns<N>` (or
+/// `attach <N>`): re-bind the connection's session to an existing
+/// namespace — the crash-recovery path, since a durable server preserves
+/// namespace ids across restarts (see [`icdb_core::Session::attach`]).
+/// The response is `OK 1` + `s ns<N>` on success.
 fn handle_connection(stream: TcpStream, service: &Arc<IcdbService>) -> io::Result<()> {
-    let session = service.open_session();
+    let mut session = service.open_session();
     let reader = BufReader::new(stream.try_clone()?);
     let mut writer = BufWriter::new(stream);
     writeln!(writer, "OK icdbd ready (session ns{})", session.ns().raw())?;
@@ -438,7 +444,11 @@ fn handle_connection(stream: TcpStream, service: &Arc<IcdbService>) -> io::Resul
         if line == "quit" || line == "exit" {
             break;
         }
-        match answer(&session, line) {
+        let outcome = match line.strip_prefix("attach ") {
+            Some(target) => attach_session(&mut session, target),
+            None => answer(&session, line),
+        };
+        match outcome {
             Ok(out_lines) => {
                 writeln!(writer, "OK {}", out_lines.len())?;
                 for l in out_lines {
@@ -450,6 +460,30 @@ fn handle_connection(stream: TcpStream, service: &Arc<IcdbService>) -> io::Resul
         writer.flush()?;
     }
     Ok(())
+}
+
+/// Handles the `attach` wire command: parses `ns<N>` / `<N>` and re-binds
+/// the session (ownership of the namespace transfers to this connection).
+fn attach_session(
+    session: &mut icdb_core::Session,
+    target: &str,
+) -> Result<Vec<String>, (ErrCode, String)> {
+    let target = target.trim();
+    let raw: u64 = target
+        .strip_prefix("ns")
+        .unwrap_or(target)
+        .parse()
+        .map_err(|_| {
+            (
+                ErrCode::Parse,
+                format!("attach needs a namespace id like `ns3`, got `{target}`"),
+            )
+        })?;
+    let ns = icdb_core::NsId::from_raw(raw);
+    session
+        .attach(ns)
+        .map_err(|e| (ErrCode::Cql, e.to_string()))?;
+    Ok(vec![format!("s ns{raw}")])
 }
 
 /// Decodes one request line, executes it in the session, and encodes the
@@ -502,6 +536,7 @@ fn answer(session: &icdb_core::Session, line: &str) -> Result<Vec<String>, (ErrC
 pub struct IcdbClient {
     reader: BufReader<TcpStream>,
     writer: BufWriter<TcpStream>,
+    session_ns: Option<icdb_core::NsId>,
 }
 
 impl IcdbClient {
@@ -514,6 +549,7 @@ impl IcdbClient {
         let mut client = IcdbClient {
             reader: BufReader::new(stream.try_clone().map_err(net_err)?),
             writer: BufWriter::new(stream),
+            session_ns: None,
         };
         let greeting = client.read_line()?;
         if let Some(rest) = greeting.strip_prefix("ERR ") {
@@ -526,7 +562,20 @@ impl IcdbClient {
                 other => other,
             });
         }
+        // Greeting form: `OK icdbd ready (session ns<N>)` — remember the
+        // namespace so the client can re-attach after a server restart.
+        client.session_ns = greeting
+            .rsplit_once("ns")
+            .and_then(|(_, raw)| raw.trim_end_matches(')').parse().ok())
+            .map(icdb_core::NsId::from_raw);
         Ok(client)
+    }
+
+    /// The server-side namespace of this connection's session, parsed from
+    /// the greeting (and updated by [`IcdbClient::attach`]). This is the id
+    /// to attach to when reconnecting to a durable server after a crash.
+    pub fn session_ns(&self) -> Option<icdb_core::NsId> {
+        self.session_ns
     }
 
     /// Executes one CQL command remotely: `%` inputs are read from `args`,
@@ -579,6 +628,33 @@ impl IcdbClient {
                 decode_output(line, arg).map_err(IcdbError::Cql)?;
             }
         }
+        Ok(())
+    }
+
+    /// Re-binds the server-side session to an existing namespace (`attach`
+    /// wire command). After a server restart, a client that remembered its
+    /// greeting's `ns<N>` can reconnect and attach to continue exactly
+    /// where the crash left it — ownership of the namespace transfers to
+    /// this connection.
+    ///
+    /// # Errors
+    /// [`IcdbError::Cql`] when the namespace does not exist; socket errors
+    /// as usual.
+    pub fn attach(&mut self, ns: icdb_core::NsId) -> Result<(), IcdbError> {
+        writeln!(self.writer, "attach ns{}", ns.raw()).map_err(net_err)?;
+        self.writer.flush().map_err(net_err)?;
+        let head = self.read_line()?;
+        if let Some(rest) = head.strip_prefix("ERR ") {
+            return Err(decode_err(rest));
+        }
+        let count: usize = head
+            .strip_prefix("OK ")
+            .and_then(|n| n.trim().parse().ok())
+            .ok_or_else(|| IcdbError::Cql(format!("malformed icdbd response `{head}`")))?;
+        for _ in 0..count {
+            self.read_line()?;
+        }
+        self.session_ns = Some(ns);
         Ok(())
     }
 

@@ -1,0 +1,359 @@
+//! End-to-end durability: a real `icdbd` process with `--data-dir`,
+//! driven over TCP, SIGKILLed mid-session, restarted on the same
+//! directory — every CQL answer (instance queries, delay strings,
+//! exploration over acquired candidates) must be byte-identical to a
+//! never-killed server serving the same session.
+//!
+//! The reconnect path uses the wire protocol's `attach ns<N>` command:
+//! namespace creation is journaled, so ids survive the crash and the
+//! client resumes its pre-crash namespace.
+
+#![cfg(unix)]
+
+use icdb::cql::CqlArg;
+use icdb::net::IcdbClient;
+use std::net::{TcpListener, TcpStream};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("icdb-durability-e2e-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn free_port() -> u16 {
+    TcpListener::bind("127.0.0.1:0")
+        .expect("bind ephemeral")
+        .local_addr()
+        .expect("addr")
+        .port()
+}
+
+/// A spawned daemon that is SIGKILLed when dropped, so a failing test
+/// never leaks a process (a leaked child would also hold the test
+/// harness's stdout pipe open and hang `cargo test`).
+struct Daemon(Option<Child>);
+
+impl Daemon {
+    /// SIGKILL + reap (the crash being tested).
+    fn kill(&mut self) {
+        if let Some(mut child) = self.0.take() {
+            child.kill().expect("SIGKILL icdbd");
+            child.wait().expect("reap icdbd");
+        }
+    }
+
+    /// SIGTERM, then wait for the graceful (checkpointing) exit.
+    fn terminate_gracefully(&mut self) {
+        let mut child = self.0.take().expect("daemon live");
+        unsafe {
+            assert_eq!(libc_kill(child.id() as i32, 15), 0);
+        }
+        let deadline = Instant::now() + Duration::from_secs(20);
+        loop {
+            if let Some(status) = child.try_wait().expect("try_wait") {
+                assert!(status.success(), "graceful shutdown failed: {status:?}");
+                return;
+            }
+            assert!(Instant::now() < deadline, "icdbd ignored SIGTERM");
+            std::thread::sleep(Duration::from_millis(50));
+        }
+    }
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        if let Some(mut child) = self.0.take() {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+    }
+}
+
+// The `Daemon` guard kills + reaps in every path (clippy cannot see
+// through the wrapper).
+#[allow(clippy::zombie_processes)]
+fn spawn_icdbd(port: u16, data_dir: &Path) -> Daemon {
+    let child = Command::new(env!("CARGO_BIN_EXE_icdbd"))
+        .args([
+            "--addr",
+            &format!("127.0.0.1:{port}"),
+            "--data-dir",
+            data_dir.to_str().expect("utf-8 temp path"),
+        ])
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn icdbd");
+    // Wait for the listener.
+    let deadline = Instant::now() + Duration::from_secs(15);
+    loop {
+        if TcpStream::connect(("127.0.0.1", port)).is_ok() {
+            return Daemon(Some(child));
+        }
+        assert!(Instant::now() < deadline, "icdbd did not come up");
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}
+
+fn connect(port: u16) -> IcdbClient {
+    let deadline = Instant::now() + Duration::from_secs(15);
+    loop {
+        match IcdbClient::connect(("127.0.0.1", port)) {
+            Ok(client) => return client,
+            Err(_) if Instant::now() < deadline => std::thread::sleep(Duration::from_millis(50)),
+            Err(e) => panic!("cannot connect to icdbd: {e}"),
+        }
+    }
+}
+
+/// A string-typed CQL exchange: returns the filled output slots (or the
+/// error text, which must also match between the two servers).
+fn exchange(client: &mut IcdbClient, command: &str, inputs: &[&str], outs: usize) -> Vec<String> {
+    let mut args: Vec<CqlArg> = inputs
+        .iter()
+        .map(|s| CqlArg::InStr((*s).to_string()))
+        .collect();
+    for _ in 0..outs {
+        args.push(CqlArg::OutStr(None));
+    }
+    match client.execute(command, &mut args) {
+        Ok(()) => args
+            .iter()
+            .filter_map(|a| match a {
+                CqlArg::OutStr(v) => Some(v.clone().unwrap_or_default()),
+                _ => None,
+            })
+            .collect(),
+        Err(e) => vec![format!("ERR {e}")],
+    }
+}
+
+/// The mutation workload: acquire knowledge, install components (layout
+/// included), run a published exploration over the acquired candidate.
+fn mutate(client: &mut IcdbClient) -> Vec<String> {
+    let mut log = Vec::new();
+    log.extend(exchange(
+        client,
+        "command:request_component; component_name:counter; attribute:(size:5); \
+         clock_width:30; generated_component:?s",
+        &[],
+        1,
+    ));
+    log.extend(exchange(
+        client,
+        "command:insert_component; IIF:%s; component:Counter; function:(INC,TICK); \
+         description:acquired-over-tcp; inserted:?s",
+        &["NAME: TCP_TICKER; INORDER: A, B; OUTORDER: O; { O = A * B; }"],
+        1,
+    ));
+    log.extend(exchange(
+        client,
+        "command:request_component; implementation:ADDER; attribute:(size:4); \
+         generated_component:?s; CIF_layout:?s",
+        &[],
+        2,
+    ));
+    log.extend(exchange(
+        client,
+        "command:request_component; implementation:TCP_TICKER; generated_component:?s",
+        &[],
+        1,
+    ));
+    log.extend(exchange(
+        client,
+        "command:explore; component:counter; widths:(3,4); strategies:(cheapest); \
+         publish:1; winner:?s; table:?s",
+        &[],
+        2,
+    ));
+    log
+}
+
+/// The query transcript compared byte-for-byte between the recovered and
+/// the never-killed server. Every answer flows over TCP.
+fn query_transcript(client: &mut IcdbClient) -> Vec<String> {
+    let mut t = Vec::new();
+    for instance in ["counter$1", "adder$2", "tcp_ticker$3"] {
+        t.extend(exchange(
+            client,
+            "command:instance_query; generated_component:%s; delay:?s; shape_function:?s; \
+             area:?s; VHDL_head:?s",
+            &[instance],
+            4,
+        ));
+    }
+    // The layout generated before the kill must be readable (warm path).
+    t.extend(exchange(
+        client,
+        "command:instance_query; generated_component:%s; CIF_layout:?s",
+        &["adder$2"],
+        1,
+    ));
+    // The acquired implementation answers catalog queries…
+    let mut args = vec![CqlArg::OutStrList(None)];
+    match client.execute(
+        "command:component_query; implementation:TCP_TICKER; function:?s[]",
+        &mut args,
+    ) {
+        Ok(()) => {
+            if let CqlArg::OutStrList(Some(fns)) = &args[0] {
+                t.push(fns.join(","));
+            }
+        }
+        Err(e) => t.push(format!("ERR {e}")),
+    }
+    // …and exploration over the acquired candidate set (TCP_TICKER is a
+    // Counter-typed implementation, so it joins the sweep).
+    let mut args = vec![
+        CqlArg::OutStr(None),
+        CqlArg::OutStrList(None),
+        CqlArg::OutStr(None),
+    ];
+    match client.execute(
+        "command:explore; component:counter; widths:(3,4); strategies:(cheapest,fastest); \
+         winner:?s; front:?s[]; table:?s",
+        &mut args,
+    ) {
+        Ok(()) => {
+            for arg in &args {
+                match arg {
+                    CqlArg::OutStr(Some(s)) => t.push(s.clone()),
+                    CqlArg::OutStrList(Some(v)) => t.push(v.join("\n")),
+                    _ => t.push(String::new()),
+                }
+            }
+        }
+        Err(e) => t.push(format!("ERR {e}")),
+    }
+    t
+}
+
+#[test]
+fn sigkill_recovery_is_byte_identical_to_a_never_killed_server() {
+    // --- Flow A: the server that dies. -----------------------------------
+    let dir_a = temp_dir("killed");
+    let port_a = free_port();
+    let mut daemon_a = spawn_icdbd(port_a, &dir_a);
+    let mut client_a = connect(port_a);
+    let ns_a = client_a.session_ns().expect("greeting carries the ns");
+    let mutation_log_a = mutate(&mut client_a);
+    // SIGKILL while the connection is still open: the session namespace
+    // was never dropped, so recovery must preserve it.
+    daemon_a.kill();
+    drop(client_a); // the socket is already dead
+
+    // Restart on the same directory; reconnect; re-attach.
+    let port_a2 = free_port();
+    let mut daemon_a2 = spawn_icdbd(port_a2, &dir_a);
+    let mut client_a2 = connect(port_a2);
+    client_a2.attach(ns_a).expect("attach recovered namespace");
+    // The journal really was replayed (mutations + namespace create).
+    let mut args = vec![CqlArg::OutInt(None), CqlArg::OutInt(None)];
+    client_a2
+        .execute(
+            "command:persist; enabled:?d; recovered_events:?d",
+            &mut args,
+        )
+        .expect("persist query");
+    assert_eq!(args[0], CqlArg::OutInt(Some(1)));
+    let CqlArg::OutInt(Some(recovered)) = args[1] else {
+        panic!("no recovered_events");
+    };
+    assert!(
+        recovered >= 6,
+        "expected >= 6 replayed events, got {recovered}"
+    );
+    let transcript_a = query_transcript(&mut client_a2);
+
+    // --- Flow B: the control server that never dies. ---------------------
+    let dir_b = temp_dir("control");
+    let port_b = free_port();
+    let mut daemon_b = spawn_icdbd(port_b, &dir_b);
+    let mut client_b = connect(port_b);
+    let ns_b = client_b.session_ns().expect("greeting carries the ns");
+    let mutation_log_b = mutate(&mut client_b);
+    // Same client topology as flow A: a second connection takes over the
+    // first one's namespace (the first connection simply goes quiet, like
+    // the crashed one did).
+    let mut client_b2 = connect(port_b);
+    client_b2.attach(ns_b).expect("attach live namespace");
+    let transcript_b = query_transcript(&mut client_b2);
+
+    assert_eq!(
+        mutation_log_a, mutation_log_b,
+        "pre-kill mutations diverged"
+    );
+    assert_eq!(
+        transcript_a, transcript_b,
+        "recovered server diverged from the never-killed control"
+    );
+    // Sanity: the transcript carries real §3.3 content, not empty slots.
+    let joined = transcript_a.join("\n");
+    assert!(joined.contains("CW "), "delay strings missing: {joined}");
+    assert!(joined.contains("Alternative=1"), "shape strings missing");
+    assert!(joined.contains("DS 1"), "CIF missing");
+
+    // Tear the survivors down (the Daemon guard reaps them).
+    daemon_a2.kill();
+    daemon_b.kill();
+    drop(client_b);
+    std::fs::remove_dir_all(&dir_a).ok();
+    std::fs::remove_dir_all(&dir_b).ok();
+}
+
+/// A graceful SIGTERM checkpoint leaves a snapshot whose next boot
+/// replays zero events and still serves the same instances.
+#[test]
+fn sigterm_checkpoints_and_boots_without_replay() {
+    let dir = temp_dir("sigterm");
+    let port = free_port();
+    let mut daemon = spawn_icdbd(port, &dir);
+    let mut client = connect(port);
+    let ns = client.session_ns().expect("greeting carries the ns");
+    let log = mutate(&mut client);
+    assert!(log.iter().any(|l| l == "counter$1"), "{log:?}");
+
+    // SIGTERM → graceful checkpoint (ExitCode::SUCCESS).
+    daemon.terminate_gracefully();
+
+    // The directory now holds a snapshot generation with an empty WAL.
+    let port2 = free_port();
+    let mut daemon2 = spawn_icdbd(port2, &dir);
+    let mut client2 = connect(port2);
+    let mut args = vec![
+        CqlArg::OutInt(None),
+        CqlArg::OutInt(None),
+        CqlArg::OutInt(None),
+    ];
+    client2
+        .execute(
+            "command:persist; generation:?d; recovered_events:?d; snapshot_bytes:?d",
+            &mut args,
+        )
+        .expect("persist query");
+    assert_eq!(args[0], CqlArg::OutInt(Some(1)), "generation rolled");
+    assert_eq!(
+        args[1],
+        CqlArg::OutInt(Some(0)),
+        "no replay after checkpoint"
+    );
+    let CqlArg::OutInt(Some(snapshot_bytes)) = args[2] else {
+        panic!("no snapshot size");
+    };
+    assert!(snapshot_bytes > 0);
+    client2.attach(ns).expect("attach checkpointed namespace");
+    let t = query_transcript(&mut client2);
+    assert!(t.join("\n").contains("CW "));
+
+    daemon2.kill();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+extern "C" {
+    #[link_name = "kill"]
+    fn libc_kill(pid: i32, sig: i32) -> i32;
+}

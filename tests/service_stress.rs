@@ -232,15 +232,22 @@ fn concurrent_sessions_match_sequential_replay() {
 
     // The shared cache must have answered every generation lookup
     // (hits + misses == cacheable requests; acquisitions are not lookups).
+    // A request re-prepares (one extra lookup) when another session's
+    // acquisition lands between its shared-lock prepare and its journaled
+    // install — the event path refuses to install a payload generated
+    // under a stale knowledge base, so live state always matches what
+    // recovery replay would rebuild. Hence: at least one lookup per
+    // request, at most two.
     let stats = service.cache_stats();
     let generation_requests: usize = scripts
         .iter()
         .map(|s| s.iter().filter(|op| matches!(op, Op::Request(_))).count())
         .sum();
-    assert_eq!(
-        stats.result.lookups(),
-        generation_requests as u64,
-        "{stats:?}"
+    let lookups = stats.result.lookups();
+    assert!(
+        lookups >= generation_requests as u64 && lookups <= 2 * generation_requests as u64,
+        "expected {generation_requests} <= lookups <= {}: {stats:?}",
+        2 * generation_requests
     );
     assert!(
         stats.result.hits > stats.result.misses,

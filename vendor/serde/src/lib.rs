@@ -1,31 +1,491 @@
-//! Offline stand-in for the `serde` crate.
+//! Offline stand-in for the `serde` crate, now with a real (if small)
+//! serialization engine.
 //!
 //! This workspace builds in environments without access to crates.io, so the
-//! real `serde` cannot be fetched. The storage layer (`icdb-store`) only needs
-//! the *API surface* of serde — `#[derive(Serialize, Deserialize)]` on its
-//! types so downstream consumers can rely on the traits being implemented —
-//! not an actual wire format yet. This shim provides exactly that surface:
+//! real `serde` cannot be fetched. Earlier revisions of this shim provided
+//! marker traits only; the event-sourced durability layer of `icdb-store` /
+//! `icdb-core` needs actual bytes on disk, so the shim now implements a
+//! compact little-endian binary format:
 //!
-//! * marker traits [`Serialize`] and [`Deserialize`];
-//! * derive macros of the same names (re-exported from `serde_derive`) that
-//!   emit empty trait impls.
+//! * integers are fixed-width little-endian (`usize` travels as `u64`);
+//! * `f64` is its IEEE-754 bit pattern (`to_bits`), so values round-trip
+//!   bit-exactly — including negative zero and non-finite values;
+//! * `bool` and `Option` discriminants are one byte;
+//! * strings and sequences are a `u64` length followed by their elements;
+//! * enum variants are a `u32` index in declaration order.
 //!
-//! When the real `serde` becomes available, delete `vendor/serde` and
-//! `vendor/serde_derive`, point the manifests at crates.io, and everything
-//! keeps compiling — the trait/derive names and shapes match.
+//! `#[derive(Serialize, Deserialize)]` (re-exported from `serde_derive`)
+//! generates field-wise impls for non-generic structs and enums. The derive
+//! and trait *names* still mirror the real serde, so swapping the vendored
+//! shim for crates.io serde + a binary format crate remains a
+//! manifest-plus-adapter change, not an API hunt.
 
 #![deny(rustdoc::broken_intra_doc_links)]
 
 pub use serde_derive::{Deserialize, Serialize};
 
-/// Marker trait mirroring `serde::Serialize`.
-///
-/// Implemented via `#[derive(Serialize)]` from this shim; carries no
-/// serialization machinery until the real dependency is swapped in.
-pub trait Serialize {}
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::fmt;
+use std::hash::{BuildHasher, Hash};
+use std::sync::Arc;
 
-/// Marker trait mirroring `serde::Deserialize<'de>`.
+/// Serialization into the shim's binary format.
 ///
-/// Implemented via `#[derive(Deserialize)]` from this shim; carries no
-/// deserialization machinery until the real dependency is swapped in.
-pub trait Deserialize<'de> {}
+/// Implemented via `#[derive(Serialize)]` or by hand; writing never fails
+/// (the sink is an in-memory buffer).
+pub trait Serialize {
+    /// Appends this value's encoding to `out`.
+    fn serialize(&self, out: &mut Vec<u8>);
+}
+
+/// Deserialization from the shim's binary format.
+///
+/// The `'de` lifetime ties the input slice to the call, mirroring real
+/// serde's borrowed-deserialization signature (all current impls produce
+/// owned values).
+pub trait Deserialize<'de>: Sized {
+    /// Decodes one value from the front of `input`, advancing it.
+    ///
+    /// # Errors
+    /// Fails on truncated input, invalid UTF-8, or unknown enum variants.
+    fn deserialize(input: &mut &'de [u8]) -> Result<Self, DecodeError>;
+}
+
+/// Decoding failure: truncated input, malformed UTF-8, length overflow or
+/// an unknown enum variant tag.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodeError {
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "decode error: {}", self.message)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// A decode error with a formatted message.
+pub fn decode_error(message: impl Into<String>) -> DecodeError {
+    DecodeError {
+        message: message.into(),
+    }
+}
+
+/// The error reported by derived enum impls on an unknown variant tag.
+pub fn bad_variant(type_name: &str, tag: u32) -> DecodeError {
+    decode_error(format!("unknown variant tag {tag} for `{type_name}`"))
+}
+
+/// Encodes a value to a fresh byte buffer.
+pub fn to_bytes<T: Serialize>(value: &T) -> Vec<u8> {
+    let mut out = Vec::new();
+    value.serialize(&mut out);
+    out
+}
+
+/// Decodes a value from a byte slice, requiring the slice to be fully
+/// consumed (trailing garbage is a framing bug, not data).
+///
+/// # Errors
+/// Propagates decode failures and rejects trailing bytes.
+pub fn from_bytes<'de, T: Deserialize<'de>>(bytes: &'de [u8]) -> Result<T, DecodeError> {
+    let mut input = bytes;
+    let value = T::deserialize(&mut input)?;
+    if !input.is_empty() {
+        return Err(decode_error(format!(
+            "{} trailing bytes after value",
+            input.len()
+        )));
+    }
+    Ok(value)
+}
+
+// ------------------------------------------------------------ primitives
+
+fn take<'de>(input: &mut &'de [u8], n: usize) -> Result<&'de [u8], DecodeError> {
+    if input.len() < n {
+        return Err(decode_error(format!(
+            "input truncated: wanted {n} bytes, have {}",
+            input.len()
+        )));
+    }
+    let (head, tail) = input.split_at(n);
+    *input = tail;
+    Ok(head)
+}
+
+/// Writes a `u32` (used by derived enum impls for variant tags).
+pub fn write_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Reads a `u32` (used by derived enum impls for variant tags).
+///
+/// # Errors
+/// Fails on truncated input.
+pub fn read_u32(input: &mut &[u8]) -> Result<u32, DecodeError> {
+    let bytes = take(input, 4)?;
+    Ok(u32::from_le_bytes(bytes.try_into().expect("4 bytes")))
+}
+
+fn write_len(out: &mut Vec<u8>, len: usize) {
+    out.extend_from_slice(&(len as u64).to_le_bytes());
+}
+
+fn read_len(input: &mut &[u8]) -> Result<usize, DecodeError> {
+    let bytes = take(input, 8)?;
+    let len = u64::from_le_bytes(bytes.try_into().expect("8 bytes"));
+    // Every element of every collection in this format occupies at least
+    // one byte, so a length beyond the remaining input is corrupt — reject
+    // it before attempting a huge allocation.
+    if len > input.len() as u64 {
+        return Err(decode_error(format!(
+            "length {len} exceeds remaining input ({} bytes)",
+            input.len()
+        )));
+    }
+    Ok(len as usize)
+}
+
+macro_rules! int_impl {
+    ($($ty:ty),*) => {$(
+        impl Serialize for $ty {
+            fn serialize(&self, out: &mut Vec<u8>) {
+                out.extend_from_slice(&self.to_le_bytes());
+            }
+        }
+        impl<'de> Deserialize<'de> for $ty {
+            fn deserialize(input: &mut &'de [u8]) -> Result<Self, DecodeError> {
+                let bytes = take(input, std::mem::size_of::<$ty>())?;
+                Ok(<$ty>::from_le_bytes(bytes.try_into().expect("sized")))
+            }
+        }
+    )*};
+}
+
+int_impl!(u8, u16, u32, u64, i8, i16, i32, i64);
+
+impl Serialize for usize {
+    fn serialize(&self, out: &mut Vec<u8>) {
+        (*self as u64).serialize(out);
+    }
+}
+
+impl<'de> Deserialize<'de> for usize {
+    fn deserialize(input: &mut &'de [u8]) -> Result<Self, DecodeError> {
+        let v = u64::deserialize(input)?;
+        usize::try_from(v).map_err(|_| decode_error(format!("usize value {v} overflows")))
+    }
+}
+
+impl Serialize for bool {
+    fn serialize(&self, out: &mut Vec<u8>) {
+        out.push(u8::from(*self));
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize(input: &mut &'de [u8]) -> Result<Self, DecodeError> {
+        match u8::deserialize(input)? {
+            0 => Ok(false),
+            1 => Ok(true),
+            other => Err(decode_error(format!("invalid bool byte {other}"))),
+        }
+    }
+}
+
+impl Serialize for f64 {
+    fn serialize(&self, out: &mut Vec<u8>) {
+        self.to_bits().serialize(out);
+    }
+}
+
+impl<'de> Deserialize<'de> for f64 {
+    fn deserialize(input: &mut &'de [u8]) -> Result<Self, DecodeError> {
+        Ok(f64::from_bits(u64::deserialize(input)?))
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize(&self, out: &mut Vec<u8>) {
+        self.to_bits().serialize(out);
+    }
+}
+
+impl<'de> Deserialize<'de> for f32 {
+    fn deserialize(input: &mut &'de [u8]) -> Result<Self, DecodeError> {
+        Ok(f32::from_bits(u32::deserialize(input)?))
+    }
+}
+
+// --------------------------------------------------------------- strings
+
+fn write_str(out: &mut Vec<u8>, s: &str) {
+    write_len(out, s.len());
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn read_str<'de>(input: &mut &'de [u8]) -> Result<&'de str, DecodeError> {
+    let len = read_len(input)?;
+    let bytes = take(input, len)?;
+    std::str::from_utf8(bytes).map_err(|e| decode_error(format!("invalid UTF-8: {e}")))
+}
+
+impl Serialize for String {
+    fn serialize(&self, out: &mut Vec<u8>) {
+        write_str(out, self);
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize(input: &mut &'de [u8]) -> Result<Self, DecodeError> {
+        read_str(input).map(str::to_string)
+    }
+}
+
+impl Serialize for Arc<str> {
+    fn serialize(&self, out: &mut Vec<u8>) {
+        write_str(out, self);
+    }
+}
+
+impl<'de> Deserialize<'de> for Arc<str> {
+    fn deserialize(input: &mut &'de [u8]) -> Result<Self, DecodeError> {
+        read_str(input).map(Arc::from)
+    }
+}
+
+// ---------------------------------------------------------- compositions
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self, out: &mut Vec<u8>) {
+        match self {
+            None => out.push(0),
+            Some(v) => {
+                out.push(1);
+                v.serialize(out);
+            }
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn deserialize(input: &mut &'de [u8]) -> Result<Self, DecodeError> {
+        match u8::deserialize(input)? {
+            0 => Ok(None),
+            1 => Ok(Some(T::deserialize(input)?)),
+            other => Err(decode_error(format!("invalid Option byte {other}"))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self, out: &mut Vec<u8>) {
+        write_len(out, self.len());
+        for item in self {
+            item.serialize(out);
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn deserialize(input: &mut &'de [u8]) -> Result<Self, DecodeError> {
+        let len = read_len(input)?;
+        let mut out = Vec::with_capacity(len.min(1024));
+        for _ in 0..len {
+            out.push(T::deserialize(input)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn serialize(&self, out: &mut Vec<u8>) {
+        self.0.serialize(out);
+        self.1.serialize(out);
+    }
+}
+
+impl<'de, A: Deserialize<'de>, B: Deserialize<'de>> Deserialize<'de> for (A, B) {
+    fn deserialize(input: &mut &'de [u8]) -> Result<Self, DecodeError> {
+        Ok((A::deserialize(input)?, B::deserialize(input)?))
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn serialize(&self, out: &mut Vec<u8>) {
+        self.0.serialize(out);
+        self.1.serialize(out);
+        self.2.serialize(out);
+    }
+}
+
+impl<'de, A: Deserialize<'de>, B: Deserialize<'de>, C: Deserialize<'de>> Deserialize<'de>
+    for (A, B, C)
+{
+    fn deserialize(input: &mut &'de [u8]) -> Result<Self, DecodeError> {
+        Ok((
+            A::deserialize(input)?,
+            B::deserialize(input)?,
+            C::deserialize(input)?,
+        ))
+    }
+}
+
+impl<K: Serialize, V: Serialize, S: BuildHasher> Serialize for HashMap<K, V, S> {
+    fn serialize(&self, out: &mut Vec<u8>) {
+        write_len(out, self.len());
+        for (k, v) in self {
+            k.serialize(out);
+            v.serialize(out);
+        }
+    }
+}
+
+impl<'de, K, V, S> Deserialize<'de> for HashMap<K, V, S>
+where
+    K: Deserialize<'de> + Eq + Hash,
+    V: Deserialize<'de>,
+    S: BuildHasher + Default,
+{
+    fn deserialize(input: &mut &'de [u8]) -> Result<Self, DecodeError> {
+        let len = read_len(input)?;
+        let mut out = HashMap::with_capacity_and_hasher(len.min(1024), S::default());
+        for _ in 0..len {
+            let k = K::deserialize(input)?;
+            let v = V::deserialize(input)?;
+            out.insert(k, v);
+        }
+        Ok(out)
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn serialize(&self, out: &mut Vec<u8>) {
+        write_len(out, self.len());
+        for (k, v) in self {
+            k.serialize(out);
+            v.serialize(out);
+        }
+    }
+}
+
+impl<'de, K: Deserialize<'de> + Ord, V: Deserialize<'de>> Deserialize<'de> for BTreeMap<K, V> {
+    fn deserialize(input: &mut &'de [u8]) -> Result<Self, DecodeError> {
+        let len = read_len(input)?;
+        let mut out = BTreeMap::new();
+        for _ in 0..len {
+            let k = K::deserialize(input)?;
+            let v = V::deserialize(input)?;
+            out.insert(k, v);
+        }
+        Ok(out)
+    }
+}
+
+impl<T: Serialize> Serialize for BTreeSet<T> {
+    fn serialize(&self, out: &mut Vec<u8>) {
+        write_len(out, self.len());
+        for item in self {
+            item.serialize(out);
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de> + Ord> Deserialize<'de> for BTreeSet<T> {
+    fn deserialize(input: &mut &'de [u8]) -> Result<Self, DecodeError> {
+        let len = read_len(input)?;
+        let mut out = BTreeSet::new();
+        for _ in 0..len {
+            out.insert(T::deserialize(input)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<T: Serialize + Eq + Hash, S: BuildHasher> Serialize for HashSet<T, S> {
+    fn serialize(&self, out: &mut Vec<u8>) {
+        write_len(out, self.len());
+        for item in self {
+            item.serialize(out);
+        }
+    }
+}
+
+impl<'de, T, S> Deserialize<'de> for HashSet<T, S>
+where
+    T: Deserialize<'de> + Eq + Hash,
+    S: BuildHasher + Default,
+{
+    fn deserialize(input: &mut &'de [u8]) -> Result<Self, DecodeError> {
+        let len = read_len(input)?;
+        let mut out = HashSet::with_capacity_and_hasher(len.min(1024), S::default());
+        for _ in 0..len {
+            out.insert(T::deserialize(input)?);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip<T>(value: T)
+    where
+        T: Serialize + for<'de> Deserialize<'de> + PartialEq + fmt::Debug,
+    {
+        let bytes = to_bytes(&value);
+        let back: T = from_bytes(&bytes).expect("round trip");
+        assert_eq!(back, value);
+    }
+
+    #[test]
+    fn primitives_round_trip() {
+        round_trip(0u8);
+        round_trip(u64::MAX);
+        round_trip(-42i64);
+        round_trip(usize::MAX);
+        round_trip(true);
+        round_trip(1.5f64);
+        round_trip(f64::NEG_INFINITY);
+        // NaN round-trips bit-exactly even though NaN != NaN.
+        let bytes = to_bytes(&f64::NAN);
+        let back: f64 = from_bytes(&bytes).unwrap();
+        assert_eq!(back.to_bits(), f64::NAN.to_bits());
+        round_trip(-0.0f64);
+        round_trip("héllo\n\t'quoted'".to_string());
+        round_trip(Arc::<str>::from("shared"));
+    }
+
+    #[test]
+    fn compositions_round_trip() {
+        round_trip(Option::<String>::None);
+        round_trip(Some(7i64));
+        round_trip(vec![1u32, 2, 3]);
+        round_trip(("k".to_string(), 2i64));
+        let mut m = HashMap::new();
+        m.insert("a".to_string(), 1.5f64);
+        round_trip(m);
+        let mut b = BTreeMap::new();
+        b.insert("x".to_string(), vec![1u8]);
+        round_trip(b);
+        round_trip(BTreeSet::from(["p".to_string(), "q".to_string()]));
+    }
+
+    #[test]
+    fn truncated_and_trailing_inputs_fail() {
+        let bytes = to_bytes(&"hello".to_string());
+        assert!(from_bytes::<String>(&bytes[..bytes.len() - 1]).is_err());
+        let mut padded = bytes.clone();
+        padded.push(0);
+        assert!(from_bytes::<String>(&padded).is_err());
+        // A corrupt huge length is rejected before allocation.
+        let mut huge = Vec::new();
+        huge.extend_from_slice(&u64::MAX.to_le_bytes());
+        assert!(from_bytes::<Vec<u8>>(&huge).is_err());
+    }
+}

@@ -1,46 +1,81 @@
 //! Derive macros for the offline `serde` stand-in.
 //!
-//! Each derive parses just enough of the item — skipping attributes and
-//! visibility to find the `struct`/`enum` keyword and the type name — and
-//! emits an empty marker-trait impl. Generic types are rejected with a clear
-//! error; none of the workspace types that derive these are generic.
+//! Unlike the earlier marker-only revision, these derives now generate
+//! *working* field-wise `Serialize`/`Deserialize` impls over the shim's
+//! little-endian binary format:
+//!
+//! * structs (named, tuple, unit) encode their fields in declaration order;
+//! * enums encode a `u32` variant index (declaration order) followed by the
+//!   variant's fields;
+//! * generic types are rejected with a clear error — none of the workspace
+//!   types that derive these are generic.
+//!
+//! The parser is deliberately small: it walks the raw [`TokenStream`]
+//! (no `syn`/`quote`, which are unavailable offline), skipping attributes
+//! and visibility, tracking `<`/`>` depth so commas inside generic field
+//! types (`HashMap<String, Table>`) do not split fields.
 
 #![deny(rustdoc::broken_intra_doc_links)]
 
-use proc_macro::{TokenStream, TokenTree};
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::fmt::Write;
 
-/// Derives the shim's marker `serde::Serialize` for a non-generic type.
+/// Derives the shim's binary-format `serde::Serialize` for a non-generic
+/// struct or enum.
 #[proc_macro_derive(Serialize)]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
-    marker_impl(input, "Serialize", "::serde::Serialize")
+    expand(input, Mode::Serialize)
 }
 
-/// Derives the shim's marker `serde::Deserialize` for a non-generic type.
+/// Derives the shim's binary-format `serde::Deserialize` for a non-generic
+/// struct or enum.
 #[proc_macro_derive(Deserialize)]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
-    marker_impl(input, "Deserialize", "::serde::Deserialize<'de>")
+    expand(input, Mode::Deserialize)
 }
 
-fn marker_impl(input: TokenStream, derive_name: &str, trait_path: &str) -> TokenStream {
-    let name = match type_name(input) {
-        Ok(name) => name,
-        Err(msg) => {
-            return format!("compile_error!(\"derive({derive_name}): {msg}\");")
-                .parse()
-                .expect("static error template parses");
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Serialize,
+    Deserialize,
+}
+
+/// The shapes a struct body or enum variant can take.
+enum Fields {
+    Unit,
+    /// Named fields in declaration order.
+    Named(Vec<String>),
+    /// Tuple fields, by count.
+    Tuple(usize),
+}
+
+enum Item {
+    Struct(Fields),
+    Enum(Vec<(String, Fields)>),
+}
+
+fn expand(input: TokenStream, mode: Mode) -> TokenStream {
+    let derive_name = match mode {
+        Mode::Serialize => "Serialize",
+        Mode::Deserialize => "Deserialize",
+    };
+    match parse_item(input) {
+        Ok((name, item)) => {
+            let code = match mode {
+                Mode::Serialize => gen_serialize(&name, &item),
+                Mode::Deserialize => gen_deserialize(&name, &item),
+            };
+            code.parse().expect("generated impl parses")
         }
-    };
-    let imp = if trait_path.contains("'de") {
-        format!("impl<'de> {trait_path} for {name} {{}}")
-    } else {
-        format!("impl {trait_path} for {name} {{}}")
-    };
-    imp.parse().expect("generated impl parses")
+        Err(msg) => format!("compile_error!(\"derive({derive_name}): {msg}\");")
+            .parse()
+            .expect("static error template parses"),
+    }
 }
 
-/// Extracts the type name from a `struct`/`enum`/`union` item, rejecting
-/// generic items (the shim emits non-generic impls only).
-fn type_name(input: TokenStream) -> Result<String, String> {
+// ---------------------------------------------------------------- parsing
+
+fn parse_item(input: TokenStream) -> Result<(String, Item), String> {
     let mut trees = input.into_iter().peekable();
     while let Some(tree) = trees.next() {
         match tree {
@@ -50,22 +85,300 @@ fn type_name(input: TokenStream) -> Result<String, String> {
             }
             TokenTree::Ident(id) => {
                 let word = id.to_string();
-                if word == "struct" || word == "enum" || word == "union" {
-                    let name = match trees.next() {
-                        Some(TokenTree::Ident(name)) => name.to_string(),
-                        other => return Err(format!("expected a type name, found {other:?}")),
-                    };
-                    if matches!(trees.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
-                        return Err(format!(
-                            "the offline serde shim cannot derive for generic type `{name}`"
-                        ));
-                    }
-                    return Ok(name);
+                if word == "union" {
+                    return Err("unions cannot derive serde impls".into());
                 }
-                // `pub`, `pub(crate)` (the group is consumed on its own turn).
+                if word != "struct" && word != "enum" {
+                    // `pub`, `pub(crate)` (the group is consumed on its own
+                    // turn).
+                    continue;
+                }
+                let name = match trees.next() {
+                    Some(TokenTree::Ident(name)) => name.to_string(),
+                    other => return Err(format!("expected a type name, found {other:?}")),
+                };
+                if matches!(trees.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+                    return Err(format!(
+                        "the offline serde shim cannot derive for generic type `{name}`"
+                    ));
+                }
+                let rest: Vec<TokenTree> = trees.collect();
+                let item = if word == "struct" {
+                    Item::Struct(parse_struct_body(&rest)?)
+                } else {
+                    Item::Enum(parse_enum_body(&rest)?)
+                };
+                return Ok((name, item));
             }
             _ => {}
         }
     }
-    Err("no struct/enum/union found in derive input".into())
+    Err("no struct/enum found in derive input".into())
+}
+
+fn parse_struct_body(rest: &[TokenTree]) -> Result<Fields, String> {
+    for tree in rest {
+        match tree {
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+                return Ok(Fields::Named(parse_named_fields(g.stream())?));
+            }
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis => {
+                return Ok(Fields::Tuple(count_tuple_fields(g.stream())));
+            }
+            TokenTree::Punct(p) if p.as_char() == ';' => return Ok(Fields::Unit),
+            TokenTree::Ident(id) if id.to_string() == "where" => {
+                return Err("`where` clauses are not supported by the offline shim".into());
+            }
+            _ => {}
+        }
+    }
+    Err("struct body not found".into())
+}
+
+fn parse_enum_body(rest: &[TokenTree]) -> Result<Vec<(String, Fields)>, String> {
+    let body = rest
+        .iter()
+        .find_map(|t| match t {
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => Some(g.stream()),
+            _ => None,
+        })
+        .ok_or("enum body not found")?;
+    let mut variants = Vec::new();
+    let mut trees = body.into_iter().peekable();
+    loop {
+        // Skip attributes (doc comments) before the variant name.
+        while matches!(trees.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            trees.next();
+            trees.next();
+        }
+        let Some(tree) = trees.next() else {
+            break;
+        };
+        let name = match tree {
+            TokenTree::Ident(id) => id.to_string(),
+            other => return Err(format!("expected a variant name, found `{other}`")),
+        };
+        let fields = match trees.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let f = parse_named_fields(g.stream())?;
+                trees.next();
+                Fields::Named(f)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                trees.next();
+                Fields::Tuple(n)
+            }
+            _ => Fields::Unit,
+        };
+        // Skip an explicit discriminant (`= expr`) up to the next
+        // top-level comma, then the comma itself.
+        let mut angle = 0i32;
+        for t in trees.by_ref() {
+            match t {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => break,
+                _ => {}
+            }
+        }
+        variants.push((name, fields));
+    }
+    Ok(variants)
+}
+
+/// Splits a brace-group body into top-level field chunks (commas inside
+/// `<…>` belong to types; commas inside nested groups are invisible here)
+/// and extracts each field's name: the identifier after attributes and
+/// visibility, before the `:`.
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let mut names = Vec::new();
+    let mut chunk: Vec<TokenTree> = Vec::new();
+    let mut angle = 0i32;
+    let mut finish = |chunk: &mut Vec<TokenTree>| -> Result<(), String> {
+        if chunk.is_empty() {
+            return Ok(());
+        }
+        names.push(field_name(chunk)?);
+        chunk.clear();
+        Ok(())
+    };
+    for tree in stream {
+        match &tree {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                finish(&mut chunk)?;
+                continue;
+            }
+            _ => {}
+        }
+        chunk.push(tree);
+    }
+    finish(&mut chunk)?;
+    Ok(names)
+}
+
+/// The field name inside one chunk: skip `#[…]` attributes and `pub`
+/// (optionally followed by a restriction group), then take the identifier.
+fn field_name(chunk: &[TokenTree]) -> Result<String, String> {
+    let mut i = 0;
+    while i < chunk.len() {
+        match &chunk[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => i += 2,
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                i += 1;
+                if matches!(chunk.get(i), Some(TokenTree::Group(g))
+                    if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    i += 1;
+                }
+            }
+            TokenTree::Ident(id) => return Ok(id.to_string()),
+            other => return Err(format!("unexpected token `{other}` before field name")),
+        }
+    }
+    Err("field name not found".into())
+}
+
+/// Number of fields in a tuple-struct/-variant body (top-level commas,
+/// angle-depth aware, tolerating a trailing comma).
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut count = 0;
+    let mut chunk_nonempty = false;
+    let mut angle = 0i32;
+    for tree in stream {
+        match &tree {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                if chunk_nonempty {
+                    count += 1;
+                }
+                chunk_nonempty = false;
+                continue;
+            }
+            _ => {}
+        }
+        chunk_nonempty = true;
+    }
+    if chunk_nonempty {
+        count += 1;
+    }
+    count
+}
+
+// ---------------------------------------------------------------- codegen
+
+fn gen_serialize(name: &str, item: &Item) -> String {
+    let mut body = String::new();
+    match item {
+        Item::Struct(fields) => match fields {
+            Fields::Unit => {}
+            Fields::Named(names) => {
+                for f in names {
+                    let _ = writeln!(body, "::serde::Serialize::serialize(&self.{f}, out);");
+                }
+            }
+            Fields::Tuple(n) => {
+                for i in 0..*n {
+                    let _ = writeln!(body, "::serde::Serialize::serialize(&self.{i}, out);");
+                }
+            }
+        },
+        Item::Enum(variants) => {
+            body.push_str("match self {\n");
+            for (tag, (vname, fields)) in variants.iter().enumerate() {
+                match fields {
+                    Fields::Unit => {
+                        let _ = writeln!(
+                            body,
+                            "{name}::{vname} => {{ ::serde::write_u32(out, {tag}u32); }}"
+                        );
+                    }
+                    Fields::Named(names) => {
+                        let binders = names.join(", ");
+                        let _ = writeln!(
+                            body,
+                            "{name}::{vname} {{ {binders} }} => {{ \
+                             ::serde::write_u32(out, {tag}u32);"
+                        );
+                        for f in names {
+                            let _ = writeln!(body, "::serde::Serialize::serialize({f}, out);");
+                        }
+                        body.push_str("}\n");
+                    }
+                    Fields::Tuple(n) => {
+                        let binders: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                        let _ = writeln!(
+                            body,
+                            "{name}::{vname}({}) => {{ ::serde::write_u32(out, {tag}u32);",
+                            binders.join(", ")
+                        );
+                        for b in &binders {
+                            let _ = writeln!(body, "::serde::Serialize::serialize({b}, out);");
+                        }
+                        body.push_str("}\n");
+                    }
+                }
+            }
+            body.push_str("}\n");
+        }
+    }
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+         fn serialize(&self, out: &mut ::std::vec::Vec<u8>) {{\n\
+         let _ = &out;\n{body}}}\n}}"
+    )
+}
+
+fn gen_deserialize(name: &str, item: &Item) -> String {
+    let construct_fields = |fields: &Fields, path: &str| -> String {
+        match fields {
+            Fields::Unit => path.to_string(),
+            Fields::Named(names) => {
+                let mut s = format!("{path} {{\n");
+                for f in names {
+                    let _ = writeln!(s, "{f}: ::serde::Deserialize::deserialize(input)?,");
+                }
+                s.push('}');
+                s
+            }
+            Fields::Tuple(n) => {
+                let mut s = format!("{path}(");
+                for i in 0..*n {
+                    if i > 0 {
+                        s.push_str(", ");
+                    }
+                    s.push_str("::serde::Deserialize::deserialize(input)?");
+                }
+                s.push(')');
+                s
+            }
+        }
+    };
+    let body = match item {
+        Item::Struct(fields) => format!("Ok({})", construct_fields(fields, name)),
+        Item::Enum(variants) => {
+            let mut s = String::from("match ::serde::read_u32(input)? {\n");
+            for (tag, (vname, fields)) in variants.iter().enumerate() {
+                let _ = writeln!(
+                    s,
+                    "{tag}u32 => Ok({}),",
+                    construct_fields(fields, &format!("{name}::{vname}"))
+                );
+            }
+            let _ = writeln!(s, "tag => Err(::serde::bad_variant(\"{name}\", tag)),");
+            s.push('}');
+            s
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+         fn deserialize(input: &mut &'de [u8]) \
+         -> ::std::result::Result<Self, ::serde::DecodeError> {{\n\
+         let _ = &input;\n{body}\n}}\n}}"
+    )
 }
