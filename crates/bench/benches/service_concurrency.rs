@@ -20,8 +20,10 @@ fn subject() -> ComponentRequest {
         .attribute("up_or_down", "3")
 }
 
-/// Session counts the throughput sweep covers.
-const SESSION_COUNTS: [usize; 4] = [1, 2, 4, 8];
+/// Session counts the throughput sweep covers. The 64-session point is
+/// connections ≫ cores territory: it gates the sharded service's warm
+/// path against lock-convoy regressions.
+const SESSION_COUNTS: [usize; 5] = [1, 2, 4, 8, 64];
 
 /// Warm requests per session in the JSON measurement pass.
 const WARM_REQUESTS_PER_SESSION: usize = 100;

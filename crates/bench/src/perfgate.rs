@@ -41,6 +41,7 @@ pub const GATE_SPECS: &[(&str, &str, &str)] = &[
     ("gen_cached_throughput", "csel_adder", "speedup"),
     ("service_concurrency", "sessions=1", "speedup"),
     ("service_concurrency", "sessions=8", "speedup"),
+    ("service_concurrency", "sessions=64", "speedup"),
     ("explore_sweep", "sweep", "speedup"),
     ("wal_replay", "replay", "events_per_sec"),
     ("wal_replay", "snapshot", "speedup"),

@@ -63,6 +63,47 @@ fn command_is_read_only(name: &str) -> bool {
     READ_ONLY_COMMANDS.contains(&name)
 }
 
+/// The CQL commands that touch only shared knowledge state — the
+/// component library, cell library, generation cache and tool registry —
+/// and therefore answer identically against a lock-free epoch snapshot
+/// ([`Icdb::read_snapshot`]) as against the live database. Deliberately
+/// excluded from the read-only subset above: `instance_query` and
+/// `connect_component` (live per-namespace instances) and `persist`
+/// (needs the journal, which snapshots do not carry).
+const KNOWLEDGE_ONLY_COMMANDS: &[&str] = &[
+    "component_query",
+    "function_query",
+    "merge_query",
+    "tool_query",
+    "cache_query",
+    "explore",
+];
+
+/// Whether a raw CQL command string can be answered entirely from an
+/// epoch snapshot of the knowledge base, without any service lock. An
+/// `explore` that asks to publish results mutates the relational catalog,
+/// so any `publish:` term (even `publish: 0`, conservatively) routes the
+/// command back to the locked paths.
+pub(crate) fn command_text_is_knowledge_only(command: &str) -> bool {
+    let mut named = false;
+    for term in command.split(';') {
+        let Some((k, v)) = term.split_once(':') else {
+            continue;
+        };
+        match k.trim() {
+            "command" => {
+                if !KNOWLEDGE_ONLY_COMMANDS.contains(&v.trim()) {
+                    return false;
+                }
+                named = true;
+            }
+            "publish" => return false,
+            _ => {}
+        }
+    }
+    named
+}
+
 impl Icdb {
     /// Executes one CQL command, substituting `%` inputs from `args` and
     /// writing `?` outputs back into them — the reproduction of the C
@@ -944,6 +985,36 @@ mod tests {
                 "mutating `{name}` must fall through to the exclusive path"
             );
             assert!(!command_text_is_read_only(&format!("command:{name}")));
+        }
+    }
+
+    /// Knowledge-only commands are a strict subset of the read-only set,
+    /// and the text classifier routes instance/publish traffic away from
+    /// the lock-free snapshot path.
+    #[test]
+    fn knowledge_only_is_a_snapshot_safe_subset() {
+        for name in KNOWLEDGE_ONLY_COMMANDS {
+            assert!(
+                command_is_read_only(name),
+                "`{name}` is knowledge-only but not read-only"
+            );
+            assert!(command_text_is_knowledge_only(&format!(
+                "command:{name}; x:?s"
+            )));
+        }
+        for text in [
+            "command:instance_query; instance:%s",
+            "command:connect_component; name:%s",
+            "command:persist; stats:?s",
+            "command:explore; component:%s; publish: 1",
+            "command:explore; component:%s; publish: 0",
+            "command:request_component",
+            "x:?s",
+        ] {
+            assert!(
+                !command_text_is_knowledge_only(text),
+                "`{text}` must not route to the epoch snapshot"
+            );
         }
     }
 }

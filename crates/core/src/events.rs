@@ -21,9 +21,16 @@
 //!   reproduces the exact state the server had when that prefix was the
 //!   whole history — the invariant the recovery proptests pin down.
 //!
-//! Failed mutations are journaled too (the append happens first — it *is*
+//! Failed mutations are journaled too (the enqueue happens first — it *is*
 //! a write-ahead log). That is sound because failures are deterministic:
 //! replaying a failed event fails identically and changes nothing.
+//!
+//! Durability is group-committed: [`Icdb::commit`] *enqueues* the event
+//! (fixing its replay position) and applies it, and only then waits for
+//! the WAL's batch fsync — one fsync acknowledges every event enqueued
+//! while the previous one was in flight. The service defers that wait to
+//! outside its locks (see `Icdb::begin_deferred`), so writer throughput
+//! scales with the number of concurrent sessions.
 
 use crate::cache::GenerationPayload;
 use crate::error::IcdbError;
@@ -305,28 +312,85 @@ impl Icdb {
         }
     }
 
-    /// Journals the event to the write-ahead log (fsynced, when this
-    /// server was opened with a data directory), **then** applies it —
-    /// the write-ahead discipline every classic mutation method runs
-    /// through.
+    /// Enqueues the event in the write-ahead log, applies it, then waits
+    /// for the log's group commit to make it durable — the write-ahead
+    /// discipline every classic mutation method runs through. Enqueue
+    /// order equals apply order (both happen before this returns control
+    /// to any other mutator), which is exactly what makes recovery replay
+    /// byte-identical; the fsync wait happens last, so concurrent
+    /// committers' records share one batch fsync ([`GroupWal`]-style
+    /// group commit — see `icdb_store::wal::GroupWal`).
+    ///
+    /// In *deferred* mode (see [`Icdb::begin_deferred`]) the wait is
+    /// skipped and the ticket buffered instead: the service drops its
+    /// exclusive lock first and waits outside it, so an fsync never
+    /// blocks other sessions' mutations.
     ///
     /// # Errors
-    /// A journal I/O failure surfaces as [`IcdbError::Store`] *without*
-    /// applying the event; apply errors propagate as usual.
+    /// A journal enqueue failure surfaces as [`IcdbError::Store`]
+    /// *without* applying the event. Apply errors propagate as usual (the
+    /// enqueued event replays its failure deterministically — harmless,
+    /// and not waited on). A flush failure after a successful apply also
+    /// surfaces as [`IcdbError::Store`]: the event took effect in memory
+    /// but its durability cannot be acknowledged (the log latches the
+    /// error, so no later commit is acknowledged either).
     pub fn commit(&mut self, event: &MutationEvent) -> Result<Applied, IcdbError> {
-        self.journal_append(event)?;
-        self.apply(event)
+        let ticket = self.journal_submit(event)?;
+        let applied = self.apply(event)?;
+        self.settle_ticket(ticket)?;
+        Ok(applied)
     }
 
-    /// Appends the event to the journal, if one is attached. No-op (and
-    /// infallible) for purely in-memory servers.
-    pub(crate) fn journal_append(&mut self, event: &MutationEvent) -> Result<(), IcdbError> {
-        if let Some(journal) = self.journal.as_mut() {
-            journal
-                .append(event)
-                .map_err(|e| IcdbError::Store(format!("journal append failed: {e}")))?;
+    /// Enqueues the event in the journal's commit queue, if one is
+    /// attached, returning the durability ticket. No-op (and infallible)
+    /// for purely in-memory servers. Note `&self`: the group WAL takes
+    /// submissions without exclusive access to the server.
+    pub(crate) fn journal_submit(
+        &self,
+        event: &MutationEvent,
+    ) -> Result<Option<crate::persist::WalTicket>, IcdbError> {
+        match self.journal.as_ref() {
+            Some(journal) => journal
+                .submit(event)
+                .map(Some)
+                .map_err(|e| IcdbError::Store(format!("journal append failed: {e}"))),
+            None => Ok(None),
         }
-        Ok(())
+    }
+
+    /// Settles a commit's durability ticket: waits inline, or buffers it
+    /// when the server is in deferred mode (the service waits after
+    /// dropping its locks — tickets are prefix-closed, so waiting on the
+    /// last one acknowledges all).
+    pub(crate) fn settle_ticket(
+        &mut self,
+        ticket: Option<crate::persist::WalTicket>,
+    ) -> Result<(), IcdbError> {
+        let Some(ticket) = ticket else {
+            return Ok(());
+        };
+        match self.deferred_waits.as_mut() {
+            Some(buffer) => {
+                buffer.push(ticket);
+                Ok(())
+            }
+            None => ticket.wait(),
+        }
+    }
+
+    /// Enters deferred-durability mode: subsequent [`Icdb::commit`]s
+    /// buffer their WAL tickets instead of waiting inline. The service's
+    /// exclusive sections run between `begin_deferred` and
+    /// [`Icdb::end_deferred`], then wait on the returned tickets after
+    /// every lock is dropped.
+    pub(crate) fn begin_deferred(&mut self) {
+        self.deferred_waits = Some(Vec::new());
+    }
+
+    /// Leaves deferred mode, returning the buffered tickets (possibly
+    /// empty — in-memory servers and read-only sections buffer nothing).
+    pub(crate) fn end_deferred(&mut self) -> Vec<crate::persist::WalTicket> {
+        self.deferred_waits.take().unwrap_or_default()
     }
 
     /// The install path shared by live commits and replay. `hint` is a
@@ -372,14 +436,18 @@ impl Icdb {
         request: &ComponentRequest,
         hint: Option<&Arc<GenerationPayload>>,
     ) -> Result<String, IcdbError> {
-        if self.journal.is_some() {
+        let ticket = if self.journal.is_some() {
             let event = MutationEvent::InstallComponent {
                 ns,
                 request: request.clone(),
             };
-            self.journal_append(&event)?;
-        }
-        self.apply_install(ns, request, hint)
+            self.journal_submit(&event)?
+        } else {
+            None
+        };
+        let name = self.apply_install(ns, request, hint)?;
+        self.settle_ticket(ticket)?;
+        Ok(name)
     }
 
     /// `DELETE FROM table` + re-insert the recorded rows (the publish

@@ -114,6 +114,10 @@ pub struct Icdb {
     /// Acquired (non-builtin) knowledge, kept as replayable source text so
     /// snapshots can rebuild the library.
     pub(crate) acquired: Vec<persist::AcquiredKnowledge>,
+    /// When `Some`, commits buffer their WAL durability tickets here
+    /// instead of waiting inline — the service's deferred-durability mode
+    /// (fsync waits happen outside its locks; see `Icdb::begin_deferred`).
+    pub(crate) deferred_waits: Option<Vec<persist::WalTicket>>,
 }
 
 // Manual impl: a clone gets its own *empty* generation cache rather than
@@ -135,6 +139,7 @@ impl Clone for Icdb {
             spaces: self.spaces.clone(),
             journal: None,
             acquired: self.acquired.clone(),
+            deferred_waits: None,
         }
     }
 }
@@ -187,6 +192,36 @@ impl Icdb {
             spaces: space::Spaces::new(),
             journal: None,
             acquired: Vec::new(),
+            deferred_waits: None,
+        }
+    }
+
+    /// A read-only *epoch snapshot* of the knowledge side of this server:
+    /// cloned library, cell library and tool registry, the **shared**
+    /// generation cache (the cache is internally synchronized and its
+    /// keys embed the knowledge versions, so warm entries stay valid
+    /// exactly as long as the snapshot itself), and fresh empty
+    /// namespaces/stores. The service hands an `Arc` of this to warm
+    /// prepares, exploration sweeps and knowledge-only CQL queries so
+    /// they run without taking *any* service lock; a snapshot is stale —
+    /// and gets rebuilt — the moment knowledge acquisition bumps the
+    /// library or cell versions.
+    ///
+    /// Only knowledge/cache state is meaningful here: instance data,
+    /// the relational catalog and the file store are empty, so the
+    /// snapshot must never serve instance queries.
+    pub(crate) fn read_snapshot(&self) -> Icdb {
+        Icdb {
+            library: self.library.clone(),
+            cells: self.cells.clone(),
+            db: Database::new(),
+            files: FileStore::new(),
+            tools: self.tools.clone(),
+            cache: Arc::clone(&self.cache),
+            spaces: space::Spaces::new(),
+            journal: None,
+            acquired: Vec::new(),
+            deferred_waits: None,
         }
     }
 

@@ -29,12 +29,14 @@ use crate::instance::ComponentInstance;
 use crate::space::{Namespace, Spaces};
 use crate::tools::ToolManager;
 use crate::Icdb;
-use icdb_store::wal::{DataDir, WalWriter};
+use icdb_store::wal::{DataDir, GroupWal};
 use icdb_store::{Database, FileStore};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::io;
 use std::path::Path;
+use std::sync::Arc;
+use std::time::Duration;
 
 /// One knowledge acquisition, kept as replayable source text so snapshots
 /// can rebuild the component library by re-running the §2.2 insert.
@@ -174,21 +176,36 @@ pub struct PersistStats {
     pub recovered_events: u64,
 }
 
-/// The attached journal: the open WAL writer plus generation bookkeeping.
+/// The attached journal: a group-committing WAL plus generation
+/// bookkeeping. The [`GroupWal`] sits behind an `Arc` because committers
+/// keep [`WalTicket`]s pointing at it — the enqueue happens under the
+/// service's exclusive lock (journal order = apply order = replay order),
+/// while the fsync wait happens *after* every lock is dropped, so one
+/// batch fsync acknowledges many concurrent sessions.
 #[derive(Debug)]
 pub(crate) struct Journal {
     dir: DataDir,
     generation: u64,
-    wal: WalWriter,
+    wal: Arc<GroupWal>,
     snapshot_bytes: u64,
     recovered_events: u64,
-    sync: bool,
 }
 
 impl Journal {
-    /// Serializes and appends one event (fsynced in sync mode).
-    pub(crate) fn append(&mut self, event: &MutationEvent) -> io::Result<()> {
-        self.wal.append(&serde::to_bytes(event))
+    /// Serializes and enqueues one event for the next commit batch,
+    /// returning the ticket to wait on. No I/O happens here (cheap to
+    /// call under the exclusive lock).
+    pub(crate) fn submit(&self, event: &MutationEvent) -> io::Result<WalTicket> {
+        let seq = self.wal.submit(serde::to_bytes(event))?;
+        Ok(WalTicket {
+            wal: Arc::clone(&self.wal),
+            seq,
+        })
+    }
+
+    /// Drains the commit queue and forces it to stable storage.
+    pub(crate) fn flush(&self) -> io::Result<()> {
+        self.wal.flush()
     }
 
     fn stats(&self) -> PersistStats {
@@ -200,6 +217,30 @@ impl Journal {
             snapshot_bytes: self.snapshot_bytes,
             recovered_events: self.recovered_events,
         }
+    }
+}
+
+/// Proof that one committed event is enqueued in the write-ahead log, and
+/// a handle to block until it is durable. Tickets are prefix-closed:
+/// waiting on the *last* ticket of a multi-event operation also makes
+/// every earlier one durable (batch writes happen in sequence order).
+#[derive(Debug, Clone)]
+pub struct WalTicket {
+    wal: Arc<GroupWal>,
+    seq: u64,
+}
+
+impl WalTicket {
+    /// Blocks until the ticket's event is durable — leading a group flush
+    /// if no other committer is (see [`GroupWal::wait_durable`]).
+    ///
+    /// # Errors
+    /// [`IcdbError::Store`] when the log has failed: the event was applied
+    /// in memory but its durability cannot be acknowledged.
+    pub fn wait(&self) -> Result<(), IcdbError> {
+        self.wal
+            .wait_durable(self.seq)
+            .map_err(|e| IcdbError::Store(format!("journal flush failed: {e}")))
     }
 }
 
@@ -229,6 +270,23 @@ impl Icdb {
     /// # Errors
     /// As [`Icdb::open`].
     pub fn open_with_sync(data_dir: impl AsRef<Path>, sync: bool) -> Result<Icdb, IcdbError> {
+        Icdb::open_with_options(data_dir, sync, Duration::ZERO)
+    }
+
+    /// [`Icdb::open_with_sync`] with an explicit group-commit window: how
+    /// long a would-be batch leader waits for more concurrent committers
+    /// to join before flushing ([`GroupWal`]). Zero (the
+    /// [`Icdb::open_with_sync`] default) flushes immediately — concurrent
+    /// committers still batch, because everything enqueued while one
+    /// fsync is in flight rides the next one.
+    ///
+    /// # Errors
+    /// As [`Icdb::open`].
+    pub fn open_with_options(
+        data_dir: impl AsRef<Path>,
+        sync: bool,
+        group_commit_window: Duration,
+    ) -> Result<Icdb, IcdbError> {
         let dir = DataDir::open(data_dir.as_ref()).map_err(|e| store_err("open data dir", e))?;
         let (generation, mut icdb, snapshot_bytes) = match dir.newest_valid_snapshot() {
             Some((generation, payload)) => {
@@ -269,16 +327,17 @@ impl Icdb {
                 Err(_) => break,
             }
         }
-        let wal =
-            icdb_store::wal::WalWriter::open_at(&wal_path, replayed_len, recovered_events, sync)
+        // The inner writer never fsyncs per-append: the group layer owns
+        // the fsync policy (one per batch in sync mode).
+        let writer =
+            icdb_store::wal::WalWriter::open_at(&wal_path, replayed_len, recovered_events, false)
                 .map_err(|e| store_err("open wal", e))?;
         icdb.journal = Some(Journal {
             dir,
             generation,
-            wal,
+            wal: Arc::new(GroupWal::new(writer, sync, group_commit_window)),
             snapshot_bytes,
             recovered_events,
-            sync,
         });
         Ok(icdb)
     }
@@ -308,41 +367,45 @@ impl Icdb {
                 "server has no data directory (open it with Icdb::open)".into(),
             ));
         }
+        // Drain the group-commit queue *before* capturing the snapshot:
+        // an in-flight batch must reach stable storage ahead of the
+        // rotation, or acknowledged commits would sit only in a WAL that
+        // is about to be pruned. (This also covers the no-sync mode,
+        // whose tail may still be in OS buffers.)
+        let journal = self.journal.as_ref().expect("checked above");
+        journal
+            .flush()
+            .map_err(|e| store_err("flush wal before checkpoint", e))?;
         let payload = serde::to_bytes(&Snapshot::capture(self));
         let journal = self.journal.as_mut().expect("checked above");
-        // In no-sync mode the tail may still sit in OS buffers; flush it
-        // so the about-to-be-pruned WAL never outlives its own events.
-        journal
-            .wal
-            .sync()
-            .map_err(|e| store_err("sync wal before checkpoint", e))?;
         let next = journal.generation + 1;
         let snapshot_bytes = journal
             .dir
             .write_snapshot(next, &payload)
             .map_err(|e| store_err("write snapshot", e))?;
-        let (wal, _) = journal
+        let (writer, _) = journal
             .dir
-            .open_wal(next, journal.sync)
+            .open_wal(next, false)
             .map_err(|e| store_err("open new wal", e))?;
+        journal
+            .wal
+            .rotate(writer)
+            .map_err(|e| store_err("rotate wal", e))?;
         journal.generation = next;
-        journal.wal = wal;
         journal.snapshot_bytes = snapshot_bytes;
         journal.dir.prune_generations_before(next);
         Ok(journal.stats())
     }
 
-    /// Flushes the journal to stable storage without checkpointing (only
-    /// meaningful when opened with `sync = false`).
+    /// Drains the group-commit queue and flushes the journal to stable
+    /// storage without checkpointing (a full fsync even when opened with
+    /// `sync = false`).
     ///
     /// # Errors
     /// [`IcdbError::Store`] on I/O failure; no-op without a journal.
     pub fn sync_journal(&mut self) -> Result<(), IcdbError> {
-        if let Some(journal) = self.journal.as_mut() {
-            journal
-                .wal
-                .sync()
-                .map_err(|e| store_err("sync journal", e))?;
+        if let Some(journal) = self.journal.as_ref() {
+            journal.flush().map_err(|e| store_err("sync journal", e))?;
         }
         Ok(())
     }

@@ -2,19 +2,35 @@
 //! to many clients at once.
 //!
 //! [`IcdbService`] wraps the knowledge base, cell library, generation
-//! cache and relational catalog in a single `RwLock`ed handle. The lock
-//! discipline exploits the prepare/install split of the generation path:
+//! cache and relational catalog behind three cooperating mechanisms,
+//! replacing the single big `RwLock` of earlier revisions:
 //!
-//! * **shared (read) lock** — warm *and cold* `Icdb::prepare_payload`
-//!   (the cache has interior mutability, so even a cold pipeline run never
-//!   blocks other readers), instance queries (`delay_string`,
-//!   `shape_string`, cached CIF reads), design-space exploration sweeps
-//!   ([`Icdb::explore_in`], including the CQL `explore` command) and the
-//!   rest of the read-only CQL command subset
-//!   ([`Icdb::execute_read_in`]);
-//! * **exclusive (write) lock** — the short `install_payload` that names
-//!   and registers an instance, layout generation, knowledge acquisition
-//!   and design/transaction management.
+//! * **Epoch snapshots (lock-free reads).** Warm *and cold*
+//!   `Icdb::prepare_payload` runs, knowledge-only CQL queries
+//!   (`component_query`, `cache_query`, …) and [`Session::explore`]
+//!   sweeps are answered from an [`Icdb::read_snapshot`]: a cloned view
+//!   of the knowledge base, cell library and tool registry sharing the
+//!   (internally synchronized) generation cache. Snapshot freshness is
+//!   tracked by two atomic version mirrors — the moment knowledge
+//!   acquisition bumps the library or cell-library version, the cached
+//!   snapshot is stale and the next epoch read rebuilds it under a brief
+//!   shared lock. In steady state these paths take *no* service lock at
+//!   all, and because the cache is shared, a pipeline warmed through a
+//!   snapshot serves the subsequent locked install.
+//! * **Per-namespace shards (concurrent writers).** Mutations are
+//!   serialized per namespace shard ([`crate::space::ShardSet`]), not
+//!   globally: the shard lock is held across *enqueue → apply →
+//!   durability wait*, so commits inside one namespace acknowledge in
+//!   apply order while sessions on different shards overlap their fsync
+//!   waits. The short apply still runs under the inner exclusive lock
+//!   (shard locks order strictly before it), keeping every existing
+//!   transcript-equivalence guarantee intact.
+//! * **WAL group-commit (batched durability).** The journal enqueues
+//!   events under the exclusive lock but *waits* for durability after
+//!   releasing it (see [`crate::persist::WalTicket`]): one group fsync
+//!   then acknowledges every committer whose event made the batch, so
+//!   mutation throughput scales with writer count instead of paying one
+//!   fsync per mutation.
 //!
 //! Each [`Session`] owns a private design namespace ([`NsId`]): isolated
 //! instance lists, an independent `impl$N` naming counter and independent
@@ -23,7 +39,13 @@
 //! same sequence on a dedicated single-caller [`Icdb`] — concurrency is
 //! invisible to each client — while knowledge acquired by *any* session
 //! (a new implementation, a cell-library change) bumps the shared version
-//! counters and invalidates warm cache hits for *all* sessions at once.
+//! counters and invalidates warm cache hits *and epoch snapshots* for
+//! all sessions at once.
+//!
+//! Mutating through the raw [`IcdbService::write`] guard bypasses the
+//! version mirrors; they heal on the next service-level call (any
+//! [`IcdbService::read`] renotes them), so prefer the session API when
+//! epoch-read freshness matters.
 //!
 //! ```
 //! use icdb_core::{ComponentRequest, IcdbService};
@@ -45,7 +67,7 @@
 
 use crate::error::IcdbError;
 use crate::persist::PersistStats;
-use crate::space::NsId;
+use crate::space::{NsId, ShardSet};
 use crate::spec::{ComponentRequest, Source};
 use crate::{CacheStats, Icdb};
 use icdb_cql::CqlArg;
@@ -54,11 +76,12 @@ use std::collections::HashMap;
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::time::Duration;
 
 /// A thread-safe, multi-session handle over one shared [`Icdb`].
 ///
 /// Wrap it in an [`Arc`] and call [`IcdbService::open_session`] once per
-/// client; see the [module docs](self) for the lock discipline.
+/// client; see the [module docs](self) for the concurrency protocol.
 #[derive(Debug)]
 pub struct IcdbService {
     inner: RwLock<Icdb>,
@@ -70,6 +93,16 @@ pub struct IcdbService {
     /// finally drops. Locked only while holding the inner write guard.
     owners: Mutex<HashMap<u64, u64>>,
     next_token: AtomicU64,
+    /// Per-namespace write serialization (see module docs): held across
+    /// enqueue → apply → durability wait, strictly before `inner`.
+    shards: ShardSet,
+    /// The cached epoch snapshot serving lock-free knowledge reads, plus
+    /// the version mirrors that decide its freshness. The mirrors trail
+    /// the live versions by at most one in-flight exclusive section (they
+    /// are renoted before the write guard drops).
+    epoch: Mutex<Option<Arc<Icdb>>>,
+    lib_version: AtomicU64,
+    cells_version: AtomicU64,
 }
 
 impl Default for IcdbService {
@@ -88,10 +121,16 @@ impl IcdbService {
     /// namespace, pre-generated instances included, stays reachable
     /// through [`IcdbService::read`] / [`IcdbService::write`]).
     pub fn with_icdb(icdb: Icdb) -> IcdbService {
+        let lib_version = icdb.library.version();
+        let cells_version = icdb.cells.version();
         IcdbService {
             inner: RwLock::new(icdb),
             owners: Mutex::new(HashMap::new()),
             next_token: AtomicU64::new(1),
+            shards: ShardSet::new(),
+            epoch: Mutex::new(None),
+            lib_version: AtomicU64::new(lib_version),
+            cells_version: AtomicU64::new(cells_version),
         }
     }
 
@@ -101,8 +140,9 @@ impl IcdbService {
     }
 
     /// A durable service over [`Icdb::open`]: recovers state from the data
-    /// directory, then journals every mutation (fsynced inside the
-    /// exclusive lock, before the guard drops).
+    /// directory, then journals every mutation through the group-commit
+    /// pipeline (enqueued under the exclusive lock, fsynced in batches
+    /// after the guard drops).
     ///
     /// # Errors
     /// See [`Icdb::open`].
@@ -124,8 +164,30 @@ impl IcdbService {
         )?))
     }
 
+    /// [`IcdbService::open`] with explicit fsync policy *and* group-commit
+    /// window: a committer that finds no flush leader waits up to
+    /// `group_commit_window` for companions before leading the batch
+    /// itself. `Duration::ZERO` flushes eagerly (still batching whatever
+    /// queued while the previous flush was in flight).
+    ///
+    /// # Errors
+    /// See [`Icdb::open`].
+    pub fn open_with_options(
+        data_dir: impl AsRef<Path>,
+        sync: bool,
+        group_commit_window: Duration,
+    ) -> Result<IcdbService, IcdbError> {
+        Ok(IcdbService::with_icdb(Icdb::open_with_options(
+            data_dir,
+            sync,
+            group_commit_window,
+        )?))
+    }
+
     /// Snapshot + WAL rotation under the exclusive lock (see
-    /// [`Icdb::checkpoint`]).
+    /// [`Icdb::checkpoint`]). Drains the group-commit queue first, so
+    /// every acknowledged — and every merely enqueued — event is on disk
+    /// before the snapshot captures.
     ///
     /// # Errors
     /// See [`Icdb::checkpoint`].
@@ -144,21 +206,119 @@ impl IcdbService {
     /// exclusive-section mutation is either a single map/store operation
     /// or is followed by consistent bookkeeping.
     pub fn read(&self) -> RwLockReadGuard<'_, Icdb> {
-        self.inner.read().unwrap_or_else(PoisonError::into_inner)
+        let guard = self.inner.read().unwrap_or_else(PoisonError::into_inner);
+        // Opportunistic healing: renote the version mirrors so epoch
+        // snapshots catch up with mutations made through raw `write()`
+        // guards (which bypass `note_versions`).
+        self.note_versions(&guard);
+        guard
     }
 
-    /// Exclusive (write) access to the underlying server.
+    /// Exclusive (write) access to the underlying server. Prefer the
+    /// session API: raw-guard mutations bypass the epoch version mirrors
+    /// (healed on the next service-level read) and the group-commit wait
+    /// discipline.
     pub fn write(&self) -> RwLockWriteGuard<'_, Icdb> {
         self.inner.write().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Mirrors the live knowledge versions so `epoch()` can judge
+    /// snapshot freshness without a lock probe.
+    fn note_versions(&self, icdb: &Icdb) {
+        self.lib_version
+            .store(icdb.library.version(), Ordering::Release);
+        self.cells_version
+            .store(icdb.cells.version(), Ordering::Release);
+    }
+
+    fn lock_epoch(&self) -> std::sync::MutexGuard<'_, Option<Arc<Icdb>>> {
+        self.epoch.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// The current epoch snapshot: a lock-free read view of the knowledge
+    /// base (see [`Icdb::read_snapshot`]). Returns the cached snapshot
+    /// when its knowledge versions match the mirrors; otherwise rebuilds
+    /// it under a brief shared lock. Callers must route only
+    /// knowledge/cache reads through it — its namespaces and catalog are
+    /// empty.
+    fn epoch(&self) -> Arc<Icdb> {
+        let lib = self.lib_version.load(Ordering::Acquire);
+        let cells = self.cells_version.load(Ordering::Acquire);
+        if let Some(snap) = self.lock_epoch().as_ref() {
+            if snap.library.version() == lib && snap.cells.version() == cells {
+                return Arc::clone(snap);
+            }
+        }
+        let guard = self.inner.read().unwrap_or_else(PoisonError::into_inner);
+        self.note_versions(&guard);
+        let snap = Arc::new(guard.read_snapshot());
+        drop(guard);
+        *self.lock_epoch() = Some(Arc::clone(&snap));
+        snap
+    }
+
+    /// The exclusive commit section shared by every mutating service
+    /// path: journal events are *enqueued* (not fsynced) while `f` runs
+    /// under the write guard, the version mirrors are renoted, the guard
+    /// drops — and only then does the caller block on the group-commit
+    /// ticket. Waiting on the **last** ticket suffices: WAL batches are
+    /// drained in sequence order, so a later event durable implies every
+    /// earlier one is.
+    ///
+    /// When `f` itself fails its error wins (events already enqueued
+    /// replay deterministically to the same failure); when `f` succeeds
+    /// but the group flush fails, the durability error surfaces — the
+    /// mutation is applied in memory but unacknowledged, exactly the
+    /// contract the recovery suite pins.
+    fn commit_exclusive<T>(
+        &self,
+        f: impl FnOnce(&mut Icdb) -> Result<T, IcdbError>,
+    ) -> Result<T, IcdbError> {
+        let mut guard = self.write();
+        guard.begin_deferred();
+        let result = f(&mut guard);
+        let tickets = guard.end_deferred();
+        self.note_versions(&guard);
+        drop(guard);
+        let durable = match tickets.last() {
+            Some(ticket) => ticket.wait(),
+            None => Ok(()),
+        };
+        match (result, durable) {
+            (Err(e), _) => Err(e),
+            (Ok(_), Err(e)) => Err(e),
+            (Ok(v), Ok(())) => Ok(v),
+        }
+    }
+
+    /// [`IcdbService::commit_exclusive`] serialized through `ns`'s shard:
+    /// commits inside one namespace acknowledge in apply order, while
+    /// sessions on other shards overlap their durability waits (one group
+    /// fsync acknowledges them all).
+    fn with_write<T>(
+        &self,
+        ns: NsId,
+        f: impl FnOnce(&mut Icdb) -> Result<T, IcdbError>,
+    ) -> Result<T, IcdbError> {
+        let _shard = self.shards.lock(ns);
+        self.commit_exclusive(f)
     }
 
     /// Opens a new session with a fresh, isolated design namespace.
     pub fn open_session(self: &Arc<Self>) -> Session {
         let token = self.next_token.fetch_add(1, Ordering::Relaxed);
         let mut guard = self.write();
+        guard.begin_deferred();
         let ns = guard.create_namespace();
+        let tickets = guard.end_deferred();
         self.lock_owners().insert(ns.raw(), token);
+        self.note_versions(&guard);
         drop(guard);
+        if let Some(ticket) = tickets.last() {
+            ticket
+                .wait()
+                .expect("namespace journal flush only fails on I/O errors");
+        }
         Session {
             service: Arc::clone(self),
             ns,
@@ -184,7 +344,8 @@ impl IcdbService {
 
     /// Knowledge acquisition (paper §2.2) through the service: takes the
     /// exclusive lock, bumps the knowledge-base version and thereby
-    /// invalidates warm cache hits for every session at once.
+    /// invalidates warm cache hits — and the epoch snapshot — for every
+    /// session at once.
     ///
     /// # Errors
     /// See [`Icdb::insert_implementation`].
@@ -197,14 +358,16 @@ impl IcdbService {
         connection_text: Option<&str>,
         description: &str,
     ) -> Result<String, IcdbError> {
-        self.write().insert_implementation(
-            iif_source,
-            component_type,
-            functions,
-            param_defaults,
-            connection_text,
-            description,
-        )
+        self.commit_exclusive(|icdb| {
+            icdb.insert_implementation(
+                iif_source,
+                component_type,
+                functions,
+                param_defaults,
+                connection_text,
+                description,
+            )
+        })
     }
 }
 
@@ -251,12 +414,24 @@ impl Session {
         self.release()
     }
 
+    /// Consumes the session *without* deleting its namespace — the
+    /// server-shutdown path. A client did not abandon this session; the
+    /// server is going away under it, and on a durable server the
+    /// namespace (journaled at creation) must survive the restart so the
+    /// client can [`Session::attach`] back to it.
+    pub fn park(mut self) {
+        self.closed = true;
+    }
+
     /// Drops the bound namespace — but only when this session still owns
     /// it. If another session `attach`ed the namespace in the meantime
     /// (ownership transferred), this is a no-op: a stale half-open
     /// connection must not destroy state its client is actively using
-    /// through a newer connection.
+    /// through a newer connection. Runs on the drop path, so a failed
+    /// group flush is swallowed rather than panicking — the deletion
+    /// replays from the journal prefix either way.
     fn release(&mut self) -> usize {
+        let _shard = self.service.shards.lock(self.ns);
         let mut guard = self.service.write();
         let mut owners = self.service.lock_owners();
         if owners.get(&self.ns.raw()) != Some(&self.token) {
@@ -264,7 +439,14 @@ impl Session {
         }
         owners.remove(&self.ns.raw());
         drop(owners);
-        guard.drop_namespace(self.ns)
+        guard.begin_deferred();
+        let deleted = guard.drop_namespace(self.ns);
+        let tickets = guard.end_deferred();
+        drop(guard);
+        if let Some(ticket) = tickets.last() {
+            let _ = ticket.wait();
+        }
+        deleted
     }
 
     /// Re-binds this session to an existing namespace, dropping the one it
@@ -300,8 +482,16 @@ impl Session {
             owners.remove(&old.raw());
         }
         drop(owners);
-        if owned_old {
+        let tickets = if owned_old {
+            guard.begin_deferred();
             guard.drop_namespace(old);
+            guard.end_deferred()
+        } else {
+            Vec::new()
+        };
+        drop(guard);
+        if let Some(ticket) = tickets.last() {
+            ticket.wait()?;
         }
         Ok(())
     }
@@ -309,31 +499,42 @@ impl Session {
     /// Generates a component instance in this session's namespace.
     ///
     /// The expensive read-only prepare phase (cache lookup, or the full
-    /// cold pipeline on a miss) runs under the *shared* lock; the
-    /// journaled install event then takes the exclusive lock with the
-    /// prepared payload as a hint, which the event path accepts only when
-    /// it is provably equivalent to regenerating (same knowledge-base and
+    /// cold pipeline on a miss) runs against the lock-free epoch snapshot
+    /// — warm and cold prepares alike block no one. The journaled install
+    /// event then runs in the exclusive commit section with the prepared
+    /// payload as a hint, which the event path accepts only when it is
+    /// provably equivalent to regenerating (same knowledge-base and
     /// cell-library versions — see
-    /// [`GenerationPayload::fresh_for`](crate::GenerationPayload::fresh_for)).
-    /// VHDL clusters
-    /// skip the pre-warm: they flatten live instances, so they prepare
-    /// under the exclusive lock at their journal position.
+    /// [`GenerationPayload::fresh_for`](crate::GenerationPayload::fresh_for));
+    /// a snapshot gone stale mid-flight therefore costs a regeneration,
+    /// never correctness. A prepare that fails against the snapshot is
+    /// retried under the shared lock so error reporting reflects live
+    /// state. VHDL clusters skip the pre-warm: they flatten live
+    /// instances, so they prepare under the exclusive lock at their
+    /// journal position.
     ///
     /// # Errors
     /// See [`Icdb::request_component`].
     pub fn request_component(&self, request: &ComponentRequest) -> Result<String, IcdbError> {
         let hint = match request.source {
             Source::VhdlNetlist(_) => None,
-            _ => Some(self.service.read().prepare_payload(self.ns, request)?),
+            _ => {
+                let epoch = self.service.epoch();
+                match epoch.prepare_payload(NsId::ROOT, request) {
+                    Ok(payload) => Some(payload),
+                    Err(_) => Some(self.service.read().prepare_payload(self.ns, request)?),
+                }
+            }
         };
-        self.service
-            .write()
-            .commit_install(self.ns, request, hint.as_ref())
+        self.service.with_write(self.ns, |icdb| {
+            icdb.commit_install(self.ns, request, hint.as_ref())
+        })
     }
 
     /// Batch generation in this session's namespace: prepares (cold work
-    /// fanned over `workers` scoped threads, all under the shared lock),
-    /// then installs sequentially under one exclusive lock.
+    /// fanned over `workers` scoped threads against the lock-free epoch
+    /// snapshot), then installs sequentially inside one exclusive commit
+    /// section — a single group flush acknowledges the whole batch.
     ///
     /// # Errors
     /// See [`Icdb::request_components_batch`].
@@ -342,35 +543,48 @@ impl Session {
         requests: &[ComponentRequest],
         workers: usize,
     ) -> Result<Vec<String>, IcdbError> {
-        let prepared = self
-            .service
-            .read()
-            .prepare_batch(self.ns, requests, workers);
-        self.service
-            .write()
-            .install_batch_in(self.ns, requests, prepared)
+        let epoch = self.service.epoch();
+        let prepared = epoch.prepare_batch(NsId::ROOT, requests, workers);
+        self.service.with_write(self.ns, |icdb| {
+            icdb.install_batch_in(self.ns, requests, prepared)
+        })
     }
 
-    /// Executes one CQL command in this session's namespace. Read-only
-    /// commands (`component_query`, `instance_query`, …) run under the
-    /// shared lock; mutating commands (and instance queries needing cold
-    /// layout generation) fall back to the exclusive lock.
+    /// Executes one CQL command in this session's namespace.
+    /// Knowledge-only commands (`component_query`, `cache_query`, …) are
+    /// answered from the epoch snapshot without any lock; the remaining
+    /// read-only commands (`instance_query`, unpublished `explore`, …)
+    /// run under the shared lock; mutating commands (and instance queries
+    /// needing cold layout generation) take the exclusive commit section.
     ///
     /// # Errors
     /// See [`Icdb::execute`].
     pub fn execute(&self, command: &str, args: &mut [CqlArg]) -> Result<(), IcdbError> {
+        if crate::cql::command_text_is_knowledge_only(command) {
+            // An epoch failure (e.g. a component missing from a snapshot
+            // that is mid-rebuild) falls through to the locked paths so
+            // errors always reflect live state.
+            if let Ok(true) = self
+                .service
+                .epoch()
+                .execute_read_in(NsId::ROOT, command, args)
+            {
+                return Ok(());
+            }
+        }
         if crate::cql::command_text_is_read_only(command) {
             let guard = self.service.read();
             if guard.execute_read_in(self.ns, command, args)? {
                 return Ok(());
             }
         }
-        self.service.write().execute_in(self.ns, command, args)
+        self.service
+            .with_write(self.ns, |icdb| icdb.execute_in(self.ns, command, args))
     }
 
-    /// Runs a design-space exploration sweep in this session (shared
-    /// lock — the sweep is read-only; warm and cold evaluations alike run
-    /// without blocking other sessions' reads).
+    /// Runs a design-space exploration sweep in this session against the
+    /// lock-free epoch snapshot — warm and cold evaluations alike block
+    /// no other session, and results land in the shared cache.
     ///
     /// # Errors
     /// See [`Icdb::explore`].
@@ -378,7 +592,7 @@ impl Session {
         &self,
         spec: &crate::explore::ExploreSpec,
     ) -> Result<icdb_explore::ExplorationReport, IcdbError> {
-        self.service.read().explore_in(self.ns, spec)
+        self.service.epoch().explore_in(NsId::ROOT, spec)
     }
 
     /// §3.3 delay string of one of this session's instances (shared lock).
@@ -439,7 +653,7 @@ impl Session {
 
     /// CIF of an instance: the warm path (already generated) is a shared
     /// blob read under the shared lock; only cold generation takes the
-    /// exclusive lock.
+    /// exclusive commit section.
     ///
     /// # Errors
     /// `NotFound` if the instance is absent; layout errors propagate.
@@ -447,11 +661,12 @@ impl Session {
         if let Some(cif) = self.service.read().cif_layout_cached_in(self.ns, name)? {
             return Ok(cif);
         }
-        self.service.write().cif_layout_in(self.ns, name)
+        self.service
+            .with_write(self.ns, |icdb| icdb.cif_layout_in(self.ns, name))
     }
 
     /// Regenerates a layout with explicit alternative/port choices
-    /// (exclusive lock).
+    /// (exclusive commit section).
     ///
     /// # Errors
     /// See [`Icdb::generate_layout`].
@@ -461,12 +676,13 @@ impl Session {
         alternative: Option<usize>,
         port_positions: Option<&str>,
     ) -> Result<Arc<str>, IcdbError> {
-        self.service
-            .write()
-            .generate_layout_in(self.ns, instance, alternative, port_positions)
+        self.service.with_write(self.ns, |icdb| {
+            icdb.generate_layout_in(self.ns, instance, alternative, port_positions)
+        })
     }
 
-    /// Re-estimates an instance under different loads (exclusive lock).
+    /// Re-estimates an instance under different loads (exclusive commit
+    /// section).
     ///
     /// # Errors
     /// See [`Icdb::resize_for_load`].
@@ -476,9 +692,9 @@ impl Session {
         loads: &LoadSpec,
         clock_width: f64,
     ) -> Result<(), IcdbError> {
-        self.service
-            .write()
-            .resize_for_load_in(self.ns, instance, loads, clock_width)
+        self.service.with_write(self.ns, |icdb| {
+            icdb.resize_for_load_in(self.ns, instance, loads, clock_width)
+        })
     }
 
     /// Names of this session's instances, in creation order.
@@ -495,51 +711,55 @@ impl Session {
         self.service.read().instance_in(self.ns, name).is_ok()
     }
 
-    /// `start_a_design` in this session (exclusive lock).
+    /// `start_a_design` in this session (exclusive commit section).
     ///
     /// # Errors
     /// See [`Icdb::start_design`].
     pub fn start_design(&self, name: &str) -> Result<(), IcdbError> {
-        self.service.write().start_design_in(self.ns, name)
+        self.service
+            .with_write(self.ns, |icdb| icdb.start_design_in(self.ns, name))
     }
 
-    /// `start_a_transaction` in this session (exclusive lock).
+    /// `start_a_transaction` in this session (exclusive commit section).
     ///
     /// # Errors
     /// See [`Icdb::start_transaction`].
     pub fn start_transaction(&self, design: &str) -> Result<(), IcdbError> {
-        self.service.write().start_transaction_in(self.ns, design)
+        self.service
+            .with_write(self.ns, |icdb| icdb.start_transaction_in(self.ns, design))
     }
 
-    /// `put_in_component_list` in this session (exclusive lock).
+    /// `put_in_component_list` in this session (exclusive commit section).
     ///
     /// # Errors
     /// See [`Icdb::put_in_component_list`].
     pub fn put_in_component_list(&self, design: &str, instance: &str) -> Result<(), IcdbError> {
-        self.service
-            .write()
-            .put_in_component_list_in(self.ns, design, instance)
+        self.service.with_write(self.ns, |icdb| {
+            icdb.put_in_component_list_in(self.ns, design, instance)
+        })
     }
 
-    /// `end_a_transaction` in this session (exclusive lock).
+    /// `end_a_transaction` in this session (exclusive commit section).
     ///
     /// # Errors
     /// See [`Icdb::end_transaction`].
     pub fn end_transaction(&self, design: &str) -> Result<usize, IcdbError> {
-        self.service.write().end_transaction_in(self.ns, design)
+        self.service
+            .with_write(self.ns, |icdb| icdb.end_transaction_in(self.ns, design))
     }
 
-    /// `end_a_design` in this session (exclusive lock).
+    /// `end_a_design` in this session (exclusive commit section).
     ///
     /// # Errors
     /// See [`Icdb::end_design`].
     pub fn end_design(&self, design: &str) -> Result<usize, IcdbError> {
-        self.service.write().end_design_in(self.ns, design)
+        self.service
+            .with_write(self.ns, |icdb| icdb.end_design_in(self.ns, design))
     }
 
     /// Knowledge acquisition through this session (global effect: the
     /// implementation becomes visible to every session, and warm cache
-    /// entries are invalidated for all).
+    /// entries — and epoch snapshots — are invalidated for all).
     ///
     /// # Errors
     /// See [`Icdb::insert_implementation`].
@@ -657,5 +877,96 @@ mod tests {
         assert!(service.read().instance(&name).is_ok());
         let session = service.open_session();
         assert!(!session.has_instance(&name));
+    }
+
+    const GRAY_COUNTER: &str = "
+NAME: GRAY_COUNTER;
+PARAMETER: size;
+INORDER: CLK, RST;
+OUTORDER: G[size];
+PIIFVARIABLE: B[size], NB[size], C[size+1];
+VARIABLE: i;
+{
+  C[0] = 1;
+  #for(i=0;i<size;i++)
+  {
+    B[i] = (B[i] (+) C[i]) @(~r CLK) ~a(0/RST);
+    C[i+1] = C[i] * B[i];
+  }
+  #for(i=0;i<size-1;i++)
+    G[i] = B[i] (+) B[i+1];
+  G[size-1] = B[size-1];
+}";
+
+    /// Knowledge-only CQL runs against the epoch snapshot; knowledge
+    /// acquisition bumps the version mirrors so the next epoch read is a
+    /// *new* snapshot that sees the new implementation.
+    #[test]
+    fn epoch_snapshot_tracks_knowledge_versions() {
+        let service = IcdbService::shared();
+        let session = service.open_session();
+        let before = service.epoch();
+        // Same versions → same cached snapshot, no rebuild.
+        assert_eq!(Arc::as_ptr(&before), Arc::as_ptr(&service.epoch()));
+        // The knowledge-only fast path answers through the snapshot.
+        let mut args = vec![CqlArg::OutStrList(None)];
+        session
+            .execute(
+                "command:component_query; component:counter; ICDB_components:?s[]",
+                &mut args,
+            )
+            .unwrap();
+        let CqlArg::OutStrList(Some(names)) = &args[0] else {
+            panic!("no names");
+        };
+        assert!(names.iter().any(|n| n == "COUNTER"));
+        session
+            .insert_implementation(
+                GRAY_COUNTER,
+                "Counter",
+                &["INC"],
+                &[("size", 4)],
+                None,
+                "epoch invalidation probe",
+            )
+            .unwrap();
+        // The mirrors moved: the next epoch read rebuilds and sees the
+        // new implementation; the stale snapshot never does.
+        let after = service.epoch();
+        assert_ne!(Arc::as_ptr(&before), Arc::as_ptr(&after));
+        assert!(after.library.implementation("GRAY_COUNTER").is_some());
+        assert!(before.library.implementation("GRAY_COUNTER").is_none());
+    }
+
+    /// Same-shard sessions serialize their commits; different-shard
+    /// sessions interleave — either way every session's transcript
+    /// matches what a dedicated single-caller server would produce (the
+    /// heavyweight version of this check lives in
+    /// `tests/shard_properties.rs`).
+    #[test]
+    fn concurrent_commits_across_shards_stay_isolated() {
+        let service = IcdbService::shared();
+        let sessions: Vec<Session> = (0..4).map(|_| service.open_session()).collect();
+        let names: Vec<String> = std::thread::scope(|scope| {
+            let handles: Vec<_> = sessions
+                .iter()
+                .enumerate()
+                .map(|(i, session)| {
+                    scope.spawn(move || {
+                        let req = ComponentRequest::by_implementation("ADDER")
+                            .attribute("size", format!("{}", 2 + i));
+                        session.request_component(&req).unwrap()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        // Isolated naming counters: every session names its first
+        // instance identically, regardless of commit interleaving.
+        assert_eq!(names.len(), 4);
+        assert!(names.iter().all(|n| n == &names[0]), "names: {names:?}");
+        for (session, name) in sessions.iter().zip(&names) {
+            assert_eq!(session.instance_names(), vec![name.clone()]);
+        }
     }
 }

@@ -2,21 +2,35 @@
 //!
 //! Serves the shared knowledge base, generation cache and per-connection
 //! design namespaces over the line-oriented CQL protocol of
-//! [`icdb::net`]. One thread per connection, bounded by `--max-connections`.
+//! [`icdb::net`]. Connections are multiplexed over an epoll worker pool
+//! (`--workers`, Linux); `--max-connections` is pure admission policy —
+//! a connection over the cap is refused with `ERR capacity …`, never
+//! queued.
 //!
 //! ```text
-//! icdbd [--addr HOST:PORT] [--max-connections N] [--data-dir DIR] [--no-fsync]
+//! icdbd [--addr HOST:PORT] [--max-connections N] [--workers N]
+//!       [--data-dir DIR] [--no-fsync] [--group-commit-window MS]
 //! ```
 //!
 //! With `--data-dir`, the daemon is **crash-recovering**: on boot it loads
 //! the newest valid snapshot and replays the write-ahead log (truncating
-//! any torn final record), and every mutation is journaled — fsynced by
-//! default — before it is applied. `SIGINT`/`SIGTERM` trigger a graceful
-//! shutdown: the accept loop stops, the WAL is flushed and a checkpoint
-//! (full snapshot + fresh WAL generation) is written, so the next boot
-//! starts without replay. A `SIGKILL` (or power loss) instead recovers
-//! from the journal — byte-identically, which `tests/durability_e2e.rs`
-//! pins down.
+//! any torn final record), and every mutation is journaled before it is
+//! applied. Durability is **group-commit**: concurrent committers enqueue
+//! WAL records and one fsync acknowledges the whole batch;
+//! `--group-commit-window` lets a would-be flush leader linger that many
+//! milliseconds for companions first (default 0: flush eagerly, still
+//! batching whatever queued while the previous fsync ran). `--no-fsync`
+//! drops the fsync entirely — acknowledged commits then survive process
+//! crashes, not power loss — making the window moot.
+//!
+//! `SIGINT`/`SIGTERM` trigger a graceful shutdown: the accept loop
+//! stops, the epoll workers exit (parking live sessions — their
+//! namespaces survive for post-restart `attach`), any in-flight group
+//! commit is drained, and only then is a checkpoint (full snapshot plus
+//! a fresh WAL generation) written, so the next boot starts without
+//! replay. A `SIGKILL` (or power loss) instead recovers from the journal
+//! — exactly the acknowledged prefix, which `tests/durability_e2e.rs`
+//! and `tests/recovery_properties.rs` pin down.
 //!
 //! Try it with netcat:
 //!
@@ -37,7 +51,7 @@
 //! After a restart, reconnect and `attach ns1` to resume the recovered
 //! session namespace.
 
-use icdb::net::{Server, DEFAULT_MAX_CONNECTIONS, DEFAULT_PORT};
+use icdb::net::{Server, DEFAULT_MAX_CONNECTIONS, DEFAULT_PORT, DEFAULT_WORKERS};
 use icdb::IcdbService;
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -82,6 +96,8 @@ fn main() -> ExitCode {
     let mut max_connections = DEFAULT_MAX_CONNECTIONS;
     let mut data_dir: Option<String> = None;
     let mut fsync = true;
+    let mut workers = DEFAULT_WORKERS;
+    let mut group_commit_window = std::time::Duration::ZERO;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -99,17 +115,30 @@ fn main() -> ExitCode {
                 None => return usage("--data-dir needs a directory path"),
             },
             "--no-fsync" => fsync = false,
+            "--workers" | "-w" => match args.next().map(|v| v.parse::<usize>()) {
+                Some(Ok(v)) if v >= 1 => workers = v,
+                _ => return usage("--workers needs a positive integer"),
+            },
+            "--group-commit-window" => match args.next().map(|v| v.parse::<u64>()) {
+                Some(Ok(ms)) => group_commit_window = std::time::Duration::from_millis(ms),
+                _ => return usage("--group-commit-window needs milliseconds"),
+            },
             "--help" | "-h" => {
                 println!(
                     "icdbd — ICDB component-database daemon\n\n\
-                     USAGE: icdbd [--addr HOST:PORT] [--max-connections N] [--data-dir DIR] [--no-fsync]\n\n\
+                     USAGE: icdbd [--addr HOST:PORT] [--max-connections N] [--workers N]\n\
+                     \x20             [--data-dir DIR] [--no-fsync] [--group-commit-window MS]\n\n\
                      OPTIONS:\n\
                      \x20 -a, --addr HOST:PORT       listen address (default 127.0.0.1:{DEFAULT_PORT})\n\
-                     \x20 -c, --max-connections N    connection cap (default {DEFAULT_MAX_CONNECTIONS})\n\
+                     \x20 -c, --max-connections N    admission cap (default {DEFAULT_MAX_CONNECTIONS});\n\
+                     \x20                            connections over the cap are refused, not queued\n\
+                     \x20 -w, --workers N            epoll worker pool size (default {DEFAULT_WORKERS})\n\
                      \x20 -d, --data-dir DIR         durable mode: journal + snapshots in DIR,\n\
                      \x20                            recover on boot, checkpoint on SIGINT/SIGTERM\n\
-                     \x20     --no-fsync             skip the per-commit fsync (survives process\n\
-                     \x20                            crashes, not power loss)\n\n\
+                     \x20     --no-fsync             skip the per-batch fsync (survives process\n\
+                     \x20                            crashes, not power loss)\n\
+                     \x20     --group-commit-window MS  let a flush leader wait MS milliseconds\n\
+                     \x20                            for companion commits before fsyncing\n\n\
                      PROTOCOL: one CQL command per line; `attach ns<N>` re-binds the session\n\
                      to a (recovered) namespace; `quit` disconnects. See the `icdb::net`\n\
                      module docs or the README for details."
@@ -121,7 +150,7 @@ fn main() -> ExitCode {
     }
 
     let service = match &data_dir {
-        Some(dir) => match IcdbService::open_with_sync(dir, fsync) {
+        Some(dir) => match IcdbService::open_with_options(dir, fsync, group_commit_window) {
             Ok(service) => {
                 let stats = service.persist_stats().expect("durable service");
                 eprintln!(
@@ -144,7 +173,7 @@ fn main() -> ExitCode {
     #[cfg(unix)]
     signals::install();
 
-    let server = match Server::bind(&addr, Arc::clone(&service), max_connections) {
+    let server = match Server::bind_with(&addr, Arc::clone(&service), max_connections, workers) {
         Ok(server) => server,
         Err(e) => {
             eprintln!("icdbd: cannot bind {addr}: {e}");
@@ -152,7 +181,9 @@ fn main() -> ExitCode {
         }
     };
     match server.local_addr() {
-        Ok(bound) => eprintln!("icdbd: listening on {bound} (max {max_connections} connections)"),
+        Ok(bound) => eprintln!(
+            "icdbd: listening on {bound} (max {max_connections} connections, {workers} workers)"
+        ),
         Err(_) => eprintln!("icdbd: listening on {addr}"),
     }
     let handle = match server.spawn() {
@@ -177,12 +208,17 @@ fn main() -> ExitCode {
     #[cfg(unix)]
     {
         eprintln!("icdbd: shutdown signal received, stopping accept loop");
+        // Order matters: `shutdown()` joins the epoll workers, so every
+        // live session has been parked and every commit those workers
+        // issued is at least *enqueued* on the group-commit queue before
+        // the checkpoint below runs. The checkpoint then drains that
+        // queue (flushing any in-flight batch) before capturing the
+        // snapshot; checkpointing first would race the drain and could
+        // snapshot ahead of still-queued acknowledged commits.
         handle.shutdown();
         if data_dir.is_some() {
-            // Flush + checkpoint so the next boot starts from a snapshot
-            // instead of a long WAL replay. Mutations from still-draining
-            // connections stay safe either way: each was journaled before
-            // it was applied.
+            // Drain + checkpoint so the next boot starts from a snapshot
+            // instead of a long WAL replay.
             match service.checkpoint() {
                 Ok(stats) => eprintln!(
                     "icdbd: checkpointed generation {} ({} snapshot bytes)",
@@ -200,8 +236,8 @@ fn main() -> ExitCode {
 
 fn usage(message: &str) -> ExitCode {
     eprintln!(
-        "icdbd: {message}\nUSAGE: icdbd [--addr HOST:PORT] [--max-connections N] \
-         [--data-dir DIR] [--no-fsync]"
+        "icdbd: {message}\nUSAGE: icdbd [--addr HOST:PORT] [--max-connections N] [--workers N] \
+         [--data-dir DIR] [--no-fsync] [--group-commit-window MS]"
     );
     ExitCode::FAILURE
 }

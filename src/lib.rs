@@ -61,6 +61,9 @@ pub use icdb_core::{
 
 pub mod net;
 
+#[cfg(target_os = "linux")]
+mod event_loop;
+
 /// The component server (re-export of `icdb-core`).
 pub mod core {
     pub use icdb_core::*;

@@ -3,9 +3,12 @@
 //! The paper's `ICDB("command:…", &vars)` is a C function call; this
 //! module puts the same calls on a socket so many synthesis tools can
 //! share one component database. Each connection gets its own
-//! [`Session`](icdb_core::Session) (isolated instance namespace over the shared knowledge
-//! base); the server runs one thread per connection, bounded by a
-//! connection cap.
+//! [`Session`](icdb_core::Session) (isolated instance namespace over the
+//! shared knowledge base). On Linux the server multiplexes all
+//! connections over a small epoll worker pool (see
+//! [`crate::event_loop`]): the connection cap is pure admission policy,
+//! not a thread budget, so thousands of concurrent clients are fine.
+//! Elsewhere it falls back to one thread per connection.
 //!
 //! ## Wire protocol
 //!
@@ -53,7 +56,9 @@ use icdb_core::{IcdbError, IcdbService};
 use icdb_cql::{scan_slots, CqlArg, SlotSpec, SlotType};
 use std::io::{self, BufRead, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+#[cfg(not(target_os = "linux"))]
+use std::sync::atomic::AtomicUsize;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
@@ -62,6 +67,11 @@ pub const DEFAULT_PORT: u16 = 7433;
 
 /// Default connection cap.
 pub const DEFAULT_MAX_CONNECTIONS: usize = 32;
+
+/// Default size of the epoll worker pool (`icdbd --workers`). Each
+/// worker owns a private epoll instance and its share of the
+/// connections; commands execute synchronously on the owning worker.
+pub const DEFAULT_WORKERS: usize = 4;
 
 /// Separator for list items inside one wire field.
 const LIST_SEP: char = '\u{1f}';
@@ -287,12 +297,14 @@ fn decode_output(line: &str, arg: &mut CqlArg) -> Result<(), String> {
 // --------------------------------------------------------------- server
 
 /// The `icdbd` TCP server: an [`IcdbService`] behind a line-oriented CQL
-/// protocol, one thread and one session per connection, bounded by a
-/// connection cap.
+/// protocol, one session per connection, bounded by an admission cap.
+/// Linux builds serve all connections from an epoll worker pool; other
+/// platforms fall back to one thread per connection.
 pub struct Server {
     listener: TcpListener,
     service: Arc<IcdbService>,
     max_connections: usize,
+    workers: usize,
     shutdown: Arc<AtomicBool>,
 }
 
@@ -344,10 +356,25 @@ impl Server {
         service: Arc<IcdbService>,
         max_connections: usize,
     ) -> io::Result<Server> {
+        Server::bind_with(addr, service, max_connections, DEFAULT_WORKERS)
+    }
+
+    /// [`Server::bind`] with an explicit epoll worker-pool size (ignored
+    /// by the thread-per-connection fallback on non-Linux platforms).
+    ///
+    /// # Errors
+    /// Propagates socket errors.
+    pub fn bind_with(
+        addr: impl ToSocketAddrs,
+        service: Arc<IcdbService>,
+        max_connections: usize,
+        workers: usize,
+    ) -> io::Result<Server> {
         Ok(Server {
             listener: TcpListener::bind(addr)?,
             service,
             max_connections: max_connections.max(1),
+            workers: workers.max(1),
             shutdown: Arc::new(AtomicBool::new(false)),
         })
     }
@@ -360,11 +387,35 @@ impl Server {
         self.listener.local_addr()
     }
 
-    /// Runs the accept loop on the current thread until shut down.
+    /// Runs the server on the current thread until shut down: the accept
+    /// loop admits connections and the epoll workers serve them (Linux;
+    /// elsewhere each admitted connection gets a thread). Returns only
+    /// after every worker exited and dropped its sessions, so a caller
+    /// that checkpoints afterwards sees all namespace cleanup journaled.
     ///
     /// # Errors
     /// Propagates accept errors.
     pub fn serve(self) -> io::Result<()> {
+        #[cfg(target_os = "linux")]
+        {
+            crate::event_loop::serve(
+                self.listener,
+                self.service,
+                self.max_connections,
+                self.workers,
+                self.shutdown,
+            )
+        }
+        #[cfg(not(target_os = "linux"))]
+        {
+            self.serve_threaded()
+        }
+    }
+
+    /// The portable thread-per-connection fallback.
+    #[cfg(not(target_os = "linux"))]
+    fn serve_threaded(self) -> io::Result<()> {
+        let _ = self.workers;
         let active = Arc::new(AtomicUsize::new(0));
         for stream in self.listener.incoming() {
             if self.shutdown.load(Ordering::SeqCst) {
@@ -429,6 +480,7 @@ impl Server {
 /// namespace — the crash-recovery path, since a durable server preserves
 /// namespace ids across restarts (see [`icdb_core::Session::attach`]).
 /// The response is `OK 1` + `s ns<N>` on success.
+#[cfg(not(target_os = "linux"))]
 fn handle_connection(stream: TcpStream, service: &Arc<IcdbService>) -> io::Result<()> {
     let mut session = service.open_session();
     let reader = BufReader::new(stream.try_clone()?);
@@ -464,7 +516,7 @@ fn handle_connection(stream: TcpStream, service: &Arc<IcdbService>) -> io::Resul
 
 /// Handles the `attach` wire command: parses `ns<N>` / `<N>` and re-binds
 /// the session (ownership of the namespace transfers to this connection).
-fn attach_session(
+pub(crate) fn attach_session(
     session: &mut icdb_core::Session,
     target: &str,
 ) -> Result<Vec<String>, (ErrCode, String)> {
@@ -489,7 +541,10 @@ fn attach_session(
 /// Decodes one request line, executes it in the session, and encodes the
 /// output lines. Errors carry their wire reason code: decoding problems
 /// are `parse`, execution failures are `cql`.
-fn answer(session: &icdb_core::Session, line: &str) -> Result<Vec<String>, (ErrCode, String)> {
+pub(crate) fn answer(
+    session: &icdb_core::Session,
+    line: &str,
+) -> Result<Vec<String>, (ErrCode, String)> {
     let parse = |m: String| (ErrCode::Parse, m);
     let mut fields = line.split('\t');
     let command = unescape(fields.next().unwrap_or_default()).map_err(parse)?;

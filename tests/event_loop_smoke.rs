@@ -1,0 +1,425 @@
+//! Event-loop smoke: connections ≫ worker threads.
+//!
+//! The epoll server multiplexes its connections over a small worker
+//! pool, so the connection cap is admission policy rather than a thread
+//! budget. These tests pin that down end-to-end: 512 concurrent
+//! connections against a 4-worker server — interleaving warm and cold
+//! generation, `attach` traffic and exploration sweeps — where every
+//! session's transcript must be byte-identical to the same script
+//! replayed sequentially on a dedicated session, no connection may be
+//! refused below the admission limit, and a SIGTERM with live
+//! connections and a non-zero group-commit window must still drain the
+//! commit queue into a clean checkpoint.
+
+#![cfg(unix)]
+
+use icdb::cql::CqlArg;
+use icdb::net::{IcdbClient, Server};
+use icdb::{IcdbService, NsId};
+use std::net::{TcpListener, TcpStream};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::sync::{Arc, Barrier, Mutex};
+use std::time::{Duration, Instant};
+
+/// Connections opened against the 4-worker server.
+const CONNECTIONS: usize = 512;
+/// Driver threads (each owns CONNECTIONS / DRIVERS live connections).
+const DRIVERS: usize = 16;
+/// Worker pool size under test.
+const WORKERS: usize = 4;
+
+/// One client's deterministic script, parameterized by its global index.
+/// Returns the transcript: every output slot value, in order.
+fn run_script(index: usize, exec: &mut dyn FnMut(&str, &mut [CqlArg])) -> Vec<String> {
+    let mut transcript = Vec::new();
+    let size = 3 + (index % 3);
+    // Warm/cold generation: three size classes, so the first arrival of
+    // each class runs the cold pipeline and the rest hit the cache.
+    let mut args = vec![CqlArg::OutStr(None)];
+    exec(
+        &format!(
+            "command:request_component; component_name:counter; attribute:(size:{size}); \
+             generated_component:?s"
+        ),
+        &mut args,
+    );
+    let CqlArg::OutStr(Some(name)) = args[0].clone() else {
+        panic!("client {index}: no instance name");
+    };
+    transcript.push(name.clone());
+    // Instance query in the session's namespace.
+    let mut args = vec![CqlArg::InStr(name.clone()), CqlArg::OutStr(None)];
+    exec(
+        "command:instance_query; generated_component:%s; delay:?s",
+        &mut args,
+    );
+    let CqlArg::OutStr(Some(delay)) = args[1].clone() else {
+        panic!("client {index}: no delay");
+    };
+    transcript.push(delay);
+    // A sparse slice of the fleet sweeps the design space (read-only, so
+    // it rides the lock-free snapshot path on the server).
+    if index % 64 == 0 {
+        let mut args = vec![
+            CqlArg::InReal(1e9),
+            CqlArg::OutStr(None),
+            CqlArg::OutInt(None),
+        ];
+        exec(
+            "command:explore; component:counter; widths:(3,4); strategies:(cheapest); \
+             max_delay:%r; workers:1; winner:?s; points:?d",
+            &mut args,
+        );
+        let CqlArg::OutStr(Some(winner)) = args[1].clone() else {
+            panic!("client {index}: no winner");
+        };
+        let CqlArg::OutInt(Some(points)) = args[2] else {
+            panic!("client {index}: no points");
+        };
+        transcript.push(winner);
+        transcript.push(points.to_string());
+    }
+    // One more generation after the detour: the namespace (and its
+    // naming counter) must have survived everything above.
+    let mut args = vec![CqlArg::OutStr(None)];
+    exec(
+        &format!(
+            "command:request_component; component_name:counter; attribute:(size:{size}); \
+             generated_component:?s"
+        ),
+        &mut args,
+    );
+    let CqlArg::OutStr(Some(second)) = args[0].clone() else {
+        panic!("client {index}: no second instance");
+    };
+    transcript.push(second);
+    transcript
+}
+
+/// The scripts only differ by `index % 3` (size class) and `index % 64`
+/// (explore detour), so sequential replays are shared per class.
+fn class_of(index: usize) -> usize {
+    (index % 3) + if index % 64 == 0 { 3 } else { 0 }
+}
+
+/// A representative client index for each script class: classes 0–2 are
+/// the plain scripts per size class, 3–5 additionally take the explore
+/// detour (index ≡ 0 mod 64, picked so index % 3 covers every size).
+const CLASS_REPRESENTATIVES: [usize; 6] = [3, 1, 2, 192, 64, 128];
+
+#[test]
+fn five_hundred_twelve_connections_on_four_workers() {
+    for (class, index) in CLASS_REPRESENTATIVES.iter().enumerate() {
+        assert_eq!(class_of(*index), class, "representative table is off");
+    }
+
+    let service = Arc::new(IcdbService::new());
+    let server = Server::bind_with(
+        "127.0.0.1:0",
+        Arc::clone(&service),
+        CONNECTIONS + 64, // admission limit comfortably above the fleet
+        WORKERS,
+    )
+    .expect("bind ephemeral port");
+    let handle = server.spawn().expect("spawn server");
+    let addr = handle.addr();
+
+    // Sequential replays, one per script class, each on a dedicated
+    // session of its own fresh service — the ground truth the concurrent
+    // transcripts must match byte-for-byte.
+    let expected: Vec<Vec<String>> = CLASS_REPRESENTATIVES
+        .iter()
+        .map(|&index| {
+            let solo = IcdbService::shared();
+            let session = solo.open_session();
+            run_script(index, &mut |cmd, args| {
+                session.execute(cmd, args).expect("sequential replay");
+            })
+        })
+        .collect();
+
+    type Transcripts = Vec<(usize, Vec<String>)>;
+    let transcripts: Mutex<Transcripts> = Mutex::new(Vec::with_capacity(CONNECTIONS));
+    let barrier = Arc::new(Barrier::new(DRIVERS));
+    std::thread::scope(|scope| {
+        for driver in 0..DRIVERS {
+            let transcripts = &transcripts;
+            let barrier = Arc::clone(&barrier);
+            scope.spawn(move || {
+                let per = CONNECTIONS / DRIVERS;
+                // Open every connection first — all 512 are live at once,
+                // far more than the 4 workers could serve thread-per-conn.
+                let mut clients: Vec<(usize, IcdbClient)> = (0..per)
+                    .map(|slot| {
+                        let index = driver * per + slot;
+                        let client = IcdbClient::connect(addr).unwrap_or_else(|e| {
+                            panic!("connection {index} refused below the admission limit: {e}")
+                        });
+                        (index, client)
+                    })
+                    .collect();
+                barrier.wait();
+                for (index, client) in &mut clients {
+                    let own_ns = client.session_ns().expect("greeting carries ns");
+                    let mut calls = 0usize;
+                    let transcript = run_script(*index, &mut |cmd, args| {
+                        client.execute(cmd, args).expect("wire execute");
+                        calls += 1;
+                        // Interleave attach traffic: re-binding to the
+                        // session's own namespace mid-script must be a
+                        // transcript no-op.
+                        if calls == 1 {
+                            client.attach(own_ns).expect("self attach");
+                        }
+                    });
+                    transcripts.lock().unwrap().push((*index, transcript));
+                }
+                for (_, client) in clients {
+                    client.quit().expect("quit");
+                }
+            });
+        }
+    });
+
+    let transcripts = transcripts.into_inner().unwrap();
+    assert_eq!(transcripts.len(), CONNECTIONS);
+    for (index, transcript) in transcripts.iter() {
+        assert_eq!(
+            transcript,
+            &expected[class_of(*index)],
+            "session {index} diverged from its sequential replay"
+        );
+    }
+    // `quit` is acknowledged by teardown, not a response line, so the
+    // session release is asynchronous — but it must complete.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while service.session_count() != 0 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert_eq!(service.session_count(), 0, "quit sessions must release");
+    handle.shutdown();
+}
+
+#[test]
+fn admission_limit_refuses_exactly_above_cap() {
+    let service = Arc::new(IcdbService::new());
+    let server =
+        Server::bind_with("127.0.0.1:0", Arc::clone(&service), 8, 2).expect("bind ephemeral");
+    let handle = server.spawn().expect("spawn");
+
+    // Everything below the cap is admitted…
+    let mut admitted: Vec<IcdbClient> = (0..8)
+        .map(|i| {
+            IcdbClient::connect(handle.addr())
+                .unwrap_or_else(|e| panic!("connection {i} refused below the cap: {e}"))
+        })
+        .collect();
+    // …and the first connection above it is refused with the capacity
+    // code, not queued or dropped.
+    let err = IcdbClient::connect(handle.addr()).expect_err("over-cap connect must be refused");
+    assert!(
+        matches!(&err, icdb::IcdbError::Unsupported(m) if m.contains("connection capacity (8)")),
+        "unexpected refusal: {err:?}"
+    );
+    // Capacity frees once a client leaves (teardown is asynchronous).
+    admitted.remove(0).quit().expect("quit");
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        match IcdbClient::connect(handle.addr()) {
+            Ok(_) => break,
+            Err(_) if Instant::now() < deadline => std::thread::sleep(Duration::from_millis(10)),
+            Err(e) => panic!("capacity never freed: {e}"),
+        }
+    }
+    drop(admitted);
+    handle.shutdown();
+}
+
+// ------------------------------------------------- SIGTERM drain (e2e)
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("icdb-event-loop-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn free_port() -> u16 {
+    TcpListener::bind("127.0.0.1:0")
+        .expect("bind ephemeral")
+        .local_addr()
+        .expect("addr")
+        .port()
+}
+
+/// A spawned daemon that is SIGKILLed when dropped, so a failing test
+/// never leaks a process.
+struct Daemon(Option<Child>);
+
+impl Daemon {
+    fn kill(&mut self) {
+        if let Some(mut child) = self.0.take() {
+            child.kill().expect("SIGKILL icdbd");
+            child.wait().expect("reap icdbd");
+        }
+    }
+
+    /// SIGTERM, then wait for the graceful (checkpointing) exit.
+    fn terminate_gracefully(&mut self) {
+        let mut child = self.0.take().expect("daemon live");
+        unsafe {
+            assert_eq!(libc_kill(child.id() as i32, 15), 0);
+        }
+        let deadline = Instant::now() + Duration::from_secs(30);
+        loop {
+            if let Some(status) = child.try_wait().expect("try_wait") {
+                assert!(status.success(), "graceful shutdown failed: {status:?}");
+                return;
+            }
+            assert!(Instant::now() < deadline, "icdbd ignored SIGTERM");
+            std::thread::sleep(Duration::from_millis(50));
+        }
+    }
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        if let Some(mut child) = self.0.take() {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+    }
+}
+
+extern "C" {
+    #[link_name = "kill"]
+    fn libc_kill(pid: i32, sig: i32) -> i32;
+}
+
+// The `Daemon` guard kills + reaps in every path.
+#[allow(clippy::zombie_processes)]
+fn spawn_icdbd(port: u16, data_dir: &Path, extra: &[&str]) -> Daemon {
+    let mut args = vec![
+        "--addr".to_string(),
+        format!("127.0.0.1:{port}"),
+        "--data-dir".to_string(),
+        data_dir.to_str().expect("utf-8 temp path").to_string(),
+    ];
+    args.extend(extra.iter().map(|s| s.to_string()));
+    let child = Command::new(env!("CARGO_BIN_EXE_icdbd"))
+        .args(&args)
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn icdbd");
+    let deadline = Instant::now() + Duration::from_secs(15);
+    loop {
+        if TcpStream::connect(("127.0.0.1", port)).is_ok() {
+            return Daemon(Some(child));
+        }
+        assert!(Instant::now() < deadline, "icdbd did not come up");
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}
+
+fn connect(port: u16) -> IcdbClient {
+    let deadline = Instant::now() + Duration::from_secs(15);
+    loop {
+        match IcdbClient::connect(("127.0.0.1", port)) {
+            Ok(client) => return client,
+            Err(_) if Instant::now() < deadline => std::thread::sleep(Duration::from_millis(50)),
+            Err(e) => panic!("cannot connect to icdbd: {e}"),
+        }
+    }
+}
+
+/// SIGTERM while many sessions are live and commits are riding a
+/// non-zero group-commit window: the shutdown path must drain the
+/// commit queue before checkpointing, the exit must be clean, and every
+/// acknowledged commit must be served byte-identically after reboot
+/// (the parked namespaces survive for `attach`).
+#[test]
+fn sigterm_drains_group_commits_before_checkpoint() {
+    let dir = temp_dir("sigterm-drain");
+    let port = free_port();
+    let mut daemon = spawn_icdbd(
+        port,
+        &dir,
+        &["--workers", "4", "--group-commit-window", "5"],
+    );
+
+    // Eight concurrent committers, each acknowledged before SIGTERM. The
+    // clients stay connected across the SIGTERM (dropping one would close
+    // the socket and release its namespace), so the server parks them.
+    let mut sessions: Vec<(NsId, String, String, IcdbClient)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..8)
+            .map(|i| {
+                scope.spawn(move || {
+                    let mut client = connect(port);
+                    let ns = client.session_ns().expect("greeting carries ns");
+                    let mut args = vec![CqlArg::OutStr(None)];
+                    client
+                        .execute(
+                            &format!(
+                                "command:request_component; component_name:counter; \
+                                 attribute:(size:{}); generated_component:?s",
+                                3 + (i % 3)
+                            ),
+                            &mut args,
+                        )
+                        .expect("request over the wire");
+                    let CqlArg::OutStr(Some(name)) = args[0].clone() else {
+                        panic!("no name");
+                    };
+                    let mut args = vec![CqlArg::InStr(name.clone()), CqlArg::OutStr(None)];
+                    client
+                        .execute(
+                            "command:instance_query; generated_component:%s; delay:?s",
+                            &mut args,
+                        )
+                        .expect("delay over the wire");
+                    let CqlArg::OutStr(Some(delay)) = args[1].clone() else {
+                        panic!("no delay");
+                    };
+                    (ns, name, delay, client)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    sessions.sort_by_key(|(ns, _, _, _)| ns.raw());
+
+    // SIGTERM with all eight connections open and a 5 ms group-commit
+    // window still in play: the daemon must drain and checkpoint.
+    daemon.terminate_gracefully();
+
+    // Reboot from the checkpoint: zero replay, every parked namespace
+    // attachable, every acknowledged instance served identically.
+    let port2 = free_port();
+    let mut daemon2 = spawn_icdbd(port2, &dir, &["--workers", "2"]);
+    let mut client = connect(port2);
+    let mut args = vec![CqlArg::OutInt(None)];
+    client
+        .execute("command:persist; recovered_events:?d", &mut args)
+        .expect("persist query");
+    assert_eq!(
+        args[0],
+        CqlArg::OutInt(Some(0)),
+        "checkpoint must leave nothing to replay"
+    );
+    for (ns, name, delay, _dead) in &sessions {
+        client.attach(*ns).expect("attach parked namespace");
+        let mut args = vec![CqlArg::InStr(name.clone()), CqlArg::OutStr(None)];
+        client
+            .execute(
+                "command:instance_query; generated_component:%s; delay:?s",
+                &mut args,
+            )
+            .expect("delay after reboot");
+        assert_eq!(args[1], CqlArg::OutStr(Some(delay.clone())), "{ns} {name}");
+    }
+
+    daemon2.kill();
+    drop(sessions);
+    std::fs::remove_dir_all(&dir).ok();
+}

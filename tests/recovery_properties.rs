@@ -291,6 +291,106 @@ proptest! {
     }
 }
 
+/// Group-commit kill points: concurrent committers ride one batched WAL,
+/// so a SIGKILL lands *between* batch-fsync boundaries. The disk image at
+/// any record boundary (and with a torn half-record past it) must recover
+/// exactly that prefix — byte-identical to an uninterrupted replay — and
+/// the image captured right after the last acknowledgment must contain
+/// every acknowledged commit.
+#[test]
+fn group_commit_kill_points_recover_the_acknowledged_prefix() {
+    use icdb::{IcdbService, NsId};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    let dir = temp_dir("group-src");
+    let service =
+        Arc::new(IcdbService::open_with_options(&dir, false, Duration::from_millis(2)).unwrap());
+
+    // Four concurrent committers on distinct shards, two commits each; a
+    // name is recorded only once its group commit was acknowledged.
+    let acked: Vec<(NsId, Vec<String>)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..4u32)
+            .map(|i| {
+                let service = Arc::clone(&service);
+                scope.spawn(move || {
+                    let session = service.open_session();
+                    let ns = session.ns();
+                    let mut names = Vec::new();
+                    for size in [2 + i, 3 + i] {
+                        let name = session
+                            .request_component(
+                                &ComponentRequest::by_implementation("ADDER")
+                                    .attribute("size", size.to_string()),
+                            )
+                            .expect("acknowledged commit");
+                        names.push(name);
+                    }
+                    // Server-shutdown path: the namespace must survive.
+                    session.park();
+                    (ns, names)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    // The SIGKILL disk image: copy the WAL right after the last ack, with
+    // the service still live — no checkpoint, no extra flush.
+    let image = temp_dir("group-image");
+    std::fs::create_dir_all(&image).unwrap();
+    std::fs::copy(dir.join("wal-0.log"), image.join("wal-0.log")).unwrap();
+    drop(service);
+
+    // Every acknowledged commit is in the image.
+    let recovered = Icdb::open_with_sync(&image, false).unwrap();
+    for (ns, names) in &acked {
+        let have: Vec<String> = recovered
+            .instance_names_in(*ns)
+            .map(|v| v.iter().map(|n| n.to_string()).collect())
+            .unwrap_or_default();
+        for name in names {
+            assert!(
+                have.contains(name),
+                "acknowledged {name} missing from {ns} after recovery"
+            );
+        }
+    }
+    drop(recovered);
+
+    // Kill-point sweep over the group-committed log: every record
+    // boundary — the state a crash between batch fsyncs leaves behind —
+    // recovers exactly that prefix (odd boundaries also get a torn
+    // half-record, which recovery must truncate away).
+    let wal = image.join("wal-0.log");
+    let scan = scan_wal(&wal).unwrap();
+    assert!(!scan.torn);
+    let events: Vec<MutationEvent> = scan
+        .records
+        .iter()
+        .map(|r| serde::from_bytes(r).expect("group-committed records decode"))
+        .collect();
+    for k in 0..=events.len() {
+        let mut expected = Icdb::new();
+        for event in &events[..k] {
+            let _ = expected.apply(event);
+        }
+        let expected = transcript(&expected);
+        let extra = if k < events.len() && k % 2 == 1 { 5 } else { 0 };
+        let killed = truncated_copy(&wal, &scan.records, k, extra, &format!("gkill{k}"));
+        let recovered = Icdb::open_with_sync(&killed, false).unwrap();
+        assert_eq!(
+            recovered.persist_stats().unwrap().recovered_events,
+            k as u64
+        );
+        assert_eq!(transcript(&recovered), expected, "kill point {k}");
+        drop(recovered);
+        std::fs::remove_dir_all(&killed).ok();
+    }
+    std::fs::remove_dir_all(&image).ok();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 /// The WAL writer refuses to resurrect torn bytes: re-opening after a tear
 /// truncates, and the next append lands where the tear was (deterministic
 /// framing, so this is a plain unit test rather than a property).

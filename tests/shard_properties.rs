@@ -1,0 +1,258 @@
+//! Shard property suite: the sharded commit path must be invisible.
+//!
+//! Namespaces map onto lock shards (`NsId % 16`), so sessions in
+//! different namespaces commit concurrently. The service's contract is
+//! that this concurrency never shows: a random mutation script per
+//! namespace, run with all sessions racing across shards, must produce
+//! the exact same per-session transcript as the same scripts replayed
+//! one namespace at a time — the §3.3 string comparator from the
+//! recovery suite, applied per session. A separate test pins the one
+//! deliberate cross-shard channel: knowledge acquisition in *any*
+//! namespace invalidates warm generation-cache hits in *all* of them.
+
+use icdb::cql::CqlArg;
+use icdb::{ComponentRequest, IcdbService, Session};
+use proptest::prelude::*;
+use std::sync::{Arc, Barrier, Mutex};
+
+/// One step of a per-session script, over the session API.
+#[derive(Debug, Clone)]
+enum Op {
+    /// Generate a component (kind, size).
+    Request(u8, u32),
+    /// Delay + shape of the i-th created instance (if any).
+    Query(u8),
+    /// VHDL entity head of the i-th created instance (if any).
+    Vhdl(u8),
+    /// Regenerate the i-th instance's layout and record the CIF length.
+    Layout(u8),
+    /// start_a_design + transaction, one request, keep-or-drop, end.
+    Design(u8, bool),
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u8..4, 2u32..5).prop_map(|(k, s)| Op::Request(k, s)),
+        (0u8..4).prop_map(Op::Query),
+        (0u8..4).prop_map(Op::Vhdl),
+        (0u8..4).prop_map(Op::Layout),
+        (0u8..3, any::<bool>()).prop_map(|(k, keep)| Op::Design(k, keep)),
+    ]
+}
+
+fn request_of(kind: u8, size: u32) -> ComponentRequest {
+    match kind % 4 {
+        0 => ComponentRequest::by_component("counter").attribute("size", size.to_string()),
+        1 => ComponentRequest::by_implementation("ADDER").attribute("size", size.to_string()),
+        2 => ComponentRequest::by_implementation("REGISTER")
+            .attribute("size", size.to_string())
+            .clock_width(30.0),
+        _ => ComponentRequest::by_implementation("MUX").attribute("size", size.to_string()),
+    }
+}
+
+/// Runs one script on a session and returns its transcript: every
+/// observable output (names, §3.3 strings, errors) in order, closed by
+/// the session's full final state. Script index `tag` keeps design names
+/// distinct across sessions.
+fn run_script(session: &Session, tag: usize, ops: &[Op]) -> Vec<String> {
+    let mut transcript = Vec::new();
+    let mut created: Vec<String> = Vec::new();
+    for (i, op) in ops.iter().enumerate() {
+        match op {
+            Op::Request(kind, size) => match session.request_component(&request_of(*kind, *size)) {
+                Ok(name) => {
+                    transcript.push(name.clone());
+                    created.push(name);
+                }
+                Err(e) => transcript.push(format!("ERR {e}")),
+            },
+            Op::Query(i) => {
+                if let Some(name) = created.get(*i as usize % created.len().max(1)) {
+                    transcript.push(
+                        session
+                            .delay_string(name)
+                            .unwrap_or_else(|e| format!("ERR {e}")),
+                    );
+                    transcript.push(
+                        session
+                            .shape_string(name)
+                            .unwrap_or_else(|e| format!("ERR {e}")),
+                    );
+                }
+            }
+            Op::Vhdl(i) => {
+                if let Some(name) = created.get(*i as usize % created.len().max(1)) {
+                    transcript.push(
+                        session
+                            .vhdl_head(name)
+                            .unwrap_or_else(|e| format!("ERR {e}")),
+                    );
+                }
+            }
+            Op::Layout(i) => {
+                if let Some(name) = created.get(*i as usize % created.len().max(1)) {
+                    transcript.push(match session.generate_layout(name, None, None) {
+                        Ok(cif) => format!("cif {}", cif.len()),
+                        Err(e) => format!("ERR {e}"),
+                    });
+                }
+            }
+            Op::Design(kind, keep) => {
+                let design = format!("design{tag}_{i}");
+                if session.start_design(&design).is_err() {
+                    transcript.push("ERR start_design".to_string());
+                    continue;
+                }
+                let _ = session.start_transaction(&design);
+                if let Ok(name) = session.request_component(&request_of(*kind, 3)) {
+                    transcript.push(name.clone());
+                    if *keep {
+                        let _ = session.put_in_component_list(&design, &name);
+                        created.push(name);
+                    }
+                }
+                transcript.push(format!("end {:?}", session.end_transaction(&design).ok()));
+            }
+        }
+    }
+    // Final state: every instance with its §3.3 strings — the same
+    // comparator shape the recovery suite uses per namespace.
+    transcript.push("== final".to_string());
+    for name in session.instance_names() {
+        transcript.push(name.clone());
+        transcript.push(session.delay_string(&name).unwrap_or_default());
+        transcript.push(session.shape_string(&name).unwrap_or_default());
+        transcript.push(session.vhdl_head(&name).unwrap_or_default());
+    }
+    transcript
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Concurrent-across-shards ≡ sequential-per-namespace: four random
+    /// scripts race on one service (distinct namespaces → distinct
+    /// shards), then replay one at a time on a fresh service; every
+    /// session's transcript must be byte-identical.
+    #[test]
+    fn concurrent_shards_match_sequential_replay(
+        scripts in proptest::collection::vec(proptest::collection::vec(arb_op(), 1..6), 4),
+    ) {
+        // Concurrent run: all sessions race through their scripts.
+        let service = IcdbService::shared();
+        let sessions: Vec<Session> = scripts.iter().map(|_| service.open_session()).collect();
+        let results: Mutex<Vec<(usize, Vec<String>)>> = Mutex::new(Vec::new());
+        let barrier = Arc::new(Barrier::new(scripts.len()));
+        std::thread::scope(|scope| {
+            for (tag, (session, ops)) in sessions.iter().zip(&scripts).enumerate() {
+                let barrier = Arc::clone(&barrier);
+                let results = &results;
+                scope.spawn(move || {
+                    barrier.wait();
+                    let transcript = run_script(session, tag, ops);
+                    results.lock().unwrap().push((tag, transcript));
+                });
+            }
+        });
+        let mut concurrent = results.into_inner().unwrap();
+        concurrent.sort_by_key(|(tag, _)| *tag);
+
+        // Sequential replay: same scripts, same namespace ids (sessions
+        // opened in the same order), one script at a time.
+        let solo = IcdbService::shared();
+        let solo_sessions: Vec<Session> = scripts.iter().map(|_| solo.open_session()).collect();
+        for ((tag, transcript), (session, ops)) in
+            concurrent.iter().zip(solo_sessions.iter().zip(&scripts))
+        {
+            let sequential = run_script(session, *tag, ops);
+            prop_assert_eq!(
+                transcript,
+                &sequential,
+                "session {} diverged between concurrent and sequential runs",
+                tag
+            );
+        }
+    }
+}
+
+/// The deliberate cross-shard channel: knowledge acquisition bumps the
+/// library version, and because cache keys embed that version, *every*
+/// namespace's warm entries go cold at once — no shard keeps serving a
+/// stale generation.
+#[test]
+fn knowledge_acquisition_invalidates_warm_hits_in_every_namespace() {
+    let service = IcdbService::shared();
+    let a = service.open_session();
+    let b = service.open_session();
+    let c = service.open_session();
+    let req = ComponentRequest::by_component("counter").attribute("size", "5");
+
+    // Cold in A, then warm across namespaces in B.
+    a.request_component(&req).unwrap();
+    let cold = service.cache_stats().result;
+    b.request_component(&req).unwrap();
+    let warm = service.cache_stats().result;
+    assert_eq!(warm.hits, cold.hits + 1, "B must hit A's cached generation");
+    assert_eq!(warm.misses, cold.misses);
+
+    // Knowledge acquisition through C's shard…
+    c.insert_implementation(
+        "NAME: SHARDPROP_NAND; INORDER: A, B; OUTORDER: O; { O = !(A * B); }",
+        "Logic_unit",
+        &["NAND"],
+        &[],
+        None,
+        "shard-prop acquired implementation",
+    )
+    .unwrap();
+
+    // …must cold-start the next request in ANY namespace (A's shard)…
+    a.request_component(&req).unwrap();
+    let invalidated = service.cache_stats().result;
+    assert_eq!(
+        invalidated.hits, warm.hits,
+        "a warm hit after acquisition would serve a stale generation"
+    );
+    assert_eq!(invalidated.misses, warm.misses + 1);
+
+    // …and the regenerated entry re-warms the cache for everyone else.
+    b.request_component(&req).unwrap();
+    let rewarmed = service.cache_stats().result;
+    assert_eq!(rewarmed.hits, invalidated.hits + 1);
+    assert_eq!(rewarmed.misses, invalidated.misses);
+}
+
+/// Same invalidation, observed through the wire-visible `cache_query`
+/// CQL command rather than the embedded stats struct.
+#[test]
+fn cache_query_reflects_cross_namespace_invalidation() {
+    let service = IcdbService::shared();
+    let a = service.open_session();
+    let b = service.open_session();
+    let req = ComponentRequest::by_component("counter").attribute("size", "4");
+    a.request_component(&req).unwrap();
+    a.request_component(&req).unwrap(); // warm within A
+    b.insert_implementation(
+        "NAME: SHARDPROP_NOR; INORDER: A, B; OUTORDER: O; { O = !(A + B); }",
+        "Logic_unit",
+        &["NOR"],
+        &[],
+        None,
+        "shard-prop second acquired implementation",
+    )
+    .unwrap();
+    a.request_component(&req).unwrap(); // must regenerate
+    let mut args = vec![CqlArg::OutInt(None), CqlArg::OutInt(None)];
+    a.execute(
+        "command:cache_query; layer:result; hits:?d; misses:?d",
+        &mut args,
+    )
+    .unwrap();
+    assert_eq!(args[0], CqlArg::OutInt(Some(1)), "exactly one warm hit");
+    assert_eq!(
+        args[1],
+        CqlArg::OutInt(Some(2)),
+        "cold start + post-acquisition regeneration"
+    );
+}
