@@ -47,11 +47,22 @@ const READ_ONLY_COMMANDS: &[&str] = &[
 
 /// Whether a raw CQL command string names a read-only command, without a
 /// full parse — used by [`crate::Session::execute`] to decide which lock
-/// to try first.
-pub(crate) fn command_text_is_read_only(command: &str) -> bool {
+/// to try first, and by the network client's retry policy to decide which
+/// commands are safe to re-send blindly after a dropped connection.
+pub fn command_text_is_read_only(command: &str) -> bool {
     command.split(';').any(|term| {
         term.split_once(':')
             .is_some_and(|(k, v)| k.trim() == "command" && command_is_read_only(v.trim()))
+    })
+}
+
+/// Whether a raw CQL command string names the `persist` command — the one
+/// mutating dispatch that must stay reachable on a degraded server, since
+/// `persist checkpoint:1` / `persist clear_fault:1` is how writes re-arm.
+pub(crate) fn command_text_is_persist(command: &str) -> bool {
+    command.split(';').any(|term| {
+        term.split_once(':')
+            .is_some_and(|(k, v)| k.trim() == "command" && v.trim() == "persist")
     })
 }
 
@@ -222,9 +233,14 @@ impl Icdb {
             "persist" => {
                 // `checkpoint:1` snapshots + rotates the WAL before
                 // reporting (that mutates the data directory, so the
-                // shared-lock path routes it here).
+                // shared-lock path routes it here). `clear_fault:1`
+                // checkpoints only when a durability fault is latched —
+                // the explicit operator action re-arming a degraded
+                // server.
                 if persist_wants_checkpoint(cmd)? {
                     self.checkpoint()?;
+                } else if persist_wants_clear_fault(cmd)? {
+                    self.clear_journal_fault()?;
                 }
                 self.exec_persist(cmd)
             }
@@ -248,7 +264,9 @@ impl Icdb {
             "explore" => self
                 .exec_explore(ns, cmd)
                 .map(|(_, resp)| ReadDispatch::Done(resp)),
-            "persist" if persist_wants_checkpoint(cmd)? => Ok(ReadDispatch::NeedsWrite),
+            "persist" if persist_wants_checkpoint(cmd)? || persist_wants_clear_fault(cmd)? => {
+                Ok(ReadDispatch::NeedsWrite)
+            }
             "persist" => self.exec_persist(cmd).map(ReadDispatch::Done),
             _ => Ok(ReadDispatch::NeedsWrite),
         }
@@ -871,10 +889,14 @@ impl Icdb {
     /// `persist`: the durability layer's vitals. Answerable outputs:
     /// `enabled:?d` (1 when the server has a data directory),
     /// `generation:?d`, `wal_events:?d`, `wal_bytes:?d`,
-    /// `snapshot_bytes:?d`, `recovered_events:?d` and `data_dir:?s` (empty
-    /// when not persistent). Add `checkpoint:1` to snapshot + rotate the
-    /// WAL first (exclusive lock; plain reporting runs under the shared
-    /// lock).
+    /// `snapshot_bytes:?d`, `recovered_events:?d`, `data_dir:?s` (empty
+    /// when not persistent), `degraded:?d` (1 while a durability fault
+    /// keeps the server read-only), `fault:?s` (the latched error, empty
+    /// when healthy) and `fault_errno:?d` (its OS errno, 0 when none).
+    /// Add `checkpoint:1` to snapshot + rotate the WAL first, or
+    /// `clear_fault:1` to checkpoint only if degraded — both mutate the
+    /// data directory, so they run under the exclusive lock (plain
+    /// reporting runs under the shared lock).
     fn exec_persist(&self, cmd: &Command) -> Result<Response, IcdbError> {
         let stats = self.persist_stats();
         let mut resp = Response::new();
@@ -910,6 +932,28 @@ impl Icdb {
                             .unwrap_or_default(),
                     ),
                 ),
+                "degraded" => resp.set(
+                    key,
+                    CqlValue::Int(i64::from(stats.as_ref().is_some_and(|s| s.degraded))),
+                ),
+                "fault" => resp.set(
+                    key,
+                    CqlValue::Str(
+                        stats
+                            .as_ref()
+                            .and_then(|s| s.fault.clone())
+                            .unwrap_or_default(),
+                    ),
+                ),
+                "fault_errno" => resp.set(
+                    key,
+                    CqlValue::Int(
+                        stats
+                            .as_ref()
+                            .and_then(|s| s.fault_errno)
+                            .map_or(0, i64::from),
+                    ),
+                ),
                 other => return Err(IcdbError::Cql(format!("persist cannot answer `{other}`"))),
             }
         }
@@ -935,6 +979,16 @@ fn persist_wants_checkpoint(cmd: &Command) -> Result<bool, IcdbError> {
         return Err(IcdbError::Cql("persist checkpoint: takes 0 or 1".into()));
     }
     Ok(cmd.int_term("checkpoint").unwrap_or(0) != 0)
+}
+
+/// Whether a `persist` command asks for a latched durability fault to be
+/// cleared (checkpoint-if-degraded) — same loud-error contract as
+/// `checkpoint:`.
+fn persist_wants_clear_fault(cmd: &Command) -> Result<bool, IcdbError> {
+    if cmd.has("clear_fault") && cmd.int_term("clear_fault").is_none() {
+        return Err(IcdbError::Cql("persist clear_fault: takes 0 or 1".into()));
+    }
+    Ok(cmd.int_term("clear_fault").unwrap_or(0) != 0)
 }
 
 fn design_of(cmd: &Command) -> Result<String, IcdbError> {

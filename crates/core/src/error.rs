@@ -19,6 +19,11 @@ pub enum IcdbError {
     Cql(String),
     /// Storage-layer problem.
     Store(String),
+    /// The server is in read-only degraded mode: a durability failure
+    /// latched the write-ahead log, so commits are refused until a
+    /// successful checkpoint (or an explicit `persist clear_fault:1`)
+    /// re-arms writes. Reads keep serving throughout.
+    ReadOnly(String),
     /// VHDL emission/parsing problem.
     Vhdl(String),
     /// A named entity (component, implementation, instance, design) does
@@ -38,6 +43,7 @@ impl fmt::Display for IcdbError {
             IcdbError::Layout(m) => write!(f, "icdb: layout: {m}"),
             IcdbError::Cql(m) => write!(f, "icdb: cql: {m}"),
             IcdbError::Store(m) => write!(f, "icdb: store: {m}"),
+            IcdbError::ReadOnly(m) => write!(f, "icdb: read-only: {m}"),
             IcdbError::Vhdl(m) => write!(f, "icdb: vhdl: {m}"),
             IcdbError::NotFound(m) => write!(f, "icdb: not found: {m}"),
             IcdbError::Unsupported(m) => write!(f, "icdb: unsupported: {m}"),

@@ -210,6 +210,32 @@ impl Applied {
     }
 }
 
+impl MutationEvent {
+    /// The namespace whose per-namespace commit counter a successful
+    /// apply of this event advances. Global events (knowledge
+    /// acquisition, namespace lifecycle, table publishes) return `None`:
+    /// they are not session commits, and keeping them out of the counter
+    /// is what makes a namespace's sequence identical whether the server
+    /// ran solo or interleaved with other sessions.
+    fn commit_scope(&self) -> Option<NsId> {
+        match self {
+            MutationEvent::InstallComponent { ns, .. }
+            | MutationEvent::GenerateLayout { ns, .. }
+            | MutationEvent::ResizeForLoad { ns, .. }
+            | MutationEvent::StartDesign { ns, .. }
+            | MutationEvent::StartTransaction { ns, .. }
+            | MutationEvent::PutInComponentList { ns, .. }
+            | MutationEvent::EndTransaction { ns, .. }
+            | MutationEvent::EndDesign { ns, .. } => Some(*ns),
+            MutationEvent::AcquireKnowledge { .. }
+            | MutationEvent::RegisterGenerator { .. }
+            | MutationEvent::CreateNamespace
+            | MutationEvent::DropNamespace { .. }
+            | MutationEvent::PublishTable { .. } => None,
+        }
+    }
+}
+
 impl Icdb {
     /// Applies one mutation event — the single choke point every state
     /// change of the database runs through, live or during recovery
@@ -220,6 +246,19 @@ impl Icdb {
     /// deterministic: replaying a failed event fails identically and
     /// leaves the same (partial or untouched) state.
     pub fn apply(&mut self, event: &MutationEvent) -> Result<Applied, IcdbError> {
+        let applied = self.apply_inner(event)?;
+        // Successful namespace-scoped applies advance the namespace's
+        // commit counter — replay runs through here too, so the counter
+        // recovers to exactly the acknowledged value.
+        if let Some(ns) = event.commit_scope() {
+            if let Ok(space) = self.spaces.get_mut(ns) {
+                space.commits += 1;
+            }
+        }
+        Ok(applied)
+    }
+
+    fn apply_inner(&mut self, event: &MutationEvent) -> Result<Applied, IcdbError> {
         match event {
             MutationEvent::AcquireKnowledge {
                 iif_source,
@@ -350,10 +389,17 @@ impl Icdb {
         event: &MutationEvent,
     ) -> Result<Option<crate::persist::WalTicket>, IcdbError> {
         match self.journal.as_ref() {
-            Some(journal) => journal
-                .submit(event)
-                .map(Some)
-                .map_err(|e| IcdbError::Store(format!("journal append failed: {e}"))),
+            Some(journal) => journal.submit(event).map(Some).map_err(|e| {
+                // A latched fault means the server is degraded: surface
+                // the machine-readable read-only refusal rather than a
+                // generic store error, so clients and the wire layer can
+                // tell "retry after recovery" from "broken request".
+                if journal.fault().is_some() {
+                    IcdbError::ReadOnly(format!("journal refuses writes: {e}"))
+                } else {
+                    IcdbError::Store(format!("journal append failed: {e}"))
+                }
+            }),
             None => Ok(None),
         }
     }
@@ -446,6 +492,13 @@ impl Icdb {
             None
         };
         let name = self.apply_install(ns, request, hint)?;
+        // This path bypasses `apply` (to thread the hint through), so it
+        // advances the namespace commit counter itself — replay of the
+        // journaled InstallComponent bumps once through `apply`, live
+        // execution bumps once here.
+        if let Ok(space) = self.spaces.get_mut(ns) {
+            space.commits += 1;
+        }
         self.settle_ticket(ticket)?;
         Ok(name)
     }

@@ -71,6 +71,7 @@ mod spec;
 mod tools;
 
 pub use cache::{CacheStats, GenCache, GenerationPayload, LayerStats, RequestKey};
+pub use cql::command_text_is_read_only;
 pub use designs::DesignManager;
 pub use error::IcdbError;
 pub use events::{Applied, MutationEvent};
@@ -231,23 +232,41 @@ impl Icdb {
     /// journal order, so recovery reproduces them and a reconnecting
     /// client can re-attach to its pre-crash namespace.
     pub fn create_namespace(&mut self) -> NsId {
-        // In memory this cannot fail; a journal I/O failure is fail-stop
-        // (continuing would desynchronize replayed namespace ids).
-        self.commit(&MutationEvent::CreateNamespace)
-            .expect("namespace creation only fails on journal I/O")
+        // Degraded tolerance: a faulted journal refuses the enqueue, but
+        // sessions must keep opening — reads still serve. The in-memory
+        // apply proceeds either way; this cannot desynchronize replayed
+        // ids, because a faulted log journals nothing until the
+        // re-arming checkpoint snapshots the full state (this namespace
+        // and the advanced id counter included).
+        let event = MutationEvent::CreateNamespace;
+        let ticket = self.journal_submit(&event).ok().flatten();
+        let ns = self
+            .apply(&event)
+            .expect("namespace creation is infallible in memory")
             .into_namespace()
-            .expect("CreateNamespace applies to a namespace")
+            .expect("CreateNamespace applies to a namespace");
+        // A durability failure here degrades the server but must not
+        // panic: the session keeps its (memory-only) namespace, which a
+        // recovery that never re-armed simply forgets — it acknowledged
+        // no commits.
+        let _ = self.settle_ticket(ticket);
+        ns
     }
 
     /// Closes a session namespace, deleting every instance it still holds
     /// (design data and relational rows included); returns how many
     /// instances were deleted. Dropping [`NsId::ROOT`] is a no-op.
     pub fn drop_namespace(&mut self, ns: NsId) -> usize {
-        // As `create_namespace`: journal I/O failure is fail-stop.
-        self.commit(&MutationEvent::DropNamespace { ns })
-            .expect("namespace drop only fails on journal I/O")
+        // As `create_namespace`: journal failures degrade, never panic.
+        let event = MutationEvent::DropNamespace { ns };
+        let ticket = self.journal_submit(&event).ok().flatten();
+        let n = self
+            .apply(&event)
+            .expect("namespace drop is infallible in memory")
             .into_deleted()
-            .expect("DropNamespace applies to a deletion count")
+            .expect("DropNamespace applies to a deletion count");
+        let _ = self.settle_ticket(ticket);
+        n
     }
 
     /// The apply-side of [`Icdb::drop_namespace`] (shared with recovery
@@ -280,6 +299,18 @@ impl Icdb {
     /// Number of live namespaces, root included.
     pub fn namespace_count(&self) -> usize {
         self.spaces.len()
+    }
+
+    /// The namespace's commit counter: how many namespace-scoped
+    /// mutations have successfully applied in `ns` over its lifetime.
+    /// Echoed in mutation acks (`OK <n> commit:<seq>`) so a client can
+    /// detect whether an ambiguously-dropped commit landed before
+    /// retrying it.
+    ///
+    /// # Errors
+    /// [`IcdbError::NotFound`] for a dead namespace.
+    pub fn commit_seq_in(&self, ns: NsId) -> Result<u64, IcdbError> {
+        Ok(self.spaces.get(ns)?.commits)
     }
 
     /// Snapshot of the generation-cache statistics (per-layer hits, misses,

@@ -57,6 +57,8 @@ struct SpaceSnapshot {
     id: u64,
     /// Auto-naming counter.
     counter: u64,
+    /// Per-namespace commit counter (the `commit_seq` echoed in acks).
+    commits: u64,
     /// Designs, component lists and any open transaction.
     designs: crate::designs::DesignManager,
     /// Instances in creation order.
@@ -96,6 +98,7 @@ impl Snapshot {
                 .map(|(ns, space)| SpaceSnapshot {
                     id: ns.raw(),
                     counter: space.counter,
+                    commits: space.commits,
                     designs: space.designs.clone(),
                     instances: space
                         .instance_order
@@ -148,6 +151,7 @@ impl Snapshot {
                     instances,
                     instance_order,
                     counter: s.counter,
+                    commits: s.commits,
                     designs: s.designs,
                 },
             );
@@ -174,6 +178,15 @@ pub struct PersistStats {
     pub snapshot_bytes: u64,
     /// Events replayed from the WAL at the last recovery.
     pub recovered_events: u64,
+    /// Whether the journal has latched a durability fault: the server is
+    /// in read-only degraded mode and commits are refused with
+    /// [`IcdbError::ReadOnly`] until a checkpoint re-arms writes.
+    pub degraded: bool,
+    /// The latched fault's message, when degraded.
+    pub fault: Option<String>,
+    /// The latched fault's OS errno (ENOSPC = 28, EIO = 5), when the
+    /// underlying error carried one.
+    pub fault_errno: Option<i32>,
 }
 
 /// The attached journal: a group-committing WAL plus generation
@@ -208,7 +221,14 @@ impl Journal {
         self.wal.flush()
     }
 
+    /// The latched durability fault, if the WAL has failed and not been
+    /// re-armed.
+    pub(crate) fn fault(&self) -> Option<icdb_store::wal::WalFault> {
+        self.wal.fault()
+    }
+
     fn stats(&self) -> PersistStats {
+        let fault = self.wal.fault();
         PersistStats {
             data_dir: self.dir.root().display().to_string(),
             generation: self.generation,
@@ -216,6 +236,9 @@ impl Journal {
             wal_bytes: self.wal.bytes(),
             snapshot_bytes: self.snapshot_bytes,
             recovered_events: self.recovered_events,
+            degraded: fault.is_some(),
+            fault: fault.as_ref().map(|f| f.message().to_string()),
+            fault_errno: fault.as_ref().and_then(|f| f.errno()),
         }
     }
 }
@@ -235,12 +258,13 @@ impl WalTicket {
     /// if no other committer is (see [`GroupWal::wait_durable`]).
     ///
     /// # Errors
-    /// [`IcdbError::Store`] when the log has failed: the event was applied
-    /// in memory but its durability cannot be acknowledged.
+    /// [`IcdbError::ReadOnly`] when the log has failed: the event was
+    /// applied in memory but its durability cannot be acknowledged, and
+    /// the server is now degraded until a checkpoint re-arms writes.
     pub fn wait(&self) -> Result<(), IcdbError> {
         self.wal
             .wait_durable(self.seq)
-            .map_err(|e| IcdbError::Store(format!("journal flush failed: {e}")))
+            .map_err(|e| IcdbError::ReadOnly(format!("journal flush failed: {e}")))
     }
 }
 
@@ -357,6 +381,13 @@ impl Icdb {
     /// the previous generation. Recovery afterwards loads the snapshot
     /// and replays only events committed after this call.
     ///
+    /// On a **degraded** server (latched WAL fault) a successful
+    /// checkpoint also re-arms writes: the snapshot captures the full
+    /// in-memory state, superseding the suspect log tail entirely, and a
+    /// fresh empty WAL generation replaces the failed writer. If the
+    /// directory is still unhealthy the checkpoint fails and the server
+    /// stays degraded — re-arming requires provably clean I/O.
+    ///
     /// # Errors
     /// [`IcdbError::Unsupported`] when the server has no data directory;
     /// I/O failures surface as [`IcdbError::Store`] (the previous
@@ -367,15 +398,21 @@ impl Icdb {
                 "server has no data directory (open it with Icdb::open)".into(),
             ));
         }
-        // Drain the group-commit queue *before* capturing the snapshot:
-        // an in-flight batch must reach stable storage ahead of the
-        // rotation, or acknowledged commits would sit only in a WAL that
-        // is about to be pruned. (This also covers the no-sync mode,
-        // whose tail may still be in OS buffers.)
         let journal = self.journal.as_ref().expect("checked above");
-        journal
-            .flush()
-            .map_err(|e| store_err("flush wal before checkpoint", e))?;
+        let faulted = journal.fault().is_some();
+        if !faulted {
+            // Drain the group-commit queue *before* capturing the
+            // snapshot: an in-flight batch must reach stable storage
+            // ahead of the rotation, or acknowledged commits would sit
+            // only in a WAL that is about to be pruned. (This also
+            // covers the no-sync mode, whose tail may still be in OS
+            // buffers.) On a faulted log there is nothing to drain —
+            // every queued record was refused to its committer, and the
+            // snapshot below supersedes the suspect tail wholesale.
+            journal
+                .flush()
+                .map_err(|e| store_err("flush wal before checkpoint", e))?;
+        }
         let payload = serde::to_bytes(&Snapshot::capture(self));
         let journal = self.journal.as_mut().expect("checked above");
         let next = journal.generation + 1;
@@ -383,18 +420,52 @@ impl Icdb {
             .dir
             .write_snapshot(next, &payload)
             .map_err(|e| store_err("write snapshot", e))?;
-        let (writer, _) = journal
+        let (writer, scan) = journal
             .dir
             .open_wal(next, false)
             .map_err(|e| store_err("open new wal", e))?;
-        journal
-            .wal
-            .rotate(writer)
-            .map_err(|e| store_err("rotate wal", e))?;
+        if faulted {
+            // Re-arm: the snapshot just made the in-memory state durable,
+            // so the latch can clear onto the fresh, verified-empty
+            // generation.
+            if scan.valid_len != 0 {
+                return Err(IcdbError::Store(format!(
+                    "new wal generation {next} is not empty; refusing to re-arm"
+                )));
+            }
+            journal.wal.clear_fault(writer);
+        } else {
+            journal
+                .wal
+                .rotate(writer)
+                .map_err(|e| store_err("rotate wal", e))?;
+        }
         journal.generation = next;
         journal.snapshot_bytes = snapshot_bytes;
         journal.dir.prune_generations_before(next);
         Ok(journal.stats())
+    }
+
+    /// Whether the journal has latched a durability fault (the server is
+    /// read-only degraded), and what it was. `None` for healthy and for
+    /// purely in-memory servers.
+    pub fn journal_fault(&self) -> Option<icdb_store::wal::WalFault> {
+        self.journal.as_ref().and_then(Journal::fault)
+    }
+
+    /// Clears a latched journal fault by checkpointing — a full snapshot
+    /// plus a fresh, verified-empty WAL generation (see
+    /// [`Icdb::checkpoint`]). Returns `false` (doing nothing) when the
+    /// server is healthy.
+    ///
+    /// # Errors
+    /// As [`Icdb::checkpoint`]; on failure the server stays degraded.
+    pub fn clear_journal_fault(&mut self) -> Result<bool, IcdbError> {
+        if self.journal_fault().is_none() {
+            return Ok(false);
+        }
+        self.checkpoint()?;
+        Ok(true)
     }
 
     /// Drains the group-commit queue and flushes the journal to stable

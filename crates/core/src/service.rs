@@ -270,11 +270,33 @@ impl IcdbService {
     /// but the group flush fails, the durability error surfaces — the
     /// mutation is applied in memory but unacknowledged, exactly the
     /// contract the recovery suite pins.
+    ///
+    /// A server whose journal has latched a durability fault is
+    /// **read-only degraded**: the section refuses up front with
+    /// [`IcdbError::ReadOnly`] instead of running `f`, so no further
+    /// mutation piles onto un-journalable state. Only the checkpoint /
+    /// `persist` path (`allow_degraded`) may enter, because a successful
+    /// checkpoint is exactly what re-arms writes.
     fn commit_exclusive<T>(
         &self,
         f: impl FnOnce(&mut Icdb) -> Result<T, IcdbError>,
     ) -> Result<T, IcdbError> {
+        self.commit_exclusive_inner(false, f)
+    }
+
+    fn commit_exclusive_inner<T>(
+        &self,
+        allow_degraded: bool,
+        f: impl FnOnce(&mut Icdb) -> Result<T, IcdbError>,
+    ) -> Result<T, IcdbError> {
         let mut guard = self.write();
+        if !allow_degraded {
+            if let Some(fault) = guard.journal_fault() {
+                return Err(IcdbError::ReadOnly(format!(
+                    "commits refused while degraded: {fault}"
+                )));
+            }
+        }
         guard.begin_deferred();
         let result = f(&mut guard);
         let tickets = guard.end_deferred();
@@ -304,6 +326,18 @@ impl IcdbService {
         self.commit_exclusive(f)
     }
 
+    /// [`IcdbService::with_write`] for the `persist` command family,
+    /// which must stay reachable on a degraded server — `persist
+    /// checkpoint:1` / `clear_fault:1` is how an operator re-arms writes.
+    fn with_write_allowing_degraded<T>(
+        &self,
+        ns: NsId,
+        f: impl FnOnce(&mut Icdb) -> Result<T, IcdbError>,
+    ) -> Result<T, IcdbError> {
+        let _shard = self.shards.lock(ns);
+        self.commit_exclusive_inner(true, f)
+    }
+
     /// Opens a new session with a fresh, isolated design namespace.
     pub fn open_session(self: &Arc<Self>) -> Session {
         let token = self.next_token.fetch_add(1, Ordering::Relaxed);
@@ -315,9 +349,11 @@ impl IcdbService {
         self.note_versions(&guard);
         drop(guard);
         if let Some(ticket) = tickets.last() {
-            ticket
-                .wait()
-                .expect("namespace journal flush only fails on I/O errors");
+            // A durability failure degrades the server to read-only but
+            // must not kill the connection path: the session opens with a
+            // memory-only namespace (reads serve; commits refuse), and a
+            // recovery that never re-armed simply forgets it.
+            let _ = ticket.wait();
         }
         Session {
             service: Arc::clone(self),
@@ -407,6 +443,17 @@ impl Session {
         &self.service
     }
 
+    /// How many mutation events have successfully committed in this
+    /// session's namespace. Echoed in wire acks (`OK <n> commit:<seq>`)
+    /// so a client that lost a response mid-commit can reconnect and
+    /// tell "commit applied" from "commit never happened".
+    pub fn commit_seq(&self) -> u64 {
+        self.service
+            .read()
+            .commit_seq_in(self.ns)
+            .unwrap_or_default()
+    }
+
     /// Closes the session explicitly, deleting its namespace (if this
     /// session still owns it); returns how many instances were deleted.
     pub fn close(mut self) -> usize {
@@ -491,7 +538,10 @@ impl Session {
         };
         drop(guard);
         if let Some(ticket) = tickets.last() {
-            ticket.wait()?;
+            // Attach must keep working on a degraded server (it is the
+            // reconnect path); the old namespace's drop not being durable
+            // only means a never-re-armed recovery resurrects it, empty.
+            let _ = ticket.wait();
         }
         Ok(())
     }
@@ -577,6 +627,13 @@ impl Session {
             if guard.execute_read_in(self.ns, command, args)? {
                 return Ok(());
             }
+        }
+        if crate::cql::command_text_is_persist(command) {
+            // `persist` is the re-arming path; a degraded server must
+            // still run its checkpoint / clear_fault dispatch.
+            return self.service.with_write_allowing_degraded(self.ns, |icdb| {
+                icdb.execute_in(self.ns, command, args)
+            });
         }
         self.service
             .with_write(self.ns, |icdb| icdb.execute_in(self.ns, command, args))

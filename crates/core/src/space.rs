@@ -101,6 +101,12 @@ pub(crate) struct Namespace {
     pub(crate) instance_order: Vec<Arc<str>>,
     pub(crate) counter: u64,
     pub(crate) designs: DesignManager,
+    /// Count of namespace-scoped mutations successfully applied here —
+    /// the `commit_seq` echoed in mutation acks. Deterministic under
+    /// replay (events apply in journal order per namespace), so a
+    /// reconnecting client can compare its last-seen value against the
+    /// server's to decide whether an ambiguously-dropped commit landed.
+    pub(crate) commits: u64,
 }
 
 impl Namespace {

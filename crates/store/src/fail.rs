@@ -1,0 +1,250 @@
+//! # Deterministic fault injection — named failpoints in the storage layer
+//!
+//! Durability code is only trustworthy if its failure paths are exercised,
+//! and real disks refuse to fail on schedule. This module plants **named
+//! injection points** in the WAL append path, fsync, snapshot write/rename
+//! and checkpoint prune, and lets tests program each one to return a
+//! specific `io::Error` on a specific schedule (always, one-shot, every
+//! Nth hit, after K hits).
+//!
+//! Without the `failpoints` cargo feature the whole module compiles down
+//! to a constant `None` — [`fire`] is `#[inline(always)]` and carries no
+//! registry, no lock, no atomic — so production binaries pay nothing.
+//!
+//! ```
+//! # #[cfg(feature = "failpoints")] {
+//! use icdb_store::fail;
+//! fail::reset();
+//! fail::config("wal.sync", fail::Trigger::Once, fail::FailKind::Enospc);
+//! assert!(fail::fire("wal.sync").is_some()); // fires once…
+//! assert!(fail::fire("wal.sync").is_none()); // …then disarms
+//! # }
+//! ```
+//!
+//! ## Injection points
+//!
+//! | point              | site                                             |
+//! |--------------------|--------------------------------------------------|
+//! | `wal.append`       | frame write in [`crate::wal::WalWriter::append`] |
+//! | `wal.sync`         | every `sync_data` of the WAL file                |
+//! | `snapshot.write`   | snapshot temp-file write/fsync                   |
+//! | `snapshot.rename`  | atomic rename installing a snapshot              |
+//! | `checkpoint.prune` | old-generation removal after a checkpoint        |
+
+use std::io;
+
+/// What an armed failpoint injects when it fires.
+#[derive(Debug)]
+pub enum Injected {
+    /// Fail the operation outright with this error.
+    Error(io::Error),
+    /// Perform a partial write (torn record) and then report this error.
+    /// Only meaningful at write sites; sync sites treat it like `Error`.
+    ShortWrite(io::Error),
+}
+
+/// The error family a failpoint injects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailKind {
+    /// `ENOSPC` — no space left on device (errno 28).
+    Enospc,
+    /// `EIO` — generic I/O error (errno 5).
+    Eio,
+    /// Write half the buffer, then fail with `EIO`. Produces a torn
+    /// record the recovery scan must truncate.
+    ShortWrite,
+}
+
+#[cfg(feature = "failpoints")]
+impl FailKind {
+    fn inject(self) -> Injected {
+        match self {
+            // MSRV 1.82 predates `ErrorKind::StorageFull`; raw errnos also
+            // preserve `raw_os_error()` for degraded-mode reporting.
+            FailKind::Enospc => Injected::Error(io::Error::from_raw_os_error(28)),
+            FailKind::Eio => Injected::Error(io::Error::from_raw_os_error(5)),
+            FailKind::ShortWrite => Injected::ShortWrite(io::Error::from_raw_os_error(5)),
+        }
+    }
+}
+
+/// When an armed failpoint fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Trigger {
+    /// Fire on every hit until removed.
+    Always,
+    /// Fire on the next hit only, then disarm.
+    Once,
+    /// Fire on every Nth hit (1-based: `EveryNth(3)` fires on hits 3, 6, …).
+    EveryNth(u32),
+    /// Stay quiet for the first K hits, then fire on every later hit.
+    AfterK(u32),
+}
+
+#[cfg(not(feature = "failpoints"))]
+mod imp {
+    use super::Injected;
+
+    /// Check a named failpoint. With the `failpoints` feature disabled
+    /// this is a constant `None` the optimizer erases entirely.
+    #[inline(always)]
+    pub fn fire(_point: &str) -> Option<Injected> {
+        None
+    }
+}
+
+#[cfg(feature = "failpoints")]
+mod imp {
+    use super::{FailKind, Injected, Trigger};
+    use std::collections::HashMap;
+    use std::sync::{Mutex, OnceLock};
+
+    struct State {
+        trigger: Trigger,
+        kind: FailKind,
+        hits: u32,
+        fired: u32,
+    }
+
+    fn registry() -> &'static Mutex<HashMap<String, State>> {
+        static REGISTRY: OnceLock<Mutex<HashMap<String, State>>> = OnceLock::new();
+        REGISTRY.get_or_init(|| Mutex::new(HashMap::new()))
+    }
+
+    fn lock() -> std::sync::MutexGuard<'static, HashMap<String, State>> {
+        // A panic while holding the registry lock (a test assertion, say)
+        // must not wedge every later test in the binary.
+        registry().lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Check a named failpoint; returns the injection if it is armed and
+    /// its trigger schedule says this hit should fail.
+    pub fn fire(point: &str) -> Option<Injected> {
+        let mut map = lock();
+        let state = map.get_mut(point)?;
+        state.hits += 1;
+        let fires = match state.trigger {
+            Trigger::Always => true,
+            Trigger::Once => state.fired == 0,
+            Trigger::EveryNth(n) => n > 0 && state.hits % n == 0,
+            Trigger::AfterK(k) => state.hits > k,
+        };
+        if !fires {
+            return None;
+        }
+        state.fired += 1;
+        let kind = state.kind;
+        if state.trigger == Trigger::Once {
+            map.remove(point);
+        }
+        Some(kind.inject())
+    }
+
+    /// Arm (or re-arm) a failpoint. Resets its hit counters.
+    pub fn config(point: &str, trigger: Trigger, kind: FailKind) {
+        lock().insert(
+            point.to_string(),
+            State {
+                trigger,
+                kind,
+                hits: 0,
+                fired: 0,
+            },
+        );
+    }
+
+    /// Disarm a single failpoint.
+    pub fn remove(point: &str) {
+        lock().remove(point);
+    }
+
+    /// Disarm everything. Call at the start of every test.
+    pub fn reset() {
+        lock().clear();
+    }
+
+    /// Hits recorded against a point since it was last configured
+    /// (0 if the point is not currently armed).
+    pub fn hit_count(point: &str) -> u32 {
+        lock().get(point).map_or(0, |s| s.hits)
+    }
+}
+
+pub use imp::fire;
+#[cfg(feature = "failpoints")]
+pub use imp::{config, hit_count, remove, reset};
+
+/// Convert an injection into the error it stands for, consuming any
+/// short-write distinction. Sites that cannot model a partial write
+/// (fsync, rename, prune) use this.
+pub fn error_of(injected: Injected) -> io::Error {
+    match injected {
+        Injected::Error(e) | Injected::ShortWrite(e) => e,
+    }
+}
+
+#[cfg(all(test, feature = "failpoints"))]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    // The registry is process-global; serialize tests that touch it.
+    static GATE: Mutex<()> = Mutex::new(());
+
+    fn guard() -> std::sync::MutexGuard<'static, ()> {
+        GATE.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    #[test]
+    fn once_fires_exactly_once() {
+        let _g = guard();
+        reset();
+        config("t.once", Trigger::Once, FailKind::Enospc);
+        let first = fire("t.once").expect("armed");
+        assert_eq!(error_of(first).raw_os_error(), Some(28));
+        assert!(fire("t.once").is_none());
+        assert!(fire("t.once").is_none());
+    }
+
+    #[test]
+    fn every_nth_fires_on_schedule() {
+        let _g = guard();
+        reset();
+        config("t.nth", Trigger::EveryNth(3), FailKind::Eio);
+        let pattern: Vec<bool> = (0..7).map(|_| fire("t.nth").is_some()).collect();
+        assert_eq!(pattern, [false, false, true, false, false, true, false]);
+        assert_eq!(hit_count("t.nth"), 7);
+    }
+
+    #[test]
+    fn after_k_stays_quiet_then_fires_forever() {
+        let _g = guard();
+        reset();
+        config("t.afterk", Trigger::AfterK(2), FailKind::Eio);
+        assert!(fire("t.afterk").is_none());
+        assert!(fire("t.afterk").is_none());
+        assert!(fire("t.afterk").is_some());
+        assert!(fire("t.afterk").is_some());
+    }
+
+    #[test]
+    fn short_write_carries_eio() {
+        let _g = guard();
+        reset();
+        config("t.short", Trigger::Always, FailKind::ShortWrite);
+        match fire("t.short").expect("armed") {
+            Injected::ShortWrite(e) => assert_eq!(e.raw_os_error(), Some(5)),
+            other => panic!("expected ShortWrite, got {other:?}"),
+        }
+        remove("t.short");
+        assert!(fire("t.short").is_none());
+    }
+
+    #[test]
+    fn unarmed_points_never_fire() {
+        let _g = guard();
+        reset();
+        assert!(fire("t.unknown").is_none());
+        assert_eq!(hit_count("t.unknown"), 0);
+    }
+}

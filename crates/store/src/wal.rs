@@ -212,8 +212,21 @@ impl WalWriter {
         frame.extend_from_slice(&len.to_le_bytes());
         frame.extend_from_slice(&crc32(payload).to_le_bytes());
         frame.extend_from_slice(payload);
+        match crate::fail::fire("wal.append") {
+            Some(crate::fail::Injected::ShortWrite(e)) => {
+                // Model a torn record: half the frame reaches the disk
+                // before the device fails. Recovery must truncate it.
+                let _ = self.file.write_all(&frame[..frame.len() / 2]);
+                return Err(e);
+            }
+            Some(injected) => return Err(crate::fail::error_of(injected)),
+            None => {}
+        }
         self.file.write_all(&frame)?;
         if self.sync {
+            if let Some(injected) = crate::fail::fire("wal.sync") {
+                return Err(crate::fail::error_of(injected));
+            }
             self.file.sync_data()?;
         }
         self.bytes += frame.len() as u64;
@@ -227,6 +240,9 @@ impl WalWriter {
     /// # Errors
     /// Propagates I/O errors.
     pub fn sync(&mut self) -> io::Result<()> {
+        if let Some(injected) = crate::fail::fire("wal.sync") {
+            return Err(crate::fail::error_of(injected));
+        }
         self.file.sync_data()
     }
 
@@ -248,6 +264,41 @@ impl WalWriter {
 
 // ----------------------------------------------------------- group commit
 
+/// A latched write-ahead-log fault: the first I/O error the log hit,
+/// with its OS errno when one was attached (ENOSPC = 28, EIO = 5).
+/// Surfaced through [`GroupWal::fault`] so a degraded server can report
+/// *why* it is read-only; cleared by [`GroupWal::clear_fault`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WalFault {
+    message: String,
+    errno: Option<i32>,
+}
+
+impl WalFault {
+    fn from_err(e: &io::Error) -> WalFault {
+        WalFault {
+            message: e.to_string(),
+            errno: e.raw_os_error(),
+        }
+    }
+
+    /// Human-readable description of the first failure.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+
+    /// The OS errno of the first failure, when the error carried one.
+    pub fn errno(&self) -> Option<i32> {
+        self.errno
+    }
+}
+
+impl std::fmt::Display for WalFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
 /// Mutable state of a [`GroupWal`], guarded by one mutex.
 #[derive(Debug)]
 struct GroupState {
@@ -263,8 +314,9 @@ struct GroupState {
     durable_seq: u64,
     /// Latched first I/O error: once the log fails, every later submit
     /// and wait fails with the same message (the WAL tail is suspect, so
-    /// no commit after the failure may be acknowledged).
-    error: Option<String>,
+    /// no commit after the failure may be acknowledged) — until
+    /// [`GroupWal::clear_fault`] installs a fresh generation.
+    error: Option<WalFault>,
     /// Records enqueued this generation (equals the on-disk count once
     /// the queue drains).
     records: u64,
@@ -343,10 +395,10 @@ impl GroupWal {
         self.state.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
-    fn latched(error: &Option<String>) -> Option<io::Error> {
+    fn latched(error: &Option<WalFault>) -> Option<io::Error> {
         error
             .as_ref()
-            .map(|m| io::Error::other(format!("write-ahead log failed earlier: {m}")))
+            .map(|f| io::Error::other(format!("write-ahead log failed earlier: {f}")))
     }
 
     /// Enqueues one record for the next batch and returns its sequence
@@ -445,7 +497,7 @@ impl GroupWal {
         state.writer = Some(writer);
         match result {
             Ok(()) => state.durable_seq = batch_end,
-            Err(ref e) => state.error = Some(e.to_string()),
+            Err(ref e) => state.error = Some(WalFault::from_err(e)),
         }
         self.wakeup.notify_all();
         result.map(|()| state)
@@ -470,7 +522,7 @@ impl GroupWal {
                 match state.writer.as_mut() {
                     Some(writer) => {
                         if let Err(e) = writer.sync() {
-                            state.error = Some(e.to_string());
+                            state.error = Some(WalFault::from_err(&e));
                             self.wakeup.notify_all();
                             return Err(e);
                         }
@@ -514,6 +566,39 @@ impl GroupWal {
             state.durable_seq = state.enqueued_seq;
             return Ok(());
         }
+    }
+
+    /// The latched fault, if the log has failed and not been re-armed.
+    /// A faulted log refuses every submit and wait — the owning service
+    /// should degrade to read-only and report this.
+    pub fn fault(&self) -> Option<WalFault> {
+        self.lock().error.clone()
+    }
+
+    /// Clears a latched fault by installing a fresh generation's writer.
+    /// Only sound after the caller has made the in-memory state durable
+    /// some other way (a full snapshot): the suspect generation's queued
+    /// records are dropped — their committers were already refused — and
+    /// sequence numbering continues so stale tickets stay satisfied.
+    ///
+    /// Blocks briefly if a leader is still mid-flush on the old writer.
+    pub fn clear_fault(&self, new_writer: WalWriter) {
+        let mut state = self.lock();
+        // A leader that took the writer will restore it and notify; wait
+        // so its restore cannot clobber the fresh writer afterwards.
+        while state.writer.is_none() {
+            state = self
+                .wakeup
+                .wait(state)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+        state.queue.clear();
+        state.error = None;
+        state.records = new_writer.records();
+        state.bytes = new_writer.bytes();
+        state.writer = Some(new_writer);
+        state.durable_seq = state.enqueued_seq;
+        self.wakeup.notify_all();
     }
 
     /// Records enqueued this generation (equals the on-disk record count
@@ -655,10 +740,19 @@ impl DataDir {
     pub fn write_snapshot(&self, generation: u64, payload: &[u8]) -> io::Result<u64> {
         let framed = frame_snapshot(payload);
         let tmp = self.root.join(format!("snapshot-{generation}.tmp"));
+        if let Some(injected) = crate::fail::fire("snapshot.write") {
+            // Leave a half-written temp file behind; it must never be
+            // mistaken for a snapshot (recovery prunes stray `*.tmp`).
+            let _ = std::fs::write(&tmp, &framed[..framed.len() / 2]);
+            return Err(crate::fail::error_of(injected));
+        }
         {
             let mut f = File::create(&tmp)?;
             f.write_all(&framed)?;
             f.sync_all()?;
+        }
+        if let Some(injected) = crate::fail::fire("snapshot.rename") {
+            return Err(crate::fail::error_of(injected));
         }
         std::fs::rename(&tmp, self.snapshot_path(generation))?;
         sync_dir(&self.root);
@@ -693,6 +787,12 @@ impl DataDir {
     }
 
     fn prune_where(&self, doomed: impl Fn(u64) -> bool) {
+        // Pruning is best-effort: an injected failure models a directory
+        // that cannot be cleaned right now. Old generations linger
+        // harmlessly and the next checkpoint retries.
+        if crate::fail::fire("checkpoint.prune").is_some() {
+            return;
+        }
         let Ok(entries) = std::fs::read_dir(&self.root) else {
             return;
         };

@@ -10,6 +10,7 @@
 //! ```text
 //! icdbd [--addr HOST:PORT] [--max-connections N] [--workers N]
 //!       [--data-dir DIR] [--no-fsync] [--group-commit-window MS]
+//!       [--idle-timeout SECS]
 //! ```
 //!
 //! With `--data-dir`, the daemon is **crash-recovering**: on boot it loads
@@ -98,6 +99,7 @@ fn main() -> ExitCode {
     let mut fsync = true;
     let mut workers = DEFAULT_WORKERS;
     let mut group_commit_window = std::time::Duration::ZERO;
+    let mut idle_timeout = std::time::Duration::ZERO;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -123,6 +125,10 @@ fn main() -> ExitCode {
                 Some(Ok(ms)) => group_commit_window = std::time::Duration::from_millis(ms),
                 _ => return usage("--group-commit-window needs milliseconds"),
             },
+            "--idle-timeout" => match args.next().map(|v| v.parse::<u64>()) {
+                Some(Ok(secs)) => idle_timeout = std::time::Duration::from_secs(secs),
+                _ => return usage("--idle-timeout needs seconds (0 disables it)"),
+            },
             "--help" | "-h" => {
                 println!(
                     "icdbd — ICDB component-database daemon\n\n\
@@ -138,7 +144,9 @@ fn main() -> ExitCode {
                      \x20     --no-fsync             skip the per-batch fsync (survives process\n\
                      \x20                            crashes, not power loss)\n\
                      \x20     --group-commit-window MS  let a flush leader wait MS milliseconds\n\
-                     \x20                            for companion commits before fsyncing\n\n\
+                     \x20                            for companion commits before fsyncing\n\
+                     \x20     --idle-timeout SECS    disconnect a connection silent for SECS\n\
+                     \x20                            seconds (default 0: never)\n\n\
                      PROTOCOL: one CQL command per line; `attach ns<N>` re-binds the session\n\
                      to a (recovered) namespace; `quit` disconnects. See the `icdb::net`\n\
                      module docs or the README for details."
@@ -152,14 +160,16 @@ fn main() -> ExitCode {
     let service = match &data_dir {
         Some(dir) => match IcdbService::open_with_options(dir, fsync, group_commit_window) {
             Ok(service) => {
-                let stats = service.persist_stats().expect("durable service");
-                eprintln!(
-                    "icdbd: recovered generation {} from {} ({} events replayed{})",
-                    stats.generation,
-                    stats.data_dir,
-                    stats.recovered_events,
-                    if fsync { "" } else { ", fsync off" },
-                );
+                match service.persist_stats() {
+                    Some(stats) => eprintln!(
+                        "icdbd: recovered generation {} from {} ({} events replayed{})",
+                        stats.generation,
+                        stats.data_dir,
+                        stats.recovered_events,
+                        if fsync { "" } else { ", fsync off" },
+                    ),
+                    None => eprintln!("icdbd: recovered from {dir} (no journal stats)"),
+                }
                 Arc::new(service)
             }
             Err(e) => {
@@ -173,13 +183,15 @@ fn main() -> ExitCode {
     #[cfg(unix)]
     signals::install();
 
-    let server = match Server::bind_with(&addr, Arc::clone(&service), max_connections, workers) {
+    let mut server = match Server::bind_with(&addr, Arc::clone(&service), max_connections, workers)
+    {
         Ok(server) => server,
         Err(e) => {
             eprintln!("icdbd: cannot bind {addr}: {e}");
             return ExitCode::FAILURE;
         }
     };
+    server.set_idle_timeout(idle_timeout);
     match server.local_addr() {
         Ok(bound) => eprintln!(
             "icdbd: listening on {bound} (max {max_connections} connections, {workers} workers)"
@@ -237,7 +249,7 @@ fn main() -> ExitCode {
 fn usage(message: &str) -> ExitCode {
     eprintln!(
         "icdbd: {message}\nUSAGE: icdbd [--addr HOST:PORT] [--max-connections N] [--workers N] \
-         [--data-dir DIR] [--no-fsync] [--group-commit-window MS]"
+         [--data-dir DIR] [--no-fsync] [--group-commit-window MS] [--idle-timeout SECS]"
     );
     ExitCode::FAILURE
 }

@@ -18,7 +18,7 @@
 //! ([`crate::net::DEFAULT_WORKERS`], `icdbd --workers`) bounds the
 //! blast radius.
 
-use crate::net::{answer, attach_session, escape, ErrCode};
+use crate::net::{answer, attach_session, escape, ErrCode, MAX_LINE};
 use icdb_core::IcdbService;
 use std::collections::HashMap;
 use std::io::{self, Read, Write as _};
@@ -26,6 +26,7 @@ use std::net::{TcpListener, TcpStream};
 use std::os::unix::io::AsRawFd;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, PoisonError};
+use std::time::{Duration, Instant};
 
 // ------------------------------------------------------- raw epoll ABI
 
@@ -85,10 +86,12 @@ fn drain(wake_fd: i32) {
 
 // -------------------------------------------------- connection machine
 
-/// A request line longer than this is refused: it is either a protocol
-/// violation or a hostile stream, and buffering it unbounded would let
-/// one connection exhaust the server.
-const MAX_LINE: usize = 32 * 1024 * 1024;
+/// A connection whose unread response backlog (`wbuf` minus what the
+/// socket accepted) exceeds this is dropped: a peer that sends requests
+/// but never reads answers would otherwise grow the write buffer without
+/// bound. Generous — a single response can be large (list outputs) — but
+/// finite.
+const WRITE_HIGH_WATER: usize = 8 * 1024 * 1024;
 
 /// How many readiness events one `epoll_wait` call collects.
 const EVENT_BATCH: usize = 64;
@@ -113,6 +116,8 @@ struct Conn {
     closing: bool,
     /// Whether the epoll registration currently includes `EPOLLOUT`.
     armed_out: bool,
+    /// When this connection last showed readiness (the idle-sweep clock).
+    last_active: Instant,
 }
 
 impl Conn {
@@ -177,14 +182,7 @@ impl Conn {
                 None => answer(&self.session, line),
             };
             match outcome {
-                Ok(out_lines) => {
-                    self.wbuf
-                        .extend_from_slice(format!("OK {}\n", out_lines.len()).as_bytes());
-                    for l in out_lines {
-                        self.wbuf.extend_from_slice(l.as_bytes());
-                        self.wbuf.push(b'\n');
-                    }
-                }
+                Ok(reply) => self.wbuf.extend_from_slice(reply.render().as_bytes()),
                 Err((code, message)) => {
                     self.wbuf.extend_from_slice(
                         format!("ERR {} {}\n", code.as_str(), escape(&message)).as_bytes(),
@@ -207,6 +205,7 @@ impl Conn {
     /// Reacts to one readiness report. Returns `true` when the
     /// connection is finished and must be deregistered and dropped.
     fn handle(&mut self, events: u32, epfd: i32) -> bool {
+        self.last_active = Instant::now();
         if events & EPOLLERR != 0 {
             return true;
         }
@@ -225,6 +224,11 @@ impl Conn {
             }
         }
         if self.flush().is_err() {
+            return true;
+        }
+        // A peer that fires requests without draining responses gets
+        // dropped once its unread backlog passes the high-water mark.
+        if self.wbuf.len() - self.wpos > WRITE_HIGH_WATER {
             return true;
         }
         let pending = self.wpos < self.wbuf.len();
@@ -260,6 +264,7 @@ fn lock_streams(inbox: &Inbox) -> std::sync::MutexGuard<'_, Vec<TcpStream>> {
 fn worker_loop(
     inbox: Arc<Inbox>,
     service: Arc<IcdbService>,
+    idle_timeout: Duration,
     shutdown: Arc<AtomicBool>,
     active: Arc<AtomicUsize>,
 ) {
@@ -304,10 +309,29 @@ fn worker_loop(
                 continue;
             };
             if conn.handle(readiness, epfd) {
-                let conn = conns.remove(&token).expect("connection present");
-                let _ = ctl(epfd, EPOLL_CTL_DEL, conn.stream.as_raw_fd(), 0, 0);
-                drop(conn); // drops the Session → namespace cleanup
-                active.fetch_sub(1, Ordering::SeqCst);
+                if let Some(conn) = conns.remove(&token) {
+                    let _ = ctl(epfd, EPOLL_CTL_DEL, conn.stream.as_raw_fd(), 0, 0);
+                    drop(conn); // drops the Session → namespace cleanup
+                    active.fetch_sub(1, Ordering::SeqCst);
+                }
+            }
+        }
+        // Idle sweep, on the epoll tick (`WAIT_TIMEOUT_MS`): a connection
+        // silent past the timeout is treated exactly like a disconnect —
+        // its session drops and the namespace is deleted.
+        if idle_timeout > Duration::ZERO {
+            let now = Instant::now();
+            let stale: Vec<u64> = conns
+                .iter()
+                .filter(|(_, c)| now.duration_since(c.last_active) > idle_timeout)
+                .map(|(&token, _)| token)
+                .collect();
+            for token in stale {
+                if let Some(conn) = conns.remove(&token) {
+                    let _ = ctl(epfd, EPOLL_CTL_DEL, conn.stream.as_raw_fd(), 0, 0);
+                    drop(conn);
+                    active.fetch_sub(1, Ordering::SeqCst);
+                }
             }
         }
     }
@@ -341,6 +365,7 @@ fn register(epfd: i32, stream: TcpStream, service: &Arc<IcdbService>) -> Option<
         wpos: 0,
         closing: false,
         armed_out: false,
+        last_active: Instant::now(),
     };
     conn.wbuf.extend_from_slice(
         format!("OK icdbd ready (session ns{})\n", conn.session.ns().raw()).as_bytes(),
@@ -365,6 +390,7 @@ pub(crate) fn serve(
     service: Arc<IcdbService>,
     max_connections: usize,
     workers: usize,
+    idle_timeout: Duration,
     shutdown: Arc<AtomicBool>,
 ) -> io::Result<()> {
     let active = Arc::new(AtomicUsize::new(0));
@@ -390,7 +416,7 @@ pub(crate) fn serve(
         let shutdown = Arc::clone(&shutdown);
         let active = Arc::clone(&active);
         handles.push(std::thread::spawn(move || {
-            worker_loop(inbox, service, shutdown, active)
+            worker_loop(inbox, service, idle_timeout, shutdown, active)
         }));
     }
     let mut next = 0usize;

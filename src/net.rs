@@ -41,11 +41,20 @@
 //!
 //! The `ERR` code is machine-readable ([`ErrCode`]): `capacity` (the
 //! connection cap refused the client), `parse` (the request line itself
-//! is malformed — bad escapes, bad slot syntax, field/slot mismatch) or
-//! `cql` (the command executed and failed). [`IcdbClient`] maps them onto
-//! distinct [`IcdbError`] variants — [`IcdbError::Unsupported`],
-//! [`IcdbError::Parse`] and [`IcdbError::Cql`] respectively — so callers
-//! can tell refusal from query failure.
+//! is malformed — bad escapes, bad slot syntax, field/slot mismatch),
+//! `cql` (the command executed and failed) or `readonly` (the server is
+//! degraded after a durability fault and refuses commits). [`IcdbClient`]
+//! maps them onto distinct [`IcdbError`] variants —
+//! [`IcdbError::Unsupported`], [`IcdbError::Parse`], [`IcdbError::Cql`]
+//! and [`IcdbError::ReadOnly`] respectively — so callers can tell refusal
+//! from query failure.
+//!
+//! Acks for *mutating* commands carry the session namespace's commit
+//! sequence in the header — `OK <n> commit:<seq>` — and an `attach`
+//! response reports it as a second output line (`d <seq>`). Together they
+//! let a client that lost a connection mid-commit reconnect, re-attach,
+//! and tell "my commit applied, the ack was lost" from "my commit never
+//! happened" (see [`RetryPolicy`]).
 //!
 //! [`IcdbClient::execute`] mirrors [`crate::Icdb::execute`] exactly — the
 //! same command strings and the same `&mut [CqlArg]` calling convention —
@@ -56,11 +65,10 @@ use icdb_core::{IcdbError, IcdbService};
 use icdb_cql::{scan_slots, CqlArg, SlotSpec, SlotType};
 use std::io::{self, BufRead, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-#[cfg(not(target_os = "linux"))]
-use std::sync::atomic::AtomicUsize;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 /// Default TCP port of `icdbd`.
 pub const DEFAULT_PORT: u16 = 7433;
@@ -76,6 +84,12 @@ pub const DEFAULT_WORKERS: usize = 4;
 /// Separator for list items inside one wire field.
 const LIST_SEP: char = '\u{1f}';
 
+/// A request line longer than this is refused: it is either a protocol
+/// violation or a hostile stream, and buffering it unbounded would let
+/// one connection exhaust the server. Shared by the epoll loop and the
+/// thread-per-connection fallback.
+pub(crate) const MAX_LINE: usize = 32 * 1024 * 1024;
+
 /// Machine-readable reason code carried as the first word of an `ERR`
 /// response line.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -88,6 +102,10 @@ pub enum ErrCode {
     /// The command executed and failed (unknown command, missing
     /// instance, generation error, …).
     Cql,
+    /// The server is read-only degraded (a durability fault latched) and
+    /// refuses commits until an operator re-arms it (`persist
+    /// checkpoint:1` against a healthy dir, or `persist clear_fault:1`).
+    Readonly,
 }
 
 impl ErrCode {
@@ -97,6 +115,7 @@ impl ErrCode {
             ErrCode::Capacity => "capacity",
             ErrCode::Parse => "parse",
             ErrCode::Cql => "cql",
+            ErrCode::Readonly => "readonly",
         }
     }
 
@@ -106,15 +125,25 @@ impl ErrCode {
             "capacity" => Some(ErrCode::Capacity),
             "parse" => Some(ErrCode::Parse),
             "cql" => Some(ErrCode::Cql),
+            "readonly" => Some(ErrCode::Readonly),
             _ => None,
         }
     }
 }
 
+/// The wire code for a server-side execution error: `readonly` for
+/// degraded-mode refusals, `cql` for everything else.
+fn err_code_of(e: &IcdbError) -> ErrCode {
+    match e {
+        IcdbError::ReadOnly(_) => ErrCode::Readonly,
+        _ => ErrCode::Cql,
+    }
+}
+
 /// Decodes the remainder of an `ERR ` line into the matching error
 /// variant: `capacity` → [`IcdbError::Unsupported`], `parse` →
-/// [`IcdbError::Parse`], `cql` (and unknown codes, for forward
-/// compatibility) → [`IcdbError::Cql`].
+/// [`IcdbError::Parse`], `readonly` → [`IcdbError::ReadOnly`], `cql`
+/// (and unknown codes, for forward compatibility) → [`IcdbError::Cql`].
 fn decode_err(rest: &str) -> IcdbError {
     let (word, body) = rest.split_once(' ').unwrap_or((rest, ""));
     let message = unescape(body).unwrap_or_else(|_| body.to_string());
@@ -122,6 +151,7 @@ fn decode_err(rest: &str) -> IcdbError {
         Some(ErrCode::Capacity) => IcdbError::Unsupported(message),
         Some(ErrCode::Parse) => IcdbError::Parse(message),
         Some(ErrCode::Cql) => IcdbError::Cql(message),
+        Some(ErrCode::Readonly) => IcdbError::ReadOnly(message),
         None => IcdbError::Cql(unescape(rest).unwrap_or_else(|_| rest.to_string())),
     }
 }
@@ -305,6 +335,7 @@ pub struct Server {
     service: Arc<IcdbService>,
     max_connections: usize,
     workers: usize,
+    idle_timeout: Duration,
     shutdown: Arc<AtomicBool>,
 }
 
@@ -375,8 +406,17 @@ impl Server {
             service,
             max_connections: max_connections.max(1),
             workers: workers.max(1),
+            idle_timeout: Duration::ZERO,
             shutdown: Arc::new(AtomicBool::new(false)),
         })
+    }
+
+    /// Disconnects a connection that has been silent for `timeout`
+    /// (`Duration::ZERO`, the default, disables the sweep). An idle
+    /// client is treated exactly like one that disconnected: its session
+    /// drops and the namespace is deleted. `icdbd --idle-timeout SECS`.
+    pub fn set_idle_timeout(&mut self, timeout: Duration) {
+        self.idle_timeout = timeout;
     }
 
     /// Address the server is bound to.
@@ -403,6 +443,7 @@ impl Server {
                 self.service,
                 self.max_connections,
                 self.workers,
+                self.idle_timeout,
                 self.shutdown,
             )
         }
@@ -412,8 +453,10 @@ impl Server {
         }
     }
 
-    /// The portable thread-per-connection fallback.
-    #[cfg(not(target_os = "linux"))]
+    /// The portable thread-per-connection fallback. Compiled (and unit
+    /// tested) on every platform so Linux builds keep it honest; only
+    /// non-Linux [`Server::serve`] calls it in production.
+    #[cfg_attr(target_os = "linux", allow(dead_code))]
     fn serve_threaded(self) -> io::Result<()> {
         let _ = self.workers;
         let active = Arc::new(AtomicUsize::new(0));
@@ -447,8 +490,9 @@ impl Server {
             }
             let service = Arc::clone(&self.service);
             let active = Arc::clone(&active);
+            let idle_timeout = self.idle_timeout;
             std::thread::spawn(move || {
-                let _ = handle_connection(stream, &service);
+                let _ = handle_connection(stream, &service, idle_timeout);
                 active.fetch_sub(1, Ordering::SeqCst);
             });
         }
@@ -479,16 +523,41 @@ impl Server {
 /// `attach <N>`): re-bind the connection's session to an existing
 /// namespace — the crash-recovery path, since a durable server preserves
 /// namespace ids across restarts (see [`icdb_core::Session::attach`]).
-/// The response is `OK 1` + `s ns<N>` on success.
-#[cfg(not(target_os = "linux"))]
-fn handle_connection(stream: TcpStream, service: &Arc<IcdbService>) -> io::Result<()> {
+/// The response is `OK 2` + `s ns<N>` + `d <commit_seq>` on success.
+#[cfg_attr(target_os = "linux", allow(dead_code))]
+fn handle_connection(
+    stream: TcpStream,
+    service: &Arc<IcdbService>,
+    idle_timeout: Duration,
+) -> io::Result<()> {
     let mut session = service.open_session();
-    let reader = BufReader::new(stream.try_clone()?);
+    if idle_timeout > Duration::ZERO {
+        // The blocking fallback bounds idleness with a socket read
+        // timeout: a silent peer errors out of `read_bounded_line` and
+        // the connection closes, same policy as the epoll sweep.
+        stream.set_read_timeout(Some(idle_timeout))?;
+    }
+    let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = BufWriter::new(stream);
     writeln!(writer, "OK icdbd ready (session ns{})", session.ns().raw())?;
     writer.flush()?;
-    for line in reader.lines() {
-        let line = line?;
+    loop {
+        let line = match read_bounded_line(&mut reader, MAX_LINE) {
+            Ok(Some(line)) => line,
+            Ok(None) => break,
+            Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+                // Oversized request line: refuse and disconnect, exactly
+                // like the epoll loop.
+                writeln!(
+                    writer,
+                    "ERR {} request line exceeds {MAX_LINE} bytes",
+                    ErrCode::Parse.as_str()
+                )?;
+                writer.flush()?;
+                break;
+            }
+            Err(e) => return Err(e),
+        };
         let line = line.trim_end_matches(['\r', '\n']);
         if line.is_empty() {
             continue;
@@ -501,12 +570,7 @@ fn handle_connection(stream: TcpStream, service: &Arc<IcdbService>) -> io::Resul
             None => answer(&session, line),
         };
         match outcome {
-            Ok(out_lines) => {
-                writeln!(writer, "OK {}", out_lines.len())?;
-                for l in out_lines {
-                    writeln!(writer, "{l}")?;
-                }
-            }
+            Ok(reply) => writer.write_all(reply.render().as_bytes())?,
             Err((code, message)) => writeln!(writer, "ERR {} {}", code.as_str(), escape(&message))?,
         }
         writer.flush()?;
@@ -514,12 +578,73 @@ fn handle_connection(stream: TcpStream, service: &Arc<IcdbService>) -> io::Resul
     Ok(())
 }
 
+/// Reads one `\n`-terminated line without ever buffering more than
+/// `limit` bytes: the bounded replacement for `BufRead::lines` in the
+/// thread-per-connection fallback. Returns `Ok(None)` at EOF and
+/// `ErrorKind::InvalidData` when the line exceeds the limit (the caller
+/// refuses and disconnects).
+fn read_bounded_line(
+    reader: &mut BufReader<TcpStream>,
+    limit: usize,
+) -> io::Result<Option<String>> {
+    let mut line = Vec::new();
+    loop {
+        let available = reader.fill_buf()?;
+        if available.is_empty() {
+            if line.is_empty() {
+                return Ok(None);
+            }
+            return Ok(Some(String::from_utf8_lossy(&line).into_owned()));
+        }
+        if let Some(pos) = available.iter().position(|&b| b == b'\n') {
+            line.extend_from_slice(&available[..pos]);
+            reader.consume(pos + 1);
+            if line.len() > limit {
+                return Err(io::ErrorKind::InvalidData.into());
+            }
+            return Ok(Some(String::from_utf8_lossy(&line).into_owned()));
+        }
+        let n = available.len();
+        line.extend_from_slice(available);
+        reader.consume(n);
+        if line.len() > limit {
+            return Err(io::ErrorKind::InvalidData.into());
+        }
+    }
+}
+
+/// A successful wire response: the typed output lines, plus — for
+/// mutating commands — the session namespace's commit sequence echoed in
+/// the `OK <n> commit:<seq>` header so clients can detect lost acks.
+pub(crate) struct Reply {
+    pub(crate) lines: Vec<String>,
+    pub(crate) commit: Option<u64>,
+}
+
+impl Reply {
+    /// Renders the header and output lines, each newline-terminated.
+    pub(crate) fn render(&self) -> String {
+        let mut out = match self.commit {
+            Some(seq) => format!("OK {} commit:{seq}\n", self.lines.len()),
+            None => format!("OK {}\n", self.lines.len()),
+        };
+        for l in &self.lines {
+            out.push_str(l);
+            out.push('\n');
+        }
+        out
+    }
+}
+
 /// Handles the `attach` wire command: parses `ns<N>` / `<N>` and re-binds
 /// the session (ownership of the namespace transfers to this connection).
+/// The response reports the attached namespace and its current commit
+/// sequence (`s ns<N>`, `d <seq>`) — the seq line is what lets a
+/// reconnecting client decide whether an ack-lost commit applied.
 pub(crate) fn attach_session(
     session: &mut icdb_core::Session,
     target: &str,
-) -> Result<Vec<String>, (ErrCode, String)> {
+) -> Result<Reply, (ErrCode, String)> {
     let target = target.trim();
     let raw: u64 = target
         .strip_prefix("ns")
@@ -534,17 +659,19 @@ pub(crate) fn attach_session(
     let ns = icdb_core::NsId::from_raw(raw);
     session
         .attach(ns)
-        .map_err(|e| (ErrCode::Cql, e.to_string()))?;
-    Ok(vec![format!("s ns{raw}")])
+        .map_err(|e| (err_code_of(&e), e.to_string()))?;
+    let seq = session.commit_seq();
+    Ok(Reply {
+        lines: vec![format!("s ns{raw}"), format!("d {seq}")],
+        commit: None,
+    })
 }
 
 /// Decodes one request line, executes it in the session, and encodes the
 /// output lines. Errors carry their wire reason code: decoding problems
-/// are `parse`, execution failures are `cql`.
-pub(crate) fn answer(
-    session: &icdb_core::Session,
-    line: &str,
-) -> Result<Vec<String>, (ErrCode, String)> {
+/// are `parse`, execution failures `cql` (or `readonly` when a degraded
+/// server refuses a commit).
+pub(crate) fn answer(session: &icdb_core::Session, line: &str) -> Result<Reply, (ErrCode, String)> {
     let parse = |m: String| (ErrCode::Parse, m);
     let mut fields = line.split('\t');
     let command = unescape(fields.next().unwrap_or_default()).map_err(parse)?;
@@ -565,56 +692,244 @@ pub(crate) fn answer(
     }
     session
         .execute(&command, &mut args)
-        .map_err(|e| (ErrCode::Cql, e.to_string()))?;
-    Ok(args
-        .iter()
-        .filter(|a| {
-            matches!(
-                a,
-                CqlArg::OutStr(_)
-                    | CqlArg::OutInt(_)
-                    | CqlArg::OutReal(_)
-                    | CqlArg::OutStrList(_)
-                    | CqlArg::OutIntList(_)
-                    | CqlArg::OutRealList(_)
-            )
-        })
-        .map(encode_output)
-        .collect())
+        .map_err(|e| (err_code_of(&e), e.to_string()))?;
+    let commit = if icdb_core::command_text_is_read_only(&command) {
+        None
+    } else {
+        Some(session.commit_seq())
+    };
+    Ok(Reply {
+        lines: args
+            .iter()
+            .filter(|a| {
+                matches!(
+                    a,
+                    CqlArg::OutStr(_)
+                        | CqlArg::OutInt(_)
+                        | CqlArg::OutReal(_)
+                        | CqlArg::OutStrList(_)
+                        | CqlArg::OutIntList(_)
+                        | CqlArg::OutRealList(_)
+                )
+            })
+            .map(encode_output)
+            .collect(),
+        commit,
+    })
 }
 
 // --------------------------------------------------------------- client
 
+/// Timeouts and bounded-retry knobs for [`IcdbClient`].
+///
+/// The default policy retries transient failures — connection refused,
+/// connect/read timeouts, a `capacity` refusal, a dropped connection —
+/// with bounded exponential backoff and *deterministic* jitter (seeded
+/// xorshift, no wall clock): give each client a distinct `jitter_seed`
+/// to desynchronize a reconnect stampede, or share one in tests for
+/// reproducible schedules.
+///
+/// Read-only commands are re-sent freely after a reconnect + re-attach.
+/// Mutating commands are **never blindly re-sent**: after an ambiguous
+/// drop the client re-attaches and compares the namespace's commit
+/// sequence (`d <seq>` in the attach response) with the last sequence it
+/// saw acked — only an unchanged sequence proves the lost command never
+/// committed and makes a re-send safe.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Per-attempt TCP connect timeout (`None`: the OS default).
+    pub connect_timeout: Option<Duration>,
+    /// Socket read timeout (`None`: block forever).
+    pub read_timeout: Option<Duration>,
+    /// Socket write timeout (`None`: block forever).
+    pub write_timeout: Option<Duration>,
+    /// Retries after the initial attempt (0 disables retrying).
+    pub max_retries: u32,
+    /// Backoff before the first retry; doubles every retry after.
+    pub backoff_base: Duration,
+    /// Ceiling the exponential backoff saturates at.
+    pub backoff_max: Duration,
+    /// Seed for the deterministic backoff jitter.
+    pub jitter_seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            connect_timeout: Some(Duration::from_secs(5)),
+            read_timeout: Some(Duration::from_secs(30)),
+            write_timeout: Some(Duration::from_secs(30)),
+            max_retries: 5,
+            backoff_base: Duration::from_millis(25),
+            backoff_max: Duration::from_secs(2),
+            jitter_seed: 0x1cdb,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// No timeouts and no retries — [`IcdbClient::connect`]'s behaviour:
+    /// every failure surfaces immediately.
+    pub fn none() -> RetryPolicy {
+        RetryPolicy {
+            connect_timeout: None,
+            read_timeout: None,
+            write_timeout: None,
+            max_retries: 0,
+            backoff_base: Duration::ZERO,
+            backoff_max: Duration::ZERO,
+            jitter_seed: 0,
+        }
+    }
+
+    /// The delay before retry number `attempt` (1-based): exponential
+    /// from `backoff_base`, capped at `backoff_max`, jittered into the
+    /// upper half of the window by a seeded xorshift — deterministic for
+    /// a given (`jitter_seed`, `attempt`) pair.
+    pub fn backoff(&self, attempt: u32) -> Duration {
+        let exp = self.backoff_base.saturating_mul(
+            1u32.checked_shl(attempt.saturating_sub(1).min(20))
+                .unwrap_or(u32::MAX),
+        );
+        let capped = exp.min(self.backoff_max);
+        let nanos = u64::try_from(capped.as_nanos()).unwrap_or(u64::MAX);
+        let half = nanos / 2;
+        if half == 0 {
+            return capped;
+        }
+        let mut x = self
+            .jitter_seed
+            .wrapping_add(u64::from(attempt).wrapping_mul(0x9e37_79b9_7f4a_7c15))
+            | 1;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        Duration::from_nanos(half + x % half)
+    }
+}
+
+/// How one executed command failed — decides retry eligibility.
+enum ExecFailure {
+    /// The transport died (send or receive): the response may be lost,
+    /// and for a mutating command the outcome is ambiguous.
+    Net(IcdbError),
+    /// The server answered (an `ERR` line, or malformed data): the
+    /// outcome is known and retrying cannot change it.
+    Server(IcdbError),
+}
+
 /// A blocking `icdbd` client whose [`IcdbClient::execute`] mirrors the
-/// embedded [`crate::Icdb::execute`] calling convention.
+/// embedded [`crate::Icdb::execute`] calling convention. Connect with a
+/// [`RetryPolicy`] to get timeouts, bounded backoff, and transparent
+/// reconnect + re-attach across server restarts.
 #[derive(Debug)]
 pub struct IcdbClient {
     reader: BufReader<TcpStream>,
     writer: BufWriter<TcpStream>,
     session_ns: Option<icdb_core::NsId>,
+    addrs: Vec<SocketAddr>,
+    policy: RetryPolicy,
+    last_commit_seq: u64,
 }
 
 impl IcdbClient {
-    /// Connects and consumes the server greeting.
+    /// Connects and consumes the server greeting. No timeouts, no
+    /// retries ([`RetryPolicy::none`]); use [`IcdbClient::connect_with`]
+    /// for a fault-tolerant connection.
     ///
     /// # Errors
     /// Socket errors, or the server refusing the connection (cap reached).
     pub fn connect(addr: impl ToSocketAddrs) -> Result<IcdbClient, IcdbError> {
-        let stream = TcpStream::connect(addr).map_err(net_err)?;
+        IcdbClient::connect_with(addr, RetryPolicy::none())
+    }
+
+    /// Connects under `policy`: each attempt dials with the connect
+    /// timeout, and transient failures (refused, timed out, `ERR
+    /// capacity`, a connection dropped mid-greeting) are retried up to
+    /// `policy.max_retries` times with jittered exponential backoff.
+    ///
+    /// # Errors
+    /// The last failure once the retry budget is spent; non-transient
+    /// failures immediately.
+    pub fn connect_with(
+        addr: impl ToSocketAddrs,
+        policy: RetryPolicy,
+    ) -> Result<IcdbClient, IcdbError> {
+        let addrs: Vec<SocketAddr> = addr.to_socket_addrs().map_err(net_err)?.collect();
+        if addrs.is_empty() {
+            return Err(IcdbError::Cql("no socket address to connect to".into()));
+        }
+        let mut attempt = 0u32;
+        loop {
+            match IcdbClient::open(&addrs, &policy) {
+                Ok(client) => return Ok(client),
+                Err((retriable, e)) => {
+                    if !retriable || attempt >= policy.max_retries {
+                        return Err(e);
+                    }
+                    attempt += 1;
+                    std::thread::sleep(policy.backoff(attempt));
+                }
+            }
+        }
+    }
+
+    /// One connection attempt: dial, apply socket timeouts, consume the
+    /// greeting. The boolean classifies the failure as transient.
+    fn open(addrs: &[SocketAddr], policy: &RetryPolicy) -> Result<IcdbClient, (bool, IcdbError)> {
+        let mut last: Option<io::Error> = None;
+        let mut stream = None;
+        for addr in addrs {
+            let dialed = match policy.connect_timeout {
+                Some(timeout) => TcpStream::connect_timeout(addr, timeout),
+                None => TcpStream::connect(addr),
+            };
+            match dialed {
+                Ok(s) => {
+                    stream = Some(s);
+                    break;
+                }
+                Err(e) => last = Some(e),
+            }
+        }
+        let Some(stream) = stream else {
+            let e = last.unwrap_or_else(|| io::ErrorKind::AddrNotAvailable.into());
+            let transient = matches!(
+                e.kind(),
+                io::ErrorKind::ConnectionRefused
+                    | io::ErrorKind::ConnectionReset
+                    | io::ErrorKind::TimedOut
+                    | io::ErrorKind::WouldBlock
+            );
+            return Err((transient, net_err(e)));
+        };
+        let fallible = |e: io::Error| (false, net_err(e));
+        stream
+            .set_read_timeout(policy.read_timeout)
+            .map_err(fallible)?;
+        stream
+            .set_write_timeout(policy.write_timeout)
+            .map_err(fallible)?;
         let mut client = IcdbClient {
-            reader: BufReader::new(stream.try_clone().map_err(net_err)?),
+            reader: BufReader::new(stream.try_clone().map_err(fallible)?),
             writer: BufWriter::new(stream),
             session_ns: None,
+            addrs: addrs.to_vec(),
+            policy: policy.clone(),
+            last_commit_seq: 0,
         };
-        let greeting = client.read_line()?;
+        // A connection dropped mid-greeting (server restarting) is as
+        // transient as a refused one.
+        let greeting = client.read_line().map_err(|e| (true, e))?;
         if let Some(rest) = greeting.strip_prefix("ERR ") {
             // A `capacity` refusal surfaces as `IcdbError::Unsupported` so
             // callers can tell "try again later" from a real failure.
             return Err(match decode_err(rest) {
-                IcdbError::Unsupported(m) => {
-                    IcdbError::Unsupported(format!("icdbd refused the connection: {m}"))
-                }
-                other => other,
+                IcdbError::Unsupported(m) => (
+                    true,
+                    IcdbError::Unsupported(format!("icdbd refused the connection: {m}")),
+                ),
+                other => (false, other),
             });
         }
         // Greeting form: `OK icdbd ready (session ns<N>)` — remember the
@@ -626,11 +941,39 @@ impl IcdbClient {
         Ok(client)
     }
 
+    /// Dials a fresh connection and re-attaches the remembered session
+    /// namespace. Returns the server-reported commit sequence of that
+    /// namespace (`None` when there was no namespace to re-attach).
+    fn reconnect(&mut self) -> Result<Option<u64>, IcdbError> {
+        let mut fresh = IcdbClient::open(&self.addrs, &self.policy).map_err(|(_, e)| e)?;
+        let mut server_seq = None;
+        if let Some(ns) = self.session_ns {
+            fresh.attach(ns)?;
+            server_seq = Some(fresh.last_commit_seq);
+        } else {
+            self.session_ns = fresh.session_ns;
+        }
+        self.reader = fresh.reader;
+        self.writer = fresh.writer;
+        Ok(server_seq)
+    }
+
     /// The server-side namespace of this connection's session, parsed from
     /// the greeting (and updated by [`IcdbClient::attach`]). This is the id
     /// to attach to when reconnecting to a durable server after a crash.
     pub fn session_ns(&self) -> Option<icdb_core::NsId> {
         self.session_ns
+    }
+
+    /// The policy this client connected with.
+    pub fn policy(&self) -> &RetryPolicy {
+        &self.policy
+    }
+
+    /// The last commit sequence the server acked for this session's
+    /// namespace (`OK <n> commit:<seq>` headers and `attach` responses).
+    pub fn last_commit_seq(&self) -> u64 {
+        self.last_commit_seq
     }
 
     /// Executes one CQL command remotely: `%` inputs are read from `args`,
@@ -640,9 +983,59 @@ impl IcdbClient {
     /// # Errors
     /// Server-side errors arrive typed by their wire reason code
     /// ([`ErrCode`]): command failures as [`IcdbError::Cql`], malformed
-    /// request lines as [`IcdbError::Parse`]. Socket errors are wrapped as
-    /// [`IcdbError::Cql`].
+    /// request lines as [`IcdbError::Parse`], degraded-mode commit
+    /// refusals as [`IcdbError::ReadOnly`]. Socket errors are wrapped as
+    /// [`IcdbError::Cql`]; under a retrying [`RetryPolicy`] they first
+    /// trigger reconnect + re-attach, and a mutating command whose lost
+    /// response turns out to have committed (the re-attached namespace's
+    /// commit sequence advanced past the last acked one) surfaces a
+    /// distinct "acknowledgement was lost" error instead of re-sending.
     pub fn execute(&mut self, command: &str, args: &mut [CqlArg]) -> Result<(), IcdbError> {
+        let read_only = icdb_core::command_text_is_read_only(command);
+        let mut attempt = 0u32;
+        loop {
+            let failure = match self.execute_once(command, args) {
+                Ok(()) => return Ok(()),
+                Err(ExecFailure::Server(e)) => return Err(e),
+                Err(ExecFailure::Net(e)) => e,
+            };
+            if attempt >= self.policy.max_retries {
+                return Err(failure);
+            }
+            attempt += 1;
+            std::thread::sleep(self.policy.backoff(attempt));
+            let seen = self.last_commit_seq;
+            let server_seq = match self.reconnect() {
+                Ok(seq) => seq,
+                // The reconnect itself failed: spend the attempt and loop —
+                // execute_once will fail fast on the dead transport and the
+                // next attempt reconnects again.
+                Err(_) => continue,
+            };
+            if !read_only {
+                match server_seq {
+                    // Unchanged sequence: the lost command provably never
+                    // committed, so one re-send is safe.
+                    Some(now) if now <= seen => {}
+                    Some(now) => {
+                        self.last_commit_seq = now;
+                        return Err(IcdbError::Cql(format!(
+                            "commit applied on the server (commit_seq {now}, last acked {seen}) \
+                             but its acknowledgement was lost: {failure}"
+                        )));
+                    }
+                    // No session namespace to compare against: stay safe,
+                    // never blindly re-send a mutation.
+                    None => return Err(failure),
+                }
+            }
+        }
+    }
+
+    /// One send/receive round of [`IcdbClient::execute`], with failures
+    /// split into transport-died versus server-answered.
+    fn execute_once(&mut self, command: &str, args: &mut [CqlArg]) -> Result<(), ExecFailure> {
+        let net = |e: io::Error| ExecFailure::Net(net_err(e));
         let mut line = escape(command);
         for arg in args.iter() {
             if let Some(field) = encode_input(arg) {
@@ -650,20 +1043,17 @@ impl IcdbClient {
                 line.push_str(&field);
             }
         }
-        writeln!(self.writer, "{line}").map_err(net_err)?;
-        self.writer.flush().map_err(net_err)?;
+        writeln!(self.writer, "{line}").map_err(net)?;
+        self.writer.flush().map_err(net)?;
 
-        let head = self.read_line()?;
+        let head = self.read_line().map_err(ExecFailure::Net)?;
         if let Some(rest) = head.strip_prefix("ERR ") {
-            return Err(decode_err(rest));
+            return Err(ExecFailure::Server(decode_err(rest)));
         }
-        let count: usize = head
-            .strip_prefix("OK ")
-            .and_then(|n| n.trim().parse().ok())
-            .ok_or_else(|| IcdbError::Cql(format!("malformed icdbd response `{head}`")))?;
+        let (count, commit) = parse_ok_head(&head).map_err(ExecFailure::Server)?;
         let mut outputs = Vec::with_capacity(count);
         for _ in 0..count {
-            outputs.push(self.read_line()?);
+            outputs.push(self.read_line().map_err(ExecFailure::Net)?);
         }
         let mut out_iter = outputs.iter();
         for arg in args.iter_mut() {
@@ -678,10 +1068,15 @@ impl IcdbClient {
             );
             if is_output {
                 let line = out_iter.next().ok_or_else(|| {
-                    IcdbError::Cql("icdbd returned fewer outputs than ? slots".into())
+                    ExecFailure::Server(IcdbError::Cql(
+                        "icdbd returned fewer outputs than ? slots".into(),
+                    ))
                 })?;
-                decode_output(line, arg).map_err(IcdbError::Cql)?;
+                decode_output(line, arg).map_err(|m| ExecFailure::Server(IcdbError::Cql(m)))?;
             }
+        }
+        if let Some(seq) = commit {
+            self.last_commit_seq = seq;
         }
         Ok(())
     }
@@ -702,12 +1097,18 @@ impl IcdbClient {
         if let Some(rest) = head.strip_prefix("ERR ") {
             return Err(decode_err(rest));
         }
-        let count: usize = head
-            .strip_prefix("OK ")
-            .and_then(|n| n.trim().parse().ok())
-            .ok_or_else(|| IcdbError::Cql(format!("malformed icdbd response `{head}`")))?;
+        let (count, _) = parse_ok_head(&head)?;
+        let mut lines = Vec::with_capacity(count);
         for _ in 0..count {
-            self.read_line()?;
+            lines.push(self.read_line()?);
+        }
+        // The response's `d <seq>` line reports the namespace's commit
+        // sequence — the reference point for ambiguous-commit detection.
+        if let Some(seq) = lines
+            .iter()
+            .find_map(|l| l.strip_prefix("d ").and_then(|s| s.trim().parse().ok()))
+        {
+            self.last_commit_seq = seq;
         }
         self.session_ns = Some(ns);
         Ok(())
@@ -735,6 +1136,24 @@ impl IcdbClient {
 
 fn net_err(e: io::Error) -> IcdbError {
     IcdbError::Cql(format!("icdbd i/o error: {e}"))
+}
+
+/// Parses an `OK <n>[ commit:<seq>]` response header.
+fn parse_ok_head(head: &str) -> Result<(usize, Option<u64>), IcdbError> {
+    let malformed = || IcdbError::Cql(format!("malformed icdbd response `{head}`"));
+    let rest = head.strip_prefix("OK ").ok_or_else(malformed)?;
+    let mut words = rest.split_whitespace();
+    let count = words
+        .next()
+        .and_then(|n| n.parse().ok())
+        .ok_or_else(malformed)?;
+    let mut commit = None;
+    for word in words {
+        if let Some(seq) = word.strip_prefix("commit:").and_then(|s| s.parse().ok()) {
+            commit = Some(seq);
+        }
+    }
+    Ok((count, commit))
 }
 
 #[cfg(test)]
@@ -777,10 +1196,19 @@ mod tests {
 
     #[test]
     fn err_codes_round_trip_and_map_to_variants() {
-        for code in [ErrCode::Capacity, ErrCode::Parse, ErrCode::Cql] {
+        for code in [
+            ErrCode::Capacity,
+            ErrCode::Parse,
+            ErrCode::Cql,
+            ErrCode::Readonly,
+        ] {
             assert_eq!(ErrCode::from_wire(code.as_str()), Some(code));
         }
         assert_eq!(ErrCode::from_wire("mystery"), None);
+        assert!(matches!(
+            decode_err("readonly commits refused while degraded"),
+            IcdbError::ReadOnly(m) if m.contains("degraded")
+        ));
         assert!(matches!(
             decode_err("capacity server at connection capacity (4)"),
             IcdbError::Unsupported(m) if m.contains("capacity (4)")
@@ -825,5 +1253,125 @@ mod tests {
             decode_output(&line, &mut target).unwrap();
             assert_eq!(target, filled);
         }
+    }
+
+    #[test]
+    fn ok_headers_parse_with_and_without_commit_seq() {
+        assert_eq!(parse_ok_head("OK 3").unwrap(), (3, None));
+        assert_eq!(parse_ok_head("OK 2 commit:17").unwrap(), (2, Some(17)));
+        assert_eq!(parse_ok_head("OK 0 commit:0").unwrap(), (0, Some(0)));
+        assert!(parse_ok_head("NOPE").is_err());
+        assert!(parse_ok_head("OK x").is_err());
+        // Unknown extra words stay forward-compatible.
+        assert_eq!(parse_ok_head("OK 1 shard:3").unwrap(), (1, None));
+    }
+
+    #[test]
+    fn reply_renders_commit_header_only_for_mutations() {
+        let plain = Reply {
+            lines: vec!["s a".into()],
+            commit: None,
+        };
+        assert_eq!(plain.render(), "OK 1\ns a\n");
+        let committed = Reply {
+            lines: vec![],
+            commit: Some(4),
+        };
+        assert_eq!(committed.render(), "OK 0 commit:4\n");
+    }
+
+    #[test]
+    fn backoff_is_deterministic_bounded_and_grows() {
+        let policy = RetryPolicy::default();
+        let mut last = Duration::ZERO;
+        for attempt in 1..12u32 {
+            let delay = policy.backoff(attempt);
+            // Deterministic for a given (seed, attempt).
+            assert_eq!(delay, policy.backoff(attempt));
+            assert!(delay <= policy.backoff_max);
+            assert!(delay > Duration::ZERO);
+            last = last.max(delay);
+        }
+        // The exponential reaches the cap's neighborhood (jitter keeps it
+        // in the upper half of the capped window).
+        assert!(last >= policy.backoff_max / 2);
+        // A different seed shifts the schedule.
+        let other = RetryPolicy {
+            jitter_seed: 0xfeed,
+            ..RetryPolicy::default()
+        };
+        assert!((1..12u32).any(|a| other.backoff(a) != policy.backoff(a)));
+        // The no-retry policy degenerates to zero delays.
+        assert_eq!(RetryPolicy::none().backoff(3), Duration::ZERO);
+    }
+
+    #[test]
+    fn bounded_line_reader_rejects_oversized_lines() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let writer = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            s.write_all(b"short line\n").unwrap();
+            s.write_all(&vec![b'x'; 4096]).unwrap();
+            s.write_all(b"\n").unwrap();
+        });
+        let (stream, _) = listener.accept().unwrap();
+        let mut reader = BufReader::new(stream);
+        assert_eq!(
+            read_bounded_line(&mut reader, 1024).unwrap(),
+            Some("short line".to_string())
+        );
+        let err = read_bounded_line(&mut reader, 1024).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        writer.join().unwrap();
+    }
+
+    /// Drives the thread-per-connection fallback end-to-end on every
+    /// platform: greeting, a mutating command acked with `commit:<seq>`,
+    /// a read that leaves the sequence untouched, clean shutdown.
+    #[test]
+    fn threaded_fallback_serves_with_commit_seq_acks() {
+        let service = Arc::new(IcdbService::new());
+        let server = Server::bind("127.0.0.1:0", service, 4).unwrap();
+        let addr = server.local_addr().unwrap();
+        let shutdown = Arc::clone(&server.shutdown);
+        let join = std::thread::spawn(move || server.serve_threaded());
+
+        let mut client = IcdbClient::connect(addr).unwrap();
+        assert!(client.session_ns().is_some());
+        assert_eq!(client.last_commit_seq(), 0);
+        let mut args = vec![CqlArg::OutStr(None)];
+        client
+            .execute(
+                "command:request_component; implementation:ADDER; attribute:(size:4); \
+                 generated_component:?s",
+                &mut args,
+            )
+            .unwrap();
+        let name = match &args[0] {
+            CqlArg::OutStr(Some(name)) => name.clone(),
+            other => panic!("expected generated component, got {other:?}"),
+        };
+        let seq = client.last_commit_seq();
+        assert!(seq >= 1, "mutating ack must advance the commit seq");
+
+        let mut read_args = vec![CqlArg::InStr(name), CqlArg::OutStr(None)];
+        client
+            .execute(
+                "command:instance_query; generated_component:%s; delay:?s",
+                &mut read_args,
+            )
+            .unwrap();
+        assert!(matches!(&read_args[1], CqlArg::OutStr(Some(d)) if !d.is_empty()));
+        assert_eq!(
+            client.last_commit_seq(),
+            seq,
+            "read-only acks must not move the commit seq"
+        );
+
+        let _ = client.quit();
+        shutdown.store(true, Ordering::SeqCst);
+        let _ = TcpStream::connect(addr); // unblock the accept loop
+        join.join().unwrap().unwrap();
     }
 }

@@ -1,0 +1,588 @@
+//! Chaos suite: fault-injection failpoints firing inside the WAL,
+//! snapshot and checkpoint paths, with the properties the robustness
+//! work guarantees:
+//!
+//! - **No acknowledged commit is ever lost.** Whatever errors fire,
+//!   recovery replays at least every commit that returned `Ok`.
+//! - **Every injected error leaves the WAL replayable** — a reboot never
+//!   meets an un-scannable journal.
+//! - **Degraded mode is wire-visible and exits cleanly**: the first
+//!   durability fault latches read-only mode; commits refuse with `ERR
+//!   readonly` while reads, `attach` and fresh sessions keep serving;
+//!   `persist` reports `degraded:1` + the errno; `persist clear_fault:1`
+//!   re-arms writes once the underlying fault is gone.
+//! - **Group-commit broadcasts failures**: every waiter in a failing
+//!   batch observes the error; nobody hangs in `wait_durable`.
+//! - **The client's `RetryPolicy` rides out a SIGKILL + restart** of a
+//!   real `icdbd` without manual intervention.
+//!
+//! Run with `cargo test --features failpoints --test chaos_properties`.
+//! The failpoint registry is process-global, so every test serializes on
+//! one gate and resets the registry around itself.
+
+#![cfg(feature = "failpoints")]
+
+use icdb::cql::CqlArg;
+use icdb::net::{IcdbClient, RetryPolicy, Server};
+use icdb::store::fail::{self, FailKind, Trigger};
+use icdb::store::wal::{GroupWal, WalWriter};
+use icdb::{ComponentRequest, Icdb, IcdbError, IcdbService, NsId};
+use proptest::prelude::*;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::time::Duration;
+
+/// Serializes every test in this binary (the failpoint registry is
+/// process-global) and clears leftover failpoints on entry and exit.
+static GATE: Mutex<()> = Mutex::new(());
+
+struct FailGate(#[allow(dead_code)] MutexGuard<'static, ()>);
+
+impl Drop for FailGate {
+    fn drop(&mut self) {
+        fail::reset();
+    }
+}
+
+fn gate() -> FailGate {
+    let guard = GATE.lock().unwrap_or_else(PoisonError::into_inner);
+    fail::reset();
+    FailGate(guard)
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "icdb-chaos-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn request_of(kind: u8, size: u32) -> ComponentRequest {
+    match kind % 4 {
+        0 => ComponentRequest::by_component("counter").attribute("size", size.to_string()),
+        1 => ComponentRequest::by_implementation("ADDER").attribute("size", size.to_string()),
+        2 => ComponentRequest::by_implementation("REGISTER")
+            .attribute("size", size.to_string())
+            .clock_width(30.0),
+        _ => ComponentRequest::by_implementation("MUX").attribute("size", size.to_string()),
+    }
+}
+
+// ------------------------------------------------- acked-commit safety
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    /// Random mutation scripts with WAL-append errors firing on every
+    /// nth record: an `Ok` return is an acknowledged commit and must
+    /// survive recovery; the fault latches read-only mode; clearing the
+    /// fault (once the failpoint is disarmed) re-arms commits; and the
+    /// journal stays replayable through all of it.
+    #[test]
+    fn injected_wal_errors_never_lose_acked_commits(
+        specs in proptest::collection::vec((0u8..4, 2u32..6), 2..8),
+        nth in 1u32..4,
+        kind_ix in 0usize..3,
+    ) {
+        let _g = gate();
+        let kind = [FailKind::Enospc, FailKind::Eio, FailKind::ShortWrite][kind_ix];
+        let dir = temp_dir("inject");
+        let mut acked: Vec<String> = Vec::new();
+        {
+            let mut icdb = Icdb::open_with_sync(&dir, false).unwrap();
+            fail::config("wal.append", Trigger::EveryNth(nth), kind);
+            let mut saw_fault = false;
+            for (k, s) in &specs {
+                match icdb.request_component(&request_of(*k, *s)) {
+                    Ok(name) => acked.push(name),
+                    Err(_) => saw_fault = true,
+                }
+            }
+            if saw_fault {
+                // The fault latched: the server is degraded and further
+                // commits refuse as read-only without touching memory.
+                prop_assert!(icdb.journal_fault().is_some());
+                let refused = icdb.request_component(&request_of(0, 3));
+                prop_assert!(matches!(refused, Err(IcdbError::ReadOnly(_))));
+            }
+            // Disarm the "disk" and re-arm the journal; commits work again.
+            fail::remove("wal.append");
+            let cleared = icdb.clear_journal_fault().unwrap();
+            prop_assert_eq!(cleared, icdb.journal_fault().is_none() && saw_fault);
+            prop_assert!(icdb.journal_fault().is_none());
+            let name = icdb
+                .request_component(&ComponentRequest::by_implementation("ADDER"))
+                .unwrap();
+            acked.push(name);
+        }
+        // Reboot: the journal must be replayable and contain every ack.
+        let recovered = Icdb::open_with_sync(&dir, false).unwrap();
+        for name in &acked {
+            prop_assert!(
+                recovered.instance(name).is_ok(),
+                "acknowledged {} lost after recovery", name
+            );
+        }
+        prop_assert!(recovered.journal_fault().is_none());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+// -------------------------------------------- group-commit broadcasting
+
+/// Every waiter of a batch whose flush failed observes the error — none
+/// hangs in `wait_durable` — and once the fault is cleared with a fresh
+/// WAL generation the group accepts and acknowledges commits again.
+#[test]
+fn failing_batch_broadcasts_the_error_to_every_waiter() {
+    let _g = gate();
+    let dir = temp_dir("batch-bcast");
+    std::fs::create_dir_all(&dir).unwrap();
+    let (writer, _) = WalWriter::open(&dir.join("wal-0.log"), false).unwrap();
+    // A generous window so all four submissions ride one batch.
+    let wal = GroupWal::new(writer, false, Duration::from_millis(50));
+
+    fail::config("wal.append", Trigger::Once, FailKind::Enospc);
+    let seqs: Vec<u64> = (0..4)
+        .map(|i| wal.submit(vec![b'a' + i as u8; 16]).unwrap())
+        .collect();
+    std::thread::scope(|scope| {
+        for &seq in &seqs {
+            let wal = &wal;
+            scope.spawn(move || {
+                let result = wal.wait_durable(seq);
+                assert!(result.is_err(), "waiter {seq} missed the batch fault");
+            });
+        }
+    });
+    let fault = wal.fault().expect("fault latched");
+    assert_eq!(
+        fault.errno(),
+        Some(28),
+        "ENOSPC errno travels with the fault"
+    );
+
+    // Re-arm on a fresh generation: submissions flow and ack again.
+    fail::remove("wal.append");
+    let (writer, scan) = WalWriter::open(&dir.join("wal-1.log"), false).unwrap();
+    assert_eq!(scan.records.len(), 0);
+    wal.clear_fault(writer);
+    assert!(wal.fault().is_none());
+    let seq = wal.submit(b"recovered".to_vec()).unwrap();
+    wal.wait_durable(seq).unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Concurrent sessions commit through the service while an EIO starts
+/// firing mid-run: every thread returns (no waiter hangs), the service
+/// reports degraded, and a reboot replays at least the acknowledged
+/// prefix.
+#[test]
+fn concurrent_commits_with_mid_run_eio_keep_the_acked_prefix() {
+    let _g = gate();
+    let dir = temp_dir("batch-eio");
+    let acked: Vec<(NsId, String)> = {
+        let service = Arc::new(
+            IcdbService::open_with_options(&dir, false, Duration::from_millis(2)).unwrap(),
+        );
+        fail::config("wal.append", Trigger::AfterK(5), FailKind::Eio);
+        let acked = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4u32)
+                .map(|i| {
+                    let service = Arc::clone(&service);
+                    scope.spawn(move || {
+                        let session = service.open_session();
+                        let ns = session.ns();
+                        let mut mine = Vec::new();
+                        for size in [2 + i, 3 + i, 4 + i] {
+                            if let Ok(name) = session.request_component(
+                                &ComponentRequest::by_implementation("ADDER")
+                                    .attribute("size", size.to_string()),
+                            ) {
+                                mine.push((ns, name));
+                            }
+                        }
+                        session.park();
+                        mine
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("committer thread returned"))
+                .collect::<Vec<_>>()
+        });
+        // 16 journal records against a fault from the 6th append on: the
+        // service must be degraded by the end.
+        let stats = service.persist_stats().expect("durable service");
+        assert!(stats.degraded, "fault must latch degraded mode");
+        assert!(stats.fault_errno.is_some());
+        acked
+    };
+    fail::reset();
+    let recovered = Icdb::open_with_sync(&dir, false).unwrap();
+    for (ns, name) in &acked {
+        let have: Vec<String> = recovered
+            .instance_names_in(*ns)
+            .map(|v| v.iter().map(|n| n.to_string()).collect())
+            .unwrap_or_default();
+        assert!(
+            have.contains(name),
+            "acknowledged {name} missing from {ns} after recovery"
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+// ------------------------------------------------ checkpoint failpoints
+
+/// Snapshot write/rename failures abort the checkpoint without touching
+/// the journal; a prune failure degrades to keeping stale generations.
+/// In every case the data dir recovers the same state.
+#[test]
+fn checkpoint_failpoints_leave_the_journal_replayable() {
+    let _g = gate();
+    let dir = temp_dir("ckpt");
+    let mut icdb = Icdb::open_with_sync(&dir, false).unwrap();
+    let name = icdb
+        .request_component(&ComponentRequest::by_implementation("ADDER"))
+        .unwrap();
+
+    fail::config("snapshot.write", Trigger::Once, FailKind::Enospc);
+    assert!(icdb.checkpoint().is_err(), "snapshot write error surfaces");
+    drop(icdb);
+    let mut icdb = Icdb::open_with_sync(&dir, false).unwrap();
+    assert!(
+        icdb.instance(&name).is_ok(),
+        "state survives a failed write"
+    );
+
+    fail::config("snapshot.rename", Trigger::Once, FailKind::Eio);
+    assert!(icdb.checkpoint().is_err(), "snapshot rename error surfaces");
+    drop(icdb);
+    let mut icdb = Icdb::open_with_sync(&dir, false).unwrap();
+    assert!(
+        icdb.instance(&name).is_ok(),
+        "state survives a failed rename"
+    );
+
+    // A prune failure is non-fatal: the checkpoint lands, old generations
+    // merely linger until the next one.
+    fail::config("checkpoint.prune", Trigger::Once, FailKind::Eio);
+    icdb.checkpoint().unwrap();
+    drop(icdb);
+    let icdb = Icdb::open_with_sync(&dir, false).unwrap();
+    assert!(icdb.instance(&name).is_ok());
+    assert_eq!(
+        icdb.persist_stats().unwrap().recovered_events,
+        0,
+        "checkpointed boot needs no replay"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+// ----------------------------------------------- wire-visible degrading
+
+fn wire_exchange(
+    client: &mut IcdbClient,
+    command: &str,
+    inputs: &[&str],
+    outs: usize,
+) -> Result<Vec<String>, IcdbError> {
+    let mut args: Vec<CqlArg> = inputs
+        .iter()
+        .map(|s| CqlArg::InStr((*s).to_string()))
+        .collect();
+    for _ in 0..outs {
+        args.push(CqlArg::OutStr(None));
+    }
+    client.execute(command, &mut args)?;
+    Ok(args
+        .iter()
+        .filter_map(|a| match a {
+            CqlArg::OutStr(v) => Some(v.clone().unwrap_or_default()),
+            _ => None,
+        })
+        .collect())
+}
+
+fn wire_persist_ints(client: &mut IcdbClient, command: &str, outs: usize) -> Vec<i64> {
+    let mut args: Vec<CqlArg> = (0..outs).map(|_| CqlArg::OutInt(None)).collect();
+    client.execute(command, &mut args).expect("persist query");
+    args.iter()
+        .map(|a| match a {
+            CqlArg::OutInt(Some(v)) => *v,
+            other => panic!("expected integer output, got {other:?}"),
+        })
+        .collect()
+}
+
+/// The full degraded-mode lifecycle over a real TCP connection: healthy
+/// commits ack with `commit:<seq>`; the first durability fault answers
+/// `ERR readonly` and latches; reads, fresh connections and `persist`
+/// introspection keep working; `persist clear_fault:1` re-arms; commits
+/// resume with the sequence intact.
+#[test]
+fn degraded_mode_is_wire_visible_and_exits_cleanly() {
+    let _g = gate();
+    let dir = temp_dir("wire-degraded");
+    let service = Arc::new(IcdbService::open_with_options(&dir, false, Duration::ZERO).unwrap());
+    let server = Server::bind("127.0.0.1:0", Arc::clone(&service), 8).unwrap();
+    let handle = server.spawn().unwrap();
+    let addr = handle.addr();
+
+    let mut client = IcdbClient::connect(addr).unwrap();
+    let healthy = wire_exchange(
+        &mut client,
+        "command:request_component; implementation:ADDER; attribute:(size:4); \
+         generated_component:?s",
+        &[],
+        1,
+    )
+    .unwrap()
+    .remove(0);
+    let seq_healthy = client.last_commit_seq();
+    assert!(seq_healthy >= 1);
+
+    // The "disk" dies: ENOSPC on every WAL append from here on.
+    fail::config("wal.append", Trigger::Always, FailKind::Enospc);
+    let first = wire_exchange(
+        &mut client,
+        "command:request_component; implementation:MUX; attribute:(size:3); \
+         generated_component:?s",
+        &[],
+        1,
+    );
+    assert!(
+        matches!(first, Err(IcdbError::ReadOnly(_))),
+        "first durability failure answers ERR readonly, got {first:?}"
+    );
+    let second = wire_exchange(
+        &mut client,
+        "command:request_component; implementation:MUX; attribute:(size:5); \
+         generated_component:?s",
+        &[],
+        1,
+    );
+    assert!(
+        matches!(second, Err(IcdbError::ReadOnly(_))),
+        "latched degraded mode refuses commits up front, got {second:?}"
+    );
+
+    // Reads keep serving from the shared paths.
+    let delay = wire_exchange(
+        &mut client,
+        "command:instance_query; generated_component:%s; delay:?s",
+        &[&healthy],
+        1,
+    )
+    .unwrap();
+    assert!(!delay[0].is_empty(), "reads must survive degraded mode");
+
+    // The fault is introspectable: degraded flag and the causing errno.
+    let vitals = wire_persist_ints(
+        &mut client,
+        "command:persist; degraded:?d; fault_errno:?d",
+        2,
+    );
+    assert_eq!(vitals, vec![1, 28], "persist reports degraded + ENOSPC");
+
+    // Fresh connections still open sessions while degraded.
+    let probe = IcdbClient::connect(addr).unwrap();
+    assert!(probe.session_ns().is_some());
+    drop(probe);
+
+    // Operator fixes the disk, re-arms over the wire; commits resume.
+    fail::remove("wal.append");
+    let vitals = wire_persist_ints(
+        &mut client,
+        "command:persist; clear_fault:1; degraded:?d; fault_errno:?d",
+        2,
+    );
+    assert_eq!(vitals, vec![0, 0], "clear_fault re-arms the journal");
+    let revived = wire_exchange(
+        &mut client,
+        "command:request_component; implementation:REGISTER; attribute:(size:4); \
+         clock_width:30; generated_component:?s",
+        &[],
+        1,
+    )
+    .unwrap()
+    .remove(0);
+    assert!(client.last_commit_seq() > seq_healthy);
+
+    // Shut down with the client still attached: the workers park live
+    // sessions, so the namespace (and its acked commits) survives the
+    // reboot. A `quit` would instead delete the session namespace.
+    handle.shutdown();
+    drop(client);
+    drop(service);
+
+    // Reboot: both acknowledged commits survive (in whichever parked
+    // namespace the session landed in).
+    let recovered = Icdb::open_with_sync(&dir, false).unwrap();
+    let have: Vec<String> = recovered
+        .namespace_ids()
+        .into_iter()
+        .flat_map(|ns| {
+            recovered
+                .instance_names_in(ns)
+                .map(|v| v.iter().map(|n| n.to_string()).collect::<Vec<_>>())
+                .unwrap_or_default()
+        })
+        .collect();
+    for name in [&healthy, &revived] {
+        assert!(
+            have.contains(name),
+            "acknowledged {name} missing after recovery (have {have:?})"
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+// --------------------------------------------- client retry over a kill
+
+#[cfg(unix)]
+mod sigkill {
+    use super::*;
+    use std::net::{TcpListener, TcpStream};
+    use std::process::{Child, Command, Stdio};
+    use std::time::Instant;
+
+    fn free_port() -> u16 {
+        TcpListener::bind("127.0.0.1:0")
+            .expect("bind ephemeral")
+            .local_addr()
+            .expect("addr")
+            .port()
+    }
+
+    /// A spawned daemon, SIGKILLed when dropped so a failing test never
+    /// leaks a process.
+    pub(super) struct Daemon(Option<Child>);
+
+    impl Daemon {
+        fn kill(&mut self) {
+            if let Some(mut child) = self.0.take() {
+                child.kill().expect("SIGKILL icdbd");
+                child.wait().expect("reap icdbd");
+            }
+        }
+    }
+
+    impl Drop for Daemon {
+        fn drop(&mut self) {
+            if let Some(mut child) = self.0.take() {
+                let _ = child.kill();
+                let _ = child.wait();
+            }
+        }
+    }
+
+    // The `Daemon` guard kills + reaps in every path.
+    #[allow(clippy::zombie_processes)]
+    fn spawn_icdbd(port: u16, data_dir: &Path) -> Daemon {
+        let child = Command::new(env!("CARGO_BIN_EXE_icdbd"))
+            .args([
+                "--addr",
+                &format!("127.0.0.1:{port}"),
+                "--data-dir",
+                data_dir.to_str().expect("utf-8 temp path"),
+            ])
+            .stdout(Stdio::null())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("spawn icdbd");
+        let deadline = Instant::now() + Duration::from_secs(15);
+        loop {
+            if TcpStream::connect(("127.0.0.1", port)).is_ok() {
+                return Daemon(Some(child));
+            }
+            assert!(Instant::now() < deadline, "icdbd did not come up");
+            std::thread::sleep(Duration::from_millis(50));
+        }
+    }
+
+    /// A client under a [`RetryPolicy`] completes a read workload across
+    /// a server SIGKILL + restart without manual intervention: the lost
+    /// connection is redialed with backoff, the session re-attached, the
+    /// read re-sent — and the acked commit sequence carries over.
+    #[test]
+    fn retry_policy_survives_sigkill_and_restart() {
+        let _g = gate();
+        let port = free_port();
+        let dir = temp_dir("retry-kill");
+        let mut daemon = spawn_icdbd(port, &dir);
+
+        let policy = RetryPolicy {
+            connect_timeout: Some(Duration::from_secs(2)),
+            read_timeout: Some(Duration::from_secs(10)),
+            write_timeout: Some(Duration::from_secs(10)),
+            max_retries: 100,
+            backoff_base: Duration::from_millis(20),
+            backoff_max: Duration::from_millis(250),
+            jitter_seed: 7,
+        };
+        let mut client = IcdbClient::connect_with(("127.0.0.1", port), policy).unwrap();
+        let name = wire_exchange(
+            &mut client,
+            "command:request_component; implementation:ADDER; attribute:(size:5); \
+             generated_component:?s",
+            &[],
+            1,
+        )
+        .unwrap()
+        .remove(0);
+        let seq = client.last_commit_seq();
+        assert!(seq >= 1);
+        let before = wire_exchange(
+            &mut client,
+            "command:instance_query; generated_component:%s; delay:?s",
+            &[&name],
+            1,
+        )
+        .unwrap();
+
+        // SIGKILL, and restart on the same dir+port only after a delay —
+        // the client's first reconnect attempts must ride the backoff.
+        daemon.kill();
+        let restart_dir = dir.clone();
+        let restarter = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(300));
+            spawn_icdbd(port, &restart_dir)
+        });
+
+        let after = wire_exchange(
+            &mut client,
+            "command:instance_query; generated_component:%s; delay:?s",
+            &[&name],
+            1,
+        )
+        .expect("read workload must complete across the kill+restart");
+        assert_eq!(before, after, "recovered answer must be identical");
+        assert_eq!(
+            client.last_commit_seq(),
+            seq,
+            "re-attach restores the acked commit sequence"
+        );
+
+        // Commits work against the restarted server too.
+        wire_exchange(
+            &mut client,
+            "command:request_component; implementation:MUX; attribute:(size:4); \
+             generated_component:?s",
+            &[],
+            1,
+        )
+        .expect("post-restart commit");
+        assert!(client.last_commit_seq() > seq);
+
+        let _ = client.quit();
+        let mut daemon2 = restarter.join().expect("restarter thread");
+        daemon2.kill();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
