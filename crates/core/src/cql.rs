@@ -237,7 +237,9 @@ impl Icdb {
                 // checkpoints only when a durability fault is latched —
                 // the explicit operator action re-arming a degraded
                 // server.
-                if persist_wants_checkpoint(cmd)? {
+                if persist_wants_promote(cmd)? {
+                    self.promote_journal()?;
+                } else if persist_wants_checkpoint(cmd)? {
                     self.checkpoint()?;
                 } else if persist_wants_clear_fault(cmd)? {
                     self.clear_journal_fault()?;
@@ -264,7 +266,11 @@ impl Icdb {
             "explore" => self
                 .exec_explore(ns, cmd)
                 .map(|(_, resp)| ReadDispatch::Done(resp)),
-            "persist" if persist_wants_checkpoint(cmd)? || persist_wants_clear_fault(cmd)? => {
+            "persist"
+                if persist_wants_checkpoint(cmd)?
+                    || persist_wants_clear_fault(cmd)?
+                    || persist_wants_promote(cmd)? =>
+            {
                 Ok(ReadDispatch::NeedsWrite)
             }
             "persist" => self.exec_persist(cmd).map(ReadDispatch::Done),
@@ -893,10 +899,15 @@ impl Icdb {
     /// when not persistent), `degraded:?d` (1 while a durability fault
     /// keeps the server read-only), `fault:?s` (the latched error, empty
     /// when healthy) and `fault_errno:?d` (its OS errno, 0 when none).
-    /// Add `checkpoint:1` to snapshot + rotate the WAL first, or
-    /// `clear_fault:1` to checkpoint only if degraded — both mutate the
-    /// data directory, so they run under the exclusive lock (plain
-    /// reporting runs under the shared lock).
+    /// Replication position: `role:?s` (`primary`/`follower`/`degraded`,
+    /// `primary` for an in-memory server), `upstream:?s` (the follower's
+    /// primary address, empty otherwise), `applied_seq:?d` and
+    /// `lag_events:?d` (both 0 on a primary).
+    /// Add `checkpoint:1` to snapshot + rotate the WAL first,
+    /// `clear_fault:1` to checkpoint only if degraded, or `promote:1` to
+    /// turn a replication follower into a writable primary — all three
+    /// mutate the data directory, so they run under the exclusive lock
+    /// (plain reporting runs under the shared lock).
     fn exec_persist(&self, cmd: &Command) -> Result<Response, IcdbError> {
         let stats = self.persist_stats();
         let mut resp = Response::new();
@@ -954,6 +965,35 @@ impl Icdb {
                             .map_or(0, i64::from),
                     ),
                 ),
+                // Replication keys answer from the live `repl` state, not
+                // the journal stats: an in-memory server has no stats but
+                // still has a role.
+                "role" => resp.set(
+                    key,
+                    CqlValue::Str(
+                        stats
+                            .as_ref()
+                            .map(|s| s.role.clone())
+                            .unwrap_or_else(|| "primary".to_string()),
+                    ),
+                ),
+                "upstream" => resp.set(
+                    key,
+                    CqlValue::Str(
+                        stats
+                            .as_ref()
+                            .and_then(|s| s.upstream.clone())
+                            .unwrap_or_default(),
+                    ),
+                ),
+                "applied_seq" => resp.set(
+                    key,
+                    CqlValue::Int(stats.as_ref().map_or(0, |s| s.applied_seq as i64)),
+                ),
+                "lag_events" => resp.set(
+                    key,
+                    CqlValue::Int(stats.as_ref().map_or(0, |s| s.lag_events as i64)),
+                ),
                 other => return Err(IcdbError::Cql(format!("persist cannot answer `{other}`"))),
             }
         }
@@ -989,6 +1029,15 @@ fn persist_wants_clear_fault(cmd: &Command) -> Result<bool, IcdbError> {
         return Err(IcdbError::Cql("persist clear_fault: takes 0 or 1".into()));
     }
     Ok(cmd.int_term("clear_fault").unwrap_or(0) != 0)
+}
+
+/// Whether a `persist` command asks for follower promotion — same
+/// loud-error contract as `checkpoint:`.
+fn persist_wants_promote(cmd: &Command) -> Result<bool, IcdbError> {
+    if cmd.has("promote") && cmd.int_term("promote").is_none() {
+        return Err(IcdbError::Cql("persist promote: takes 0 or 1".into()));
+    }
+    Ok(cmd.int_term("promote").unwrap_or(0) != 0)
 }
 
 fn design_of(cmd: &Command) -> Result<String, IcdbError> {

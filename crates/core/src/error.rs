@@ -24,6 +24,11 @@ pub enum IcdbError {
     /// successful checkpoint (or an explicit `persist clear_fault:1`)
     /// re-arms writes. Reads keep serving throughout.
     ReadOnly(String),
+    /// The server is a replication follower: it applies events streamed
+    /// from its upstream primary and refuses direct mutations. Clients
+    /// should retry against the primary (its address is reported by the
+    /// `persist` command's `upstream` key).
+    NotPrimary(String),
     /// VHDL emission/parsing problem.
     Vhdl(String),
     /// A named entity (component, implementation, instance, design) does
@@ -44,6 +49,7 @@ impl fmt::Display for IcdbError {
             IcdbError::Cql(m) => write!(f, "icdb: cql: {m}"),
             IcdbError::Store(m) => write!(f, "icdb: store: {m}"),
             IcdbError::ReadOnly(m) => write!(f, "icdb: read-only: {m}"),
+            IcdbError::NotPrimary(m) => write!(f, "icdb: not-primary: {m}"),
             IcdbError::Vhdl(m) => write!(f, "icdb: vhdl: {m}"),
             IcdbError::NotFound(m) => write!(f, "icdb: not found: {m}"),
             IcdbError::Unsupported(m) => write!(f, "icdb: unsupported: {m}"),

@@ -160,6 +160,19 @@ pub enum MutationEvent {
     },
 }
 
+impl MutationEvent {
+    /// Decodes the WAL serialization of an event — the exact bytes the
+    /// journal writes and the replication stream ships. The inverse of
+    /// the encoding `Journal::submit` uses, exposed so a replication
+    /// follower (outside this crate) can decode shipped payloads.
+    ///
+    /// # Errors
+    /// A description of the malformed payload.
+    pub fn decode(bytes: &[u8]) -> Result<MutationEvent, String> {
+        serde::from_bytes(bytes).map_err(|e| e.to_string())
+    }
+}
+
 /// What applying a [`MutationEvent`] produced — the union of the classic
 /// mutation APIs' return values.
 #[derive(Debug, Clone)]
@@ -357,10 +370,10 @@ impl Icdb {
     /// order equals apply order (both happen before this returns control
     /// to any other mutator), which is exactly what makes recovery replay
     /// byte-identical; the fsync wait happens last, so concurrent
-    /// committers' records share one batch fsync ([`GroupWal`]-style
+    /// committers' records share one batch fsync (`GroupWal`-style
     /// group commit — see `icdb_store::wal::GroupWal`).
     ///
-    /// In *deferred* mode (see [`Icdb::begin_deferred`]) the wait is
+    /// In *deferred* mode (see `Icdb::begin_deferred`) the wait is
     /// skipped and the ticket buffered instead: the service drops its
     /// exclusive lock first and waits outside it, so an fsync never
     /// blocks other sessions' mutations.

@@ -80,7 +80,7 @@ pub use icdb_explore::{DesignPoint, ExplorationReport, Explorer, Objective};
 pub use instance::ComponentInstance;
 pub use library::{ComponentImpl, GenericComponentLibrary, ParamSpec};
 pub use persist::PersistStats;
-pub use service::{IcdbService, Session};
+pub use service::{IcdbService, ReplSnapshot, Session};
 pub use space::NsId;
 pub use spec::{ComponentRequest, Constraints, Source, TargetLevel};
 pub use tools::{GeneratorInfo, ToolManager, ToolStep};
@@ -119,6 +119,11 @@ pub struct Icdb {
     /// instead of waiting inline — the service's deferred-durability mode
     /// (fsync waits happen outside its locks; see `Icdb::begin_deferred`).
     pub(crate) deferred_waits: Option<Vec<persist::WalTicket>>,
+    /// When `Some`, this server is a replication follower tailing the
+    /// named upstream: direct mutations are refused (`NotPrimary`), all
+    /// writes arrive as replicated events, and sessions open ephemeral
+    /// namespaces. Cleared by promotion ([`Icdb::promote_journal`]).
+    pub(crate) repl: Option<persist::ReplState>,
 }
 
 // Manual impl: a clone gets its own *empty* generation cache rather than
@@ -141,6 +146,7 @@ impl Clone for Icdb {
             journal: None,
             acquired: self.acquired.clone(),
             deferred_waits: None,
+            repl: None,
         }
     }
 }
@@ -194,6 +200,7 @@ impl Icdb {
             journal: None,
             acquired: Vec::new(),
             deferred_waits: None,
+            repl: None,
         }
     }
 
@@ -223,6 +230,7 @@ impl Icdb {
             journal: None,
             acquired: Vec::new(),
             deferred_waits: None,
+            repl: None,
         }
     }
 
@@ -232,6 +240,13 @@ impl Icdb {
     /// journal order, so recovery reproduces them and a reconnecting
     /// client can re-attach to its pre-crash namespace.
     pub fn create_namespace(&mut self) -> NsId {
+        // Followers allocate from the ephemeral range instead: journaling
+        // a local CreateNamespace would desynchronize the namespace-id
+        // counter from the primary's replicated events, and a follower
+        // session is read-only scratch state anyway.
+        if self.repl.is_some() {
+            return self.spaces.create_ephemeral();
+        }
         // Degraded tolerance: a faulted journal refuses the enqueue, but
         // sessions must keep opening — reads still serve. The in-memory
         // apply proceeds either way; this cannot desynchronize replayed
@@ -258,8 +273,21 @@ impl Icdb {
     /// instances were deleted. Dropping [`NsId::ROOT`] is a no-op.
     pub fn drop_namespace(&mut self, ns: NsId) -> usize {
         // As `create_namespace`: journal failures degrade, never panic.
+        // Ephemeral (follower-session) namespaces were never journaled,
+        // so their drop isn't either — even after a promotion.
+        // A follower never drops a *replicated* namespace locally (e.g. a
+        // follower-side session detaching from one): the authoritative
+        // drop arrives through the replication stream, and removing the
+        // namespace early would make later replicated events diverge.
+        if self.repl.is_some() && !ns.is_ephemeral() {
+            return 0;
+        }
         let event = MutationEvent::DropNamespace { ns };
-        let ticket = self.journal_submit(&event).ok().flatten();
+        let ticket = if ns.is_ephemeral() {
+            None
+        } else {
+            self.journal_submit(&event).ok().flatten()
+        };
         let n = self
             .apply(&event)
             .expect("namespace drop is infallible in memory")

@@ -95,6 +95,11 @@ impl Snapshot {
                 .spaces
                 .iter_ordered()
                 .into_iter()
+                // Ephemeral (follower-session) namespaces are never
+                // journaled, so a snapshot must not resurrect them either:
+                // they die with the process, exactly like an unreplayed
+                // session namespace on a degraded primary.
+                .filter(|(ns, _)| !ns.is_ephemeral())
                 .map(|(ns, space)| SpaceSnapshot {
                     id: ns.raw(),
                     counter: space.counter,
@@ -187,6 +192,30 @@ pub struct PersistStats {
     /// The latched fault's OS errno (ENOSPC = 28, EIO = 5), when the
     /// underlying error carried one.
     pub fault_errno: Option<i32>,
+    /// Replication role: `primary`, `follower`, or `degraded` (a latched
+    /// durability fault trumps either role).
+    pub role: String,
+    /// Upstream primary address, when this server is a follower.
+    pub upstream: Option<String>,
+    /// Last upstream WAL sequence applied locally (0 on a primary).
+    pub applied_seq: u64,
+    /// How many durable upstream events have not yet been applied locally
+    /// (0 on a primary).
+    pub lag_events: u64,
+}
+
+/// Replication position of a follower: who it tails and how far it got.
+/// Lives on the [`Icdb`] itself (not the service) so the `persist` CQL
+/// command can answer replication keys without a service handle.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct ReplState {
+    /// Address of the upstream primary (`HOST:PORT`).
+    pub(crate) upstream: String,
+    /// Last upstream WAL sequence applied locally.
+    pub(crate) applied_seq: u64,
+    /// Durable upstream events not yet applied locally, as of the last
+    /// streamed batch.
+    pub(crate) lag_events: u64,
 }
 
 /// The attached journal: a group-committing WAL plus generation
@@ -202,6 +231,12 @@ pub(crate) struct Journal {
     wal: Arc<GroupWal>,
     snapshot_bytes: u64,
     recovered_events: u64,
+    /// Boot epoch: wall-clock nanos sampled when the journal attached.
+    /// WAL sequence numbers are process-local (they restart at the
+    /// recovered record count on every open), so replication replies
+    /// carry this epoch and a follower that sees it change knows its
+    /// position is meaningless against the restarted primary.
+    epoch: u64,
 }
 
 impl Journal {
@@ -227,6 +262,27 @@ impl Journal {
         self.wal.fault()
     }
 
+    /// The data directory this journal writes into.
+    pub(crate) fn data_dir(&self) -> &DataDir {
+        &self.dir
+    }
+
+    /// Current snapshot/WAL generation.
+    pub(crate) fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// A handle to the group-commit WAL (replication streaming reads it
+    /// outside every service lock).
+    pub(crate) fn wal_handle(&self) -> Arc<GroupWal> {
+        Arc::clone(&self.wal)
+    }
+
+    /// This journal attachment's boot epoch (see the field doc).
+    pub(crate) fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
     fn stats(&self) -> PersistStats {
         let fault = self.wal.fault();
         PersistStats {
@@ -239,6 +295,14 @@ impl Journal {
             degraded: fault.is_some(),
             fault: fault.as_ref().map(|f| f.message().to_string()),
             fault_errno: fault.as_ref().and_then(|f| f.errno()),
+            role: if fault.is_some() {
+                "degraded".to_string()
+            } else {
+                "primary".to_string()
+            },
+            upstream: None,
+            applied_seq: 0,
+            lag_events: 0,
         }
     }
 }
@@ -362,6 +426,10 @@ impl Icdb {
             wal: Arc::new(GroupWal::new(writer, sync, group_commit_window)),
             snapshot_bytes,
             recovered_events,
+            epoch: std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map(|d| d.as_nanos() as u64)
+                .unwrap_or(1),
         });
         Ok(icdb)
     }
@@ -371,9 +439,40 @@ impl Icdb {
         self.journal.is_some()
     }
 
-    /// The journal's vitals, when one is attached.
+    /// The journal's vitals, when one is attached. On a replication
+    /// follower the role/upstream/position fields reflect the tailing
+    /// state instead of the standalone defaults.
     pub fn persist_stats(&self) -> Option<PersistStats> {
-        self.journal.as_ref().map(Journal::stats)
+        let mut stats = self.journal.as_ref().map(Journal::stats)?;
+        if let Some(repl) = &self.repl {
+            if !stats.degraded {
+                stats.role = "follower".to_string();
+            }
+            stats.upstream = Some(repl.upstream.clone());
+            stats.applied_seq = repl.applied_seq;
+            stats.lag_events = repl.lag_events;
+        }
+        Some(stats)
+    }
+
+    /// Promotes a replication follower into a writable primary: clears
+    /// the follower state (new mutations are accepted immediately) and
+    /// checkpoints onto a fresh WAL generation, sealing the replicated
+    /// history into a snapshot. The replication tail loop discovers the
+    /// promotion on its next apply attempt and stops.
+    ///
+    /// # Errors
+    /// [`IcdbError::Unsupported`] when this server is not a follower;
+    /// checkpoint failures surface as [`IcdbError::Store`] (the node is
+    /// still promoted — writes proceed on the old generation).
+    pub fn promote_journal(&mut self) -> Result<PersistStats, IcdbError> {
+        if self.repl.is_none() {
+            return Err(IcdbError::Unsupported(
+                "promote: this server is not a replication follower".into(),
+            ));
+        }
+        self.repl = None;
+        self.checkpoint()
     }
 
     /// Writes a full snapshot of the current state as a new generation

@@ -8,7 +8,7 @@
 //! * **Epoch snapshots (lock-free reads).** Warm *and cold*
 //!   `Icdb::prepare_payload` runs, knowledge-only CQL queries
 //!   (`component_query`, `cache_query`, …) and [`Session::explore`]
-//!   sweeps are answered from an [`Icdb::read_snapshot`]: a cloned view
+//!   sweeps are answered from an `Icdb::read_snapshot`: a cloned view
 //!   of the knowledge base, cell library and tool registry sharing the
 //!   (internally synchronized) generation cache. Snapshot freshness is
 //!   tracked by two atomic version mirrors — the moment knowledge
@@ -18,7 +18,7 @@
 //!   all, and because the cache is shared, a pipeline warmed through a
 //!   snapshot serves the subsequent locked install.
 //! * **Per-namespace shards (concurrent writers).** Mutations are
-//!   serialized per namespace shard ([`crate::space::ShardSet`]), not
+//!   serialized per namespace shard (`crate::space::ShardSet`), not
 //!   globally: the shard lock is held across *enqueue → apply →
 //!   durability wait*, so commits inside one namespace acknowledge in
 //!   apply order while sessions on different shards overlap their fsync
@@ -27,7 +27,7 @@
 //!   transcript-equivalence guarantee intact.
 //! * **WAL group-commit (batched durability).** The journal enqueues
 //!   events under the exclusive lock but *waits* for durability after
-//!   releasing it (see [`crate::persist::WalTicket`]): one group fsync
+//!   releasing it (see `crate::persist::WalTicket`): one group fsync
 //!   then acknowledges every committer whose event made the batch, so
 //!   mutation throughput scales with writer count instead of paying one
 //!   fsync per mutation.
@@ -291,6 +291,16 @@ impl IcdbService {
     ) -> Result<T, IcdbError> {
         let mut guard = self.write();
         if !allow_degraded {
+            // A follower only mutates through the replication stream;
+            // direct commits must go to the primary. The `persist` family
+            // (`allow_degraded`) stays reachable — `promote:1` is how a
+            // follower becomes writable.
+            if let Some(repl) = &guard.repl {
+                return Err(IcdbError::NotPrimary(format!(
+                    "this node is a replication follower of {}; send mutations to the primary",
+                    repl.upstream
+                )));
+            }
             if let Some(fault) = guard.journal_fault() {
                 return Err(IcdbError::ReadOnly(format!(
                     "commits refused while degraded: {fault}"
@@ -405,6 +415,200 @@ impl IcdbService {
             )
         })
     }
+
+    /// Marks this durable service as a replication **follower** of
+    /// `upstream`: direct mutations are refused with
+    /// [`IcdbError::NotPrimary`] from here on, sessions open ephemeral
+    /// namespaces, and writes arrive only through
+    /// [`IcdbService::apply_replicated`].
+    ///
+    /// # Errors
+    /// [`IcdbError::Unsupported`] when the service has no data directory
+    /// (a follower must journal what it replays, or promotion would have
+    /// nothing to stand on).
+    pub fn set_replica(&self, upstream: &str, applied_seq: u64) -> Result<(), IcdbError> {
+        let mut guard = self.write();
+        if guard.journal.is_none() {
+            return Err(IcdbError::Unsupported(
+                "a replication follower needs a data directory".into(),
+            ));
+        }
+        guard.repl = Some(crate::persist::ReplState {
+            upstream: upstream.to_string(),
+            applied_seq,
+            lag_events: 0,
+        });
+        Ok(())
+    }
+
+    /// This node's replication role: `degraded` when a durability fault is
+    /// latched, else `follower` when tailing an upstream, else `primary`.
+    pub fn role(&self) -> &'static str {
+        let guard = self.read();
+        if guard.journal_fault().is_some() {
+            "degraded"
+        } else if guard.repl.is_some() {
+            "follower"
+        } else {
+            "primary"
+        }
+    }
+
+    /// Applies a batch of replicated events on a follower: each event is
+    /// journaled into the follower's **own** WAL and applied through the
+    /// same [`Icdb`] choke point recovery uses, then the replication
+    /// position advances to `applied_seq` (`lag_events` behind the
+    /// primary's durable tip). The durability wait happens after the
+    /// write guard drops, exactly like a primary commit.
+    ///
+    /// # Errors
+    /// [`IcdbError::Unsupported`] when this node is not (or no longer) a
+    /// follower — the tail loop sees this after a promotion and stops;
+    /// [`IcdbError::ReadOnly`] when the follower's own journal has
+    /// latched a fault (replay must pause rather than silently diverge
+    /// from what a restart would recover).
+    pub fn apply_replicated(
+        &self,
+        events: &[crate::events::MutationEvent],
+        applied_seq: u64,
+        lag_events: u64,
+    ) -> Result<(), IcdbError> {
+        let mut guard = self.write();
+        if guard.repl.is_none() {
+            return Err(IcdbError::Unsupported(
+                "not a replication follower (promoted?)".into(),
+            ));
+        }
+        if let Some(fault) = guard.journal_fault() {
+            return Err(IcdbError::ReadOnly(format!(
+                "replication paused while degraded: {fault}"
+            )));
+        }
+        guard.begin_deferred();
+        let mut result = Ok(());
+        for event in events {
+            if let Err(e) = guard.commit(event) {
+                // Apply errors are deterministic re-runs of failures the
+                // primary already returned to its client (the event is
+                // journaled either way — replay hits the same error);
+                // only journaling failures stop the batch.
+                match e {
+                    IcdbError::ReadOnly(_) | IcdbError::Store(_) => {
+                        result = Err(e);
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+        }
+        let tickets = guard.end_deferred();
+        if result.is_ok() {
+            if let Some(repl) = guard.repl.as_mut() {
+                repl.applied_seq = applied_seq;
+                repl.lag_events = lag_events;
+            }
+        }
+        self.note_versions(&guard);
+        drop(guard);
+        if let Some(ticket) = tickets.last() {
+            ticket.wait()?;
+        }
+        result
+    }
+
+    /// Serves a replication bootstrap image: the current generation's
+    /// snapshot file payload (empty when the generation opened without
+    /// one) plus every **durable** WAL record of that generation, and the
+    /// stream cursor (`durable_seq`) a follower should continue from.
+    ///
+    /// Runs under the shared lock: commits enqueue under the exclusive
+    /// lock, so after the explicit flush the durable extent is a stable
+    /// upper bound — the tail read cannot race past it.
+    ///
+    /// # Errors
+    /// [`IcdbError::Unsupported`] without a data directory; I/O failures
+    /// surface as [`IcdbError::Store`].
+    pub fn repl_snapshot(&self) -> Result<ReplSnapshot, IcdbError> {
+        let guard = self.read();
+        let journal = guard
+            .journal
+            .as_ref()
+            .ok_or_else(|| IcdbError::Unsupported("replication needs a data directory".into()))?;
+        journal
+            .flush()
+            .map_err(|e| IcdbError::Store(format!("flush wal for bootstrap: {e}")))?;
+        let (durable_seq, durable_bytes, _) = journal.wal_handle().durable_extent();
+        let generation = journal.generation();
+        let snapshot =
+            icdb_store::wal::read_snapshot_file(&journal.data_dir().snapshot_path(generation))
+                .map_err(|e| IcdbError::Store(format!("read snapshot for bootstrap: {e}")))?
+                .unwrap_or_default();
+        let wal_path = journal.data_dir().wal_path(generation);
+        let wal_tail = if durable_bytes == 0 {
+            Vec::new()
+        } else {
+            let mut reader = icdb_store::wal::WalTailReader::open(&wal_path)
+                .map_err(|e| IcdbError::Store(format!("open wal tail for bootstrap: {e}")))?;
+            reader
+                .read_to(durable_bytes)
+                .map_err(|e| IcdbError::Store(format!("read wal tail for bootstrap: {e}")))?
+        };
+        Ok(ReplSnapshot {
+            generation,
+            durable_seq,
+            epoch: journal.epoch(),
+            snapshot,
+            wal_tail,
+        })
+    }
+
+    /// Streams durable WAL records after `from` to a follower,
+    /// long-polling up to `wait` when none are pending (see
+    /// [`GroupWal::collect_since`](icdb_store::wal::GroupWal::collect_since)).
+    /// Only a *brief* shared lock is taken to clone the WAL handle; the
+    /// poll itself blocks no service lock.
+    ///
+    /// # Errors
+    /// [`IcdbError::Unsupported`] without a data directory;
+    /// [`IcdbError::Store`] on a latched WAL fault or when the requested
+    /// history has been pruned from the feed (the follower must
+    /// re-bootstrap).
+    pub fn repl_stream(
+        &self,
+        from: u64,
+        max: usize,
+        wait: Duration,
+    ) -> Result<(icdb_store::wal::FeedBatch, u64), IcdbError> {
+        let (wal, epoch) = {
+            let guard = self.read();
+            let journal = guard.journal.as_ref().ok_or_else(|| {
+                IcdbError::Unsupported("replication needs a data directory".into())
+            })?;
+            (journal.wal_handle(), journal.epoch())
+        };
+        let batch = wal
+            .collect_since(from, max, wait)
+            .map_err(|e| IcdbError::Store(format!("repl stream: {e}")))?;
+        Ok((batch, epoch))
+    }
+}
+
+/// A replication bootstrap image (see [`IcdbService::repl_snapshot`]).
+#[derive(Debug)]
+pub struct ReplSnapshot {
+    /// Snapshot/WAL generation the image was captured from.
+    pub generation: u64,
+    /// The primary's durable WAL sequence at capture — the `from` cursor
+    /// the follower streams from next.
+    pub durable_seq: u64,
+    /// The primary's boot epoch; a change means the primary restarted and
+    /// stream cursors against it are meaningless.
+    pub epoch: u64,
+    /// The snapshot file's decoded payload (empty when the generation has
+    /// no snapshot — a fresh directory).
+    pub snapshot: Vec<u8>,
+    /// Every durable WAL record of the generation, in order.
+    pub wal_tail: Vec<Vec<u8>>,
 }
 
 /// One client's view of the service: a private design namespace over the

@@ -25,6 +25,13 @@ use std::sync::Arc;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct NsId(pub(crate) u64);
 
+/// First id of the *ephemeral* namespace range. Replication followers
+/// open their sessions up here so the ids can never collide with the
+/// primary's journaled namespaces (whose `next` counter the follower must
+/// replay verbatim); ephemeral namespaces are never journaled and never
+/// survive a restart.
+pub(crate) const EPHEMERAL_NS_BASE: u64 = 1 << 40;
+
 impl NsId {
     /// The always-present root namespace.
     pub const ROOT: NsId = NsId(0);
@@ -32,6 +39,12 @@ impl NsId {
     /// The raw numeric id (stable for the lifetime of the namespace).
     pub fn raw(self) -> u64 {
         self.0
+    }
+
+    /// Whether this namespace lives in the ephemeral (never-journaled)
+    /// range a replication follower allocates its sessions from.
+    pub(crate) fn is_ephemeral(self) -> bool {
+        self.0 >= EPHEMERAL_NS_BASE
     }
 
     /// Builds an id from its raw value (e.g. parsed off the wire for a
@@ -138,19 +151,37 @@ impl Namespace {
 pub(crate) struct Spaces {
     map: HashMap<u64, Namespace>,
     next: u64,
+    /// Next id in the ephemeral (follower-session) range. Separate from
+    /// `next` so ephemeral allocations never disturb the journaled
+    /// counter replicated from a primary.
+    next_ephemeral: u64,
 }
 
 impl Spaces {
     pub(crate) fn new() -> Spaces {
         let mut map = HashMap::new();
         map.insert(NsId::ROOT.0, Namespace::default());
-        Spaces { map, next: 1 }
+        Spaces {
+            map,
+            next: 1,
+            next_ephemeral: EPHEMERAL_NS_BASE,
+        }
     }
 
     /// Opens a fresh, empty namespace and returns its id.
     pub(crate) fn create(&mut self) -> NsId {
         let id = NsId(self.next);
         self.next += 1;
+        self.map.insert(id.0, Namespace::default());
+        id
+    }
+
+    /// Opens a fresh namespace in the ephemeral range (follower sessions).
+    /// Does not touch the journaled `next` counter, so replicated
+    /// `CreateNamespace` events keep assigning exactly the primary's ids.
+    pub(crate) fn create_ephemeral(&mut self) -> NsId {
+        let id = NsId(self.next_ephemeral);
+        self.next_ephemeral += 1;
         self.map.insert(id.0, Namespace::default());
         id
     }
@@ -209,14 +240,22 @@ impl Spaces {
     }
 
     /// Rebuilds the table from snapshot parts, guaranteeing the root
-    /// namespace exists and `next` stays ahead of every live id.
+    /// namespace exists and `next` stays ahead of every live journaled id.
+    /// (Ephemeral ids are excluded from the floor: they restart at the
+    /// base of their range and must never drag `next` up into it.)
     pub(crate) fn from_parts(map: HashMap<u64, Namespace>, next: u64) -> Spaces {
         let mut map = map;
         map.entry(NsId::ROOT.0).or_default();
-        let floor = map.keys().max().map(|m| m + 1).unwrap_or(1);
+        let floor = map
+            .keys()
+            .filter(|&&k| k < EPHEMERAL_NS_BASE)
+            .max()
+            .map(|m| m + 1)
+            .unwrap_or(1);
         Spaces {
             map,
             next: next.max(floor),
+            next_ephemeral: EPHEMERAL_NS_BASE,
         }
     }
 }

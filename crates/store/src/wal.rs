@@ -37,15 +37,25 @@
 //! durability cost amortizes over the number of concurrent writers while
 //! recovery semantics stay exactly those of the plain framing above.
 
+use std::collections::VecDeque;
 use std::fs::{File, OpenOptions};
 use std::io::{self, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 use std::sync::{Condvar, Mutex, PoisonError};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Maximum accepted single-record length (64 MiB): a corrupt length field
 /// must not trigger a huge allocation.
 const MAX_RECORD_LEN: u32 = 64 * 1024 * 1024;
+
+/// How many durable records the replication feed retains (see
+/// [`GroupWal::collect_since`]). A follower farther behind than this must
+/// re-bootstrap from a snapshot.
+const FEED_MAX_EVENTS: usize = 8192;
+
+/// Byte cap of the replication feed's retained payloads — bounds memory
+/// when individual records are large.
+const FEED_MAX_BYTES: usize = 64 * 1024 * 1024;
 
 /// Magic prefix of snapshot files.
 const SNAPSHOT_MAGIC: &[u8; 8] = b"ICDBSNAP";
@@ -128,6 +138,84 @@ pub fn scan_wal(path: &Path) -> io::Result<WalScan> {
     scan.valid_len = at as u64;
     scan.torn = at < bytes.len();
     Ok(scan)
+}
+
+/// An incremental, bounded reader over a live WAL file: the tailing
+/// counterpart of [`scan_wal`] used by replication to serve a bootstrap.
+/// Each [`WalTailReader::read_to`] call decodes the complete frames
+/// between the current offset and an explicit byte limit — the caller
+/// passes the log's *durable* byte extent, so a record that is written
+/// but not yet fsynced (or mid-write by the group-commit leader) is never
+/// surfaced.
+#[derive(Debug)]
+pub struct WalTailReader {
+    file: File,
+    offset: u64,
+}
+
+impl WalTailReader {
+    /// Opens a reader positioned at the start of the file.
+    ///
+    /// # Errors
+    /// Propagates I/O errors (including a missing file).
+    pub fn open(path: &Path) -> io::Result<WalTailReader> {
+        Ok(WalTailReader {
+            file: File::open(path)?,
+            offset: 0,
+        })
+    }
+
+    /// The byte offset the next [`WalTailReader::read_to`] resumes from.
+    pub fn offset(&self) -> u64 {
+        self.offset
+    }
+
+    /// Reads every complete, checksum-valid frame between the current
+    /// offset and `limit` (exclusive), returning the payloads in append
+    /// order and advancing the offset past them. A frame that overruns
+    /// `limit` or fails its checksum ends the read without error — with
+    /// `limit` set to the durable extent that cannot happen, but a
+    /// defensive reader must not propagate garbage.
+    ///
+    /// # Errors
+    /// Propagates I/O errors.
+    pub fn read_to(&mut self, limit: u64) -> io::Result<Vec<Vec<u8>>> {
+        if limit <= self.offset {
+            return Ok(Vec::new());
+        }
+        self.file.seek(SeekFrom::Start(self.offset))?;
+        let mut bytes = vec![0u8; (limit - self.offset) as usize];
+        let mut filled = 0usize;
+        while filled < bytes.len() {
+            match self.file.read(&mut bytes[filled..]) {
+                Ok(0) => break,
+                Ok(n) => filled += n,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        bytes.truncate(filled);
+        let mut payloads = Vec::new();
+        let mut at = 0usize;
+        while bytes.len() - at >= 8 {
+            let len = u32::from_le_bytes(bytes[at..at + 4].try_into().expect("4 bytes"));
+            let crc = u32::from_le_bytes(bytes[at + 4..at + 8].try_into().expect("4 bytes"));
+            let Some(end) = (at + 8).checked_add(len as usize) else {
+                break;
+            };
+            if len > MAX_RECORD_LEN || end > bytes.len() {
+                break;
+            }
+            let payload = &bytes[at + 8..end];
+            if crc32(payload) != crc {
+                break;
+            }
+            payloads.push(payload.to_vec());
+            at = end;
+        }
+        self.offset += at as u64;
+        Ok(payloads)
+    }
 }
 
 /// An append-only writer over one WAL file.
@@ -322,6 +410,43 @@ struct GroupState {
     records: u64,
     /// Bytes enqueued this generation, framing included.
     bytes: u64,
+    /// Records *durable* this generation — lags `records` by whatever is
+    /// still queued or mid-flush.
+    durable_records: u64,
+    /// Bytes durable this generation, framing included. Together with
+    /// `durable_seq`/`durable_records` this is the consistent extent a
+    /// replication bootstrap may read from the file.
+    durable_bytes: u64,
+    /// Replication feed: recently-durable record payloads keyed by their
+    /// sequence number, oldest first. Only payloads that survived the
+    /// batch write (and fsync, in sync mode) are fed, so a follower
+    /// tailing it can never observe an unacknowledged record. Bounded by
+    /// [`FEED_MAX_EVENTS`]/[`FEED_MAX_BYTES`]; pruned entries force a
+    /// lagging follower to re-bootstrap.
+    feed: VecDeque<(u64, Vec<u8>)>,
+    /// Total payload bytes currently held by `feed`.
+    feed_bytes: usize,
+}
+
+impl GroupState {
+    /// Smallest sequence still answerable from the feed minus one — a
+    /// `collect_since(from, …)` with `from` below this has lost history.
+    fn feed_floor(&self) -> u64 {
+        match self.feed.front() {
+            Some(&(seq, _)) => seq - 1,
+            None => self.durable_seq,
+        }
+    }
+}
+
+/// One batch of replication-feed entries (see [`GroupWal::collect_since`]).
+#[derive(Debug, Default)]
+pub struct FeedBatch {
+    /// `(sequence, payload)` pairs in sequence order, all durable.
+    pub events: Vec<(u64, Vec<u8>)>,
+    /// The log's durable sequence at collection time — `durable_seq`
+    /// minus the last returned sequence is the caller's remaining lag.
+    pub durable_seq: u64,
 }
 
 /// A write-ahead log with *group commit*: concurrent committers enqueue
@@ -381,6 +506,10 @@ impl GroupWal {
                 error: None,
                 records,
                 bytes,
+                durable_records: records,
+                durable_bytes: bytes,
+                feed: VecDeque::new(),
+                feed_bytes: 0,
             }),
             wakeup: Condvar::new(),
             sync,
@@ -493,10 +622,27 @@ impl GroupWal {
             result = writer.sync();
         }
 
+        let durable_extent = (writer.bytes(), writer.records());
         let mut state = self.lock();
         state.writer = Some(writer);
         match result {
-            Ok(()) => state.durable_seq = batch_end,
+            Ok(()) => {
+                state.durable_seq = batch_end;
+                (state.durable_bytes, state.durable_records) = durable_extent;
+                // Feed the batch to the replication tail: the payloads are
+                // durable now, so followers may see them. Moving them in is
+                // free — the batch buffer is otherwise dropped here.
+                let batch_start = batch_end + 1 - batch.len() as u64;
+                for (i, payload) in batch.into_iter().enumerate() {
+                    state.feed_bytes += payload.len();
+                    state.feed.push_back((batch_start + i as u64, payload));
+                }
+                while state.feed.len() > FEED_MAX_EVENTS || state.feed_bytes > FEED_MAX_BYTES {
+                    if let Some((_, dropped)) = state.feed.pop_front() {
+                        state.feed_bytes -= dropped.len();
+                    }
+                }
+            }
             Err(ref e) => state.error = Some(WalFault::from_err(e)),
         }
         self.wakeup.notify_all();
@@ -560,9 +706,13 @@ impl GroupWal {
             }
             state.records = new_writer.records();
             state.bytes = new_writer.bytes();
+            state.durable_records = new_writer.records();
+            state.durable_bytes = new_writer.bytes();
             state.writer = Some(new_writer);
             // Sequences keep counting across generations: outstanding
-            // tickets from the drained generation stay satisfied.
+            // tickets from the drained generation stay satisfied, and the
+            // replication feed keeps serving records that now live only
+            // in the pruned generation's file.
             state.durable_seq = state.enqueued_seq;
             return Ok(());
         }
@@ -596,6 +746,8 @@ impl GroupWal {
         state.error = None;
         state.records = new_writer.records();
         state.bytes = new_writer.bytes();
+        state.durable_records = new_writer.records();
+        state.durable_bytes = new_writer.bytes();
         state.writer = Some(new_writer);
         state.durable_seq = state.enqueued_seq;
         self.wakeup.notify_all();
@@ -615,6 +767,78 @@ impl GroupWal {
     /// Sequence number of the most recently enqueued record.
     pub fn enqueued_seq(&self) -> u64 {
         self.lock().enqueued_seq
+    }
+
+    /// The durable extent as one consistent triple — `(sequence, bytes,
+    /// records)` all observed under a single lock acquisition, so a
+    /// replication bootstrap reading the file up to `bytes` sees exactly
+    /// the records acknowledged through `sequence`.
+    pub fn durable_extent(&self) -> (u64, u64, u64) {
+        let state = self.lock();
+        (
+            state.durable_seq,
+            state.durable_bytes,
+            state.durable_records,
+        )
+    }
+
+    /// Collects durable records with sequence numbers above `from` for a
+    /// replication follower: up to `max` of them, blocking up to `wait`
+    /// when none are available yet (long-poll). An empty batch after the
+    /// wait is normal — the caller just polls again.
+    ///
+    /// # Errors
+    /// `ErrorKind::NotFound` when `from` predates the bounded feed's
+    /// retained history (the follower must re-bootstrap from a snapshot),
+    /// and the latched I/O error when the log has faulted.
+    pub fn collect_since(&self, from: u64, max: usize, wait: Duration) -> io::Result<FeedBatch> {
+        let deadline = Instant::now() + wait;
+        let mut state = self.lock();
+        loop {
+            if let Some(e) = GroupWal::latched(&state.error) {
+                return Err(e);
+            }
+            let floor = state.feed_floor();
+            if from < floor {
+                return Err(io::Error::new(
+                    io::ErrorKind::NotFound,
+                    format!(
+                        "replication history pruned: requested events after {from}, \
+                         oldest retained is {}",
+                        floor + 1
+                    ),
+                ));
+            }
+            if state.durable_seq > from {
+                let events: Vec<(u64, Vec<u8>)> = state
+                    .feed
+                    .iter()
+                    .skip_while(|&&(seq, _)| seq <= from)
+                    .take(max)
+                    .cloned()
+                    .collect();
+                // `durable_seq > from` with no feed entries above `from`
+                // can only mean a fault-cleared gap (records refused and
+                // dropped); report the durable seq so the follower skips
+                // past the gap instead of spinning.
+                return Ok(FeedBatch {
+                    events,
+                    durable_seq: state.durable_seq,
+                });
+            }
+            let left = deadline.saturating_duration_since(Instant::now());
+            if left.is_zero() {
+                return Ok(FeedBatch {
+                    events: Vec::new(),
+                    durable_seq: state.durable_seq,
+                });
+            }
+            let (s, _) = self
+                .wakeup
+                .wait_timeout(state, left)
+                .unwrap_or_else(PoisonError::into_inner);
+            state = s;
+        }
     }
 
     /// Whether each batch is fsynced before its committers are woken.
@@ -1035,6 +1259,126 @@ mod tests {
         let seq = group.submit(b"fine".to_vec()).unwrap();
         group.wait_durable(seq).unwrap();
         assert_eq!(group.records(), 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn durable_extent_tracks_flushes_and_matches_the_file() {
+        let dir = temp_dir("extent");
+        let path = dir.join("wal-0.log");
+        let (writer, _) = WalWriter::open(&path, false).unwrap();
+        let group = GroupWal::new(writer, false, Duration::ZERO);
+        assert_eq!(group.durable_extent(), (0, 0, 0));
+        let seq = group.submit(b"one".to_vec()).unwrap();
+        group.submit(b"two".to_vec()).unwrap();
+        // Enqueued but unflushed records are not part of the durable extent.
+        assert_eq!(group.durable_extent(), (0, 0, 0));
+        group.wait_durable(seq).unwrap();
+        let (dseq, dbytes, drecords) = group.durable_extent();
+        assert_eq!((dseq, drecords), (2, 2));
+        assert_eq!(dbytes, scan_wal(&path).unwrap().valid_len);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn feed_serves_only_durable_records_in_order() {
+        let dir = temp_dir("feed");
+        let (writer, _) = WalWriter::open(&dir.join("wal-0.log"), false).unwrap();
+        let group = GroupWal::new(writer, false, Duration::ZERO);
+        // Nothing durable yet: an expired wait returns an empty batch.
+        let batch = group.collect_since(0, 16, Duration::ZERO).unwrap();
+        assert!(batch.events.is_empty());
+        assert_eq!(batch.durable_seq, 0);
+        let mut last = 0;
+        for payload in [&b"a"[..], b"b", b"c"] {
+            last = group.submit(payload.to_vec()).unwrap();
+        }
+        group.wait_durable(last).unwrap();
+        let batch = group.collect_since(0, 16, Duration::ZERO).unwrap();
+        assert_eq!(batch.durable_seq, 3);
+        let got: Vec<(u64, Vec<u8>)> = batch.events;
+        assert_eq!(
+            got,
+            vec![(1, b"a".to_vec()), (2, b"b".to_vec()), (3, b"c".to_vec())]
+        );
+        // Resume mid-stream, bounded by `max`.
+        let batch = group.collect_since(1, 1, Duration::ZERO).unwrap();
+        assert_eq!(batch.events, vec![(2, b"b".to_vec())]);
+        // Fully caught up: empty batch, no error.
+        assert!(group
+            .collect_since(3, 16, Duration::ZERO)
+            .unwrap()
+            .events
+            .is_empty());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn feed_long_poll_wakes_on_new_durable_records() {
+        let dir = temp_dir("feed-poll");
+        let (writer, _) = WalWriter::open(&dir.join("wal-0.log"), false).unwrap();
+        let group = std::sync::Arc::new(GroupWal::new(writer, false, Duration::ZERO));
+        let tail = std::sync::Arc::clone(&group);
+        let waiter = std::thread::spawn(move || tail.collect_since(0, 16, Duration::from_secs(10)));
+        std::thread::sleep(Duration::from_millis(20));
+        let seq = group.submit(b"wakeup".to_vec()).unwrap();
+        group.wait_durable(seq).unwrap();
+        let batch = waiter.join().unwrap().unwrap();
+        assert_eq!(batch.events, vec![(1, b"wakeup".to_vec())]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn feed_prunes_history_and_reports_the_gap() {
+        let dir = temp_dir("feed-prune");
+        let (writer, _) = WalWriter::open(&dir.join("wal-0.log"), false).unwrap();
+        let group = GroupWal::new(writer, false, Duration::ZERO);
+        let total = super::FEED_MAX_EVENTS as u64 + 10;
+        let mut last = 0;
+        for i in 0..total {
+            last = group.submit(format!("r{i}").into_bytes()).unwrap();
+        }
+        group.wait_durable(last).unwrap();
+        // The oldest records fell off the bounded feed: asking for them
+        // must fail loudly (the follower re-bootstraps)…
+        let err = group.collect_since(0, 16, Duration::ZERO).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::NotFound);
+        assert!(err.to_string().contains("pruned"));
+        // …while the retained tail still serves.
+        let batch = group.collect_since(total - 1, 16, Duration::ZERO).unwrap();
+        assert_eq!(batch.events.len(), 1);
+        assert_eq!(batch.events[0].0, total);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn tail_reader_reads_incrementally_up_to_a_durable_limit() {
+        let dir = temp_dir("tail-reader");
+        let path = dir.join("wal-0.log");
+        let (mut w, _) = WalWriter::open(&path, false).unwrap();
+        w.append(b"first").unwrap();
+        let after_first = w.bytes();
+        w.append(b"second").unwrap();
+        let after_second = w.bytes();
+
+        let mut tail = WalTailReader::open(&path).unwrap();
+        // Bounded: a limit inside the second frame yields only the first.
+        assert_eq!(
+            tail.read_to(after_second - 3).unwrap(),
+            vec![b"first".to_vec()]
+        );
+        assert_eq!(tail.offset(), after_first);
+        // Incremental: the next read resumes where the last stopped.
+        assert_eq!(
+            tail.read_to(after_second).unwrap(),
+            vec![b"second".to_vec()]
+        );
+        assert_eq!(tail.offset(), after_second);
+        // Caught up: nothing more below the limit.
+        assert!(tail.read_to(after_second).unwrap().is_empty());
+        // New appends become visible once the limit advances.
+        w.append(b"third").unwrap();
+        assert_eq!(tail.read_to(w.bytes()).unwrap(), vec![b"third".to_vec()]);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

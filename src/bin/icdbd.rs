@@ -10,8 +10,19 @@
 //! ```text
 //! icdbd [--addr HOST:PORT] [--max-connections N] [--workers N]
 //!       [--data-dir DIR] [--no-fsync] [--group-commit-window MS]
-//!       [--idle-timeout SECS]
+//!       [--idle-timeout SECS] [--replicate-from HOST:PORT]
 //! ```
+//!
+//! With `--replicate-from HOST:PORT` (plus `--data-dir`, pointed at an
+//! *empty* directory) the daemon runs as a **replication follower**: it
+//! bootstraps the primary's latest snapshot generation and WAL tail over
+//! the `repl_snapshot` wire command, then tails the primary's fsynced
+//! commit stream (`repl_stream`) and replays every event through the
+//! same apply path crash recovery uses. The follower serves the entire
+//! read-only surface locally, answers mutations with `ERR not_primary`,
+//! reports its position via `command:persist; role:?s; applied_seq:?d;
+//! lag_events:?d; upstream:?s`, and is promoted to a writable primary
+//! with `command:persist; promote:1` (see `icdb::repl`).
 //!
 //! With `--data-dir`, the daemon is **crash-recovering**: on boot it loads
 //! the newest valid snapshot and replays the write-ahead log (truncating
@@ -100,6 +111,7 @@ fn main() -> ExitCode {
     let mut workers = DEFAULT_WORKERS;
     let mut group_commit_window = std::time::Duration::ZERO;
     let mut idle_timeout = std::time::Duration::ZERO;
+    let mut replicate_from: Option<String> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -129,6 +141,10 @@ fn main() -> ExitCode {
                 Some(Ok(secs)) => idle_timeout = std::time::Duration::from_secs(secs),
                 _ => return usage("--idle-timeout needs seconds (0 disables it)"),
             },
+            "--replicate-from" => match args.next() {
+                Some(v) => replicate_from = Some(v),
+                None => return usage("--replicate-from needs the primary's HOST:PORT"),
+            },
             "--help" | "-h" => {
                 println!(
                     "icdbd — ICDB component-database daemon\n\n\
@@ -146,7 +162,14 @@ fn main() -> ExitCode {
                      \x20     --group-commit-window MS  let a flush leader wait MS milliseconds\n\
                      \x20                            for companion commits before fsyncing\n\
                      \x20     --idle-timeout SECS    disconnect a connection silent for SECS\n\
-                     \x20                            seconds (default 0: never)\n\n\
+                     \x20                            seconds (default 0: never)\n\
+                     \x20     --replicate-from HOST:PORT  run as a replication follower of the\n\
+                     \x20                            primary at HOST:PORT (needs --data-dir,\n\
+                     \x20                            pointed at an empty directory): bootstrap\n\
+                     \x20                            its snapshot + WAL tail, tail its commit\n\
+                     \x20                            stream, serve reads, refuse writes with\n\
+                     \x20                            `ERR not_primary`; promote with\n\
+                     \x20                            `command:persist; promote:1`\n\n\
                      PROTOCOL: one CQL command per line; `attach ns<N>` re-binds the session\n\
                      to a (recovered) namespace; `quit` disconnects. See the `icdb::net`\n\
                      module docs or the README for details."
@@ -157,27 +180,54 @@ fn main() -> ExitCode {
         }
     }
 
-    let service = match &data_dir {
-        Some(dir) => match IcdbService::open_with_options(dir, fsync, group_commit_window) {
-            Ok(service) => {
-                match service.persist_stats() {
-                    Some(stats) => eprintln!(
-                        "icdbd: recovered generation {} from {} ({} events replayed{})",
-                        stats.generation,
-                        stats.data_dir,
-                        stats.recovered_events,
-                        if fsync { "" } else { ", fsync off" },
-                    ),
-                    None => eprintln!("icdbd: recovered from {dir} (no journal stats)"),
+    let mut follower = None;
+    let service = match (&replicate_from, &data_dir) {
+        (Some(upstream), Some(dir)) => {
+            match icdb::repl::bootstrap(upstream, dir, fsync, group_commit_window) {
+                Ok(running) => {
+                    let service = std::sync::Arc::clone(running.service());
+                    match service.persist_stats() {
+                        Some(stats) => eprintln!(
+                            "icdbd: following {upstream} from generation {} \
+                             ({} events applied at bootstrap)",
+                            stats.generation, stats.applied_seq,
+                        ),
+                        None => eprintln!("icdbd: following {upstream}"),
+                    }
+                    follower = Some(running);
+                    service
                 }
-                Arc::new(service)
+                Err(e) => {
+                    eprintln!("icdbd: cannot bootstrap follower of {upstream}: {e}");
+                    return ExitCode::FAILURE;
+                }
             }
-            Err(e) => {
-                eprintln!("icdbd: cannot open data dir {dir}: {e}");
-                return ExitCode::FAILURE;
-            }
+        }
+        (Some(_), None) => {
+            return usage("--replicate-from needs --data-dir (the follower keeps its own journal)");
+        }
+        (None, _) => match &data_dir {
+            Some(dir) => match IcdbService::open_with_options(dir, fsync, group_commit_window) {
+                Ok(service) => {
+                    match service.persist_stats() {
+                        Some(stats) => eprintln!(
+                            "icdbd: recovered generation {} from {} ({} events replayed{})",
+                            stats.generation,
+                            stats.data_dir,
+                            stats.recovered_events,
+                            if fsync { "" } else { ", fsync off" },
+                        ),
+                        None => eprintln!("icdbd: recovered from {dir} (no journal stats)"),
+                    }
+                    Arc::new(service)
+                }
+                Err(e) => {
+                    eprintln!("icdbd: cannot open data dir {dir}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            None => Arc::new(IcdbService::new()),
         },
-        None => Arc::new(IcdbService::new()),
     };
 
     #[cfg(unix)]
@@ -220,6 +270,14 @@ fn main() -> ExitCode {
     #[cfg(unix)]
     {
         eprintln!("icdbd: shutdown signal received, stopping accept loop");
+        // A follower first stops tailing its upstream, so no replicated
+        // event lands between the worker drain and the checkpoint.
+        if let Some(mut running) = follower.take() {
+            running.stop();
+            if let Some(reason) = running.stall_reason() {
+                eprintln!("icdbd: replication had stalled: {reason}");
+            }
+        }
         // Order matters: `shutdown()` joins the epoll workers, so every
         // live session has been parked and every commit those workers
         // issued is at least *enqueued* on the group-commit queue before
@@ -249,7 +307,8 @@ fn main() -> ExitCode {
 fn usage(message: &str) -> ExitCode {
     eprintln!(
         "icdbd: {message}\nUSAGE: icdbd [--addr HOST:PORT] [--max-connections N] [--workers N] \
-         [--data-dir DIR] [--no-fsync] [--group-commit-window MS] [--idle-timeout SECS]"
+         [--data-dir DIR] [--no-fsync] [--group-commit-window MS] [--idle-timeout SECS] \
+         [--replicate-from HOST:PORT]"
     );
     ExitCode::FAILURE
 }

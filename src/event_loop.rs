@@ -18,7 +18,7 @@
 //! ([`crate::net::DEFAULT_WORKERS`], `icdbd --workers`) bounds the
 //! blast radius.
 
-use crate::net::{answer, attach_session, escape, ErrCode, MAX_LINE};
+use crate::net::{dispatch_line, escape, ErrCode, MAX_LINE};
 use icdb_core::IcdbService;
 use std::collections::HashMap;
 use std::io::{self, Read, Write as _};
@@ -177,10 +177,7 @@ impl Conn {
                 self.closing = true;
                 return;
             }
-            let outcome = match line.strip_prefix("attach ") {
-                Some(target) => attach_session(&mut self.session, target),
-                None => answer(&self.session, line),
-            };
+            let outcome = dispatch_line(&mut self.session, line);
             match outcome {
                 Ok(reply) => self.wbuf.extend_from_slice(reply.render().as_bytes()),
                 Err((code, message)) => {

@@ -56,10 +56,11 @@ pub use icdb_core::{
     Applied, CacheStats, ComponentImpl, ComponentInstance, ComponentRequest, Constraints,
     DesignManager, DesignPoint, ExplorationReport, ExploreSpec, GenCache, GenericComponentLibrary,
     Icdb, IcdbError, IcdbService, LayerStats, MutationEvent, NsId, Objective, ParamSpec,
-    PersistStats, RequestKey, Session, Source, TargetLevel,
+    PersistStats, ReplSnapshot, RequestKey, Session, Source, TargetLevel,
 };
 
 pub mod net;
+pub mod repl;
 
 #[cfg(target_os = "linux")]
 mod event_loop;

@@ -6,7 +6,7 @@
 //! [`Session`](icdb_core::Session) (isolated instance namespace over the
 //! shared knowledge base). On Linux the server multiplexes all
 //! connections over a small epoll worker pool (see
-//! [`crate::event_loop`]): the connection cap is pure admission policy,
+//! `crate::event_loop`): the connection cap is pure admission policy,
 //! not a thread budget, so thousands of concurrent clients are fine.
 //! Elsewhere it falls back to one thread per connection.
 //!
@@ -106,6 +106,10 @@ pub enum ErrCode {
     /// refuses commits until an operator re-arms it (`persist
     /// checkpoint:1` against a healthy dir, or `persist clear_fault:1`).
     Readonly,
+    /// The server is a replication follower and refuses direct mutations;
+    /// send them to the primary (`persist upstream:?s` names it, or
+    /// `hello` reports the role up front).
+    NotPrimary,
 }
 
 impl ErrCode {
@@ -116,6 +120,7 @@ impl ErrCode {
             ErrCode::Parse => "parse",
             ErrCode::Cql => "cql",
             ErrCode::Readonly => "readonly",
+            ErrCode::NotPrimary => "not_primary",
         }
     }
 
@@ -126,6 +131,7 @@ impl ErrCode {
             "parse" => Some(ErrCode::Parse),
             "cql" => Some(ErrCode::Cql),
             "readonly" => Some(ErrCode::Readonly),
+            "not_primary" => Some(ErrCode::NotPrimary),
             _ => None,
         }
     }
@@ -136,6 +142,7 @@ impl ErrCode {
 fn err_code_of(e: &IcdbError) -> ErrCode {
     match e {
         IcdbError::ReadOnly(_) => ErrCode::Readonly,
+        IcdbError::NotPrimary(_) => ErrCode::NotPrimary,
         _ => ErrCode::Cql,
     }
 }
@@ -152,6 +159,7 @@ fn decode_err(rest: &str) -> IcdbError {
         Some(ErrCode::Parse) => IcdbError::Parse(message),
         Some(ErrCode::Cql) => IcdbError::Cql(message),
         Some(ErrCode::Readonly) => IcdbError::ReadOnly(message),
+        Some(ErrCode::NotPrimary) => IcdbError::NotPrimary(message),
         None => IcdbError::Cql(unescape(rest).unwrap_or_else(|_| rest.to_string())),
     }
 }
@@ -565,10 +573,7 @@ fn handle_connection(
         if line == "quit" || line == "exit" {
             break;
         }
-        let outcome = match line.strip_prefix("attach ") {
-            Some(target) => attach_session(&mut session, target),
-            None => answer(&session, line),
-        };
+        let outcome = dispatch_line(&mut session, line);
         match outcome {
             Ok(reply) => writer.write_all(reply.render().as_bytes())?,
             Err((code, message)) => writeln!(writer, "ERR {} {}", code.as_str(), escape(&message))?,
@@ -619,15 +624,34 @@ fn read_bounded_line(
 pub(crate) struct Reply {
     pub(crate) lines: Vec<String>,
     pub(crate) commit: Option<u64>,
+    /// Extra `key:value` header words rendered between the line count and
+    /// the `commit:` word (replication replies carry cursors here).
+    /// [`parse_ok_head`] skips unknown words, so old clients stay
+    /// compatible.
+    pub(crate) extra: Option<String>,
 }
 
 impl Reply {
+    /// A plain reply: output lines only, no commit ack, no extra header.
+    pub(crate) fn plain(lines: Vec<String>) -> Reply {
+        Reply {
+            lines,
+            commit: None,
+            extra: None,
+        }
+    }
+
     /// Renders the header and output lines, each newline-terminated.
     pub(crate) fn render(&self) -> String {
-        let mut out = match self.commit {
-            Some(seq) => format!("OK {} commit:{seq}\n", self.lines.len()),
-            None => format!("OK {}\n", self.lines.len()),
-        };
+        let mut out = format!("OK {}", self.lines.len());
+        if let Some(extra) = &self.extra {
+            out.push(' ');
+            out.push_str(extra);
+        }
+        if let Some(seq) = self.commit {
+            out.push_str(&format!(" commit:{seq}"));
+        }
+        out.push('\n');
         for l in &self.lines {
             out.push_str(l);
             out.push('\n');
@@ -661,10 +685,7 @@ pub(crate) fn attach_session(
         .attach(ns)
         .map_err(|e| (err_code_of(&e), e.to_string()))?;
     let seq = session.commit_seq();
-    Ok(Reply {
-        lines: vec![format!("s ns{raw}"), format!("d {seq}")],
-        commit: None,
-    })
+    Ok(Reply::plain(vec![format!("s ns{raw}"), format!("d {seq}")]))
 }
 
 /// Decodes one request line, executes it in the session, and encodes the
@@ -715,7 +736,206 @@ pub(crate) fn answer(session: &icdb_core::Session, line: &str) -> Result<Reply, 
             .map(encode_output)
             .collect(),
         commit,
+        extra: None,
     })
+}
+
+/// Wire protocol version reported by the `hello` command. Bump when a
+/// change is not backward-compatible for old clients (new commands and
+/// new `OK`-header words are compatible and do not bump it).
+pub const PROTOCOL_VERSION: u64 = 1;
+
+/// Longest long-poll a single `repl_stream` request may hold a server
+/// worker (the follower re-polls to wait longer).
+const MAX_STREAM_WAIT_MS: u64 = 1_000;
+
+/// Default and maximum `wait_seq` timeouts.
+const DEFAULT_WAIT_SEQ_TIMEOUT_MS: u64 = 5_000;
+const MAX_WAIT_SEQ_TIMEOUT_MS: u64 = 60_000;
+
+/// Routes one request line to its handler — the single dispatch shared by
+/// the epoll event loop and the thread-per-connection fallback, so both
+/// server paths speak the identical protocol: `attach`, `hello`,
+/// `wait_seq`, the replication commands, and plain CQL via [`answer`].
+pub(crate) fn dispatch_line(
+    session: &mut icdb_core::Session,
+    line: &str,
+) -> Result<Reply, (ErrCode, String)> {
+    if let Some(target) = line.strip_prefix("attach ") {
+        return attach_session(session, target);
+    }
+    if line == "hello" {
+        return hello_reply(session);
+    }
+    if let Some(rest) = line.strip_prefix("wait_seq ") {
+        return wait_seq_reply(session, rest);
+    }
+    if line == "repl_snapshot" {
+        return repl_snapshot_reply(session);
+    }
+    if line == "repl_stream" || line.starts_with("repl_stream ") {
+        return repl_stream_reply(
+            session,
+            line.strip_prefix("repl_stream").unwrap_or_default(),
+        );
+    }
+    answer(session, line)
+}
+
+/// `hello`: the versioned handshake. Replies `OK 3` + `d <protocol>` +
+/// `s <role>` + `d <commit_seq>` — a client learns up front whether it is
+/// talking to a `primary`, a `follower` (mutations will be refused with
+/// `ERR not_primary`), or a `degraded` primary, plus the session
+/// namespace's current commit sequence.
+fn hello_reply(session: &icdb_core::Session) -> Result<Reply, (ErrCode, String)> {
+    Ok(Reply::plain(vec![
+        format!("d {PROTOCOL_VERSION}"),
+        format!("s {}", session.service().role()),
+        format!("d {}", session.commit_seq()),
+    ]))
+}
+
+/// `wait_seq <seq> [timeout_ms]`: blocks until the session namespace's
+/// commit sequence reaches `seq`, then replies `OK 1` + `d <seq>`. On a
+/// follower the sequence advances as replicated events apply, so this is
+/// the read-your-writes barrier: a client that saw `commit:<S>` acked by
+/// the primary calls `wait_seq S` on the follower before reading there.
+/// Times out with `ERR cql` after `timeout_ms` (default 5000, max 60000).
+fn wait_seq_reply(session: &icdb_core::Session, rest: &str) -> Result<Reply, (ErrCode, String)> {
+    let parse = |m: String| (ErrCode::Parse, m);
+    let mut words = rest.split_whitespace();
+    let target: u64 = words
+        .next()
+        .and_then(|w| w.parse().ok())
+        .ok_or_else(|| parse(format!("wait_seq needs a sequence number, got `{rest}`")))?;
+    let timeout_ms: u64 = match words.next() {
+        Some(w) => w
+            .parse()
+            .map_err(|_| parse(format!("bad wait_seq timeout `{w}`")))?,
+        None => DEFAULT_WAIT_SEQ_TIMEOUT_MS,
+    };
+    if words.next().is_some() {
+        return Err(parse("wait_seq takes `<seq> [timeout_ms]`".into()));
+    }
+    let timeout = Duration::from_millis(timeout_ms.min(MAX_WAIT_SEQ_TIMEOUT_MS));
+    let deadline = std::time::Instant::now() + timeout;
+    loop {
+        let seq = session.commit_seq();
+        if seq >= target {
+            return Ok(Reply::plain(vec![format!("d {seq}")]));
+        }
+        if std::time::Instant::now() >= deadline {
+            return Err((
+                ErrCode::Cql,
+                format!("wait_seq {target} timed out after {timeout_ms}ms at seq {seq}"),
+            ));
+        }
+        std::thread::sleep(Duration::from_millis(3));
+    }
+}
+
+/// `repl_snapshot`: serves a follower bootstrap image. The header is
+/// `OK <1+R> gen:<G> seq:<S> epoch:<E>`; line 1 is the hex-encoded
+/// snapshot payload of generation `G` (empty when none was written yet),
+/// followed by `R` hex-encoded WAL records — the durable tail beyond the
+/// snapshot. `S` is the durable WAL sequence the image covers: the
+/// follower streams `repl_stream from:S` next. `E` is the primary's boot
+/// epoch (WAL sequences are process-local; a changed epoch invalidates a
+/// follower's cursor).
+fn repl_snapshot_reply(session: &icdb_core::Session) -> Result<Reply, (ErrCode, String)> {
+    let snap = session
+        .service()
+        .repl_snapshot()
+        .map_err(|e| (err_code_of(&e), e.to_string()))?;
+    let mut lines = Vec::with_capacity(1 + snap.wal_tail.len());
+    lines.push(format!("s {}", hex_encode(&snap.snapshot)));
+    for record in &snap.wal_tail {
+        lines.push(format!("s {}", hex_encode(record)));
+    }
+    Ok(Reply {
+        lines,
+        commit: None,
+        extra: Some(format!(
+            "gen:{} seq:{} epoch:{}",
+            snap.generation, snap.durable_seq, snap.epoch
+        )),
+    })
+}
+
+/// `repl_stream [from:<S>] [max:<N>] [wait_ms:<T>]`: long-polls the
+/// primary's replication feed for durable events after sequence `S`.
+/// The header is `OK <k> seq:<D> epoch:<E>` — `D` the primary's durable
+/// sequence, `E` its boot epoch — followed by `k` lines `e <seq> <hex>`,
+/// one fsynced [`icdb_core::MutationEvent`] payload each, in sequence
+/// order. An empty reply after `wait_ms` means "caught up"; `D` jumping
+/// past `S` with no events means the gap was never durable (a cleared
+/// fault) and the follower skips its cursor forward. Requesting pruned
+/// history is an `ERR cql … replication history pruned …` — re-bootstrap.
+fn repl_stream_reply(session: &icdb_core::Session, rest: &str) -> Result<Reply, (ErrCode, String)> {
+    let parse = |m: String| (ErrCode::Parse, m);
+    let mut from = 0u64;
+    let mut max = 512usize;
+    let mut wait_ms = 0u64;
+    for word in rest.split_whitespace() {
+        if let Some(v) = word.strip_prefix("from:") {
+            from = v
+                .parse()
+                .map_err(|_| parse(format!("bad repl_stream from `{v}`")))?;
+        } else if let Some(v) = word.strip_prefix("max:") {
+            max = v
+                .parse()
+                .map_err(|_| parse(format!("bad repl_stream max `{v}`")))?;
+        } else if let Some(v) = word.strip_prefix("wait_ms:") {
+            wait_ms = v
+                .parse()
+                .map_err(|_| parse(format!("bad repl_stream wait_ms `{v}`")))?;
+        } else {
+            return Err(parse(format!(
+                "repl_stream takes `from:<seq> max:<n> wait_ms:<t>`, got `{word}`"
+            )));
+        }
+    }
+    let wait = Duration::from_millis(wait_ms.min(MAX_STREAM_WAIT_MS));
+    let (batch, epoch) = session
+        .service()
+        .repl_stream(from, max.clamp(1, 4096), wait)
+        .map_err(|e| (err_code_of(&e), e.to_string()))?;
+    Ok(Reply {
+        lines: batch
+            .events
+            .iter()
+            .map(|(seq, payload)| format!("e {seq} {}", hex_encode(payload)))
+            .collect(),
+        commit: None,
+        extra: Some(format!("seq:{} epoch:{epoch}", batch.durable_seq)),
+    })
+}
+
+/// Lowercase-hex encodes a binary payload for a reply line. The wire
+/// protocol is line-oriented UTF-8 and [`escape`] is not binary-safe, so
+/// replication payloads (serialized events, snapshot images) travel as
+/// hex.
+pub(crate) fn hex_encode(bytes: &[u8]) -> String {
+    const HEX: &[u8; 16] = b"0123456789abcdef";
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        out.push(HEX[usize::from(b >> 4)] as char);
+        out.push(HEX[usize::from(b & 0xf)] as char);
+    }
+    out
+}
+
+/// Decodes a lowercase-hex payload line back into bytes.
+pub(crate) fn hex_decode(s: &str) -> Result<Vec<u8>, String> {
+    if s.len() % 2 != 0 {
+        return Err(format!("odd-length hex payload ({} chars)", s.len()));
+    }
+    (0..s.len() / 2)
+        .map(|i| {
+            u8::from_str_radix(&s[2 * i..2 * i + 2], 16)
+                .map_err(|_| format!("bad hex payload at byte {i}"))
+        })
+        .collect()
 }
 
 // --------------------------------------------------------------- client
@@ -818,10 +1038,145 @@ enum ExecFailure {
     Server(IcdbError),
 }
 
+/// Where a cluster-aware client routes read-only commands.
+///
+/// Mutations always go to the primary regardless of this setting — only
+/// the primary accepts them (followers answer `ERR not_primary`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ReadPreference {
+    /// Every command goes to the primary (the classic single-node
+    /// behaviour, and the default).
+    #[default]
+    Primary,
+    /// Read-only commands try a configured follower first and fall back
+    /// to the primary when the follower is unreachable or errors.
+    PreferFollower,
+}
+
+/// The result of the `hello` handshake ([`IcdbClient::hello`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HelloInfo {
+    /// The server's wire [`PROTOCOL_VERSION`].
+    pub protocol: u64,
+    /// `"primary"`, `"follower"`, or `"degraded"`.
+    pub role: String,
+    /// The session namespace's current commit sequence.
+    pub commit_seq: u64,
+}
+
+/// Configures and connects an [`IcdbClient`] — the cluster-aware front
+/// door. [`IcdbClient::connect`] / [`IcdbClient::connect_with`] are thin
+/// wrappers over this builder with a single primary endpoint.
+///
+/// ```no_run
+/// use icdb::net::{IcdbClient, ReadPreference, RetryPolicy};
+///
+/// let mut client = IcdbClient::builder()
+///     .primary("127.0.0.1:7433")
+///     .follower("127.0.0.1:7434")
+///     .retry_policy(RetryPolicy::default())
+///     .read_preference(ReadPreference::PreferFollower)
+///     .read_your_writes(true)
+///     .connect()?;
+/// # Ok::<(), icdb::IcdbError>(())
+/// ```
+#[derive(Debug, Default)]
+pub struct ClientBuilder {
+    primary: Vec<SocketAddr>,
+    followers: Vec<SocketAddr>,
+    policy: Option<RetryPolicy>,
+    read_preference: ReadPreference,
+    read_your_writes: bool,
+    defer_err: Option<IcdbError>,
+}
+
+impl ClientBuilder {
+    /// Adds primary endpoint address(es). Resolution failures are
+    /// deferred and reported by [`ClientBuilder::connect`].
+    pub fn primary(mut self, addr: impl ToSocketAddrs) -> ClientBuilder {
+        match addr.to_socket_addrs() {
+            Ok(resolved) => self.primary.extend(resolved),
+            Err(e) => {
+                self.defer_err.get_or_insert(net_err(e));
+            }
+        };
+        self
+    }
+
+    /// Adds follower endpoint address(es) for [`ReadPreference`] routing.
+    pub fn follower(mut self, addr: impl ToSocketAddrs) -> ClientBuilder {
+        match addr.to_socket_addrs() {
+            Ok(resolved) => self.followers.extend(resolved),
+            Err(e) => {
+                self.defer_err.get_or_insert(net_err(e));
+            }
+        };
+        self
+    }
+
+    /// Sets the retry policy (default: [`RetryPolicy::none`], matching
+    /// [`IcdbClient::connect`]).
+    pub fn retry_policy(mut self, policy: RetryPolicy) -> ClientBuilder {
+        self.policy = Some(policy);
+        self
+    }
+
+    /// Sets where read-only commands are routed.
+    pub fn read_preference(mut self, preference: ReadPreference) -> ClientBuilder {
+        self.read_preference = preference;
+        self
+    }
+
+    /// With read-your-writes on (the default when follower reads are
+    /// enabled would be surprising otherwise — it defaults to **off**),
+    /// every follower read first issues `wait_seq <last acked commit>` so
+    /// the follower has provably replayed this client's own mutations.
+    pub fn read_your_writes(mut self, on: bool) -> ClientBuilder {
+        self.read_your_writes = on;
+        self
+    }
+
+    /// Connects to the primary under the configured policy and returns
+    /// the client. Follower connections are opened lazily, on the first
+    /// routed read.
+    ///
+    /// # Errors
+    /// Address resolution failures recorded by the builder; otherwise
+    /// exactly like [`IcdbClient::connect_with`].
+    pub fn connect(self) -> Result<IcdbClient, IcdbError> {
+        if let Some(e) = self.defer_err {
+            return Err(e);
+        }
+        if self.primary.is_empty() {
+            return Err(IcdbError::Cql("no socket address to connect to".into()));
+        }
+        let policy = self.policy.unwrap_or_else(RetryPolicy::none);
+        let mut attempt = 0u32;
+        loop {
+            match IcdbClient::open(&self.primary, &policy) {
+                Ok(mut client) => {
+                    client.follower_addrs = self.followers;
+                    client.read_preference = self.read_preference;
+                    client.read_your_writes = self.read_your_writes;
+                    return Ok(client);
+                }
+                Err((retriable, e)) => {
+                    if !retriable || attempt >= policy.max_retries {
+                        return Err(e);
+                    }
+                    attempt += 1;
+                    std::thread::sleep(policy.backoff(attempt));
+                }
+            }
+        }
+    }
+}
+
 /// A blocking `icdbd` client whose [`IcdbClient::execute`] mirrors the
 /// embedded [`crate::Icdb::execute`] calling convention. Connect with a
 /// [`RetryPolicy`] to get timeouts, bounded backoff, and transparent
-/// reconnect + re-attach across server restarts.
+/// reconnect + re-attach across server restarts; configure follower
+/// endpoints via [`IcdbClient::builder`] to route reads to a replica.
 #[derive(Debug)]
 pub struct IcdbClient {
     reader: BufReader<TcpStream>,
@@ -830,6 +1185,10 @@ pub struct IcdbClient {
     addrs: Vec<SocketAddr>,
     policy: RetryPolicy,
     last_commit_seq: u64,
+    follower_addrs: Vec<SocketAddr>,
+    follower: Option<Box<IcdbClient>>,
+    read_preference: ReadPreference,
+    read_your_writes: bool,
 }
 
 impl IcdbClient {
@@ -855,23 +1214,16 @@ impl IcdbClient {
         addr: impl ToSocketAddrs,
         policy: RetryPolicy,
     ) -> Result<IcdbClient, IcdbError> {
-        let addrs: Vec<SocketAddr> = addr.to_socket_addrs().map_err(net_err)?.collect();
-        if addrs.is_empty() {
-            return Err(IcdbError::Cql("no socket address to connect to".into()));
-        }
-        let mut attempt = 0u32;
-        loop {
-            match IcdbClient::open(&addrs, &policy) {
-                Ok(client) => return Ok(client),
-                Err((retriable, e)) => {
-                    if !retriable || attempt >= policy.max_retries {
-                        return Err(e);
-                    }
-                    attempt += 1;
-                    std::thread::sleep(policy.backoff(attempt));
-                }
-            }
-        }
+        IcdbClient::builder()
+            .primary(addr)
+            .retry_policy(policy)
+            .connect()
+    }
+
+    /// Starts a [`ClientBuilder`]: the cluster-aware constructor with
+    /// follower endpoints, read routing, and read-your-writes.
+    pub fn builder() -> ClientBuilder {
+        ClientBuilder::default()
     }
 
     /// One connection attempt: dial, apply socket timeouts, consume the
@@ -917,6 +1269,10 @@ impl IcdbClient {
             addrs: addrs.to_vec(),
             policy: policy.clone(),
             last_commit_seq: 0,
+            follower_addrs: Vec::new(),
+            follower: None,
+            read_preference: ReadPreference::Primary,
+            read_your_writes: false,
         };
         // A connection dropped mid-greeting (server restarting) is as
         // transient as a refused one.
@@ -992,6 +1348,13 @@ impl IcdbClient {
     /// distinct "acknowledgement was lost" error instead of re-sending.
     pub fn execute(&mut self, command: &str, args: &mut [CqlArg]) -> Result<(), IcdbError> {
         let read_only = icdb_core::command_text_is_read_only(command);
+        if read_only
+            && self.read_preference == ReadPreference::PreferFollower
+            && !self.follower_addrs.is_empty()
+            && self.follower_read(command, args).is_ok()
+        {
+            return Ok(());
+        }
         let mut attempt = 0u32;
         loop {
             let failure = match self.execute_once(command, args) {
@@ -1079,6 +1442,120 @@ impl IcdbClient {
             self.last_commit_seq = seq;
         }
         Ok(())
+    }
+
+    /// One follower-routed read: lazily connects to a follower endpoint,
+    /// attaches it to this client's session namespace (retrying briefly —
+    /// the namespace itself replicates asynchronously and may not have
+    /// arrived yet), optionally waits for the last acked commit sequence
+    /// (read-your-writes), then executes the command once. Any failure
+    /// drops the follower connection and the caller falls back to the
+    /// primary.
+    fn follower_read(&mut self, command: &str, args: &mut [CqlArg]) -> Result<(), IcdbError> {
+        let result = self.follower_read_inner(command, args);
+        if result.is_err() {
+            self.follower = None;
+        }
+        result
+    }
+
+    fn follower_read_inner(&mut self, command: &str, args: &mut [CqlArg]) -> Result<(), IcdbError> {
+        if self.follower.is_none() {
+            let fresh = IcdbClient::open(&self.follower_addrs, &self.policy).map_err(|(_, e)| e)?;
+            self.follower = Some(Box::new(fresh));
+        }
+        let want_seq = if self.read_your_writes {
+            self.last_commit_seq
+        } else {
+            0
+        };
+        let target_ns = self.session_ns;
+        let follower = self.follower.as_mut().expect("follower connected above");
+        if let Some(ns) = target_ns {
+            if follower.session_ns != Some(ns) {
+                let mut attempt = 0u32;
+                loop {
+                    match follower.attach(ns) {
+                        Ok(()) => break,
+                        Err(e) => {
+                            attempt += 1;
+                            if attempt > 10 {
+                                return Err(e);
+                            }
+                            std::thread::sleep(Duration::from_millis(10));
+                        }
+                    }
+                }
+            }
+            if want_seq > 0 {
+                follower.wait_seq(want_seq, Duration::from_millis(DEFAULT_WAIT_SEQ_TIMEOUT_MS))?;
+            }
+        }
+        match follower.execute_once(command, args) {
+            Ok(()) => Ok(()),
+            Err(ExecFailure::Net(e) | ExecFailure::Server(e)) => Err(e),
+        }
+    }
+
+    /// The versioned `hello` handshake: returns the server's wire
+    /// protocol version, its replication role (`primary` / `follower` /
+    /// `degraded`), and the session namespace's commit sequence.
+    ///
+    /// # Errors
+    /// Socket errors; a malformed response as [`IcdbError::Cql`].
+    pub fn hello(&mut self) -> Result<HelloInfo, IcdbError> {
+        writeln!(self.writer, "hello").map_err(net_err)?;
+        self.writer.flush().map_err(net_err)?;
+        let head = self.read_line()?;
+        if let Some(rest) = head.strip_prefix("ERR ") {
+            return Err(decode_err(rest));
+        }
+        let (count, _) = parse_ok_head(&head)?;
+        let mut lines = Vec::with_capacity(count);
+        for _ in 0..count {
+            lines.push(self.read_line()?);
+        }
+        let malformed = || IcdbError::Cql("malformed hello response".into());
+        let num = |l: &String| l.strip_prefix("d ").and_then(|s| s.trim().parse().ok());
+        Ok(HelloInfo {
+            protocol: lines.first().and_then(num).ok_or_else(malformed)?,
+            role: lines
+                .get(1)
+                .and_then(|l| l.strip_prefix("s "))
+                .ok_or_else(malformed)?
+                .to_string(),
+            commit_seq: lines.get(2).and_then(num).ok_or_else(malformed)?,
+        })
+    }
+
+    /// Blocks until the server-side session namespace's commit sequence
+    /// reaches `seq` (the `wait_seq` wire command) and returns the
+    /// sequence observed. On a follower this waits for replication to
+    /// catch up — the read-your-writes barrier.
+    ///
+    /// # Errors
+    /// [`IcdbError::Cql`] on timeout; socket errors as usual.
+    pub fn wait_seq(&mut self, seq: u64, timeout: Duration) -> Result<u64, IcdbError> {
+        writeln!(
+            self.writer,
+            "wait_seq {seq} {}",
+            u64::try_from(timeout.as_millis()).unwrap_or(u64::MAX)
+        )
+        .map_err(net_err)?;
+        self.writer.flush().map_err(net_err)?;
+        let head = self.read_line()?;
+        if let Some(rest) = head.strip_prefix("ERR ") {
+            return Err(decode_err(rest));
+        }
+        let (count, _) = parse_ok_head(&head)?;
+        let mut lines = Vec::with_capacity(count);
+        for _ in 0..count {
+            lines.push(self.read_line()?);
+        }
+        lines
+            .first()
+            .and_then(|l| l.strip_prefix("d ").and_then(|s| s.trim().parse().ok()))
+            .ok_or_else(|| IcdbError::Cql("malformed wait_seq response".into()))
     }
 
     /// Re-binds the server-side session to an existing namespace (`attach`
@@ -1201,6 +1678,7 @@ mod tests {
             ErrCode::Parse,
             ErrCode::Cql,
             ErrCode::Readonly,
+            ErrCode::NotPrimary,
         ] {
             assert_eq!(ErrCode::from_wire(code.as_str()), Some(code));
         }
@@ -1220,6 +1698,10 @@ mod tests {
         assert!(matches!(
             decode_err("cql icdb: not found: instance `x`"),
             IcdbError::Cql(m) if m.contains("instance `x`")
+        ));
+        assert!(matches!(
+            decode_err("not_primary icdb: not-primary: send mutations to the primary"),
+            IcdbError::NotPrimary(m) if m.contains("primary")
         ));
         // Unknown codes stay readable for forward compatibility.
         assert!(matches!(
@@ -1268,16 +1750,37 @@ mod tests {
 
     #[test]
     fn reply_renders_commit_header_only_for_mutations() {
-        let plain = Reply {
-            lines: vec!["s a".into()],
-            commit: None,
-        };
+        let plain = Reply::plain(vec!["s a".into()]);
         assert_eq!(plain.render(), "OK 1\ns a\n");
         let committed = Reply {
             lines: vec![],
             commit: Some(4),
+            extra: None,
         };
         assert_eq!(committed.render(), "OK 0 commit:4\n");
+        // Extra header words slot between the count and the commit ack —
+        // where parse_ok_head skips what it does not know.
+        let streamy = Reply {
+            lines: vec![],
+            commit: Some(9),
+            extra: Some("seq:7 epoch:3".into()),
+        };
+        assert_eq!(streamy.render(), "OK 0 seq:7 epoch:3 commit:9\n");
+        assert_eq!(
+            parse_ok_head("OK 0 seq:7 epoch:3 commit:9").unwrap(),
+            (0, Some(9))
+        );
+    }
+
+    #[test]
+    fn hex_payloads_round_trip() {
+        let payload: Vec<u8> = (0u16..=255).map(|b| b as u8).collect();
+        let encoded = hex_encode(&payload);
+        assert_eq!(encoded.len(), payload.len() * 2);
+        assert_eq!(hex_decode(&encoded).unwrap(), payload);
+        assert_eq!(hex_decode("").unwrap(), Vec::<u8>::new());
+        assert!(hex_decode("abc").is_err());
+        assert!(hex_decode("zz").is_err());
     }
 
     #[test]

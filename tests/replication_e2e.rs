@@ -1,0 +1,351 @@
+//! End-to-end failover drill: a real primary `icdbd` and a real follower
+//! `icdbd --replicate-from`, driven over TCP. The primary is loaded,
+//! the follower catches up (`lag_events` reaches 0 — the documented
+//! precondition for lossless failover under asynchronous replication),
+//! the primary is SIGKILLed, and the follower is promoted with
+//! `persist promote:1`. No acked commit may be lost: the promoted node
+//! must serve a read transcript byte-identical to a control primary that
+//! ran the same workload and was never killed — and must accept writes.
+
+#![cfg(unix)]
+
+use icdb::cql::CqlArg;
+use icdb::net::IcdbClient;
+use icdb::IcdbError;
+use std::net::{TcpListener, TcpStream};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("icdb-repl-e2e-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn free_port() -> u16 {
+    TcpListener::bind("127.0.0.1:0")
+        .expect("bind ephemeral")
+        .local_addr()
+        .expect("addr")
+        .port()
+}
+
+/// A spawned daemon, SIGKILLed when dropped so a failing test never
+/// leaks a process.
+struct Daemon(Option<Child>);
+
+impl Daemon {
+    /// SIGKILL + reap — the crash being drilled.
+    fn kill(&mut self) {
+        if let Some(mut child) = self.0.take() {
+            child.kill().expect("SIGKILL icdbd");
+            child.wait().expect("reap icdbd");
+        }
+    }
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        if let Some(mut child) = self.0.take() {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+    }
+}
+
+// The `Daemon` guard kills + reaps in every path.
+#[allow(clippy::zombie_processes)]
+fn spawn_icdbd(port: u16, data_dir: &Path, extra: &[&str]) -> Daemon {
+    let mut args = vec![
+        "--addr".to_string(),
+        format!("127.0.0.1:{port}"),
+        "--data-dir".to_string(),
+        data_dir.to_str().expect("utf-8 temp path").to_string(),
+    ];
+    args.extend(extra.iter().map(|s| (*s).to_string()));
+    let child = Command::new(env!("CARGO_BIN_EXE_icdbd"))
+        .args(&args)
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn icdbd");
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        if TcpStream::connect(("127.0.0.1", port)).is_ok() {
+            return Daemon(Some(child));
+        }
+        assert!(Instant::now() < deadline, "icdbd did not come up");
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}
+
+fn connect(port: u16) -> IcdbClient {
+    let deadline = Instant::now() + Duration::from_secs(15);
+    loop {
+        match IcdbClient::connect(("127.0.0.1", port)) {
+            Ok(client) => return client,
+            Err(_) if Instant::now() < deadline => std::thread::sleep(Duration::from_millis(50)),
+            Err(e) => panic!("cannot connect to icdbd: {e}"),
+        }
+    }
+}
+
+fn exchange(client: &mut IcdbClient, command: &str, inputs: &[&str], outs: usize) -> Vec<String> {
+    let mut args: Vec<CqlArg> = inputs
+        .iter()
+        .map(|s| CqlArg::InStr((*s).to_string()))
+        .collect();
+    for _ in 0..outs {
+        args.push(CqlArg::OutStr(None));
+    }
+    match client.execute(command, &mut args) {
+        Ok(()) => args
+            .iter()
+            .filter_map(|a| match a {
+                CqlArg::OutStr(v) => Some(v.clone().unwrap_or_default()),
+                _ => None,
+            })
+            .collect(),
+        Err(e) => vec![format!("ERR {e}")],
+    }
+}
+
+/// Load round 1: knowledge acquisition + two instances (CIF included).
+fn load_round_one(client: &mut IcdbClient) -> Vec<String> {
+    let mut log = Vec::new();
+    log.extend(exchange(
+        client,
+        "command:request_component; component_name:counter; attribute:(size:4); \
+         clock_width:30; generated_component:?s",
+        &[],
+        1,
+    ));
+    log.extend(exchange(
+        client,
+        "command:request_component; implementation:ADDER; attribute:(size:4); \
+         generated_component:?s; CIF_layout:?s",
+        &[],
+        2,
+    ));
+    log.extend(exchange(
+        client,
+        "command:insert_component; IIF:%s; component:Counter; function:(INC,TICK); \
+         description:acquired-before-failover; inserted:?s",
+        &["NAME: FAILOVER_TICKER; INORDER: A, B; OUTORDER: O; { O = A * B; }"],
+        1,
+    ));
+    log
+}
+
+/// Load round 2 — the "mid-load" the primary dies under (after the
+/// follower has confirmed catch-up).
+fn load_round_two(client: &mut IcdbClient) -> Vec<String> {
+    let mut log = Vec::new();
+    log.extend(exchange(
+        client,
+        "command:request_component; component_name:counter; attribute:(size:6); \
+         clock_width:25; generated_component:?s",
+        &[],
+        1,
+    ));
+    log.extend(exchange(
+        client,
+        "command:request_component; implementation:FAILOVER_TICKER; generated_component:?s",
+        &[],
+        1,
+    ));
+    log
+}
+
+/// The post-failover write, run identically on the promoted follower and
+/// on the control primary.
+fn post_failover_write(client: &mut IcdbClient) -> Vec<String> {
+    exchange(
+        client,
+        "command:request_component; implementation:ADDER; attribute:(size:7); \
+         generated_component:?s",
+        &[],
+        1,
+    )
+}
+
+/// The full read-only transcript compared byte-for-byte.
+fn transcript(client: &mut IcdbClient) -> Vec<String> {
+    let mut t = Vec::new();
+    for instance in ["counter$1", "adder$2", "counter$3", "failover_ticker$4"] {
+        t.extend(exchange(
+            client,
+            "command:instance_query; generated_component:%s; delay:?s; shape_function:?s; \
+             area:?s; VHDL_head:?s",
+            &[instance],
+            4,
+        ));
+    }
+    t.extend(exchange(
+        client,
+        "command:instance_query; generated_component:%s; CIF_layout:?s",
+        &["adder$2"],
+        1,
+    ));
+    t.extend(exchange(
+        client,
+        "command:explore; component:counter; widths:(4,6); strategies:(cheapest,fastest); \
+         winner:?s; table:?s",
+        &[],
+        2,
+    ));
+    t
+}
+
+/// Polls the node's `persist` surface until it reports the wanted role
+/// with zero replication lag (and a positive applied position).
+fn await_caught_up(client: &mut IcdbClient, want_role: &str) -> i64 {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let mut args = vec![
+            CqlArg::OutStr(None),
+            CqlArg::OutInt(None),
+            CqlArg::OutInt(None),
+        ];
+        client
+            .execute(
+                "command:persist; role:?s; applied_seq:?d; lag_events:?d",
+                &mut args,
+            )
+            .expect("persist poll");
+        let role = matches!(&args[0], CqlArg::OutStr(Some(r)) if r == want_role);
+        let applied = match args[1] {
+            CqlArg::OutInt(Some(v)) => v,
+            _ => 0,
+        };
+        let lag = match args[2] {
+            CqlArg::OutInt(Some(v)) => v,
+            _ => i64::MAX,
+        };
+        if role && lag == 0 && applied > 0 {
+            return applied;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "follower never caught up (role ok: {role}, applied {applied}, lag {lag})"
+        );
+        std::thread::sleep(Duration::from_millis(100));
+    }
+}
+
+#[test]
+fn sigkill_failover_promotes_the_follower_without_losing_acked_commits() {
+    // --- The replicated pair. --------------------------------------------
+    let dir_p = temp_dir("primary");
+    let dir_f = temp_dir("follower");
+    let port_p = free_port();
+    let port_f = free_port();
+    let mut primary = spawn_icdbd(port_p, &dir_p, &[]);
+    let mut client = connect(port_p);
+    let ns = client.session_ns().expect("greeting carries the ns");
+    let log1 = load_round_one(&mut client);
+
+    let follower = spawn_icdbd(
+        port_f,
+        &dir_f,
+        &["--replicate-from", &format!("127.0.0.1:{port_p}")],
+    );
+    let mut fpoll = connect(port_f);
+    assert_eq!(
+        fpoll.hello().expect("hello on follower").role,
+        "follower",
+        "the handshake must expose the role"
+    );
+    await_caught_up(&mut fpoll, "follower");
+
+    // Mid-load: more acked commits, then confirm the follower holds them
+    // all. Asynchronous replication only guarantees lossless failover
+    // from a caught-up follower — this wait is the documented runbook
+    // step, not test leniency.
+    let log2 = load_round_two(&mut client);
+    let acked = client.last_commit_seq();
+    assert!(acked > 0, "mutations must carry commit acks");
+
+    // Read-your-writes: block until the follower's applied commit counter
+    // for this namespace reaches the last *acked* commit. (`lag_events`
+    // alone is computed from the follower's last stream reply, so right
+    // after a burst it can be honestly stale — wait_seq is the precise
+    // per-session fence.)
+    let mut fclient = connect(port_f);
+    fclient.attach(ns).expect("attach replicated ns");
+    let reached = fclient
+        .wait_seq(acked, Duration::from_secs(10))
+        .expect("follower catches up to the acked commit");
+    assert!(reached >= acked);
+    let applied = await_caught_up(&mut fpoll, "follower");
+    assert!(applied > 0);
+    let mut args = vec![CqlArg::OutStr(None)];
+    let refused = fclient.execute(
+        "command:request_component; implementation:ADDER; attribute:(size:7); \
+         generated_component:?s",
+        &mut args,
+    );
+    assert!(
+        matches!(refused, Err(IcdbError::NotPrimary(_))),
+        "expected NotPrimary before promotion, got {refused:?}"
+    );
+
+    // --- The failover. ---------------------------------------------------
+    primary.kill();
+    drop(client);
+    let mut none: Vec<CqlArg> = vec![];
+    fclient
+        .execute("command:persist; promote:1", &mut none)
+        .expect("promote the follower");
+    assert_eq!(fclient.hello().expect("hello").role, "primary");
+    let log3 = post_failover_write(&mut fclient);
+    let transcript_promoted = transcript(&mut fclient);
+
+    // --- The control primary: same workload, never killed. ---------------
+    let dir_c = temp_dir("control");
+    let port_c = free_port();
+    let mut control = spawn_icdbd(port_c, &dir_c, &[]);
+    let mut cclient = connect(port_c);
+    let clog1 = load_round_one(&mut cclient);
+    let clog2 = load_round_two(&mut cclient);
+    let clog3 = post_failover_write(&mut cclient);
+    let transcript_control = transcript(&mut cclient);
+
+    assert_eq!(log1, clog1, "round-1 mutations diverged");
+    assert_eq!(log2, clog2, "round-2 mutations diverged");
+    assert_eq!(log3, clog3, "post-failover writes diverged");
+    assert_eq!(
+        transcript_promoted, transcript_control,
+        "promoted follower diverged from the never-killed control"
+    );
+    // Sanity: real content, not empty slots.
+    let joined = transcript_promoted.join("\n");
+    assert!(joined.contains("CW "), "delay strings missing: {joined}");
+    assert!(joined.contains("Alternative=1"), "shape strings missing");
+    assert!(joined.contains("DS 1"), "CIF missing");
+
+    // The promoted node survives its own restart: its journal carried
+    // the replicated history plus the post-failover write. SIGKILL while
+    // fclient's session is still open — a graceful disconnect would
+    // (correctly) drop the session's namespace on the now-primary node.
+    let mut promoted = follower;
+    promoted.kill();
+    drop(fclient);
+    drop(fpoll);
+    let port_f2 = free_port();
+    let mut rebooted = spawn_icdbd(port_f2, &dir_f, &[]);
+    let mut rclient = connect(port_f2);
+    rclient.attach(ns).expect("attach after reboot");
+    assert_eq!(
+        transcript(&mut rclient),
+        transcript_control,
+        "the promoted node's own recovery diverged"
+    );
+
+    rebooted.kill();
+    control.kill();
+    std::fs::remove_dir_all(&dir_p).ok();
+    std::fs::remove_dir_all(&dir_f).ok();
+    std::fs::remove_dir_all(&dir_c).ok();
+}
