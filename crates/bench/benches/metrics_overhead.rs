@@ -1,0 +1,195 @@
+//! Cost of the observability layer on the hot serve path.
+//!
+//! Three subjects:
+//!
+//! - **registry** — the raw per-request instrumentation sequence
+//!   (`next_trace_id` + per-command counter inc + latency-histogram
+//!   record), the exact atomics `dispatch_line` adds to every wire
+//!   request. Measured solo so a regression in the lock-free registry
+//!   itself is visible before it hides inside network noise.
+//! - **wire** — warm `request_component` throughput over a real TCP
+//!   server (8 concurrent clients against the epoll event loop), i.e.
+//!   the *instrumented* serve path end to end. Gated by `perfgate`:
+//!   instrumentation must not cost the wire path its throughput floor.
+//! - **scrape** — one full `metrics_samples` + Prometheus render, the
+//!   per-scrape cost an operator pays at each poll interval.
+//!
+//! Besides the criterion groups, `main` runs an explicit measurement
+//! pass and writes `BENCH_metrics_overhead.json` next to this crate's
+//! manifest so CI can archive and gate the perf trajectory.
+
+use criterion::{black_box, Criterion};
+use icdb::cql::CqlArg;
+use icdb::net::{IcdbClient, Server};
+use icdb::obs::metrics as obs;
+use icdb::IcdbService;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// The gated workload, same subject as `service_concurrency`.
+const WARM_CQL: &str = "command:request_component; component_name:counter; \
+                        attribute:(size:5); attribute:(up_or_down:3); \
+                        generated_component:?s";
+
+/// Concurrent wire clients in the measurement pass.
+const WIRE_CLIENTS: usize = 8;
+
+/// Warm requests per client in the measurement pass.
+const WIRE_REQUESTS_PER_CLIENT: usize = 200;
+
+/// Registry instrumentation sequence — what `dispatch_line` adds per
+/// request — iterated this many times per sample.
+const REGISTRY_OPS: usize = 1_000_000;
+
+/// One instrumented request's worth of registry traffic.
+#[inline]
+fn record_once(idx: usize, latency_us: u64) {
+    black_box(obs::next_trace_id());
+    obs::REQUESTS[idx].inc();
+    obs::REQUEST_LATENCY_US[idx].record(latency_us);
+}
+
+/// Wall-clock for `REGISTRY_OPS` instrumentation sequences.
+fn run_registry() -> Duration {
+    let idx = obs::command_index("request_component");
+    let start = Instant::now();
+    for i in 0..REGISTRY_OPS {
+        record_once(idx, (i % 512) as u64);
+    }
+    start.elapsed()
+}
+
+/// One warm request per iteration over an established client connection.
+fn wire_request(client: &mut IcdbClient) {
+    let mut args = [CqlArg::OutStr(None)];
+    client.execute(WARM_CQL, &mut args).expect("warm request");
+    black_box(&args);
+}
+
+/// `per_client` warm requests on `clients` concurrent connections
+/// against a served (instrumented) socket; returns the wall-clock total.
+fn run_wire(addr: std::net::SocketAddr, clients: usize, per_client: usize) -> Duration {
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..clients {
+            scope.spawn(move || {
+                let mut client = IcdbClient::connect(addr).expect("connect");
+                for _ in 0..per_client {
+                    wire_request(&mut client);
+                }
+            });
+        }
+    });
+    start.elapsed()
+}
+
+fn bench_registry(c: &mut Criterion) {
+    let mut group = c.benchmark_group("metrics_overhead");
+    let idx = obs::command_index("request_component");
+    group.bench_function("registry/record", |b| {
+        b.iter(|| record_once(black_box(idx), black_box(137)))
+    });
+    group.finish();
+}
+
+fn bench_wire(c: &mut Criterion) {
+    let service = Arc::new(IcdbService::new());
+    let server = Server::bind("127.0.0.1:0", Arc::clone(&service), 64).expect("bind");
+    let handle = server.spawn().expect("spawn server");
+    let addr = handle.addr();
+    let mut client = IcdbClient::connect(addr).expect("connect");
+    wire_request(&mut client); // prime the generation cache
+
+    let mut group = c.benchmark_group("metrics_overhead");
+    group.sample_size(20);
+    group.bench_function("wire/warm", |b| b.iter(|| wire_request(&mut client)));
+    group.finish();
+    drop(client);
+    handle.shutdown();
+}
+
+fn bench_scrape(c: &mut Criterion) {
+    let service = Arc::new(IcdbService::new());
+    let session = service.open_session();
+    let mut args = [CqlArg::OutStr(None)];
+    session.execute(WARM_CQL, &mut args).expect("prime");
+
+    let mut group = c.benchmark_group("metrics_overhead");
+    group.bench_function("scrape/render", |b| {
+        b.iter(|| black_box(service.metrics_text()))
+    });
+    group.finish();
+}
+
+/// Explicit measurement pass feeding the JSON artifact and the verdict
+/// line printed at the end of the run.
+fn measure_summary() -> String {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    // Registry: median of 3.
+    let mut samples: Vec<Duration> = (0..3).map(|_| run_registry()).collect();
+    samples.sort();
+    let per_op_ns = samples[1].as_nanos() as f64 / REGISTRY_OPS as f64;
+    let registry_ops_per_sec = 1e9 / per_op_ns.max(1e-9);
+
+    // Wire: a real served socket, one throwaway sweep to settle thread
+    // and connection start-up, then the median of 3 measured sweeps.
+    let service = Arc::new(IcdbService::new());
+    let server = Server::bind("127.0.0.1:0", Arc::clone(&service), 64).expect("bind");
+    let handle = server.spawn().expect("spawn server");
+    let addr = handle.addr();
+    {
+        let mut client = IcdbClient::connect(addr).expect("connect");
+        wire_request(&mut client); // prime the generation cache
+    }
+    run_wire(addr, WIRE_CLIENTS, 20);
+    let requests = WIRE_CLIENTS * WIRE_REQUESTS_PER_CLIENT;
+    let mut sweeps: Vec<Duration> = (0..3)
+        .map(|_| run_wire(addr, WIRE_CLIENTS, WIRE_REQUESTS_PER_CLIENT))
+        .collect();
+    sweeps.sort();
+    let total = sweeps[1];
+    let wire_rps = requests as f64 / total.as_secs_f64();
+    let wire_ns_per_req = total.as_nanos() as f64 / requests as f64;
+
+    // Scrape: median of 5 full renders on the loaded server.
+    let mut renders: Vec<Duration> = (0..5)
+        .map(|_| {
+            let t = Instant::now();
+            black_box(service.metrics_text());
+            t.elapsed()
+        })
+        .collect();
+    renders.sort();
+    let scrape_us = renders[2].as_nanos() as f64 / 1e3;
+    handle.shutdown();
+
+    println!(
+        "metrics_overhead: registry {per_op_ns:.1} ns/request ({registry_ops_per_sec:.0} ops/s), \
+         wire {requests} warm requests on {WIRE_CLIENTS} clients (cores={cores}) in {total:?} \
+         ({wire_rps:.0} req/s, {wire_ns_per_req:.0} ns/req), scrape {scrape_us:.0} us"
+    );
+    format!(
+        "{{\n  \"bench\": \"metrics_overhead\",\n  \"scenarios\": [\n    \
+         {{\"subject\": \"registry\", \"ops\": {REGISTRY_OPS}, \"ns_per_op\": {per_op_ns:.1}, \
+         \"ops_per_sec\": {registry_ops_per_sec:.0}}},\n    \
+         {{\"subject\": \"wire\", \"clients\": {WIRE_CLIENTS}, \"cores\": {cores}, \
+         \"requests\": {requests}, \"ns_per_request\": {wire_ns_per_req:.0}, \
+         \"requests_per_sec\": {wire_rps:.0}}},\n    \
+         {{\"subject\": \"scrape\", \"renders\": 5, \"scrape_us\": {scrape_us:.1}}}\n  ]\n}}\n"
+    )
+}
+
+fn main() {
+    let mut criterion = Criterion::default().configure_from_args();
+    bench_registry(&mut criterion);
+    bench_wire(&mut criterion);
+    bench_scrape(&mut criterion);
+
+    let json = measure_summary();
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_metrics_overhead.json");
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("metrics_overhead: wrote {path}"),
+        Err(e) => eprintln!("metrics_overhead: could not write {path}: {e}"),
+    }
+}

@@ -45,6 +45,7 @@ pub const GATE_SPECS: &[(&str, &str, &str)] = &[
     ("explore_sweep", "sweep", "speedup"),
     ("wal_replay", "replay", "events_per_sec"),
     ("wal_replay", "snapshot", "speedup"),
+    ("metrics_overhead", "wire", "requests_per_sec"),
 ];
 
 /// One gate loaded from the baseline file.

@@ -43,6 +43,7 @@ const READ_ONLY_COMMANDS: &[&str] = &[
     "cache_query",
     "explore",
     "persist",
+    "metrics",
 ];
 
 /// Whether a raw CQL command string names a read-only command, without a
@@ -246,6 +247,7 @@ impl Icdb {
                 }
                 self.exec_persist(cmd)
             }
+            "metrics" => self.exec_metrics(cmd),
             other => Err(IcdbError::Cql(format!("unknown command `{other}`"))),
         }
     }
@@ -274,6 +276,7 @@ impl Icdb {
                 Ok(ReadDispatch::NeedsWrite)
             }
             "persist" => self.exec_persist(cmd).map(ReadDispatch::Done),
+            "metrics" => self.exec_metrics(cmd).map(ReadDispatch::Done),
             _ => Ok(ReadDispatch::NeedsWrite),
         }
     }
@@ -910,91 +913,62 @@ impl Icdb {
     /// (plain reporting runs under the shared lock).
     fn exec_persist(&self, cmd: &Command) -> Result<Response, IcdbError> {
         let stats = self.persist_stats();
+        let fields = crate::persist::persist_fields(stats.as_ref());
+        let mut resp = Response::new();
+        for key in cmd.pending_keys() {
+            // `events` is the historical alias for `wal_events`.
+            let canonical = if key == "events" { "wal_events" } else { key };
+            let Some((_, value)) = fields.iter().find(|(k, _)| *k == canonical) else {
+                return Err(IcdbError::Cql(format!("persist cannot answer `{key}`")));
+            };
+            resp.set(key, value.clone());
+        }
+        Ok(resp)
+    }
+
+    /// `metrics`: the observability scrape over CQL. Answerable outputs:
+    /// `text:?s` (the full Prometheus exposition, identical to the HTTP
+    /// `/metrics` body), `rows:?ls` (one `name{labels} value` line per
+    /// sample — the relational view), every `persist` key (answered from
+    /// the same shared field list, so the two commands cannot disagree),
+    /// or any label-less sample name (`icdb_cache_hits_total:?d`,
+    /// `icdb_repl_lag_events:?d`, `icdb_cache_hit_ratio:?f`, …) typed as
+    /// `Int`/`Real` by the sample itself.
+    fn exec_metrics(&self, cmd: &Command) -> Result<Response, IcdbError> {
+        let samples = self.metrics_samples();
+        let stats = self.persist_stats();
+        let fields = crate::persist::persist_fields(stats.as_ref());
         let mut resp = Response::new();
         for key in cmd.pending_keys() {
             match key {
-                "enabled" => resp.set(key, CqlValue::Int(i64::from(stats.is_some()))),
-                "generation" => resp.set(
+                "text" => resp.set(key, CqlValue::Str(icdb_obs::render_prometheus(&samples))),
+                "rows" | "samples" => resp.set(
                     key,
-                    CqlValue::Int(stats.as_ref().map_or(0, |s| s.generation as i64)),
+                    CqlValue::StrList(samples.iter().map(icdb_obs::Sample::render).collect()),
                 ),
-                "wal_events" | "events" => resp.set(
-                    key,
-                    CqlValue::Int(stats.as_ref().map_or(0, |s| s.wal_events as i64)),
-                ),
-                "wal_bytes" => resp.set(
-                    key,
-                    CqlValue::Int(stats.as_ref().map_or(0, |s| s.wal_bytes as i64)),
-                ),
-                "snapshot_bytes" => resp.set(
-                    key,
-                    CqlValue::Int(stats.as_ref().map_or(0, |s| s.snapshot_bytes as i64)),
-                ),
-                "recovered_events" => resp.set(
-                    key,
-                    CqlValue::Int(stats.as_ref().map_or(0, |s| s.recovered_events as i64)),
-                ),
-                "data_dir" => resp.set(
-                    key,
-                    CqlValue::Str(
-                        stats
-                            .as_ref()
-                            .map(|s| s.data_dir.clone())
-                            .unwrap_or_default(),
-                    ),
-                ),
-                "degraded" => resp.set(
-                    key,
-                    CqlValue::Int(i64::from(stats.as_ref().is_some_and(|s| s.degraded))),
-                ),
-                "fault" => resp.set(
-                    key,
-                    CqlValue::Str(
-                        stats
-                            .as_ref()
-                            .and_then(|s| s.fault.clone())
-                            .unwrap_or_default(),
-                    ),
-                ),
-                "fault_errno" => resp.set(
-                    key,
-                    CqlValue::Int(
-                        stats
-                            .as_ref()
-                            .and_then(|s| s.fault_errno)
-                            .map_or(0, i64::from),
-                    ),
-                ),
-                // Replication keys answer from the live `repl` state, not
-                // the journal stats: an in-memory server has no stats but
-                // still has a role.
-                "role" => resp.set(
-                    key,
-                    CqlValue::Str(
-                        stats
-                            .as_ref()
-                            .map(|s| s.role.clone())
-                            .unwrap_or_else(|| "primary".to_string()),
-                    ),
-                ),
-                "upstream" => resp.set(
-                    key,
-                    CqlValue::Str(
-                        stats
-                            .as_ref()
-                            .and_then(|s| s.upstream.clone())
-                            .unwrap_or_default(),
-                    ),
-                ),
-                "applied_seq" => resp.set(
-                    key,
-                    CqlValue::Int(stats.as_ref().map_or(0, |s| s.applied_seq as i64)),
-                ),
-                "lag_events" => resp.set(
-                    key,
-                    CqlValue::Int(stats.as_ref().map_or(0, |s| s.lag_events as i64)),
-                ),
-                other => return Err(IcdbError::Cql(format!("persist cannot answer `{other}`"))),
+                other => {
+                    let canonical = if other == "events" {
+                        "wal_events"
+                    } else {
+                        other
+                    };
+                    if let Some((_, value)) = fields.iter().find(|(k, _)| *k == canonical) {
+                        resp.set(key, value.clone());
+                    } else if let Some(sample) = samples
+                        .iter()
+                        .find(|s| s.labels.is_empty() && s.name == other)
+                    {
+                        let value = match sample.value {
+                            icdb_obs::SampleValue::Int(v) => CqlValue::Int(v as i64),
+                            icdb_obs::SampleValue::Float(v) => CqlValue::Real(v),
+                        };
+                        resp.set(key, value);
+                    } else {
+                        return Err(IcdbError::Cql(format!(
+                            "metrics cannot answer `{other}`: not a persist field or label-less sample"
+                        )));
+                    }
+                }
             }
         }
         Ok(resp)

@@ -63,6 +63,7 @@ pub mod explore;
 mod instance;
 mod knowledge;
 mod library;
+mod obs;
 mod persist;
 mod server;
 pub mod service;

@@ -204,6 +204,60 @@ pub struct PersistStats {
     pub lag_events: u64,
 }
 
+/// The canonical `persist` key/value list: the one shared formatter
+/// behind the `persist` CQL command, the `metrics` CQL command and the
+/// HTTP `/metrics` exposition, so the follower fields
+/// (`role`/`upstream`/`applied_seq`/`lag_events`) and degraded fields
+/// (`degraded`/`fault`/`fault_errno`) can never drift between serve
+/// paths. `None` renders an in-memory (journal-less) server's defaults.
+pub(crate) fn persist_fields(
+    stats: Option<&PersistStats>,
+) -> Vec<(&'static str, icdb_cql::CqlValue)> {
+    use icdb_cql::CqlValue;
+    let int = |v: Option<u64>| CqlValue::Int(v.unwrap_or(0) as i64);
+    vec![
+        ("enabled", CqlValue::Int(i64::from(stats.is_some()))),
+        ("generation", int(stats.map(|s| s.generation))),
+        ("wal_events", int(stats.map(|s| s.wal_events))),
+        ("wal_bytes", int(stats.map(|s| s.wal_bytes))),
+        ("snapshot_bytes", int(stats.map(|s| s.snapshot_bytes))),
+        ("recovered_events", int(stats.map(|s| s.recovered_events))),
+        (
+            "data_dir",
+            CqlValue::Str(stats.map(|s| s.data_dir.clone()).unwrap_or_default()),
+        ),
+        (
+            "degraded",
+            CqlValue::Int(i64::from(stats.is_some_and(|s| s.degraded))),
+        ),
+        (
+            "fault",
+            CqlValue::Str(stats.and_then(|s| s.fault.clone()).unwrap_or_default()),
+        ),
+        (
+            "fault_errno",
+            CqlValue::Int(stats.and_then(|s| s.fault_errno).map_or(0, i64::from)),
+        ),
+        // Replication keys answer from the live `repl` state folded into
+        // the stats: an in-memory server has no journal but still has a
+        // role.
+        (
+            "role",
+            CqlValue::Str(
+                stats
+                    .map(|s| s.role.clone())
+                    .unwrap_or_else(|| "primary".to_string()),
+            ),
+        ),
+        (
+            "upstream",
+            CqlValue::Str(stats.and_then(|s| s.upstream.clone()).unwrap_or_default()),
+        ),
+        ("applied_seq", int(stats.map(|s| s.applied_seq))),
+        ("lag_events", int(stats.map(|s| s.lag_events))),
+    ]
+}
+
 /// Replication position of a follower: who it tails and how far it got.
 /// Lives on the [`Icdb`] itself (not the service) so the `persist` CQL
 /// command can answer replication keys without a service handle.

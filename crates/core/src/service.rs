@@ -388,6 +388,14 @@ impl IcdbService {
         self.read().cache_stats()
     }
 
+    /// The full Prometheus text exposition under the shared lock — the
+    /// body the `--metrics-addr` HTTP listener serves. Renders the same
+    /// sample list as the `metrics` CQL command
+    /// ([`Icdb::metrics_samples`]), so the two surfaces cannot drift.
+    pub fn metrics_text(&self) -> String {
+        self.read().metrics_text()
+    }
+
     /// Knowledge acquisition (paper §2.2) through the service: takes the
     /// exclusive lock, bumps the knowledge-base version and thereby
     /// invalidates warm cache hits — and the epoch snapshot — for every

@@ -1,0 +1,362 @@
+//! Leveled structured logging to stderr: `target` + message + typed
+//! field pairs, rendered as aligned text or one-line JSON
+//! (`--log-level`, `--log-format`). No interior buffering — each event
+//! is one locked `write` so concurrent workers never interleave lines.
+
+use std::io::Write as _;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// Log severity, most severe first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum Level {
+    /// The server cannot do what was asked of it.
+    Error = 1,
+    /// Something degraded but survivable (slow queries land here).
+    Warn = 2,
+    /// Lifecycle events: boot, recovery, checkpoint, shutdown.
+    Info = 3,
+    /// Per-connection noise.
+    Debug = 4,
+    /// Per-request noise.
+    Trace = 5,
+}
+
+impl Level {
+    /// Parses a `--log-level` value.
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.to_ascii_lowercase().as_str() {
+            "error" => Some(Self::Error),
+            "warn" | "warning" => Some(Self::Warn),
+            "info" => Some(Self::Info),
+            "debug" => Some(Self::Debug),
+            "trace" => Some(Self::Trace),
+            _ => None,
+        }
+    }
+
+    /// Uppercase name for text rendering.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Error => "ERROR",
+            Self::Warn => "WARN",
+            Self::Info => "INFO",
+            Self::Debug => "DEBUG",
+            Self::Trace => "TRACE",
+        }
+    }
+
+    fn from_u8(v: u8) -> Self {
+        match v {
+            1 => Self::Error,
+            2 => Self::Warn,
+            4 => Self::Debug,
+            5 => Self::Trace,
+            _ => Self::Info,
+        }
+    }
+}
+
+/// Output encoding (`--log-format text|json`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Format {
+    /// `TS LEVEL target: msg key=value …`
+    Text,
+    /// One JSON object per line.
+    Json,
+}
+
+impl Format {
+    /// Parses a `--log-format` value.
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.to_ascii_lowercase().as_str() {
+            "text" => Some(Self::Text),
+            "json" => Some(Self::Json),
+            _ => None,
+        }
+    }
+}
+
+static LEVEL: AtomicU8 = AtomicU8::new(Level::Info as u8);
+static FORMAT: AtomicU8 = AtomicU8::new(0);
+
+/// Sets the minimum severity that will be emitted.
+pub fn set_level(level: Level) {
+    LEVEL.store(level as u8, Ordering::Relaxed);
+}
+
+/// The current minimum severity.
+#[must_use]
+pub fn level() -> Level {
+    Level::from_u8(LEVEL.load(Ordering::Relaxed))
+}
+
+/// Sets the output encoding.
+pub fn set_format(format: Format) {
+    FORMAT.store(u8::from(format == Format::Json), Ordering::Relaxed);
+}
+
+/// The current output encoding.
+#[must_use]
+pub fn format() -> Format {
+    if FORMAT.load(Ordering::Relaxed) == 0 {
+        Format::Text
+    } else {
+        Format::Json
+    }
+}
+
+/// Whether events at `l` would currently be emitted — guard any log call
+/// whose fields are expensive to assemble.
+#[must_use]
+pub fn enabled(l: Level) -> bool {
+    l <= level()
+}
+
+/// A typed log field value.
+#[derive(Debug, Clone, Copy)]
+pub enum Value<'a> {
+    /// A string field (quoted in text output when it contains spaces).
+    Str(&'a str),
+    /// An unsigned integer field.
+    U64(u64),
+    /// A signed integer field.
+    I64(i64),
+    /// A float field.
+    F64(f64),
+    /// A boolean field.
+    Bool(bool),
+}
+
+/// Emits one structured event (skipped when `level` is filtered out).
+pub fn log(level: Level, target: &str, msg: &str, fields: &[(&str, Value<'_>)]) {
+    if !enabled(level) {
+        return;
+    }
+    let line = render_line(format(), level, target, msg, fields, SystemTime::now());
+    let mut err = std::io::stderr().lock();
+    let _ = err.write_all(line.as_bytes());
+}
+
+/// [`log`] at [`Level::Error`].
+pub fn error(target: &str, msg: &str, fields: &[(&str, Value<'_>)]) {
+    log(Level::Error, target, msg, fields);
+}
+
+/// [`log`] at [`Level::Warn`].
+pub fn warn(target: &str, msg: &str, fields: &[(&str, Value<'_>)]) {
+    log(Level::Warn, target, msg, fields);
+}
+
+/// [`log`] at [`Level::Info`].
+pub fn info(target: &str, msg: &str, fields: &[(&str, Value<'_>)]) {
+    log(Level::Info, target, msg, fields);
+}
+
+/// [`log`] at [`Level::Debug`].
+pub fn debug(target: &str, msg: &str, fields: &[(&str, Value<'_>)]) {
+    log(Level::Debug, target, msg, fields);
+}
+
+/// Renders one event including the trailing newline — pure, so the
+/// formats are unit-testable without capturing stderr.
+#[must_use]
+pub fn render_line(
+    format: Format,
+    level: Level,
+    target: &str,
+    msg: &str,
+    fields: &[(&str, Value<'_>)],
+    now: SystemTime,
+) -> String {
+    let (secs, millis) = match now.duration_since(UNIX_EPOCH) {
+        Ok(d) => (d.as_secs(), d.subsec_millis()),
+        Err(_) => (0, 0),
+    };
+    let ts = format_rfc3339(secs, millis);
+    match format {
+        Format::Text => {
+            let mut out = format!("{ts} {:<5} {target}: {msg}", level.name());
+            for (k, v) in fields {
+                out.push(' ');
+                out.push_str(k);
+                out.push('=');
+                match v {
+                    Value::Str(s) => {
+                        if s.is_empty() || s.contains([' ', '"', '=']) {
+                            out.push('"');
+                            push_escaped(&mut out, s);
+                            out.push('"');
+                        } else {
+                            out.push_str(s);
+                        }
+                    }
+                    Value::U64(n) => out.push_str(&n.to_string()),
+                    Value::I64(n) => out.push_str(&n.to_string()),
+                    Value::F64(n) => out.push_str(&n.to_string()),
+                    Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+                }
+            }
+            out.push('\n');
+            out
+        }
+        Format::Json => {
+            let mut out = String::with_capacity(96);
+            out.push_str("{\"ts\":\"");
+            out.push_str(&ts);
+            out.push_str("\",\"level\":\"");
+            out.push_str(&level.name().to_ascii_lowercase());
+            out.push_str("\",\"target\":\"");
+            push_escaped(&mut out, target);
+            out.push_str("\",\"msg\":\"");
+            push_escaped(&mut out, msg);
+            out.push('"');
+            for (k, v) in fields {
+                out.push_str(",\"");
+                push_escaped(&mut out, k);
+                out.push_str("\":");
+                match v {
+                    Value::Str(s) => {
+                        out.push('"');
+                        push_escaped(&mut out, s);
+                        out.push('"');
+                    }
+                    Value::U64(n) => out.push_str(&n.to_string()),
+                    Value::I64(n) => out.push_str(&n.to_string()),
+                    Value::F64(n) => {
+                        if n.is_finite() {
+                            out.push_str(&n.to_string());
+                        } else {
+                            out.push_str("null");
+                        }
+                    }
+                    Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+                }
+            }
+            out.push_str("}\n");
+            out
+        }
+    }
+}
+
+/// JSON/quoted-string escaping shared by both formats.
+fn push_escaped(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = std::fmt::Write::write_fmt(out, format_args!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// RFC 3339 UTC timestamp with millisecond precision, built from the
+/// Unix epoch without a date library (days-to-civil conversion).
+#[must_use]
+pub fn format_rfc3339(secs: u64, millis: u32) -> String {
+    let days = (secs / 86_400) as i64;
+    let rem = secs % 86_400;
+    let (y, m, d) = civil_from_days(days);
+    format!(
+        "{y:04}-{m:02}-{d:02}T{:02}:{:02}:{:02}.{millis:03}Z",
+        rem / 3600,
+        (rem / 60) % 60,
+        rem % 60
+    )
+}
+
+/// Proleptic-Gregorian date for a day count since 1970-01-01
+/// (Hinnant's `civil_from_days`).
+fn civil_from_days(z: i64) -> (i64, u32, u32) {
+    let z = z + 719_468;
+    let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+    let doe = (z - era * 146_097) as u64;
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe as i64 + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 } as u32;
+    (if m <= 2 { y + 1 } else { y }, m, d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn at(secs: u64, millis: u32) -> SystemTime {
+        UNIX_EPOCH + Duration::from_secs(secs) + Duration::from_millis(u64::from(millis))
+    }
+
+    #[test]
+    fn rfc3339_known_instants() {
+        assert_eq!(format_rfc3339(0, 0), "1970-01-01T00:00:00.000Z");
+        // 2004-02-29T12:00:00Z — leap day in a leap century year.
+        assert_eq!(format_rfc3339(1_078_056_000, 7), "2004-02-29T12:00:00.007Z");
+        // 2026-01-01T00:00:00Z.
+        assert_eq!(
+            format_rfc3339(1_767_225_600, 999),
+            "2026-01-01T00:00:00.999Z"
+        );
+    }
+
+    #[test]
+    fn text_line_renders_fields() {
+        let line = render_line(
+            Format::Text,
+            Level::Info,
+            "icdbd",
+            "recovered",
+            &[
+                ("generation", Value::U64(3)),
+                ("dir", Value::Str("/tmp/my dir")),
+                ("ok", Value::Bool(true)),
+            ],
+            at(0, 0),
+        );
+        assert_eq!(
+            line,
+            "1970-01-01T00:00:00.000Z INFO  icdbd: recovered generation=3 dir=\"/tmp/my dir\" ok=true\n"
+        );
+    }
+
+    #[test]
+    fn json_line_is_escaped_and_typed() {
+        let line = render_line(
+            Format::Json,
+            Level::Warn,
+            "net",
+            "slow \"query\"",
+            &[
+                ("trace_id", Value::U64(42)),
+                ("ms", Value::F64(12.5)),
+                ("cmd", Value::Str("a\tb")),
+            ],
+            at(0, 1),
+        );
+        assert_eq!(
+            line,
+            "{\"ts\":\"1970-01-01T00:00:00.001Z\",\"level\":\"warn\",\"target\":\"net\",\
+             \"msg\":\"slow \\\"query\\\"\",\"trace_id\":42,\"ms\":12.5,\"cmd\":\"a\\tb\"}\n"
+        );
+    }
+
+    #[test]
+    fn level_parse_and_order() {
+        assert_eq!(Level::parse("WARN"), Some(Level::Warn));
+        assert_eq!(Level::parse("nope"), None);
+        assert!(Level::Error < Level::Trace);
+        assert_eq!(Format::parse("json"), Some(Format::Json));
+    }
+}

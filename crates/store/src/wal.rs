@@ -44,6 +44,8 @@ use std::path::{Path, PathBuf};
 use std::sync::{Condvar, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
+use icdb_obs::metrics as obs;
+
 /// Maximum accepted single-record length (64 MiB): a corrupt length field
 /// must not trigger a huge allocation.
 const MAX_RECORD_LEN: u32 = 64 * 1024 * 1024;
@@ -612,14 +614,28 @@ impl GroupWal {
         drop(state);
 
         let mut result: io::Result<()> = Ok(());
+        let mut batch_bytes = 0u64;
         for payload in &batch {
             if let Err(e) = writer.append(payload) {
                 result = Err(e);
                 break;
             }
+            batch_bytes += 8 + payload.len() as u64;
         }
         if result.is_ok() && self.sync && !batch.is_empty() {
+            let sync_start = Instant::now();
             result = writer.sync();
+            obs::WAL_FSYNC_US.record(
+                sync_start
+                    .elapsed()
+                    .as_micros()
+                    .try_into()
+                    .unwrap_or(u64::MAX),
+            );
+        }
+        if !batch.is_empty() {
+            obs::WAL_BATCH_EVENTS.record(batch.len() as u64);
+            obs::WAL_FLUSHED_BYTES.add(batch_bytes);
         }
 
         let durable_extent = (writer.bytes(), writer.records());
@@ -643,7 +659,10 @@ impl GroupWal {
                     }
                 }
             }
-            Err(ref e) => state.error = Some(WalFault::from_err(e)),
+            Err(ref e) => {
+                state.error = Some(WalFault::from_err(e));
+                obs::WAL_DEGRADED.set(1);
+            }
         }
         self.wakeup.notify_all();
         result.map(|()| state)
@@ -669,6 +688,7 @@ impl GroupWal {
                     Some(writer) => {
                         if let Err(e) = writer.sync() {
                             state.error = Some(WalFault::from_err(&e));
+                            obs::WAL_DEGRADED.set(1);
                             self.wakeup.notify_all();
                             return Err(e);
                         }
@@ -744,6 +764,7 @@ impl GroupWal {
         }
         state.queue.clear();
         state.error = None;
+        obs::WAL_DEGRADED.set(0);
         state.records = new_writer.records();
         state.bytes = new_writer.bytes();
         state.durable_records = new_writer.records();

@@ -11,7 +11,18 @@
 //! icdbd [--addr HOST:PORT] [--max-connections N] [--workers N]
 //!       [--data-dir DIR] [--no-fsync] [--group-commit-window MS]
 //!       [--idle-timeout SECS] [--replicate-from HOST:PORT]
+//!       [--metrics-addr HOST:PORT] [--log-level LEVEL]
+//!       [--log-format text|json] [--slow-query-ms MS]
 //! ```
+//!
+//! With `--metrics-addr HOST:PORT` the daemon additionally serves its
+//! full metrics registry as Prometheus text exposition over plain
+//! HTTP/1.0 (`GET /metrics`), multiplexed on the existing epoll worker
+//! pool — the same samples the read-only `metrics` CQL command returns
+//! over the main port. `--log-level` (error/warn/info/debug/trace) and
+//! `--log-format` (text or one-line JSON) shape every diagnostic line on
+//! stderr; requests slower than `--slow-query-ms` (default 100, 0
+//! disables) are logged at `warn` with their trace id.
 //!
 //! With `--replicate-from HOST:PORT` (plus `--data-dir`, pointed at an
 //! *empty* directory) the daemon runs as a **replication follower**: it
@@ -64,7 +75,10 @@
 //! session namespace.
 
 use icdb::net::{Server, DEFAULT_MAX_CONNECTIONS, DEFAULT_PORT, DEFAULT_WORKERS};
+use icdb::obs::log as olog;
+use icdb::obs::metrics as obs;
 use icdb::IcdbService;
+use olog::Value;
 use std::process::ExitCode;
 use std::sync::Arc;
 
@@ -112,6 +126,7 @@ fn main() -> ExitCode {
     let mut group_commit_window = std::time::Duration::ZERO;
     let mut idle_timeout = std::time::Duration::ZERO;
     let mut replicate_from: Option<String> = None;
+    let mut metrics_addr: Option<String> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -145,6 +160,22 @@ fn main() -> ExitCode {
                 Some(v) => replicate_from = Some(v),
                 None => return usage("--replicate-from needs the primary's HOST:PORT"),
             },
+            "--metrics-addr" => match args.next() {
+                Some(v) => metrics_addr = Some(v),
+                None => return usage("--metrics-addr needs HOST:PORT"),
+            },
+            "--log-level" => match args.next().as_deref().and_then(olog::Level::parse) {
+                Some(level) => olog::set_level(level),
+                None => return usage("--log-level needs error|warn|info|debug|trace"),
+            },
+            "--log-format" => match args.next().as_deref().and_then(olog::Format::parse) {
+                Some(format) => olog::set_format(format),
+                None => return usage("--log-format needs text|json"),
+            },
+            "--slow-query-ms" => match args.next().map(|v| v.parse::<u64>()) {
+                Some(Ok(ms)) => obs::set_slow_query_threshold_ms(ms),
+                _ => return usage("--slow-query-ms needs milliseconds (0 disables)"),
+            },
             "--help" | "-h" => {
                 println!(
                     "icdbd — ICDB component-database daemon\n\n\
@@ -169,7 +200,16 @@ fn main() -> ExitCode {
                      \x20                            its snapshot + WAL tail, tail its commit\n\
                      \x20                            stream, serve reads, refuse writes with\n\
                      \x20                            `ERR not_primary`; promote with\n\
-                     \x20                            `command:persist; promote:1`\n\n\
+                     \x20                            `command:persist; promote:1`\n\
+                     \x20     --metrics-addr HOST:PORT  serve Prometheus text exposition over\n\
+                     \x20                            HTTP (`GET /metrics`) on this address,\n\
+                     \x20                            multiplexed on the epoll worker pool\n\
+                     \x20     --log-level LEVEL      stderr log level: error|warn|info|debug|\n\
+                     \x20                            trace (default info)\n\
+                     \x20     --log-format FMT       stderr log format: text|json (default text)\n\
+                     \x20     --slow-query-ms MS     log requests slower than MS milliseconds\n\
+                     \x20                            at warn, with trace id (default 100;\n\
+                     \x20                            0 disables)\n\n\
                      PROTOCOL: one CQL command per line; `attach ns<N>` re-binds the session\n\
                      to a (recovered) namespace; `quit` disconnects. See the `icdb::net`\n\
                      module docs or the README for details."
@@ -181,24 +221,45 @@ fn main() -> ExitCode {
     }
 
     let mut follower = None;
+    let boot_started = std::time::Instant::now();
     let service = match (&replicate_from, &data_dir) {
         (Some(upstream), Some(dir)) => {
             match icdb::repl::bootstrap(upstream, dir, fsync, group_commit_window) {
                 Ok(running) => {
                     let service = std::sync::Arc::clone(running.service());
+                    let boot_ms = boot_started.elapsed().as_millis() as u64;
                     match service.persist_stats() {
-                        Some(stats) => eprintln!(
-                            "icdbd: following {upstream} from generation {} \
-                             ({} events applied at bootstrap)",
-                            stats.generation, stats.applied_seq,
+                        Some(stats) => olog::info(
+                            "boot",
+                            "following upstream",
+                            &[
+                                ("upstream", Value::Str(upstream)),
+                                ("generation", Value::U64(stats.generation)),
+                                ("applied_seq", Value::U64(stats.applied_seq)),
+                                ("boot_ms", Value::U64(boot_ms)),
+                            ],
                         ),
-                        None => eprintln!("icdbd: following {upstream}"),
+                        None => olog::info(
+                            "boot",
+                            "following upstream",
+                            &[
+                                ("upstream", Value::Str(upstream)),
+                                ("boot_ms", Value::U64(boot_ms)),
+                            ],
+                        ),
                     }
                     follower = Some(running);
                     service
                 }
                 Err(e) => {
-                    eprintln!("icdbd: cannot bootstrap follower of {upstream}: {e}");
+                    olog::error(
+                        "boot",
+                        "cannot bootstrap follower",
+                        &[
+                            ("upstream", Value::Str(upstream)),
+                            ("error", Value::Str(&e.to_string())),
+                        ],
+                    );
                     return ExitCode::FAILURE;
                 }
             }
@@ -209,20 +270,36 @@ fn main() -> ExitCode {
         (None, _) => match &data_dir {
             Some(dir) => match IcdbService::open_with_options(dir, fsync, group_commit_window) {
                 Ok(service) => {
+                    let boot_ms = boot_started.elapsed().as_millis() as u64;
                     match service.persist_stats() {
-                        Some(stats) => eprintln!(
-                            "icdbd: recovered generation {} from {} ({} events replayed{})",
-                            stats.generation,
-                            stats.data_dir,
-                            stats.recovered_events,
-                            if fsync { "" } else { ", fsync off" },
+                        Some(stats) => olog::info(
+                            "boot",
+                            "recovered durable image",
+                            &[
+                                ("generation", Value::U64(stats.generation)),
+                                ("data_dir", Value::Str(&stats.data_dir)),
+                                ("replayed_events", Value::U64(stats.recovered_events)),
+                                ("fsync", Value::Bool(fsync)),
+                                ("boot_ms", Value::U64(boot_ms)),
+                            ],
                         ),
-                        None => eprintln!("icdbd: recovered from {dir} (no journal stats)"),
+                        None => olog::info(
+                            "boot",
+                            "recovered durable image (no journal stats)",
+                            &[("data_dir", Value::Str(dir))],
+                        ),
                     }
                     Arc::new(service)
                 }
                 Err(e) => {
-                    eprintln!("icdbd: cannot open data dir {dir}: {e}");
+                    olog::error(
+                        "boot",
+                        "cannot open data dir",
+                        &[
+                            ("data_dir", Value::Str(dir)),
+                            ("error", Value::Str(&e.to_string())),
+                        ],
+                    );
                     return ExitCode::FAILURE;
                 }
             },
@@ -237,21 +314,64 @@ fn main() -> ExitCode {
     {
         Ok(server) => server,
         Err(e) => {
-            eprintln!("icdbd: cannot bind {addr}: {e}");
+            olog::error(
+                "boot",
+                "cannot bind listen address",
+                &[
+                    ("addr", Value::Str(&addr)),
+                    ("error", Value::Str(&e.to_string())),
+                ],
+            );
             return ExitCode::FAILURE;
         }
     };
     server.set_idle_timeout(idle_timeout);
+    if let Some(maddr) = &metrics_addr {
+        match std::net::TcpListener::bind(maddr) {
+            Ok(listener) => {
+                let bound = listener
+                    .local_addr()
+                    .map_or_else(|_| maddr.clone(), |a| a.to_string());
+                server.set_metrics_listener(listener);
+                olog::info(
+                    "boot",
+                    "metrics endpoint up",
+                    &[("metrics_addr", Value::Str(&bound))],
+                );
+            }
+            Err(e) => {
+                olog::error(
+                    "boot",
+                    "cannot bind metrics address",
+                    &[
+                        ("metrics_addr", Value::Str(maddr)),
+                        ("error", Value::Str(&e.to_string())),
+                    ],
+                );
+                return ExitCode::FAILURE;
+            }
+        }
+    }
     match server.local_addr() {
-        Ok(bound) => eprintln!(
-            "icdbd: listening on {bound} (max {max_connections} connections, {workers} workers)"
+        Ok(bound) => olog::info(
+            "boot",
+            "listening",
+            &[
+                ("addr", Value::Str(&bound.to_string())),
+                ("max_connections", Value::U64(max_connections as u64)),
+                ("workers", Value::U64(workers as u64)),
+            ],
         ),
-        Err(_) => eprintln!("icdbd: listening on {addr}"),
+        Err(_) => olog::info("boot", "listening", &[("addr", Value::Str(&addr))]),
     }
     let handle = match server.spawn() {
         Ok(handle) => handle,
         Err(e) => {
-            eprintln!("icdbd: cannot start accept loop: {e}");
+            olog::error(
+                "boot",
+                "cannot start accept loop",
+                &[("error", Value::Str(&e.to_string()))],
+            );
             return ExitCode::FAILURE;
         }
     };
@@ -269,13 +389,17 @@ fn main() -> ExitCode {
 
     #[cfg(unix)]
     {
-        eprintln!("icdbd: shutdown signal received, stopping accept loop");
+        olog::info("shutdown", "signal received, stopping accept loop", &[]);
         // A follower first stops tailing its upstream, so no replicated
         // event lands between the worker drain and the checkpoint.
         if let Some(mut running) = follower.take() {
             running.stop();
             if let Some(reason) = running.stall_reason() {
-                eprintln!("icdbd: replication had stalled: {reason}");
+                olog::warn(
+                    "shutdown",
+                    "replication had stalled",
+                    &[("reason", Value::Str(&reason))],
+                );
             }
         }
         // Order matters: `shutdown()` joins the epoll workers, so every
@@ -290,12 +414,20 @@ fn main() -> ExitCode {
             // Drain + checkpoint so the next boot starts from a snapshot
             // instead of a long WAL replay.
             match service.checkpoint() {
-                Ok(stats) => eprintln!(
-                    "icdbd: checkpointed generation {} ({} snapshot bytes)",
-                    stats.generation, stats.snapshot_bytes
+                Ok(stats) => olog::info(
+                    "shutdown",
+                    "checkpointed",
+                    &[
+                        ("generation", Value::U64(stats.generation)),
+                        ("snapshot_bytes", Value::U64(stats.snapshot_bytes)),
+                    ],
                 ),
                 Err(e) => {
-                    eprintln!("icdbd: checkpoint on shutdown failed: {e}");
+                    olog::error(
+                        "shutdown",
+                        "checkpoint failed",
+                        &[("error", Value::Str(&e.to_string()))],
+                    );
                     return ExitCode::FAILURE;
                 }
             }
@@ -305,10 +437,13 @@ fn main() -> ExitCode {
 }
 
 fn usage(message: &str) -> ExitCode {
+    olog::error("cli", message, &[]);
+    // The synopsis is user-facing help, not a log event: plain stderr.
     eprintln!(
-        "icdbd: {message}\nUSAGE: icdbd [--addr HOST:PORT] [--max-connections N] [--workers N] \
+        "USAGE: icdbd [--addr HOST:PORT] [--max-connections N] [--workers N] \
          [--data-dir DIR] [--no-fsync] [--group-commit-window MS] [--idle-timeout SECS] \
-         [--replicate-from HOST:PORT]"
+         [--replicate-from HOST:PORT] [--metrics-addr HOST:PORT] [--log-level LEVEL] \
+         [--log-format text|json] [--slow-query-ms MS]"
     );
     ExitCode::FAILURE
 }

@@ -18,8 +18,10 @@
 //! ([`crate::net::DEFAULT_WORKERS`], `icdbd --workers`) bounds the
 //! blast radius.
 
-use crate::net::{dispatch_line, escape, ErrCode, MAX_LINE};
+use crate::net::{dispatch_line, escape, http_metrics_response, ErrCode, MAX_LINE};
 use icdb_core::IcdbService;
+use icdb_obs::log as olog;
+use icdb_obs::metrics as obs;
 use std::collections::HashMap;
 use std::io::{self, Read, Write as _};
 use std::net::{TcpListener, TcpStream};
@@ -103,6 +105,21 @@ const WAIT_TIMEOUT_MS: i32 = 500;
 /// Token the worker's own eventfd carries (no socket ever gets it: fd 0
 /// is stdin and never a freshly accepted connection).
 const WAKE_TOKEN: u64 = u64::MAX;
+
+/// Token of the metrics HTTP listener (worker 0 only).
+const METRICS_TOKEN: u64 = u64::MAX - 1;
+
+/// High bit marking a token as a metrics HTTP connection rather than a
+/// CQL connection. File descriptors are small non-negative ints, so the
+/// flagged and unflagged token spaces can never collide.
+const HTTP_FLAG: u64 = 1 << 63;
+
+/// A metrics scrape left half-open longer than this is dropped (the CQL
+/// idle sweep is configurable; scrapes have no business being slow).
+const HTTP_IDLE_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Longest request head a metrics scrape may send.
+const HTTP_MAX_HEAD: usize = 8 * 1024;
 
 struct Conn {
     stream: TcpStream,
@@ -226,6 +243,7 @@ impl Conn {
         // A peer that fires requests without draining responses gets
         // dropped once its unread backlog passes the high-water mark.
         if self.wbuf.len() - self.wpos > WRITE_HIGH_WATER {
+            obs::WRITE_HIGHWATER_DROPS.inc();
             return true;
         }
         let pending = self.wpos < self.wbuf.len();
@@ -243,6 +261,114 @@ impl Conn {
     }
 }
 
+/// One metrics HTTP/1.0 connection, multiplexed on the same epoll
+/// instance as the CQL connections (no extra thread): read the request
+/// head, queue the full response, drain it, close.
+struct HttpConn {
+    stream: TcpStream,
+    rbuf: Vec<u8>,
+    wbuf: Vec<u8>,
+    wpos: usize,
+    /// Response queued — nothing more to read, close once drained.
+    responded: bool,
+    armed_out: bool,
+    last_active: Instant,
+}
+
+impl HttpConn {
+    fn interest(&self) -> u32 {
+        let mut i = EPOLLIN | EPOLLRDHUP;
+        if self.armed_out {
+            i |= EPOLLOUT;
+        }
+        i
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        while self.wpos < self.wbuf.len() {
+            match self.stream.write(&self.wbuf[self.wpos..]) {
+                Ok(0) => return Err(io::ErrorKind::WriteZero.into()),
+                Ok(n) => self.wpos += n,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(())
+    }
+
+    /// Reacts to one readiness report; `true` means deregister + drop.
+    fn handle(&mut self, events: u32, epfd: i32, service: &Arc<IcdbService>) -> bool {
+        self.last_active = Instant::now();
+        if events & EPOLLERR != 0 {
+            return true;
+        }
+        if events & (EPOLLIN | EPOLLRDHUP | EPOLLHUP) != 0 && !self.responded {
+            let mut chunk = [0u8; 4 * 1024];
+            loop {
+                match self.stream.read(&mut chunk) {
+                    Ok(0) => break,
+                    Ok(n) => self.rbuf.extend_from_slice(&chunk[..n]),
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(_) => return true,
+                }
+            }
+            let head_complete = self.rbuf.windows(2).any(|w| w == b"\n\n")
+                || self.rbuf.windows(4).any(|w| w == b"\r\n\r\n");
+            if head_complete {
+                let text = String::from_utf8_lossy(&self.rbuf);
+                let request_line = text.lines().next().unwrap_or_default().to_string();
+                self.wbuf = http_metrics_response(service, &request_line);
+                self.responded = true;
+            } else if self.rbuf.len() > HTTP_MAX_HEAD {
+                return true;
+            }
+        }
+        if self.flush().is_err() {
+            return true;
+        }
+        if self.responded && self.wpos == self.wbuf.len() {
+            return true;
+        }
+        let pending = self.wpos < self.wbuf.len();
+        if pending != self.armed_out {
+            self.armed_out = pending;
+            let fd = self.stream.as_raw_fd();
+            if ctl(
+                epfd,
+                EPOLL_CTL_MOD,
+                fd,
+                self.interest(),
+                fd as u64 | HTTP_FLAG,
+            )
+            .is_err()
+            {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+/// Puts a freshly accepted metrics scrape under epoll.
+fn register_http(epfd: i32, stream: TcpStream) -> Option<(u64, HttpConn)> {
+    stream.set_nonblocking(true).ok()?;
+    let fd = stream.as_raw_fd();
+    let token = fd as u64 | HTTP_FLAG;
+    let conn = HttpConn {
+        stream,
+        rbuf: Vec::new(),
+        wbuf: Vec::new(),
+        wpos: 0,
+        responded: false,
+        armed_out: false,
+        last_active: Instant::now(),
+    };
+    ctl(epfd, EPOLL_CTL_ADD, fd, conn.interest(), token).ok()?;
+    Some((token, conn))
+}
+
 // --------------------------------------------------------- worker pool
 
 /// The acceptor → worker handoff channel: sockets parked here until the
@@ -257,22 +383,34 @@ fn lock_streams(inbox: &Inbox) -> std::sync::MutexGuard<'_, Vec<TcpStream>> {
 }
 
 /// One worker: a private epoll instance multiplexing its share of the
-/// connections until shutdown.
+/// connections until shutdown. Worker 0 additionally owns the optional
+/// metrics HTTP listener and its scrape connections — multiplexed here
+/// so the endpoint needs no thread model of its own.
 fn worker_loop(
     inbox: Arc<Inbox>,
     service: Arc<IcdbService>,
     idle_timeout: Duration,
     shutdown: Arc<AtomicBool>,
     active: Arc<AtomicUsize>,
+    metrics: Option<TcpListener>,
 ) {
     let epfd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
     if epfd < 0 {
         return;
     }
     let mut conns: HashMap<u64, Conn> = HashMap::new();
+    let mut https: HashMap<u64, HttpConn> = HashMap::new();
     let ok = ctl(epfd, EPOLL_CTL_ADD, inbox.wake_fd, EPOLLIN, WAKE_TOKEN).is_ok();
+    // A listener that cannot be registered is simply dropped: scrapes fail,
+    // the CQL side keeps serving.
+    let metrics = metrics.and_then(|l| {
+        l.set_nonblocking(true).ok()?;
+        ctl(epfd, EPOLL_CTL_ADD, l.as_raw_fd(), EPOLLIN, METRICS_TOKEN).ok()?;
+        Some(l)
+    });
     while ok && !shutdown.load(Ordering::SeqCst) {
         let mut events = [EpollEvent { events: 0, data: 0 }; EVENT_BATCH];
+        let wait_start = Instant::now();
         let n = unsafe {
             epoll_wait(
                 epfd,
@@ -281,6 +419,13 @@ fn worker_loop(
                 WAIT_TIMEOUT_MS,
             )
         };
+        obs::EPOLL_WAIT_US.record(
+            wait_start
+                .elapsed()
+                .as_micros()
+                .try_into()
+                .unwrap_or(u64::MAX),
+        );
         if n < 0 {
             if io::Error::last_os_error().kind() == io::ErrorKind::Interrupted {
                 continue;
@@ -298,6 +443,36 @@ fn worker_loop(
                         conns.insert(token, conn);
                     } else {
                         active.fetch_sub(1, Ordering::SeqCst);
+                        obs::CONNECTIONS.dec();
+                    }
+                }
+                continue;
+            }
+            if token == METRICS_TOKEN {
+                if let Some(listener) = metrics.as_ref() {
+                    loop {
+                        match listener.accept() {
+                            Ok((stream, _)) => {
+                                if let Some((token, conn)) = register_http(epfd, stream) {
+                                    https.insert(token, conn);
+                                }
+                            }
+                            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                            Err(_) => break,
+                        }
+                    }
+                }
+                continue;
+            }
+            if token & HTTP_FLAG != 0 {
+                let done = match https.get_mut(&token) {
+                    Some(conn) => conn.handle(readiness, epfd, &service),
+                    None => continue,
+                };
+                if done {
+                    if let Some(conn) = https.remove(&token) {
+                        let _ = ctl(epfd, EPOLL_CTL_DEL, conn.stream.as_raw_fd(), 0, 0);
                     }
                 }
                 continue;
@@ -310,6 +485,7 @@ fn worker_loop(
                     let _ = ctl(epfd, EPOLL_CTL_DEL, conn.stream.as_raw_fd(), 0, 0);
                     drop(conn); // drops the Session → namespace cleanup
                     active.fetch_sub(1, Ordering::SeqCst);
+                    obs::CONNECTIONS.dec();
                 }
             }
         }
@@ -328,6 +504,22 @@ fn worker_loop(
                     let _ = ctl(epfd, EPOLL_CTL_DEL, conn.stream.as_raw_fd(), 0, 0);
                     drop(conn);
                     active.fetch_sub(1, Ordering::SeqCst);
+                    obs::CONNECTIONS.dec();
+                    obs::IDLE_TIMEOUT_KILLS.inc();
+                }
+            }
+        }
+        // Half-open scrapes get a fixed, short leash.
+        if !https.is_empty() {
+            let now = Instant::now();
+            let stale: Vec<u64> = https
+                .iter()
+                .filter(|(_, c)| now.duration_since(c.last_active) > HTTP_IDLE_TIMEOUT)
+                .map(|(&token, _)| token)
+                .collect();
+            for token in stale {
+                if let Some(conn) = https.remove(&token) {
+                    let _ = ctl(epfd, EPOLL_CTL_DEL, conn.stream.as_raw_fd(), 0, 0);
                 }
             }
         }
@@ -342,7 +534,12 @@ fn worker_loop(
         let Conn { session, .. } = conn;
         session.park();
         active.fetch_sub(1, Ordering::SeqCst);
+        obs::CONNECTIONS.dec();
     }
+    for (_, conn) in https.drain() {
+        let _ = ctl(epfd, EPOLL_CTL_DEL, conn.stream.as_raw_fd(), 0, 0);
+    }
+    drop(metrics);
     unsafe {
         close(epfd);
     }
@@ -389,10 +586,13 @@ pub(crate) fn serve(
     workers: usize,
     idle_timeout: Duration,
     shutdown: Arc<AtomicBool>,
+    metrics: Option<TcpListener>,
 ) -> io::Result<()> {
     let active = Arc::new(AtomicUsize::new(0));
     let mut inboxes: Vec<Arc<Inbox>> = Vec::with_capacity(workers);
     let mut handles = Vec::with_capacity(workers);
+    // Worker 0 multiplexes the metrics listener alongside its CQL share.
+    let mut metrics = metrics;
     for _ in 0..workers.max(1) {
         let wake_fd = unsafe { eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC) };
         if wake_fd < 0 {
@@ -412,8 +612,9 @@ pub(crate) fn serve(
         let service = Arc::clone(&service);
         let shutdown = Arc::clone(&shutdown);
         let active = Arc::clone(&active);
+        let metrics = metrics.take();
         handles.push(std::thread::spawn(move || {
-            worker_loop(inbox, service, idle_timeout, shutdown, active)
+            worker_loop(inbox, service, idle_timeout, shutdown, active, metrics)
         }));
     }
     let mut next = 0usize;
@@ -427,7 +628,11 @@ pub(crate) fn serve(
         let stream = match stream {
             Ok(stream) => stream,
             Err(e) => {
-                eprintln!("icdbd: accept failed (continuing): {e}");
+                olog::warn(
+                    "net",
+                    "accept failed (continuing)",
+                    &[("error", olog::Value::Str(&e.to_string()))],
+                );
                 std::thread::sleep(std::time::Duration::from_millis(10));
                 continue;
             }
@@ -445,6 +650,8 @@ pub(crate) fn serve(
             );
             continue;
         }
+        obs::CONNECTIONS_ACCEPTED.inc();
+        obs::CONNECTIONS.inc();
         let inbox = &inboxes[next % inboxes.len()];
         next = next.wrapping_add(1);
         lock_streams(inbox).push(stream);

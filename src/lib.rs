@@ -24,6 +24,7 @@
 //! | [`vhdl`] | `icdb-vhdl` | structural VHDL emission/parsing (§2.2) |
 //! | [`store`] | `icdb-store` | embedded relational + file stores (INGRES/UNIX, §2.3) |
 //! | [`genus`] | `icdb-genus` | GENUS component/function taxonomy (App. B §2–3) |
+//! | [`obs`] | `icdb-obs` | metrics registry, Prometheus exposition, structured logging |
 //! | [`net`] | (this crate) | the `icdbd` TCP server + client over CQL |
 //!
 //! For concurrent multi-client use, wrap the server in an
@@ -129,4 +130,10 @@ pub mod store {
 /// GENUS taxonomy (re-export of `icdb-genus`).
 pub mod genus {
     pub use icdb_genus::*;
+}
+
+/// Observability: metrics registry, Prometheus exposition, structured
+/// logging (re-export of `icdb-obs`).
+pub mod obs {
+    pub use icdb_obs::*;
 }

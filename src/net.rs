@@ -63,6 +63,8 @@
 
 use icdb_core::{IcdbError, IcdbService};
 use icdb_cql::{scan_slots, CqlArg, SlotSpec, SlotType};
+use icdb_obs::log as olog;
+use icdb_obs::metrics as obs;
 use std::io::{self, BufRead, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -345,6 +347,9 @@ pub struct Server {
     workers: usize,
     idle_timeout: Duration,
     shutdown: Arc<AtomicBool>,
+    /// When set, a plaintext HTTP/1.0 listener serving the Prometheus
+    /// text exposition at `GET /metrics` (`icdbd --metrics-addr`).
+    metrics: Option<TcpListener>,
 }
 
 /// Handle to a server running on a background thread (see
@@ -416,7 +421,23 @@ impl Server {
             workers: workers.max(1),
             idle_timeout: Duration::ZERO,
             shutdown: Arc::new(AtomicBool::new(false)),
+            metrics: None,
         })
+    }
+
+    /// Attaches an already-bound listener for the HTTP metrics endpoint
+    /// (`icdbd --metrics-addr HOST:PORT`). On Linux it is multiplexed on
+    /// the existing epoll loop (no new thread model); the portable
+    /// fallback serves it from one blocking acceptor thread. Every
+    /// request is answered with the Prometheus text exposition of
+    /// [`IcdbService::metrics_text`] and closed.
+    pub fn set_metrics_listener(&mut self, listener: TcpListener) {
+        self.metrics = Some(listener);
+    }
+
+    /// Address of the attached metrics listener, when one is set.
+    pub fn metrics_addr(&self) -> Option<SocketAddr> {
+        self.metrics.as_ref().and_then(|l| l.local_addr().ok())
     }
 
     /// Disconnects a connection that has been silent for `timeout`
@@ -453,6 +474,7 @@ impl Server {
                 self.workers,
                 self.idle_timeout,
                 self.shutdown,
+                self.metrics,
             )
         }
         #[cfg(not(target_os = "linux"))]
@@ -465,8 +487,13 @@ impl Server {
     /// tested) on every platform so Linux builds keep it honest; only
     /// non-Linux [`Server::serve`] calls it in production.
     #[cfg_attr(target_os = "linux", allow(dead_code))]
-    fn serve_threaded(self) -> io::Result<()> {
+    fn serve_threaded(mut self) -> io::Result<()> {
         let _ = self.workers;
+        if let Some(metrics) = self.metrics.take() {
+            let service = Arc::clone(&self.service);
+            let shutdown = Arc::clone(&self.shutdown);
+            std::thread::spawn(move || serve_metrics_blocking(&metrics, &service, &shutdown));
+        }
         let active = Arc::new(AtomicUsize::new(0));
         for stream in self.listener.incoming() {
             if self.shutdown.load(Ordering::SeqCst) {
@@ -478,7 +505,11 @@ impl Server {
             let stream = match stream {
                 Ok(stream) => stream,
                 Err(e) => {
-                    eprintln!("icdbd: accept failed (continuing): {e}");
+                    olog::warn(
+                        "net",
+                        "accept failed (continuing)",
+                        &[("error", olog::Value::Str(&e.to_string()))],
+                    );
                     std::thread::sleep(std::time::Duration::from_millis(10));
                     continue;
                 }
@@ -496,12 +527,15 @@ impl Server {
                 let _ = w.flush();
                 continue;
             }
+            obs::CONNECTIONS_ACCEPTED.inc();
+            obs::CONNECTIONS.inc();
             let service = Arc::clone(&self.service);
             let active = Arc::clone(&active);
             let idle_timeout = self.idle_timeout;
             std::thread::spawn(move || {
                 let _ = handle_connection(stream, &service, idle_timeout);
                 active.fetch_sub(1, Ordering::SeqCst);
+                obs::CONNECTIONS.dec();
             });
         }
         Ok(())
@@ -757,7 +791,78 @@ const MAX_WAIT_SEQ_TIMEOUT_MS: u64 = 60_000;
 /// the epoll event loop and the thread-per-connection fallback, so both
 /// server paths speak the identical protocol: `attach`, `hello`,
 /// `wait_seq`, the replication commands, and plain CQL via [`answer`].
+///
+/// Every request is metered here: a per-command counter + latency
+/// histogram, per-code error counters, and — past `--slow-query-ms` — a
+/// WARN log line carrying the request's trace id. The long-poll verbs
+/// (`wait_seq`, `repl_stream`) are excluded from slow-query logging:
+/// blocking is their contract.
 pub(crate) fn dispatch_line(
+    session: &mut icdb_core::Session,
+    line: &str,
+) -> Result<Reply, (ErrCode, String)> {
+    let trace_id = obs::next_trace_id();
+    let started = std::time::Instant::now();
+    let cmd_idx = command_index_of_line(line);
+    let result = dispatch_line_inner(session, line);
+    let elapsed = started.elapsed();
+    obs::REQUESTS[cmd_idx].inc();
+    obs::REQUEST_LATENCY_US[cmd_idx].record(elapsed.as_micros().try_into().unwrap_or(u64::MAX));
+    if let Err((code, _)) = &result {
+        obs::ERRORS[obs::error_index(code.as_str())].inc();
+    }
+    let name = obs::COMMANDS[cmd_idx];
+    let threshold = obs::slow_query_threshold_ms();
+    let elapsed_ms = u64::try_from(elapsed.as_millis()).unwrap_or(u64::MAX);
+    if threshold > 0 && elapsed_ms >= threshold && name != "wait_seq" && name != "repl_stream" {
+        obs::SLOW_QUERIES.inc();
+        olog::warn(
+            "net",
+            "slow query",
+            &[
+                ("trace_id", olog::Value::U64(trace_id)),
+                ("command", olog::Value::Str(name)),
+                ("ns", olog::Value::U64(session.ns().raw())),
+                ("ms", olog::Value::U64(elapsed_ms)),
+                ("ok", olog::Value::Bool(result.is_ok())),
+            ],
+        );
+    }
+    result
+}
+
+/// The registry slot a request line bills to: wire verbs by their first
+/// word, CQL lines by their `command:` term — scanned on the cheap
+/// escaped prefix (command names never contain escapes) so the label
+/// costs a few string compares, not a parse.
+fn command_index_of_line(line: &str) -> usize {
+    let head = line.split('\t').next().unwrap_or_default();
+    for verb in [
+        "attach",
+        "hello",
+        "wait_seq",
+        "repl_snapshot",
+        "repl_stream",
+    ] {
+        if head == verb
+            || (head.len() > verb.len()
+                && head.starts_with(verb)
+                && head.as_bytes()[verb.len()] == b' ')
+        {
+            return obs::command_index(verb);
+        }
+    }
+    for term in head.split(';') {
+        if let Some((k, v)) = term.split_once(':') {
+            if k.trim() == "command" {
+                return obs::command_index(v.trim());
+            }
+        }
+    }
+    obs::command_index("other")
+}
+
+fn dispatch_line_inner(
     session: &mut icdb_core::Session,
     line: &str,
 ) -> Result<Reply, (ErrCode, String)> {
@@ -936,6 +1041,82 @@ pub(crate) fn hex_decode(s: &str) -> Result<Vec<u8>, String> {
                 .map_err(|_| format!("bad hex payload at byte {i}"))
         })
         .collect()
+}
+
+// ------------------------------------------------------ metrics over HTTP
+
+/// Builds the complete HTTP/1.0 response for one metrics-listener
+/// request line. `GET /metrics` (or `GET /`) answers 200 with the
+/// Prometheus text exposition of [`IcdbService::metrics_text`] — the
+/// exact sample list the `metrics` CQL command renders — anything else
+/// 404. Shared by the epoll-multiplexed path and the blocking fallback
+/// so the two serve paths cannot drift.
+pub(crate) fn http_metrics_response(service: &IcdbService, request_line: &str) -> Vec<u8> {
+    let mut words = request_line.split_whitespace();
+    let method = words.next().unwrap_or_default();
+    let path = words.next().unwrap_or_default();
+    let (status, content_type, body) = if method == "GET" && (path == "/metrics" || path == "/") {
+        (
+            "200 OK",
+            "text/plain; version=0.0.4; charset=utf-8",
+            service.metrics_text(),
+        )
+    } else {
+        (
+            "404 Not Found",
+            "text/plain; charset=utf-8",
+            "not found; scrape GET /metrics\n".to_string(),
+        )
+    };
+    format!(
+        "HTTP/1.0 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )
+    .into_bytes()
+}
+
+/// The metrics endpoint of the thread-per-connection fallback: one
+/// blocking acceptor, one request per connection, response + close.
+/// (On Linux the epoll loop serves the same listener without threads.)
+#[cfg_attr(target_os = "linux", allow(dead_code))]
+fn serve_metrics_blocking(
+    listener: &TcpListener,
+    service: &Arc<IcdbService>,
+    shutdown: &Arc<AtomicBool>,
+) {
+    for stream in listener.incoming() {
+        if shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(mut stream) = stream else {
+            std::thread::sleep(Duration::from_millis(10));
+            continue;
+        };
+        // Scrapers are trusted but bounded: a peer that never finishes
+        // its request head gets cut off by the read timeout.
+        let _ = stream.set_read_timeout(Some(Duration::from_millis(2_000)));
+        let Ok(clone) = stream.try_clone() else {
+            continue;
+        };
+        let mut reader = BufReader::new(clone);
+        let mut request_line = String::new();
+        if reader.read_line(&mut request_line).is_err() {
+            continue;
+        }
+        // Drain the header block so the peer never sees a reset with an
+        // unread request body in flight.
+        loop {
+            let mut header = String::new();
+            match reader.read_line(&mut header) {
+                Ok(0) => break,
+                Ok(_) if header == "\r\n" || header == "\n" => break,
+                Ok(_) => {}
+                Err(_) => break,
+            }
+        }
+        let _ = stream.write_all(&http_metrics_response(service, request_line.trim_end()));
+        let _ = stream.flush();
+    }
 }
 
 // --------------------------------------------------------------- client
@@ -1589,6 +1770,22 @@ impl IcdbClient {
         }
         self.session_ns = Some(ns);
         Ok(())
+    }
+
+    /// The server's full Prometheus text exposition over the CQL wire
+    /// (`metrics text:?s`) — byte-identical to the body the
+    /// `--metrics-addr` HTTP endpoint serves, so a client can consume the
+    /// observability surface without a second socket.
+    ///
+    /// # Errors
+    /// As [`IcdbClient::execute`].
+    pub fn metrics_text(&mut self) -> Result<String, IcdbError> {
+        let mut args = [CqlArg::OutStr(None)];
+        self.execute("command:metrics; text:?s", &mut args)?;
+        match args {
+            [CqlArg::OutStr(Some(text))] => Ok(text),
+            _ => Err(IcdbError::Cql("malformed metrics response".into())),
+        }
     }
 
     /// Sends `quit` and closes the connection (the server then drops the

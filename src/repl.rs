@@ -31,6 +31,7 @@
 
 use crate::net::hex_decode;
 use icdb_core::{IcdbError, IcdbService, MutationEvent};
+use icdb_obs::metrics as obs;
 use std::io::{self, BufRead as _, BufReader, BufWriter, Write as _};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::path::Path;
@@ -150,6 +151,8 @@ pub fn bootstrap(
         group_commit_window,
     )?);
     service.set_replica(upstream, durable_seq)?;
+    obs::REPL_APPLIED_SEQ.set(durable_seq);
+    obs::REPL_LAG_EVENTS.set(0);
 
     let stop = Arc::new(AtomicBool::new(false));
     let stall = Arc::new(Mutex::new(None));
@@ -245,6 +248,7 @@ fn tail_loop(
             None => match ReplConn::connect(upstream) {
                 Ok(fresh) => conn.insert(fresh),
                 Err(_) => {
+                    obs::REPL_RECONNECTS.inc();
                     std::thread::sleep(RECONNECT_BACKOFF);
                     continue;
                 }
@@ -258,6 +262,7 @@ fn tail_loop(
                 // The upstream dropped (crash, restart, network): dial
                 // again until it is back or we are stopped.
                 conn = None;
+                obs::REPL_RECONNECTS.inc();
                 std::thread::sleep(RECONNECT_BACKOFF);
                 continue;
             }
@@ -302,7 +307,11 @@ fn tail_loop(
         };
         let lag = durable.saturating_sub(applied_to);
         match service.apply_replicated(&events, applied_to, lag) {
-            Ok(()) => cursor = applied_to,
+            Ok(()) => {
+                cursor = applied_to;
+                obs::REPL_APPLIED_SEQ.set(applied_to);
+                obs::REPL_LAG_EVENTS.set(lag);
+            }
             // Promoted out from under the loop: a clean self-stop.
             Err(IcdbError::Unsupported(_)) => return,
             Err(e) => {
