@@ -935,8 +935,11 @@ impl Icdb {
     /// `icdb_repl_lag_events:?d`, `icdb_cache_hit_ratio:?f`, …) typed as
     /// `Int`/`Real` by the sample itself.
     fn exec_metrics(&self, cmd: &Command) -> Result<Response, IcdbError> {
-        let samples = self.metrics_samples();
+        // One persistence snapshot feeds both the sample list and the
+        // persist-keyed answers, so `rows`/`text` and e.g. `degraded:?d`
+        // in one response cannot straddle a checkpoint or fault flip.
         let stats = self.persist_stats();
+        let samples = self.metrics_samples_from(stats.as_ref());
         let fields = crate::persist::persist_fields(stats.as_ref());
         let mut resp = Response::new();
         for key in cmd.pending_keys() {
@@ -959,7 +962,9 @@ impl Icdb {
                         .find(|s| s.labels.is_empty() && s.name == other)
                     {
                         let value = match sample.value {
-                            icdb_obs::SampleValue::Int(v) => CqlValue::Int(v as i64),
+                            icdb_obs::SampleValue::Int(v) => {
+                                CqlValue::Int(i64::try_from(v).unwrap_or(i64::MAX))
+                            }
                             icdb_obs::SampleValue::Float(v) => CqlValue::Real(v),
                         };
                         resp.set(key, value);

@@ -106,6 +106,16 @@ impl Icdb {
     /// exactly this list.
     #[must_use]
     pub fn metrics_samples(&self) -> Vec<Sample> {
+        self.metrics_samples_from(self.persist_stats().as_ref())
+    }
+
+    /// [`Icdb::metrics_samples`] over a caller-provided persistence
+    /// snapshot. The `metrics` CQL command answers `persist` keys and
+    /// renders `rows`/`text` in one response — routing both through the
+    /// same snapshot keeps them consistent even across a concurrent
+    /// checkpoint or degradation flip.
+    #[must_use]
+    pub fn metrics_samples_from(&self, stats: Option<&persist::PersistStats>) -> Vec<Sample> {
         let mut out = obs::gather();
 
         let cs = self.cache_stats();
@@ -123,9 +133,9 @@ impl Icdb {
             ]) {
                 out.push(Sample {
                     name: (*family).to_string(),
-                    family,
+                    family: (*family).into(),
                     kind,
-                    help,
+                    help: (*help).into(),
                     labels: format!("layer=\"{layer}\""),
                     value: SampleValue::Int(value),
                 });
@@ -140,9 +150,9 @@ impl Icdb {
         {
             out.push(Sample {
                 name: (*family).to_string(),
-                family,
+                family: (*family).into(),
                 kind,
-                help,
+                help: (*help).into(),
                 labels: String::new(),
                 value: SampleValue::Int(value),
             });
@@ -162,9 +172,8 @@ impl Icdb {
             },
         ));
 
-        let stats = self.persist_stats();
         let mut role = String::from("primary");
-        for (key, value) in persist::persist_fields(stats.as_ref()) {
+        for (key, value) in persist::persist_fields(stats) {
             match value {
                 CqlValue::Int(v) => {
                     if let Some((_, family, help)) =
@@ -180,9 +189,9 @@ impl Icdb {
         }
         out.push(Sample {
             name: "icdb_role".to_string(),
-            family: "icdb_role",
+            family: "icdb_role".into(),
             kind: "gauge",
-            help: "Replication role as a one-hot label (primary/follower/degraded)",
+            help: "Replication role as a one-hot label (primary/follower/degraded)".into(),
             labels: format!("role=\"{role}\""),
             value: SampleValue::Int(1),
         });

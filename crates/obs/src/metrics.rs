@@ -10,6 +10,7 @@
 //! snapshot) before rendering so the `metrics` CQL command and the HTTP
 //! `/metrics` endpoint agree by construction.
 
+use std::borrow::Cow;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// A monotonically increasing counter.
@@ -376,12 +377,13 @@ pub struct Sample {
     /// Full sample name (`icdb_request_latency_us_bucket`, …).
     pub name: String,
     /// The family the sample belongs to, for HELP/TYPE grouping
-    /// (`icdb_request_latency_us` for its `_bucket`/`_sum`/`_count`).
-    pub family: &'static str,
+    /// (`icdb_request_latency_us` for its `_bucket`/`_sum`/`_count`;
+    /// owned for derived families built at scrape time).
+    pub family: Cow<'static, str>,
     /// Prometheus metric type of the family.
     pub kind: &'static str,
     /// One-line family description.
-    pub help: &'static str,
+    pub help: Cow<'static, str>,
     /// Rendered label pairs without braces (`command="persist",le="2"`),
     /// empty for label-less samples.
     pub labels: String,
@@ -395,9 +397,9 @@ impl Sample {
     pub fn int(family: &'static str, kind: &'static str, help: &'static str, v: u64) -> Self {
         Self {
             name: family.to_string(),
-            family,
+            family: Cow::Borrowed(family),
             kind,
-            help,
+            help: Cow::Borrowed(help),
             labels: String::new(),
             value: SampleValue::Int(v),
         }
@@ -408,9 +410,9 @@ impl Sample {
     pub fn float(family: &'static str, kind: &'static str, help: &'static str, v: f64) -> Self {
         Self {
             name: family.to_string(),
-            family,
+            family: Cow::Borrowed(family),
             kind,
-            help,
+            help: Cow::Borrowed(help),
             labels: String::new(),
             value: SampleValue::Float(v),
         }
@@ -453,8 +455,10 @@ fn format_f64(v: f64) -> String {
 
 /// Appends the full exposition of one histogram family: cumulative
 /// `_bucket{le=…}` lines, `_sum`, `_count`, and derived `_p50`/`_p95`/
-/// `_p99` gauges (distinct family names, so they do not collide with the
-/// histogram itself).
+/// `_p99` gauges. Each percentile is its own gauge *family*
+/// (`{family}_p50`, …) with its own HELP/TYPE header — strict
+/// OpenMetrics parsers reject unexpected suffixed series inside a
+/// histogram block.
 pub fn push_histogram(
     out: &mut Vec<Sample>,
     family: &'static str,
@@ -481,35 +485,36 @@ pub fn push_histogram(
         };
         out.push(Sample {
             name: format!("{family}_bucket"),
-            family,
+            family: Cow::Borrowed(family),
             kind: "histogram",
-            help,
+            help: Cow::Borrowed(help),
             labels: join(format!("le=\"{le}\"")),
             value: SampleValue::Int(cum),
         });
     }
     out.push(Sample {
         name: format!("{family}_sum"),
-        family,
+        family: Cow::Borrowed(family),
         kind: "histogram",
-        help,
+        help: Cow::Borrowed(help),
         labels: labels.to_string(),
         value: SampleValue::Int(snap.sum),
     });
     out.push(Sample {
         name: format!("{family}_count"),
-        family,
+        family: Cow::Borrowed(family),
         kind: "histogram",
-        help,
+        help: Cow::Borrowed(help),
         labels: labels.to_string(),
         value: SampleValue::Int(snap.count()),
     });
     for (suffix, q) in [("p50", 0.50), ("p95", 0.95), ("p99", 0.99)] {
+        let name = format!("{family}_{suffix}");
         out.push(Sample {
-            name: format!("{family}_{suffix}"),
-            family,
-            kind: "histogram",
-            help,
+            family: Cow::Owned(name.clone()),
+            name,
+            kind: "gauge",
+            help: Cow::Owned(format!("Derived {suffix} of {family}")),
             labels: labels.to_string(),
             value: SampleValue::Float(snap.percentile(q)),
         });
@@ -529,9 +534,9 @@ pub fn gather() -> Vec<Sample> {
         }
         out.push(Sample {
             name: "icdb_requests_total".to_string(),
-            family: "icdb_requests_total",
+            family: Cow::Borrowed("icdb_requests_total"),
             kind: "counter",
-            help: "Requests dispatched, by command",
+            help: Cow::Borrowed("Requests dispatched, by command"),
             labels: format!("command=\"{name}\""),
             value: SampleValue::Int(n),
         });
@@ -551,9 +556,9 @@ pub fn gather() -> Vec<Sample> {
         let code = ERROR_CODES.get(i).copied().unwrap_or("other");
         out.push(Sample {
             name: "icdb_request_errors_total".to_string(),
-            family: "icdb_request_errors_total",
+            family: Cow::Borrowed("icdb_request_errors_total"),
             kind: "counter",
-            help: "Requests answered with an ERR line, by code",
+            help: Cow::Borrowed("Requests answered with an ERR line, by code"),
             labels: format!("code=\"{code}\""),
             value: SampleValue::Int(n),
         });
@@ -649,14 +654,14 @@ pub fn render_prometheus(samples: &[Sample]) -> String {
     let mut out = String::with_capacity(samples.len() * 48);
     let mut seen: Vec<&str> = Vec::new();
     for s in samples {
-        if !seen.contains(&s.family) {
-            seen.push(s.family);
+        if !seen.contains(&s.family.as_ref()) {
+            seen.push(s.family.as_ref());
             out.push_str("# HELP ");
-            out.push_str(s.family);
+            out.push_str(&s.family);
             out.push(' ');
-            out.push_str(s.help);
+            out.push_str(&s.help);
             out.push_str("\n# TYPE ");
-            out.push_str(s.family);
+            out.push_str(&s.family);
             out.push(' ');
             out.push_str(s.kind);
             out.push('\n');
@@ -781,7 +786,11 @@ mod tests {
         assert_eq!(last, 2);
         assert!(buckets.last().unwrap().labels.contains("le=\"+Inf\""));
         assert!(buckets[0].labels.starts_with("command=\"x\","));
-        assert!(out.iter().any(|s| s.name == "t_us_p99"));
+        // Percentiles are their own gauge families, not extra series
+        // inside the histogram block.
+        let p99 = out.iter().find(|s| s.name == "t_us_p99").expect("p99");
+        assert_eq!(p99.kind, "gauge");
+        assert_eq!(p99.family, "t_us_p99");
     }
 
     #[test]

@@ -299,16 +299,23 @@ impl HttpConn {
 
     /// Reacts to one readiness report; `true` means deregister + drop.
     fn handle(&mut self, events: u32, epfd: i32, service: &Arc<IcdbService>) -> bool {
-        self.last_active = Instant::now();
         if events & EPOLLERR != 0 {
             return true;
         }
+        let mut progressed = false;
         if events & (EPOLLIN | EPOLLRDHUP | EPOLLHUP) != 0 && !self.responded {
+            let mut eof = false;
             let mut chunk = [0u8; 4 * 1024];
             loop {
                 match self.stream.read(&mut chunk) {
-                    Ok(0) => break,
-                    Ok(n) => self.rbuf.extend_from_slice(&chunk[..n]),
+                    Ok(0) => {
+                        eof = true;
+                        break;
+                    }
+                    Ok(n) => {
+                        self.rbuf.extend_from_slice(&chunk[..n]);
+                        progressed = true;
+                    }
                     Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
                     Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
                     Err(_) => return true,
@@ -323,13 +330,27 @@ impl HttpConn {
                 self.responded = true;
             } else if self.rbuf.len() > HTTP_MAX_HEAD {
                 return true;
+            } else if eof {
+                // The peer closed (or half-closed) with the head still
+                // incomplete: no response can ever be produced, and with
+                // level-triggered epoll the readiness would re-fire
+                // forever — drop now. (LB/k8s connect-then-close health
+                // probes land exactly here.)
+                return true;
             }
         }
+        let flushed_from = self.wpos;
         if self.flush().is_err() {
             return true;
         }
+        progressed |= self.wpos != flushed_from;
         if self.responded && self.wpos == self.wbuf.len() {
             return true;
+        }
+        // Only a wakeup that made progress defers the idle sweep, so a
+        // peer holding a stuck connection open still gets reaped.
+        if progressed {
+            self.last_active = Instant::now();
         }
         let pending = self.wpos < self.wbuf.len();
         if pending != self.armed_out {

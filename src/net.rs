@@ -70,7 +70,7 @@ use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Default TCP port of `icdbd`.
 pub const DEFAULT_PORT: u16 = 7433;
@@ -1104,13 +1104,25 @@ fn serve_metrics_blocking(
             continue;
         }
         // Drain the header block so the peer never sees a reset with an
-        // unread request body in flight.
+        // unread request body in flight. The drain is bounded two ways —
+        // total head bytes (mirroring the epoll path's HTTP_MAX_HEAD)
+        // and an overall deadline — so a peer dripping one header line
+        // per read-timeout window cannot hold the single acceptor
+        // thread indefinitely.
+        const DRAIN_MAX_BYTES: usize = 8 * 1024;
+        let deadline = Instant::now() + Duration::from_millis(2_000);
+        let mut drained = request_line.len();
         loop {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() || drained > DRAIN_MAX_BYTES {
+                break;
+            }
+            let _ = stream.set_read_timeout(Some(remaining));
             let mut header = String::new();
             match reader.read_line(&mut header) {
                 Ok(0) => break,
                 Ok(_) if header == "\r\n" || header == "\n" => break,
-                Ok(_) => {}
+                Ok(n) => drained += n,
                 Err(_) => break,
             }
         }

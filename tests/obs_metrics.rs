@@ -150,6 +150,77 @@ fn query_str(client: &mut IcdbClient, command: &str) -> String {
     }
 }
 
+/// Process-wide CPU ticks (utime + stime) of a pid, from `/proc`.
+#[cfg(target_os = "linux")]
+fn proc_cpu_ticks(pid: u32) -> u64 {
+    let stat = std::fs::read_to_string(format!("/proc/{pid}/stat")).expect("read /proc stat");
+    // Skip past `pid (comm)` — comm may contain spaces, so split at the
+    // last `)`; utime/stime are stat(5) fields 14/15, i.e. 11/12 of the
+    // remainder (which starts at field 3, the state).
+    let fields: Vec<&str> = stat.rsplit_once(')').expect("comm").1.split_whitespace().collect();
+    fields[11].parse::<u64>().expect("utime") + fields[12].parse::<u64>().expect("stime")
+}
+
+/// Regression: a metrics-port peer that connects and closes — or
+/// half-closes with a partial request head — must be dropped, not left
+/// registered. A leaked conn under level-triggered epoll makes worker 0
+/// busy-spin at 100% CPU and leaks the fd, and routine LB/k8s health
+/// probes do exactly this.
+#[test]
+fn metrics_probe_connections_are_dropped_not_leaked() {
+    let dir = temp_dir("probe");
+    let port = free_port();
+    let mport = free_port();
+    let maddr = format!("127.0.0.1:{mport}");
+    let daemon = spawn_icdbd(port, &dir, &["--metrics-addr", &maddr]);
+    // The metrics listener may come up a beat after the CQL one.
+    let deadline = Instant::now() + Duration::from_secs(15);
+    loop {
+        if TcpStream::connect(("127.0.0.1", mport)).is_ok() {
+            break;
+        }
+        assert!(Instant::now() < deadline, "metrics listener did not come up");
+        std::thread::sleep(Duration::from_millis(50));
+    }
+
+    // k8s-style probes: connect, then close without sending a byte.
+    for _ in 0..8 {
+        drop(TcpStream::connect(("127.0.0.1", mport)).expect("probe connect"));
+    }
+    // Half-close with an incomplete head: the server can never produce
+    // a response, so it must close its side rather than keep the conn.
+    let mut probe = TcpStream::connect(("127.0.0.1", mport)).expect("half-close connect");
+    probe.write_all(b"GET /met").expect("partial head");
+    probe
+        .shutdown(std::net::Shutdown::Write)
+        .expect("half-close");
+    probe
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .expect("timeout");
+    let mut sink = Vec::new();
+    probe
+        .read_to_end(&mut sink)
+        .expect("server must close a half-closed probe, not hold it open");
+
+    // The probes must not leave a worker busy-spinning on a leaked conn.
+    #[cfg(target_os = "linux")]
+    {
+        let pid = daemon.0.as_ref().expect("child").id();
+        let before = proc_cpu_ticks(pid);
+        std::thread::sleep(Duration::from_millis(2_500));
+        let delta = proc_cpu_ticks(pid) - before;
+        assert!(
+            delta < 100,
+            "idle daemon burned {delta} CPU ticks in 2.5s after probes — leaked conn spinning?"
+        );
+    }
+    let _ = &daemon;
+
+    // And the endpoint still answers real scrapes.
+    let body = scrape(mport);
+    assert!(body.contains("# TYPE icdb_connections gauge"));
+}
+
 // ------------------------------------------------ surfaces must agree
 
 /// Concurrent load against a real daemon, then every observability
