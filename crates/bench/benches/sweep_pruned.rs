@@ -1,0 +1,163 @@
+//! Perf claim of the persistent exploration corpus: a repeat sweep on a
+//! corpus-warm durable server skips ≥30% of grid-point evaluations (in
+//! practice all of them) while returning a **byte-identical** report —
+//! and the corpus survives a restart, so the *first* repeat sweep of a
+//! reopened server is already corpus-warm.
+//!
+//! Besides the criterion groups, `main` runs an explicit measurement
+//! pass and writes `BENCH_sweep_pruned.json` next to this crate's
+//! manifest; `perfgate` enforces the points-evaluated reduction floor
+//! committed in `BENCH_baseline.json`. Every timed sweep clears the
+//! generation cache first, so the measured win comes from the corpus,
+//! not the result-layer LRU.
+
+use criterion::{black_box, Criterion};
+use icdb::{ExploreSpec, Icdb};
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+/// Same acceptance-criteria grid as `explore_sweep`: every counter
+/// implementation (≥3) × three bit-widths × both sizing strategies.
+fn sweep_spec() -> ExploreSpec {
+    let workers = std::thread::available_parallelism().map_or(1, |n| n.get());
+    ExploreSpec::by_component("counter")
+        .widths([3, 4, 5])
+        .strategies(["cheapest", "fastest"])
+        .workers(workers)
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "icdb-bench-sweep-pruned-{tag}-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn bench_unpruned_vs_pruned(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sweep_pruned");
+    group.sample_size(10);
+    let spec = sweep_spec();
+
+    let dir = temp_dir("criterion");
+    let mut icdb = Icdb::open_with_sync(&dir, false).unwrap();
+    group.bench_function("unpruned", |b| {
+        b.iter(|| {
+            icdb.clear_generation_cache();
+            black_box(icdb.explore(&spec.clone().prune(false)).unwrap())
+        })
+    });
+    // Warm the corpus, then measure the pruned repeat sweep.
+    icdb.explore(&spec).unwrap();
+    icdb.flush_corpus().unwrap();
+    group.bench_function("pruned", |b| {
+        b.iter(|| {
+            icdb.clear_generation_cache();
+            black_box(icdb.explore(&spec).unwrap())
+        })
+    });
+    group.finish();
+    drop(icdb);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+fn median(mut samples: Vec<Duration>) -> Duration {
+    samples.sort();
+    samples[samples.len() / 2]
+}
+
+/// Explicit measurement pass feeding the JSON artifact and the verdict
+/// printed at the end of the run.
+fn measure_summary() -> String {
+    let spec = sweep_spec();
+    let dir = temp_dir("measure");
+    let mut icdb = Icdb::open_with_sync(&dir, false).unwrap();
+
+    // Unpruned reference sweeps: every grid point evaluated, every time.
+    let mut cold_evaluated = 0usize;
+    let cold = median(
+        (0..5)
+            .map(|_| {
+                icdb.clear_generation_cache();
+                let t = Instant::now();
+                let (report, stats) = icdb.explore_with_stats(&spec.clone().prune(false)).unwrap();
+                black_box(report);
+                cold_evaluated = stats.evaluated;
+                t.elapsed()
+            })
+            .collect(),
+    );
+    let reference = icdb.explore(&spec.clone().prune(false)).unwrap();
+    assert!(cold_evaluated > 0, "the reference sweep evaluates the grid");
+
+    // Journal the corpus, then measure the pruned repeat sweep — cache
+    // cleared each run, so the corpus alone answers the grid.
+    icdb.flush_corpus().unwrap();
+    icdb.sync_journal().unwrap();
+    let mut pruned_evaluated = usize::MAX;
+    let pruned = median(
+        (0..25)
+            .map(|_| {
+                icdb.clear_generation_cache();
+                let t = Instant::now();
+                let (report, stats) = icdb.explore_with_stats(&spec).unwrap();
+                let elapsed = t.elapsed();
+                assert_eq!(report, reference, "pruned report must be byte-identical");
+                pruned_evaluated = stats.evaluated;
+                elapsed
+            })
+            .collect(),
+    );
+    #[allow(clippy::cast_precision_loss)]
+    let reduction = (cold_evaluated - pruned_evaluated) as f64 / cold_evaluated as f64 * 100.0;
+
+    // Restart: the corpus recovers from the journal, so the *first*
+    // repeat sweep of the reopened server is already pruned.
+    drop(icdb);
+    let reopened = Icdb::open_with_sync(&dir, false).unwrap();
+    let (restart_report, restart_stats) = reopened.explore_with_stats(&spec).unwrap();
+    assert_eq!(
+        restart_report, reference,
+        "the restarted sweep must be byte-identical too"
+    );
+    #[allow(clippy::cast_precision_loss)]
+    let restart_reduction =
+        (cold_evaluated - restart_stats.evaluated) as f64 / cold_evaluated as f64 * 100.0;
+    drop(reopened);
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let speedup = cold.as_nanos() as f64 / pruned.as_nanos().max(1) as f64;
+    println!(
+        "sweep_pruned: grid {cold_evaluated} -> {pruned_evaluated} evaluated \
+         (reduction {reduction:.0}%, after restart {restart_reduction:.0}%): \
+         unpruned {cold:?} pruned {pruned:?} speedup {speedup:.0}x \
+         (target >=30% reduction: {})",
+        if reduction >= 30.0 && restart_reduction >= 30.0 {
+            "PASS"
+        } else {
+            "FAIL"
+        }
+    );
+    format!(
+        "{{\n  \"bench\": \"sweep_pruned\",\n  \"sweep\": [\n    \
+         {{\"subject\": \"pruned\", \"grid\": {cold_evaluated}, \
+         \"evaluated\": {pruned_evaluated}, \"reduction\": {reduction:.1}, \
+         \"restart_reduction\": {restart_reduction:.1}, \"unpruned_ns\": {}, \
+         \"pruned_ns\": {}, \"speedup\": {speedup:.1}}}\n  ]\n}}\n",
+        cold.as_nanos(),
+        pruned.as_nanos()
+    )
+}
+
+fn main() {
+    let mut criterion = Criterion::default().configure_from_args();
+    bench_unpruned_vs_pruned(&mut criterion);
+
+    let json = measure_summary();
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_sweep_pruned.json");
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("sweep_pruned: wrote {path}"),
+        Err(e) => eprintln!("sweep_pruned: could not write {path}: {e}"),
+    }
+}

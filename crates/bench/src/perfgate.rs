@@ -32,7 +32,8 @@ pub const DEFAULT_TOLERANCE: f64 = 0.25;
 pub const BASELINE_HEADROOM: f64 = 0.8;
 
 /// The gated metrics: `(bench, subject, metric)`. All are
-/// higher-is-better speedup ratios. `subject` is matched against a
+/// higher-is-better (cold÷warm speedups, throughputs, or the corpus
+/// points-evaluated `reduction` percentage). `subject` is matched against a
 /// `"component"`/`"subject"` field, or parsed as `key=value` and matched
 /// against a numeric field of that name (e.g. `sessions=8`).
 pub const GATE_SPECS: &[(&str, &str, &str)] = &[
@@ -43,6 +44,7 @@ pub const GATE_SPECS: &[(&str, &str, &str)] = &[
     ("service_concurrency", "sessions=8", "speedup"),
     ("service_concurrency", "sessions=64", "speedup"),
     ("explore_sweep", "sweep", "speedup"),
+    ("sweep_pruned", "pruned", "reduction"),
     ("wal_replay", "replay", "events_per_sec"),
     ("wal_replay", "snapshot", "speedup"),
     ("metrics_overhead", "wire", "requests_per_sec"),
@@ -235,7 +237,8 @@ pub fn render_baseline(artifacts: &[Json]) -> String {
     format!(
         "{{\n  \"note\": \"Perf-regression floors (speedup ratios, measured value x {BASELINE_HEADROOM} \
          headroom). Refresh: cargo bench --bench gen_cached_throughput --bench service_concurrency \
-         --bench explore_sweep --bench wal_replay && cargo run -p icdb-bench --bin perfgate -- --write-baseline\",\n  \
+         --bench explore_sweep --bench sweep_pruned --bench wal_replay && cargo run -p icdb-bench \
+         --bin perfgate -- --write-baseline\",\n  \
          \"tolerance\": {DEFAULT_TOLERANCE},\n  \"gates\": [\n{gates}\n  ]\n}}\n"
     )
 }

@@ -35,6 +35,7 @@ use icdb_estimate::{DelayReport, LoadSpec, ShapeFunction};
 use icdb_genus::ConnectionTable;
 use icdb_iif::FlatModule;
 use icdb_logic::{GateNetlist, MapObjective, SynthOptions};
+use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::hash::Hash;
 use std::sync::{Arc, Mutex, PoisonError};
@@ -104,14 +105,25 @@ impl GenerationPayload {
 // ------------------------------------------------------------------- keys
 
 /// Bit-exact, hashable stand-in for an `f64` constraint value.
+///
+/// Canonicalized so the corpus similarity distance is deterministic:
+/// every NaN payload collapses to the single quiet-NaN pattern, and
+/// `-0.0` collapses to `+0.0` (they compare equal as constraints, so
+/// they must key — and order — identically).
 fn bits(v: f64) -> u64 {
+    if v.is_nan() {
+        return f64::NAN.to_bits();
+    }
+    if v == 0.0 {
+        return 0.0f64.to_bits();
+    }
     v.to_bits()
 }
 
 /// What the request generates *from*, after resolution: the canonical
 /// implementation name for library requests, or the full inline IIF text.
 /// VHDL clusters are never cached (they depend on live instance state).
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub enum SourceKey {
     /// A resolved generic-library implementation, by exact stored name.
     Implementation(String),
@@ -188,7 +200,7 @@ impl NetKey {
 /// them affect the cached payload; they are applied per instance after it
 /// is installed (so a logic-level request warms the later layout-level
 /// one).
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct RequestKey {
     source: SourceKey,
     params: Vec<(String, i64)>,
@@ -253,6 +265,47 @@ impl RequestKey {
             params: self.params.clone(),
             library_version: self.library_version,
         }
+    }
+
+    /// Resolved implementation name, when the source is a library
+    /// implementation (inline-IIF sources have none).
+    pub fn implementation(&self) -> Option<&str> {
+        match &self.source {
+            SourceKey::Implementation(name) => Some(name),
+            SourceKey::Iif(_) => None,
+        }
+    }
+
+    /// Canonically sorted bound parameters.
+    pub fn params(&self) -> &[(String, i64)] {
+        &self.params
+    }
+
+    /// Value of the width-like `size` parameter, if bound.
+    pub fn width(&self) -> Option<i64> {
+        self.params
+            .iter()
+            .find(|(name, _)| name == "size")
+            .map(|(_, v)| *v)
+    }
+
+    /// Whether the request resolved to fastest-sizing strategy.
+    pub fn is_fastest(&self) -> bool {
+        self.fastest
+    }
+
+    /// Whether any explicit timing/load constraint is part of the key.
+    pub fn has_constraints(&self) -> bool {
+        self.clock_width.is_some()
+            || self.comb_delay.is_some()
+            || self.set_up_time.is_some()
+            || !self.rdelay.is_empty()
+            || !self.oload.is_empty()
+    }
+
+    /// (knowledge-base version, cell-library version) the key binds to.
+    pub fn versions(&self) -> (u64, u64) {
+        (self.library_version, self.cells_version)
     }
 }
 
@@ -586,5 +639,70 @@ mod tests {
         // request warms the layout-level one.
         let layout = ComponentRequest::by_component("counter").layout();
         assert_eq!(key(&base), key(&layout));
+    }
+
+    #[test]
+    fn float_constraints_canonicalize_nan_and_signed_zero() {
+        // All NaN payloads collapse to one bit pattern; -0.0 keys as +0.0.
+        assert_eq!(bits(f64::NAN), bits(-f64::NAN));
+        assert_eq!(bits(f64::NAN), bits(f64::from_bits(0x7ff8_dead_beef_0001)));
+        assert_eq!(bits(-0.0), bits(0.0));
+        assert_ne!(bits(0.0), bits(1.0));
+
+        let params = vec![("size".to_string(), 5)];
+        let src = || SourceKey::Implementation("COUNTER".into());
+        let key = |req: &ComponentRequest| RequestKey::new(src(), &params, req, 0, 0);
+        let pos = ComponentRequest::by_component("counter").clock_width(0.0);
+        let neg = ComponentRequest::by_component("counter").clock_width(-0.0);
+        assert_eq!(key(&pos), key(&neg), "-0.0 and +0.0 must share a key");
+        let nan_a = ComponentRequest::by_component("counter").clock_width(f64::NAN);
+        let nan_b = ComponentRequest::by_component("counter").clock_width(-f64::NAN);
+        assert_eq!(key(&nan_a), key(&nan_b), "all NaNs must share a key");
+    }
+
+    #[test]
+    fn request_key_ordering_is_total_and_deterministic() {
+        // The corpus stores keys in serialized-byte order; `Ord` on the key
+        // itself must agree with itself run-to-run and sort width-adjacent
+        // requests of one implementation next to each other.
+        let req = ComponentRequest::by_component("counter");
+        let src = || SourceKey::Implementation("COUNTER".into());
+        let key_at = |w: i64| RequestKey::new(src(), &[("size".to_string(), w)], &req, 0, 0);
+        let mut keys = vec![key_at(5), key_at(3), key_at(4), key_at(3)];
+        keys.sort();
+        let widths: Vec<Option<i64>> = keys.iter().map(|k| k.width()).collect();
+        assert_eq!(widths, vec![Some(3), Some(3), Some(4), Some(5)]);
+        // Sorting is stable across repeated runs: sorting again is a no-op.
+        let again = {
+            let mut k = keys.clone();
+            k.sort();
+            k
+        };
+        assert_eq!(keys, again);
+        // Accessors expose the canonical fields the similarity layer uses.
+        assert_eq!(keys[0].implementation(), Some("COUNTER"));
+        assert!(!keys[0].is_fastest());
+        assert!(!keys[0].has_constraints());
+        assert_eq!(keys[0].versions(), (0, 0));
+    }
+
+    #[test]
+    fn request_key_round_trips_through_serde() {
+        let req = ComponentRequest::by_component("counter")
+            .strategy("fastest")
+            .clock_width(30.0);
+        let key = RequestKey::new(
+            SourceKey::Implementation("COUNTER".into()),
+            &[("size".to_string(), 7)],
+            &req,
+            2,
+            3,
+        );
+        let bytes = serde::to_bytes(&key);
+        let back: RequestKey = serde::from_bytes(&bytes).expect("key decodes");
+        assert_eq!(key, back);
+        // Byte-equality of serialized keys is the corpus exact-match test:
+        // equal keys must serialize identically.
+        assert_eq!(bytes, serde::to_bytes(&back));
     }
 }

@@ -1,0 +1,491 @@
+//! The core-side exploration corpus: durable store + similarity layer +
+//! the journaled flush path.
+//!
+//! Architecture (mirrors the generation cache's position in the system):
+//!
+//! * [`CorpusState`] wraps the serde-round-trippable
+//!   [`icdb_store::corpus::CorpusStore`] behind a mutex, plus a *pending*
+//!   queue and lifetime counters. It hangs off [`Icdb`] as an `Arc`, and
+//!   the service's epoch snapshots (`Icdb::read_snapshot`) share the same
+//!   `Arc` — so lock-free epoch sweeps read the live corpus and queue
+//!   newly evaluated points into the shared pending list.
+//! * Durability goes through the one mutation choke point: draining the
+//!   pending queue emits a single `MutationEvent::RecordCorpus`, which the
+//!   apply path folds into the store. SIGKILL recovery and WAL-shipping
+//!   replication therefore reconstruct the corpus for free, and a primary
+//!   and its followers answer `corpus` queries byte-identically.
+//! * The similarity layer is a small, deterministic distance over
+//!   canonicalized request keys: same implementation required, adjacent
+//!   widths near, strategy and constraint mismatches penalized, and
+//!   knowledge-base / cell-library version mismatches *advisory* (a
+//!   penalty, never a filter — but also never grounds for exact reuse).
+//!
+//! Exactness invariant: the corpus is keyed by the **serialized canonical
+//! [`RequestKey`]**, which embeds both library versions. A byte-equal key
+//! therefore proves the stored point was produced from identical inputs,
+//! which is what lets pruned sweeps reconstruct a byte-identical
+//! `ExplorationReport` (see `explore.rs`).
+
+use crate::cache::RequestKey;
+use crate::error::IcdbError;
+use crate::events::MutationEvent;
+use crate::space::NsId;
+use crate::spec::ComponentRequest;
+use crate::Icdb;
+pub use icdb_store::corpus::{CorpusPoint, CorpusStore};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// How many of the most recent version-fresh corpus points a restarted
+/// server replays to warm the generation cache ([`Icdb::open`]).
+pub const WARM_START_POINTS: usize = 16;
+
+/// Lifetime counters of the corpus, plus its resident size.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CorpusStats {
+    /// Points currently resident in the durable store.
+    pub entries: usize,
+    /// Exact-key lookups answered from the corpus.
+    pub hits: u64,
+    /// Exact-key lookups that fell through.
+    pub misses: u64,
+    /// Sweep grid points whose evaluation was skipped thanks to the
+    /// corpus (exact reuse or predicted-dominated).
+    pub pruned: u64,
+}
+
+/// Shared corpus state: the durable store, the not-yet-journaled pending
+/// queue, and lifetime counters. Internally synchronized so epoch
+/// snapshots can share it by `Arc`.
+#[derive(Debug, Default)]
+pub struct CorpusState {
+    store: Mutex<CorpusStore>,
+    pending: Mutex<Vec<(Vec<u8>, CorpusPoint)>>,
+    /// Canonical keys already sitting in `pending` — checked *before*
+    /// serializing a key or building a `CorpusPoint`, so repeated warm
+    /// sweeps on a never-flushed server stay cheap.
+    queued: Mutex<std::collections::HashSet<RequestKey>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    pruned: AtomicU64,
+}
+
+impl CorpusState {
+    /// A deep copy with an empty pending queue — used by `Icdb`'s manual
+    /// `Clone` (a clone is an in-memory fork, so sharing the queue would
+    /// leak one fork's unflushed points into the other's journal).
+    pub(crate) fn deep_clone(&self) -> CorpusState {
+        CorpusState {
+            store: Mutex::new(self.export()),
+            pending: Mutex::new(Vec::new()),
+            queued: Mutex::new(std::collections::HashSet::new()),
+            hits: AtomicU64::new(self.hits.load(Ordering::Relaxed)),
+            misses: AtomicU64::new(self.misses.load(Ordering::Relaxed)),
+            pruned: AtomicU64::new(self.pruned.load(Ordering::Relaxed)),
+        }
+    }
+
+    /// Whether the durable store holds no points (one lock per sweep, not
+    /// per grid point — the sweep uses this to skip per-point lookups).
+    pub(crate) fn is_store_empty(&self) -> bool {
+        crate::cache::lock(&self.store).is_empty()
+    }
+
+    /// Clone of the durable store (snapshot capture, `corpus` queries).
+    pub(crate) fn export(&self) -> CorpusStore {
+        crate::cache::lock(&self.store).clone()
+    }
+
+    /// Replaces the durable store wholesale (snapshot restore).
+    pub(crate) fn import(&self, store: CorpusStore) {
+        *crate::cache::lock(&self.store) = store;
+    }
+
+    /// Exact-key lookup, counting a hit or miss. A hit is automatically
+    /// version-exact because the key bytes embed both library versions.
+    pub(crate) fn lookup(&self, key: &[u8]) -> Option<CorpusPoint> {
+        let found = crate::cache::lock(&self.store).get(key).cloned();
+        match found {
+            Some(p) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(p)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Whether `rkey`'s point is already awaiting a flush. Callers check
+    /// this before paying for key serialization and `CorpusPoint`
+    /// construction — the reason this is keyed by the unserialized
+    /// [`RequestKey`] (which embeds both library versions, so a version
+    /// bump naturally invalidates the check).
+    pub(crate) fn already_queued(&self, rkey: &RequestKey) -> bool {
+        crate::cache::lock(&self.queued).contains(rkey)
+    }
+
+    /// Queues a freshly evaluated point for the next journaled flush.
+    /// Bounded: direct-API callers that sweep without ever flushing must
+    /// not grow the queue forever — excess points are dropped (they are
+    /// re-derivable by any later sweep).
+    pub(crate) fn queue(&self, rkey: RequestKey, key: Vec<u8>, point: CorpusPoint) {
+        const PENDING_CAP: usize = 65_536;
+        let mut pending = crate::cache::lock(&self.pending);
+        if pending.len() >= PENDING_CAP {
+            return;
+        }
+        crate::cache::lock(&self.queued).insert(rkey);
+        pending.push((key, point));
+    }
+
+    /// Whether any evaluated points await a journaled flush.
+    pub(crate) fn has_pending(&self) -> bool {
+        !crate::cache::lock(&self.pending).is_empty()
+    }
+
+    /// Drains the pending queue, deduplicating by key (last evaluation
+    /// wins) while preserving first-seen order.
+    pub(crate) fn take_pending(&self) -> Vec<(Vec<u8>, CorpusPoint)> {
+        let drained = std::mem::take(&mut *crate::cache::lock(&self.pending));
+        crate::cache::lock(&self.queued).clear();
+        let mut points: Vec<(Vec<u8>, CorpusPoint)> = Vec::with_capacity(drained.len());
+        for (key, point) in drained {
+            match points.iter_mut().find(|(k, _)| *k == key) {
+                Some(slot) => slot.1 = point,
+                None => points.push((key, point)),
+            }
+        }
+        points
+    }
+
+    /// Drops the pending queue. Followers and degraded primaries cannot
+    /// journal corpus rows; discarding bounds their memory (the rows are
+    /// re-derivable by any later sweep on a healthy primary).
+    pub(crate) fn discard_pending(&self) {
+        crate::cache::lock(&self.pending).clear();
+        crate::cache::lock(&self.queued).clear();
+    }
+
+    /// Counts grid points a sweep skipped thanks to the corpus.
+    pub(crate) fn note_pruned(&self, n: u64) {
+        self.pruned.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Counts lookups answered "miss" without touching the store — the
+    /// sweep's fast path when the store is known empty.
+    pub(crate) fn note_misses(&self, n: u64) {
+        self.misses.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The apply-side of `MutationEvent::RecordCorpus`: folds journaled
+    /// points into the durable store in event order (deterministic
+    /// sequence numbers under replay and replication).
+    pub(crate) fn apply_record(&self, points: &[(Vec<u8>, CorpusPoint)]) {
+        let mut store = crate::cache::lock(&self.store);
+        for (key, point) in points {
+            store.record(key.clone(), point.clone());
+        }
+    }
+
+    /// Resident size + lifetime counters.
+    pub(crate) fn stats(&self) -> CorpusStats {
+        CorpusStats {
+            entries: crate::cache::lock(&self.store).len(),
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            pruned: self.pruned.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The `k` nearest stored points to `probe`, by the advisory
+    /// similarity distance; ties broken by recency (newest first) so the
+    /// ranking is total and deterministic.
+    pub(crate) fn neighbors(&self, probe: &Probe, k: usize) -> Vec<(f64, CorpusPoint)> {
+        let store = crate::cache::lock(&self.store);
+        let mut near: Vec<(f64, CorpusPoint)> = store
+            .iter()
+            .filter_map(|(_, p)| point_distance(p, probe).map(|d| (d, p.clone())))
+            .collect();
+        near.sort_by(|(da, pa), (db, pb)| da.total_cmp(db).then_with(|| pb.seq.cmp(&pa.seq)));
+        near.truncate(k);
+        near
+    }
+}
+
+// ----------------------------------------------------------- similarity
+
+/// What a similarity probe asks for, extracted from a canonical
+/// [`RequestKey`] (or described directly by a `corpus near:` query).
+#[derive(Debug, Clone)]
+pub(crate) struct Probe {
+    /// Resolved implementation name (similarity never crosses
+    /// implementations).
+    pub implementation: String,
+    /// Width-like `size` parameter, when bound.
+    pub width: Option<i64>,
+    /// Fastest-sizing strategy?
+    pub fastest: bool,
+    /// Any explicit timing/load constraint present?
+    pub constrained: bool,
+    /// Knowledge-base version the probe resolves against.
+    pub library_version: u64,
+    /// Cell-library version the probe resolves against.
+    pub cells_version: u64,
+}
+
+impl Probe {
+    /// Extracts a probe from a canonical key. `None` for inline-IIF keys
+    /// (the corpus only stores library-implementation points).
+    pub(crate) fn from_key(key: &RequestKey) -> Option<Probe> {
+        let implementation = key.implementation()?.to_string();
+        let (library_version, cells_version) = key.versions();
+        Some(Probe {
+            implementation,
+            width: key.width(),
+            fastest: key.is_fastest(),
+            constrained: key.has_constraints(),
+            library_version,
+            cells_version,
+        })
+    }
+}
+
+/// Advisory similarity distance between a stored point and a probe.
+/// `None` when the point can never stand in for the probe (different
+/// implementation). Smaller is closer; the exact-match case is distance 0
+/// only when strategy, constraints and versions all line up — but version
+/// mismatches only *add distance*, they never filter a neighbor out.
+pub(crate) fn point_distance(point: &CorpusPoint, probe: &Probe) -> Option<f64> {
+    if point.implementation != probe.implementation {
+        return None;
+    }
+    let point_width = (point.width >= 0).then_some(point.width);
+    let mut d = match (point_width, probe.width) {
+        (Some(a), Some(b)) => (a - b).unsigned_abs() as f64,
+        (None, None) => 0.0,
+        // One side widthless: farther than any adjacent width.
+        _ => 4.0,
+    };
+    if (point.strategy == "fastest") != probe.fastest {
+        d += 0.5;
+    }
+    if probe.constrained {
+        // Sweeps record spec-level (unconstrained) points; a constrained
+        // probe is asking for something subtly different.
+        d += 0.75;
+    }
+    if point.library_version != probe.library_version || point.cells_version != probe.cells_version
+    {
+        // Advisory: stale-version knowledge still ranks, just farther.
+        d += 0.25;
+    }
+    Some(d)
+}
+
+/// Predicted (area, delay, power) for a neighbor reused at `width`.
+/// Area and power scale ~linearly with datapath width; delay grows
+/// sub-linearly (carry/selection logic deepens slower than it widens).
+/// Heuristic by design — only ever used for *margin* pruning, never for
+/// the exactness mode.
+pub(crate) fn predict(point: &CorpusPoint, width: Option<i64>) -> [f64; 3] {
+    let ratio = match (point.width, width) {
+        (w0, Some(w1)) if w0 > 0 && w1 > 0 => w1 as f64 / w0 as f64,
+        _ => 1.0,
+    };
+    [
+        point.area * ratio,
+        point.delay * (1.0 + (ratio - 1.0) * 0.5),
+        point.power * ratio,
+    ]
+}
+
+// ------------------------------------------------------------ icdb api
+
+impl Icdb {
+    /// Resident size and lifetime hit/miss/pruned counters of the
+    /// exploration corpus.
+    pub fn corpus_stats(&self) -> CorpusStats {
+        self.corpus.stats()
+    }
+
+    /// Number of points resident in the durable corpus.
+    pub fn corpus_len(&self) -> usize {
+        self.corpus.stats().entries
+    }
+
+    /// Journals every pending evaluated design point as one
+    /// [`MutationEvent::RecordCorpus`], making the corpus durable (and,
+    /// on a replicating primary, shipping it to followers). A no-op when
+    /// nothing is pending. Returns how many distinct points were recorded.
+    ///
+    /// # Errors
+    /// Propagates journal failures; the drained points are lost in that
+    /// case (they are re-derivable by any later sweep).
+    pub fn flush_corpus(&mut self) -> Result<usize, IcdbError> {
+        let points = self.corpus.take_pending();
+        if points.is_empty() {
+            return Ok(0);
+        }
+        let n = points.len();
+        self.commit(&MutationEvent::RecordCorpus { points })?;
+        Ok(n)
+    }
+
+    /// Re-seeds the generation cache's result layer from the corpus: the
+    /// most recently recorded points whose knowledge-base / cell-library
+    /// versions match the live libraries have their original requests
+    /// replayed through the (cache-filling) prepare path. Called on
+    /// [`Icdb::open`] so a restarted daemon answers its first repeat
+    /// requests — and its first repeat sweep — warm. Returns how many
+    /// points were warmed; decode or generation failures skip the point.
+    pub(crate) fn warm_start_from_corpus(&self, limit: usize) -> usize {
+        let lib_version = self.library.version();
+        let cells_version = self.cells.version();
+        let requests: Vec<Vec<u8>> = {
+            let store = self.corpus.export();
+            store
+                .recent(usize::MAX)
+                .into_iter()
+                .filter(|p| p.library_version == lib_version && p.cells_version == cells_version)
+                .take(limit)
+                .map(|p| p.request.clone())
+                .collect()
+        };
+        let mut warmed = 0;
+        for bytes in requests {
+            let Ok(request) = serde::from_bytes::<ComponentRequest>(&bytes) else {
+                continue;
+            };
+            if self.prepare_payload(NsId::ROOT, &request).is_ok() {
+                warmed += 1;
+            }
+        }
+        warmed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stored(imp: &str, width: i64, strategy: &str, versions: (u64, u64)) -> CorpusPoint {
+        CorpusPoint {
+            implementation: imp.to_string(),
+            width,
+            params: vec![("size".to_string(), width)],
+            strategy: strategy.to_string(),
+            area: 100.0 * width as f64,
+            delay: 10.0,
+            power: 500.0,
+            gates: 30,
+            met: true,
+            library_version: versions.0,
+            cells_version: versions.1,
+            seq: 0,
+            request: Vec::new(),
+        }
+    }
+
+    fn probe(imp: &str, width: i64) -> Probe {
+        Probe {
+            implementation: imp.to_string(),
+            width: Some(width),
+            fastest: false,
+            constrained: false,
+            library_version: 1,
+            cells_version: 1,
+        }
+    }
+
+    #[test]
+    fn distance_requires_same_implementation() {
+        let p = probe("COUNTER", 4);
+        assert!(point_distance(&stored("ALU", 4, "cheapest", (1, 1)), &p).is_none());
+        assert_eq!(
+            point_distance(&stored("COUNTER", 4, "cheapest", (1, 1)), &p),
+            Some(0.0)
+        );
+    }
+
+    #[test]
+    fn distance_orders_width_then_strategy_then_versions() {
+        let p = probe("COUNTER", 4);
+        let exact = point_distance(&stored("COUNTER", 4, "cheapest", (1, 1)), &p).unwrap();
+        let adjacent = point_distance(&stored("COUNTER", 5, "cheapest", (1, 1)), &p).unwrap();
+        let strategy = point_distance(&stored("COUNTER", 4, "fastest", (1, 1)), &p).unwrap();
+        let stale = point_distance(&stored("COUNTER", 4, "cheapest", (0, 1)), &p).unwrap();
+        assert!(exact < stale, "version mismatch is advisory distance");
+        assert!(stale < strategy);
+        assert!(strategy < adjacent);
+        // Stale versions never filter a neighbor out — only push it away.
+        assert!(point_distance(&stored("COUNTER", 4, "cheapest", (0, 0)), &p).is_some());
+    }
+
+    #[test]
+    fn neighbors_are_ranked_deterministically() {
+        let state = CorpusState::default();
+        state.apply_record(&[
+            (vec![1], stored("COUNTER", 3, "cheapest", (1, 1))),
+            (vec![2], stored("COUNTER", 5, "cheapest", (1, 1))),
+            (vec![3], stored("COUNTER", 4, "fastest", (1, 1))),
+            (vec![4], stored("ALU", 4, "cheapest", (1, 1))),
+        ]);
+        let near = state.neighbors(&probe("COUNTER", 4), 2);
+        assert_eq!(near.len(), 2);
+        // fastest@4 (0.5) beats both width-adjacent points (1.0).
+        assert_eq!(near[0].1.strategy, "fastest");
+        // Width tie between 3 and 5 breaks by recency: 5 was recorded later.
+        assert_eq!(near[1].1.width, 5);
+        // Foreign implementations never appear.
+        assert!(near.iter().all(|(_, p)| p.implementation == "COUNTER"));
+    }
+
+    fn rkey(width: i64) -> RequestKey {
+        RequestKey::new(
+            crate::cache::SourceKey::Implementation("COUNTER".to_string()),
+            &[("size".to_string(), width)],
+            &ComponentRequest::by_implementation("COUNTER"),
+            1,
+            1,
+        )
+    }
+
+    #[test]
+    fn pending_queue_dedupes_last_wins_and_discards() {
+        let state = CorpusState::default();
+        let mut a = stored("COUNTER", 4, "cheapest", (1, 1));
+        assert!(!state.already_queued(&rkey(4)));
+        state.queue(rkey(4), vec![9], a.clone());
+        assert!(state.already_queued(&rkey(4)));
+        assert!(!state.already_queued(&rkey(3)));
+        a.area = 42.0;
+        state.queue(rkey(4), vec![9], a);
+        state.queue(rkey(3), vec![8], stored("COUNTER", 3, "cheapest", (1, 1)));
+        assert!(state.has_pending());
+        let drained = state.take_pending();
+        assert_eq!(drained.len(), 2);
+        assert_eq!(drained[0].0, vec![9]);
+        assert_eq!(drained[0].1.area, 42.0, "last evaluation wins");
+        assert!(!state.has_pending());
+        assert!(
+            !state.already_queued(&rkey(4)),
+            "draining clears the queued-key set"
+        );
+        state.queue(rkey(2), vec![7], stored("COUNTER", 2, "cheapest", (1, 1)));
+        state.discard_pending();
+        assert!(!state.has_pending());
+        assert!(!state.already_queued(&rkey(2)));
+    }
+
+    #[test]
+    fn prediction_scales_with_width() {
+        let p = stored("COUNTER", 4, "cheapest", (1, 1));
+        let [area, delay, power] = predict(&p, Some(8));
+        assert_eq!(area, p.area * 2.0);
+        assert_eq!(power, p.power * 2.0);
+        assert!(delay > p.delay && delay < p.delay * 2.0);
+        assert_eq!(predict(&p, None), [p.area, p.delay, p.power]);
+    }
+}

@@ -42,6 +42,7 @@ const READ_ONLY_COMMANDS: &[&str] = &[
     "tool_query",
     "cache_query",
     "explore",
+    "corpus",
     "persist",
     "metrics",
 ];
@@ -89,6 +90,7 @@ const KNOWLEDGE_ONLY_COMMANDS: &[&str] = &[
     "tool_query",
     "cache_query",
     "explore",
+    "corpus",
 ];
 
 /// Whether a raw CQL command string can be answered entirely from an
@@ -225,11 +227,21 @@ impl Icdb {
             }
             "explore" => {
                 // The exclusive path also mirrors the report into the
-                // relational `exploration` table; the shared-lock path
-                // only answers the query.
+                // relational `exploration` table and journals the sweep's
+                // fresh evaluations into the durable corpus; the
+                // shared-lock path only answers the query (its corpus
+                // recordings flush on the service's next exclusive pass).
                 let (report, resp) = self.exec_explore(ns, cmd)?;
                 self.publish_exploration(&report)?;
+                self.flush_corpus()?;
                 Ok(resp)
+            }
+            "corpus" => {
+                // The exclusive path folds any pending sweep recordings in
+                // first, so the answered counts include the latest sweep;
+                // the shared-lock path reads the durable store as-is.
+                self.flush_corpus()?;
+                self.exec_corpus(cmd)
             }
             "persist" => {
                 // `checkpoint:1` snapshots + rotates the WAL before
@@ -268,6 +280,7 @@ impl Icdb {
             "explore" => self
                 .exec_explore(ns, cmd)
                 .map(|(_, resp)| ReadDispatch::Done(resp)),
+            "corpus" => self.exec_corpus(cmd).map(ReadDispatch::Done),
             "persist"
                 if persist_wants_checkpoint(cmd)?
                     || persist_wants_clear_fault(cmd)?
@@ -768,6 +781,18 @@ impl Icdb {
         if cmd.has("publish") && cmd.int_term("publish").is_none() {
             return Err(IcdbError::Cql("explore publish: takes 0 or 1".to_string()));
         }
+        // And for the corpus-pruning dials: `prune:0` is the escape hatch
+        // that guarantees every grid point is evaluated, `prune_exact:0`
+        // opts into heuristic margin pruning — a typo must not silently
+        // flip either.
+        if cmd.has("prune") && cmd.int_term("prune").is_none() {
+            return Err(IcdbError::Cql("explore prune: takes 0 or 1".to_string()));
+        }
+        if cmd.has("prune_exact") && cmd.int_term("prune_exact").is_none() {
+            return Err(IcdbError::Cql(
+                "explore prune_exact: takes 0 or 1".to_string(),
+            ));
+        }
         if cmd.has("weights") && cmd.attrs_term("weights").is_none() {
             return Err(IcdbError::Cql(
                 "explore weights must be an attribute list like (area:1,delay:2,power:0)"
@@ -846,9 +871,11 @@ impl Icdb {
                 .int_term("workers")
                 .map(|w| w.max(0) as usize)
                 .unwrap_or(default_workers),
+            prune: cmd.int_term("prune").unwrap_or(1) != 0,
+            prune_exact: cmd.int_term("prune_exact").unwrap_or(1) != 0,
         };
 
-        let report = self.explore_in(ns, &spec)?;
+        let (report, stats) = self.explore_in_with_stats(ns, &spec)?;
         let winner_metric = |metric: &dyn Fn(&icdb_explore::DesignPoint) -> f64,
                              key: &str|
          -> Result<CqlValue, IcdbError> {
@@ -877,6 +904,10 @@ impl Icdb {
                 "table" | "report" => resp.set(key, CqlValue::Str(report.to_table())),
                 "points" => resp.set(key, CqlValue::Int(report.points.len() as i64)),
                 "front_size" => resp.set(key, CqlValue::Int(report.front.len() as i64)),
+                "evaluated" => resp.set(key, CqlValue::Int(stats.evaluated as i64)),
+                "pruned" => resp.set(key, CqlValue::Int(stats.pruned as i64)),
+                "corpus_hits" => resp.set(key, CqlValue::Int(stats.corpus_hits as i64)),
+                "corpus_misses" => resp.set(key, CqlValue::Int(stats.corpus_misses as i64)),
                 "area" => {
                     let v = winner_metric(&|p| p.area, key)?;
                     resp.set(key, v);
@@ -893,6 +924,131 @@ impl Icdb {
             }
         }
         Ok((report, resp))
+    }
+
+    /// `corpus`: read-only view of the durable exploration corpus.
+    /// Selectors `implementation:<name>`, `width:<n>` and
+    /// `strategy:<cheapest|fastest>` filter the stored points. Answerable
+    /// outputs: `entries:?d` (points matching the selectors),
+    /// `hits:?d`/`misses:?d`/`pruned:?d` (lifetime counters),
+    /// `list:?s[]` (one deterministic line per matching point, in
+    /// serialized-key order — byte-identical across a primary and its
+    /// converged followers), `near:?s[]` (the `k:` nearest neighbors of
+    /// the probe the selectors describe, distance-prefixed), and the
+    /// point metrics `area:?r`/`delay:?r`/`power:?r` when the selectors
+    /// match exactly one point.
+    fn exec_corpus(&self, cmd: &Command) -> Result<Response, IcdbError> {
+        let stats = self.corpus_stats();
+        let store = self.corpus.export();
+        let implementation = cmd.str_term("implementation").map(str::to_string);
+        let width = if cmd.has("width") {
+            Some(
+                cmd.int_term("width")
+                    .ok_or_else(|| IcdbError::Cql("corpus width: takes an integer".to_string()))?,
+            )
+        } else {
+            None
+        };
+        let strategy = cmd.str_term("strategy").map(str::to_string);
+        if let Some(s) = strategy.as_deref() {
+            if !["cheapest", "fastest"].contains(&s) {
+                return Err(IcdbError::Cql(format!(
+                    "corpus knows strategies cheapest/fastest, not `{s}`"
+                )));
+            }
+        }
+        let selected: Vec<&icdb_store::corpus::CorpusPoint> = store
+            .iter()
+            .map(|(_, p)| p)
+            .filter(|p| {
+                implementation
+                    .as_deref()
+                    .is_none_or(|i| p.implementation == i)
+            })
+            .filter(|p| width.is_none_or(|w| p.width == w))
+            .filter(|p| strategy.as_deref().is_none_or(|s| p.strategy == s))
+            .collect();
+        let render = |p: &icdb_store::corpus::CorpusPoint| -> String {
+            format!(
+                "{}/{}/{} area={:.3} delay={:.3} power={:.3} gates={} met={} \
+                 lib={} cells={} seq={}",
+                p.implementation,
+                p.width,
+                p.strategy,
+                p.area,
+                p.delay,
+                p.power,
+                p.gates,
+                i32::from(p.met),
+                p.library_version,
+                p.cells_version,
+                p.seq,
+            )
+        };
+        let exact_metric = |metric: &dyn Fn(&icdb_store::corpus::CorpusPoint) -> f64,
+                            key: &str|
+         -> Result<CqlValue, IcdbError> {
+            match selected.as_slice() {
+                [point] => Ok(CqlValue::Real(metric(point))),
+                [] => Err(IcdbError::NotFound(format!(
+                    "corpus `{key}`: no stored point matches the selectors"
+                ))),
+                many => Err(IcdbError::Cql(format!(
+                    "corpus `{key}`: selectors match {} points, need exactly one",
+                    many.len()
+                ))),
+            }
+        };
+        let mut resp = Response::new();
+        for key in cmd.pending_keys() {
+            match key {
+                "entries" => resp.set(key, CqlValue::Int(selected.len() as i64)),
+                "hits" => resp.set(key, CqlValue::Int(stats.hits as i64)),
+                "misses" => resp.set(key, CqlValue::Int(stats.misses as i64)),
+                "pruned" => resp.set(key, CqlValue::Int(stats.pruned as i64)),
+                "list" => resp.set(
+                    key,
+                    CqlValue::StrList(selected.iter().map(|p| render(p)).collect()),
+                ),
+                "near" => {
+                    let Some(implementation) = implementation.clone() else {
+                        return Err(IcdbError::Cql(
+                            "corpus near:?s[] needs implementation:<name>".to_string(),
+                        ));
+                    };
+                    let k = cmd.int_term("k").unwrap_or(5).max(0) as usize;
+                    let probe = crate::corpus::Probe {
+                        implementation,
+                        width,
+                        fastest: strategy.as_deref() == Some("fastest"),
+                        constrained: false,
+                        library_version: self.library.version(),
+                        cells_version: self.cells.version(),
+                    };
+                    let lines: Vec<String> = self
+                        .corpus
+                        .neighbors(&probe, k)
+                        .into_iter()
+                        .map(|(d, p)| format!("d={d:.2} {}", render(&p)))
+                        .collect();
+                    resp.set(key, CqlValue::StrList(lines));
+                }
+                "area" => {
+                    let v = exact_metric(&|p| p.area, key)?;
+                    resp.set(key, v);
+                }
+                "delay" => {
+                    let v = exact_metric(&|p| p.delay, key)?;
+                    resp.set(key, v);
+                }
+                "power" => {
+                    let v = exact_metric(&|p| p.power, key)?;
+                    resp.set(key, v);
+                }
+                other => return Err(IcdbError::Cql(format!("corpus cannot answer `{other}`"))),
+            }
+        }
+        Ok(resp)
     }
 
     /// `persist`: the durability layer's vitals. Answerable outputs:

@@ -158,6 +158,20 @@ pub enum MutationEvent {
         /// The new rows, in insertion order.
         rows: Vec<Vec<Value>>,
     },
+    /// Fold freshly evaluated exploration design points into the durable
+    /// corpus (see [`crate::corpus`]). Keys are serialized canonical
+    /// [`crate::RequestKey`]s; the points carry the computed metrics
+    /// because sweeps read *volatile* cache state — journaling the results
+    /// (like [`MutationEvent::PublishTable`]) keeps replay exact without
+    /// re-running any generation.
+    ///
+    /// New variants must append here: the WAL encodes the enum tag by
+    /// variant order.
+    RecordCorpus {
+        /// (serialized request key, evaluated point) pairs, deduplicated
+        /// by key.
+        points: Vec<(Vec<u8>, icdb_store::corpus::CorpusPoint)>,
+    },
 }
 
 impl MutationEvent {
@@ -244,7 +258,8 @@ impl MutationEvent {
             | MutationEvent::RegisterGenerator { .. }
             | MutationEvent::CreateNamespace
             | MutationEvent::DropNamespace { .. }
-            | MutationEvent::PublishTable { .. } => None,
+            | MutationEvent::PublishTable { .. }
+            | MutationEvent::RecordCorpus { .. } => None,
         }
     }
 }
@@ -359,6 +374,10 @@ impl Icdb {
             }
             MutationEvent::PublishTable { table, rows } => {
                 self.apply_publish_table(table, rows)?;
+                Ok(Applied::Unit)
+            }
+            MutationEvent::RecordCorpus { points } => {
+                self.corpus.apply_record(points);
                 Ok(Applied::Unit)
             }
         }
@@ -578,6 +597,26 @@ mod tests {
                     Value::Int(i64::MIN),
                     Value::Null,
                 ]],
+            },
+            MutationEvent::RecordCorpus {
+                points: vec![(
+                    vec![0, 255, 7],
+                    icdb_store::corpus::CorpusPoint {
+                        implementation: "COUNTER".into(),
+                        width: 4,
+                        params: vec![("size".into(), 4)],
+                        strategy: "cheapest".into(),
+                        area: 1234.5,
+                        delay: -0.0,
+                        power: f64::MIN_POSITIVE,
+                        gates: 40,
+                        met: true,
+                        library_version: 2,
+                        cells_version: 1,
+                        seq: 9,
+                        request: vec![1, 2, 3],
+                    },
+                )],
             },
         ];
         for event in events {

@@ -15,11 +15,14 @@
 //! its *shared* lock. [`Icdb::publish_exploration`] additionally mirrors a
 //! report into the relational `exploration` table (like `cache_stats`).
 
+use crate::cache::RequestKey;
+use crate::corpus::{predict, Probe};
 use crate::error::IcdbError;
 use crate::space::NsId;
 use crate::spec::ComponentRequest;
 use crate::Icdb;
 use icdb_explore::{DesignPoint, ExplorationReport, Explorer, Objective};
+use icdb_store::corpus::CorpusPoint;
 use icdb_store::Value;
 
 /// The grid attribute swept by [`ExploreSpec::widths`].
@@ -55,6 +58,21 @@ pub struct ExploreSpec {
     /// `1..=grid size` (0 means sequential, like
     /// [`Icdb::request_components_batch`]).
     pub workers: usize,
+    /// Whether the sweep may use the durable exploration corpus to skip
+    /// grid-point evaluations (the `prune:0` escape hatch turns this
+    /// off; points are then always evaluated, though corpus lookups and
+    /// recording still happen).
+    pub prune: bool,
+    /// Exactness mode (the default): only reuse corpus points whose
+    /// serialized request key matches byte-for-byte — which embeds the
+    /// knowledge-base and cell-library versions, so the reconstructed
+    /// point is provably identical to a fresh evaluation. When `false`,
+    /// the sweep additionally drops grid points whose *predicted*
+    /// metrics (from near-neighbor corpus points) are dominated with
+    /// margin by the corpus-seeded front — faster, but the report may
+    /// omit dominated points (they are counted as pruned, never
+    /// silently lost).
+    pub prune_exact: bool,
 }
 
 impl Default for ExploreSpec {
@@ -68,6 +86,8 @@ impl Default for ExploreSpec {
             attributes: Vec::new(),
             objective: Objective::default(),
             workers: 4,
+            prune: true,
+            prune_exact: true,
         }
     }
 }
@@ -118,6 +138,41 @@ impl ExploreSpec {
         self.workers = workers;
         self
     }
+
+    /// Enables or disables corpus-based pruning (`prune:0` escape hatch).
+    pub fn prune(mut self, prune: bool) -> Self {
+        self.prune = prune;
+        self
+    }
+
+    /// Selects between exactness mode (`true`, the default: byte-identical
+    /// reuse only) and margin mode (`false`: predicted-dominated points
+    /// are skipped entirely).
+    pub fn prune_exact(mut self, exact: bool) -> Self {
+        self.prune_exact = exact;
+        self
+    }
+}
+
+/// Out-of-band accounting of one sweep — kept separate from
+/// [`ExplorationReport`] so pruned and unpruned sweeps can return
+/// *equal* reports.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SweepStats {
+    /// Grid points in the sweep (candidates × widths × strategies).
+    pub grid: usize,
+    /// Points actually run through the generation pipeline (cache-warm
+    /// or cold).
+    pub evaluated: usize,
+    /// Points the corpus saved from evaluation: reconstructed from an
+    /// exact-key match, or (margin mode) skipped as predicted-dominated.
+    pub pruned: usize,
+    /// Exact-key corpus lookups that hit.
+    pub corpus_hits: usize,
+    /// Exact-key corpus lookups that missed.
+    pub corpus_misses: usize,
+    /// Freshly evaluated points queued for the next corpus flush.
+    pub recorded: usize,
 }
 
 impl Icdb {
@@ -138,11 +193,178 @@ impl Icdb {
     /// # Errors
     /// As [`Icdb::explore`]; also fails on unknown namespaces.
     pub fn explore_in(&self, ns: NsId, spec: &ExploreSpec) -> Result<ExplorationReport, IcdbError> {
+        Ok(self.explore_in_with_stats(ns, spec)?.0)
+    }
+
+    /// [`Icdb::explore`] returning the sweep's out-of-band accounting
+    /// (evaluated/pruned/hit/miss counts) alongside the report.
+    ///
+    /// # Errors
+    /// As [`Icdb::explore`].
+    pub fn explore_with_stats(
+        &self,
+        spec: &ExploreSpec,
+    ) -> Result<(ExplorationReport, SweepStats), IcdbError> {
+        self.explore_in_with_stats(NsId::ROOT, spec)
+    }
+
+    /// The full sweep: exact-corpus reuse, optional margin pruning, batch
+    /// evaluation of whatever remains, and recording of fresh evaluations
+    /// into the corpus's pending queue (journaled later by
+    /// [`Icdb::flush_corpus`]).
+    ///
+    /// In exactness mode (the default) the returned report is provably
+    /// equal to an unpruned sweep's: a point is only reconstructed from
+    /// the corpus when its serialized canonical key — which embeds the
+    /// knowledge-base and cell-library versions — matches byte-for-byte,
+    /// and that key determines the whole generation pipeline.
+    ///
+    /// # Errors
+    /// As [`Icdb::explore`].
+    pub fn explore_in_with_stats(
+        &self,
+        ns: NsId,
+        spec: &ExploreSpec,
+    ) -> Result<(ExplorationReport, SweepStats), IcdbError> {
+        /// Margin a corpus-seeded front point must beat a *predicted*
+        /// point by before margin mode drops the prediction unevaluated.
+        const PRUNE_MARGIN: f64 = 1.2;
+        /// Neighbor distance beyond which predictions are not trusted.
+        const NEAR_ENOUGH: f64 = 6.0;
+
         let (labels, requests) = self.explore_grid(spec)?;
-        let prepared = self.prepare_batch(ns, &requests, spec.workers);
+        let mut stats = SweepStats {
+            grid: requests.len(),
+            ..SweepStats::default()
+        };
+
+        // Phase 1 — canonicalize every grid point and consult the corpus.
+        // Lookups run (and count) even with pruning off, so the hit-rate
+        // metrics describe corpus coverage independently of the dial.
+        //
+        // An *empty* store cannot answer any lookup, so this phase is
+        // skipped wholesale: every point then evaluates through
+        // `prepare_batch_keyed`, which returns the canonical key it built
+        // for the result-cache lookup anyway, and phase 4 records (and
+        // counts the misses) from those — the corpus adds no
+        // per-point canonicalization to the warm in-memory sweep.
+        let store_empty = self.corpus.is_store_empty();
+        let mut rkeys: Vec<Option<RequestKey>> = Vec::with_capacity(requests.len());
+        let mut reuse: Vec<Option<CorpusPoint>> = Vec::with_capacity(requests.len());
+        let mut missed = vec![false; requests.len()];
+        if store_empty {
+            rkeys.resize_with(requests.len(), || None);
+            reuse.resize_with(requests.len(), || None);
+        } else {
+            for (i, request) in requests.iter().enumerate() {
+                let key = self.resolve_request_key(request).ok().flatten();
+                let mut hit = None;
+                if let Some(k) = &key {
+                    hit = self.corpus.lookup(&serde::to_bytes(k));
+                    match &hit {
+                        Some(_) => stats.corpus_hits += 1,
+                        None => {
+                            stats.corpus_misses += 1;
+                            missed[i] = true;
+                        }
+                    }
+                }
+                reuse.push(if spec.prune { hit } else { None });
+                rkeys.push(key);
+            }
+        }
+
+        // Phase 2 — margin mode only: drop grid points whose *predicted*
+        // metrics are dominated with margin by the corpus-seeded front.
+        // Heuristic by design (predictions scale neighbors by width), so
+        // exactness mode never runs it.
+        let mut skipped = vec![false; requests.len()];
+        if spec.prune && !spec.prune_exact {
+            let mut seeds: Vec<[f64; 3]> = reuse
+                .iter()
+                .flatten()
+                .map(|p| [p.area, p.delay, p.power])
+                .collect();
+            let mut predictions: Vec<Option<[f64; 3]>> = vec![None; requests.len()];
+            for (i, rkey) in rkeys.iter().enumerate() {
+                if reuse[i].is_some() {
+                    continue;
+                }
+                let Some(probe) = rkey.as_ref().and_then(Probe::from_key) else {
+                    continue;
+                };
+                if let Some((d, neighbor)) = self.corpus.neighbors(&probe, 1).into_iter().next() {
+                    if d <= NEAR_ENOUGH {
+                        let pred = predict(&neighbor, probe.width);
+                        seeds.push(pred);
+                        predictions[i] = Some(pred);
+                    }
+                }
+            }
+            for (i, pred) in predictions.into_iter().enumerate() {
+                let Some(pred) = pred else { continue };
+                // A margin > 1 makes self-domination impossible, so the
+                // prediction's own seed entry never prunes it.
+                let dominated = seeds.iter().any(|s| {
+                    s[0] * PRUNE_MARGIN <= pred[0]
+                        && s[1] * PRUNE_MARGIN <= pred[1]
+                        && s[2] * PRUNE_MARGIN <= pred[2]
+                });
+                if dominated {
+                    skipped[i] = true;
+                }
+            }
+        }
+
+        // Phase 3 — evaluate whatever the corpus did not answer. The
+        // common no-reuse case (empty store, or pruning off) evaluates
+        // the full grid without cloning any request.
+        let mut eval_idx = Vec::new();
+        for i in 0..requests.len() {
+            if reuse[i].is_none() && !skipped[i] {
+                eval_idx.push(i);
+            }
+        }
+        let prepared = if eval_idx.len() == requests.len() {
+            self.prepare_batch_keyed(ns, &requests, spec.workers)
+        } else {
+            let eval_reqs: Vec<ComponentRequest> =
+                eval_idx.iter().map(|&i| requests[i].clone()).collect();
+            self.prepare_batch_keyed(ns, &eval_reqs, spec.workers)
+        };
+        stats.evaluated = eval_idx.len();
+        stats.pruned = stats.grid - stats.evaluated;
+        let mut payloads: Vec<Option<_>> = (0..requests.len()).map(|_| None).collect();
+        for (slot, grid_i) in prepared.into_iter().zip(eval_idx) {
+            payloads[grid_i] = Some(slot);
+        }
+
+        // Phase 4 — assemble the report in grid order (the explorer sorts
+        // points canonically, so reconstructed and evaluated points mix
+        // deterministically) and queue fresh evaluations for the corpus.
+        let mut fresh_misses: u64 = 0;
         let mut explorer = Explorer::new(spec.objective.clone());
-        for (strategy, slot) in labels.into_iter().zip(prepared) {
-            let payload = slot?;
+        for (i, strategy) in labels.into_iter().enumerate() {
+            if skipped[i] {
+                continue; // counted in stats.pruned, never silently lost
+            }
+            if let Some(p) = reuse[i].take() {
+                explorer.add_point(DesignPoint {
+                    implementation: p.implementation,
+                    params: p.params,
+                    strategy,
+                    area: p.area,
+                    delay: p.delay,
+                    power: p.power,
+                    gates: p.gates as usize,
+                    met: p.met,
+                });
+                continue;
+            }
+            let (eval_key, payload) = payloads[i]
+                .take()
+                .expect("every unpruned grid point was prepared");
+            let payload = payload?;
             let mut params = payload.params.clone();
             params.sort();
             let delay = if payload.report.clock_width > 0.0 {
@@ -150,7 +372,7 @@ impl Icdb {
             } else {
                 payload.report.worst_output_delay()
             };
-            explorer.add_point(DesignPoint {
+            let point = DesignPoint {
                 implementation: payload.implementation.clone(),
                 params,
                 strategy,
@@ -159,9 +381,54 @@ impl Icdb {
                 power: payload.power_uw,
                 gates: payload.netlist.gates.len(),
                 met: payload.met,
-            });
+            };
+            // With an empty store every evaluated keyed point is by
+            // definition a miss (phase 1 was skipped); count it here so
+            // the hit-rate metrics stay exact. Points already sitting in
+            // the pending queue are not re-recorded — their key, which
+            // embeds the knowledge-base and cell-library versions, proves
+            // the queued row is identical.
+            if store_empty || missed[i] {
+                if let Some(rk) = eval_key {
+                    if store_empty {
+                        stats.corpus_misses += 1;
+                        fresh_misses += 1;
+                    }
+                    if self.corpus.already_queued(&rk) {
+                        explorer.add_point(point);
+                        continue;
+                    }
+                    let width = rk.width().unwrap_or(-1);
+                    let bytes = serde::to_bytes(&rk);
+                    self.corpus.queue(
+                        rk,
+                        bytes,
+                        CorpusPoint {
+                            implementation: point.implementation.clone(),
+                            width,
+                            params: point.params.clone(),
+                            strategy: point.strategy.clone(),
+                            area: point.area,
+                            delay: point.delay,
+                            power: point.power,
+                            gates: point.gates as u64,
+                            met: point.met,
+                            library_version: payload.lib_version,
+                            cells_version: payload.cells_version,
+                            seq: 0, // assigned at apply time
+                            request: serde::to_bytes(&requests[i]),
+                        },
+                    );
+                    stats.recorded += 1;
+                }
+            }
+            explorer.add_point(point);
         }
-        Ok(explorer.finish())
+        if fresh_misses > 0 {
+            self.corpus.note_misses(fresh_misses);
+        }
+        self.corpus.note_pruned(stats.pruned as u64);
+        Ok((explorer.finish(), stats))
     }
 
     /// Expands a spec into its request grid, in deterministic candidate ×

@@ -55,6 +55,7 @@
 
 mod builtin;
 pub mod cache;
+pub mod corpus;
 mod cql;
 mod designs;
 mod error;
@@ -72,11 +73,12 @@ mod spec;
 mod tools;
 
 pub use cache::{CacheStats, GenCache, GenerationPayload, LayerStats, RequestKey};
+pub use corpus::CorpusStats;
 pub use cql::command_text_is_read_only;
 pub use designs::DesignManager;
 pub use error::IcdbError;
 pub use events::{Applied, MutationEvent};
-pub use explore::ExploreSpec;
+pub use explore::{ExploreSpec, SweepStats};
 pub use icdb_explore::{DesignPoint, ExplorationReport, Explorer, Objective};
 pub use instance::ComponentInstance;
 pub use library::{ComponentImpl, GenericComponentLibrary, ParamSpec};
@@ -109,6 +111,9 @@ pub struct Icdb {
     /// The tool manager: registered component generators (§4.2).
     pub tools: ToolManager,
     pub(crate) cache: Arc<GenCache>,
+    /// The durable exploration corpus (shared with epoch snapshots, so
+    /// lock-free sweeps record into — and read from — the live corpus).
+    pub(crate) corpus: Arc<corpus::CorpusState>,
     pub(crate) spaces: space::Spaces,
     /// Attached mutation journal, when the server was opened with a data
     /// directory ([`Icdb::open`]).
@@ -143,6 +148,7 @@ impl Clone for Icdb {
             files: self.files.clone(),
             tools: self.tools.clone(),
             cache: Arc::new(GenCache::with_capacity(self.cache.stats().result.capacity)),
+            corpus: Arc::new(self.corpus.deep_clone()),
             spaces: self.spaces.clone(),
             journal: None,
             acquired: self.acquired.clone(),
@@ -197,6 +203,7 @@ impl Icdb {
             files: FileStore::new(),
             tools: ToolManager::standard(),
             cache: Arc::new(GenCache::default()),
+            corpus: Arc::new(corpus::CorpusState::default()),
             spaces: space::Spaces::new(),
             journal: None,
             acquired: Vec::new(),
@@ -227,6 +234,7 @@ impl Icdb {
             files: FileStore::new(),
             tools: self.tools.clone(),
             cache: Arc::clone(&self.cache),
+            corpus: Arc::clone(&self.corpus),
             spaces: space::Spaces::new(),
             journal: None,
             acquired: Vec::new(),

@@ -172,6 +172,34 @@ impl Icdb {
             },
         ));
 
+        // Exploration-corpus samples, derived from the same counters the
+        // `corpus` CQL command answers from.
+        let corpus = self.corpus_stats();
+        out.push(Sample::int(
+            "icdb_corpus_entries",
+            "gauge",
+            "Durable exploration-corpus entries resident",
+            corpus.entries as u64,
+        ));
+        out.push(Sample::int(
+            "icdb_corpus_hits_total",
+            "counter",
+            "Sweep grid points answered from the exploration corpus",
+            corpus.hits,
+        ));
+        out.push(Sample::int(
+            "icdb_corpus_misses_total",
+            "counter",
+            "Sweep grid points not found in the exploration corpus",
+            corpus.misses,
+        ));
+        out.push(Sample::int(
+            "icdb_sweep_points_pruned_total",
+            "counter",
+            "Sweep grid points skipped by corpus-predicted domination",
+            corpus.pruned,
+        ));
+
         let mut role = String::from("primary");
         for (key, value) in persist::persist_fields(stats) {
             match value {

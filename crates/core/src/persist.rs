@@ -80,6 +80,10 @@ struct Snapshot {
     next_ns: u64,
     /// Every live namespace.
     spaces: Vec<SpaceSnapshot>,
+    /// The durable exploration corpus. Appended last: the snapshot
+    /// serialization is positional, so new fields must not reorder the
+    /// existing ones.
+    corpus: icdb_store::corpus::CorpusStore,
 }
 
 impl Snapshot {
@@ -118,6 +122,7 @@ impl Snapshot {
                         .collect(),
                 })
                 .collect(),
+            corpus: icdb.corpus.export(),
         }
     }
 
@@ -162,6 +167,7 @@ impl Snapshot {
             );
         }
         icdb.spaces = Spaces::from_parts(map, self.next_ns);
+        icdb.corpus.import(self.corpus);
         Ok(icdb)
     }
 }
@@ -485,6 +491,11 @@ impl Icdb {
                 .map(|d| d.as_nanos() as u64)
                 .unwrap_or(1),
         });
+        // Warm-start: replay the corpus's hottest version-fresh requests
+        // through the prepare path so the generation cache answers the
+        // first repeat requests (and the first repeat sweep) warm. Purely
+        // an optimization — failures skip points, never fail the open.
+        icdb.warm_start_from_corpus(crate::corpus::WARM_START_POINTS);
         Ok(icdb)
     }
 

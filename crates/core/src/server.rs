@@ -38,6 +38,9 @@ const MAX_SHAPE_STRIPS: usize = 8;
 
 /// Result of preparing one request (shared payload or the first error).
 type PreparedPayload = Result<Arc<GenerationPayload>, IcdbError>;
+/// A prepared payload plus the canonical request key the generation path
+/// built for its result-cache lookup (`None` for unkeyable sources).
+type KeyedPayload = (Option<RequestKey>, PreparedPayload);
 
 /// Design-data views persisted per instance (file suffixes).
 pub(crate) const INSTANCE_VIEW_SUFFIXES: [&str; 8] = [
@@ -136,23 +139,46 @@ impl Icdb {
         requests: &[ComponentRequest],
         workers: usize,
     ) -> Vec<PreparedPayload> {
+        self.prepare_batch_keyed(ns, requests, workers)
+            .into_iter()
+            .map(|(_, payload)| payload)
+            .collect()
+    }
+
+    /// [`Icdb::prepare_batch`] that also returns each request's canonical
+    /// [`RequestKey`] (when its source has one). The keys fall out of the
+    /// generation path for free — [`Icdb::prepare_payload_keyed`] builds
+    /// them for the result-cache lookup anyway — so the exploration sweep
+    /// can record corpus rows without re-canonicalizing every grid point.
+    pub(crate) fn prepare_batch_keyed(
+        &self,
+        ns: NsId,
+        requests: &[ComponentRequest],
+        workers: usize,
+    ) -> Vec<KeyedPayload> {
         // Cluster requests are never prepared here: they flatten *live*
         // instances, so the install path re-prepares them at their
         // position in the journal order (see `Icdb::apply_install`).
-        let prepare_one = |request: &ComponentRequest| -> PreparedPayload {
+        let prepare_one = |request: &ComponentRequest| -> KeyedPayload {
             if matches!(request.source, Source::VhdlNetlist(_)) {
-                Err(IcdbError::Unsupported(
-                    "VHDL clusters are prepared at install time".into(),
-                ))
+                (
+                    None,
+                    Err(IcdbError::Unsupported(
+                        "VHDL clusters are prepared at install time".into(),
+                    )),
+                )
             } else {
-                self.prepare_payload(ns, request)
+                match self.prepare_payload_keyed(ns, request) {
+                    Ok((key, payload)) => (key, Ok(payload)),
+                    Err(err) => (None, Err(err)),
+                }
             }
         };
         let workers = workers.clamp(1, requests.len().max(1));
         if workers <= 1 {
             return requests.iter().map(prepare_one).collect();
         }
-        let slots: Vec<Mutex<Option<PreparedPayload>>> =
+        let slots: Vec<Mutex<Option<KeyedPayload>>> =
             requests.iter().map(|_| Mutex::new(None)).collect();
         let next = AtomicUsize::new(0);
         std::thread::scope(|scope| {
@@ -218,6 +244,20 @@ impl Icdb {
         ns: NsId,
         request: &ComponentRequest,
     ) -> Result<Arc<GenerationPayload>, IcdbError> {
+        self.prepare_payload_keyed(ns, request)
+            .map(|(_, payload)| payload)
+    }
+
+    /// [`Icdb::prepare_payload`] that also returns the request's canonical
+    /// [`RequestKey`] — `None` for sources the corpus cannot key stably
+    /// across processes (inline IIF and VHDL clusters). Library requests
+    /// build the key for the result-cache lookup regardless, so returning
+    /// it costs nothing.
+    pub(crate) fn prepare_payload_keyed(
+        &self,
+        ns: NsId,
+        request: &ComponentRequest,
+    ) -> Result<(Option<RequestKey>, Arc<GenerationPayload>), IcdbError> {
         match &request.source {
             Source::Library {
                 component_name,
@@ -239,7 +279,7 @@ impl Icdb {
                     self.cells.version(),
                 );
                 if let Some(hit) = self.cache.get_result(&key) {
-                    return Ok(hit);
+                    return Ok((Some(key), hit));
                 }
                 let payload = Arc::new(self.generate_from_module(
                     &imp.module,
@@ -250,8 +290,8 @@ impl Icdb {
                     imp.connection.clone(),
                     request,
                 )?);
-                self.cache.put_result(key, payload.clone());
-                Ok(payload)
+                self.cache.put_result(key.clone(), payload.clone());
+                Ok((Some(key), payload))
             }
             Source::Iif(text) => {
                 let module = icdb_iif::parse(text)?;
@@ -284,7 +324,7 @@ impl Icdb {
                     self.cells.version(),
                 );
                 if let Some(hit) = self.cache.get_result(&key) {
-                    return Ok(hit);
+                    return Ok((None, hit));
                 }
                 let payload = Arc::new(self.generate_from_module(
                     &module,
@@ -296,23 +336,58 @@ impl Icdb {
                     request,
                 )?);
                 self.cache.put_result(key, payload.clone());
-                Ok(payload)
+                Ok((None, payload))
             }
             Source::VhdlNetlist(text) => {
                 // Clusters flatten *live* instances, so their results are
                 // never cached — a stale hit could resurrect deleted state.
                 let netlist = self.flatten_cluster(ns, text)?;
-                Ok(Arc::new(self.finish_payload(
-                    netlist,
-                    "cluster".to_string(),
-                    Vec::new(),
-                    Vec::new(),
-                    Default::default(),
+                Ok((
                     None,
-                    request,
-                )?))
+                    Arc::new(self.finish_payload(
+                        netlist,
+                        "cluster".to_string(),
+                        Vec::new(),
+                        Vec::new(),
+                        Default::default(),
+                        None,
+                        request,
+                    )?),
+                ))
             }
         }
+    }
+
+    /// Canonicalizes a request into its cache/corpus key *without* running
+    /// any generation stage. `Ok(None)` for sources the corpus cannot key
+    /// stably across processes (inline IIF and VHDL clusters — exploration
+    /// grids are always library-implementation requests anyway).
+    pub(crate) fn resolve_request_key(
+        &self,
+        request: &ComponentRequest,
+    ) -> Result<Option<RequestKey>, IcdbError> {
+        let Source::Library {
+            component_name,
+            implementation,
+            functions,
+        } = &request.source
+        else {
+            return Ok(None);
+        };
+        let imp = self.resolve_implementation(
+            component_name.as_deref(),
+            implementation.as_deref(),
+            functions,
+        )?;
+        let params = imp.bind_attributes(&request.attributes)?;
+        let source = SourceKey::Implementation(imp.name.clone());
+        Ok(Some(RequestKey::new(
+            source,
+            &params,
+            request,
+            self.library.version(),
+            self.cells.version(),
+        )))
     }
 
     /// Runs (or recalls) expansion and synthesis for a module, then the

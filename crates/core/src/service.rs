@@ -348,6 +348,20 @@ impl IcdbService {
         self.commit_exclusive_inner(true, f)
     }
 
+    /// Journals any exploration-corpus rows queued by lock-free epoch
+    /// sweeps. Best-effort: a follower or degraded primary cannot
+    /// journal corpus rows, so the pending queue is discarded there —
+    /// the corpus is a performance aid, never a correctness dependency,
+    /// and the queue must not grow without bound.
+    pub(crate) fn flush_corpus(&self) {
+        if !self.read().corpus.has_pending() {
+            return;
+        }
+        if self.commit_exclusive(|icdb| icdb.flush_corpus()).is_err() {
+            self.read().corpus.discard_pending();
+        }
+    }
+
     /// Opens a new session with a fresh, isolated design namespace.
     pub fn open_session(self: &Arc<Self>) -> Session {
         let token = self.next_token.fetch_add(1, Ordering::Relaxed);
@@ -831,12 +845,17 @@ impl Session {
                 .epoch()
                 .execute_read_in(NsId::ROOT, command, args)
             {
+                // Epoch sweeps (`explore`) queue corpus rows without a
+                // lock; piggyback their journal flush on the way out.
+                self.service.flush_corpus();
                 return Ok(());
             }
         }
         if crate::cql::command_text_is_read_only(command) {
             let guard = self.service.read();
             if guard.execute_read_in(self.ns, command, args)? {
+                drop(guard);
+                self.service.flush_corpus();
                 return Ok(());
             }
         }
@@ -861,7 +880,11 @@ impl Session {
         &self,
         spec: &crate::explore::ExploreSpec,
     ) -> Result<icdb_explore::ExplorationReport, IcdbError> {
-        self.service.epoch().explore_in(NsId::ROOT, spec)
+        let report = self.service.epoch().explore_in(NsId::ROOT, spec)?;
+        // Cold evaluations above queued corpus rows on the (shared)
+        // epoch snapshot; journal them so the corpus survives restart.
+        self.service.flush_corpus();
+        Ok(report)
     }
 
     /// §3.3 delay string of one of this session's instances (shared lock).

@@ -252,6 +252,7 @@ pub const COMMANDS: &[&str] = &[
     "explore",
     "persist",
     "metrics",
+    "corpus",
     "attach",
     "hello",
     "wait_seq",

@@ -30,6 +30,7 @@
 
 #![deny(rustdoc::broken_intra_doc_links)]
 
+pub mod corpus;
 pub mod fail;
 pub mod wal;
 

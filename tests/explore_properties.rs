@@ -134,6 +134,89 @@ proptest! {
     }
 }
 
+proptest! {
+    // Real sweeps again — small case count, wide grid coverage.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Corpus-pruned sweeps return the exact same report — points, front,
+    /// winner and rendered table — as unpruned ones, across random grids
+    /// and both exactness dials, with every saved evaluation counted.
+    #[test]
+    fn pruned_sweeps_match_unpruned_across_random_grids(
+        wmask in 1u8..8,
+        both_strategies in any::<bool>(),
+        exact in any::<bool>(),
+    ) {
+        let widths: Vec<i64> = [3i64, 4, 5]
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| wmask & (1 << i) != 0)
+            .map(|(_, w)| *w)
+            .collect();
+        let strategies = if both_strategies {
+            vec!["cheapest", "fastest"]
+        } else {
+            vec!["cheapest"]
+        };
+        let spec = ExploreSpec::by_component("counter")
+            .widths(widths)
+            .strategies(strategies);
+
+        let mut icdb = Icdb::new();
+        let (cold, cold_stats) = icdb
+            .explore_with_stats(&spec.clone().prune(false))
+            .unwrap();
+        prop_assert_eq!(cold_stats.evaluated, cold_stats.grid);
+        prop_assert_eq!(cold_stats.pruned, 0, "prune:0 evaluates everything");
+        prop_assert_eq!(cold_stats.recorded, cold_stats.grid);
+        icdb.flush_corpus().unwrap();
+        prop_assert_eq!(icdb.corpus_len(), cold_stats.grid);
+
+        let (warm, warm_stats) = icdb
+            .explore_with_stats(&spec.clone().prune_exact(exact))
+            .unwrap();
+        prop_assert_eq!(&cold, &warm, "pruned report must equal unpruned");
+        prop_assert_eq!(cold.to_table(), warm.to_table());
+        prop_assert_eq!(
+            warm_stats.evaluated, 0,
+            "a fully-warm corpus answers every grid point"
+        );
+        prop_assert_eq!(warm_stats.corpus_hits, warm_stats.grid);
+        prop_assert_eq!(warm_stats.pruned, warm_stats.grid);
+    }
+}
+
+/// Margin mode on a partially-covered grid: points it skips are counted
+/// in `pruned`, never silently dropped, and every point it *does* report
+/// is byte-identical to one from a fully-evaluated sweep.
+#[test]
+fn margin_mode_counts_skipped_points_and_reports_only_real_ones() {
+    let mut icdb = Icdb::new();
+    let narrow = ExploreSpec::by_component("counter")
+        .widths([3, 4])
+        .strategies(["cheapest", "fastest"]);
+    icdb.explore_with_stats(&narrow.prune(false)).unwrap();
+    icdb.flush_corpus().unwrap();
+
+    let (report, stats) = icdb
+        .explore_with_stats(&counter_sweep().prune_exact(false))
+        .unwrap();
+    let full = Icdb::new().explore(&counter_sweep().prune(false)).unwrap();
+    assert_eq!(stats.grid, full.points.len());
+    // Accounting is exhaustive: every grid point was reused, evaluated,
+    // or skipped — and the skipped ones are exactly the missing report
+    // entries.
+    let skipped = stats.grid - report.points.len();
+    assert_eq!(stats.evaluated + stats.corpus_hits + skipped, stats.grid);
+    assert_eq!(stats.pruned, stats.grid - stats.evaluated);
+    for p in &report.points {
+        assert!(
+            full.points.contains(p),
+            "margin-mode point {p:?} must match a fully-evaluated one"
+        );
+    }
+}
+
 #[test]
 fn sweep_covers_three_counters_and_three_widths() {
     let icdb = Icdb::new();

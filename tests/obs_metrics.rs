@@ -157,7 +157,12 @@ fn proc_cpu_ticks(pid: u32) -> u64 {
     // Skip past `pid (comm)` — comm may contain spaces, so split at the
     // last `)`; utime/stime are stat(5) fields 14/15, i.e. 11/12 of the
     // remainder (which starts at field 3, the state).
-    let fields: Vec<&str> = stat.rsplit_once(')').expect("comm").1.split_whitespace().collect();
+    let fields: Vec<&str> = stat
+        .rsplit_once(')')
+        .expect("comm")
+        .1
+        .split_whitespace()
+        .collect();
     fields[11].parse::<u64>().expect("utime") + fields[12].parse::<u64>().expect("stime")
 }
 
@@ -179,7 +184,10 @@ fn metrics_probe_connections_are_dropped_not_leaked() {
         if TcpStream::connect(("127.0.0.1", mport)).is_ok() {
             break;
         }
-        assert!(Instant::now() < deadline, "metrics listener did not come up");
+        assert!(
+            Instant::now() < deadline,
+            "metrics listener did not come up"
+        );
         std::thread::sleep(Duration::from_millis(50));
     }
 
@@ -262,6 +270,18 @@ fn metrics_cql_and_http_agree_with_cache_and_persist() {
 
     let mut client = connect(port);
 
+    // An exploration sweep feeds the corpus surfaces too: cold misses,
+    // recorded rows, and (on the repeat) exact-reuse prunes.
+    for _ in 0..2 {
+        let mut args = [CqlArg::OutStr(None)];
+        client
+            .execute(
+                "command:explore; component:counter; widths:(3,4); winner:?s",
+                &mut args,
+            )
+            .expect("sweep for corpus metrics");
+    }
+
     // Both renderings carry the per-command latency histogram with
     // derived percentiles — the acceptance-criteria surface.
     let wire_text = client.metrics_text().expect("metrics text over CQL");
@@ -279,6 +299,10 @@ fn metrics_cql_and_http_agree_with_cache_and_persist() {
             "icdb_cache_hit_ratio",
             "icdb_connections ",
             "icdb_repl_lag_events ",
+            "icdb_corpus_entries ",
+            "icdb_corpus_hits_total ",
+            "icdb_corpus_misses_total ",
+            "icdb_sweep_points_pruned_total ",
         ] {
             assert!(body.contains(needle), "surface lacks `{needle}`:\n{body}");
         }
@@ -302,6 +326,13 @@ fn metrics_cql_and_http_agree_with_cache_and_persist() {
         "command:persist; wal_events:?d; generation:?d; enabled:?d",
         3,
     );
+    let corpus = query_ints(
+        &mut client,
+        "command:corpus; entries:?d; hits:?d; misses:?d; pruned:?d",
+        4,
+    );
+    assert!(corpus[0] > 0, "the sweep must have recorded corpus rows");
+    assert!(corpus[3] > 0, "the repeat sweep must have pruned via reuse");
     // …must match a scrape taken while the server is quiet (reads and
     // scrapes do not move cache or WAL counters).
     let body = scrape(mport);
@@ -311,6 +342,13 @@ fn metrics_cql_and_http_agree_with_cache_and_persist() {
     assert_eq!(sample(&body, "icdb_wal_events") as i64, persist[0]);
     assert_eq!(sample(&body, "icdb_persist_generation") as i64, persist[1]);
     assert_eq!(sample(&body, "icdb_persist_enabled") as i64, persist[2]);
+    assert_eq!(sample(&body, "icdb_corpus_entries") as i64, corpus[0]);
+    assert_eq!(sample(&body, "icdb_corpus_hits_total") as i64, corpus[1]);
+    assert_eq!(sample(&body, "icdb_corpus_misses_total") as i64, corpus[2]);
+    assert_eq!(
+        sample(&body, "icdb_sweep_points_pruned_total") as i64,
+        corpus[3]
+    );
     assert!(
         (sample(&body, "icdb_role{role=\"primary\"}") - 1.0).abs() < f64::EPSILON,
         "a primary advertises its role"

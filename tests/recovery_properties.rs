@@ -391,6 +391,64 @@ fn group_commit_kill_points_recover_the_acknowledged_prefix() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// The exploration corpus is journaled state: a sweep's recorded points
+/// survive a SIGKILL (WAL image copied while the server is live, no
+/// checkpoint) and reopen to byte-identical `corpus` CQL answers — and
+/// the reopened server warm-starts its result cache from the corpus.
+#[test]
+fn corpus_survives_sigkill_with_identical_answers() {
+    use icdb::cql::CqlArg;
+
+    fn corpus_answer(icdb: &mut Icdb) -> (i64, Vec<String>) {
+        let mut args = vec![CqlArg::OutInt(None), CqlArg::OutStrList(None)];
+        icdb.execute("command:corpus; entries:?d; list:?s[]", &mut args)
+            .unwrap();
+        let CqlArg::OutStrList(Some(list)) = args.pop().unwrap() else {
+            panic!("no corpus list");
+        };
+        let CqlArg::OutInt(Some(entries)) = args[0] else {
+            panic!("no corpus entry count");
+        };
+        (entries, list)
+    }
+
+    let dir = temp_dir("corpus-live");
+    let mut icdb = Icdb::open_with_sync(&dir, false).unwrap();
+    let spec = icdb::ExploreSpec::by_component("counter")
+        .widths([3, 4])
+        .strategies(["cheapest", "fastest"]);
+    icdb.explore(&spec).unwrap();
+    icdb.flush_corpus().unwrap();
+    icdb.sync_journal().unwrap();
+    let live = corpus_answer(&mut icdb);
+    assert!(live.0 > 0, "the sweep must have recorded corpus rows");
+
+    // The SIGKILL disk image: WAL copied while the server is still live.
+    let image = temp_dir("corpus-image");
+    std::fs::create_dir_all(&image).unwrap();
+    std::fs::copy(dir.join("wal-0.log"), image.join("wal-0.log")).unwrap();
+    drop(icdb);
+
+    let mut recovered = Icdb::open_with_sync(&image, false).unwrap();
+    assert_eq!(corpus_answer(&mut recovered), live, "WAL-only recovery");
+    assert!(
+        recovered.cache_stats().result.entries > 0,
+        "reopen must warm-start the result cache from the corpus"
+    );
+    drop(recovered);
+
+    // A checkpointed snapshot carries the corpus too.
+    let mut checkpointed = Icdb::open_with_sync(&dir, false).unwrap();
+    checkpointed.checkpoint().unwrap();
+    drop(checkpointed);
+    let mut reopened = Icdb::open_with_sync(&dir, false).unwrap();
+    assert_eq!(reopened.persist_stats().unwrap().recovered_events, 0);
+    assert_eq!(corpus_answer(&mut reopened), live, "snapshot recovery");
+
+    std::fs::remove_dir_all(&image).ok();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 /// The WAL writer refuses to resurrect torn bytes: re-opening after a tear
 /// truncates, and the next append lands where the tear was (deterministic
 /// framing, so this is a plain unit test rather than a property).

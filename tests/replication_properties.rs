@@ -238,6 +238,92 @@ fn mid_history_bootstrap_yields_byte_identical_transcripts() {
     std::fs::remove_dir_all(&dir_f).ok();
 }
 
+/// The exploration corpus rides the WAL-shipping stream like any other
+/// journaled state: a primary sweep's recorded rows converge onto the
+/// follower, which serves byte-identical `corpus` answers locally — and
+/// a follower-side sweep of uncovered grid points must *not* fork the
+/// corpus (its un-journalable pending rows are discarded, not applied).
+#[test]
+fn follower_serves_corpus_reads_and_converges() {
+    fn corpus_answer(client: &mut IcdbClient) -> (i64, Vec<String>) {
+        let mut args = vec![CqlArg::OutInt(None), CqlArg::OutStrList(None)];
+        client
+            .execute("command:corpus; entries:?d; list:?s[]", &mut args)
+            .expect("corpus query");
+        let CqlArg::OutStrList(Some(list)) = args.pop().unwrap() else {
+            panic!("no corpus list");
+        };
+        let CqlArg::OutInt(Some(entries)) = args[0] else {
+            panic!("no corpus entry count");
+        };
+        (entries, list)
+    }
+
+    let dir_p = temp_dir("corpus-primary");
+    let dir_f = temp_dir("corpus-follower");
+    let (_service_p, handle_p, addr_p) = spawn_primary(&dir_p);
+
+    // A primary sweep records corpus rows; the journal flush rides the
+    // explore command itself, so by the time the response lands the rows
+    // are in the WAL.
+    let mut client = IcdbClient::connect(addr_p).expect("connect primary");
+    let mut args = vec![CqlArg::OutStr(None)];
+    client
+        .execute(
+            "command:explore; component:counter; widths:(3,4); \
+             strategies:(cheapest,fastest); winner:?s",
+            &mut args,
+        )
+        .expect("primary sweep");
+    let primary_answer = corpus_answer(&mut client);
+    assert!(primary_answer.0 > 0, "primary sweep must record rows");
+
+    let follower = icdb::repl::bootstrap(&addr_p.to_string(), &dir_f, true, Duration::ZERO)
+        .expect("bootstrap follower");
+    let (handle_f, addr_f) = spawn_follower_server(follower.service());
+    let mut fclient = IcdbClient::connect(addr_f).expect("connect follower");
+
+    // Convergence barrier: poll the replication position until the
+    // follower has applied everything durable upstream.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let (_, _, applied, lag) = repl_position(&mut fclient);
+        if applied > 0 && lag == 0 {
+            break;
+        }
+        assert!(Instant::now() < deadline, "follower never caught up");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    assert_eq!(
+        corpus_answer(&mut fclient),
+        primary_answer,
+        "replicated corpus answers must be byte-identical"
+    );
+
+    // A follower-side sweep over *uncovered* grid points queues rows it
+    // cannot journal; they must be discarded — same answers afterwards,
+    // no divergence from the primary.
+    let mut args = vec![CqlArg::OutStr(None)];
+    fclient
+        .execute(
+            "command:explore; component:counter; widths:(5); winner:?s",
+            &mut args,
+        )
+        .expect("follower sweep");
+    assert_eq!(
+        corpus_answer(&mut fclient),
+        primary_answer,
+        "a follower sweep must not fork the corpus"
+    );
+    assert!(follower.stall_reason().is_none(), "replication stalled");
+
+    handle_f.shutdown();
+    handle_p.shutdown();
+    drop(follower);
+    std::fs::remove_dir_all(&dir_p).ok();
+    std::fs::remove_dir_all(&dir_f).ok();
+}
+
 #[test]
 fn wait_seq_blocks_until_the_event_arrives_and_times_out_honestly() {
     let dir_p = temp_dir("waitseq-primary");
